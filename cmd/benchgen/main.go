@@ -1,0 +1,78 @@
+// Command benchgen generates a deterministic synthetic SGML corpus (the
+// benchmark workload) and either writes the documents to a directory or
+// loads them and writes a database snapshot.
+//
+// Usage:
+//
+//	benchgen -docs 100 -sections 8 -out corpus/       # write .sgml files
+//	benchgen -docs 100 -snap corpus.snap              # load and snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sgmldb/internal/corpus"
+	"sgmldb/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	docs := flag.Int("docs", 10, "number of articles")
+	sections := flag.Int("sections", 5, "sections per article")
+	words := flag.Int("words", 30, "words per paragraph")
+	vocab := flag.Int("vocab", 1000, "vocabulary size")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "directory for generated .sgml files")
+	snap := flag.String("snap", "", "load the corpus and write this snapshot")
+	flag.Parse()
+	p := corpus.Params{Docs: *docs, Sections: *sections, Words: *words,
+		Vocabulary: *vocab, Seed: *seed}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		g := corpus.NewGenerator(p)
+		if err := os.WriteFile(filepath.Join(*out, "article.dtd"),
+			[]byte(corpus.ArticleDTD+"\n"), 0o644); err != nil {
+			return err
+		}
+		for i := 0; i < *docs; i++ {
+			name := filepath.Join(*out, fmt.Sprintf("article%04d.sgml", i))
+			if err := os.WriteFile(name, []byte(g.Article(i)), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %d documents to %s\n", *docs, *out)
+	}
+	if *snap != "" {
+		db, err := corpus.BuildArticles(p)
+		if err != nil {
+			return err
+		}
+		st := db.Loader.Instance.Stats()
+		fmt.Printf("corpus: %d documents, %d objects, %d raw SGML bytes, %d value bytes (overhead ×%.2f)\n",
+			*docs, st.Objects, db.RawBytes, st.ValueBytes,
+			float64(st.ValueBytes)/float64(db.RawBytes))
+		if err := saveSnapshot(db, *snap); err != nil {
+			return err
+		}
+		fmt.Printf("snapshot written to %s\n", *snap)
+	}
+	if *out == "" && *snap == "" {
+		return fmt.Errorf("nothing to do: pass -out and/or -snap")
+	}
+	return nil
+}
+
+func saveSnapshot(db *corpus.Database, path string) error {
+	return store.SaveFile(path, db.Loader.Instance)
+}

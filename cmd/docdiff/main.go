@@ -1,0 +1,77 @@
+// Command docdiff computes the structural difference between two versions
+// of a document — query Q4 of the paper: the set of paths present in the
+// new version and not in the old one.
+//
+// Usage:
+//
+//	docdiff -dtd article.dtd old.sgml new.sgml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sgmldb"
+	"sgmldb/internal/object"
+	"sgmldb/internal/path"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "docdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dtdPath := flag.String("dtd", "", "DTD file (required)")
+	flag.Parse()
+	if *dtdPath == "" || flag.NArg() != 2 {
+		return fmt.Errorf("usage: docdiff -dtd file.dtd old.sgml new.sgml")
+	}
+	db, err := sgmldb.OpenDTDFile(*dtdPath)
+	if err != nil {
+		return err
+	}
+	oldOID, err := db.LoadDocumentFile(flag.Arg(0))
+	if err != nil {
+		return fmt.Errorf("%s: %w", flag.Arg(0), err)
+	}
+	newOID, err := db.LoadDocumentFile(flag.Arg(1))
+	if err != nil {
+		return fmt.Errorf("%s: %w", flag.Arg(1), err)
+	}
+	if err := db.Name("old_doc", oldOID); err != nil {
+		return err
+	}
+	if err := db.Name("new_doc", newOID); err != nil {
+		return err
+	}
+	added, err := db.Query(`new_doc PATH_p - old_doc PATH_p`)
+	if err != nil {
+		return err
+	}
+	removed, err := db.Query(`old_doc PATH_p - new_doc PATH_p`)
+	if err != nil {
+		return err
+	}
+	print := func(label string, v object.Value) {
+		s := v.(*object.Set)
+		var lines []string
+		for i := 0; i < s.Len(); i++ {
+			if p, err := path.FromValue(s.At(i)); err == nil {
+				lines = append(lines, p.String())
+			}
+		}
+		sort.Strings(lines)
+		fmt.Printf("%s (%d paths):\n", label, len(lines))
+		for _, l := range lines {
+			fmt.Printf("  %s\n", l)
+		}
+	}
+	print("added", added)
+	print("removed", removed)
+	return nil
+}

@@ -1,0 +1,42 @@
+// Command dtd2schema compiles an SGML DTD into the extended O₂ schema of
+// Section 3 of the paper and prints it in Figure 3 syntax.
+//
+// Usage:
+//
+//	dtd2schema article.dtd
+//	dtd2schema < article.dtd
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"sgmldb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dtd2schema:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var src []byte
+	var err error
+	if len(os.Args) > 1 {
+		src, err = os.ReadFile(os.Args[1])
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		return err
+	}
+	db, err := sgmldb.OpenDTD(string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Print(db.SchemaString())
+	return nil
+}

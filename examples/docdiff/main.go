@@ -1,0 +1,86 @@
+// Docdiff: query Q4 of the paper — the structural difference between two
+// versions of a document is the set difference of their path sets,
+// because paths are first-class citizens.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"sgmldb"
+	"sgmldb/internal/object"
+	"sgmldb/internal/path"
+)
+
+const memoDTD = `<!DOCTYPE memo [
+<!ELEMENT memo - - (title, para+)>
+<!ELEMENT title - O (#PCDATA)>
+<!ELEMENT para - O (#PCDATA)>
+]>`
+
+const oldVersion = `<memo><title>Plan</title>
+<para>Write the mapping.
+<para>Write the query language.
+</memo>`
+
+const newVersion = `<memo><title>Plan</title>
+<para>Write the mapping.
+<para>Write the query language.
+<para>Benchmark the algebra.
+</memo>`
+
+func main() {
+	db, err := sgmldb.OpenDTD(memoDTD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oldOID, err := db.LoadDocument(oldVersion)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newOID, err := db.LoadDocument(newVersion)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Name("my_old_memo", oldOID); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Name("my_memo", newOID); err != nil {
+		log.Fatal(err)
+	}
+
+	// Q4, verbatim shape: my_article PATH_p - my_old_article PATH_p.
+	diff, err := db.Query(`my_memo PATH_p - my_old_memo PATH_p`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("paths in the new version and not in the old one:")
+	printPaths(diff)
+
+	// Supplementary conditions detect moved/updated text: the new titles.
+	newTitles, err := db.Query(`
+(select t from p in my_memo.paras, p.content(t)) -
+(select t from p in my_old_memo.paras, p.content(t))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nnew paragraph texts:")
+	for _, v := range newTitles.(*object.Set).Elems() {
+		fmt.Printf("  %s\n", v)
+	}
+}
+
+func printPaths(v object.Value) {
+	s := v.(*object.Set)
+	var lines []string
+	for i := 0; i < s.Len(); i++ {
+		if p, err := path.FromValue(s.At(i)); err == nil {
+			lines = append(lines, p.String())
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Printf("  %s\n", l)
+	}
+}

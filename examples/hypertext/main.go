@@ -1,0 +1,128 @@
+// Hypertext: the paper's remark that "in hypertext applications,
+// navigation is crucial and the liberal semantics should be used"
+// (Section 5.2). A small web of cross-referencing pages forms a cyclic
+// graph; under the restricted semantics a path variable crosses the Page
+// class once, while the liberal semantics follows links until an object
+// repeats — navigation bounded by the data, not the schema.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sgmldb/internal/calculus"
+	"sgmldb/internal/object"
+	"sgmldb/internal/path"
+	"sgmldb/internal/store"
+)
+
+func main() {
+	env := buildWeb()
+
+	q := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "T", Sort: calculus.SortData}},
+		Body: calculus.Exists{
+			Vars: []calculus.VarDecl{{Name: "P", Sort: calculus.SortPath}},
+			Body: calculus.PathAtom{
+				Base: calculus.NameRef{Name: "Home"},
+				Path: calculus.P(
+					calculus.ElemVar{Name: "P"},
+					calculus.ElemAttr{A: calculus.AttrName{Name: "title"}},
+					calculus.ElemBind{X: "T"},
+				),
+			},
+		},
+	}
+
+	for _, sem := range []path.Semantics{path.Restricted, path.Liberal} {
+		env.Semantics = sem
+		res, err := env.Eval(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== titles reachable under the %s semantics ===\n", sem)
+		for _, b := range res.Bindings("T") {
+			fmt.Printf("  %s\n", b)
+		}
+		fmt.Println()
+	}
+
+	// Deeper reach under the restricted semantics via composition
+	// (the paper: "queries going more in depth in the search can still be
+	// specified using paths of the form P → P′").
+	env.Semantics = path.Restricted
+	q2 := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "T", Sort: calculus.SortData}},
+		Body: calculus.Exists{
+			Vars: []calculus.VarDecl{
+				{Name: "P", Sort: calculus.SortPath},
+				{Name: "Q", Sort: calculus.SortPath},
+			},
+			Body: calculus.PathAtom{
+				Base: calculus.NameRef{Name: "Home"},
+				Path: calculus.P(
+					calculus.ElemVar{Name: "P"},
+					calculus.ElemVar{Name: "Q"},
+					calculus.ElemAttr{A: calculus.AttrName{Name: "title"}},
+					calculus.ElemBind{X: "T"},
+				),
+			},
+		},
+	}
+	res, err := env.Eval(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== restricted semantics, two composed path variables (P Q) ===")
+	for _, b := range res.Bindings("T") {
+		fmt.Printf("  %s\n", b)
+	}
+}
+
+// buildWeb creates Home → Docs → FAQ → Home (a cycle) plus a leaf.
+func buildWeb() *calculus.Env {
+	s := store.NewSchema()
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(s.AddClass("Page", object.TupleOf(
+		object.TField{Name: "title", Type: object.StringType},
+		object.TField{Name: "links", Type: object.ListOf(object.Class("Page"))},
+	)))
+	must(s.AddRoot("Home", object.Class("Page")))
+	must(s.Check())
+	in := store.NewInstance(s)
+	page := func(title string) object.OID {
+		o, err := in.NewObject("Page", object.NewTuple(
+			object.Field{Name: "title", Value: object.String_(title)},
+			object.Field{Name: "links", Value: object.NewList()},
+		))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return o
+	}
+	link := func(from object.OID, to ...object.OID) {
+		v, _ := in.Deref(from)
+		vals := make([]object.Value, len(to))
+		for i, t := range to {
+			vals[i] = t
+		}
+		if err := in.SetValue(from, v.(*object.Tuple).With("links", object.NewList(vals...))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	home := page("Home")
+	docs := page("Documentation")
+	faq := page("FAQ")
+	leaf := page("Glossary")
+	link(home, docs)
+	link(docs, faq, leaf)
+	link(faq, home) // the cycle
+	if err := in.SetRoot("Home", home); err != nil {
+		log.Fatal(err)
+	}
+	return calculus.NewEnv(in)
+}

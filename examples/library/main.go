@@ -1,0 +1,173 @@
+// Library: the Section 5 running example (Knuth_Books) driven through the
+// calculus API directly — the formal layer beneath O₂SQL. It builds the
+// schema by hand (no SGML involved: the paper stresses the language is
+// "useful for a variety of other OODB applications"), then runs the
+// worked queries of Sections 5.2–5.3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sgmldb/internal/calculus"
+	"sgmldb/internal/object"
+	"sgmldb/internal/store"
+	"sgmldb/internal/text"
+)
+
+func main() {
+	env := buildLibrary()
+
+	// "In which attribute can 'Jo' be found?"
+	q1 := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "A", Sort: calculus.SortAttr}},
+		Body: calculus.Exists{
+			Vars: []calculus.VarDecl{
+				{Name: "P", Sort: calculus.SortPath},
+				{Name: "X", Sort: calculus.SortData},
+			},
+			Body: calculus.And{
+				L: calculus.PathAtom{
+					Base: calculus.NameRef{Name: "Knuth_Books"},
+					Path: calculus.P(
+						calculus.ElemVar{Name: "P"},
+						calculus.ElemAttr{A: calculus.AttrVar{Name: "A"}},
+						calculus.ElemBind{X: "X"},
+					),
+				},
+				R: calculus.Eq{L: calculus.Var{Name: "X"}, R: calculus.Str("Jo")},
+			},
+		},
+	}
+	run(env, `{A | ∃P,X (<Knuth_Books P.A(X)> ∧ X = "Jo")}`, q1)
+
+	// "Which paths lead to 'Jo'?"
+	q2 := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "P", Sort: calculus.SortPath}},
+		Body: calculus.Exists{
+			Vars: []calculus.VarDecl{{Name: "X", Sort: calculus.SortData}},
+			Body: calculus.And{
+				L: calculus.PathAtom{
+					Base: calculus.NameRef{Name: "Knuth_Books"},
+					Path: calculus.P(calculus.ElemVar{Name: "P"}, calculus.ElemBind{X: "X"}),
+				},
+				R: calculus.Eq{L: calculus.Var{Name: "X"}, R: calculus.Str("Jo")},
+			},
+		},
+	}
+	run(env, `{P | ∃X (<Knuth_Books P(X)> ∧ X = "Jo")}`, q2)
+
+	// Attributes matching the pattern "(t|T)itle" by short paths.
+	pat, err := text.PatternExpr("(t|T)itle")
+	if err != nil {
+		log.Fatal(err)
+	}
+	q3 := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "X", Sort: calculus.SortData}},
+		Body: calculus.Exists{
+			Vars: []calculus.VarDecl{
+				{Name: "P", Sort: calculus.SortPath},
+				{Name: "A", Sort: calculus.SortAttr},
+			},
+			Body: calculus.Conj(
+				calculus.PathAtom{
+					Base: calculus.NameRef{Name: "Knuth_Books"},
+					Path: calculus.P(
+						calculus.ElemVar{Name: "P"},
+						calculus.ElemAttr{A: calculus.AttrVar{Name: "A"}},
+						calculus.ElemBind{X: "X"},
+					),
+				},
+				calculus.Contains{
+					T: calculus.FuncCall{Name: "name", Args: []calculus.Term{calculus.AttrVar{Name: "A"}}},
+					E: pat,
+				},
+				calculus.Cmp{
+					Op: calculus.Lt,
+					L:  calculus.FuncCall{Name: "length", Args: []calculus.Term{calculus.PVar("P")}},
+					R:  calculus.Num(3),
+				},
+			),
+		},
+	}
+	run(env, `{X | ∃P,A (<Knuth_Books P.A(X)> ∧ name(A) contains "(t|T)itle" ∧ length(P) < 3)}`, q3)
+}
+
+func run(env *calculus.Env, label string, q *calculus.Query) {
+	res, err := env.Eval(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(label)
+	for _, row := range res.Rows {
+		for _, h := range q.Head {
+			fmt.Printf("  %s = %s\n", h.Name, row[h.Name])
+		}
+	}
+	fmt.Println()
+}
+
+func buildLibrary() *calculus.Env {
+	s := store.NewSchema()
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(s.AddClass("Chapter", object.TupleOf(
+		object.TField{Name: "title", Type: object.StringType},
+		object.TField{Name: "author", Type: object.StringType},
+		object.TField{Name: "review", Type: object.SetOf(object.StringType)},
+	)))
+	must(s.AddClass("Volume", object.TupleOf(
+		object.TField{Name: "title", Type: object.StringType},
+		object.TField{Name: "chapters", Type: object.ListOf(object.Class("Chapter"))},
+	)))
+	must(s.AddClass("Book", object.TupleOf(
+		object.TField{Name: "title", Type: object.StringType},
+		object.TField{Name: "volumes", Type: object.ListOf(object.Class("Volume"))},
+	)))
+	must(s.AddRoot("Knuth_Books", object.Class("Book")))
+	must(s.Check())
+	in := store.NewInstance(s)
+	obj := func(class string, v object.Value) object.OID {
+		o, err := in.NewObject(class, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return o
+	}
+	ch := func(title, author string, reviews ...string) object.OID {
+		rv := make([]object.Value, len(reviews))
+		for i, r := range reviews {
+			rv[i] = object.String_(r)
+		}
+		return obj("Chapter", object.NewTuple(
+			object.Field{Name: "title", Value: object.String_(title)},
+			object.Field{Name: "author", Value: object.String_(author)},
+			object.Field{Name: "review", Value: object.NewSet(rv...)},
+		))
+	}
+	v1 := obj("Volume", object.NewTuple(
+		object.Field{Name: "title", Value: object.String_("Fundamental Algorithms")},
+		object.Field{Name: "chapters", Value: object.NewList(
+			ch("Basic Concepts", "Knuth", "D. Scott"),
+			ch("Information Structures", "Knuth"),
+		)},
+	))
+	v2 := obj("Volume", object.NewTuple(
+		object.Field{Name: "title", Value: object.String_("Seminumerical Algorithms")},
+		object.Field{Name: "chapters", Value: object.NewList(
+			ch("Random Numbers", "Jo", "D. Scott"),
+			ch("Arithmetic", "Knuth"),
+		)},
+	))
+	book := obj("Book", object.NewTuple(
+		object.Field{Name: "title", Value: object.String_("The Art of Computer Programming")},
+		object.Field{Name: "volumes", Value: object.NewList(v1, v2)},
+	))
+	if err := in.SetRoot("Knuth_Books", book); err != nil {
+		log.Fatal(err)
+	}
+	return calculus.NewEnv(in)
+}

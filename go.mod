@@ -1,0 +1,3 @@
+module sgmldb
+
+go 1.22

@@ -1,0 +1,395 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"sgmldb/internal/calculus"
+	"sgmldb/internal/object"
+	"sgmldb/internal/store"
+	"sgmldb/internal/text"
+)
+
+// knuthEnv builds the Section 5 Knuth fixture (mirrors the calculus
+// package's fixture).
+func knuthEnv(t *testing.T) *calculus.Env {
+	t.Helper()
+	s := store.NewSchema()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddClass("Chapter", object.TupleOf(
+		object.TField{Name: "title", Type: object.StringType},
+		object.TField{Name: "review", Type: object.SetOf(object.StringType)},
+		object.TField{Name: "author", Type: object.StringType},
+	)))
+	must(s.AddClass("Volume", object.TupleOf(
+		object.TField{Name: "name", Type: object.StringType},
+		object.TField{Name: "chapters", Type: object.ListOf(object.Class("Chapter"))},
+	)))
+	must(s.AddClass("Book", object.TupleOf(
+		object.TField{Name: "title", Type: object.StringType},
+		object.TField{Name: "volumes", Type: object.ListOf(object.Class("Volume"))},
+	)))
+	must(s.AddRoot("Knuth_Books", object.Class("Book")))
+	in := store.NewInstance(s)
+	obj := func(class string, v object.Value) object.OID {
+		o, err := in.NewObject(class, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	ch := func(title, author string, reviews ...string) object.OID {
+		rv := make([]object.Value, len(reviews))
+		for i, r := range reviews {
+			rv[i] = object.String_(r)
+		}
+		return obj("Chapter", object.NewTuple(
+			object.Field{Name: "title", Value: object.String_(title)},
+			object.Field{Name: "review", Value: object.NewSet(rv...)},
+			object.Field{Name: "author", Value: object.String_(author)},
+		))
+	}
+	c1 := ch("Basic Concepts", "Knuth", "D. Scott")
+	c2 := ch("Random Numbers", "Jo", "R. Floyd")
+	v1 := obj("Volume", object.NewTuple(
+		object.Field{Name: "name", Value: object.String_("Fundamental Algorithms")},
+		object.Field{Name: "chapters", Value: object.NewList(c1, c2)},
+	))
+	book := obj("Book", object.NewTuple(
+		object.Field{Name: "title", Value: object.String_("TAOCP")},
+		object.Field{Name: "volumes", Value: object.NewList(v1)},
+	))
+	must(in.SetRoot("Knuth_Books", book))
+	return calculus.NewEnv(in)
+}
+
+// assertEquivalent runs q through the naive evaluator and the algebra and
+// compares the result sets.
+func assertEquivalent(t *testing.T, env *calculus.Env, q *calculus.Query, opts Options) *Plan {
+	t.Helper()
+	naive, err := env.Eval(q)
+	if err != nil {
+		t.Fatalf("naive: %v", err)
+	}
+	plan, err := Translate(env, q, opts)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	ctx := NewCtx(env)
+	ctx.Index = opts.Index
+	got, err := plan.Run(ctx)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ns := naive.ToSet()
+	gs := got.ToSet()
+	if !object.Equal(ns, gs) {
+		t.Fatalf("algebra result differs for %s:\nnaive   %s\nalgebra %s\nplan:\n%s",
+			q, ns, gs, plan.Explain())
+	}
+	return plan
+}
+
+func TestEquivalenceAttributeOfJo(t *testing.T) {
+	env := knuthEnv(t)
+	q := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "A", Sort: calculus.SortAttr}},
+		Body: calculus.Exists{
+			Vars: []calculus.VarDecl{{Name: "P", Sort: calculus.SortPath}, {Name: "X", Sort: calculus.SortData}},
+			Body: calculus.And{
+				L: calculus.PathAtom{Base: calculus.NameRef{Name: "Knuth_Books"},
+					Path: calculus.P(calculus.ElemVar{Name: "P"},
+						calculus.ElemAttr{A: calculus.AttrVar{Name: "A"}},
+						calculus.ElemBind{X: "X"})},
+				R: calculus.Eq{L: calculus.Var{Name: "X"}, R: calculus.Str("Jo")},
+			},
+		},
+	}
+	plan := assertEquivalent(t, env, q, Options{})
+	if plan.Branches == 0 {
+		t.Error("expected (★) branches")
+	}
+	if !strings.Contains(plan.Explain(), "path-navigate") {
+		t.Errorf("plan:\n%s", plan.Explain())
+	}
+}
+
+func TestEquivalencePathsToValue(t *testing.T) {
+	env := knuthEnv(t)
+	q := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "P", Sort: calculus.SortPath}},
+		Body: calculus.Exists{
+			Vars: []calculus.VarDecl{{Name: "X", Sort: calculus.SortData}},
+			Body: calculus.And{
+				L: calculus.PathAtom{Base: calculus.NameRef{Name: "Knuth_Books"},
+					Path: calculus.P(calculus.ElemVar{Name: "P"}, calculus.ElemBind{X: "X"})},
+				R: calculus.Eq{L: calculus.Var{Name: "X"}, R: calculus.Str("Jo")},
+			},
+		},
+	}
+	assertEquivalent(t, env, q, Options{})
+}
+
+func TestEquivalenceTitlesViaPathVariable(t *testing.T) {
+	env := knuthEnv(t)
+	q := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "T", Sort: calculus.SortData}},
+		Body: calculus.Exists{
+			Vars: []calculus.VarDecl{{Name: "P", Sort: calculus.SortPath}},
+			Body: calculus.PathAtom{Base: calculus.NameRef{Name: "Knuth_Books"},
+				Path: calculus.P(calculus.ElemVar{Name: "P"},
+					calculus.ElemAttr{A: calculus.AttrName{Name: "title"}},
+					calculus.ElemBind{X: "T"})},
+		},
+	}
+	assertEquivalent(t, env, q, Options{})
+}
+
+func TestEquivalenceNegationAcrossRoots(t *testing.T) {
+	// The Q4 shape: paths in Doc and not in Old_Doc.
+	s := store.NewSchema()
+	docType := object.TupleOf(
+		object.TField{Name: "title", Type: object.StringType},
+		object.TField{Name: "paras", Type: object.ListOf(object.StringType)},
+	)
+	_ = s.AddRoot("Doc", docType)
+	_ = s.AddRoot("Old_Doc", docType)
+	in := store.NewInstance(s)
+	_ = in.SetRoot("Doc", object.NewTuple(
+		object.Field{Name: "title", Value: object.String_("T")},
+		object.Field{Name: "paras", Value: object.NewList(object.String_("p1"), object.String_("p2"))},
+	))
+	_ = in.SetRoot("Old_Doc", object.NewTuple(
+		object.Field{Name: "title", Value: object.String_("T")},
+		object.Field{Name: "paras", Value: object.NewList(object.String_("p1"))},
+	))
+	env := calculus.NewEnv(in)
+	q := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "P", Sort: calculus.SortPath}},
+		Body: calculus.And{
+			L: calculus.PathAtom{Base: calculus.NameRef{Name: "Doc"}, Path: calculus.PVar("P")},
+			R: calculus.Not{F: calculus.PathAtom{Base: calculus.NameRef{Name: "Old_Doc"}, Path: calculus.PVar("P")}},
+		},
+	}
+	assertEquivalent(t, env, q, Options{})
+}
+
+func TestEquivalenceLettersOrdered(t *testing.T) {
+	s := store.NewSchema()
+	t1 := object.TupleOf(
+		object.TField{Name: "from", Type: object.StringType},
+		object.TField{Name: "to", Type: object.StringType},
+	)
+	t2 := object.TupleOf(
+		object.TField{Name: "to", Type: object.StringType},
+		object.TField{Name: "from", Type: object.StringType},
+	)
+	_ = s.AddRoot("Letters", object.ListOf(object.UnionOf(
+		object.TField{Name: "a1", Type: t1},
+		object.TField{Name: "a2", Type: t2},
+	)))
+	in := store.NewInstance(s)
+	_ = in.SetRoot("Letters", object.NewList(
+		object.NewUnion("a1", object.NewTuple(
+			object.Field{Name: "from", Value: object.String_("alice")},
+			object.Field{Name: "to", Value: object.String_("bob")},
+		)),
+		object.NewUnion("a2", object.NewTuple(
+			object.Field{Name: "to", Value: object.String_("dan")},
+			object.Field{Name: "from", Value: object.String_("carol")},
+		)),
+	))
+	env := calculus.NewEnv(in)
+	q := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "Y", Sort: calculus.SortData}},
+		Body: calculus.Exists{
+			Vars: []calculus.VarDecl{
+				{Name: "I", Sort: calculus.SortData},
+				{Name: "J", Sort: calculus.SortData},
+				{Name: "K", Sort: calculus.SortData},
+			},
+			Body: calculus.Conj(
+				calculus.PathAtom{Base: calculus.NameRef{Name: "Letters"},
+					Path: calculus.P(calculus.ElemIndex{I: calculus.Var{Name: "I"}},
+						calculus.ElemBind{X: "Y"},
+						calculus.ElemIndex{I: calculus.Var{Name: "J"}},
+						calculus.ElemAttr{A: calculus.AttrName{Name: "to"}})},
+				calculus.PathAtom{Base: calculus.NameRef{Name: "Letters"},
+					Path: calculus.P(calculus.ElemIndex{I: calculus.Var{Name: "I"}},
+						calculus.ElemIndex{I: calculus.Var{Name: "K"}},
+						calculus.ElemAttr{A: calculus.AttrName{Name: "from"}})},
+				calculus.Cmp{Op: calculus.Lt, L: calculus.Var{Name: "J"}, R: calculus.Var{Name: "K"}},
+			),
+		},
+	}
+	assertEquivalent(t, env, q, Options{})
+}
+
+func TestEquivalenceDisjunction(t *testing.T) {
+	env := knuthEnv(t)
+	mk := func(author string) calculus.Formula {
+		return calculus.Exists{
+			Vars: []calculus.VarDecl{{Name: "P", Sort: calculus.SortPath}},
+			Body: calculus.Conj(
+				calculus.PathAtom{Base: calculus.NameRef{Name: "Knuth_Books"},
+					Path: calculus.P(calculus.ElemVar{Name: "P"},
+						calculus.ElemAttr{A: calculus.AttrName{Name: "author"}},
+						calculus.ElemBind{X: "X"})},
+				calculus.Eq{L: calculus.Var{Name: "X"}, R: calculus.Str(author)},
+			),
+		}
+	}
+	q := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "X", Sort: calculus.SortData}},
+		Body: calculus.Or{L: mk("Jo"), R: mk("Knuth")},
+	}
+	assertEquivalent(t, env, q, Options{})
+}
+
+func TestEquivalenceMembershipAndFunctions(t *testing.T) {
+	env := knuthEnv(t)
+	q := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "X", Sort: calculus.SortData}},
+		Body: calculus.Exists{
+			Vars: []calculus.VarDecl{{Name: "P", Sort: calculus.SortPath}},
+			Body: calculus.Conj(
+				calculus.PathAtom{Base: calculus.NameRef{Name: "Knuth_Books"},
+					Path: calculus.P(calculus.ElemVar{Name: "P"}, calculus.ElemBind{X: "X"},
+						calculus.ElemAttr{A: calculus.AttrName{Name: "title"}})},
+				calculus.In{L: calculus.Str("D. Scott"),
+					R: calculus.PathApply{Base: calculus.Var{Name: "X"},
+						Path: calculus.P(calculus.ElemAttr{A: calculus.AttrName{Name: "review"}})}},
+				calculus.Cmp{Op: calculus.Le,
+					L: calculus.FuncCall{Name: "length", Args: []calculus.Term{calculus.PVar("P")}},
+					R: calculus.Num(8)},
+			),
+		},
+	}
+	assertEquivalent(t, env, q, Options{})
+}
+
+func TestContainsWithAndWithoutIndex(t *testing.T) {
+	env := knuthEnv(t)
+	// Text extraction: chapters' titles as document text.
+	env.TextOf = func(v object.Value) string {
+		if o, ok := v.(object.OID); ok {
+			if inner, ok := env.Inst.Deref(o); ok {
+				if tup, ok := inner.(*object.Tuple); ok {
+					if tv, ok := tup.Get("title"); ok {
+						if s, ok := tv.(object.String_); ok {
+							return string(s)
+						}
+					}
+				}
+			}
+		}
+		return ""
+	}
+	ix := text.NewIndex()
+	for _, o := range env.Inst.Extent("Chapter") {
+		ix.Add(text.DocID(o), env.TextOf(o))
+	}
+	q := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "C", Sort: calculus.SortData}},
+		Body: calculus.Exists{
+			Vars: []calculus.VarDecl{{Name: "P", Sort: calculus.SortPath}},
+			Body: calculus.Conj(
+				calculus.PathAtom{Base: calculus.NameRef{Name: "Knuth_Books"},
+					Path: calculus.P(calculus.ElemVar{Name: "P"},
+						calculus.ElemAttr{A: calculus.AttrName{Name: "chapters"}},
+						calculus.ElemIndex{I: calculus.Var{Name: "I"}},
+						calculus.ElemBind{X: "C"})},
+				calculus.Contains{T: calculus.Var{Name: "C"}, E: text.Word("Random")},
+			),
+		},
+	}
+	// The I variable must be quantified.
+	q.Body = calculus.Exists{
+		Vars: []calculus.VarDecl{{Name: "P", Sort: calculus.SortPath}, {Name: "I", Sort: calculus.SortData}},
+		Body: q.Body.(calculus.Exists).Body,
+	}
+	withIdx := assertEquivalent(t, env, q, Options{Index: ix})
+	if !strings.Contains(withIdx.Explain(), "index-contains") {
+		t.Errorf("expected index access path:\n%s", withIdx.Explain())
+	}
+	assertEquivalent(t, env, q, Options{})
+}
+
+func TestMaxBranchesRejection(t *testing.T) {
+	env := knuthEnv(t)
+	q := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "X", Sort: calculus.SortData}},
+		Body: calculus.Exists{
+			Vars: []calculus.VarDecl{
+				{Name: "P", Sort: calculus.SortPath},
+				{Name: "A", Sort: calculus.SortAttr},
+			},
+			Body: calculus.PathAtom{Base: calculus.NameRef{Name: "Knuth_Books"},
+				Path: calculus.P(calculus.ElemVar{Name: "P"},
+					calculus.ElemAttr{A: calculus.AttrVar{Name: "A"}},
+					calculus.ElemBind{X: "X"})},
+		},
+	}
+	if _, err := Translate(env, q, Options{MaxBranches: 2}); err == nil {
+		t.Error("expansion beyond MaxBranches must be rejected")
+	}
+	plan, err := Translate(env, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Branches <= 2 {
+		t.Errorf("expected many branches, got %d", plan.Branches)
+	}
+}
+
+func TestTranslateRejectsUnsafe(t *testing.T) {
+	env := knuthEnv(t)
+	q := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "X", Sort: calculus.SortData}},
+		Body: calculus.Cmp{Op: calculus.Lt, L: calculus.Var{Name: "X"}, R: calculus.Num(1)},
+	}
+	if _, err := Translate(env, q, Options{}); err == nil {
+		t.Error("unsafe query must be rejected")
+	}
+}
+
+func TestTranslateUnknownRoot(t *testing.T) {
+	env := knuthEnv(t)
+	q := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "P", Sort: calculus.SortPath}},
+		Body: calculus.PathAtom{Base: calculus.NameRef{Name: "Nope"}, Path: calculus.PVar("P")},
+	}
+	if _, err := Translate(env, q, Options{}); err == nil {
+		t.Error("unknown root must be rejected")
+	}
+}
+
+func TestPlanExplainShapes(t *testing.T) {
+	env := knuthEnv(t)
+	q := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "X", Sort: calculus.SortData}},
+		Body: calculus.Exists{
+			Vars: []calculus.VarDecl{{Name: "I", Sort: calculus.SortData}},
+			Body: calculus.Conj(
+				calculus.PathAtom{Base: calculus.NameRef{Name: "Knuth_Books"},
+					Path: calculus.P(calculus.ElemDeref{},
+						calculus.ElemAttr{A: calculus.AttrName{Name: "volumes"}},
+						calculus.ElemIndex{I: calculus.Var{Name: "I"}},
+						calculus.ElemBind{X: "X"})},
+				calculus.Cmp{Op: calculus.Ge, L: calculus.Var{Name: "I"}, R: calculus.Num(0)},
+			),
+		},
+	}
+	plan := assertEquivalent(t, env, q, Options{})
+	out := plan.Explain()
+	for _, want := range []string{"project", "path-navigate", "select"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan missing %q:\n%s", want, out)
+		}
+	}
+}

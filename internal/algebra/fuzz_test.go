@@ -1,0 +1,175 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"sgmldb/internal/calculus"
+	"sgmldb/internal/object"
+	"sgmldb/internal/path"
+)
+
+// TestDifferentialRandomPatterns generates random path patterns over the
+// Knuth fixture and checks that the algebra agrees with the naive
+// evaluator on every one — the adversarial leg of the Section 5.4
+// equivalence ("it is possible to extend the equivalence between
+// relational calculus and algebra to this extended calculus and algebra").
+func TestDifferentialRandomPatterns(t *testing.T) {
+	env := knuthEnv(t)
+	r := rand.New(rand.NewSource(2024))
+	attrs := []string{"title", "volumes", "chapters", "name", "author", "review", "nosuch"}
+	for trial := 0; trial < 300; trial++ {
+		elems, heads := randomPattern(r, attrs)
+		if len(heads) == 0 {
+			continue
+		}
+		q := &calculus.Query{
+			Head: heads[:1],
+			Body: calculus.PathAtom{Base: calculus.NameRef{Name: "Knuth_Books"},
+				Path: calculus.PathTerm{Elems: elems}},
+		}
+		if len(heads) > 1 {
+			q.Body = calculus.Exists{Vars: heads[1:], Body: q.Body}
+		}
+		if err := calculus.CheckQuery(q); err != nil {
+			continue // unsafe pattern shapes are rejected identically by both
+		}
+		naive, err1 := env.Eval(q)
+		plan, err2 := Translate(env, q, Options{})
+		if err1 != nil || err2 != nil {
+			// "matches no schema path" may reject statically what the
+			// naive evaluator answers with ∅; that is the only permitted
+			// divergence.
+			if err2 != nil && err1 == nil && naive.Len() == 0 {
+				continue
+			}
+			if err1 != nil && err2 != nil {
+				continue
+			}
+			t.Fatalf("trial %d: error divergence for %s: naive=%v algebra=%v", trial, q, err1, err2)
+		}
+		got, err := plan.Run(NewCtx(env))
+		if err != nil {
+			t.Fatalf("trial %d: run: %v", trial, err)
+		}
+		if !object.Equal(naive.ToSet(), got.ToSet()) {
+			t.Fatalf("trial %d: divergence for %s:\nnaive   %s\nalgebra %s\nplan:\n%s",
+				trial, q, naive.ToSet(), got.ToSet(), plan.Explain())
+		}
+		// The pruning ablation must not change results either.
+		if trial%10 == 0 {
+			planNP, err := Translate(env, q, Options{NoPrune: true})
+			if err != nil {
+				t.Fatalf("trial %d: translate(NoPrune): %v", trial, err)
+			}
+			gotNP, err := planNP.Run(NewCtx(env))
+			if err != nil {
+				t.Fatalf("trial %d: run(NoPrune): %v", trial, err)
+			}
+			if !object.Equal(naive.ToSet(), gotNP.ToSet()) {
+				t.Fatalf("trial %d: NoPrune divergence for %s", trial, q)
+			}
+		}
+	}
+}
+
+// randomPattern builds a random element sequence; it returns the declared
+// variables (first one is used as the head).
+func randomPattern(r *rand.Rand, attrs []string) ([]calculus.PathElem, []calculus.VarDecl) {
+	var elems []calculus.PathElem
+	var decls []calculus.VarDecl
+	nVar := 0
+	n := 1 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		switch r.Intn(7) {
+		case 0:
+			nVar++
+			name := "P" + string(rune('0'+nVar))
+			elems = append(elems, calculus.ElemVar{Name: name})
+			decls = append(decls, calculus.VarDecl{Name: name, Sort: calculus.SortPath})
+		case 1:
+			elems = append(elems, calculus.ElemAttr{A: calculus.AttrName{Name: attrs[r.Intn(len(attrs))]}})
+		case 2:
+			nVar++
+			name := "A" + string(rune('0'+nVar))
+			elems = append(elems, calculus.ElemAttr{A: calculus.AttrVar{Name: name}})
+			decls = append(decls, calculus.VarDecl{Name: name, Sort: calculus.SortAttr})
+		case 3:
+			elems = append(elems, calculus.ElemIndex{I: calculus.Num(int64(r.Intn(3)))})
+		case 4:
+			nVar++
+			name := "I" + string(rune('0'+nVar))
+			elems = append(elems, calculus.ElemIndex{I: calculus.Var{Name: name}})
+			decls = append(decls, calculus.VarDecl{Name: name, Sort: calculus.SortData})
+		case 5:
+			elems = append(elems, calculus.ElemDeref{})
+		default:
+			nVar++
+			name := "X" + string(rune('0'+nVar))
+			elems = append(elems, calculus.ElemBind{X: name})
+			decls = append(decls, calculus.VarDecl{Name: name, Sort: calculus.SortData})
+		}
+	}
+	return elems, decls
+}
+
+// TestDifferentialLiberalSemantics repeats a slice of the differential
+// test under the liberal path semantics over a cyclic instance.
+func TestDifferentialLiberalSemantics(t *testing.T) {
+	env := knuthEnv(t)
+	env.Semantics = path.Liberal
+	q := &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "X", Sort: calculus.SortData}},
+		Body: calculus.Exists{
+			Vars: []calculus.VarDecl{{Name: "P", Sort: calculus.SortPath}},
+			Body: calculus.PathAtom{Base: calculus.NameRef{Name: "Knuth_Books"},
+				Path: calculus.P(calculus.ElemVar{Name: "P"},
+					calculus.ElemAttr{A: calculus.AttrName{Name: "author"}},
+					calculus.ElemBind{X: "X"})},
+		},
+	}
+	naive, err := env.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Translate(env, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := plan.Run(NewCtx(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !object.Equal(naive.ToSet(), got.ToSet()) {
+		t.Fatalf("liberal divergence:\nnaive   %s\nalgebra %s", naive.ToSet(), got.ToSet())
+	}
+}
+
+// TestGuidePruning verifies the guide actually prunes: navigating for a
+// title must not enumerate into review sets (strings cannot satisfy
+// .title), which the candidate count reflects.
+func TestGuidePruning(t *testing.T) {
+	env := knuthEnv(t)
+	elems := []calculus.PathElem{
+		calculus.ElemVar{Name: "P"},
+		calculus.ElemAttr{A: calculus.AttrName{Name: "title"}},
+		calculus.ElemBind{X: "T"},
+	}
+	g := newGuide(env.Inst.Schema(), elems)
+	// A string can never satisfy ".title…": sat at position 1 is false.
+	strID := g.id(object.StringType)
+	if g.satID(1, strID) {
+		t.Error("a string must not satisfy .title")
+	}
+	if g.satVarID(1, strID) {
+		t.Error("nothing reachable from a string satisfies .title")
+	}
+	// The Book tuple does satisfy it.
+	sigma, _ := env.Inst.Schema().Hierarchy().TypeOf("Book")
+	if !g.satID(1, g.id(sigma)) {
+		t.Error("the book tuple must satisfy .title")
+	}
+	if g.CandidateCount() == 0 {
+		t.Error("candidate count")
+	}
+}

@@ -1,0 +1,807 @@
+package algebra
+
+import (
+	"strings"
+
+	"sgmldb/internal/calculus"
+	"sgmldb/internal/object"
+	"sgmldb/internal/path"
+	"sgmldb/internal/store"
+)
+
+// guide is the compile-time product of the (★) analysis for one path
+// predicate: a satisfiability oracle over the schema's type graph. For
+// every pattern position i and schema type τ it answers "can the pattern
+// suffix starting at element i match a value of type τ?". The runtime
+// navigator consults it before descending into a subtree, so navigation
+// visits only shapes that can still satisfy the pattern — the paper's
+// candidate-valuation analysis, realised as pruning instead of a
+// materialised union of plans.
+//
+// Types are interned to small integer ids; every transition (attribute
+// step, element step, dereference) is memoised per id, so the runtime
+// type tracking costs a map lookup, not a structural walk.
+type guide struct {
+	h      *object.Hierarchy
+	schema *store.Schema
+	elems  []calculus.PathElem
+
+	ids   map[string]int // TypeKey -> id
+	types []object.Type  // id -> type
+
+	sat    []map[int]int8 // [elem pos] -> id -> -1 unknown / 0 false / 1 true
+	satVar []map[int]int8
+
+	succ   map[int][]int // id -> successor ids
+	reach  map[int][]int // id -> reachable ids (incl self)
+	attrs  map[attrKey][]int
+	elemsC map[int][]int // index-step transitions
+	membC  map[int][]int // member-step transitions
+	derefC map[int][]int
+	allC   map[int][]int    // attribute-variable transitions
+	class  map[string][]int // class name -> σ ids
+
+	inProgress map[[2]int]bool
+}
+
+type attrKey struct {
+	id   int
+	name string
+}
+
+func newGuide(schema *store.Schema, elems []calculus.PathElem) *guide {
+	g := &guide{
+		h:          schema.Hierarchy(),
+		schema:     schema,
+		elems:      elems,
+		ids:        map[string]int{},
+		succ:       map[int][]int{},
+		reach:      map[int][]int{},
+		attrs:      map[attrKey][]int{},
+		elemsC:     map[int][]int{},
+		membC:      map[int][]int{},
+		derefC:     map[int][]int{},
+		allC:       map[int][]int{},
+		class:      map[string][]int{},
+		inProgress: map[[2]int]bool{},
+	}
+	g.sat = make([]map[int]int8, len(elems)+1)
+	g.satVar = make([]map[int]int8, len(elems)+1)
+	for i := range g.sat {
+		g.sat[i] = map[int]int8{}
+		g.satVar[i] = map[int]int8{}
+	}
+	return g
+}
+
+// id interns a type.
+func (g *guide) id(t object.Type) int {
+	k := object.TypeKey(t)
+	if id, ok := g.ids[k]; ok {
+		return id
+	}
+	id := len(g.types)
+	g.ids[k] = id
+	g.types = append(g.types, t)
+	return id
+}
+
+func (g *guide) idsOf(ts []object.Type) []int {
+	out := make([]int, 0, len(ts))
+	seen := map[int]bool{}
+	for _, t := range ts {
+		id := g.id(t)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// classIDs returns the σ ids of a class's extent (subclasses included).
+func (g *guide) classIDs(name string) []int {
+	if ids, ok := g.class[name]; ok {
+		return ids
+	}
+	var out []int
+	for _, sub := range g.h.Subclasses(name) {
+		if sigma, ok := g.h.TypeOf(sub); ok {
+			out = appendUnique(out, g.id(sigma))
+		}
+	}
+	g.class[name] = out
+	return out
+}
+
+func appendUnique(ids []int, id int) []int {
+	for _, x := range ids {
+		if x == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}
+
+func mergeUnique(dst []int, src []int) []int {
+	for _, id := range src {
+		dst = appendUnique(dst, id)
+	}
+	return dst
+}
+
+// successors lists the ids one step away from a type id.
+func (g *guide) successors(id int) []int {
+	if s, ok := g.succ[id]; ok {
+		return s
+	}
+	g.succ[id] = nil // break cycles during computation
+	var out []int
+	switch c := g.types[id].(type) {
+	case object.TupleType:
+		for _, f := range c.Fields() {
+			out = appendUnique(out, g.id(f.Type))
+		}
+	case object.UnionType:
+		for _, a := range c.Alts() {
+			out = appendUnique(out, g.id(a.Type))
+		}
+	case object.ListType:
+		out = appendUnique(out, g.id(c.Elem))
+	case object.SetType:
+		out = appendUnique(out, g.id(c.Elem))
+	case object.ClassType:
+		out = mergeUnique(out, g.classIDs(c.Name))
+	case object.AnyType:
+		for _, cl := range g.h.Classes() {
+			out = mergeUnique(out, g.classIDs(cl))
+		}
+	}
+	g.succ[id] = out
+	return out
+}
+
+// reachable returns every id reachable from id (including itself).
+func (g *guide) reachable(id int) []int {
+	if r, ok := g.reach[id]; ok {
+		return r
+	}
+	seen := map[int]bool{id: true}
+	stack := []int{id}
+	out := []int{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range g.successors(cur) {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+				stack = append(stack, n)
+			}
+		}
+	}
+	g.reach[id] = out
+	return out
+}
+
+// attrStep memoises the named-attribute transition (implicit selectors
+// and implicit dereferencing included).
+func (g *guide) attrStep(id int, name string) []int {
+	k := attrKey{id: id, name: name}
+	if r, ok := g.attrs[k]; ok {
+		return r
+	}
+	g.attrs[k] = nil
+	var out []int
+	switch c := g.types[id].(type) {
+	case object.TupleType:
+		if ft, ok := c.Get(name); ok {
+			out = appendUnique(out, g.id(ft))
+		}
+	case object.UnionType:
+		if alt, ok := c.Get(name); ok {
+			out = appendUnique(out, g.id(alt))
+		} else {
+			for _, a := range c.Alts() {
+				out = mergeUnique(out, g.attrStep(g.id(a.Type), name))
+			}
+		}
+	case object.ClassType, object.AnyType:
+		for _, s := range g.successors(id) {
+			out = mergeUnique(out, g.attrStep(s, name))
+		}
+	}
+	g.attrs[k] = out
+	return out
+}
+
+// attrAllStep memoises the attribute-variable transition.
+func (g *guide) attrAllStep(id int) []int {
+	if r, ok := g.allC[id]; ok {
+		return r
+	}
+	g.allC[id] = nil
+	var out []int
+	switch c := g.types[id].(type) {
+	case object.TupleType:
+		for _, f := range c.Fields() {
+			out = appendUnique(out, g.id(f.Type))
+		}
+	case object.UnionType:
+		for _, a := range c.Alts() {
+			out = appendUnique(out, g.id(a.Type))
+		}
+	case object.ClassType, object.AnyType:
+		for _, s := range g.successors(id) {
+			out = mergeUnique(out, g.attrAllStep(s))
+		}
+	}
+	g.allC[id] = out
+	return out
+}
+
+// elemStep memoises the index-step transition (lists, tuples as
+// heterogeneous lists, unions and classes implicitly).
+func (g *guide) elemStep(id int) []int {
+	if r, ok := g.elemsC[id]; ok {
+		return r
+	}
+	g.elemsC[id] = nil
+	var out []int
+	switch c := g.types[id].(type) {
+	case object.ListType:
+		out = appendUnique(out, g.id(c.Elem))
+	case object.TupleType:
+		out = appendUnique(out, g.id(object.HeterogeneousListType(c).Elem))
+	case object.UnionType:
+		for _, a := range c.Alts() {
+			out = mergeUnique(out, g.elemStep(g.id(a.Type)))
+		}
+	case object.ClassType, object.AnyType:
+		for _, s := range g.successors(id) {
+			out = mergeUnique(out, g.elemStep(s))
+		}
+	}
+	g.elemsC[id] = out
+	return out
+}
+
+// memberStep memoises the set-member transition.
+func (g *guide) memberStep(id int) []int {
+	if r, ok := g.membC[id]; ok {
+		return r
+	}
+	g.membC[id] = nil
+	var out []int
+	switch c := g.types[id].(type) {
+	case object.SetType:
+		out = appendUnique(out, g.id(c.Elem))
+	case object.UnionType:
+		for _, a := range c.Alts() {
+			out = mergeUnique(out, g.memberStep(g.id(a.Type)))
+		}
+	case object.ClassType, object.AnyType:
+		for _, s := range g.successors(id) {
+			out = mergeUnique(out, g.memberStep(s))
+		}
+	}
+	g.membC[id] = out
+	return out
+}
+
+// derefStep memoises the explicit-dereference transition.
+func (g *guide) derefStep(id int) []int {
+	if r, ok := g.derefC[id]; ok {
+		return r
+	}
+	g.derefC[id] = nil
+	var out []int
+	switch c := g.types[id].(type) {
+	case object.ClassType, object.AnyType:
+		out = mergeUnique(out, g.successors(id))
+	case object.UnionType:
+		for _, a := range c.Alts() {
+			out = mergeUnique(out, g.derefStep(g.id(a.Type)))
+		}
+	}
+	g.derefC[id] = out
+	return out
+}
+
+// satID reports whether the suffix elems[i:] can match a value of type id.
+func (g *guide) satID(i, id int) bool {
+	if i >= len(g.elems) {
+		return true
+	}
+	if v, ok := g.sat[i][id]; ok && v >= 0 {
+		return v == 1
+	}
+	key := [2]int{i, id}
+	if g.inProgress[key] {
+		return false
+	}
+	g.inProgress[key] = true
+	v := g.satUncached(i, id)
+	delete(g.inProgress, key)
+	if v {
+		g.sat[i][id] = 1
+	} else {
+		g.sat[i][id] = 0
+	}
+	return v
+}
+
+func (g *guide) satAny(i int, ids []int) bool {
+	if len(ids) == 0 {
+		return false
+	}
+	for _, id := range ids {
+		if g.satID(i, id) {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *guide) satUncached(i, id int) bool {
+	switch el := g.elems[i].(type) {
+	case calculus.ElemBind:
+		return g.satID(i+1, id)
+	case calculus.ElemVar:
+		return g.satVarID(i+1, id)
+	case calculus.ElemAttr:
+		if a, ok := el.A.(calculus.AttrName); ok {
+			return g.satAny(i+1, g.attrStep(id, a.Name))
+		}
+		return g.satAny(i+1, g.attrAllStep(id))
+	case calculus.ElemIndex:
+		return g.satAny(i+1, g.elemStep(id))
+	case calculus.ElemDeref:
+		return g.satAny(i+1, g.derefStep(id))
+	case calculus.ElemMember:
+		return g.satAny(i+1, g.memberStep(id))
+	default:
+		return true
+	}
+}
+
+// satVarID reports whether the suffix elems[i:] can match from some type
+// reachable from id — the descend decision under a path variable. The
+// reachability over-approximates the restricted semantics, which only
+// costs pruning power.
+func (g *guide) satVarID(i, id int) bool {
+	if i >= len(g.elems) {
+		return true
+	}
+	if v, ok := g.satVar[i][id]; ok && v >= 0 {
+		return v == 1
+	}
+	out := false
+	for _, r := range g.reachable(id) {
+		if g.satID(i, r) {
+			out = true
+			break
+		}
+	}
+	if out {
+		g.satVar[i][id] = 1
+	} else {
+		g.satVar[i][id] = 0
+	}
+	return out
+}
+
+// CandidateCount eagerly evaluates sat for every (position, schema type)
+// pair and reports how many are satisfiable — the size of the candidate
+// valuation space, the cost measure of the union-expansion experiment.
+func (g *guide) CandidateCount() int {
+	var all []int
+	for _, c := range g.h.Classes() {
+		for _, id := range g.classIDs(c) {
+			all = mergeUnique(all, g.reachable(id))
+		}
+	}
+	for _, root := range g.schema.Roots() {
+		if rt, ok := g.schema.RootType(root); ok {
+			all = mergeUnique(all, g.reachable(g.id(rt)))
+		}
+	}
+	count := 0
+	for i := range g.elems {
+		for _, id := range all {
+			if g.satID(i, id) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// guidedOp evaluates a path predicate by schema-guided navigation.
+type guidedOp struct {
+	in        Op
+	base      calculus.DataTerm
+	atom      calculus.PathAtom
+	guide     *guide
+	baseTypes []object.Type
+	noPrune   bool
+}
+
+func (o *guidedOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
+	in, err := o.in.Rows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	baseIDs := o.guide.idsOf(o.baseTypes)
+	var out []calculus.Valuation
+	for _, v := range in {
+		base, err := ctx.Env.Term(o.base, v)
+		if calculus.IsNoSuchPath(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		m := &guidedMatcher{ctx: ctx, g: o.guide, noPrune: o.noPrune}
+		rows, err := m.match(base, baseIDs, 0, v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return dedup(out), nil
+}
+
+func (o *guidedOp) explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	b.WriteString("path-navigate ")
+	b.WriteString(o.atom.String())
+	b.WriteString(" (schema-guided)\n")
+	o.in.explain(b, indent+1)
+}
+
+// guidedMatcher mirrors the calculus path matcher with parallel type
+// tracking (as interned ids; nil slice = unknown, no pruning) and
+// satisfiability pruning.
+type guidedMatcher struct {
+	ctx     *Ctx
+	g       *guide
+	noPrune bool
+	// oidIDs caches per-class σ ids during one execution.
+	oidIDs map[string][]int
+}
+
+func (m *guidedMatcher) match(cur object.Value, ids []int, i int, v calculus.Valuation) ([]calculus.Valuation, error) {
+	if i >= len(m.g.elems) {
+		return []calculus.Valuation{v}, nil
+	}
+	if !m.noPrune && len(ids) > 0 && !m.g.satAny(i, ids) {
+		return nil, nil
+	}
+	switch el := m.g.elems[i].(type) {
+	case calculus.ElemBind:
+		if b, bound := v[el.X]; bound {
+			if !object.Equiv(b.Value(), cur) {
+				return nil, nil
+			}
+			return m.match(cur, ids, i+1, v)
+		}
+		return m.match(cur, ids, i+1, v.Extend(el.X, calculus.DataBinding(cur)))
+	case calculus.ElemVar:
+		if b, bound := v[el.Name]; bound {
+			val, err := m.ctx.Env.ApplyPath(cur, b)
+			if calculus.IsNoSuchPath(err) {
+				return nil, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			return m.match(val, nil, i+1, v)
+		}
+		st := enumState{derefed: map[string]bool{}}
+		var out []calculus.Valuation
+		err := m.enumerate(cur, ids, path.Empty, i+1, el.Name, v, st, &out)
+		return out, err
+	case calculus.ElemAttr:
+		switch a := el.A.(type) {
+		case calculus.AttrName:
+			return m.namedAttr(cur, ids, a.Name, i, v)
+		case calculus.AttrVar:
+			if b, bound := v[a.Name]; bound {
+				return m.namedAttr(cur, ids, b.Attr, i, v)
+			}
+			return m.attrVar(cur, ids, a.Name, i, v)
+		}
+		return nil, nil
+	case calculus.ElemIndex:
+		return m.index(cur, ids, el, i, v)
+	case calculus.ElemDeref:
+		o, ok := object.UnwrapUnion(cur).(object.OID)
+		if !ok || m.ctx.Env.Inst == nil {
+			return nil, nil
+		}
+		inner, ok := m.ctx.Env.Inst.Deref(o)
+		if !ok {
+			return nil, nil
+		}
+		return m.match(inner, m.idsOfOID(o), i+1, v)
+	case calculus.ElemMember:
+		return m.member(cur, ids, el, i, v)
+	default:
+		return nil, nil
+	}
+}
+
+// idsOfOID gives the precise value type ids of an object from its class.
+func (m *guidedMatcher) idsOfOID(o object.OID) []int {
+	class, ok := m.ctx.Env.Inst.ClassOf(o)
+	if !ok {
+		return nil
+	}
+	if m.oidIDs == nil {
+		m.oidIDs = map[string][]int{}
+	}
+	if ids, ok := m.oidIDs[class]; ok {
+		return ids
+	}
+	var ids []int
+	if sigma, ok := m.ctx.Env.Inst.Schema().Hierarchy().TypeOf(class); ok {
+		ids = []int{m.g.id(sigma)}
+	}
+	m.oidIDs[class] = ids
+	return ids
+}
+
+func (m *guidedMatcher) advanceAttr(ids []int, name string) []int {
+	var out []int
+	for _, id := range ids {
+		out = mergeUnique(out, m.g.attrStep(id, name))
+	}
+	return out
+}
+
+func (m *guidedMatcher) namedAttr(cur object.Value, ids []int, name string, i int, v calculus.Valuation) ([]calculus.Valuation, error) {
+	switch val := cur.(type) {
+	case *object.Tuple:
+		f, ok := val.Get(name)
+		if !ok {
+			return nil, nil
+		}
+		return m.match(f, m.advanceAttr(ids, name), i+1, v)
+	case *object.Union_:
+		if val.Marker == name {
+			return m.match(val.Value, m.advanceAttr(ids, name), i+1, v)
+		}
+		return m.namedAttr(val.Value, m.advanceAttr(ids, val.Marker), name, i, v)
+	case object.OID:
+		if m.ctx.Env.Inst == nil {
+			return nil, nil
+		}
+		inner, ok := m.ctx.Env.Inst.Deref(val)
+		if !ok {
+			return nil, nil
+		}
+		return m.namedAttr(inner, m.idsOfOID(val), name, i, v)
+	default:
+		return nil, nil
+	}
+}
+
+func (m *guidedMatcher) attrVar(cur object.Value, ids []int, name string, i int, v calculus.Valuation) ([]calculus.Valuation, error) {
+	switch val := cur.(type) {
+	case *object.Tuple:
+		var out []calculus.Valuation
+		for j := 0; j < val.Len(); j++ {
+			f := val.At(j)
+			sub, err := m.match(f.Value, m.advanceAttr(ids, f.Name), i+1,
+				v.Extend(name, calculus.AttrBinding(f.Name)))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		return out, nil
+	case *object.Union_:
+		return m.match(val.Value, m.advanceAttr(ids, val.Marker), i+1,
+			v.Extend(name, calculus.AttrBinding(val.Marker)))
+	default:
+		return nil, nil
+	}
+}
+
+func (m *guidedMatcher) advanceElems(ids []int) []int {
+	var out []int
+	for _, id := range ids {
+		out = mergeUnique(out, m.g.elemStep(id))
+	}
+	return out
+}
+
+func (m *guidedMatcher) index(cur object.Value, ids []int, el calculus.ElemIndex, i int, v calculus.Valuation) ([]calculus.Valuation, error) {
+	l, ok := object.AsList(implicitDeref(m.ctx, object.UnwrapUnion(cur)))
+	if !ok {
+		return nil, nil
+	}
+	next := m.advanceElems(ids)
+	if iv, isVar := el.I.(calculus.Var); isVar {
+		if _, bound := v[iv.Name]; !bound {
+			var out []calculus.Valuation
+			for j := 0; j < l.Len(); j++ {
+				sub, err := m.match(l.At(j), next, i+1,
+					v.Extend(iv.Name, calculus.DataBinding(object.Int(j))))
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, sub...)
+			}
+			return out, nil
+		}
+	}
+	idx, err := m.ctx.Env.Term(el.I, v)
+	if calculus.IsNoSuchPath(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	n, ok := idx.(object.Int)
+	if !ok || int(n) < 0 || int(n) >= l.Len() {
+		return nil, nil
+	}
+	return m.match(l.At(int(n)), next, i+1, v)
+}
+
+func (m *guidedMatcher) member(cur object.Value, ids []int, el calculus.ElemMember, i int, v calculus.Valuation) ([]calculus.Valuation, error) {
+	s, ok := implicitDeref(m.ctx, object.UnwrapUnion(cur)).(*object.Set)
+	if !ok {
+		return nil, nil
+	}
+	var next []int
+	for _, id := range ids {
+		next = mergeUnique(next, m.g.memberStep(id))
+	}
+	if mv, isVar := el.T.(calculus.Var); isVar {
+		if _, bound := v[mv.Name]; !bound {
+			var out []calculus.Valuation
+			for j := 0; j < s.Len(); j++ {
+				elv := s.At(j)
+				sub, err := m.match(elv, next, i+1, v.Extend(mv.Name, calculus.DataBinding(elv)))
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, sub...)
+			}
+			return out, nil
+		}
+	}
+	mv, err := m.ctx.Env.Term(el.T, v)
+	if calculus.IsNoSuchPath(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !s.Contains(mv) {
+		return nil, nil
+	}
+	return m.match(mv, next, i+1, v)
+}
+
+// enumState carries the restricted-semantics bookkeeping of one path
+// variable's enumeration.
+type enumState struct {
+	derefed map[string]bool
+	visited map[object.OID]bool
+}
+
+// enumerate interprets an unbound path variable: it walks every concrete
+// path from cur admitted by the environment's semantics, matching the
+// continuation elems[i:] at every node — but it descends into a child
+// only when the child's static types can still satisfy the continuation
+// (the schema-guided pruning that makes the algebra efficient).
+func (m *guidedMatcher) enumerate(cur object.Value, ids []int, prefix path.Path,
+	i int, pvar string, v calculus.Valuation, st enumState, out *[]calculus.Valuation) error {
+	// The variable may stop here — attempt the continuation only when the
+	// current types admit it (or are unknown).
+	if m.noPrune || len(ids) == 0 || m.g.satAny(i, ids) {
+		sub, err := m.match(cur, ids, i, v.Extend(pvar, calculus.PathBinding(prefix)))
+		if err != nil {
+			return err
+		}
+		*out = append(*out, sub...)
+	}
+	if m.ctx.Env.MaxPathLen > 0 && prefix.Len() >= m.ctx.Env.MaxPathLen {
+		return nil
+	}
+	descend := func(child object.Value, childIDs []int, step path.Step, st2 enumState) error {
+		if !m.noPrune && len(childIDs) > 0 {
+			ok := false
+			for _, id := range childIDs {
+				if m.g.satVarID(i, id) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return nil // prune the whole subtree
+			}
+		}
+		return m.enumerate(child, childIDs, prefix.Append(step), i, pvar, v, st2, out)
+	}
+	switch x := cur.(type) {
+	case *object.Tuple:
+		for j := 0; j < x.Len(); j++ {
+			f := x.At(j)
+			if err := descend(f.Value, m.advanceAttr(ids, f.Name), path.Attr(f.Name), st); err != nil {
+				return err
+			}
+		}
+	case *object.List:
+		next := m.advanceElems(ids)
+		for j := 0; j < x.Len(); j++ {
+			if err := descend(x.At(j), next, path.Index(j), st); err != nil {
+				return err
+			}
+		}
+	case *object.Set:
+		var next []int
+		for _, id := range ids {
+			next = mergeUnique(next, m.g.memberStep(id))
+		}
+		for j := 0; j < x.Len(); j++ {
+			el := x.At(j)
+			if err := descend(el, next, path.Member(el), st); err != nil {
+				return err
+			}
+		}
+	case *object.Union_:
+		if err := descend(x.Value, m.advanceAttr(ids, x.Marker), path.Attr(x.Marker), st); err != nil {
+			return err
+		}
+	case object.OID:
+		if m.ctx.Env.Inst == nil {
+			return nil
+		}
+		inner, ok := m.ctx.Env.Inst.Deref(x)
+		if !ok {
+			return nil
+		}
+		switch m.ctx.Env.Semantics {
+		case path.Restricted:
+			class, _ := m.ctx.Env.Inst.ClassOf(x)
+			if st.derefed[class] {
+				return nil
+			}
+			st2 := enumState{derefed: copyStrSet(st.derefed), visited: st.visited}
+			st2.derefed[class] = true
+			return descend(inner, m.idsOfOID(x), path.Deref(), st2)
+		case path.Liberal:
+			if st.visited == nil {
+				st.visited = map[object.OID]bool{}
+			}
+			if st.visited[x] {
+				return nil
+			}
+			st2 := enumState{derefed: st.derefed, visited: copyOIDSet(st.visited)}
+			st2.visited[x] = true
+			return descend(inner, m.idsOfOID(x), path.Deref(), st2)
+		}
+	}
+	return nil
+}
+
+func copyStrSet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m)+1)
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func copyOIDSet(m map[object.OID]bool) map[object.OID]bool {
+	out := make(map[object.OID]bool, len(m)+1)
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+package algebra
+
+import (
+	"sgmldb/internal/object"
+)
+
+// implicitDeref resolves an oid to its (union-unwrapped) value; other
+// values pass through. It implements the identity-transparent navigation
+// of O₂SQL (the paper's paths never spell out dereferences).
+func implicitDeref(ctx *Ctx, v object.Value) object.Value {
+	if o, ok := v.(object.OID); ok {
+		if inner, ok := derefOID(ctx, o); ok {
+			return object.UnwrapUnion(inner)
+		}
+	}
+	return v
+}
+
+func derefOID(ctx *Ctx, o object.OID) (object.Value, bool) {
+	if ctx.Env.Inst == nil {
+		return nil, false
+	}
+	return ctx.Env.Inst.Deref(o)
+}

@@ -1,0 +1,365 @@
+// Package algebra implements the algebraization sketched in Section 5.4
+// of the paper: a complex-value algebra with variant-based selection over
+// heterogeneous collections, and the (★) transformation that rewrites a
+// calculus query with path and attribute variables into a union of
+// variable-free plans, using schema analysis to find the candidate
+// valuations.
+//
+// Plans are trees of operators that transform streams of valuations. A
+// compiled plan memoises schema analysis lazily during execution and is
+// therefore not safe for concurrent Run calls; compile one plan per
+// goroutine (translation is cheap relative to evaluation). The
+// decisive difference from naive calculus evaluation is the treatment of
+// path predicates: instead of enumerating every concrete path from the
+// base value (the naive interpretation of a path variable), the plan
+// navigates only the schema-derived shapes that can satisfy the whole
+// pattern — which is exactly why the restricted path semantics "can be
+// implemented with efficient algebraic techniques" (Section 5.2).
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"sgmldb/internal/calculus"
+	"sgmldb/internal/object"
+	"sgmldb/internal/text"
+)
+
+// Ctx carries the runtime context of a plan: the calculus environment
+// (instance, interpreted functions) and an optional full-text index used
+// as an access path for contains predicates.
+type Ctx struct {
+	Env   *calculus.Env
+	Index *text.Index
+	// ContainsDocs caches index evaluations per expression source.
+	containsDocs map[string]map[object.OID]bool
+}
+
+// NewCtx builds a runtime context.
+func NewCtx(env *calculus.Env) *Ctx {
+	return &Ctx{Env: env, containsDocs: map[string]map[object.OID]bool{}}
+}
+
+// Op is one algebra operator: it produces valuations, consuming its
+// input's valuations (nested-loops style, materialised).
+type Op interface {
+	Rows(ctx *Ctx) ([]calculus.Valuation, error)
+	// explain appends an indented description of the operator subtree.
+	explain(b *strings.Builder, indent int)
+}
+
+// Explain renders a plan tree for inspection.
+func Explain(op Op) string {
+	var b strings.Builder
+	op.explain(&b, 0)
+	return b.String()
+}
+
+func pad(b *strings.Builder, indent int) {
+	for i := 0; i < indent; i++ {
+		b.WriteString("  ")
+	}
+}
+
+// startOp yields one empty valuation: the unit input.
+type startOp struct{}
+
+func (startOp) Rows(*Ctx) ([]calculus.Valuation, error) {
+	return []calculus.Valuation{{}}, nil
+}
+
+func (startOp) explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	b.WriteString("start\n")
+}
+
+// selectOp filters rows by a ground formula, delegating to the calculus
+// evaluator (which also implements variant-based selection through
+// implicit selectors).
+type selectOp struct {
+	in Op
+	f  calculus.Formula
+}
+
+func (o *selectOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
+	in, err := o.in.Rows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Env.EvalWith(o.f, in)
+}
+
+func (o *selectOp) explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	fmt.Fprintf(b, "select %s\n", o.f)
+	o.in.explain(b, indent+1)
+}
+
+// bindOp extends each row with x = t.
+type bindOp struct {
+	in Op
+	x  string
+	t  calculus.DataTerm
+}
+
+func (o *bindOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
+	in, err := o.in.Rows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]calculus.Valuation, 0, len(in))
+	for _, v := range in {
+		val, err := ctx.Env.Term(o.t, v)
+		if calculus.IsNoSuchPath(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v.Extend(o.x, calculus.DataBinding(val)))
+	}
+	return out, nil
+}
+
+func (o *bindOp) explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	fmt.Fprintf(b, "bind %s = %s\n", o.x, o.t)
+	o.in.explain(b, indent+1)
+}
+
+// unnestOp extends each row with x ranging over the members of a
+// collection term (the algebra's variant of quantifying over elements of a
+// set or list).
+type unnestOp struct {
+	in   Op
+	x    string
+	coll calculus.DataTerm
+}
+
+func (o *unnestOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
+	in, err := o.in.Rows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []calculus.Valuation
+	for _, v := range in {
+		val, err := ctx.Env.Term(o.coll, v)
+		if calculus.IsNoSuchPath(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		var members []object.Value
+		switch c := val.(type) {
+		case *object.Set:
+			members = c.Elems()
+		case *object.List:
+			members = c.Elems()
+		case *object.Tuple:
+			members = object.HeterogeneousList(c).Elems()
+		default:
+			continue
+		}
+		for _, m := range members {
+			out = append(out, v.Extend(o.x, calculus.DataBinding(m)))
+		}
+	}
+	return out, nil
+}
+
+func (o *unnestOp) explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	fmt.Fprintf(b, "unnest %s in %s\n", o.x, o.coll)
+	o.in.explain(b, indent+1)
+}
+
+// unionOp concatenates and deduplicates the rows of its children (the
+// union of variable-free queries of the (★) transformation, and the
+// translation of ∨).
+type unionOp struct {
+	children []Op
+}
+
+func (o *unionOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
+	var all []calculus.Valuation
+	for _, c := range o.children {
+		rows, err := c.Rows(ctx)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, rows...)
+	}
+	return dedup(all), nil
+}
+
+func (o *unionOp) explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	fmt.Fprintf(b, "union (%d branches)\n", len(o.children))
+	for _, c := range o.children {
+		c.explain(b, indent+1)
+	}
+}
+
+// projectOp keeps only the given variables and deduplicates.
+type projectOp struct {
+	in   Op
+	keep []calculus.VarDecl
+}
+
+func (o *projectOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
+	in, err := o.in.Rows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]calculus.Valuation, 0, len(in))
+	for _, v := range in {
+		row := calculus.Valuation{}
+		for _, h := range o.keep {
+			b, ok := v[h.Name]
+			if !ok {
+				return nil, fmt.Errorf("algebra: variable %s unbound at projection", h.Name)
+			}
+			row = row.Extend(h.Name, b)
+		}
+		out = append(out, row)
+	}
+	return dedup(out), nil
+}
+
+func (o *projectOp) explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	names := make([]string, len(o.keep))
+	for i, k := range o.keep {
+		names[i] = k.Name
+	}
+	fmt.Fprintf(b, "project [%s]\n", strings.Join(names, ", "))
+	o.in.explain(b, indent+1)
+}
+
+// dropOp removes quantified variables (∃ projection without reordering).
+type dropOp struct {
+	in   Op
+	vars []calculus.VarDecl
+}
+
+func (o *dropOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
+	in, err := o.in.Rows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]calculus.Valuation, 0, len(in))
+	for _, v := range in {
+		out = append(out, v.Without(o.vars))
+	}
+	return dedup(out), nil
+}
+
+func (o *dropOp) explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	names := make([]string, len(o.vars))
+	for i, k := range o.vars {
+		names[i] = k.Name
+	}
+	fmt.Fprintf(b, "drop [%s]\n", strings.Join(names, ", "))
+	o.in.explain(b, indent+1)
+}
+
+// antiOp keeps rows for which the subplan (seeded with the row) is empty:
+// the translation of safe negation.
+type antiOp struct {
+	in  Op
+	sub calculus.Formula
+}
+
+func (o *antiOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
+	in, err := o.in.Rows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []calculus.Valuation
+	for _, v := range in {
+		sub, err := ctx.Env.EvalWith(o.sub, []calculus.Valuation{v})
+		if err != nil {
+			return nil, err
+		}
+		if len(sub) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+func (o *antiOp) explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	fmt.Fprintf(b, "anti-join ¬(%s)\n", o.sub)
+	o.in.explain(b, indent+1)
+}
+
+// indexContainsOp filters rows whose variable holds an oid using the
+// full-text index as an access path; non-oid values fall back to text
+// scanning.
+type indexContainsOp struct {
+	in   Op
+	x    string
+	expr text.Expr
+}
+
+func (o *indexContainsOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
+	in, err := o.in.Rows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Index == nil {
+		return ctx.Env.EvalWith(calculus.Contains{T: calculus.Var{Name: o.x}, E: o.expr}, in)
+	}
+	key := o.expr.String()
+	docs, ok := ctx.containsDocs[key]
+	if !ok {
+		docs = map[object.OID]bool{}
+		for _, d := range ctx.Index.Eval(o.expr) {
+			docs[object.OID(d)] = true
+		}
+		ctx.containsDocs[key] = docs
+	}
+	var out []calculus.Valuation
+	var fallback []calculus.Valuation
+	for _, v := range in {
+		b := v[o.x]
+		if oid, isOID := b.Data.(object.OID); isOID {
+			if docs[oid] {
+				out = append(out, v)
+			}
+			continue
+		}
+		fallback = append(fallback, v)
+	}
+	if len(fallback) > 0 {
+		rest, err := ctx.Env.EvalWith(calculus.Contains{T: calculus.Var{Name: o.x}, E: o.expr}, fallback)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rest...)
+	}
+	return out, nil
+}
+
+func (o *indexContainsOp) explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	fmt.Fprintf(b, "index-contains %s %s\n", o.x, o.expr)
+	o.in.explain(b, indent+1)
+}
+
+func dedup(in []calculus.Valuation) []calculus.Valuation {
+	seen := map[string]bool{}
+	out := make([]calculus.Valuation, 0, len(in))
+	for _, v := range in {
+		k := v.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

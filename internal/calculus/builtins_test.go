@@ -1,0 +1,366 @@
+package calculus
+
+import (
+	"strings"
+	"testing"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/path"
+	"sgmldb/internal/store"
+	"sgmldb/internal/text"
+)
+
+// callFn is a helper to invoke a built-in with data bindings.
+func callFn(t *testing.T, e *Env, name string, vals ...object.Value) (object.Value, error) {
+	t.Helper()
+	args := make([]Term, len(vals))
+	v := Valuation{}
+	for i, val := range vals {
+		n := "v" + string(rune('0'+i))
+		v = v.extend(n, DataBinding(val))
+		args[i] = Var{Name: n}
+	}
+	return e.evalFunc(FuncCall{Name: name, Args: args}, v)
+}
+
+func TestSetAlgebraBuiltins(t *testing.T) {
+	e := NewEnv(nil)
+	s1 := object.NewSet(object.Int(1), object.Int(2))
+	s2 := object.NewSet(object.Int(2), object.Int(3))
+	got, err := callFn(t, e, "union", s1, s2)
+	if err != nil || got.(*object.Set).Len() != 3 {
+		t.Errorf("union = %v %v", got, err)
+	}
+	got, err = callFn(t, e, "intersect", s1, s2)
+	if err != nil || !object.Equal(got, object.NewSet(object.Int(2))) {
+		t.Errorf("intersect = %v %v", got, err)
+	}
+	got, err = callFn(t, e, "diff", s1, s2)
+	if err != nil || !object.Equal(got, object.NewSet(object.Int(1))) {
+		t.Errorf("diff = %v %v", got, err)
+	}
+	if _, err := callFn(t, e, "union", s1, object.Int(3)); err == nil {
+		t.Error("union of non-set must fail")
+	}
+	if _, err := callFn(t, e, "union", s1); err == nil {
+		t.Error("union arity must be checked")
+	}
+}
+
+func TestElementAndFlatten(t *testing.T) {
+	e := NewEnv(nil)
+	got, err := callFn(t, e, "element", object.NewSet(object.Int(9)))
+	if err != nil || !object.Equal(got, object.Int(9)) {
+		t.Errorf("element = %v %v", got, err)
+	}
+	if _, err := callFn(t, e, "element", object.NewSet(object.Int(1), object.Int(2))); err == nil {
+		t.Error("element of a 2-set must fail")
+	}
+	if _, err := callFn(t, e, "element", object.NewSet()); err == nil {
+		t.Error("element of the empty set must fail")
+	}
+	if _, err := callFn(t, e, "element", object.Int(1)); err == nil {
+		t.Error("element of a non-set must fail")
+	}
+	nested := object.NewSet(
+		object.NewSet(object.Int(1), object.Int(2)),
+		object.NewList(object.Int(3)),
+		object.Int(4),
+	)
+	got, err = callFn(t, e, "flatten", nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*object.Set).Len() != 4 {
+		t.Errorf("flatten = %s", got)
+	}
+	if _, err := callFn(t, e, "flatten", object.Int(1)); err == nil {
+		t.Error("flatten of a non-set must fail")
+	}
+}
+
+func TestSortBuiltin(t *testing.T) {
+	e := NewEnv(nil)
+	mixed := object.NewList(
+		object.String_("b"), object.Int(3), object.Float(1.5),
+		object.String_("a"), object.Int(2), object.Bool(true),
+	)
+	got, err := callFn(t, e, "sort", mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := got.(*object.List)
+	want := []string{"1.5", "2", "3", `"a"`, `"b"`, "true"}
+	for i, w := range want {
+		if l.At(i).String() != w {
+			t.Errorf("sort[%d] = %s, want %s", i, l.At(i), w)
+		}
+	}
+	// Sets sort into canonical lists too.
+	got, err = callFn(t, e, "sort", object.NewSet(object.Int(2), object.Int(1)))
+	if err != nil || !object.Equal(got, object.NewList(object.Int(1), object.Int(2))) {
+		t.Errorf("sort set = %v %v", got, err)
+	}
+	if _, err := callFn(t, e, "sort", object.Int(1)); err == nil {
+		t.Error("sort of an atom must fail")
+	}
+}
+
+func TestCompareValuesMatrix(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		l, r object.Value
+		want bool
+	}{
+		{Lt, object.Int(1), object.Int(2), true},
+		{Lt, object.Int(2), object.Int(1), false},
+		{Le, object.Int(2), object.Int(2), true},
+		{Gt, object.Float(2.5), object.Int(2), true},
+		{Ge, object.Int(2), object.Float(2.5), false},
+		{Lt, object.Int(1), object.Float(1.5), true},
+		{Lt, object.Float(0.5), object.Float(1.5), true},
+		{Gt, object.String_("b"), object.String_("a"), true},
+		{Lt, object.String_("a"), object.String_("b"), true},
+		{Ne, object.Int(1), object.Int(2), true},
+		{Ne, object.Int(1), object.Int(1), false},
+		// ≡-aware inequality: a tuple equals its heterogeneous list.
+		{Ne, object.NewTuple(object.Field{Name: "a", Value: object.Int(1)}),
+			object.NewList(object.NewUnion("a", object.Int(1))), false},
+		// Incomparable operands make ordering atoms false.
+		{Lt, object.String_("a"), object.Int(1), false},
+		{Lt, object.Bool(true), object.Bool(false), false},
+		{Gt, object.NewList(), object.NewList(), false},
+		{Lt, object.Int(1), object.String_("a"), false},
+	}
+	for _, c := range cases {
+		got, err := compareValues(c.op, c.l, c.r)
+		if err != nil {
+			t.Fatalf("%s %s %s: %v", c.l, c.op, c.r, err)
+		}
+		if got != c.want {
+			t.Errorf("%s %s %s = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestSubsetAtom(t *testing.T) {
+	e := knuthDB(t)
+	q := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: Conj(
+			Eq{L: Var{Name: "X"}, R: Const{V: object.NewSet(object.String_("D. Scott"))}},
+			Subset{L: Var{Name: "X"},
+				R: Const{V: object.NewSet(object.String_("D. Scott"), object.String_("R. Floyd"))}},
+		),
+	}
+	r := evalQ(t, e, q)
+	if r.Len() != 1 {
+		t.Errorf("subset = %d rows", r.Len())
+	}
+	// Non-subset filtered out.
+	q2 := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: Conj(
+			Eq{L: Var{Name: "X"}, R: Const{V: object.NewSet(object.String_("zzz"))}},
+			Subset{L: Var{Name: "X"}, R: Const{V: object.NewSet(object.String_("D. Scott"))}},
+		),
+	}
+	if r := evalQ(t, e, q2); r.Len() != 0 {
+		t.Errorf("non-subset = %d rows", r.Len())
+	}
+	// Mismatched operands make the atom false, not an error.
+	q3 := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: Conj(
+			Eq{L: Var{Name: "X"}, R: Num(1)},
+			Subset{L: Var{Name: "X"}, R: Const{V: object.NewSet()}},
+		),
+	}
+	if r := evalQ(t, e, q3); r.Len() != 0 {
+		t.Errorf("mismatched subset = %d rows", r.Len())
+	}
+}
+
+func TestMethodsAsInterpretedFunctions(t *testing.T) {
+	e := knuthDB(t)
+	// Paths "through method calls" (the paper's footnote 3): a method
+	// bound on Chapter is callable as an interpreted function with the
+	// receiver as the first argument.
+	firstReview := func(inst *store.Instance, recv object.OID, _ []object.Value) (object.Value, error) {
+		v, _ := inst.Deref(recv)
+		tup, ok := v.(*object.Tuple)
+		if !ok {
+			return object.Nil{}, nil
+		}
+		rv, _ := tup.Get("review")
+		s, ok := rv.(*object.Set)
+		if !ok || s.Len() == 0 {
+			return object.Nil{}, nil
+		}
+		return s.At(0), nil
+	}
+	if err := e.Inst.BindMethod("Chapter", "firstReview", firstReview); err != nil {
+		t.Fatal(err)
+	}
+	q := &Query{
+		Head: []VarDecl{{Name: "Y", Sort: SortData}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "P", Sort: SortPath}, {Name: "C", Sort: SortData}},
+			Body: Conj(
+				PathAtom{Base: NameRef{Name: "Knuth_Books"},
+					Path: P(ElemVar{Name: "P"}, ElemBind{X: "C"}, ElemAttr{A: AttrName{Name: "review"}})},
+				Eq{L: Var{Name: "Y"}, R: FuncCall{Name: "firstReview", Args: []Term{Var{Name: "C"}}}},
+				Cmp{Op: Ne, L: Var{Name: "Y"}, R: Const{V: object.Nil{}}},
+			),
+		},
+	}
+	r := evalQ(t, e, q)
+	got := resultStrings(r, "Y")
+	if !hasString(got, `"D. Scott"`) {
+		t.Errorf("method results = %v", got)
+	}
+}
+
+func TestExportedHelpers(t *testing.T) {
+	e := knuthDB(t)
+	f := Conj(
+		PathAtom{Base: NameRef{Name: "Knuth_Books"}, Path: PVar("P")},
+		Cmp{Op: Lt, L: FuncCall{Name: "length", Args: []Term{PVar("P")}}, R: Num(2)},
+	)
+	if len(Conjuncts(f)) != 2 {
+		t.Error("Conjuncts")
+	}
+	order, err := OrderConjuncts(f, nil)
+	if err != nil || len(order) != 2 {
+		t.Errorf("OrderConjuncts = %v %v", order, err)
+	}
+	if _, ok := order[0].(PathAtom); !ok {
+		t.Error("the path atom must be scheduled first")
+	}
+	got, ok := Restricts(f, map[string]bool{})
+	if !ok || !got["P"] {
+		t.Errorf("Restricts = %v %v", got, ok)
+	}
+	if _, ok := Restricts(Cmp{Op: Lt, L: Var{Name: "Z"}, R: Num(1)}, map[string]bool{}); ok {
+		t.Error("unrestricted comparison must not restrict")
+	}
+	vals, err := e.EvalWith(f, []Valuation{{}})
+	if err != nil || len(vals) == 0 {
+		t.Errorf("EvalWith = %d %v", len(vals), err)
+	}
+	v := Valuation{}.Extend("X", DataBinding(object.Int(1)))
+	if v["X"].Data != object.Int(1) {
+		t.Error("Extend")
+	}
+	if v.Key() == (Valuation{}).Key() {
+		t.Error("Key must distinguish valuations")
+	}
+	w := v.Without([]VarDecl{{Name: "X"}})
+	if len(w) != 0 {
+		t.Error("Without")
+	}
+	val, err := e.Term(NameRef{Name: "Knuth_Books"}, Valuation{})
+	if err != nil || val.Kind() != object.KindOID {
+		t.Errorf("Term = %v %v", val, err)
+	}
+	b, err := e.TermBinding(PVar("P"), Valuation{"P": PathBinding(path.New(path.Deref()))})
+	if err != nil || b.Sort != SortPath {
+		t.Errorf("TermBinding = %v %v", b, err)
+	}
+	out, err := e.ApplyPath(val, PathBinding(path.New(path.Deref(), path.Attr("title"))))
+	if err != nil || !object.Equal(out, object.String_("TAOCP")) {
+		t.Errorf("ApplyPath = %v %v", out, err)
+	}
+	_, err = e.ApplyPath(val, PathBinding(path.New(path.Attr("nope"))))
+	if !IsNoSuchPath(err) {
+		t.Errorf("IsNoSuchPath = %v", err)
+	}
+	if IsNoSuchPath(nil) {
+		t.Error("IsNoSuchPath(nil)")
+	}
+}
+
+func TestTextOfOnEnv(t *testing.T) {
+	e := knuthDB(t)
+	// Without TextOf, contains over a non-string is simply false.
+	q := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "P", Sort: SortPath}},
+			Body: Conj(
+				PathAtom{Base: NameRef{Name: "Knuth_Books"},
+					Path: P(ElemVar{Name: "P"}, ElemBind{X: "X"}, ElemAttr{A: AttrName{Name: "chapters"}})},
+				Contains{T: Var{Name: "X"}, E: text.Word("Fundamental")},
+			),
+		},
+	}
+	r := evalQ(t, e, q)
+	if r.Len() != 0 {
+		t.Errorf("without TextOf = %d rows", r.Len())
+	}
+	// With TextOf, complex values become searchable.
+	e.TextOf = func(v object.Value) string {
+		if o, ok := v.(object.OID); ok {
+			if inner, ok := e.Inst.Deref(o); ok {
+				return inner.String()
+			}
+		}
+		return v.String()
+	}
+	r = evalQ(t, e, q)
+	if r.Len() == 0 {
+		t.Error("with TextOf the volume should match")
+	}
+}
+
+func TestValuationBindingStrings(t *testing.T) {
+	b := DataBinding(nil)
+	if b.String() != "nil" || !object.IsNil(b.Value()) {
+		t.Error("nil data binding")
+	}
+	pb := PathBinding(path.New(path.Attr("x")))
+	if pb.String() != ".x" {
+		t.Error("path binding String")
+	}
+	ab := AttrBinding("title")
+	if ab.String() != "title" || !object.Equal(ab.Value(), object.String_("title")) {
+		t.Error("attr binding")
+	}
+	if !pb.equal(PathBinding(path.New(path.Attr("x")))) || pb.equal(ab) {
+		t.Error("binding equal")
+	}
+	if !ab.equal(AttrBinding("title")) || ab.equal(AttrBinding("other")) {
+		t.Error("attr equal")
+	}
+	db := DataBinding(object.Int(1))
+	if !db.equal(DataBinding(object.Int(1))) || db.equal(DataBinding(object.Int(2))) {
+		t.Error("data equal")
+	}
+}
+
+func TestPredStrings(t *testing.T) {
+	p := Pred{Name: "near", Args: []Term{Var{Name: "X"}, Str("a")}}
+	if p.String() != `near(X, "a")` {
+		t.Errorf("Pred String = %s", p)
+	}
+	sub := Subset{L: Var{Name: "X"}, R: Var{Name: "Y"}}
+	if sub.String() != "X subset Y" {
+		t.Errorf("Subset String = %s", sub)
+	}
+	in := In{L: Var{Name: "X"}, R: Var{Name: "Y"}}
+	if in.String() != "X in Y" {
+		t.Errorf("In String = %s", in)
+	}
+	fa := Forall{Vars: []VarDecl{{Name: "X"}}, Range: TrueF{}, Then: TrueF{}}
+	if !strings.Contains(fa.String(), "∀X") {
+		t.Errorf("Forall String = %s", fa)
+	}
+	iq := InnerQuery{Q: &Query{Head: []VarDecl{{Name: "X"}}, Body: TrueF{}}}
+	if !strings.Contains(iq.String(), "{X | true}") {
+		t.Errorf("InnerQuery String = %s", iq)
+	}
+	pa := PathApply{Base: Var{Name: "X"}, Path: P(ElemDeref{}, ElemMember{T: Num(1)})}
+	if pa.String() != "X ->{1}" {
+		t.Errorf("PathApply String = %s", pa)
+	}
+}

@@ -1,0 +1,882 @@
+package calculus
+
+import (
+	"strings"
+	"testing"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/path"
+	"sgmldb/internal/store"
+	"sgmldb/internal/text"
+)
+
+// knuthDB builds the Section 5 running example: a persistent root
+// Knuth_Books holding a book with volumes and chapters.
+func knuthDB(t *testing.T) *Env {
+	t.Helper()
+	s := store.NewSchema()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddClass("Chapter", object.TupleOf(
+		object.TField{Name: "title", Type: object.StringType},
+		object.TField{Name: "review", Type: object.SetOf(object.StringType)},
+		object.TField{Name: "author", Type: object.StringType},
+	)))
+	must(s.AddClass("Volume", object.TupleOf(
+		object.TField{Name: "name", Type: object.StringType},
+		object.TField{Name: "chapters", Type: object.ListOf(object.Class("Chapter"))},
+	)))
+	must(s.AddClass("Book", object.TupleOf(
+		object.TField{Name: "title", Type: object.StringType},
+		object.TField{Name: "volumes", Type: object.ListOf(object.Class("Volume"))},
+		object.TField{Name: "status", Type: object.StringType},
+	)))
+	must(s.AddRoot("Knuth_Books", object.Class("Book")))
+	must(s.Check())
+	in := store.NewInstance(s)
+	newObj := func(class string, v object.Value) object.OID {
+		t.Helper()
+		o, err := in.NewObject(class, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	ch := func(title, author string, reviews ...string) object.OID {
+		rv := make([]object.Value, len(reviews))
+		for i, r := range reviews {
+			rv[i] = object.String_(r)
+		}
+		return newObj("Chapter", object.NewTuple(
+			object.Field{Name: "title", Value: object.String_(title)},
+			object.Field{Name: "review", Value: object.NewSet(rv...)},
+			object.Field{Name: "author", Value: object.String_(author)},
+		))
+	}
+	c1 := ch("Basic Concepts", "Knuth", "D. Scott")
+	c2 := ch("Information Structures", "Knuth")
+	c3 := ch("Random Numbers", "Jo", "D. Scott", "R. Floyd")
+	c4 := ch("Arithmetic", "Knuth")
+	v1 := newObj("Volume", object.NewTuple(
+		object.Field{Name: "name", Value: object.String_("Fundamental Algorithms")},
+		object.Field{Name: "chapters", Value: object.NewList(c1, c2)},
+	))
+	v2 := newObj("Volume", object.NewTuple(
+		object.Field{Name: "name", Value: object.String_("Seminumerical Algorithms")},
+		object.Field{Name: "chapters", Value: object.NewList(c3, c4)},
+	))
+	book := newObj("Book", object.NewTuple(
+		object.Field{Name: "title", Value: object.String_("TAOCP")},
+		object.Field{Name: "volumes", Value: object.NewList(v1, v2)},
+		object.Field{Name: "status", Value: object.String_("final")},
+	))
+	must(in.SetRoot("Knuth_Books", book))
+	if errs := in.Check(); len(errs) != 0 {
+		t.Fatalf("fixture invalid: %v", errs)
+	}
+	return NewEnv(in)
+}
+
+func evalQ(t *testing.T, e *Env, q *Query) *Result {
+	t.Helper()
+	r, err := e.Eval(q)
+	if err != nil {
+		t.Fatalf("eval %s: %v", q, err)
+	}
+	return r
+}
+
+func resultStrings(r *Result, v string) []string {
+	var out []string
+	for _, b := range r.Bindings(v) {
+		out = append(out, b.String())
+	}
+	return out
+}
+
+func hasString(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestC1AttributeOfJo reproduces "In which attribute can Jo be found?":
+// {A | ∃P,X(⟨Knuth_Books P·A(X)⟩ ∧ X = "Jo")}.
+func TestC1AttributeOfJo(t *testing.T) {
+	e := knuthDB(t)
+	q := &Query{
+		Head: []VarDecl{{Name: "A", Sort: SortAttr}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "P", Sort: SortPath}, {Name: "X", Sort: SortData}},
+			Body: And{
+				L: PathAtom{Base: NameRef{Name: "Knuth_Books"},
+					Path: P(ElemVar{Name: "P"}, ElemAttr{A: AttrVar{Name: "A"}}, ElemBind{X: "X"})},
+				R: Eq{L: Var{Name: "X"}, R: Str("Jo")},
+			},
+		},
+	}
+	r := evalQ(t, e, q)
+	got := resultStrings(r, "A")
+	if len(got) != 1 || got[0] != "author" {
+		t.Errorf("attributes of Jo = %v, want [author]", got)
+	}
+}
+
+// TestC2PathsToJo reproduces "Which paths lead to Jo?":
+// {P | ∃X(⟨Knuth_Books P(X)⟩ ∧ X = "Jo")}.
+func TestC2PathsToJo(t *testing.T) {
+	e := knuthDB(t)
+	q := &Query{
+		Head: []VarDecl{{Name: "P", Sort: SortPath}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "X", Sort: SortData}},
+			Body: And{
+				L: PathAtom{Base: NameRef{Name: "Knuth_Books"},
+					Path: P(ElemVar{Name: "P"}, ElemBind{X: "X"})},
+				R: Eq{L: Var{Name: "X"}, R: Str("Jo")},
+			},
+		},
+	}
+	r := evalQ(t, e, q)
+	got := resultStrings(r, "P")
+	if len(got) != 1 {
+		t.Fatalf("paths to Jo = %v", got)
+	}
+	if got[0] != "->.volumes[1]->.chapters[0]->.author" {
+		t.Errorf("path = %s", got[0])
+	}
+}
+
+// TestC3NewPaths reproduces "What are the new paths in Doc?":
+// {P | ⟨Doc P⟩ ∧ ¬⟨Old_Doc P⟩}.
+func TestC3NewPaths(t *testing.T) {
+	s := store.NewSchema()
+	docType := object.TupleOf(
+		object.TField{Name: "title", Type: object.StringType},
+		object.TField{Name: "paras", Type: object.ListOf(object.StringType)},
+	)
+	if err := s.AddRoot("Doc", docType); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRoot("Old_Doc", docType); err != nil {
+		t.Fatal(err)
+	}
+	in := store.NewInstance(s)
+	_ = in.SetRoot("Doc", object.NewTuple(
+		object.Field{Name: "title", Value: object.String_("T")},
+		object.Field{Name: "paras", Value: object.NewList(object.String_("p1"), object.String_("p2"))},
+	))
+	_ = in.SetRoot("Old_Doc", object.NewTuple(
+		object.Field{Name: "title", Value: object.String_("T")},
+		object.Field{Name: "paras", Value: object.NewList(object.String_("p1"))},
+	))
+	e := NewEnv(in)
+	q := &Query{
+		Head: []VarDecl{{Name: "P", Sort: SortPath}},
+		Body: And{
+			L: PathAtom{Base: NameRef{Name: "Doc"}, Path: PVar("P")},
+			R: Not{F: PathAtom{Base: NameRef{Name: "Old_Doc"}, Path: PVar("P")}},
+		},
+	}
+	r := evalQ(t, e, q)
+	got := resultStrings(r, "P")
+	if len(got) != 1 || got[0] != ".paras[1]" {
+		t.Errorf("new paths = %v, want [.paras[1]]", got)
+	}
+}
+
+// TestC4NewTitles reproduces "What are the new titles in Doc?".
+func TestC4NewTitles(t *testing.T) {
+	s := store.NewSchema()
+	secType := object.TupleOf(object.TField{Name: "title", Type: object.StringType})
+	docType := object.TupleOf(object.TField{Name: "sections", Type: object.ListOf(secType)})
+	_ = s.AddRoot("Doc", docType)
+	_ = s.AddRoot("Old_Doc", docType)
+	in := store.NewInstance(s)
+	mkDoc := func(titles ...string) object.Value {
+		var secs []object.Value
+		for _, ti := range titles {
+			secs = append(secs, object.NewTuple(object.Field{Name: "title", Value: object.String_(ti)}))
+		}
+		return object.NewTuple(object.Field{Name: "sections", Value: object.NewList(secs...)})
+	}
+	_ = in.SetRoot("Doc", mkDoc("Intro", "Methods", "Conclusion"))
+	_ = in.SetRoot("Old_Doc", mkDoc("Intro", "Methods"))
+	e := NewEnv(in)
+	q := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: And{
+			L: Exists{Vars: []VarDecl{{Name: "P", Sort: SortPath}},
+				Body: PathAtom{Base: NameRef{Name: "Doc"},
+					Path: P(ElemVar{Name: "P"}, ElemAttr{A: AttrName{Name: "title"}}, ElemBind{X: "X"})}},
+			R: Not{F: Exists{Vars: []VarDecl{{Name: "Q", Sort: SortPath}},
+				Body: PathAtom{Base: NameRef{Name: "Old_Doc"},
+					Path: P(ElemVar{Name: "Q"}, ElemAttr{A: AttrName{Name: "title"}}, ElemBind{X: "X"})}}},
+		},
+	}
+	r := evalQ(t, e, q)
+	got := resultStrings(r, "X")
+	if len(got) != 1 || got[0] != `"Conclusion"` {
+		t.Errorf("new titles = %v", got)
+	}
+}
+
+// TestC5LengthRestriction reproduces {X | ∃P(⟨Knuth_Books P(X)·title⟩ ∧
+// length(P) < 3)}: values with a title reachable by a short path.
+func TestC5LengthRestriction(t *testing.T) {
+	e := knuthDB(t)
+	q := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "P", Sort: SortPath}},
+			Body: And{
+				L: PathAtom{Base: NameRef{Name: "Knuth_Books"},
+					Path: P(ElemVar{Name: "P"}, ElemBind{X: "X"}, ElemAttr{A: AttrName{Name: "title"}})},
+				R: Cmp{Op: Lt, L: FuncCall{Name: "length", Args: []Term{PVar("P")}}, R: Num(3)},
+			},
+		},
+	}
+	r := evalQ(t, e, q)
+	// Only the book tuple itself has a .title within path length < 3
+	// (the chapters are 5 steps away: ->.volumes[i]->.chapters[j]->).
+	if r.Len() != 2 {
+		// ε (the book oid is not a tuple; the title is reached after one
+		// deref) — expect the dereferenced book tuple and nothing else;
+		// the oid itself has no .title without a deref. Accept 1 or
+		// diagnose.
+		var all []string
+		for _, row := range r.Rows {
+			all = append(all, row["X"].String())
+		}
+		if r.Len() != 1 {
+			t.Fatalf("short-path titled values = %v", all)
+		}
+	}
+}
+
+// TestC6NamePatternOnAttributes reproduces
+// {X | ∃P,A(⟨Knuth_Books P·A(X)⟩ ∧ name(A) contains "(t|T)itle" ∧ length(P) < 3)}.
+func TestC6NamePatternOnAttributes(t *testing.T) {
+	e := knuthDB(t)
+	pat, err := text.PatternExpr("(t|T)itle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "P", Sort: SortPath}, {Name: "A", Sort: SortAttr}},
+			Body: Conj(
+				PathAtom{Base: NameRef{Name: "Knuth_Books"},
+					Path: P(ElemVar{Name: "P"}, ElemAttr{A: AttrVar{Name: "A"}}, ElemBind{X: "X"})},
+				Contains{T: FuncCall{Name: "name", Args: []Term{AttrVar{Name: "A"}}}, E: pat},
+				Cmp{Op: Lt, L: FuncCall{Name: "length", Args: []Term{PVar("P")}}, R: Num(3)},
+			),
+		},
+	}
+	r := evalQ(t, e, q)
+	got := resultStrings(r, "X")
+	if len(got) != 1 || got[0] != `"TAOCP"` {
+		t.Errorf("short-path title attributes = %v", got)
+	}
+}
+
+// TestC7SetToList reproduces the MyList example: a list of the b-strings
+// occurring after an a-string, via a nested query and set_to_list.
+func TestC7SetToList(t *testing.T) {
+	s := store.NewSchema()
+	elemT := object.UnionOf(
+		object.TField{Name: "a", Type: object.StringType},
+		object.TField{Name: "b", Type: object.StringType},
+	)
+	if err := s.AddRoot("MyList", object.ListOf(elemT)); err != nil {
+		t.Fatal(err)
+	}
+	in := store.NewInstance(s)
+	_ = in.SetRoot("MyList", object.NewList(
+		object.NewUnion("b", object.String_("early-b")),
+		object.NewUnion("a", object.String_("a1")),
+		object.NewUnion("b", object.String_("late-b1")),
+		object.NewUnion("b", object.String_("late-b2")),
+	))
+	e := NewEnv(in)
+	inner := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "I", Sort: SortData}, {Name: "J", Sort: SortData}},
+			Body: Conj(
+				PathAtom{Base: NameRef{Name: "MyList"},
+					Path: P(ElemIndex{I: Var{Name: "I"}}, ElemAttr{A: AttrName{Name: "a"}})},
+				PathAtom{Base: NameRef{Name: "MyList"},
+					Path: P(ElemIndex{I: Var{Name: "J"}}, ElemAttr{A: AttrName{Name: "b"}}, ElemBind{X: "X"})},
+				Cmp{Op: Lt, L: Var{Name: "I"}, R: Var{Name: "J"}},
+			),
+		},
+	}
+	q := &Query{
+		Head: []VarDecl{{Name: "Y", Sort: SortData}},
+		Body: Eq{L: Var{Name: "Y"},
+			R: FuncCall{Name: "set_to_list", Args: []Term{InnerQuery{Q: inner}}}},
+	}
+	r := evalQ(t, e, q)
+	if r.Len() != 1 {
+		t.Fatalf("rows = %d", r.Len())
+	}
+	lst := r.Rows[0]["Y"].Data.(*object.List)
+	if lst.Len() != 2 {
+		t.Fatalf("Y = %s, want the two late b-strings", lst)
+	}
+	for i := 0; i < lst.Len(); i++ {
+		s := string(lst.At(i).(object.String_))
+		if !strings.HasPrefix(s, "late-b") {
+			t.Errorf("unexpected member %q", s)
+		}
+	}
+}
+
+// lettersEnv builds the Section 5.3 Letters root: a list of tuples where
+// to and from appear in permutable order, typed as a marked union of the
+// two permutations.
+func lettersEnv(t *testing.T) *Env {
+	t.Helper()
+	s := store.NewSchema()
+	t1 := object.TupleOf(
+		object.TField{Name: "from", Type: object.StringType},
+		object.TField{Name: "to", Type: object.StringType},
+		object.TField{Name: "content", Type: object.StringType},
+	)
+	t2 := object.TupleOf(
+		object.TField{Name: "to", Type: object.StringType},
+		object.TField{Name: "from", Type: object.StringType},
+		object.TField{Name: "content", Type: object.StringType},
+	)
+	lt := object.ListOf(object.UnionOf(
+		object.TField{Name: "a1", Type: t1},
+		object.TField{Name: "a2", Type: t2},
+	))
+	if err := s.AddRoot("Letters", lt); err != nil {
+		t.Fatal(err)
+	}
+	in := store.NewInstance(s)
+	letter := func(marker, from, to, content string) object.Value {
+		if marker == "a1" {
+			return object.NewUnion("a1", object.NewTuple(
+				object.Field{Name: "from", Value: object.String_(from)},
+				object.Field{Name: "to", Value: object.String_(to)},
+				object.Field{Name: "content", Value: object.String_(content)},
+			))
+		}
+		return object.NewUnion("a2", object.NewTuple(
+			object.Field{Name: "to", Value: object.String_(to)},
+			object.Field{Name: "from", Value: object.String_(from)},
+			object.Field{Name: "content", Value: object.String_(content)},
+		))
+	}
+	_ = in.SetRoot("Letters", object.NewList(
+		letter("a1", "alice", "bob", "hello bob"),
+		letter("a2", "carol", "dan", "hi dan"),
+		letter("a1", "erin", "frank", "dear frank"),
+	))
+	return NewEnv(in)
+}
+
+// TestC8LettersKnownStructure reproduces {Y | ∃I ⟨Letters[I]·a1(Y)⟩}: the
+// letters whose tuple starts with from.
+func TestC8LettersKnownStructure(t *testing.T) {
+	e := lettersEnv(t)
+	q := &Query{
+		Head: []VarDecl{{Name: "Y", Sort: SortData}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "I", Sort: SortData}},
+			Body: PathAtom{Base: NameRef{Name: "Letters"},
+				Path: P(ElemIndex{I: Var{Name: "I"}}, ElemAttr{A: AttrName{Name: "a1"}}, ElemBind{X: "Y"})},
+		},
+	}
+	r := evalQ(t, e, q)
+	if r.Len() != 2 {
+		t.Fatalf("a1 letters = %d, want 2", r.Len())
+	}
+}
+
+// TestC8LettersOrderedTuple reproduces (†): letters where to precedes
+// from, using the heterogeneous-list view and omitted markers:
+// {Y | ∃I,J,K(⟨Letters[I](Y)[J]·to⟩ ∧ ⟨Letters[I][K]·from⟩ ∧ J < K)}.
+func TestC8LettersOrderedTuple(t *testing.T) {
+	e := lettersEnv(t)
+	q := &Query{
+		Head: []VarDecl{{Name: "Y", Sort: SortData}},
+		Body: Exists{
+			Vars: []VarDecl{
+				{Name: "I", Sort: SortData}, {Name: "J", Sort: SortData}, {Name: "K", Sort: SortData},
+			},
+			Body: Conj(
+				PathAtom{Base: NameRef{Name: "Letters"},
+					Path: P(ElemIndex{I: Var{Name: "I"}}, ElemBind{X: "Y"},
+						ElemIndex{I: Var{Name: "J"}}, ElemAttr{A: AttrName{Name: "to"}})},
+				PathAtom{Base: NameRef{Name: "Letters"},
+					Path: P(ElemIndex{I: Var{Name: "I"}},
+						ElemIndex{I: Var{Name: "K"}}, ElemAttr{A: AttrName{Name: "from"}})},
+				Cmp{Op: Lt, L: Var{Name: "J"}, R: Var{Name: "K"}},
+			),
+		},
+	}
+	r := evalQ(t, e, q)
+	// Only the a2 letter has to before from.
+	if r.Len() != 1 {
+		var got []string
+		for _, row := range r.Rows {
+			got = append(got, row["Y"].String())
+		}
+		t.Fatalf("to-before-from letters = %v, want exactly the a2 letter", got)
+	}
+	u := r.Rows[0]["Y"].Data.(*object.Union_)
+	if u.Marker != "a2" {
+		t.Errorf("marker = %s", u.Marker)
+	}
+}
+
+// TestC8LettersProjection reproduces {X | ∃I⟨Letters[I]·to(X)⟩} with the
+// marking attribute omitted: implicit selectors reach the to field of
+// either permutation.
+func TestC8LettersProjection(t *testing.T) {
+	e := lettersEnv(t)
+	q := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "I", Sort: SortData}},
+			Body: PathAtom{Base: NameRef{Name: "Letters"},
+				Path: P(ElemIndex{I: Var{Name: "I"}}, ElemAttr{A: AttrName{Name: "to"}}, ElemBind{X: "X"})},
+		},
+	}
+	r := evalQ(t, e, q)
+	got := resultStrings(r, "X")
+	for _, want := range []string{`"bob"`, `"dan"`, `"frank"`} {
+		if !hasString(got, want) {
+			t.Errorf("recipients missing %s: %v", want, got)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("recipients = %v", got)
+	}
+}
+
+func TestContainsOnReviewMembership(t *testing.T) {
+	// ∃P(⟨Knuth_Books P(X)·title⟩ ∧ "D. Scott" ∈ X·review): only chapters
+	// have reviews (Section 5.3's typing example).
+	e := knuthDB(t)
+	q := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "P", Sort: SortPath}},
+			Body: Conj(
+				PathAtom{Base: NameRef{Name: "Knuth_Books"},
+					Path: P(ElemVar{Name: "P"}, ElemBind{X: "X"}, ElemAttr{A: AttrName{Name: "title"}})},
+				In{L: Str("D. Scott"), R: PathApply{Base: Var{Name: "X"},
+					Path: P(ElemAttr{A: AttrName{Name: "review"}})}},
+			),
+		},
+	}
+	r, err := e.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two chapters carry a D. Scott review; each is reached both as the
+	// object (X an oid, with attribute steps dereferencing implicitly —
+	// the paper's own paths such as .sections[0].subsectns[0] never spell
+	// out dereferences) and as its dereferenced tuple value.
+	if r.Len() != 4 {
+		var got []string
+		for _, row := range r.Rows {
+			got = append(got, row["X"].String())
+		}
+		t.Fatalf("reviewed = %v", got)
+	}
+	oids := 0
+	for _, row := range r.Rows {
+		if _, isOID := row["X"].Data.(object.OID); isOID {
+			oids++
+		}
+	}
+	if oids != 2 {
+		t.Errorf("expected 2 object results, got %d", oids)
+	}
+}
+
+func TestRangeRestrictionErrors(t *testing.T) {
+	e := knuthDB(t)
+	bad := []*Query{
+		// Unrestricted head variable.
+		{Head: []VarDecl{{Name: "X", Sort: SortData}}, Body: Cmp{Op: Lt, L: Var{Name: "X"}, R: Num(3)}},
+		// Free variable not in the head.
+		{Head: []VarDecl{{Name: "X", Sort: SortData}},
+			Body: And{L: Eq{L: Var{Name: "X"}, R: Str("a")}, R: Eq{L: Var{Name: "Y"}, R: Str("b")}}},
+		// Negation of an unbound atom.
+		{Head: []VarDecl{{Name: "P", Sort: SortPath}},
+			Body: Not{F: PathAtom{Base: NameRef{Name: "Knuth_Books"}, Path: PVar("P")}}},
+		// Duplicate head variable.
+		{Head: []VarDecl{{Name: "X", Sort: SortData}, {Name: "X", Sort: SortData}},
+			Body: Eq{L: Var{Name: "X"}, R: Str("a")}},
+	}
+	for i, q := range bad {
+		if err := CheckQuery(q); err == nil {
+			t.Errorf("case %d: unsafe query accepted: %s", i, q)
+		}
+		if _, err := e.Eval(q); err == nil {
+			t.Errorf("case %d: unsafe query evaluated: %s", i, q)
+		}
+	}
+}
+
+func TestDisjunctionAndForall(t *testing.T) {
+	e := knuthDB(t)
+	// Chapters whose author is Jo or Knuth: both branches restrict X.
+	mkBranch := func(author string) Formula {
+		return Exists{
+			Vars: []VarDecl{{Name: "P", Sort: SortPath}},
+			Body: Conj(
+				PathAtom{Base: NameRef{Name: "Knuth_Books"},
+					Path: P(ElemVar{Name: "P"}, ElemAttr{A: AttrName{Name: "author"}}, ElemBind{X: "X"})},
+				Eq{L: Var{Name: "X"}, R: Str(author)},
+			),
+		}
+	}
+	q := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: Or{L: mkBranch("Jo"), R: mkBranch("Knuth")},
+	}
+	r := evalQ(t, e, q)
+	if r.Len() != 2 {
+		t.Errorf("authors = %v", resultStrings(r, "X"))
+	}
+	// ∀: every chapter of volume 2 has a non-empty title.
+	q2 := &Query{
+		Head: []VarDecl{{Name: "V", Sort: SortData}},
+		Body: And{
+			L: PathAtom{Base: NameRef{Name: "Knuth_Books"},
+				Path: P(ElemDeref{}, ElemAttr{A: AttrName{Name: "volumes"}},
+					ElemIndex{I: Num(1)}, ElemBind{X: "V"})},
+			R: Forall{
+				Vars: []VarDecl{{Name: "C", Sort: SortData}},
+				Range: PathAtom{Base: Var{Name: "V"},
+					Path: P(ElemDeref{}, ElemAttr{A: AttrName{Name: "chapters"}},
+						ElemIndex{I: Var{Name: "ChI"}}, ElemBind{X: "C"})},
+				Then: Exists{
+					Vars: []VarDecl{{Name: "T", Sort: SortData}},
+					Body: Conj(
+						PathAtom{Base: Var{Name: "C"},
+							Path: P(ElemDeref{}, ElemAttr{A: AttrName{Name: "title"}}, ElemBind{X: "T"})},
+						Cmp{Op: Ne, L: Var{Name: "T"}, R: Str("")},
+					),
+				},
+			},
+		},
+	}
+	// ChI is an extra range variable of the Forall range; quantify it.
+	q2.Body = And{
+		L: q2.Body.(And).L,
+		R: Forall{
+			Vars:  []VarDecl{{Name: "C", Sort: SortData}, {Name: "ChI", Sort: SortData}},
+			Range: q2.Body.(And).R.(Forall).Range,
+			Then:  q2.Body.(And).R.(Forall).Then,
+		},
+	}
+	r2 := evalQ(t, e, q2)
+	if r2.Len() != 1 {
+		t.Errorf("forall result = %d rows", r2.Len())
+	}
+}
+
+func TestLiberalVsRestrictedSemantics(t *testing.T) {
+	e := knuthDB(t)
+	q := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "P", Sort: SortPath}},
+			Body: PathAtom{Base: NameRef{Name: "Knuth_Books"},
+				Path: P(ElemVar{Name: "P"}, ElemAttr{A: AttrName{Name: "author"}}, ElemBind{X: "X"})},
+		},
+	}
+	// Restricted: Book -> Volume -> Chapter crosses three distinct
+	// classes, so authors are reachable.
+	r := evalQ(t, e, q)
+	if r.Len() != 2 { // "Knuth" and "Jo"
+		t.Errorf("restricted authors = %v", resultStrings(r, "X"))
+	}
+	e.Semantics = path.Liberal
+	r2 := evalQ(t, e, q)
+	if r2.Len() != 2 {
+		t.Errorf("liberal authors = %v", resultStrings(r2, "X"))
+	}
+	// Composition P -> P' goes deeper than one variable can (the paper's
+	// remark); here a single variable suffices, so both agree.
+}
+
+func TestQueryResultToSet(t *testing.T) {
+	e := knuthDB(t)
+	q := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}, {Name: "A", Sort: SortAttr}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "P", Sort: SortPath}},
+			Body: Conj(
+				PathAtom{Base: NameRef{Name: "Knuth_Books"},
+					Path: P(ElemVar{Name: "P"}, ElemAttr{A: AttrVar{Name: "A"}}, ElemBind{X: "X"})},
+				Eq{L: Var{Name: "X"}, R: Str("Jo")},
+			),
+		},
+	}
+	r := evalQ(t, e, q)
+	set := r.ToSet()
+	if set.Len() != 1 {
+		t.Fatalf("set = %s", set)
+	}
+	tup := set.At(0).(*object.Tuple)
+	if v, _ := tup.Get("A"); !object.Equal(v, object.String_("author")) {
+		t.Errorf("A = %s", v)
+	}
+	// Single-variable head: set of plain values.
+	q1 := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: In{L: Var{Name: "X"}, R: Const{V: object.NewSet(object.Int(1), object.Int(2))}},
+	}
+	r1 := evalQ(t, e, q1)
+	s1 := r1.ToSet()
+	if s1.Len() != 2 || !s1.Contains(object.Int(1)) {
+		t.Errorf("single-head set = %s", s1)
+	}
+}
+
+func TestInterpretedExtensions(t *testing.T) {
+	e := knuthDB(t)
+	e.Preds["startswith"] = func(args []Binding) (bool, error) {
+		s, ok1 := args[0].Data.(object.String_)
+		p, ok2 := args[1].Data.(object.String_)
+		return ok1 && ok2 && strings.HasPrefix(string(s), string(p)), nil
+	}
+	e.Funcs["upper"] = func(args []Binding) (Binding, error) {
+		s := args[0].Data.(object.String_)
+		return DataBinding(object.String_(strings.ToUpper(string(s)))), nil
+	}
+	q := &Query{
+		Head: []VarDecl{{Name: "Y", Sort: SortData}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "P", Sort: SortPath}, {Name: "X", Sort: SortData}},
+			Body: Conj(
+				PathAtom{Base: NameRef{Name: "Knuth_Books"},
+					Path: P(ElemVar{Name: "P"}, ElemAttr{A: AttrName{Name: "author"}}, ElemBind{X: "X"})},
+				Pred{Name: "startswith", Args: []Term{Var{Name: "X"}, Str("J")}},
+				Eq{L: Var{Name: "Y"}, R: FuncCall{Name: "upper", Args: []Term{Var{Name: "X"}}}},
+			),
+		},
+	}
+	r := evalQ(t, e, q)
+	got := resultStrings(r, "Y")
+	if len(got) != 1 || got[0] != `"JO"` {
+		t.Errorf("extensions = %v", got)
+	}
+	// Unknown predicate errors.
+	qBad := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: And{L: Eq{L: Var{Name: "X"}, R: Str("v")},
+			R: Pred{Name: "nope", Args: []Term{Var{Name: "X"}}}},
+	}
+	if _, err := e.Eval(qBad); err == nil {
+		t.Error("unknown predicate accepted")
+	}
+}
+
+func TestBuiltinFunctions(t *testing.T) {
+	e := knuthDB(t)
+	check := func(f FuncCall, v Valuation, want object.Value) {
+		t.Helper()
+		got, err := e.evalFunc(f, v)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if !object.Equal(got, want) {
+			t.Errorf("%s = %s, want %s", f, got, want)
+		}
+	}
+	val := Valuation{
+		"P": PathBinding(path.New(path.Attr("sections"), path.Index(0), path.Attr("subsectns"), path.Index(0))),
+		"A": AttrBinding("status"),
+		"L": DataBinding(object.NewList(object.Int(5), object.Int(6), object.Int(7))),
+		"S": DataBinding(object.NewSet(object.Int(1), object.Int(2))),
+	}
+	check(FuncCall{Name: "length", Args: []Term{PVar("P")}}, val, object.Int(4))
+	check(FuncCall{Name: "length", Args: []Term{Var{Name: "L"}}}, val, object.Int(3))
+	check(FuncCall{Name: "length", Args: []Term{Str("abc")}}, val, object.Int(3))
+	check(FuncCall{Name: "name", Args: []Term{AttrVar{Name: "A"}}}, val, object.String_("status"))
+	check(FuncCall{Name: "first", Args: []Term{Var{Name: "L"}}}, val, object.Int(5))
+	check(FuncCall{Name: "last", Args: []Term{Var{Name: "L"}}}, val, object.Int(7))
+	check(FuncCall{Name: "count", Args: []Term{Var{Name: "S"}}}, val, object.Int(2))
+	check(FuncCall{Name: "set_to_list", Args: []Term{Var{Name: "S"}}}, val,
+		object.NewList(object.Int(1), object.Int(2)))
+	// slice on a path: P[0:1] in the paper's inclusive convention is
+	// slice(P, 0, 2) here.
+	got, err := e.evalFunc(FuncCall{Name: "slice",
+		Args: []Term{PVar("P"), Num(0), Num(2)}}, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := path.FromValue(got)
+	if err != nil || p.String() != ".sections[0]" {
+		t.Errorf("slice = %v %v", got, err)
+	}
+	// Errors.
+	for _, f := range []FuncCall{
+		{Name: "length", Args: []Term{AttrVar{Name: "A"}}},
+		{Name: "name", Args: []Term{Var{Name: "L"}}},
+		{Name: "count", Args: []Term{Str("x")}},
+		{Name: "set_to_list", Args: []Term{Var{Name: "L"}}},
+		{Name: "mystery", Args: []Term{Var{Name: "L"}}},
+	} {
+		v2 := Valuation{"L": val["L"], "A": val["A"]}
+		if _, err := e.evalFunc(f, v2); err == nil {
+			t.Errorf("%s must fail", f)
+		}
+	}
+}
+
+func TestTypeInference(t *testing.T) {
+	e := knuthDB(t)
+	schema := e.Inst.Schema()
+	// {X | ∃P ⟨Knuth_Books P(X)·title⟩}: X may be a Book, Volume or
+	// Chapter value — a union type with system markers (Section 5.3).
+	q := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "P", Sort: SortPath}},
+			Body: PathAtom{Base: NameRef{Name: "Knuth_Books"},
+				Path: P(ElemVar{Name: "P"}, ElemBind{X: "X"}, ElemAttr{A: AttrName{Name: "title"}})},
+		},
+	}
+	ti, err := InferTypes(schema, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := ti.Data["X"]
+	if len(ts) < 2 {
+		t.Fatalf("X types = %v", ts)
+	}
+	u, ok := ti.TypeOf("X")
+	if !ok {
+		t.Fatal("TypeOf failed")
+	}
+	if _, isUnion := u.(object.UnionType); !isUnion {
+		t.Errorf("X type should be a union, got %s", u)
+	}
+	// Attribute variable candidates.
+	q2 := &Query{
+		Head: []VarDecl{{Name: "A", Sort: SortAttr}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "X", Sort: SortData}},
+			Body: PathAtom{Base: NameRef{Name: "Knuth_Books"},
+				Path: P(ElemDeref{}, ElemAttr{A: AttrVar{Name: "A"}}, ElemBind{X: "X"})},
+		},
+	}
+	ti2, err := InferTypes(schema, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := ti2.Attr["A"]
+	want := []string{"status", "title", "volumes"}
+	if strings.Join(attrs, ",") != strings.Join(want, ",") {
+		t.Errorf("A candidates = %v, want %v", attrs, want)
+	}
+	// Index variables are integers.
+	q3 := &Query{
+		Head: []VarDecl{{Name: "I", Sort: SortData}},
+		Body: Exists{
+			Vars: []VarDecl{{Name: "X", Sort: SortData}},
+			Body: PathAtom{Base: NameRef{Name: "Knuth_Books"},
+				Path: P(ElemDeref{}, ElemAttr{A: AttrName{Name: "volumes"}},
+					ElemIndex{I: Var{Name: "I"}}, ElemBind{X: "X"})},
+		},
+	}
+	ti3, err := InferTypes(schema, q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts := ti3.Data["I"]; len(ts) != 1 || !object.TypeEqual(ts[0], object.IntType) {
+		t.Errorf("I type = %v", ts)
+	}
+	if len(ti3.PathVars) != 0 {
+		t.Errorf("no path vars expected, got %v", ti3.PathVars)
+	}
+}
+
+func TestSortString(t *testing.T) {
+	if SortData.String() != "val" || SortPath.String() != "path" || SortAttr.String() != "att" {
+		t.Error("sort names")
+	}
+	if Sort(9).String() != "Sort(9)" {
+		t.Error("unknown sort")
+	}
+}
+
+func TestFormulaAndTermStrings(t *testing.T) {
+	f := Conj(
+		PathAtom{Base: NameRef{Name: "Doc"},
+			Path: P(ElemVar{Name: "P"}, ElemAttr{A: AttrName{Name: "title"}}, ElemBind{X: "X"})},
+		Cmp{Op: Le, L: FuncCall{Name: "length", Args: []Term{PVar("P")}}, R: Num(3)},
+		Not{F: Eq{L: Var{Name: "X"}, R: Str("x")}},
+	)
+	s := f.String()
+	for _, want := range []string{"<Doc P.title(X)>", "length(P) <= 3", `¬X = "x"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formula string missing %q in %q", want, s)
+		}
+	}
+	q := &Query{Head: []VarDecl{{Name: "X", Sort: SortData}}, Body: f}
+	if !strings.HasPrefix(q.String(), "{X | ") {
+		t.Errorf("query string = %s", q)
+	}
+	tt := TupleTerm{Fields: []TupleField{{Attr: AttrName{Name: "a"}, T: Num(1)}}}
+	if tt.String() != "[a: 1]" {
+		t.Errorf("tuple term = %s", tt)
+	}
+	lt := ListTerm{Items: []DataTerm{Num(1), Num(2)}}
+	if lt.String() != "list(1, 2)" {
+		t.Errorf("list term = %s", lt)
+	}
+	st := SetTerm{Items: []DataTerm{Str("x")}}
+	if st.String() != `{"x"}` {
+		t.Errorf("set term = %s", st)
+	}
+	// Steps conversion round trip.
+	conc := path.New(path.Attr("a"), path.Index(2), path.Deref(), path.Member(object.Int(1)))
+	elems := Steps(conc)
+	if len(elems) != 4 {
+		t.Fatalf("Steps = %v", elems)
+	}
+	pt := P(elems...)
+	e := NewEnv(nil)
+	back, err := e.evalPathTerm(pt, Valuation{})
+	if err != nil || !back.Equal(conc) {
+		t.Errorf("Steps round trip = %v %v", back, err)
+	}
+}
+
+func TestConstructedTermsEvaluate(t *testing.T) {
+	e := knuthDB(t)
+	q := &Query{
+		Head: []VarDecl{{Name: "Y", Sort: SortData}},
+		Body: Eq{L: Var{Name: "Y"}, R: TupleTerm{Fields: []TupleField{
+			{Attr: AttrName{Name: "n"}, T: Num(1)},
+			{Attr: AttrName{Name: "s"}, T: SetTerm{Items: []DataTerm{Num(2), Num(2), Num(3)}}},
+			{Attr: AttrName{Name: "l"}, T: ListTerm{Items: []DataTerm{Str("a")}}},
+		}}},
+	}
+	r := evalQ(t, e, q)
+	tup := r.Rows[0]["Y"].Data.(*object.Tuple)
+	if s, _ := tup.Get("s"); s.(*object.Set).Len() != 2 {
+		t.Errorf("set field = %s", s)
+	}
+}

@@ -1,0 +1,592 @@
+package calculus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/path"
+	"sgmldb/internal/store"
+	"sgmldb/internal/text"
+)
+
+// Binding is the value of one variable in a valuation: a data value, a
+// concrete path or an attribute name, matching the variable's sort.
+type Binding struct {
+	Sort Sort
+	Data object.Value
+	Path path.Path
+	Attr string
+}
+
+// DataBinding, PathBinding and AttrBinding build bindings of each sort.
+func DataBinding(v object.Value) Binding { return Binding{Sort: SortData, Data: v} }
+
+// PathBinding builds a path-sorted binding.
+func PathBinding(p path.Path) Binding { return Binding{Sort: SortPath, Path: p} }
+
+// AttrBinding builds an attribute-sorted binding.
+func AttrBinding(a string) Binding { return Binding{Sort: SortAttr, Attr: a} }
+
+// Value encodes the binding as a first-class data value (paths as step
+// lists, attributes as their name strings).
+func (b Binding) Value() object.Value {
+	switch b.Sort {
+	case SortPath:
+		return b.Path.Value()
+	case SortAttr:
+		return object.String_(b.Attr)
+	default:
+		if b.Data == nil {
+			return object.Nil{}
+		}
+		return b.Data
+	}
+}
+
+// String renders the binding.
+func (b Binding) String() string {
+	switch b.Sort {
+	case SortPath:
+		return b.Path.String()
+	case SortAttr:
+		return b.Attr
+	default:
+		if b.Data == nil {
+			return "nil"
+		}
+		return b.Data.String()
+	}
+}
+
+func (b Binding) equal(c Binding) bool {
+	if b.Sort != c.Sort {
+		return false
+	}
+	switch b.Sort {
+	case SortPath:
+		return b.Path.Equal(c.Path)
+	case SortAttr:
+		return b.Attr == c.Attr
+	default:
+		return object.Equal(b.Value(), c.Value())
+	}
+}
+
+// Valuation maps variable names to bindings. Valuations are persistent:
+// extend copies.
+type Valuation map[string]Binding
+
+func (v Valuation) extend(name string, b Binding) Valuation {
+	out := make(Valuation, len(v)+1)
+	for k, val := range v {
+		out[k] = val
+	}
+	out[name] = b
+	return out
+}
+
+func (v Valuation) without(names []VarDecl) Valuation {
+	out := make(Valuation, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	for _, n := range names {
+		delete(out, n.Name)
+	}
+	return out
+}
+
+func (v Valuation) key() string {
+	names := make([]string, 0, len(v))
+	for k := range v {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(object.Key(v[n].Value()))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Func is an interpreted function body.
+type Func func(args []Binding) (Binding, error)
+
+// PredFunc is an interpreted predicate body.
+type PredFunc func(args []Binding) (bool, error)
+
+// Env is an evaluation environment: the instance, the path-variable
+// semantics, and the interpreted functions and predicates.
+type Env struct {
+	Inst      *store.Instance
+	Semantics path.Semantics
+	// MaxPathLen optionally bounds enumerated path length.
+	MaxPathLen int
+	// TextOf maps a complex value to its text for the contains predicate
+	// over logical objects (Section 4.2's text operator); when nil, only
+	// string values can be searched.
+	TextOf func(object.Value) string
+	// Funcs and Preds extend the built-in interpreted functions and
+	// predicates.
+	Funcs map[string]Func
+	Preds map[string]PredFunc
+}
+
+// NewEnv builds an environment over an instance with the restricted path
+// semantics.
+func NewEnv(inst *store.Instance) *Env {
+	return &Env{Inst: inst, Funcs: map[string]Func{}, Preds: map[string]PredFunc{}}
+}
+
+// Result is the (set) result of a query: one row per satisfying valuation
+// of the head variables.
+type Result struct {
+	Head []VarDecl
+	Rows []Valuation
+}
+
+// ToSet encodes the result as a first-class set value: a set of the head
+// bindings' values for a single-variable head, a set of tuples (one
+// attribute per head variable) otherwise.
+func (r *Result) ToSet() *object.Set {
+	vals := make([]object.Value, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		if len(r.Head) == 1 {
+			vals = append(vals, row[r.Head[0].Name].Value())
+			continue
+		}
+		fields := make([]object.Field, len(r.Head))
+		for i, h := range r.Head {
+			fields[i] = object.Field{Name: h.Name, Value: row[h.Name].Value()}
+		}
+		vals = append(vals, object.NewTuple(fields...))
+	}
+	return object.NewSet(vals...)
+}
+
+// Bindings returns the column of one head variable.
+func (r *Result) Bindings(name string) []Binding {
+	out := make([]Binding, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, row[name])
+	}
+	return out
+}
+
+// Len reports the number of result rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// Eval evaluates a query after checking its safety.
+func (e *Env) Eval(q *Query) (*Result, error) {
+	if err := CheckQuery(q); err != nil {
+		return nil, err
+	}
+	vals, err := e.evalFormula(q.Body, []Valuation{{}})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Head: q.Head}
+	seen := map[string]bool{}
+	for _, v := range vals {
+		row := make(Valuation, len(q.Head))
+		for _, h := range q.Head {
+			b, ok := v[h.Name]
+			if !ok {
+				return nil, fmt.Errorf("calculus: head variable %s unbound in a result", h.Name)
+			}
+			row[h.Name] = b
+		}
+		k := row.key()
+		if !seen[k] {
+			seen[k] = true
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// evalFormula extends each input valuation with all satisfying bindings.
+func (e *Env) evalFormula(f Formula, in []Valuation) ([]Valuation, error) {
+	if len(in) == 0 {
+		return nil, nil
+	}
+	switch x := f.(type) {
+	case TrueF:
+		return in, nil
+	case And:
+		bound := varSet{}
+		for v := range in[0] {
+			bound[v] = true
+		}
+		order, err := orderConjuncts(conjuncts(f), bound)
+		if err != nil {
+			return nil, err
+		}
+		cur := in
+		for _, c := range order {
+			cur, err = e.evalFormula(c, cur)
+			if err != nil {
+				return nil, err
+			}
+			if len(cur) == 0 {
+				return nil, nil
+			}
+		}
+		return cur, nil
+	case Or:
+		l, err := e.evalFormula(x.L, in)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.evalFormula(x.R, in)
+		if err != nil {
+			return nil, err
+		}
+		out := append(l, r...)
+		return dedupValuations(out), nil
+	case Not:
+		var out []Valuation
+		for _, v := range in {
+			sub, err := e.evalFormula(x.F, []Valuation{v})
+			if err != nil {
+				return nil, err
+			}
+			if len(sub) == 0 {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	case Exists:
+		sub, err := e.evalFormula(x.Body, in)
+		if err != nil {
+			return nil, err
+		}
+		var out []Valuation
+		for _, v := range sub {
+			out = append(out, v.without(x.Vars))
+		}
+		return dedupValuations(out), nil
+	case Forall:
+		var out []Valuation
+		for _, v := range in {
+			rng, err := e.evalFormula(x.Range, []Valuation{v})
+			if err != nil {
+				return nil, err
+			}
+			ok := true
+			for _, rv := range rng {
+				then, err := e.evalFormula(x.Then, []Valuation{rv})
+				if err != nil {
+					return nil, err
+				}
+				if len(then) == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	case Eq:
+		return e.evalEq(x, in)
+	case In:
+		return e.evalIn(x, in)
+	case Subset:
+		return e.filter(in, func(v Valuation) (bool, error) {
+			l, err := e.evalDataTerm(x.L, v)
+			if err != nil {
+				return false, err
+			}
+			r, err := e.evalDataTerm(x.R, v)
+			if err != nil {
+				return false, err
+			}
+			ls, ok1 := l.(*object.Set)
+			rs, ok2 := r.(*object.Set)
+			if !ok1 || !ok2 {
+				return false, nil // mismatched atoms are false (Section 5.3)
+			}
+			return ls.SubsetOf(rs), nil
+		})
+	case Cmp:
+		return e.filter(in, func(v Valuation) (bool, error) {
+			l, err := e.evalDataTerm(x.L, v)
+			if err != nil {
+				return false, err
+			}
+			r, err := e.evalDataTerm(x.R, v)
+			if err != nil {
+				return false, err
+			}
+			return compareValues(x.Op, l, r)
+		})
+	case Contains:
+		return e.filter(in, func(v Valuation) (bool, error) {
+			val, err := e.evalDataTerm(x.T, v)
+			if err != nil {
+				return false, err
+			}
+			txt, ok := e.textOf(val)
+			if !ok {
+				return false, nil
+			}
+			return text.Contains(txt, x.E), nil
+		})
+	case Pred:
+		p, ok := e.Preds[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("calculus: unknown interpreted predicate %q", x.Name)
+		}
+		return e.filter(in, func(v Valuation) (bool, error) {
+			args := make([]Binding, len(x.Args))
+			for i, a := range x.Args {
+				b, err := e.evalTerm(a, v)
+				if err != nil {
+					return false, err
+				}
+				args[i] = b
+			}
+			return p(args)
+		})
+	case PathAtom:
+		var out []Valuation
+		for _, v := range in {
+			base, err := e.evalDataTerm(x.Base, v)
+			if errors.Is(err, errNoSuchPath) {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			matched, err := e.matchPath(base, x.Path.Elems, v)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, matched...)
+		}
+		return dedupValuations(out), nil
+	default:
+		return nil, fmt.Errorf("calculus: cannot evaluate %T", f)
+	}
+}
+
+func (e *Env) filter(in []Valuation, pred func(Valuation) (bool, error)) ([]Valuation, error) {
+	var out []Valuation
+	for _, v := range in {
+		ok, err := pred(v)
+		if errors.Is(err, errNoSuchPath) {
+			continue // the atom is false on this valuation (Section 5.3)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+func (e *Env) evalEq(x Eq, in []Valuation) ([]Valuation, error) {
+	var out []Valuation
+	for _, v := range in {
+		lv, lok := x.L.(Var)
+		rv, rok := x.R.(Var)
+		_, lBound := v[lvName(lv, lok)]
+		_, rBound := v[lvName(rv, rok)]
+		switch {
+		case lok && !lBound && (!rok || rBound):
+			r, err := e.evalDataTerm(x.R, v)
+			if errors.Is(err, errNoSuchPath) {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v.extend(lv.Name, DataBinding(r)))
+		case rok && !rBound:
+			l, err := e.evalDataTerm(x.L, v)
+			if errors.Is(err, errNoSuchPath) {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v.extend(rv.Name, DataBinding(l)))
+		default:
+			l, err := e.evalDataTerm(x.L, v)
+			if errors.Is(err, errNoSuchPath) {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			r, err := e.evalDataTerm(x.R, v)
+			if errors.Is(err, errNoSuchPath) {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			if object.Equiv(l, r) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out, nil
+}
+
+func lvName(v Var, ok bool) string {
+	if !ok {
+		return "\x00not-a-var"
+	}
+	return v.Name
+}
+
+func (e *Env) evalIn(x In, in []Valuation) ([]Valuation, error) {
+	var out []Valuation
+	for _, v := range in {
+		r, err := e.evalDataTerm(x.R, v)
+		if errors.Is(err, errNoSuchPath) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		var members []object.Value
+		switch coll := r.(type) {
+		case *object.Set:
+			members = coll.Elems()
+		case *object.List:
+			members = coll.Elems()
+		case *object.Tuple:
+			members = object.HeterogeneousList(coll).Elems()
+		default:
+			continue // mismatched atom is false
+		}
+		if lv, ok := x.L.(Var); ok {
+			if _, bound := v[lv.Name]; !bound {
+				for _, m := range members {
+					out = append(out, v.extend(lv.Name, DataBinding(m)))
+				}
+				continue
+			}
+		}
+		l, err := e.evalDataTerm(x.L, v)
+		if errors.Is(err, errNoSuchPath) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range members {
+			if object.Equiv(l, m) {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// textOf extracts searchable text from a value.
+func (e *Env) textOf(v object.Value) (string, bool) {
+	if s, ok := v.(object.String_); ok {
+		return string(s), true
+	}
+	if e.TextOf != nil {
+		return e.TextOf(v), true
+	}
+	return "", false
+}
+
+func dedupValuations(in []Valuation) []Valuation {
+	seen := map[string]bool{}
+	var out []Valuation
+	for _, v := range in {
+		k := v.key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// compareValues implements the interpreted comparisons over integers,
+// floats and strings; incomparable operands make the atom false.
+func compareValues(op CmpOp, l, r object.Value) (bool, error) {
+	if op == Ne {
+		return !object.Equiv(l, r), nil
+	}
+	var c int
+	switch a := l.(type) {
+	case object.Int:
+		switch b := r.(type) {
+		case object.Int:
+			c = compareInt(int64(a), int64(b))
+		case object.Float:
+			c = compareFloat(float64(a), float64(b))
+		default:
+			return false, nil
+		}
+	case object.Float:
+		switch b := r.(type) {
+		case object.Int:
+			c = compareFloat(float64(a), float64(b))
+		case object.Float:
+			c = compareFloat(float64(a), float64(b))
+		default:
+			return false, nil
+		}
+	case object.String_:
+		b, ok := r.(object.String_)
+		if !ok {
+			return false, nil
+		}
+		c = strings.Compare(string(a), string(b))
+	default:
+		return false, nil
+	}
+	switch op {
+	case Lt:
+		return c < 0, nil
+	case Le:
+		return c <= 0, nil
+	case Gt:
+		return c > 0, nil
+	case Ge:
+		return c >= 0, nil
+	}
+	return false, nil
+}
+
+func compareInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,490 @@
+package calculus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/path"
+)
+
+// naturalLess orders values for the sort function: numbers first (by
+// value), then strings (lexicographic), then everything else by canonical
+// key.
+func naturalLess(a, b object.Value) bool {
+	an, aIsN := numeric(a)
+	bn, bIsN := numeric(b)
+	switch {
+	case aIsN && bIsN:
+		return an < bn
+	case aIsN:
+		return true
+	case bIsN:
+		return false
+	}
+	as, aIsS := a.(object.String_)
+	bs, bIsS := b.(object.String_)
+	switch {
+	case aIsS && bIsS:
+		return as < bs
+	case aIsS:
+		return true
+	case bIsS:
+		return false
+	}
+	return object.Key(a) < object.Key(b)
+}
+
+func numeric(v object.Value) (float64, bool) {
+	switch x := v.(type) {
+	case object.Int:
+		return float64(x), true
+	case object.Float:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// evalTerm evaluates a term of any sort under a valuation; every variable
+// in the term must be bound (range restriction guarantees it when the
+// evaluator calls this).
+func (e *Env) evalTerm(t Term, v Valuation) (Binding, error) {
+	switch x := t.(type) {
+	case DataTerm:
+		val, err := e.evalDataTerm(x, v)
+		if err != nil {
+			return Binding{}, err
+		}
+		return DataBinding(val), nil
+	case PathTerm:
+		p, err := e.evalPathTerm(x, v)
+		if err != nil {
+			return Binding{}, err
+		}
+		return PathBinding(p), nil
+	case AttrTerm:
+		a, err := e.evalAttrTerm(x, v)
+		if err != nil {
+			return Binding{}, err
+		}
+		return AttrBinding(a), nil
+	default:
+		return Binding{}, fmt.Errorf("calculus: cannot evaluate term %v", t)
+	}
+}
+
+// evalDataTerm evaluates a data term to a value.
+func (e *Env) evalDataTerm(t DataTerm, v Valuation) (object.Value, error) {
+	switch x := t.(type) {
+	case Const:
+		if x.V == nil {
+			return object.Nil{}, nil
+		}
+		return x.V, nil
+	case NameRef:
+		if e.Inst == nil {
+			return nil, fmt.Errorf("calculus: no instance for name %s", x.Name)
+		}
+		val, ok := e.Inst.Root(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("calculus: unknown persistence root %s", x.Name)
+		}
+		return val, nil
+	case Var:
+		b, ok := v[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("calculus: unbound variable %s", x.Name)
+		}
+		return b.Value(), nil
+	case TupleTerm:
+		fields := make([]object.Field, len(x.Fields))
+		for i, f := range x.Fields {
+			name, err := e.evalAttrTerm(f.Attr, v)
+			if err != nil {
+				return nil, err
+			}
+			val, err := e.evalDataTerm(f.T, v)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = object.Field{Name: name, Value: val}
+		}
+		return object.NewTuple(fields...), nil
+	case ListTerm:
+		items := make([]object.Value, len(x.Items))
+		for i, it := range x.Items {
+			val, err := e.evalDataTerm(it, v)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = val
+		}
+		return object.NewList(items...), nil
+	case SetTerm:
+		items := make([]object.Value, len(x.Items))
+		for i, it := range x.Items {
+			val, err := e.evalDataTerm(it, v)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = val
+		}
+		return object.NewSet(items...), nil
+	case FuncCall:
+		return e.evalFunc(x, v)
+	case PathApply:
+		base, err := e.evalDataTerm(x.Base, v)
+		if err != nil {
+			return nil, err
+		}
+		p, err := e.evalPathTerm(x.Path, v)
+		if err != nil {
+			return nil, err
+		}
+		return e.applyWithSelectors(base, p)
+	case InnerQuery:
+		// Correlated nested query: evaluate with the outer valuation as
+		// the seed.
+		vals, err := e.evalFormula(x.Q.Body, []Valuation{v})
+		if err != nil {
+			return nil, err
+		}
+		var out []object.Value
+		seen := map[string]bool{}
+		for _, val := range vals {
+			var item object.Value
+			if len(x.Q.Head) == 1 {
+				b, ok := val[x.Q.Head[0].Name]
+				if !ok {
+					return nil, fmt.Errorf("calculus: inner query head %s unbound", x.Q.Head[0].Name)
+				}
+				item = b.Value()
+			} else {
+				fields := make([]object.Field, len(x.Q.Head))
+				for i, h := range x.Q.Head {
+					b, ok := val[h.Name]
+					if !ok {
+						return nil, fmt.Errorf("calculus: inner query head %s unbound", h.Name)
+					}
+					fields[i] = object.Field{Name: h.Name, Value: b.Value()}
+				}
+				item = object.NewTuple(fields...)
+			}
+			k := object.Key(item)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, item)
+			}
+		}
+		return object.NewSet(out...), nil
+	default:
+		return nil, fmt.Errorf("calculus: cannot evaluate data term %T", t)
+	}
+}
+
+// errNoSuchPath marks a path application that does not exist on the value
+// at hand. Per Section 5.3 ("we will assume that each atom where this
+// occurs is false"), atoms catch it and evaluate to false instead of
+// failing the query.
+var errNoSuchPath = errors.New("calculus: path does not apply")
+
+// applyWithSelectors follows a concrete path like path.Apply but inserts
+// the implicit selectors of Section 4.2: an attribute step on a marked
+// union whose marker differs is retried inside the alternative.
+func (e *Env) applyWithSelectors(v object.Value, p path.Path) (object.Value, error) {
+	cur := v
+	for _, s := range p.Steps() {
+		// Implicit selection: unwrap markers that the step does not name.
+		for {
+			u, ok := cur.(*object.Union_)
+			if !ok {
+				break
+			}
+			if s.Kind == path.StepAttr && u.Marker == s.Name {
+				break
+			}
+			cur = u.Value
+		}
+		// Implicit dereference: O₂SQL's a.title on an object navigates
+		// through the identity transparently.
+		if s.Kind != path.StepDeref {
+			if o, isOID := cur.(object.OID); isOID && e.Inst != nil {
+				if inner, ok := e.Inst.Deref(o); ok {
+					cur = inner
+					// Unwrap markers again after the dereference.
+					for {
+						u, ok := cur.(*object.Union_)
+						if !ok || (s.Kind == path.StepAttr && u.Marker == s.Name) {
+							break
+						}
+						cur = u.Value
+					}
+				}
+			}
+		}
+		next, err := path.Apply(e.Inst, cur, path.New(s))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errNoSuchPath, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// evalPathTerm resolves a ground path term (every variable bound) to a
+// concrete path.
+func (e *Env) evalPathTerm(t PathTerm, v Valuation) (path.Path, error) {
+	out := path.Empty
+	for _, el := range t.Elems {
+		switch x := el.(type) {
+		case ElemVar:
+			b, ok := v[x.Name]
+			if !ok || b.Sort != SortPath {
+				return path.Empty, fmt.Errorf("calculus: unbound path variable %s", x.Name)
+			}
+			out = out.Concat(b.Path)
+		case ElemDeref:
+			out = out.Append(path.Deref())
+		case ElemAttr:
+			name, err := e.evalAttrTerm(x.A, v)
+			if err != nil {
+				return path.Empty, err
+			}
+			out = out.Append(path.Attr(name))
+		case ElemIndex:
+			iv, err := e.evalDataTerm(x.I, v)
+			if err != nil {
+				return path.Empty, err
+			}
+			n, ok := iv.(object.Int)
+			if !ok {
+				return path.Empty, fmt.Errorf("calculus: index %s is not an integer", iv)
+			}
+			out = out.Append(path.Index(int(n)))
+		case ElemMember:
+			mv, err := e.evalDataTerm(x.T, v)
+			if err != nil {
+				return path.Empty, err
+			}
+			out = out.Append(path.Member(mv))
+		case ElemBind:
+			// A binding contributes no step.
+		default:
+			return path.Empty, fmt.Errorf("calculus: cannot resolve path element %T", el)
+		}
+	}
+	return out, nil
+}
+
+// evalAttrTerm resolves an attribute term to a name.
+func (e *Env) evalAttrTerm(t AttrTerm, v Valuation) (string, error) {
+	switch x := t.(type) {
+	case AttrName:
+		return x.Name, nil
+	case AttrVar:
+		b, ok := v[x.Name]
+		if !ok || b.Sort != SortAttr {
+			return "", fmt.Errorf("calculus: unbound attribute variable %s", x.Name)
+		}
+		return b.Attr, nil
+	default:
+		return "", fmt.Errorf("calculus: cannot evaluate attribute term %T", t)
+	}
+}
+
+// evalFunc dispatches interpreted functions: the built-ins of Section 5.2
+// (length, name, set_to_list, …) plus the environment's registry and the
+// instance's methods.
+func (e *Env) evalFunc(f FuncCall, v Valuation) (object.Value, error) {
+	args := make([]Binding, len(f.Args))
+	for i, a := range f.Args {
+		b, err := e.evalTerm(a, v)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = b
+	}
+	switch f.Name {
+	case "length":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("calculus: length takes one argument")
+		}
+		switch args[0].Sort {
+		case SortPath:
+			return object.Int(args[0].Path.Len()), nil
+		default:
+			switch x := args[0].Data.(type) {
+			case *object.List:
+				return object.Int(x.Len()), nil
+			case *object.Set:
+				return object.Int(x.Len()), nil
+			case object.String_:
+				return object.Int(len(x)), nil
+			case *object.Tuple:
+				return object.Int(x.Len()), nil
+			}
+			return nil, fmt.Errorf("calculus: length of %s", args[0])
+		}
+	case "name":
+		if len(args) != 1 || args[0].Sort != SortAttr {
+			return nil, fmt.Errorf("calculus: name takes one attribute argument")
+		}
+		return object.String_(args[0].Attr), nil
+	case "first", "last":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("calculus: %s takes one argument", f.Name)
+		}
+		l, ok := object.AsList(args[0].Value())
+		if !ok || l.Len() == 0 {
+			return object.Nil{}, nil
+		}
+		if f.Name == "first" {
+			return l.At(0), nil
+		}
+		return l.At(l.Len() - 1), nil
+	case "count":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("calculus: count takes one argument")
+		}
+		switch x := args[0].Value().(type) {
+		case *object.List:
+			return object.Int(x.Len()), nil
+		case *object.Set:
+			return object.Int(x.Len()), nil
+		default:
+			return nil, fmt.Errorf("calculus: count of %s", args[0])
+		}
+	case "union", "diff", "intersect":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("calculus: %s takes two arguments", f.Name)
+		}
+		l, ok1 := args[0].Value().(*object.Set)
+		r, ok2 := args[1].Value().(*object.Set)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("calculus: %s of non-sets %s, %s", f.Name, args[0], args[1])
+		}
+		switch f.Name {
+		case "union":
+			return l.Union(r), nil
+		case "diff":
+			return l.Diff(r), nil
+		default:
+			return l.Intersect(r), nil
+		}
+	case "element":
+		// element(S): the unique member of a singleton set (O₂SQL's
+		// element operator).
+		if len(args) != 1 {
+			return nil, fmt.Errorf("calculus: element takes one argument")
+		}
+		s, ok := args[0].Value().(*object.Set)
+		if !ok {
+			return nil, fmt.Errorf("calculus: element of non-set %s", args[0])
+		}
+		if s.Len() != 1 {
+			return nil, fmt.Errorf("calculus: element of a set with %d members", s.Len())
+		}
+		return s.At(0), nil
+	case "flatten":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("calculus: flatten takes one argument")
+		}
+		s, ok := args[0].Value().(*object.Set)
+		if !ok {
+			return nil, fmt.Errorf("calculus: flatten of non-set %s", args[0])
+		}
+		var out []object.Value
+		for _, el := range s.Elems() {
+			switch c := el.(type) {
+			case *object.Set:
+				out = append(out, c.Elems()...)
+			case *object.List:
+				out = append(out, c.Elems()...)
+			default:
+				out = append(out, c)
+			}
+		}
+		return object.NewSet(out...), nil
+	case "set_to_list":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("calculus: set_to_list takes one argument")
+		}
+		s, ok := args[0].Value().(*object.Set)
+		if !ok {
+			return nil, fmt.Errorf("calculus: set_to_list of %s", args[0])
+		}
+		return object.NewList(s.Elems()...), nil
+	case "sort":
+		// sort(collection): the elements as a list in ascending order
+		// (numbers before strings before everything else, then canonical)
+		// — the paper's sort_by family, specialised to natural order.
+		if len(args) != 1 {
+			return nil, fmt.Errorf("calculus: sort takes one argument")
+		}
+		var elems []object.Value
+		switch c := args[0].Value().(type) {
+		case *object.Set:
+			elems = c.Elems()
+		case *object.List:
+			elems = c.Elems()
+		default:
+			return nil, fmt.Errorf("calculus: sort of %s", args[0])
+		}
+		sort.SliceStable(elems, func(i, j int) bool { return naturalLess(elems[i], elems[j]) })
+		return object.NewList(elems...), nil
+	case "text":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("calculus: text takes one argument")
+		}
+		txt, ok := e.textOf(args[0].Value())
+		if !ok {
+			return nil, fmt.Errorf("calculus: no text mapping configured")
+		}
+		return object.String_(txt), nil
+	case "slice":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("calculus: slice takes (path|list, from, to)")
+		}
+		from, ok1 := args[1].Data.(object.Int)
+		to, ok2 := args[2].Data.(object.Int)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("calculus: slice bounds must be integers")
+		}
+		if args[0].Sort == SortPath {
+			return args[0].Path.Slice(int(from), int(to)).Value(), nil
+		}
+		l, ok := object.AsList(args[0].Value())
+		if !ok {
+			return nil, fmt.Errorf("calculus: slice of %s", args[0])
+		}
+		return l.Slice(int(from), int(to)), nil
+	}
+	if fn, ok := e.Funcs[f.Name]; ok {
+		b, err := fn(args)
+		if err != nil {
+			return nil, err
+		}
+		return b.Value(), nil
+	}
+	// Methods: m(o, args…) invokes method m on the receiver oid ("paths
+	// that go through method calls", footnote 3 of the paper). When the
+	// receiver is not an object, or no binding applies to its class, the
+	// enclosing atom is false rather than the query failing (Section 5.3).
+	if e.Inst != nil && len(args) >= 1 && e.Inst.HasMethodNamed(f.Name) {
+		recv, ok := args[0].Data.(object.OID)
+		if !ok {
+			return nil, fmt.Errorf("%w: method %s on non-object receiver", errNoSuchPath, f.Name)
+		}
+		rest := make([]object.Value, len(args)-1)
+		for i, a := range args[1:] {
+			rest[i] = a.Value()
+		}
+		out, err := e.Inst.Invoke(recv, f.Name, rest...)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errNoSuchPath, err)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("calculus: unknown function %q", f.Name)
+}

@@ -1,0 +1,83 @@
+package calculus
+
+import (
+	"errors"
+
+	"sgmldb/internal/object"
+)
+
+// This file exports the evaluation hooks the algebra layer (Section 5.4)
+// builds on: conjunct ordering, formula evaluation over valuations, and
+// term evaluation.
+
+// Conjuncts flattens nested conjunctions into a list.
+func Conjuncts(f Formula) []Formula { return conjuncts(f) }
+
+// OrderConjuncts returns the conjuncts of f in a range-restriction-
+// respecting evaluation order, given the already-bound variables.
+func OrderConjuncts(f Formula, bound map[string]bool) ([]Formula, error) {
+	b := varSet{}
+	for k, v := range bound {
+		if v {
+			b[k] = true
+		}
+	}
+	return orderConjuncts(conjuncts(f), b)
+}
+
+// Restricts reports whether formula f, evaluated with the given variables
+// already bound, safely restricts all of its free variables, and returns
+// the set of variables it binds.
+func Restricts(f Formula, bound map[string]bool) (map[string]bool, bool) {
+	b := varSet{}
+	for k, v := range bound {
+		if v {
+			b[k] = true
+		}
+	}
+	got, ok := restrict(f, b)
+	if !ok || !coversFree(f, b, got) {
+		return nil, false
+	}
+	out := map[string]bool{}
+	for k := range got {
+		out[k] = true
+	}
+	return out, true
+}
+
+// EvalWith evaluates a formula over the given input valuations, extending
+// each with all satisfying bindings — the algebra's escape hatch for
+// residual predicates.
+func (e *Env) EvalWith(f Formula, in []Valuation) ([]Valuation, error) {
+	return e.evalFormula(f, in)
+}
+
+// Term evaluates a data term under a valuation.
+func (e *Env) Term(t DataTerm, v Valuation) (object.Value, error) {
+	return e.evalDataTerm(t, v)
+}
+
+// TermBinding evaluates a term of any sort under a valuation.
+func (e *Env) TermBinding(t Term, v Valuation) (Binding, error) {
+	return e.evalTerm(t, v)
+}
+
+// ApplyPath follows a concrete path from a value with implicit selectors;
+// the error is ErrNoSuchPath-like when the path does not apply.
+func (e *Env) ApplyPath(v object.Value, p Binding) (object.Value, error) {
+	return e.applyWithSelectors(v, p.Path)
+}
+
+// IsNoSuchPath reports whether an error means "the path does not apply
+// here" (the atom-is-false condition of Section 5.3).
+func IsNoSuchPath(err error) bool { return errors.Is(err, errNoSuchPath) }
+
+// Extend returns the valuation extended with a binding (copy-on-write).
+func (v Valuation) Extend(name string, b Binding) Valuation { return v.extend(name, b) }
+
+// Key returns a canonical key of the valuation for deduplication.
+func (v Valuation) Key() string { return v.key() }
+
+// Without returns the valuation with the given variables removed.
+func (v Valuation) Without(names []VarDecl) Valuation { return v.without(names) }

@@ -1,0 +1,363 @@
+package calculus
+
+import (
+	"fmt"
+	"strings"
+
+	"sgmldb/internal/text"
+)
+
+// Formula is a first-order formula over the atoms of Section 5.2.
+type Formula interface {
+	isFormula()
+	String() string
+}
+
+// Eq is the atom t = t′.
+type Eq struct{ L, R DataTerm }
+
+func (Eq) isFormula()       {}
+func (f Eq) String() string { return f.L.String() + " = " + f.R.String() }
+
+// In is the atom t ∈ t′.
+type In struct{ L, R DataTerm }
+
+func (In) isFormula()       {}
+func (f In) String() string { return f.L.String() + " in " + f.R.String() }
+
+// Subset is the atom t ⊆ t′.
+type Subset struct{ L, R DataTerm }
+
+func (Subset) isFormula()       {}
+func (f Subset) String() string { return f.L.String() + " subset " + f.R.String() }
+
+// PathAtom is the path predicate ⟨t P⟩: P is (an instance of) a concrete
+// path from the root of t; variables on the path are range-restricted by
+// it.
+type PathAtom struct {
+	Base DataTerm
+	Path PathTerm
+}
+
+func (PathAtom) isFormula() {}
+func (f PathAtom) String() string {
+	return "<" + f.Base.String() + " " + f.Path.String() + ">"
+}
+
+// Contains is the interpreted predicate of Section 4.1: the text of t
+// contains the pattern expression.
+type Contains struct {
+	T DataTerm
+	E text.Expr
+}
+
+func (Contains) isFormula() {}
+func (f Contains) String() string {
+	return f.T.String() + " contains " + f.E.String()
+}
+
+// CmpOp is a comparison operator for the interpreted comparisons.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Lt CmpOp = iota
+	Le
+	Gt
+	Ge
+	Ne
+)
+
+// String renders the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Ne:
+		return "!="
+	default:
+		return "?"
+	}
+}
+
+// Cmp is an interpreted comparison over integers, floats or strings, e.g.
+// the J < K of the Letters query (†).
+type Cmp struct {
+	Op   CmpOp
+	L, R DataTerm
+}
+
+func (Cmp) isFormula() {}
+func (f Cmp) String() string {
+	return f.L.String() + " " + f.Op.String() + " " + f.R.String()
+}
+
+// Pred is a user-registered interpreted predicate.
+type Pred struct {
+	Name string
+	Args []Term
+}
+
+func (Pred) isFormula() {}
+func (f Pred) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// And is conjunction; the evaluator reorders conjuncts to satisfy range
+// restriction.
+type And struct{ L, R Formula }
+
+func (And) isFormula()       {}
+func (f And) String() string { return "(" + f.L.String() + " ∧ " + f.R.String() + ")" }
+
+// Or is disjunction.
+type Or struct{ L, R Formula }
+
+func (Or) isFormula()       {}
+func (f Or) String() string { return "(" + f.L.String() + " ∨ " + f.R.String() + ")" }
+
+// Not is negation; its free variables must be bound elsewhere (safe
+// negation).
+type Not struct{ F Formula }
+
+func (Not) isFormula()       {}
+func (f Not) String() string { return "¬" + f.F.String() }
+
+// VarDecl declares a variable with its sort.
+type VarDecl struct {
+	Name string
+	Sort Sort
+}
+
+// String renders the declaration.
+func (v VarDecl) String() string { return v.Name }
+
+// Exists is existential quantification over data, path and attribute
+// variables.
+type Exists struct {
+	Vars []VarDecl
+	Body Formula
+}
+
+func (Exists) isFormula() {}
+func (f Exists) String() string {
+	parts := make([]string, len(f.Vars))
+	for i, v := range f.Vars {
+		parts[i] = v.Name
+	}
+	return "∃" + strings.Join(parts, ",") + "(" + f.Body.String() + ")"
+}
+
+// Forall is universal quantification in the guarded form
+// ∀x̄(Range → Then): Range range-restricts the quantified variables and
+// Then is checked for every valuation of them.
+type Forall struct {
+	Vars  []VarDecl
+	Range Formula
+	Then  Formula
+}
+
+func (Forall) isFormula() {}
+func (f Forall) String() string {
+	parts := make([]string, len(f.Vars))
+	for i, v := range f.Vars {
+		parts[i] = v.Name
+	}
+	return "∀" + strings.Join(parts, ",") + "(" + f.Range.String() + " → " + f.Then.String() + ")"
+}
+
+// TrueF is the always-true formula (useful as a unit).
+type TrueF struct{}
+
+func (TrueF) isFormula()     {}
+func (TrueF) String() string { return "true" }
+
+// Query is {x₁, …, xₙ | φ}: the xᵢ are the only free variables of φ.
+type Query struct {
+	Head []VarDecl
+	Body Formula
+}
+
+// String renders the query.
+func (q *Query) String() string {
+	parts := make([]string, len(q.Head))
+	for i, v := range q.Head {
+		parts[i] = v.Name
+	}
+	return "{" + strings.Join(parts, ", ") + " | " + q.Body.String() + "}"
+}
+
+// conjuncts flattens nested And into a list.
+func conjuncts(f Formula) []Formula {
+	if a, ok := f.(And); ok {
+		return append(conjuncts(a.L), conjuncts(a.R)...)
+	}
+	return []Formula{f}
+}
+
+// Conj builds a right-nested conjunction of formulas (TrueF for none).
+func Conj(fs ...Formula) Formula {
+	var out Formula = TrueF{}
+	for i := len(fs) - 1; i >= 0; i-- {
+		if _, isTrue := out.(TrueF); isTrue {
+			out = fs[i]
+		} else {
+			out = And{L: fs[i], R: out}
+		}
+	}
+	return out
+}
+
+// freeVars collects the free variables of a formula with their sorts. A
+// variable used with two different sorts is an error surfaced by
+// CheckQuery.
+func freeVars(f Formula, bound map[string]bool, into map[string]Sort) {
+	switch x := f.(type) {
+	case Eq:
+		dataTermVars(x.L, bound, into)
+		dataTermVars(x.R, bound, into)
+	case In:
+		dataTermVars(x.L, bound, into)
+		dataTermVars(x.R, bound, into)
+	case Subset:
+		dataTermVars(x.L, bound, into)
+		dataTermVars(x.R, bound, into)
+	case Cmp:
+		dataTermVars(x.L, bound, into)
+		dataTermVars(x.R, bound, into)
+	case Contains:
+		dataTermVars(x.T, bound, into)
+	case PathAtom:
+		dataTermVars(x.Base, bound, into)
+		pathTermVars(x.Path, bound, into)
+	case Pred:
+		for _, a := range x.Args {
+			termVars(a, bound, into)
+		}
+	case And:
+		freeVars(x.L, bound, into)
+		freeVars(x.R, bound, into)
+	case Or:
+		freeVars(x.L, bound, into)
+		freeVars(x.R, bound, into)
+	case Not:
+		freeVars(x.F, bound, into)
+	case Exists:
+		b2 := copyBound(bound)
+		for _, v := range x.Vars {
+			b2[v.Name] = true
+		}
+		freeVars(x.Body, b2, into)
+	case Forall:
+		b2 := copyBound(bound)
+		for _, v := range x.Vars {
+			b2[v.Name] = true
+		}
+		freeVars(x.Range, b2, into)
+		freeVars(x.Then, b2, into)
+	case TrueF:
+	default:
+		panic(fmt.Sprintf("calculus: unknown formula %T", f))
+	}
+}
+
+func copyBound(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func termVars(t Term, bound map[string]bool, into map[string]Sort) {
+	switch x := t.(type) {
+	case DataTerm:
+		dataTermVars(x, bound, into)
+	case PathTerm:
+		pathTermVars(x, bound, into)
+	case AttrTerm:
+		attrTermVars(x, bound, into)
+	}
+}
+
+func dataTermVars(t DataTerm, bound map[string]bool, into map[string]Sort) {
+	switch x := t.(type) {
+	case Var:
+		if !bound[x.Name] {
+			into[x.Name] = SortData
+		}
+	case TupleTerm:
+		for _, f := range x.Fields {
+			attrTermVars(f.Attr, bound, into)
+			dataTermVars(f.T, bound, into)
+		}
+	case ListTerm:
+		for _, it := range x.Items {
+			dataTermVars(it, bound, into)
+		}
+	case SetTerm:
+		for _, it := range x.Items {
+			dataTermVars(it, bound, into)
+		}
+	case FuncCall:
+		for _, a := range x.Args {
+			termVars(a, bound, into)
+		}
+	case PathApply:
+		dataTermVars(x.Base, bound, into)
+		pathTermVars(x.Path, bound, into)
+	case InnerQuery:
+		// The inner query's head variables are bound inside it; variables
+		// free in its body but not in its head are correlated with the
+		// outer query.
+		b2 := copyBound(bound)
+		for _, v := range x.Q.Head {
+			b2[v.Name] = true
+		}
+		freeVars(x.Q.Body, b2, into)
+	}
+}
+
+func attrTermVars(t AttrTerm, bound map[string]bool, into map[string]Sort) {
+	if v, ok := t.(AttrVar); ok && !bound[v.Name] {
+		into[v.Name] = SortAttr
+	}
+}
+
+func pathTermVars(t PathTerm, bound map[string]bool, into map[string]Sort) {
+	for _, e := range t.Elems {
+		switch x := e.(type) {
+		case ElemVar:
+			if !bound[x.Name] {
+				into[x.Name] = SortPath
+			}
+		case ElemAttr:
+			attrTermVars(x.A, bound, into)
+		case ElemIndex:
+			dataTermVars(x.I, bound, into)
+		case ElemBind:
+			if !bound[x.X] {
+				into[x.X] = SortData
+			}
+		case ElemMember:
+			dataTermVars(x.T, bound, into)
+		}
+	}
+}
+
+// FreeVars returns the free variables of the formula with their sorts.
+func FreeVars(f Formula) map[string]Sort {
+	out := map[string]Sort{}
+	freeVars(f, map[string]bool{}, out)
+	return out
+}

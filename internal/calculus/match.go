@@ -1,0 +1,210 @@
+package calculus
+
+import (
+	"sgmldb/internal/object"
+	"sgmldb/internal/path"
+)
+
+// matchPath interprets a path predicate ⟨v P⟩: it extends the valuation
+// with every instantiation of the path term's variables such that the
+// resulting concrete path exists from base. Unbound path variables range
+// over the concrete paths admitted by the environment's semantics
+// (restricted by default); attribute variables over applicable attributes;
+// index variables over list positions; member variables over set members;
+// (X) bindings capture the value reached.
+//
+// A step that does not apply to the value at hand simply yields no match:
+// "we will assume that each atom where this occurs is false" (Section
+// 5.3). Implicit selectors apply: a named attribute step on a marked
+// union whose marker differs descends through the marker transparently
+// (Section 4.2's "Important Omissions") — but an attribute *variable*
+// binds the marker itself, so that queries over attributes see the true
+// structure.
+func (e *Env) matchPath(base object.Value, elems []PathElem, v Valuation) ([]Valuation, error) {
+	return e.matchElems(base, elems, v)
+}
+
+func (e *Env) matchElems(cur object.Value, elems []PathElem, v Valuation) ([]Valuation, error) {
+	if len(elems) == 0 {
+		return []Valuation{v}, nil
+	}
+	head, rest := elems[0], elems[1:]
+	switch x := head.(type) {
+	case ElemBind:
+		if b, bound := v[x.X]; bound {
+			if !object.Equiv(b.Value(), cur) {
+				return nil, nil
+			}
+			return e.matchElems(cur, rest, v)
+		}
+		return e.matchElems(cur, rest, v.extend(x.X, DataBinding(cur)))
+	case ElemVar:
+		if b, bound := v[x.Name]; bound {
+			// Follow the already-chosen concrete path.
+			val, err := e.applyWithSelectors(cur, b.Path)
+			if err != nil {
+				return nil, nil // path does not exist here: atom false
+			}
+			return e.matchElems(val, rest, v)
+		}
+		// Range over all concrete paths from cur under the semantics.
+		bindings := path.Enumerate(e.Inst, cur, path.Options{
+			Semantics: e.Semantics, MaxLen: e.MaxPathLen,
+		})
+		var out []Valuation
+		for _, pb := range bindings {
+			sub, err := e.matchElems(pb.Value, rest, v.extend(x.Name, PathBinding(pb.Path)))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		return out, nil
+	case ElemDeref:
+		o, ok := object.UnwrapUnion(cur).(object.OID)
+		if !ok || e.Inst == nil {
+			return nil, nil
+		}
+		inner, ok := e.Inst.Deref(o)
+		if !ok {
+			return nil, nil
+		}
+		return e.matchElems(inner, rest, v)
+	case ElemAttr:
+		switch a := x.A.(type) {
+		case AttrName:
+			return e.matchNamedAttr(cur, a.Name, rest, v)
+		case AttrVar:
+			if b, bound := v[a.Name]; bound {
+				return e.matchNamedAttr(cur, b.Attr, rest, v)
+			}
+			// Bind the variable to each applicable attribute.
+			var out []Valuation
+			switch val := cur.(type) {
+			case *object.Tuple:
+				for i := 0; i < val.Len(); i++ {
+					f := val.At(i)
+					sub, err := e.matchElems(f.Value, rest, v.extend(a.Name, AttrBinding(f.Name)))
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, sub...)
+				}
+			case *object.Union_:
+				sub, err := e.matchElems(val.Value, rest, v.extend(a.Name, AttrBinding(val.Marker)))
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, sub...)
+			}
+			return out, nil
+		}
+		return nil, nil
+	case ElemIndex:
+		// Ordered tuples embed as heterogeneous lists (Section 4.4), and
+		// marking attributes are skipped implicitly (Section 5.3's
+		// "Important Omissions": Letters[I](Y)[J]·to indexes into the
+		// letter tuple through its permutation marker). Objects are
+		// dereferenced implicitly.
+		l, ok := object.AsList(e.implicitDeref(object.UnwrapUnion(cur)))
+		if !ok {
+			return nil, nil
+		}
+		if iv, isVar := x.I.(Var); isVar {
+			if _, bound := v[iv.Name]; !bound {
+				var out []Valuation
+				for i := 0; i < l.Len(); i++ {
+					sub, err := e.matchElems(l.At(i), rest, v.extend(iv.Name, DataBinding(object.Int(i))))
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, sub...)
+				}
+				return out, nil
+			}
+		}
+		idx, err := e.evalDataTerm(x.I, v)
+		if err != nil {
+			return nil, err
+		}
+		n, ok := idx.(object.Int)
+		if !ok || int(n) < 0 || int(n) >= l.Len() {
+			return nil, nil
+		}
+		return e.matchElems(l.At(int(n)), rest, v)
+	case ElemMember:
+		s, ok := e.implicitDeref(object.UnwrapUnion(cur)).(*object.Set)
+		if !ok {
+			return nil, nil
+		}
+		if mv, isVar := x.T.(Var); isVar {
+			if _, bound := v[mv.Name]; !bound {
+				var out []Valuation
+				for i := 0; i < s.Len(); i++ {
+					el := s.At(i)
+					sub, err := e.matchElems(el, rest, v.extend(mv.Name, DataBinding(el)))
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, sub...)
+				}
+				return out, nil
+			}
+		}
+		m, err := e.evalDataTerm(x.T, v)
+		if err != nil {
+			return nil, err
+		}
+		if !s.Contains(m) {
+			return nil, nil
+		}
+		return e.matchElems(m, rest, v)
+	default:
+		return nil, nil
+	}
+}
+
+// implicitDeref resolves an oid to its value (identity navigation); other
+// values pass through.
+func (e *Env) implicitDeref(v object.Value) object.Value {
+	if o, ok := v.(object.OID); ok && e.Inst != nil {
+		if inner, ok := e.Inst.Deref(o); ok {
+			return object.UnwrapUnion(inner)
+		}
+	}
+	return v
+}
+
+// matchNamedAttr applies a named attribute step with implicit selectors:
+// on a tuple it selects the field; on a marked union whose marker is the
+// name it enters the alternative; on a marked union with a different
+// marker it descends through the marker and retries (the omitted marking
+// attributes of Section 5.3).
+func (e *Env) matchNamedAttr(cur object.Value, name string, rest []PathElem, v Valuation) ([]Valuation, error) {
+	switch val := cur.(type) {
+	case *object.Tuple:
+		f, ok := val.Get(name)
+		if !ok {
+			return nil, nil
+		}
+		return e.matchElems(f, rest, v)
+	case *object.Union_:
+		if val.Marker == name {
+			return e.matchElems(val.Value, rest, v)
+		}
+		// Implicit selector: skip the marker.
+		return e.matchNamedAttr(val.Value, name, rest, v)
+	case object.OID:
+		// Implicit dereference (O₂SQL navigation through identity).
+		if e.Inst == nil {
+			return nil, nil
+		}
+		inner, ok := e.Inst.Deref(val)
+		if !ok {
+			return nil, nil
+		}
+		return e.matchNamedAttr(inner, name, rest, v)
+	default:
+		return nil, nil
+	}
+}

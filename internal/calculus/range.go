@@ -1,0 +1,351 @@
+package calculus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the range-restriction discipline of Section 5.2 "in
+// the style of [3]": all variables of a formula must be range restricted —
+// bound to values derived from persistence roots or constants. The same
+// analysis drives the static safety check (CheckQuery) and the evaluator's
+// conjunct ordering: a conjunct is evaluable once the analysis says its
+// free variables are restricted.
+
+// varSet is a set of variable names.
+type varSet map[string]bool
+
+func (s varSet) clone() varSet {
+	out := make(varSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s varSet) addAll(t varSet) {
+	for k := range t {
+		s[k] = true
+	}
+}
+
+func (s varSet) sorted() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// groundable reports whether every variable of the term is restricted.
+func groundableData(t DataTerm, bound varSet) bool {
+	vars := map[string]Sort{}
+	dataTermVars(t, map[string]bool{}, vars)
+	for v := range vars {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func groundableTerm(t Term, bound varSet) bool {
+	vars := map[string]Sort{}
+	termVars(t, map[string]bool{}, vars)
+	for v := range vars {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathVarsOf collects every variable occurring in a path term (they all
+// inherit range restriction from the path atom's base).
+func pathVarsOf(t PathTerm) varSet {
+	vars := map[string]Sort{}
+	pathTermVars(t, map[string]bool{}, vars)
+	out := varSet{}
+	for v := range vars {
+		out[v] = true
+	}
+	return out
+}
+
+// restrict computes the set of variables a formula restricts, assuming
+// bound are already restricted. ok is false when the formula cannot be
+// safely evaluated in this context (some variable has no range).
+func restrict(f Formula, bound varSet) (varSet, bool) {
+	switch x := f.(type) {
+	case TrueF:
+		return varSet{}, true
+	case Eq:
+		lg := groundableData(x.L, bound)
+		rg := groundableData(x.R, bound)
+		switch {
+		case lg && rg:
+			return varSet{}, true
+		case rg:
+			if v, ok := x.L.(Var); ok {
+				return varSet{v.Name: true}, true
+			}
+			return nil, false
+		case lg:
+			if v, ok := x.R.(Var); ok {
+				return varSet{v.Name: true}, true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	case In:
+		if !groundableData(x.R, bound) {
+			return nil, false
+		}
+		if groundableData(x.L, bound) {
+			return varSet{}, true
+		}
+		if v, ok := x.L.(Var); ok {
+			return varSet{v.Name: true}, true
+		}
+		return nil, false
+	case Subset:
+		if groundableData(x.L, bound) && groundableData(x.R, bound) {
+			return varSet{}, true
+		}
+		return nil, false
+	case Cmp:
+		if groundableData(x.L, bound) && groundableData(x.R, bound) {
+			return varSet{}, true
+		}
+		return nil, false
+	case Contains:
+		if groundableData(x.T, bound) {
+			return varSet{}, true
+		}
+		return nil, false
+	case Pred:
+		for _, a := range x.Args {
+			if !groundableTerm(a, bound) {
+				return nil, false
+			}
+		}
+		return varSet{}, true
+	case PathAtom:
+		// The base must be restricted; every variable on the path then
+		// inherits its restriction from the base (Section 5.2) — except
+		// index terms that are not bare variables, which must already be
+		// ground.
+		if !groundableData(x.Base, bound) {
+			return nil, false
+		}
+		out := varSet{}
+		for _, e := range x.Elems() {
+			switch el := e.(type) {
+			case ElemVar:
+				out[el.Name] = true
+			case ElemAttr:
+				if v, ok := el.A.(AttrVar); ok {
+					out[v.Name] = true
+				}
+			case ElemIndex:
+				if v, ok := el.I.(Var); ok {
+					out[v.Name] = true
+				} else if !groundableData(el.I, bound) {
+					return nil, false
+				}
+			case ElemBind:
+				out[el.X] = true
+			case ElemMember:
+				if v, ok := el.T.(Var); ok {
+					out[v.Name] = true
+				} else if !groundableData(el.T, bound) {
+					return nil, false
+				}
+			}
+		}
+		return out, true
+	case And:
+		return restrictConj(conjuncts(f), bound)
+	case Or:
+		l, okL := restrict(x.L, bound)
+		r, okR := restrict(x.R, bound)
+		if !okL || !okR {
+			return nil, false
+		}
+		// A disjunction restricts only what both branches restrict, and it
+		// is evaluable only if each branch restricts all of its own free
+		// variables (so that the union is over comparable valuations).
+		if !coversFree(x.L, bound, l) || !coversFree(x.R, bound, r) {
+			return nil, false
+		}
+		out := varSet{}
+		for v := range l {
+			if r[v] {
+				out[v] = true
+			}
+		}
+		return out, true
+	case Not:
+		// Safe negation: every free variable must already be restricted.
+		for v := range FreeVars(x.F) {
+			if !bound[v] {
+				return nil, false
+			}
+		}
+		return varSet{}, true
+	case Exists:
+		b2 := bound.clone()
+		inner, ok := restrict(x.Body, b2)
+		if !ok {
+			return nil, false
+		}
+		for _, v := range x.Vars {
+			if !inner[v.Name] && !bound[v.Name] {
+				return nil, false // quantified variable with no range
+			}
+		}
+		out := varSet{}
+		q := varSet{}
+		for _, v := range x.Vars {
+			q[v.Name] = true
+		}
+		for v := range inner {
+			if !q[v] {
+				out[v] = true
+			}
+		}
+		return out, true
+	case Forall:
+		b2 := bound.clone()
+		rng, ok := restrict(x.Range, b2)
+		if !ok {
+			return nil, false
+		}
+		for _, v := range x.Vars {
+			if !rng[v.Name] && !bound[v.Name] {
+				return nil, false
+			}
+		}
+		b3 := bound.clone()
+		b3.addAll(rng)
+		if _, ok := restrict(x.Then, b3); !ok {
+			return nil, false
+		}
+		return varSet{}, true
+	default:
+		return nil, false
+	}
+}
+
+// Elems exposes a path atom's elements.
+func (f PathAtom) Elems() []PathElem { return f.Path.Elems }
+
+// coversFree reports whether bound∪got covers every free variable of f.
+func coversFree(f Formula, bound, got varSet) bool {
+	for v := range FreeVars(f) {
+		if !bound[v] && !got[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// restrictConj schedules conjuncts greedily: repeatedly take any conjunct
+// whose analysis succeeds under the current bound set. The same order is
+// used by the evaluator.
+func restrictConj(cs []Formula, bound varSet) (varSet, bool) {
+	out := varSet{}
+	cur := bound.clone()
+	remaining := append([]Formula(nil), cs...)
+	for len(remaining) > 0 {
+		progress := false
+		for i, c := range remaining {
+			got, ok := restrict(c, cur)
+			if !ok || !coversFree(c, cur, got) {
+				continue
+			}
+			out.addAll(got)
+			cur.addAll(got)
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			progress = true
+			break
+		}
+		if !progress {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// orderConjuncts returns the conjuncts in an evaluable order, or an error
+// naming the stuck conjuncts.
+func orderConjuncts(cs []Formula, bound varSet) ([]Formula, error) {
+	var order []Formula
+	cur := bound.clone()
+	remaining := append([]Formula(nil), cs...)
+	for len(remaining) > 0 {
+		progress := false
+		for i, c := range remaining {
+			got, ok := restrict(c, cur)
+			if !ok || !coversFree(c, cur, got) {
+				continue
+			}
+			cur.addAll(got)
+			order = append(order, c)
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			progress = true
+			break
+		}
+		if !progress {
+			names := make([]string, len(remaining))
+			for i, c := range remaining {
+				names[i] = c.String()
+			}
+			return nil, fmt.Errorf("calculus: not range-restricted: cannot order conjuncts %v (bound %v)",
+				names, cur.sorted())
+		}
+	}
+	return order, nil
+}
+
+// CheckQuery verifies the safety of a query: the body must be range
+// restricted, every head variable must be restricted by the body, and the
+// body's free variables must be exactly the head (Section 5.2's "x₁, …,
+// xₙ are the only free variables in φ").
+func CheckQuery(q *Query) error {
+	free := FreeVars(q.Body)
+	head := varSet{}
+	for _, v := range q.Head {
+		if head[v.Name] {
+			return fmt.Errorf("calculus: duplicate head variable %s", v.Name)
+		}
+		head[v.Name] = true
+		if s, ok := free[v.Name]; ok && s != v.Sort {
+			return fmt.Errorf("calculus: head variable %s declared %v but used as %v", v.Name, v.Sort, s)
+		}
+	}
+	for v := range free {
+		if !head[v] {
+			return fmt.Errorf("calculus: variable %s is free in the body but not in the head", v)
+		}
+	}
+	got, ok := restrict(q.Body, varSet{})
+	if !ok {
+		if _, err := orderAll(q.Body); err != nil {
+			return err
+		}
+		return fmt.Errorf("calculus: query body is not range-restricted")
+	}
+	for _, v := range q.Head {
+		if !got[v.Name] {
+			return fmt.Errorf("calculus: head variable %s is not range-restricted by the body", v.Name)
+		}
+	}
+	return nil
+}
+
+func orderAll(f Formula) ([]Formula, error) {
+	return orderConjuncts(conjuncts(f), varSet{})
+}

@@ -1,0 +1,282 @@
+// Package calculus implements the many-sorted calculus of Section 5.2 of
+// the paper: data, path and attribute terms, atoms (equality, membership,
+// containment and path predicates ⟨vP⟩), first-order formulas, the
+// range-restriction (safety) discipline, type inference, and an evaluator.
+//
+// Path variables are interpreted under the restricted semantics by default
+// (no two dereferences of objects in the same class — Section 5.2), with
+// the liberal semantics available per evaluation. Interpreted predicates
+// (contains, near, comparisons) and functions (length, name, first, count,
+// set_to_list, …) follow Section 5.2's "Interpreted Predicates and
+// Functions".
+package calculus
+
+import (
+	"fmt"
+	"strings"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/path"
+)
+
+// Sort is the sort of a variable or term: val, path or att.
+type Sort int
+
+// The three sorts of the calculus.
+const (
+	SortData Sort = iota
+	SortPath
+	SortAttr
+)
+
+// String names the sort.
+func (s Sort) String() string {
+	switch s {
+	case SortData:
+		return "val"
+	case SortPath:
+		return "path"
+	case SortAttr:
+		return "att"
+	default:
+		return fmt.Sprintf("Sort(%d)", int(s))
+	}
+}
+
+// DataTerm is a term of sort val.
+type DataTerm interface {
+	isDataTerm()
+	String() string
+}
+
+// NameRef refers to a persistence root g ∈ G.
+type NameRef struct{ Name string }
+
+func (NameRef) isDataTerm()      {}
+func (t NameRef) String() string { return t.Name }
+
+// Const is an atomic (or constructed) constant value.
+type Const struct{ V object.Value }
+
+func (Const) isDataTerm() {}
+func (t Const) String() string {
+	if t.V == nil {
+		return "nil"
+	}
+	return t.V.String()
+}
+
+// Var is a data variable (X, Y, Z …).
+type Var struct{ Name string }
+
+func (Var) isDataTerm()      {}
+func (t Var) String() string { return t.Name }
+
+// TupleField is one attribute of a tuple term; the attribute itself may be
+// a variable (grammar rule 2 of data terms).
+type TupleField struct {
+	Attr AttrTerm
+	T    DataTerm
+}
+
+// TupleTerm is [A₁:t₁, …, Aₙ:tₙ].
+type TupleTerm struct{ Fields []TupleField }
+
+func (TupleTerm) isDataTerm() {}
+func (t TupleTerm) String() string {
+	parts := make([]string, len(t.Fields))
+	for i, f := range t.Fields {
+		parts[i] = f.Attr.String() + ": " + f.T.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// ListTerm is [t₁, …, tₙ].
+type ListTerm struct{ Items []DataTerm }
+
+func (ListTerm) isDataTerm() {}
+func (t ListTerm) String() string {
+	parts := make([]string, len(t.Items))
+	for i, it := range t.Items {
+		parts[i] = it.String()
+	}
+	return "list(" + strings.Join(parts, ", ") + ")"
+}
+
+// SetTerm is {t₁, …, tₙ}.
+type SetTerm struct{ Items []DataTerm }
+
+func (SetTerm) isDataTerm() {}
+func (t SetTerm) String() string {
+	parts := make([]string, len(t.Items))
+	for i, it := range t.Items {
+		parts[i] = it.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// FuncCall applies an interpreted function or a method m(t₁, …, tₙ).
+// Arguments may be of any sort (length takes a path, name an attribute).
+type FuncCall struct {
+	Name string
+	Args []Term
+}
+
+func (FuncCall) isDataTerm() {}
+func (t FuncCall) String() string {
+	parts := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		parts[i] = a.String()
+	}
+	return t.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// PathApply is the data term tP: the value reached from t by following P.
+type PathApply struct {
+	Base DataTerm
+	Path PathTerm
+}
+
+func (PathApply) isDataTerm() {}
+func (t PathApply) String() string {
+	return t.Base.String() + " " + t.Path.String()
+}
+
+// InnerQuery nests a query as a data term ("the nesting of queries in a
+// calculus à la [3]"): it denotes the set of head tuples — or, for a
+// single-variable head, the set of head values.
+type InnerQuery struct{ Q *Query }
+
+func (InnerQuery) isDataTerm()      {}
+func (t InnerQuery) String() string { return t.Q.String() }
+
+// AttrTerm is a term of sort att: an attribute name or variable.
+type AttrTerm interface {
+	isAttrTerm()
+	String() string
+}
+
+// AttrName is a constant attribute name.
+type AttrName struct{ Name string }
+
+func (AttrName) isAttrTerm()      {}
+func (t AttrName) String() string { return t.Name }
+
+// AttrVar is an attribute variable (A, B, C …).
+type AttrVar struct{ Name string }
+
+func (AttrVar) isAttrTerm()      {}
+func (t AttrVar) String() string { return t.Name }
+
+// PathTerm is a term of sort path: a sequence of path elements. The
+// grammar's PQ concatenation is flattened into the element list.
+type PathTerm struct{ Elems []PathElem }
+
+// String renders the path term.
+func (t PathTerm) String() string {
+	if len(t.Elems) == 0 {
+		return "ε"
+	}
+	var b strings.Builder
+	for i, e := range t.Elems {
+		if i > 0 {
+			if _, isVar := e.(ElemVar); isVar {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// Concat returns the path term t followed by u.
+func (t PathTerm) Concat(u PathTerm) PathTerm {
+	elems := make([]PathElem, 0, len(t.Elems)+len(u.Elems))
+	elems = append(elems, t.Elems...)
+	elems = append(elems, u.Elems...)
+	return PathTerm{Elems: elems}
+}
+
+// PathElem is one element of a path term.
+type PathElem interface {
+	isPathElem()
+	String() string
+}
+
+// ElemVar is an occurrence of a path variable (P, Q, R …).
+type ElemVar struct{ Name string }
+
+func (ElemVar) isPathElem()      {}
+func (e ElemVar) String() string { return e.Name }
+
+// ElemDeref is the dereferencing step →.
+type ElemDeref struct{}
+
+func (ElemDeref) isPathElem()    {}
+func (ElemDeref) String() string { return "->" }
+
+// ElemAttr is ·A for an attribute term A (name or variable).
+type ElemAttr struct{ A AttrTerm }
+
+func (ElemAttr) isPathElem()      {}
+func (e ElemAttr) String() string { return "." + e.A.String() }
+
+// ElemIndex is [i] for an integer term: a constant or a data variable.
+type ElemIndex struct{ I DataTerm }
+
+func (ElemIndex) isPathElem()      {}
+func (e ElemIndex) String() string { return "[" + e.I.String() + "]" }
+
+// ElemBind is the binding (X): the data variable X denotes the value
+// reached at this point of the path.
+type ElemBind struct{ X string }
+
+func (ElemBind) isPathElem()      {}
+func (e ElemBind) String() string { return "(" + e.X + ")" }
+
+// ElemMember is {t}: step into a set by choosing member t (a constant or a
+// data variable, which the step binds).
+type ElemMember struct{ T DataTerm }
+
+func (ElemMember) isPathElem()      {}
+func (e ElemMember) String() string { return "{" + e.T.String() + "}" }
+
+// Term is any term of the three sorts (the argument type of interpreted
+// functions and predicates).
+type Term interface{ String() string }
+
+// Convenience constructors.
+
+// P builds a path term from elements.
+func P(elems ...PathElem) PathTerm { return PathTerm{Elems: elems} }
+
+// PVar is the path term consisting of one path variable.
+func PVar(name string) PathTerm { return P(ElemVar{Name: name}) }
+
+// Steps converts concrete path steps to path elements (for fixed paths in
+// queries).
+func Steps(p path.Path) []PathElem {
+	out := make([]PathElem, 0, p.Len())
+	for _, s := range p.Steps() {
+		switch s.Kind {
+		case path.StepAttr:
+			out = append(out, ElemAttr{A: AttrName{Name: s.Name}})
+		case path.StepIndex:
+			out = append(out, ElemIndex{I: Const{V: object.Int(s.Index)}})
+		case path.StepDeref:
+			out = append(out, ElemDeref{})
+		case path.StepMember:
+			out = append(out, ElemMember{T: Const{V: s.Member}})
+		}
+	}
+	return out
+}
+
+// Str, Num and Bl build constant data terms.
+func Str(s string) DataTerm { return Const{V: object.String_(s)} }
+
+// Num builds an integer constant term.
+func Num(i int64) DataTerm { return Const{V: object.Int(i)} }
+
+// Bl builds a boolean constant term.
+func Bl(b bool) DataTerm { return Const{V: object.Bool(b)} }

@@ -1,0 +1,326 @@
+package calculus
+
+import (
+	"fmt"
+	"sort"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/path"
+	"sgmldb/internal/store"
+)
+
+// This file implements the typing of Section 5.3: "typing is essentially a
+// consequence of range restriction — once the range of a variable is
+// known, it determines its type". Variables restricted through path
+// predicates with path or attribute variables receive union types (one
+// alternative per type reachable), exactly the polymorphism the paper
+// describes.
+
+// TypeInfo is the inferred typing of a query's variables.
+type TypeInfo struct {
+	// Data maps each data variable to its possible types (more than one
+	// when path/attribute variables make the range polymorphic).
+	Data map[string][]object.Type
+	// Attr maps each attribute variable to its candidate attribute names.
+	Attr map[string][]string
+	// PathVars lists the path variables encountered.
+	PathVars []string
+}
+
+// TypeOf returns the single inferred type of a data variable: the type
+// itself when unique, or the marked union of the alternatives with
+// system-supplied markers α1, α2, … (Section 5.3).
+func (ti *TypeInfo) TypeOf(name string) (object.Type, bool) {
+	ts, ok := ti.Data[name]
+	if !ok || len(ts) == 0 {
+		return nil, false
+	}
+	return UnionOfTypes(ts), true
+}
+
+// UnionOfTypes folds a set of possible types into one type: the single
+// type when unique, otherwise the marked union (α1: τ1 + … + αn: τn) with
+// system-supplied markers.
+func UnionOfTypes(ts []object.Type) object.Type {
+	ded := dedupTypes(ts)
+	if len(ded) == 1 {
+		return ded[0]
+	}
+	alts := make([]object.TField, len(ded))
+	for i, t := range ded {
+		alts[i] = object.TField{Name: fmt.Sprintf("α%d", i+1), Type: t}
+	}
+	return object.UnionOf(alts...)
+}
+
+func dedupTypes(ts []object.Type) []object.Type {
+	seen := map[string]bool{}
+	var out []object.Type
+	for _, t := range ts {
+		k := object.TypeKey(t)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return object.TypeKey(out[i]) < object.TypeKey(out[j])
+	})
+	return out
+}
+
+// InferTypes infers variable types for a query over a schema. It follows
+// the same conjunct order as evaluation and propagates sets of possible
+// types through path terms.
+func InferTypes(schema *store.Schema, q *Query) (*TypeInfo, error) {
+	ti := &TypeInfo{Data: map[string][]object.Type{}, Attr: map[string][]string{}}
+	inf := &inferencer{schema: schema, ti: ti}
+	if err := inf.formula(q.Body); err != nil {
+		return nil, err
+	}
+	for k := range ti.Data {
+		ti.Data[k] = dedupTypes(ti.Data[k])
+	}
+	for k := range ti.Attr {
+		ti.Attr[k] = dedupStrings(ti.Attr[k])
+	}
+	ti.PathVars = dedupStrings(ti.PathVars)
+	return ti, nil
+}
+
+func dedupStrings(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+type inferencer struct {
+	schema *store.Schema
+	ti     *TypeInfo
+}
+
+func (inf *inferencer) formula(f Formula) error {
+	switch x := f.(type) {
+	case And:
+		if err := inf.formula(x.L); err != nil {
+			return err
+		}
+		return inf.formula(x.R)
+	case Or:
+		if err := inf.formula(x.L); err != nil {
+			return err
+		}
+		return inf.formula(x.R)
+	case Not:
+		return inf.formula(x.F)
+	case Exists:
+		return inf.formula(x.Body)
+	case Forall:
+		if err := inf.formula(x.Range); err != nil {
+			return err
+		}
+		return inf.formula(x.Then)
+	case PathAtom:
+		base, err := inf.baseTypes(x.Base)
+		if err != nil {
+			return err
+		}
+		inf.pathTerm(base, x.Path.Elems)
+		return nil
+	case In:
+		// X ∈ t restricts X to t's element type.
+		if v, ok := x.L.(Var); ok {
+			for _, t := range inf.dataTermTypes(x.R) {
+				switch c := t.(type) {
+				case object.SetType:
+					inf.ti.Data[v.Name] = append(inf.ti.Data[v.Name], c.Elem)
+				case object.ListType:
+					inf.ti.Data[v.Name] = append(inf.ti.Data[v.Name], c.Elem)
+				}
+			}
+		}
+		return nil
+	case Eq:
+		if v, ok := x.L.(Var); ok {
+			inf.ti.Data[v.Name] = append(inf.ti.Data[v.Name], inf.dataTermTypes(x.R)...)
+		}
+		if v, ok := x.R.(Var); ok {
+			inf.ti.Data[v.Name] = append(inf.ti.Data[v.Name], inf.dataTermTypes(x.L)...)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// baseTypes computes the possible types of a path atom's base.
+func (inf *inferencer) baseTypes(t DataTerm) ([]object.Type, error) {
+	ts := inf.dataTermTypes(t)
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("calculus: cannot type base term %s", t)
+	}
+	return ts, nil
+}
+
+func (inf *inferencer) dataTermTypes(t DataTerm) []object.Type {
+	switch x := t.(type) {
+	case NameRef:
+		if ty, ok := inf.schema.RootType(x.Name); ok {
+			return []object.Type{ty}
+		}
+		return nil
+	case Const:
+		if ty := typeOfValue(x.V); ty != nil {
+			return []object.Type{ty}
+		}
+		return nil
+	case Var:
+		return inf.ti.Data[x.Name]
+	default:
+		return nil
+	}
+}
+
+func typeOfValue(v object.Value) object.Type {
+	switch v.(type) {
+	case object.Int:
+		return object.IntType
+	case object.Float:
+		return object.FloatType
+	case object.String_:
+		return object.StringType
+	case object.Bool:
+		return object.BoolType
+	case object.OID:
+		return object.Any
+	default:
+		return nil
+	}
+}
+
+// pathTerm walks the path elements over the possible types.
+func (inf *inferencer) pathTerm(types []object.Type, elems []PathElem) {
+	cur := types
+	for _, el := range elems {
+		switch x := el.(type) {
+		case ElemBind:
+			inf.ti.Data[x.X] = append(inf.ti.Data[x.X], cur...)
+		case ElemVar:
+			inf.ti.PathVars = append(inf.ti.PathVars, x.Name)
+			// The variable can stop at any type reachable from any
+			// current type.
+			var next []object.Type
+			for _, t := range cur {
+				for _, ta := range path.EnumerateSchema(inf.schema.Hierarchy(), t, 0) {
+					next = append(next, ta.Type)
+				}
+			}
+			cur = dedupTypes(next)
+		case ElemDeref:
+			var next []object.Type
+			for _, t := range cur {
+				if c, ok := t.(object.ClassType); ok {
+					next = append(next, inf.classValueTypes(c.Name)...)
+				}
+				if _, ok := t.(object.AnyType); ok {
+					for _, cl := range inf.schema.Hierarchy().Classes() {
+						next = append(next, inf.classValueTypes(cl)...)
+					}
+				}
+			}
+			cur = dedupTypes(next)
+		case ElemAttr:
+			var next []object.Type
+			switch a := x.A.(type) {
+			case AttrName:
+				for _, t := range cur {
+					next = append(next, attrTypes(t, a.Name)...)
+				}
+			case AttrVar:
+				for _, t := range cur {
+					switch c := t.(type) {
+					case object.TupleType:
+						for _, f := range c.Fields() {
+							inf.ti.Attr[a.Name] = append(inf.ti.Attr[a.Name], f.Name)
+							next = append(next, f.Type)
+						}
+					case object.UnionType:
+						for _, alt := range c.Alts() {
+							inf.ti.Attr[a.Name] = append(inf.ti.Attr[a.Name], alt.Name)
+							next = append(next, alt.Type)
+						}
+					}
+				}
+			}
+			cur = dedupTypes(next)
+		case ElemIndex:
+			if v, ok := x.I.(Var); ok {
+				inf.ti.Data[v.Name] = append(inf.ti.Data[v.Name], object.IntType)
+			}
+			var next []object.Type
+			for _, t := range cur {
+				switch c := t.(type) {
+				case object.ListType:
+					next = append(next, c.Elem)
+				case object.TupleType:
+					next = append(next, object.HeterogeneousListType(c).Elem)
+				}
+			}
+			cur = dedupTypes(next)
+		case ElemMember:
+			var next []object.Type
+			for _, t := range cur {
+				if c, ok := t.(object.SetType); ok {
+					next = append(next, c.Elem)
+					if v, ok := x.T.(Var); ok {
+						inf.ti.Data[v.Name] = append(inf.ti.Data[v.Name], c.Elem)
+					}
+				}
+			}
+			cur = dedupTypes(next)
+		}
+	}
+}
+
+// classValueTypes returns the value types of a class's extent: σ(c') for
+// every c' ≺* c.
+func (inf *inferencer) classValueTypes(class string) []object.Type {
+	var out []object.Type
+	for _, sub := range inf.schema.Hierarchy().Subclasses(class) {
+		if t, ok := inf.schema.Hierarchy().TypeOf(sub); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// attrTypes resolves a named attribute step on a type, with implicit
+// selectors through union markers.
+func attrTypes(t object.Type, name string) []object.Type {
+	switch c := t.(type) {
+	case object.TupleType:
+		if ft, ok := c.Get(name); ok {
+			return []object.Type{ft}
+		}
+		return nil
+	case object.UnionType:
+		if alt, ok := c.Get(name); ok {
+			return []object.Type{alt}
+		}
+		// Implicit selector: the attribute may live inside alternatives.
+		var out []object.Type
+		for _, alt := range c.Alts() {
+			out = append(out, attrTypes(alt.Type, name)...)
+		}
+		return out
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,199 @@
+package calculus
+
+import (
+	"testing"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/store"
+)
+
+// setEnv builds a schema with set-valued attributes and an Any reference
+// for the remaining inference branches.
+func setEnv(t *testing.T) *Env {
+	t.Helper()
+	s := store.NewSchema()
+	if err := s.AddClass("Doc", object.TupleOf(
+		object.TField{Name: "tags", Type: object.SetOf(object.StringType)},
+		object.TField{Name: "ref", Type: object.Any},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRoot("D", object.Class("Doc")); err != nil {
+		t.Fatal(err)
+	}
+	in := store.NewInstance(s)
+	o, err := in.NewObject("Doc", object.NewTuple(
+		object.Field{Name: "tags", Value: object.NewSet(object.String_("x"), object.String_("y"))},
+		object.Field{Name: "ref", Value: object.Nil{}},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.SetRoot("D", o); err != nil {
+		t.Fatal(err)
+	}
+	return NewEnv(in)
+}
+
+func TestInferMemberAndDerefTypes(t *testing.T) {
+	e := setEnv(t)
+	schema := e.Inst.Schema()
+	q := &Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: PathAtom{Base: NameRef{Name: "D"},
+			Path: P(ElemDeref{}, ElemAttr{A: AttrName{Name: "tags"}},
+				ElemMember{T: Var{Name: "X"}})},
+	}
+	ti, err := InferTypes(schema, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts := ti.Data["X"]; len(ts) != 1 || !object.TypeEqual(ts[0], object.StringType) {
+		t.Errorf("member type = %v", ts)
+	}
+	// Any-typed references dereference into every class.
+	q2 := &Query{
+		Head: []VarDecl{{Name: "Y", Sort: SortData}},
+		Body: PathAtom{Base: NameRef{Name: "D"},
+			Path: P(ElemDeref{}, ElemAttr{A: AttrName{Name: "ref"}},
+				ElemDeref{}, ElemBind{X: "Y"})},
+	}
+	ti2, err := InferTypes(schema, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ti2.Data["Y"]) == 0 {
+		t.Error("deref through any must infer class value types")
+	}
+	// In/Eq restriction sources.
+	q3 := &Query{
+		Head: []VarDecl{{Name: "Z", Sort: SortData}},
+		Body: In{L: Var{Name: "Z"},
+			R: PathApply{Base: NameRef{Name: "D"},
+				Path: P(ElemAttr{A: AttrName{Name: "tags"}})}},
+	}
+	ti3, err := InferTypes(schema, q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The In rule only sees the term's type when it is directly typeable;
+	// PathApply is dynamic, so no type is inferred — which is fine (nil =
+	// unknown), and must not error.
+	_ = ti3
+	// Or / Not / Forall walk both sides without error.
+	q4 := &Query{
+		Head: []VarDecl{{Name: "W", Sort: SortData}},
+		Body: And{
+			L: Or{
+				L: Eq{L: Var{Name: "W"}, R: Str("a")},
+				R: Eq{L: Var{Name: "W"}, R: Str("b")},
+			},
+			R: Not{F: Eq{L: Var{Name: "W"}, R: Str("c")}},
+		},
+	}
+	ti4, err := InferTypes(schema, q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty, ok := ti4.TypeOf("W"); !ok || !object.TypeEqual(ty, object.StringType) {
+		t.Errorf("W type = %v", ty)
+	}
+	// TypeOf on an unknown variable.
+	if _, ok := ti4.TypeOf("nope"); ok {
+		t.Error("unknown variable must have no type")
+	}
+	// UnionOfTypes collapses singletons.
+	if !object.TypeEqual(UnionOfTypes([]object.Type{object.IntType, object.IntType}), object.IntType) {
+		t.Error("UnionOfTypes singleton")
+	}
+	u := UnionOfTypes([]object.Type{object.IntType, object.StringType})
+	if _, isUnion := u.(object.UnionType); !isUnion {
+		t.Errorf("UnionOfTypes = %s", u)
+	}
+}
+
+func TestRangeRestrictionCorners(t *testing.T) {
+	// Eq between two unrestricted complex terms is unsafe.
+	if _, ok := restrict(Eq{
+		L: ListTerm{Items: []DataTerm{Var{Name: "X"}}},
+		R: ListTerm{Items: []DataTerm{Var{Name: "Y"}}},
+	}, varSet{}); ok {
+		t.Error("complex-complex Eq must be unsafe")
+	}
+	// Eq binding through a constructed term is unsafe (only bare
+	// variables are bound).
+	if _, ok := restrict(Eq{
+		L: ListTerm{Items: []DataTerm{Var{Name: "X"}}},
+		R: Const{V: object.NewList(object.Int(1))},
+	}, varSet{}); ok {
+		t.Error("constructed-term binding must be unsafe")
+	}
+	// In with an unrestricted collection is unsafe.
+	if _, ok := restrict(In{L: Var{Name: "X"}, R: Var{Name: "C"}}, varSet{}); ok {
+		t.Error("In with free collection must be unsafe")
+	}
+	// ...but safe once the collection is bound.
+	got, ok := restrict(In{L: Var{Name: "X"}, R: Var{Name: "C"}}, varSet{"C": true})
+	if !ok || !got["X"] {
+		t.Errorf("In restriction = %v %v", got, ok)
+	}
+	// A path atom with a non-variable, unbound index is unsafe.
+	if _, ok := restrict(PathAtom{Base: NameRef{Name: "D"},
+		Path: P(ElemIndex{I: FuncCall{Name: "length", Args: []Term{Var{Name: "L"}}}})},
+		varSet{}); ok {
+		t.Error("computed index over unbound variable must be unsafe")
+	}
+	// Forall whose range cannot restrict the quantified variable.
+	bad := Forall{
+		Vars:  []VarDecl{{Name: "X", Sort: SortData}},
+		Range: Cmp{Op: Lt, L: Var{Name: "X"}, R: Num(3)},
+		Then:  TrueF{},
+	}
+	if _, ok := restrict(bad, varSet{}); ok {
+		t.Error("unrestricted forall must be unsafe")
+	}
+	// An Or whose branches bind different variables restricts only the
+	// intersection (nothing), so a query projecting either variable is
+	// rejected.
+	or := Or{
+		L: Eq{L: Var{Name: "X"}, R: Num(1)},
+		R: Eq{L: Var{Name: "Y"}, R: Num(2)},
+	}
+	got2, ok := restrict(or, varSet{})
+	if !ok || len(got2) != 0 {
+		t.Errorf("asymmetric Or restricts %v", got2)
+	}
+	if err := CheckQuery(&Query{
+		Head: []VarDecl{{Name: "X", Sort: SortData}},
+		Body: And{L: or, R: Eq{L: Var{Name: "Y"}, R: Num(2)}},
+	}); err == nil {
+		t.Error("projecting an intersection-unrestricted variable must fail")
+	}
+	// Exists over a variable with no range is unsafe.
+	ex := Exists{Vars: []VarDecl{{Name: "Z", Sort: SortData}}, Body: TrueF{}}
+	if _, ok := restrict(ex, varSet{}); ok {
+		t.Error("rangeless Exists must be unsafe")
+	}
+}
+
+func TestOrderConjunctsReordering(t *testing.T) {
+	// The comparison depends on variables produced by the atoms after it
+	// in source order; ordering must move it last.
+	f := Conj(
+		Cmp{Op: Lt, L: Var{Name: "I"}, R: Var{Name: "J"}},
+		PathAtom{Base: NameRef{Name: "D"}, Path: P(ElemIndex{I: Var{Name: "I"}})},
+		PathAtom{Base: NameRef{Name: "D"}, Path: P(ElemIndex{I: Var{Name: "J"}})},
+	)
+	order, err := OrderConjuncts(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isCmp := order[len(order)-1].(Cmp); !isCmp {
+		t.Errorf("comparison must come last: %v", order)
+	}
+	// An unorderable conjunction reports the stuck conjuncts.
+	_, err = OrderConjuncts(Cmp{Op: Lt, L: Var{Name: "Q"}, R: Num(1)}, nil)
+	if err == nil {
+		t.Error("stuck conjunct must error")
+	}
+}

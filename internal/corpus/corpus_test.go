@@ -1,0 +1,83 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"sgmldb/internal/oql"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := NewGenerator(Params{Seed: 42})
+	g2 := NewGenerator(Params{Seed: 42})
+	if g1.Article(3) != g2.Article(3) {
+		t.Error("same seed must generate identical documents")
+	}
+	g3 := NewGenerator(Params{Seed: 43})
+	if g1.Article(0) == g3.Article(0) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestBuildArticles(t *testing.T) {
+	db, err := BuildArticles(Params{Docs: 4, Sections: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.Loader.Documents()); got != 4 {
+		t.Fatalf("documents = %d", got)
+	}
+	if errs := db.Loader.Instance.Check(); len(errs) != 0 {
+		t.Fatalf("generated instance invalid: %v", errs)
+	}
+	if db.RawBytes == 0 {
+		t.Error("RawBytes")
+	}
+	if db.Index.Size() != 4 {
+		t.Errorf("index size = %d", db.Index.Size())
+	}
+	// The corpus is queryable: sections with subsections exist.
+	e := oql.New(db.Env)
+	e.Index = db.Index
+	got, err := e.Query(`select ss from a in Articles, s in a.sections, ss in s.subsectns`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(got.String(), "set()") {
+		t.Error("expected subsections in the corpus")
+	}
+}
+
+func TestBuildLetters(t *testing.T) {
+	db, err := BuildLetters(Params{Docs: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := db.Loader.Instance.Check(); len(errs) != 0 {
+		t.Fatalf("letters instance invalid: %v", errs)
+	}
+	e := oql.New(db.Env)
+	got, err := e.Query(`
+select letter
+from letter in Letters, from(i) in letter.preamble, to(j) in letter.preamble
+where i < j`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Odd ids put the sender first: 3 of 6.
+	if !strings.Contains(got.String(), "o") {
+		t.Errorf("Q6 over generated letters = %s", got)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewGenerator(Params{Seed: 1, Vocabulary: 100})
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[g.word()]++
+	}
+	// The most frequent word should dominate a mid-rank word heavily.
+	if counts["w0000"] < 5*counts["w0050"]+1 {
+		t.Errorf("distribution not skewed: w0000=%d w0050=%d", counts["w0000"], counts["w0050"])
+	}
+}

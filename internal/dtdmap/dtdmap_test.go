@@ -1,0 +1,563 @@
+package dtdmap
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/sgml"
+)
+
+func figure1(t *testing.T) *sgml.DTD {
+	t.Helper()
+	src, err := os.ReadFile("../../testdata/article.dtd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtd, err := sgml.ParseDTD(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dtd
+}
+
+func articleMapping(t *testing.T) *Mapping {
+	t.Helper()
+	m, err := MapDTD(figure1(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func loadArticle(t *testing.T) (*Mapping, *Loader, object.OID) {
+	t.Helper()
+	m := articleMapping(t)
+	src, err := os.ReadFile("../../testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := sgml.ParseDocument(m.DTD, string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(m)
+	oid, err := l.Load(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, l, oid
+}
+
+// TestFigure3Schema reproduces experiment F3: the generated schema must
+// match the paper's Figure 3 class by class.
+func TestFigure3Schema(t *testing.T) {
+	m := articleMapping(t)
+	h := m.Schema.Hierarchy()
+
+	typeOf := func(class string) object.Type {
+		t.Helper()
+		ty, ok := h.TypeOf(class)
+		if !ok {
+			t.Fatalf("class %s missing", class)
+		}
+		return ty
+	}
+
+	// class Article public type tuple (title: Title, authors: list(Author),
+	// affil: Affil, abstract: Abstract, sections: list(Section),
+	// acknowl: Acknowl, private status: string)
+	art := typeOf("Article").(object.TupleType)
+	wantArt := object.TupleOf(
+		object.TField{Name: "title", Type: object.Class("Title")},
+		object.TField{Name: "authors", Type: object.ListOf(object.Class("Author"))},
+		object.TField{Name: "affil", Type: object.Class("Affil")},
+		object.TField{Name: "abstract", Type: object.Class("Abstract")},
+		object.TField{Name: "sections", Type: object.ListOf(object.Class("Section"))},
+		object.TField{Name: "acknowl", Type: object.Class("Acknowl")},
+		object.TField{Name: "status", Type: object.StringType},
+	)
+	if !object.TypeEqual(art, wantArt) {
+		t.Errorf("Article type:\n got %s\nwant %s", art, wantArt)
+	}
+	if !m.Schema.IsPrivate("Article", "status") {
+		t.Error("status must be private")
+	}
+
+	// class Title inherit Text (and Author, Affil, Abstract, Caption,
+	// Acknowl, Paragr).
+	for _, c := range []string{"Title", "Author", "Affil", "Abstract", "Caption", "Acknowl", "Paragr"} {
+		if !h.IsSubclass(c, TextClass) {
+			t.Errorf("%s must inherit Text", c)
+		}
+	}
+
+	// class Section public type union (a1: tuple(title: Title,
+	// bodies: list(Body)), a2: tuple(title: Title, bodies: list(Body),
+	// subsectns: list(Subsectn)))
+	sec := typeOf("Section")
+	wantSec := object.UnionOf(
+		object.TField{Name: "a1", Type: object.TupleOf(
+			object.TField{Name: "title", Type: object.Class("Title")},
+			object.TField{Name: "bodies", Type: object.ListOf(object.Class("Body"))},
+		)},
+		object.TField{Name: "a2", Type: object.TupleOf(
+			object.TField{Name: "title", Type: object.Class("Title")},
+			object.TField{Name: "bodies", Type: object.ListOf(object.Class("Body"))},
+			object.TField{Name: "subsectns", Type: object.ListOf(object.Class("Subsectn"))},
+		)},
+	)
+	if !object.TypeEqual(sec, wantSec) {
+		t.Errorf("Section type:\n got %s\nwant %s", sec, wantSec)
+	}
+
+	// class Subsectn public type tuple (title: Title, bodies: list(Body))
+	sub := typeOf("Subsectn")
+	wantSub := object.TupleOf(
+		object.TField{Name: "title", Type: object.Class("Title")},
+		object.TField{Name: "bodies", Type: object.ListOf(object.Class("Body"))},
+	)
+	if !object.TypeEqual(sub, wantSub) {
+		t.Errorf("Subsectn type:\n got %s\nwant %s", sub, wantSub)
+	}
+
+	// class Body public type union (figure: Figure, paragr: Paragr)
+	body := typeOf("Body")
+	wantBody := object.UnionOf(
+		object.TField{Name: "figure", Type: object.Class("Figure")},
+		object.TField{Name: "paragr", Type: object.Class("Paragr")},
+	)
+	if !object.TypeEqual(body, wantBody) {
+		t.Errorf("Body type:\n got %s\nwant %s", body, wantBody)
+	}
+
+	// class Figure public type tuple (picture: Picture, caption: Caption,
+	// private label: list(Object))
+	fig := typeOf("Figure")
+	wantFig := object.TupleOf(
+		object.TField{Name: "picture", Type: object.Class("Picture")},
+		object.TField{Name: "caption", Type: object.Class("Caption")},
+		object.TField{Name: "label", Type: object.ListOf(object.Any)},
+	)
+	if !object.TypeEqual(fig, wantFig) {
+		t.Errorf("Figure type:\n got %s\nwant %s", fig, wantFig)
+	}
+	if !m.Schema.IsPrivate("Figure", "label") {
+		t.Error("label must be private")
+	}
+
+	// class Picture inherit Bitmap.
+	if !h.IsSubclass("Picture", BitmapClass) {
+		t.Error("Picture must inherit Bitmap")
+	}
+
+	// class Paragr inherit Text, with private reflabel: Object.
+	par := typeOf("Paragr").(object.TupleType)
+	if ty, ok := par.Get("reflabel"); !ok || !object.TypeEqual(ty, object.Any) {
+		t.Errorf("Paragr.reflabel = %v", ty)
+	}
+	if !m.Schema.IsPrivate("Paragr", "reflabel") {
+		t.Error("reflabel must be private")
+	}
+
+	// name Articles: list (Article).
+	if m.RootName != "Articles" {
+		t.Errorf("root = %s", m.RootName)
+	}
+	rt, ok := m.Schema.RootType("Articles")
+	if !ok || !object.TypeEqual(rt, object.ListOf(object.Class("Article"))) {
+		t.Errorf("root type = %v", rt)
+	}
+
+	// Figure 3 constraints on Article.
+	cons := m.Schema.Constraints("Article")
+	var strs []string
+	for _, c := range cons {
+		strs = append(strs, c.String())
+	}
+	joined := strings.Join(strs, "; ")
+	for _, want := range []string{
+		"title != nil", "authors != list()", "abstract != nil",
+		`status in set("final", "draft")`,
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Article constraints missing %q in %q", want, joined)
+		}
+	}
+	// Body: figure != nil | paragr != nil.
+	bodyCons := m.Schema.Constraints("Body")
+	if len(bodyCons) == 0 || !strings.Contains(bodyCons[0].String(), "|") {
+		t.Errorf("Body constraint = %v", bodyCons)
+	}
+	// Section: per-alternative blocks.
+	secCons := m.Schema.Constraints("Section")
+	var secStr []string
+	for _, c := range secCons {
+		secStr = append(secStr, c.String())
+	}
+	sj := strings.Join(secStr, "; ")
+	if !strings.Contains(sj, "a1.title != nil") || !strings.Contains(sj, "a2.subsectns != list()") {
+		t.Errorf("Section constraints = %q", sj)
+	}
+}
+
+// TestFigure2Load reproduces experiment F2 end to end: the Figure 2
+// instance becomes a consistent database.
+func TestFigure2Load(t *testing.T) {
+	m, l, oid := loadArticle(t)
+	inst := l.Instance
+	if errs := inst.Check(); len(errs) != 0 {
+		t.Fatalf("loaded instance violates the schema: %v", errs)
+	}
+	// Root lists the document.
+	root, ok := inst.Root("Articles")
+	if !ok {
+		t.Fatal("Articles root missing")
+	}
+	lst := root.(*object.List)
+	if lst.Len() != 1 || !object.Equal(lst.At(0), oid) {
+		t.Errorf("Articles = %s", lst)
+	}
+	// The article object: title/authors/affil/abstract/sections/acknowl/status.
+	v, _ := inst.Deref(oid)
+	art := v.(*object.Tuple)
+	if got := art.Names(); strings.Join(got, ",") != "title,authors,affil,abstract,sections,acknowl,status" {
+		t.Errorf("article fields = %v", got)
+	}
+	if s, _ := art.Get("status"); !object.Equal(s, object.String_("final")) {
+		t.Errorf("status = %s", s)
+	}
+	authors, _ := art.Get("authors")
+	if authors.(*object.List).Len() != 4 {
+		t.Errorf("authors = %s", authors)
+	}
+	// First author's content.
+	a0 := authors.(*object.List).At(0).(object.OID)
+	av, _ := inst.Deref(a0)
+	if c, _ := av.(*object.Tuple).Get("content"); !object.Equal(c, object.String_("V. Christophides")) {
+		t.Errorf("author[0] = %s", c)
+	}
+	if cls, _ := inst.ClassOf(a0); cls != "Author" {
+		t.Errorf("author class = %s", cls)
+	}
+	// Sections are union values marked a1 (no subsections in Figure 2).
+	sections, _ := art.Get("sections")
+	secs := sections.(*object.List)
+	if secs.Len() != 2 {
+		t.Fatalf("sections = %s", secs)
+	}
+	s0, _ := inst.Deref(secs.At(0).(object.OID))
+	u, ok := s0.(*object.Union_)
+	if !ok || u.Marker != "a1" {
+		t.Fatalf("section value = %s", s0)
+	}
+	st := u.Value.(*object.Tuple)
+	titleOID, _ := st.Get("title")
+	tv, _ := inst.Deref(titleOID.(object.OID))
+	if c, _ := tv.(*object.Tuple).Get("content"); !object.Equal(c, object.String_("Introduction")) {
+		t.Errorf("section title = %s", c)
+	}
+	bodies, _ := st.Get("bodies")
+	if bodies.(*object.List).Len() != 1 {
+		t.Errorf("bodies = %s", bodies)
+	}
+	// Bodies are union values marked paragr.
+	b0, _ := inst.Deref(bodies.(*object.List).At(0).(object.OID))
+	bu := b0.(*object.Union_)
+	if bu.Marker != "paragr" {
+		t.Errorf("body marker = %s", bu.Marker)
+	}
+	// π extents: Text superclass covers all text subclasses.
+	if len(inst.Extent("Text")) == 0 {
+		t.Error("Text extent empty")
+	}
+	if len(inst.Extent("Section")) != 2 {
+		t.Error("Section extent")
+	}
+	// TextOf reconstructs document text.
+	txt := TextOf(inst, oid)
+	for _, want := range []string{
+		"From Structured Documents to Novel Query Facilities",
+		"V. Christophides", "Introduction", "SGML preliminaries",
+	} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("TextOf missing %q", want)
+		}
+	}
+	if strings.Contains(txt, "final") {
+		t.Error("TextOf must not leak private attributes")
+	}
+	_ = m
+}
+
+func TestLoadMultipleDocuments(t *testing.T) {
+	m := articleMapping(t)
+	l := NewLoader(m)
+	src, _ := os.ReadFile("../../testdata/article.sgml")
+	for i := 0; i < 3; i++ {
+		doc, err := sgml.ParseDocument(m.DTD, string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Load(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root, _ := l.Instance.Root("Articles")
+	if root.(*object.List).Len() != 3 {
+		t.Errorf("Articles = %s", root)
+	}
+	if len(l.Documents()) != 3 {
+		t.Error("Documents()")
+	}
+	if errs := l.Instance.Check(); len(errs) != 0 {
+		t.Fatalf("multi-document instance invalid: %v", errs)
+	}
+}
+
+func TestSectionWithSubsections(t *testing.T) {
+	m := articleMapping(t)
+	src := `<article status="draft">
+<title>T</title><author>A<affil>F<abstract>Ab
+<section><title>S1</title>
+<subsectn><title>SS1</title><body><paragr>deep text</body></subsectn>
+</section>
+<acknowl>ack
+</article>`
+	doc, err := sgml.ParseDocument(m.DTD, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(m)
+	oid, err := l.Load(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := l.Instance.Check(); len(errs) != 0 {
+		t.Fatalf("instance invalid: %v", errs)
+	}
+	v, _ := l.Instance.Deref(oid)
+	sections, _ := v.(*object.Tuple).Get("sections")
+	s0, _ := l.Instance.Deref(sections.(*object.List).At(0).(object.OID))
+	u := s0.(*object.Union_)
+	if u.Marker != "a2" {
+		t.Fatalf("section with subsections must be marked a2, got %s", u.Marker)
+	}
+	subs, _ := u.Value.(*object.Tuple).Get("subsectns")
+	if subs.(*object.List).Len() != 1 {
+		t.Error("subsectns")
+	}
+	// Bodies list in the a2 branch may be empty (body*).
+	bodies, _ := u.Value.(*object.Tuple).Get("bodies")
+	if bodies.(*object.List).Len() != 0 {
+		t.Error("a2 bodies should be empty here")
+	}
+}
+
+func TestIDREFBecomesObjectReference(t *testing.T) {
+	m := articleMapping(t)
+	src := `<article status="draft">
+<title>T</title><author>A<affil>F<abstract>Ab
+<section><title>S</title>
+<body><figure label="fig-1"><picture sizex="10cm"></figure></body>
+<body><paragr reflabel="fig-1">see the figure</body>
+</section>
+<acknowl>ack
+</article>`
+	doc, err := sgml.ParseDocument(m.DTD, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(m)
+	if _, err := l.Load(doc); err != nil {
+		t.Fatal(err)
+	}
+	inst := l.Instance
+	figs := inst.Extent("Figure")
+	pars := inst.Extent("Paragr")
+	if len(figs) != 1 || len(pars) != 1 {
+		t.Fatalf("extents: %d figures, %d paragraphs", len(figs), len(pars))
+	}
+	// The paragraph's reflabel holds the figure's oid (Figure 3:
+	// private reflabel: Object).
+	pv, _ := inst.Deref(pars[0])
+	ref, _ := pv.(*object.Tuple).Get("reflabel")
+	if !object.Equal(ref, figs[0]) {
+		t.Errorf("reflabel = %s, want %s", ref, figs[0])
+	}
+	// The figure's label holds the referencing paragraph (private label:
+	// list(Object)).
+	fv, _ := inst.Deref(figs[0])
+	label, _ := fv.(*object.Tuple).Get("label")
+	ll := label.(*object.List)
+	if ll.Len() != 1 || !object.Equal(ll.At(0), pars[0]) {
+		t.Errorf("label = %s", label)
+	}
+	// Picture attrs: given sizex overrides the default.
+	pics := inst.Extent("Picture")
+	picv, _ := inst.Deref(pics[0])
+	if sx, _ := picv.(*object.Tuple).Get("sizex"); !object.Equal(sx, object.String_("10cm")) {
+		t.Errorf("sizex = %s", sx)
+	}
+}
+
+func TestAndGroupBecomesPermutationUnion(t *testing.T) {
+	dtd, err := sgml.ParseDTD(`
+<!ELEMENT letter - - (preamble, content)>
+<!ELEMENT preamble - O (to & from)>
+<!ELEMENT to - O (#PCDATA)>
+<!ELEMENT from - O (#PCDATA)>
+<!ELEMENT content - O (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapDTD(dtd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ty, _ := m.Schema.Hierarchy().TypeOf("Preamble")
+	u, ok := ty.(object.UnionType)
+	if !ok || u.Len() != 2 {
+		t.Fatalf("Preamble type = %s", ty)
+	}
+	// Each alternative is an ordered tuple over to/from in one order —
+	// the Letters type of Section 5.3.
+	a1, _ := u.Get("a1")
+	t1 := a1.(object.TupleType)
+	if t1.Len() != 2 {
+		t.Fatalf("a1 = %s", a1)
+	}
+	names1 := []string{t1.At(0).Name, t1.At(1).Name}
+	a2, _ := u.Get("a2")
+	t2 := a2.(object.TupleType)
+	names2 := []string{t2.At(0).Name, t2.At(1).Name}
+	if names1[0] == names2[0] {
+		t.Errorf("permutations must differ: %v vs %v", names1, names2)
+	}
+	// Loading both orders yields different markers.
+	l := NewLoader(m)
+	for _, src := range []string{
+		`<letter><preamble><to>Alice<from>Bob</preamble><content>hi</letter>`,
+		`<letter><preamble><from>Bob<to>Alice</preamble><content>hi</letter>`,
+	} {
+		doc, err := sgml.ParseDocument(dtd, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Load(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pres := l.Instance.Extent("Preamble")
+	if len(pres) != 2 {
+		t.Fatal("preambles")
+	}
+	v0, _ := l.Instance.Deref(pres[0])
+	v1, _ := l.Instance.Deref(pres[1])
+	m0 := v0.(*object.Union_).Marker
+	m1 := v1.(*object.Union_).Marker
+	if m0 == m1 {
+		t.Errorf("both orders mapped to marker %s", m0)
+	}
+	if errs := l.Instance.Check(); len(errs) != 0 {
+		t.Fatalf("letters instance invalid: %v", errs)
+	}
+}
+
+func TestMixedContentModel(t *testing.T) {
+	dtd, err := sgml.ParseDTD(`
+<!ELEMENT note - - ((#PCDATA | emph)*)>
+<!ELEMENT emph - - (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapDTD(dtd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := sgml.ParseDocument(dtd, `<note>plain <emph>strong</emph> tail</note>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(m)
+	oid, err := l.Load(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := TextOf(l.Instance, oid)
+	if txt != "plain strong tail" {
+		t.Errorf("TextOf = %q", txt)
+	}
+	if errs := l.Instance.Check(); len(errs) != 0 {
+		t.Fatalf("mixed instance invalid: %v", errs)
+	}
+}
+
+func TestAnyContentMapping(t *testing.T) {
+	dtd, err := sgml.ParseDTD(`
+<!ELEMENT doc - - ANY>
+<!ELEMENT a - O (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapDTD(dtd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ty, _ := m.Schema.Hierarchy().TypeOf("Doc")
+	tt := ty.(object.TupleType)
+	if c, ok := tt.Get("contents"); !ok || !object.TypeEqual(c, object.ListOf(object.Any)) {
+		t.Errorf("Doc type = %s", ty)
+	}
+	doc, err := sgml.ParseDocument(dtd, `<doc><a>x<a>y</doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(m)
+	oid, err := l.Load(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := l.Instance.Deref(oid)
+	contents, _ := v.(*object.Tuple).Get("contents")
+	if contents.(*object.List).Len() != 2 {
+		t.Errorf("contents = %s", contents)
+	}
+}
+
+func TestClassNameCollisions(t *testing.T) {
+	dtd, err := sgml.ParseDTD(`
+<!ELEMENT doc - - (text, bitmap)>
+<!ELEMENT text - O (#PCDATA)>
+<!ELEMENT bitmap - O (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapDTD(dtd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element "text" must not collide with the predefined Text class.
+	c := m.ClassFor("text")
+	if c == TextClass {
+		t.Errorf("class for element text = %s", c)
+	}
+	if m.ClassFor("bitmap") == BitmapClass {
+		t.Error("class for element bitmap collides")
+	}
+	if m.ElementFor(c) != "text" {
+		t.Error("ElementFor inverse")
+	}
+}
+
+func TestStorageStats(t *testing.T) {
+	_, l, _ := loadArticle(t)
+	st := l.Instance.Stats()
+	if st.Objects < 15 {
+		t.Errorf("expected a populated instance, got %d objects", st.Objects)
+	}
+	if st.PerClass["Author"] != 4 {
+		t.Errorf("PerClass[Author] = %d", st.PerClass["Author"])
+	}
+}

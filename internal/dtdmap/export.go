@@ -1,0 +1,332 @@
+package dtdmap
+
+import (
+	"fmt"
+	"strings"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/sgml"
+	"sgmldb/internal/store"
+)
+
+// Export implements the inverse mapping the paper's footnote 1 points at
+// ("the inverse mapping from database schema/instances to SGML
+// DTD/documents also opens interesting perspectives"): it reconstructs an
+// SGML document from a loaded document object. Exported documents
+// re-parse and re-load to an isomorphic instance.
+//
+// ID attribute values are not stored by the loader (it materialises the
+// cross references as object references instead), so Export synthesises
+// fresh ID tokens: every object referenced through an IDREF attribute
+// gets a deterministic "id<N>" label.
+func Export(m *Mapping, inst *store.Instance, doc object.OID) (string, error) {
+	ex := &exporter{m: m, inst: inst, ids: map[object.OID]string{}}
+	// First pass: find IDREF targets so their elements carry ID labels.
+	if err := ex.collectIDTargets(doc, map[object.OID]bool{}); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if err := ex.element(&b, doc); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+type exporter struct {
+	m    *Mapping
+	inst *store.Instance
+	ids  map[object.OID]string // IDREF target -> synthesised ID token
+	next int
+}
+
+// collectIDTargets walks the document assigning ID tokens to every object
+// referenced through an IDREF-typed private attribute.
+func (ex *exporter) collectIDTargets(oid object.OID, seen map[object.OID]bool) error {
+	if seen[oid] {
+		return nil
+	}
+	seen[oid] = true
+	class, ok := ex.inst.ClassOf(oid)
+	if !ok {
+		return fmt.Errorf("dtdmap: export of unknown object %s", oid)
+	}
+	elem := ex.m.ElementFor(class)
+	v, _ := ex.inst.Deref(oid)
+	if elem != "" {
+		decl, _ := ex.m.DTD.Element(elem)
+		if tup, ok := v.(*object.Tuple); ok {
+			for _, def := range decl.Attrs {
+				if def.Type != sgml.AttIDREF && def.Type != sgml.AttIDREFS {
+					continue
+				}
+				fv, ok := tup.Get(def.Name)
+				if !ok {
+					continue
+				}
+				for _, target := range oidsIn(fv) {
+					if _, has := ex.ids[target]; !has {
+						ex.next++
+						ex.ids[target] = fmt.Sprintf("id%d", ex.next)
+					}
+				}
+			}
+		}
+	}
+	for _, child := range oidsIn(v) {
+		if err := ex.collectIDTargets(child, seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func oidsIn(v object.Value) []object.OID {
+	var out []object.OID
+	switch x := v.(type) {
+	case object.OID:
+		out = append(out, x)
+	case *object.Tuple:
+		for i := 0; i < x.Len(); i++ {
+			out = append(out, oidsIn(x.At(i).Value)...)
+		}
+	case *object.List:
+		for i := 0; i < x.Len(); i++ {
+			out = append(out, oidsIn(x.At(i))...)
+		}
+	case *object.Set:
+		for i := 0; i < x.Len(); i++ {
+			out = append(out, oidsIn(x.At(i))...)
+		}
+	case *object.Union_:
+		out = append(out, oidsIn(x.Value)...)
+	}
+	return out
+}
+
+// element writes one element with its attributes and content.
+func (ex *exporter) element(b *strings.Builder, oid object.OID) error {
+	class, ok := ex.inst.ClassOf(oid)
+	if !ok {
+		return fmt.Errorf("dtdmap: export of unknown object %s", oid)
+	}
+	elem := ex.m.ElementFor(class)
+	if elem == "" {
+		// A Text/Bitmap content object reached directly (mixed content).
+		v, _ := ex.inst.Deref(oid)
+		if tup, isTuple := v.(*object.Tuple); isTuple {
+			if c, ok := tup.Get("content"); ok {
+				if s, isStr := c.(object.String_); isStr {
+					b.WriteString(escapeText(string(s)))
+					return nil
+				}
+			}
+		}
+		return fmt.Errorf("dtdmap: object %s of class %s maps to no element", oid, class)
+	}
+	decl, _ := ex.m.DTD.Element(elem)
+	v, _ := ex.inst.Deref(oid)
+
+	b.WriteByte('<')
+	b.WriteString(elem)
+	if err := ex.attributes(b, oid, decl, v); err != nil {
+		return err
+	}
+	b.WriteByte('>')
+
+	switch decl.Content.(type) {
+	case sgml.PCData:
+		if tup, ok := v.(*object.Tuple); ok {
+			if c, ok := tup.Get("content"); ok {
+				if s, isStr := c.(object.String_); isStr {
+					b.WriteString(escapeText(string(s)))
+				}
+			}
+		}
+	case sgml.Empty:
+		// No content, and in SGML no end tag either.
+		return nil
+	case sgml.AnyContent:
+		if tup, ok := v.(*object.Tuple); ok {
+			if c, ok := tup.Get("contents"); ok {
+				for _, child := range oidsIn(c) {
+					if err := ex.element(b, child); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	default:
+		sh := ex.m.shapes[elem]
+		inner := structuralValue(sh, v)
+		if err := ex.shape(b, sh, inner); err != nil {
+			return fmt.Errorf("dtdmap: element %s: %w", elem, err)
+		}
+	}
+	b.WriteString("</")
+	b.WriteString(elem)
+	b.WriteByte('>')
+	return nil
+}
+
+// structuralValue undoes the class-type layout of classTypeFor: it
+// recovers the value matching the shape from the stored tuple.
+func structuralValue(sh shape, v object.Value) object.Value {
+	switch sh.(type) {
+	case shapeTuple:
+		return v // fields are spread into the class tuple
+	case shapeUnion:
+		if u, ok := v.(*object.Union_); ok {
+			return u
+		}
+		// Wrapped as tuple(content: union, attrs…).
+		if tup, ok := v.(*object.Tuple); ok {
+			if c, ok := tup.Get("content"); ok {
+				return c
+			}
+		}
+		return v
+	default:
+		// Single-field wrapping (lists, options, single elements).
+		if tup, ok := v.(*object.Tuple); ok {
+			name := fieldNameFor(sh)
+			if c, ok := tup.Get(name); ok {
+				return c
+			}
+		}
+		return v
+	}
+}
+
+// shape writes the content dictated by a shape from the aligned value.
+func (ex *exporter) shape(b *strings.Builder, sh shape, v object.Value) error {
+	switch x := sh.(type) {
+	case shapeElem:
+		oid, ok := v.(object.OID)
+		if !ok {
+			return fmt.Errorf("expected an object for element %s, got %s", x.elem, v)
+		}
+		return ex.element(b, oid)
+	case shapePCData:
+		if oid, ok := v.(object.OID); ok {
+			return ex.element(b, oid)
+		}
+		if s, ok := v.(object.String_); ok {
+			b.WriteString(escapeText(string(s)))
+			return nil
+		}
+		return fmt.Errorf("expected character data, got %s", v)
+	case shapeOpt:
+		if object.IsNil(v) {
+			return nil
+		}
+		return ex.shape(b, x.inner, v)
+	case shapeList:
+		l, ok := v.(*object.List)
+		if !ok {
+			return fmt.Errorf("expected a list, got %s", v)
+		}
+		for i := 0; i < l.Len(); i++ {
+			if err := ex.shape(b, x.inner, l.At(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case shapeTuple:
+		tup, ok := v.(*object.Tuple)
+		if !ok {
+			return fmt.Errorf("expected a tuple, got %s", v)
+		}
+		for _, f := range x.fields {
+			fv, ok := tup.Get(f.name)
+			if !ok {
+				return fmt.Errorf("missing field %s", f.name)
+			}
+			if err := ex.shape(b, f.inner, fv); err != nil {
+				return err
+			}
+		}
+		return nil
+	case shapeUnion:
+		u, ok := v.(*object.Union_)
+		if !ok {
+			return fmt.Errorf("expected a union value, got %s", v)
+		}
+		for _, alt := range x.alts {
+			if alt.marker == u.Marker {
+				return ex.shape(b, alt.inner, u.Value)
+			}
+		}
+		return fmt.Errorf("union marker %s not in shape", u.Marker)
+	default:
+		return fmt.Errorf("unsupported shape %T", sh)
+	}
+}
+
+// attributes writes the element's attributes from the private fields.
+func (ex *exporter) attributes(b *strings.Builder, oid object.OID, decl *sgml.ElementDecl, v object.Value) error {
+	tup, ok := v.(*object.Tuple)
+	if !ok {
+		if _, isUnion := v.(*object.Union_); isUnion {
+			return nil // union-typed class without attributes
+		}
+		return nil
+	}
+	for _, def := range decl.Attrs {
+		fv, ok := tup.Get(def.Name)
+		if !ok {
+			continue
+		}
+		switch def.Type {
+		case sgml.AttID:
+			// Emit the synthesised ID when this object is referenced, or
+			// unconditionally when the DTD requires the attribute.
+			id, has := ex.ids[oid]
+			if !has && def.Default == sgml.DefaultRequired {
+				ex.next++
+				id = fmt.Sprintf("id%d", ex.next)
+				ex.ids[oid] = id
+				has = true
+			}
+			if has {
+				fmt.Fprintf(b, " %s=%q", def.Name, id)
+			}
+		case sgml.AttIDREF:
+			if target, isOID := fv.(object.OID); isOID {
+				id, has := ex.ids[target]
+				if !has {
+					return fmt.Errorf("dtdmap: IDREF target %s has no label", target)
+				}
+				fmt.Fprintf(b, " %s=%q", def.Name, id)
+			}
+		case sgml.AttIDREFS:
+			if l, isList := fv.(*object.List); isList && l.Len() > 0 {
+				parts := make([]string, 0, l.Len())
+				for _, t := range oidsIn(l) {
+					id, has := ex.ids[t]
+					if !has {
+						return fmt.Errorf("dtdmap: IDREFS target %s has no label", t)
+					}
+					parts = append(parts, id)
+				}
+				fmt.Fprintf(b, " %s=%q", def.Name, strings.Join(parts, " "))
+			}
+		case sgml.AttNUMBER:
+			if n, isInt := fv.(object.Int); isInt {
+				fmt.Fprintf(b, " %s=\"%d\"", def.Name, int64(n))
+			}
+		default:
+			if s, isStr := fv.(object.String_); isStr {
+				fmt.Fprintf(b, " %s=%q", def.Name, string(s))
+			}
+		}
+	}
+	return nil
+}
+
+// escapeText escapes markup-significant characters in character data.
+func escapeText(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

@@ -1,0 +1,112 @@
+package dtdmap
+
+import (
+	"strings"
+	"testing"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/sgml"
+)
+
+// crossrefDTD exercises IDREFS (plural) fixups and their export.
+const crossrefDTD = `<!DOCTYPE biblio [
+<!ELEMENT biblio - - (entry+, survey)>
+<!ELEMENT entry - O (#PCDATA)>
+<!ATTLIST entry key ID #REQUIRED>
+<!ELEMENT survey - O (#PCDATA)>
+<!ATTLIST survey cites IDREFS #IMPLIED>
+]>`
+
+func TestIDREFSFixupsAndExport(t *testing.T) {
+	dtd, err := sgml.ParseDTD(crossrefDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapDTD(dtd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(m)
+	doc, err := sgml.ParseDocument(dtd, `<biblio>
+<entry key="k1">First work.
+<entry key="k2">Second work.
+<entry key="k3">Third work.
+<survey cites="k1 k3">A survey citing two works.
+</biblio>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, err := l.Load(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := l.Instance
+	if errs := inst.Check(); len(errs) != 0 {
+		t.Fatalf("instance invalid: %v", errs)
+	}
+	// The survey's cites attribute holds the two entry oids.
+	surveys := inst.Extent("Survey")
+	if len(surveys) != 1 {
+		t.Fatal("survey extent")
+	}
+	sv, _ := inst.Deref(surveys[0])
+	cites, _ := sv.(*object.Tuple).Get("cites")
+	cl := cites.(*object.List)
+	if cl.Len() != 2 {
+		t.Fatalf("cites = %s", cites)
+	}
+	entries := inst.Extent("Entry")
+	// Each cited entry's key field lists the survey as referrer.
+	citedCount := 0
+	for _, e := range entries {
+		ev, _ := inst.Deref(e)
+		key, _ := ev.(*object.Tuple).Get("key")
+		if refs := key.(*object.List); refs.Len() > 0 {
+			citedCount++
+			if !object.Equal(refs.At(0), surveys[0]) {
+				t.Errorf("referrer = %s", refs.At(0))
+			}
+		}
+	}
+	if citedCount != 2 {
+		t.Errorf("cited entries = %d", citedCount)
+	}
+	// Export reconstructs the IDREFS attribute.
+	out, err := Export(m, inst, oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `cites="id1 id2"`) && !strings.Contains(out, `cites="id2 id1"`) {
+		t.Errorf("cites not reconstructed:\n%s", out)
+	}
+	// And the export round-trips.
+	doc2, err := sgml.ParseDocument(dtd, out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	m2, _ := MapDTD(dtd)
+	l2 := NewLoader(m2)
+	if _, err := l2.Load(doc2); err != nil {
+		t.Fatalf("re-load: %v", err)
+	}
+	if errs := l2.Instance.Check(); len(errs) != 0 {
+		t.Fatalf("re-loaded invalid: %v", errs)
+	}
+}
+
+func TestAndGroupTooLarge(t *testing.T) {
+	// An "&" group beyond the permutation bound is rejected with a clear
+	// message (factorial expansion).
+	decl := "<!ELEMENT big - - (a & b & c & d & e & f)>"
+	for _, e := range []string{"a", "b", "c", "d", "e", "f"} {
+		decl += "<!ELEMENT " + e + " - O (#PCDATA)>"
+	}
+	dtd, err := sgml.ParseDTD(decl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = MapDTD(dtd)
+	if err == nil || !strings.Contains(err.Error(), "permutations") {
+		t.Errorf("oversized & group must be rejected, got %v", err)
+	}
+}

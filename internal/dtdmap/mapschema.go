@@ -1,0 +1,324 @@
+package dtdmap
+
+import (
+	"fmt"
+	"strings"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/sgml"
+	"sgmldb/internal/store"
+)
+
+// Names of the predefined content classes of Section 3: SGML basic types
+// are represented by classes of an appropriate content type.
+const (
+	// TextClass holds character data; #PCDATA elements inherit it.
+	TextClass = "Text"
+	// BitmapClass holds non-SGML data; EMPTY elements (images) inherit it.
+	BitmapClass = "Bitmap"
+)
+
+// Mapping is a compiled DTD→schema mapping: the generated schema plus the
+// correspondence between element names and classes that the instance
+// loader and the text() operator need.
+type Mapping struct {
+	DTD    *sgml.DTD
+	Schema *store.Schema
+
+	classOf   map[string]string // element name -> class name
+	elemOf    map[string]string // class name -> element name
+	shapes    map[string]shape  // element name -> compiled shape (structured elements)
+	attrOrder map[string][]sgml.AttDef
+	// RootName is the persistence root declared for the document class,
+	// e.g. "Articles" for an article DTD.
+	RootName string
+}
+
+// ClassFor returns the class name an element maps to.
+func (m *Mapping) ClassFor(elem string) string { return m.classOf[strings.ToLower(elem)] }
+
+// ElementFor returns the element a class maps back to ("" for the
+// predefined content classes).
+func (m *Mapping) ElementFor(class string) string { return m.elemOf[class] }
+
+// MapDTD compiles a DTD into a schema of the extended O₂ model following
+// Section 3: one class per element definition, plus the predefined Text
+// and Bitmap content classes and a persistence root holding the list of
+// documents.
+func MapDTD(dtd *sgml.DTD) (*Mapping, error) {
+	m := &Mapping{
+		DTD:       dtd,
+		Schema:    store.NewSchema(),
+		classOf:   make(map[string]string),
+		elemOf:    make(map[string]string),
+		shapes:    make(map[string]shape),
+		attrOrder: make(map[string][]sgml.AttDef),
+	}
+	if err := m.Schema.AddClass(TextClass, object.TupleOf(
+		object.TField{Name: "content", Type: object.StringType})); err != nil {
+		return nil, err
+	}
+	if err := m.Schema.AddClass(BitmapClass, object.TupleOf(
+		object.TField{Name: "file", Type: object.StringType})); err != nil {
+		return nil, err
+	}
+	// First pass: allocate class names so content models may refer to any
+	// element regardless of declaration order.
+	for _, elem := range dtd.Elements() {
+		class := m.className(elem)
+		m.classOf[elem] = class
+		m.elemOf[class] = elem
+		if err := m.Schema.AddClass(class, object.TupleOf()); err != nil {
+			return nil, err
+		}
+	}
+	// Second pass: build each class's type, inheritance and constraints.
+	for _, elem := range dtd.Elements() {
+		if err := m.buildClass(elem); err != nil {
+			return nil, err
+		}
+	}
+	// The persistence root: name Articles: list (Article).
+	docClass := m.classOf[dtd.Name]
+	m.RootName = pluralizeClass(docClass)
+	if err := m.Schema.AddRoot(m.RootName, object.ListOf(object.Class(docClass))); err != nil {
+		return nil, err
+	}
+	// Default behaviour: a text method signature on the document class
+	// (standard display/read methods in the paper's terms).
+	if err := m.Schema.AddMethod(store.MethodSig{
+		Class: docClass, Name: "text", Result: object.StringType,
+	}); err != nil {
+		return nil, err
+	}
+	if err := m.Schema.Check(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// className capitalises an element name into a class name: article →
+// Article, subsectn → Subsectn. Collisions with the predefined classes are
+// suffixed.
+func (m *Mapping) className(elem string) string {
+	name := strings.ToUpper(elem[:1]) + elem[1:]
+	for name == TextClass || name == BitmapClass || m.elemOf[name] != "" {
+		name += "_"
+	}
+	return name
+}
+
+// buildClass fills in the class generated for one element definition.
+func (m *Mapping) buildClass(elem string) error {
+	decl, _ := m.DTD.Element(elem)
+	class := m.classOf[elem]
+	attrFields, attrCons, err := m.attrFields(decl)
+	if err != nil {
+		return err
+	}
+	m.attrOrder[elem] = decl.Attrs
+
+	var classType object.Type
+	var cons []store.Constraint
+
+	switch content := decl.Content.(type) {
+	case sgml.PCData:
+		// An SGML basic type: a class of content type Text.
+		if err := m.Schema.AddInherits(class, TextClass); err != nil {
+			return err
+		}
+		fields := append([]object.TField{{Name: "content", Type: object.StringType}}, attrFields...)
+		classType = object.TupleOf(dedupFields(fields)...)
+	case sgml.Empty:
+		// Non-SGML data (images): a class of content type Bitmap. An
+		// ENTITY attribute named file (Figure 1's picture) doubles as the
+		// Bitmap content; otherwise a file field is added.
+		if err := m.Schema.AddInherits(class, BitmapClass); err != nil {
+			return err
+		}
+		fields := attrFields
+		if !hasField(fields, "file") {
+			fields = append([]object.TField{{Name: "file", Type: object.StringType}}, fields...)
+		}
+		classType = object.TupleOf(dedupFields(fields)...)
+	case sgml.AnyContent:
+		// ANY content: a heterogeneous list of arbitrary logical objects.
+		fields := append([]object.TField{{Name: "contents", Type: object.ListOf(object.Any)}}, attrFields...)
+		classType = object.TupleOf(dedupFields(fields)...)
+	default:
+		sh, err := m.compileModel(content)
+		if err != nil {
+			return fmt.Errorf("dtdmap: element %s: %w", elem, err)
+		}
+		m.shapes[elem] = sh
+		classType, cons = m.classTypeFor(sh, attrFields)
+	}
+	if err := m.Schema.SetClassType(class, classType); err != nil {
+		return err
+	}
+	for _, c := range cons {
+		if err := m.Schema.AddConstraint(class, c); err != nil {
+			return err
+		}
+	}
+	for _, c := range attrCons {
+		if err := m.Schema.AddConstraint(class, c); err != nil {
+			return err
+		}
+	}
+	// SGML attributes are private: they do not belong to the document's
+	// logical structure (Figure 3's "private status: string").
+	for _, a := range attrFields {
+		if err := m.Schema.MarkPrivate(class, a.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// classTypeFor turns a compiled shape into the class's type, appending the
+// private attribute fields, and derives the Figure 3 constraints.
+func (m *Mapping) classTypeFor(sh shape, attrFields []object.TField) (object.Type, []store.Constraint) {
+	var cons []store.Constraint
+	switch x := sh.(type) {
+	case shapeTuple:
+		t := x.typ(m).(object.TupleType)
+		fields := append(t.Fields(), attrFields...)
+		for _, spec := range constraintsFor(x) {
+			cons = append(cons, materialise(spec))
+		}
+		return object.TupleOf(dedupFields(fields)...), cons
+	case shapeUnion:
+		u := x.typ(m).(object.UnionType)
+		// The paper's Body constraint: one of the alternatives is present.
+		var alts []store.Constraint
+		allElems := true
+		for _, a := range x.alts {
+			if _, ok := a.inner.(shapeElem); !ok {
+				allElems = false
+			}
+			alts = append(alts, store.NotNil{Attr: a.marker})
+		}
+		if allElems {
+			cons = append(cons, store.AnyOf{Alts: alts})
+		} else {
+			for _, spec := range constraintsFor(x) {
+				cons = append(cons, materialise(spec))
+			}
+		}
+		if len(attrFields) == 0 {
+			return u, cons
+		}
+		fields := append([]object.TField{{Name: "content", Type: u}}, attrFields...)
+		return object.TupleOf(dedupFields(fields)...), cons
+	case shapeList:
+		name := x.suggestion()
+		if name == "" {
+			name = "items"
+		}
+		fields := append([]object.TField{{Name: name, Type: x.typ(m)}}, attrFields...)
+		if x.required {
+			cons = append(cons, store.NotEmptyList{Attr: name})
+		}
+		return object.TupleOf(dedupFields(fields)...), cons
+	case shapeOpt:
+		name := x.suggestion()
+		if name == "" {
+			name = "content"
+		}
+		fields := append([]object.TField{{Name: name, Type: x.typ(m)}}, attrFields...)
+		return object.TupleOf(dedupFields(fields)...), cons
+	case shapeElem, shapePCData:
+		name := sh.suggestion()
+		fields := append([]object.TField{{Name: name, Type: sh.typ(m)}}, attrFields...)
+		cons = append(cons, store.NotNil{Attr: name})
+		return object.TupleOf(dedupFields(fields)...), cons
+	default:
+		return object.TupleOf(attrFields...), nil
+	}
+}
+
+// materialise converts a constraint spec into a store constraint.
+func materialise(spec constraintSpec) store.Constraint {
+	switch spec.kind {
+	case conNotNil:
+		return store.NotNil{Attr: spec.attr}
+	case conNotEmpty:
+		return store.NotEmptyList{Attr: spec.attr}
+	case conOnAlt:
+		inner := make([]store.Constraint, len(spec.inner))
+		for i, in := range spec.inner {
+			inner[i] = materialise(in)
+		}
+		return store.OnAlt{Marker: spec.attr, Inner: inner}
+	default:
+		panic("dtdmap: unknown constraint kind")
+	}
+}
+
+// attrFields maps ATTLIST declarations to private tuple attributes:
+// strings for CDATA/NMTOKEN/NAME/enumerations, integers for NUMBER,
+// object references for IDREF (Figure 3's "private reflabel: Object"),
+// lists of referencing objects for ID ("private label: list (Object)"),
+// and the entity's system identifier for ENTITY.
+func (m *Mapping) attrFields(decl *sgml.ElementDecl) ([]object.TField, []store.Constraint, error) {
+	var fields []object.TField
+	var cons []store.Constraint
+	for _, a := range decl.Attrs {
+		var t object.Type
+		switch a.Type {
+		case sgml.AttID:
+			// An ID attribute yields the list of objects referencing this
+			// one: object sharing makes the cross reference navigable in
+			// both directions.
+			t = object.ListOf(object.Any)
+		case sgml.AttIDREF:
+			t = object.Any
+		case sgml.AttIDREFS:
+			t = object.ListOf(object.Any)
+		case sgml.AttNUMBER:
+			t = object.IntType
+		default:
+			t = object.StringType
+		}
+		fields = append(fields, object.TField{Name: a.Name, Type: t})
+		if a.Type == sgml.AttEnum {
+			vals := make([]object.Value, len(a.Enum))
+			for i, e := range a.Enum {
+				vals[i] = object.String_(e)
+			}
+			cons = append(cons, store.InSet{Attr: a.Name, Values: vals})
+		}
+		if a.Default == sgml.DefaultRequired {
+			cons = append(cons, store.NotNil{Attr: a.Name})
+		}
+	}
+	return fields, cons, nil
+}
+
+// dedupFields suffixes duplicate attribute names (a structural member and
+// an SGML attribute may collide).
+func dedupFields(fields []object.TField) []object.TField {
+	used := map[string]int{}
+	out := make([]object.TField, len(fields))
+	for i, f := range fields {
+		used[f.Name]++
+		if used[f.Name] > 1 {
+			f.Name = fmt.Sprintf("%s%d", f.Name, used[f.Name])
+		}
+		out[i] = f
+	}
+	return out
+}
+
+func hasField(fields []object.TField, name string) bool {
+	for _, f := range fields {
+		if f.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// pluralizeClass forms the root name: Article → Articles.
+func pluralizeClass(class string) string { return pluralize(class) }

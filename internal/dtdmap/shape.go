@@ -1,0 +1,316 @@
+// Package dtdmap implements Section 3 of the paper: the mapping from SGML
+// DTDs to schemas of the extended O₂ model (Figure 1 → Figure 3) and from
+// document instances to objects and values (Figure 2 → a database). Each
+// element definition becomes a class with a type, constraints and default
+// behaviour; sequence groups become ordered tuples, choice groups become
+// marked unions, "+"/"*" occurrences become lists, "&" groups become the
+// union of their permutations (the Letters type of Section 5.3), ID/IDREF
+// attributes become object references, and #PCDATA elements become
+// subclasses of Text (EMPTY elements of Bitmap).
+package dtdmap
+
+import (
+	"fmt"
+	"strings"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/sgml"
+)
+
+// shape is the compiled form of a content model that both the type
+// generator and the instance loader interpret, guaranteeing that the
+// generated types and the loaded values agree structurally.
+type shape interface {
+	// typ returns the object type this shape maps to.
+	typ(m *Mapping) object.Type
+	// suggestion returns the preferred attribute name for this shape when
+	// it becomes a tuple field ("" when none is natural).
+	suggestion() string
+}
+
+// shapeElem is a reference to a child element: one object of the element's
+// class.
+type shapeElem struct{ elem string }
+
+func (s shapeElem) typ(m *Mapping) object.Type { return object.Class(m.ClassFor(s.elem)) }
+func (s shapeElem) suggestion() string         { return s.elem }
+
+// shapePCData is character data inside a structured model: an object of
+// class Text.
+type shapePCData struct{}
+
+func (shapePCData) typ(*Mapping) object.Type { return object.Class(TextClass) }
+func (shapePCData) suggestion() string       { return "text" }
+
+// shapeList is a "+" or "*" repetition.
+type shapeList struct {
+	inner    shape
+	required bool // "+": at least one
+}
+
+func (s shapeList) typ(m *Mapping) object.Type { return object.ListOf(s.inner.typ(m)) }
+func (s shapeList) suggestion() string         { return pluralize(s.inner.suggestion()) }
+
+// shapeOpt is a "?" option; absent maps to nil.
+type shapeOpt struct{ inner shape }
+
+func (s shapeOpt) typ(m *Mapping) object.Type { return s.inner.typ(m) }
+func (s shapeOpt) suggestion() string         { return s.inner.suggestion() }
+
+// shapeField is a named member of a tuple shape.
+type shapeField struct {
+	name  string
+	inner shape
+}
+
+// shapeTuple is an ordered aggregation: an ordered tuple.
+type shapeTuple struct{ fields []shapeField }
+
+func (s shapeTuple) typ(m *Mapping) object.Type {
+	fs := make([]object.TField, len(s.fields))
+	for i, f := range s.fields {
+		fs[i] = object.TField{Name: f.name, Type: f.inner.typ(m)}
+	}
+	return object.TupleOf(fs...)
+}
+func (shapeTuple) suggestion() string { return "" }
+
+// shapeAlt is one alternative of a union shape.
+type shapeAlt struct {
+	marker string
+	inner  shape
+}
+
+// shapeUnion is a choice (or an "&" group expanded to its permutations): a
+// marked union.
+type shapeUnion struct{ alts []shapeAlt }
+
+func (s shapeUnion) typ(m *Mapping) object.Type {
+	as := make([]object.TField, len(s.alts))
+	for i, a := range s.alts {
+		as[i] = object.TField{Name: a.marker, Type: a.inner.typ(m)}
+	}
+	return object.UnionOf(as...)
+}
+func (shapeUnion) suggestion() string { return "" }
+
+// compileModel translates a content model into a shape. Group members are
+// named after the elements they hold; unnamed nested groups receive
+// system-supplied markers a1, a2, … exactly as in Figure 3.
+func (m *Mapping) compileModel(model sgml.ContentModel) (shape, error) {
+	switch x := model.(type) {
+	case sgml.Name:
+		return shapeElem{elem: x.Elem}, nil
+	case sgml.PCData:
+		return shapePCData{}, nil
+	case sgml.Occur:
+		inner, err := m.compileModel(x.Item)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Ind {
+		case sgml.Opt:
+			return shapeOpt{inner: inner}, nil
+		case sgml.Plus:
+			return shapeList{inner: inner, required: true}, nil
+		default:
+			return shapeList{inner: inner}, nil
+		}
+	case sgml.Seq:
+		fields := make([]shapeField, 0, len(x.Items))
+		used := map[string]int{}
+		sysCount := 0
+		for _, it := range x.Items {
+			inner, err := m.compileModel(it)
+			if err != nil {
+				return nil, err
+			}
+			name := inner.suggestion()
+			if name == "" {
+				sysCount++
+				name = fmt.Sprintf("a%d", sysCount)
+			}
+			// Disambiguate duplicate member names: title, title2, …
+			used[name]++
+			if used[name] > 1 {
+				name = fmt.Sprintf("%s%d", name, used[name])
+			}
+			fields = append(fields, shapeField{name: name, inner: inner})
+		}
+		return shapeTuple{fields: fields}, nil
+	case sgml.Choice:
+		alts := make([]shapeAlt, 0, len(x.Items))
+		sysCount := 0
+		used := map[string]bool{}
+		for _, it := range x.Items {
+			inner, err := m.compileModel(it)
+			if err != nil {
+				return nil, err
+			}
+			marker := inner.suggestion()
+			if marker == "" || used[marker] {
+				sysCount++
+				marker = fmt.Sprintf("a%d", sysCount)
+				for used[marker] {
+					sysCount++
+					marker = fmt.Sprintf("a%d", sysCount)
+				}
+			}
+			used[marker] = true
+			alts = append(alts, shapeAlt{marker: marker, inner: inner})
+		}
+		return shapeUnion{alts: alts}, nil
+	case sgml.And:
+		// The "&" connector admits every permutation of its members; the
+		// paper models the result as a marked union of the permutation
+		// tuples (the Letters type of Section 5.3).
+		if len(x.Items) > maxAndMembers {
+			return nil, fmt.Errorf("dtdmap: \"&\" group with %d members expands to %d permutations; restructure the DTD",
+				len(x.Items), factorial(len(x.Items)))
+		}
+		members := make([]shape, len(x.Items))
+		for i, it := range x.Items {
+			inner, err := m.compileModel(it)
+			if err != nil {
+				return nil, err
+			}
+			members[i] = inner
+		}
+		perms := permutations(len(members))
+		alts := make([]shapeAlt, 0, len(perms))
+		for i, perm := range perms {
+			fields := make([]shapeField, len(perm))
+			usedNames := map[string]int{}
+			for j, idx := range perm {
+				name := members[idx].suggestion()
+				if name == "" {
+					name = fmt.Sprintf("m%d", idx+1)
+				}
+				usedNames[name]++
+				if usedNames[name] > 1 {
+					name = fmt.Sprintf("%s%d", name, usedNames[name])
+				}
+				fields[j] = shapeField{name: name, inner: members[idx]}
+			}
+			alts = append(alts, shapeAlt{marker: fmt.Sprintf("a%d", i+1), inner: shapeTuple{fields: fields}})
+		}
+		return shapeUnion{alts: alts}, nil
+	case sgml.Empty, sgml.AnyContent:
+		return nil, fmt.Errorf("dtdmap: %s content has no structural shape", model)
+	default:
+		return nil, fmt.Errorf("dtdmap: unsupported content model %T", model)
+	}
+}
+
+// maxAndMembers bounds "&" permutation expansion (n! alternatives).
+const maxAndMembers = 5
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+// permutations returns all permutations of 0..n-1 in lexicographic order.
+func permutations(n int) [][]int {
+	var out [][]int
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			cp := make([]int, n)
+			copy(cp, perm)
+			out = append(out, cp)
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		// Restore lexicographic-ish order: the simple swap recursion does
+		// not emit lexicographic order for n ≥ 3, but the order is
+		// deterministic, which is what the schema needs.
+	}
+	rec(0)
+	return out
+}
+
+// pluralize forms Figure 3's list attribute names: author→authors,
+// body→bodies, section→sections, subsectn→subsectns.
+func pluralize(name string) string {
+	if name == "" {
+		return ""
+	}
+	if strings.HasSuffix(name, "y") && len(name) > 1 && !isVowel(name[len(name)-2]) {
+		return name[:len(name)-1] + "ies"
+	}
+	if strings.HasSuffix(name, "s") || strings.HasSuffix(name, "x") {
+		return name + "es"
+	}
+	return name + "s"
+}
+
+func isVowel(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// constraintsFor derives the Figure 3 constraints from a shape: required
+// members must not be nil, "+" lists must not be empty; union shapes scope
+// their alternatives' constraints with OnAlt.
+func constraintsFor(s shape) []constraintSpec {
+	switch x := s.(type) {
+	case shapeTuple:
+		var out []constraintSpec
+		for _, f := range x.fields {
+			switch inner := f.inner.(type) {
+			case shapeOpt:
+				// optional: no constraint
+			case shapeList:
+				if inner.required {
+					out = append(out, constraintSpec{kind: conNotEmpty, attr: f.name})
+				}
+			case shapeUnion:
+				// A required union member must be present.
+				out = append(out, constraintSpec{kind: conNotNil, attr: f.name})
+			default:
+				out = append(out, constraintSpec{kind: conNotNil, attr: f.name})
+			}
+		}
+		return out
+	case shapeUnion:
+		var out []constraintSpec
+		for _, a := range x.alts {
+			inner := constraintsFor(a.inner)
+			if len(inner) > 0 {
+				out = append(out, constraintSpec{kind: conOnAlt, attr: a.marker, inner: inner})
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+type constraintKind int
+
+const (
+	conNotNil constraintKind = iota
+	conNotEmpty
+	conOnAlt
+)
+
+type constraintSpec struct {
+	kind  constraintKind
+	attr  string
+	inner []constraintSpec
+}

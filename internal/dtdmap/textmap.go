@@ -1,0 +1,67 @@
+package dtdmap
+
+import (
+	"strings"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/store"
+)
+
+// TextOf implements the system-supplied text operator of Section 4.2: the
+// inverse mapping from a logical object (a section, a subsection, …) to
+// the corresponding portion of text. It concatenates, in structural
+// order, every content string reachable from v, following object
+// references. Private reference attributes (the materialised ID/IDREF
+// back pointers) are skipped — a paragraph's text does not include the
+// figure it cites — and each object is visited at most once, so cycles
+// terminate.
+func TextOf(inst *store.Instance, v object.Value) string {
+	var parts []string
+	seen := make(map[object.OID]bool)
+	// walk visits a value; class names the class of the object whose
+	// stored value this is ("" when the value is not an object's own
+	// value), so that private attributes can be recognised.
+	var walk func(v object.Value, class string)
+	walk = func(v object.Value, class string) {
+		switch x := v.(type) {
+		case object.String_:
+			s := strings.TrimSpace(string(x))
+			if s != "" {
+				parts = append(parts, s)
+			}
+		case object.OID:
+			if seen[x] {
+				return
+			}
+			seen[x] = true
+			if inner, ok := inst.Deref(x); ok {
+				c, _ := inst.ClassOf(x)
+				walk(inner, c)
+			}
+		case *object.Tuple:
+			for i := 0; i < x.Len(); i++ {
+				f := x.At(i)
+				if class != "" && inst.Schema().IsPrivate(class, f.Name) {
+					continue
+				}
+				walk(f.Value, "")
+			}
+		case *object.List:
+			for i := 0; i < x.Len(); i++ {
+				walk(x.At(i), "")
+			}
+		case *object.Set:
+			for i := 0; i < x.Len(); i++ {
+				walk(x.At(i), "")
+			}
+		case *object.Union_:
+			walk(x.Value, class)
+		}
+	}
+	if o, ok := v.(object.OID); ok {
+		walk(o, "")
+	} else {
+		walk(v, "")
+	}
+	return strings.Join(parts, " ")
+}

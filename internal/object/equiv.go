@@ -1,0 +1,153 @@
+package object
+
+// This file implements the (≡) value equivalence of Section 5.1, which
+// blurs the distinction between a tuple and the corresponding
+// heterogeneous list:
+//
+//	[a₁:v₁, …, aₖ:vₖ] ≡ [[a₁:v₁], …, [aₖ:vₖ]]
+//
+// and, since marked-union values are formally singleton tuples,
+//
+//	<a: v> ≡ [a: v].
+//
+// dom is taken over ≡-equivalence classes, so that τ ≤ τ' implies
+// dom(τ) ⊆ dom(τ'). The query evaluator relies on the coercions below to
+// answer position queries over ordered tuples (Section 4.4, query Q6).
+
+// HeterogeneousList returns the heterogeneous-list view of an ordered
+// tuple: the list of its attributes as marked-union values, in attribute
+// order.
+func HeterogeneousList(t *Tuple) *List {
+	elems := make([]Value, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		f := t.At(i)
+		elems[i] = NewUnion(f.Name, f.Value)
+	}
+	return NewList(elems...)
+}
+
+// AsList coerces v to a list when the model views it as one: lists are
+// returned as is, and ordered tuples are returned as their heterogeneous
+// list. The boolean reports whether the coercion applies.
+func AsList(v Value) (*List, bool) {
+	switch x := v.(type) {
+	case *List:
+		return x, true
+	case *Tuple:
+		return HeterogeneousList(x), true
+	default:
+		return nil, false
+	}
+}
+
+// AsTuple coerces v to a tuple view: tuples are returned as is, and a
+// marked-union value <a: w> is returned as the singleton tuple [a: w].
+func AsTuple(v Value) (*Tuple, bool) {
+	switch x := v.(type) {
+	case *Tuple:
+		return x, true
+	case *Union_:
+		return NewTuple(Field{Name: x.Marker, Value: x.Value}), true
+	default:
+		return nil, false
+	}
+}
+
+// Equiv reports the (≡) equivalence of Section 5.1: strict equality
+// extended by the tuple/heterogeneous-list identification and the
+// union-value/singleton-tuple identification, applied hereditarily.
+func Equiv(v, w Value) bool {
+	if v == nil {
+		v = Nil{}
+	}
+	if w == nil {
+		w = Nil{}
+	}
+	if Equal(v, w) {
+		return true
+	}
+	// Union value <a: x> ≡ singleton tuple [a: x].
+	if u, ok := v.(*Union_); ok {
+		if t, ok := w.(*Tuple); ok && t.Len() == 1 {
+			return t.At(0).Name == u.Marker && Equiv(u.Value, t.At(0).Value)
+		}
+	}
+	if u, ok := w.(*Union_); ok {
+		if t, ok := v.(*Tuple); ok && t.Len() == 1 {
+			return t.At(0).Name == u.Marker && Equiv(u.Value, t.At(0).Value)
+		}
+	}
+	switch a := v.(type) {
+	case *Tuple:
+		switch b := w.(type) {
+		case *Tuple:
+			if a.Len() != b.Len() {
+				return false
+			}
+			for i := 0; i < a.Len(); i++ {
+				if a.At(i).Name != b.At(i).Name || !Equiv(a.At(i).Value, b.At(i).Value) {
+					return false
+				}
+			}
+			return true
+		case *List:
+			return Equiv(HeterogeneousList(a), b)
+		}
+	case *List:
+		switch b := w.(type) {
+		case *Tuple:
+			return Equiv(a, HeterogeneousList(b))
+		case *List:
+			if a.Len() != b.Len() {
+				return false
+			}
+			for i := 0; i < a.Len(); i++ {
+				if !Equiv(a.At(i), b.At(i)) {
+					return false
+				}
+			}
+			return true
+		}
+	case *Set:
+		b, ok := w.(*Set)
+		if !ok || a.Len() != b.Len() {
+			return false
+		}
+		// Sets are canonically ordered under Equal but ≡ is coarser, so
+		// match greedily.
+		used := make([]bool, b.Len())
+	outer:
+		for i := 0; i < a.Len(); i++ {
+			for j := 0; j < b.Len(); j++ {
+				if !used[j] && Equiv(a.At(i), b.At(j)) {
+					used[j] = true
+					continue outer
+				}
+			}
+			return false
+		}
+		return true
+	case *Union_:
+		b, ok := w.(*Union_)
+		if !ok {
+			return false
+		}
+		return a.Marker == b.Marker && Equiv(a.Value, b.Value)
+	}
+	return false
+}
+
+// UnwrapUnion strips marked-union wrappers from v: for <a: x> it returns x
+// (recursively) and for any other value it returns v unchanged. This is
+// the runtime counterpart of the "implicit selectors" of Section 4.2: a
+// variable ranging over a union-typed domain transparently selects the
+// alternative carried by the value.
+func UnwrapUnion(v Value) Value {
+	for {
+		u, ok := v.(*Union_)
+		if !ok {
+			return v
+		}
+		v = u.Value
+	}
+}

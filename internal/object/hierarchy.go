@@ -1,0 +1,247 @@
+package object
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hierarchy is a class hierarchy (C, σ, ≺): a finite set of class names C,
+// a mapping σ from class names to their declared types, and a partial order
+// ≺ on C (the inheritance order, declared via immediate-superclass edges).
+//
+// A Hierarchy is mutable while a schema is being built (classes and
+// inheritance edges are added) and is then checked for well-formedness:
+// ≺ must be acyclic and for every c ≺ c' we must have σ(c) ≤ σ(c').
+type Hierarchy struct {
+	classes map[string]Type     // σ
+	parents map[string][]string // immediate superclasses, c -> c′ with c ≺ c′
+	order   []string            // declaration order, for deterministic output
+}
+
+// NewHierarchy returns an empty class hierarchy.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		classes: make(map[string]Type),
+		parents: make(map[string][]string),
+	}
+}
+
+// AddClass declares class name with type σ(name)=typ. Redeclaring a class
+// is an error.
+func (h *Hierarchy) AddClass(name string, typ Type) error {
+	if name == "" {
+		return fmt.Errorf("object: empty class name")
+	}
+	if _, ok := h.classes[name]; ok {
+		return fmt.Errorf("object: class %q already declared", name)
+	}
+	if typ == nil {
+		typ = TupleOf()
+	}
+	h.classes[name] = typ
+	h.order = append(h.order, name)
+	return nil
+}
+
+// SetType replaces σ(name). It is used while compiling mutually recursive
+// DTDs, where class types are filled in after all names are declared.
+func (h *Hierarchy) SetType(name string, typ Type) error {
+	if _, ok := h.classes[name]; !ok {
+		return fmt.Errorf("object: class %q not declared", name)
+	}
+	h.classes[name] = typ
+	return nil
+}
+
+// AddInherits records c ≺ sup (c inherits from sup). Both classes must be
+// declared.
+func (h *Hierarchy) AddInherits(c, sup string) error {
+	if _, ok := h.classes[c]; !ok {
+		return fmt.Errorf("object: class %q not declared", c)
+	}
+	if _, ok := h.classes[sup]; !ok {
+		return fmt.Errorf("object: superclass %q not declared", sup)
+	}
+	for _, p := range h.parents[c] {
+		if p == sup {
+			return nil
+		}
+	}
+	h.parents[c] = append(h.parents[c], sup)
+	return nil
+}
+
+// Has reports whether the class is declared.
+func (h *Hierarchy) Has(name string) bool {
+	_, ok := h.classes[name]
+	return ok
+}
+
+// TypeOf returns σ(name) and whether the class is declared.
+func (h *Hierarchy) TypeOf(name string) (Type, bool) {
+	t, ok := h.classes[name]
+	return t, ok
+}
+
+// Classes returns the class names in declaration order.
+func (h *Hierarchy) Classes() []string {
+	out := make([]string, len(h.order))
+	copy(out, h.order)
+	return out
+}
+
+// Parents returns the immediate superclasses of c.
+func (h *Hierarchy) Parents(c string) []string {
+	ps := h.parents[c]
+	out := make([]string, len(ps))
+	copy(out, ps)
+	return out
+}
+
+// IsSubclass reports the reflexive-transitive relation c ≺* sup.
+func (h *Hierarchy) IsSubclass(c, sup string) bool {
+	if c == sup {
+		return true
+	}
+	seen := map[string]bool{c: true}
+	stack := []string{c}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range h.parents[cur] {
+			if p == sup {
+				return true
+			}
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
+// Subclasses returns every class c' with c' ≺* c (including c itself),
+// sorted by name. π(c) is the union of the disjoint extents of these.
+func (h *Hierarchy) Subclasses(c string) []string {
+	var out []string
+	for name := range h.classes {
+		if h.IsSubclass(name, c) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Superclasses returns every class c' with c ≺* c' (including c itself),
+// sorted by name.
+func (h *Hierarchy) Superclasses(c string) []string {
+	var out []string
+	for name := range h.classes {
+		if h.IsSubclass(c, name) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LeastCommonSuperclass returns the most specific common superclass of a
+// and b under ≺*, or "" when their only common supertype is any. When
+// several incomparable common superclasses exist, the one with the fewest
+// superclasses (most specific) and then lexicographically least is chosen,
+// making the result deterministic.
+func (h *Hierarchy) LeastCommonSuperclass(a, b string) string {
+	common := make([]string, 0, 4)
+	for _, s := range h.Superclasses(a) {
+		if h.IsSubclass(b, s) {
+			common = append(common, s)
+		}
+	}
+	if len(common) == 0 {
+		return ""
+	}
+	best := ""
+	bestRank := -1
+	for _, c := range common {
+		// A common superclass is minimal if no other common superclass is
+		// strictly below it.
+		minimal := true
+		for _, d := range common {
+			if d != c && h.IsSubclass(d, c) {
+				minimal = false
+				break
+			}
+		}
+		if !minimal {
+			continue
+		}
+		rank := len(h.Superclasses(c))
+		if best == "" || rank < bestRank || (rank == bestRank && c < best) {
+			best, bestRank = c, rank
+		}
+	}
+	return best
+}
+
+// Check validates well-formedness: every inheritance edge links declared
+// classes, ≺ is acyclic, and for each c ≺ c', σ(c) ≤ σ(c').
+func (h *Hierarchy) Check() error {
+	// Acyclicity via colouring.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make(map[string]int, len(h.classes))
+	var visit func(c string) error
+	visit = func(c string) error {
+		switch colour[c] {
+		case grey:
+			return fmt.Errorf("object: inheritance cycle through class %q", c)
+		case black:
+			return nil
+		}
+		colour[c] = grey
+		for _, p := range h.parents[c] {
+			if err := visit(p); err != nil {
+				return err
+			}
+		}
+		colour[c] = black
+		return nil
+	}
+	for _, c := range h.order {
+		if err := visit(c); err != nil {
+			return err
+		}
+	}
+	for _, c := range h.order {
+		tc := h.classes[c]
+		for _, p := range h.parents[c] {
+			tp := h.classes[p]
+			if !Subtype(h, tc, tp) {
+				return fmt.Errorf("object: class %q inherits %q but σ(%s)=%s is not a subtype of σ(%s)=%s",
+					c, p, c, tc, p, tp)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the hierarchy (types are immutable and
+// shared).
+func (h *Hierarchy) Clone() *Hierarchy {
+	c := NewHierarchy()
+	for _, name := range h.order {
+		c.classes[name] = h.classes[name]
+		c.order = append(c.order, name)
+		if ps := h.parents[name]; len(ps) > 0 {
+			cp := make([]string, len(ps))
+			copy(cp, ps)
+			c.parents[name] = cp
+		}
+	}
+	return c
+}

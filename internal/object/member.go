@@ -1,0 +1,123 @@
+package object
+
+// ClassOf resolves the class of an oid. An instance provides one (its π
+// assignment); the zero function treats every oid as classless.
+type ClassOf func(OID) (string, bool)
+
+// MemberOf reports whether v ∈ dom(τ) for the interpretation of Section
+// 5.1, given the class hierarchy and the oid assignment (through classOf):
+//
+//   - dom(atomic) is the corresponding atom domain;
+//   - dom(any) = ∪ π(c); dom(c) = π(c) ∪ {nil};
+//   - dom({τ}) and dom([τ]) are the finite sets/lists over dom(τ);
+//   - dom([a₁:τ₁,…,aₖ:τₖ]) contains the tuples whose first k attributes
+//     are a₁…aₖ with vᵢ ∈ dom(τᵢ) — extra attributes may follow;
+//   - dom(a₁:τ₁+…+aₖ:τₖ) = ∪ dom([aᵢ:τᵢ]) — marked values <aᵢ: vᵢ> and
+//     their (≡) singleton-tuple representatives.
+//
+// dom is taken over (≡) classes, so a tuple value also belongs to the
+// domain of its heterogeneous-list type.
+func MemberOf(v Value, t Type, h *Hierarchy, classOf ClassOf) bool {
+	if v == nil {
+		v = Nil{}
+	}
+	// nil, the undefined value, belongs to every domain (IQL/O₂): it is
+	// the Figure 3 constraints ("title != nil"), not the types, that make
+	// components required.
+	if IsNil(v) {
+		return true
+	}
+	switch ty := t.(type) {
+	case AtomicType:
+		switch ty.K {
+		case TypeInt:
+			return v.Kind() == KindInt
+		case TypeFloat:
+			// integer ≤ float at the value level as well.
+			return v.Kind() == KindFloat || v.Kind() == KindInt
+		case TypeString:
+			return v.Kind() == KindString
+		case TypeBool:
+			return v.Kind() == KindBool
+		}
+		return false
+	case AnyType:
+		// nil belongs to every class domain and c ≤ any, so dom
+		// monotonicity puts nil in dom(any) as well.
+		return v.Kind() == KindOID || IsNil(v)
+	case ClassType:
+		if IsNil(v) {
+			return true // nil belongs to every class domain
+		}
+		o, ok := v.(OID)
+		if !ok {
+			return false
+		}
+		if classOf == nil {
+			return true
+		}
+		c, ok := classOf(o)
+		if !ok {
+			return false
+		}
+		return h != nil && h.IsSubclass(c, ty.Name)
+	case SetType:
+		s, ok := v.(*Set)
+		if !ok {
+			return false
+		}
+		for i := 0; i < s.Len(); i++ {
+			if !MemberOf(s.At(i), ty.Elem, h, classOf) {
+				return false
+			}
+		}
+		return true
+	case ListType:
+		l, ok := AsList(v) // tuples embed as heterogeneous lists
+		if !ok {
+			return false
+		}
+		for i := 0; i < l.Len(); i++ {
+			if !MemberOf(l.At(i), ty.Elem, h, classOf) {
+				return false
+			}
+		}
+		return true
+	case TupleType:
+		tup, ok := AsTuple(v) // union values embed as singleton tuples
+		if !ok {
+			return false
+		}
+		if tup.Len() < ty.Len() {
+			return false
+		}
+		for i := 0; i < ty.Len(); i++ {
+			f := ty.At(i)
+			if tup.At(i).Name != f.Name {
+				return false
+			}
+			if !MemberOf(tup.At(i).Value, f.Type, h, classOf) {
+				return false
+			}
+		}
+		return true
+	case UnionType:
+		switch x := v.(type) {
+		case *Union_:
+			alt, ok := ty.Get(x.Marker)
+			return ok && MemberOf(x.Value, alt, h, classOf)
+		case *Tuple:
+			// dom(a₁:τ₁+…+aₖ:τₖ) = ∪ dom([aᵢ:τᵢ]), and tuple domains admit
+			// extra trailing attributes: a tuple whose first attribute is
+			// some aᵢ with a value in dom(τᵢ) belongs to the union.
+			if x.Len() == 0 {
+				return false
+			}
+			alt, ok := ty.Get(x.At(0).Name)
+			return ok && MemberOf(x.At(0).Value, alt, h, classOf)
+		}
+		return false
+	default:
+		return false
+	}
+}

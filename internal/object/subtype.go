@@ -1,0 +1,268 @@
+package object
+
+// Subtype implements the sub-typing relation ≤ of Section 5.1: the O₂
+// rules (reflexivity, class inheritance, any as the top of the class
+// lattice, covariant sets and lists, width-and-depth tuple subtyping)
+// extended with the paper's two new rules:
+//
+//	[aᵢ:τᵢ] ≤ (… + aᵢ:τᵢ + …)                      (tuple into marked union)
+//	[a₁:τ₁, …, aₙ:τₙ] ≤ [(a₁:τ₁ + … + aₙ:τₙ)]      (tuple as heterogeneous list)
+//
+// As a consequence of the first rule together with tuple width subtyping,
+// [a₁:τ₁,…,aₙ:τₙ] ≤ [aᵢ:τᵢ] ≤ (a₁:τ₁+…+aₙ:τₙ) for every i.
+//
+// Tuple width subtyping is attribute-set based (the O₂/IQL tradition): a
+// tuple type with more attributes is a subtype of one with fewer,
+// regardless of attribute positions. Ordering of attributes is meaningful
+// for *values* (two permuted tuples are distinct values) and for the
+// heterogeneous-list view, but not for the subtype lattice; this matches
+// the paper's dom definition, which quotients by the (≡) equivalence.
+func Subtype(h *Hierarchy, t, u Type) bool {
+	if t == nil || u == nil {
+		return false
+	}
+	if TypeEqual(t, u) {
+		return true
+	}
+	switch ut := u.(type) {
+	case AnyType:
+		// any is the top of the class hierarchy: its domain contains all
+		// oids, so only class types (and any itself) are below it.
+		switch t.(type) {
+		case ClassType, AnyType:
+			return true
+		}
+		return false
+	case AtomicType:
+		at, ok := t.(AtomicType)
+		if !ok {
+			return false
+		}
+		// integer ≤ float, the one atomic coercion O₂ admits.
+		return at.K == ut.K || (at.K == TypeInt && ut.K == TypeFloat)
+	case ClassType:
+		ct, ok := t.(ClassType)
+		if !ok {
+			return false
+		}
+		return h != nil && h.IsSubclass(ct.Name, ut.Name)
+	case SetType:
+		st, ok := t.(SetType)
+		if !ok {
+			return false
+		}
+		return Subtype(h, st.Elem, ut.Elem)
+	case ListType:
+		switch tt := t.(type) {
+		case ListType:
+			return Subtype(h, tt.Elem, ut.Elem)
+		case TupleType:
+			// New rule 2: a tuple is a special case of heterogeneous list.
+			// [a₁:τ₁,…,aₙ:τₙ] ≤ [υ] holds when each singleton [aᵢ:τᵢ] is a
+			// subtype of the element type υ (in the paper's statement υ is
+			// the union of the fields, and rule 1 makes each singleton a
+			// subtype of that union; stating it through the element type
+			// also covers wider unions).
+			for i := 0; i < tt.Len(); i++ {
+				f := tt.At(i)
+				if !Subtype(h, TupleOf(TField{Name: f.Name, Type: f.Type}), ut.Elem) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	case TupleType:
+		tt, ok := t.(TupleType)
+		if !ok {
+			return false
+		}
+		// Width and depth: every attribute required by u must be present
+		// in t with a subtype domain.
+		for i := 0; i < ut.Len(); i++ {
+			f := ut.At(i)
+			ft, ok := tt.Get(f.Name)
+			if !ok || !Subtype(h, ft, f.Type) {
+				return false
+			}
+		}
+		return true
+	case UnionType:
+		switch tt := t.(type) {
+		case UnionType:
+			// Width subtyping on alternatives: a union with fewer
+			// alternatives is a subtype of one with more.
+			for i := 0; i < tt.Len(); i++ {
+				a := tt.At(i)
+				ua, ok := ut.Get(a.Name)
+				if !ok || !Subtype(h, a.Type, ua) {
+					return false
+				}
+			}
+			return true
+		case TupleType:
+			// New rule 1: [aᵢ:τᵢ] ≤ (… + aᵢ:τᵢ + …). Combined with tuple
+			// width subtyping, any tuple owning an alternative's attribute
+			// with a subtype domain is below the union.
+			for i := 0; i < ut.Len(); i++ {
+				a := ut.At(i)
+				ft, ok := tt.Get(a.Name)
+				if ok && Subtype(h, ft, a.Type) {
+					return true
+				}
+			}
+			return false
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// CommonSupertype computes the least common supertype of t and u following
+// the two typing rules of Section 4.2:
+//
+//  1. there is no common supertype between a union type and a non-union
+//     type;
+//  2. two union types have a common supertype iff they have no marker
+//     conflict, and it is then the union of the two types (same-marker
+//     alternatives merged by recursion).
+//
+// For non-union types it computes the usual least upper bound (least common
+// superclass for classes, pointwise for collections, common attributes for
+// tuples). The boolean result reports whether a common supertype exists.
+func CommonSupertype(h *Hierarchy, t, u Type) (Type, bool) {
+	if t == nil || u == nil {
+		return nil, false
+	}
+	if TypeEqual(t, u) {
+		return t, true
+	}
+	if Subtype(h, t, u) {
+		return u, true
+	}
+	if Subtype(h, u, t) {
+		return t, true
+	}
+	// Rule 1 of Section 4.2: union vs non-union never joins. (A tuple is
+	// *below* a union by the new subtyping rule — handled above — but a
+	// tuple and a union that are not related by ≤ have no join.)
+	if IsUnion(t) != IsUnion(u) {
+		return nil, false
+	}
+	switch tt := t.(type) {
+	case UnionType:
+		uu := u.(UnionType)
+		// Rule 2: merge alternatives; a marker conflict (same marker,
+		// unjoinable domains) means no common supertype.
+		merged := make(map[string]Type)
+		for _, a := range tt.Alts() {
+			merged[a.Name] = a.Type
+		}
+		for _, a := range uu.Alts() {
+			if prev, ok := merged[a.Name]; ok {
+				j, ok := CommonSupertype(h, prev, a.Type)
+				if !ok {
+					return nil, false
+				}
+				merged[a.Name] = j
+			} else {
+				merged[a.Name] = a.Type
+			}
+		}
+		alts := make([]TField, 0, len(merged))
+		for name, ty := range merged {
+			alts = append(alts, TField{Name: name, Type: ty})
+		}
+		return UnionOf(alts...), true
+	case AtomicType:
+		ua, ok := u.(AtomicType)
+		if !ok {
+			return nil, false
+		}
+		// integer ⊔ float = float; all other distinct atom pairs fail.
+		if (tt.K == TypeInt && ua.K == TypeFloat) || (tt.K == TypeFloat && ua.K == TypeInt) {
+			return FloatType, true
+		}
+		return nil, false
+	case ClassType:
+		uc, ok := u.(ClassType)
+		if !ok {
+			if _, isAny := u.(AnyType); isAny {
+				return Any, true
+			}
+			return nil, false
+		}
+		if h != nil {
+			if lcs := h.LeastCommonSuperclass(tt.Name, uc.Name); lcs != "" {
+				return Class(lcs), true
+			}
+		}
+		return Any, true
+	case AnyType:
+		if _, ok := u.(ClassType); ok {
+			return Any, true
+		}
+		return nil, false
+	case SetType:
+		us, ok := u.(SetType)
+		if !ok {
+			return nil, false
+		}
+		elem, ok := CommonSupertype(h, tt.Elem, us.Elem)
+		if !ok {
+			return nil, false
+		}
+		return SetOf(elem), true
+	case ListType:
+		switch uu := u.(type) {
+		case ListType:
+			elem, ok := CommonSupertype(h, tt.Elem, uu.Elem)
+			if !ok {
+				return nil, false
+			}
+			return ListOf(elem), true
+		case TupleType:
+			return CommonSupertype(h, u, t)
+		}
+		return nil, false
+	case TupleType:
+		switch uu := u.(type) {
+		case TupleType:
+			// Join on the common attributes, preserving t's order.
+			var fields []TField
+			for _, f := range tt.Fields() {
+				ut2, ok := uu.Get(f.Name)
+				if !ok {
+					continue
+				}
+				j, ok := CommonSupertype(h, f.Type, ut2)
+				if !ok {
+					continue
+				}
+				fields = append(fields, TField{Name: f.Name, Type: j})
+			}
+			if len(fields) == 0 {
+				return nil, false
+			}
+			return TupleOf(fields...), true
+		case ListType:
+			// The tuple embeds into a heterogeneous list; join the list of
+			// the tuple's field union with u.
+			return CommonSupertype(h, HeterogeneousListType(tt), uu)
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// HeterogeneousListType returns the heterogeneous-list view of a tuple
+// type: [(a₁:τ₁ + … + aₙ:τₙ)] (Section 5.1, second new subtyping rule).
+func HeterogeneousListType(t TupleType) ListType {
+	alts := make([]TField, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		alts[i] = t.At(i)
+	}
+	return ListOf(UnionOf(alts...))
+}

@@ -1,0 +1,308 @@
+package object
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TypeKind discriminates the concrete representation of a Type.
+type TypeKind int
+
+// The type kinds of types(C) (Section 5.1): atomic types, class names, any,
+// list and set types, ordered tuple types and marked union types.
+const (
+	TypeInt TypeKind = iota
+	TypeFloat
+	TypeString
+	TypeBool
+	TypeAny
+	TypeClass
+	TypeList
+	TypeSet
+	TypeTuple
+	TypeUnion
+)
+
+// Type is an element of types(C).
+type Type interface {
+	TypeKind() TypeKind
+	// String renders the type in the paper's surface syntax.
+	String() string
+	// typeKey appends a canonical encoding used for type equality and
+	// memoisation.
+	typeKey(b *strings.Builder)
+}
+
+// AtomicType is one of the four atomic types.
+type AtomicType struct{ K TypeKind }
+
+// Atomic type singletons.
+var (
+	IntType    = AtomicType{TypeInt}
+	FloatType  = AtomicType{TypeFloat}
+	StringType = AtomicType{TypeString}
+	BoolType   = AtomicType{TypeBool}
+)
+
+// TypeKind implements Type.
+func (t AtomicType) TypeKind() TypeKind { return t.K }
+
+func (t AtomicType) String() string {
+	switch t.K {
+	case TypeInt:
+		return "integer"
+	case TypeFloat:
+		return "float"
+	case TypeString:
+		return "string"
+	case TypeBool:
+		return "boolean"
+	default:
+		return fmt.Sprintf("atomic(%d)", int(t.K))
+	}
+}
+
+func (t AtomicType) typeKey(b *strings.Builder) {
+	b.WriteByte('A')
+	b.WriteByte(byte('0' + int(t.K)))
+}
+
+// AnyType is the top of the class hierarchy: its domain is the set of all
+// oids. Note that in the model, any is the top of the *class* lattice, not
+// of the whole type lattice.
+type AnyType struct{}
+
+// Any is the any type singleton.
+var Any = AnyType{}
+
+// TypeKind implements Type.
+func (AnyType) TypeKind() TypeKind         { return TypeAny }
+func (AnyType) String() string             { return "any" }
+func (AnyType) typeKey(b *strings.Builder) { b.WriteByte('*') }
+
+// ClassType is a class name used as a type; its domain is π(c) ∪ {nil}.
+type ClassType struct{ Name string }
+
+// Class returns the class type with the given name.
+func Class(name string) ClassType { return ClassType{Name: name} }
+
+// TypeKind implements Type.
+func (ClassType) TypeKind() TypeKind { return TypeClass }
+func (t ClassType) String() string   { return t.Name }
+func (t ClassType) typeKey(b *strings.Builder) {
+	b.WriteByte('C')
+	b.WriteString(t.Name)
+	b.WriteByte(';')
+}
+
+// ListType is the list type [τ].
+type ListType struct{ Elem Type }
+
+// ListOf returns the list type with the given element type.
+func ListOf(elem Type) ListType { return ListType{Elem: elem} }
+
+// TypeKind implements Type.
+func (ListType) TypeKind() TypeKind { return TypeList }
+func (t ListType) String() string   { return "list(" + t.Elem.String() + ")" }
+func (t ListType) typeKey(b *strings.Builder) {
+	b.WriteByte('L')
+	t.Elem.typeKey(b)
+}
+
+// SetType is the set type {τ}.
+type SetType struct{ Elem Type }
+
+// SetOf returns the set type with the given element type.
+func SetOf(elem Type) SetType { return SetType{Elem: elem} }
+
+// TypeKind implements Type.
+func (SetType) TypeKind() TypeKind { return TypeSet }
+func (t SetType) String() string   { return "set(" + t.Elem.String() + ")" }
+func (t SetType) typeKey(b *strings.Builder) {
+	b.WriteByte('S')
+	t.Elem.typeKey(b)
+}
+
+// TField is one attribute of a tuple or union type.
+type TField struct {
+	Name string
+	Type Type
+}
+
+// TupleType is the ordered tuple type [a₁:τ₁, …, aₙ:τₙ]. The order of the
+// attributes is meaningful: it records the SGML aggregation order and
+// supports viewing tuple values as heterogeneous lists (Section 4.4).
+type TupleType struct {
+	fields []TField
+}
+
+// TupleOf builds a tuple type. It panics on duplicate attribute names.
+func TupleOf(fields ...TField) TupleType {
+	seen := make(map[string]bool, len(fields))
+	fs := make([]TField, len(fields))
+	for i, f := range fields {
+		if seen[f.Name] {
+			panic(fmt.Sprintf("object: duplicate tuple type attribute %q", f.Name))
+		}
+		seen[f.Name] = true
+		fs[i] = f
+	}
+	return TupleType{fields: fs}
+}
+
+// TypeKind implements Type.
+func (TupleType) TypeKind() TypeKind { return TypeTuple }
+
+// Len reports the number of attributes.
+func (t TupleType) Len() int { return len(t.fields) }
+
+// At returns the i-th attribute.
+func (t TupleType) At(i int) TField { return t.fields[i] }
+
+// Get returns the type of the named attribute and whether it exists.
+func (t TupleType) Get(name string) (Type, bool) {
+	for _, f := range t.fields {
+		if f.Name == name {
+			return f.Type, true
+		}
+	}
+	return nil, false
+}
+
+// Fields returns a copy of the attribute list.
+func (t TupleType) Fields() []TField {
+	fs := make([]TField, len(t.fields))
+	copy(fs, t.fields)
+	return fs
+}
+
+func (t TupleType) String() string {
+	var b strings.Builder
+	b.WriteString("tuple(")
+	for i, f := range t.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+		b.WriteString(": ")
+		b.WriteString(f.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (t TupleType) typeKey(b *strings.Builder) {
+	b.WriteByte('T')
+	for _, f := range t.fields {
+		b.WriteString(f.Name)
+		b.WriteByte(':')
+		f.Type.typeKey(b)
+	}
+	b.WriteByte(';')
+}
+
+// UnionType is the marked union type (a₁:τ₁ + … + aₙ:τₙ). Alternatives are
+// kept sorted by marker: unlike tuples, the order of union alternatives is
+// not meaningful.
+type UnionType struct {
+	alts []TField // sorted by Name
+}
+
+// UnionOf builds a union type from the given alternatives. Alternatives
+// with the same marker must have equal types; otherwise UnionOf panics
+// (marker conflicts are rejected earlier by the typechecker's
+// common-supertype computation).
+func UnionOf(alts ...TField) UnionType {
+	m := make(map[string]Type, len(alts))
+	for _, a := range alts {
+		if prev, ok := m[a.Name]; ok {
+			if !TypeEqual(prev, a.Type) {
+				panic(fmt.Sprintf("object: conflicting union alternative %q: %s vs %s", a.Name, prev, a.Type))
+			}
+			continue
+		}
+		m[a.Name] = a.Type
+	}
+	out := make([]TField, 0, len(m))
+	for name, ty := range m {
+		out = append(out, TField{Name: name, Type: ty})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return UnionType{alts: out}
+}
+
+// TypeKind implements Type.
+func (UnionType) TypeKind() TypeKind { return TypeUnion }
+
+// Len reports the number of alternatives.
+func (t UnionType) Len() int { return len(t.alts) }
+
+// At returns the i-th alternative in marker order.
+func (t UnionType) At(i int) TField { return t.alts[i] }
+
+// Get returns the type of the named alternative and whether it exists.
+func (t UnionType) Get(name string) (Type, bool) {
+	for _, a := range t.alts {
+		if a.Name == name {
+			return a.Type, true
+		}
+	}
+	return nil, false
+}
+
+// Alts returns a copy of the alternatives in marker order.
+func (t UnionType) Alts() []TField {
+	as := make([]TField, len(t.alts))
+	copy(as, t.alts)
+	return as
+}
+
+func (t UnionType) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, a := range t.alts {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		b.WriteString(a.Name)
+		b.WriteString(": ")
+		b.WriteString(a.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (t UnionType) typeKey(b *strings.Builder) {
+	b.WriteByte('U')
+	for _, a := range t.alts {
+		b.WriteString(a.Name)
+		b.WriteByte(':')
+		a.Type.typeKey(b)
+	}
+	b.WriteByte(';')
+}
+
+// TypeKey returns a canonical encoding of τ: TypeKey(τ)==TypeKey(υ) iff
+// TypeEqual(τ, υ).
+func TypeKey(t Type) string {
+	var b strings.Builder
+	t.typeKey(&b)
+	return b.String()
+}
+
+// TypeEqual reports structural type equality (union alternatives compared
+// unordered, tuple attributes ordered).
+func TypeEqual(t, u Type) bool {
+	if t == nil || u == nil {
+		return t == nil && u == nil
+	}
+	return TypeKey(t) == TypeKey(u)
+}
+
+// IsUnion reports whether τ is a marked union type (used by the §4.2 typing
+// rule that forbids a common supertype between union and non-union types).
+func IsUnion(t Type) bool {
+	_, ok := t.(UnionType)
+	return ok
+}

@@ -1,0 +1,540 @@
+package object
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	h := NewHierarchy()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(h.AddClass("Text", TupleOf(TField{"content", StringType})))
+	must(h.AddClass("Title", TupleOf(TField{"content", StringType})))
+	must(h.AddClass("Author", TupleOf(TField{"content", StringType})))
+	must(h.AddClass("Bitmap", TupleOf(TField{"bits", StringType})))
+	must(h.AddClass("Picture", TupleOf(TField{"bits", StringType})))
+	must(h.AddInherits("Title", "Text"))
+	must(h.AddInherits("Author", "Text"))
+	must(h.AddInherits("Picture", "Bitmap"))
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestTypeStrings(t *testing.T) {
+	u := UnionOf(TField{"a", IntType}, TField{"b", StringType})
+	if got := u.String(); got != "(a: integer + b: string)" {
+		t.Errorf("union String = %q", got)
+	}
+	tt := TupleOf(TField{"x", FloatType}, TField{"y", BoolType})
+	if got := tt.String(); got != "tuple(x: float, y: boolean)" {
+		t.Errorf("tuple String = %q", got)
+	}
+	if got := ListOf(SetOf(Class("Doc"))).String(); got != "list(set(Doc))" {
+		t.Errorf("nested String = %q", got)
+	}
+	if Any.String() != "any" {
+		t.Error("any String")
+	}
+}
+
+func TestUnionOfNormalises(t *testing.T) {
+	a := UnionOf(TField{"b", StringType}, TField{"a", IntType})
+	b := UnionOf(TField{"a", IntType}, TField{"b", StringType})
+	if !TypeEqual(a, b) {
+		t.Error("union alternatives are unordered")
+	}
+	// Same-marker same-type alternatives collapse.
+	c := UnionOf(TField{"a", IntType}, TField{"a", IntType})
+	if c.Len() != 1 {
+		t.Error("duplicate alternatives must collapse")
+	}
+}
+
+func TestUnionOfConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting alternatives must panic")
+		}
+	}()
+	UnionOf(TField{"a", IntType}, TField{"a", StringType})
+}
+
+func TestTupleTypeOrderMeaningful(t *testing.T) {
+	ab := TupleOf(TField{"a", IntType}, TField{"b", IntType})
+	ba := TupleOf(TField{"b", IntType}, TField{"a", IntType})
+	if TypeEqual(ab, ba) {
+		t.Error("tuple types are ordered")
+	}
+	// ...but mutual subtypes (the lattice ignores order, dom quotients by ≡).
+	h := NewHierarchy()
+	if !Subtype(h, ab, ba) || !Subtype(h, ba, ab) {
+		t.Error("permuted tuple types are mutual subtypes")
+	}
+}
+
+func TestSubtypeBasics(t *testing.T) {
+	h := testHierarchy(t)
+	cases := []struct {
+		t, u Type
+		want bool
+	}{
+		{IntType, IntType, true},
+		{IntType, FloatType, true},
+		{FloatType, IntType, false},
+		{IntType, StringType, false},
+		{Class("Title"), Class("Text"), true},
+		{Class("Text"), Class("Title"), false},
+		{Class("Title"), Any, true},
+		{Any, Class("Title"), false},
+		{IntType, Any, false},
+		{Any, Any, true},
+		{SetOf(Class("Title")), SetOf(Class("Text")), true},
+		{ListOf(IntType), ListOf(FloatType), true},
+		{ListOf(FloatType), ListOf(IntType), false},
+		{SetOf(IntType), ListOf(IntType), false},
+		// Tuple width/depth.
+		{TupleOf(TField{"a", IntType}, TField{"b", StringType}), TupleOf(TField{"a", IntType}), true},
+		{TupleOf(TField{"a", IntType}), TupleOf(TField{"a", IntType}, TField{"b", StringType}), false},
+		{TupleOf(TField{"a", Class("Title")}), TupleOf(TField{"a", Class("Text")}), true},
+	}
+	for _, c := range cases {
+		if got := Subtype(h, c.t, c.u); got != c.want {
+			t.Errorf("Subtype(%s, %s) = %v, want %v", c.t, c.u, got, c.want)
+		}
+	}
+}
+
+func TestPaperSubtypeChain(t *testing.T) {
+	// [a₁:τ₁,…,aₙ:τₙ] ≤ [aᵢ:τᵢ] ≤ (a₁:τ₁+…+aₙ:τₙ)  (Section 5.1)
+	h := NewHierarchy()
+	full := TupleOf(TField{"a", IntType}, TField{"b", StringType}, TField{"c", BoolType})
+	u := UnionOf(TField{"a", IntType}, TField{"b", StringType}, TField{"c", BoolType})
+	for _, f := range full.Fields() {
+		single := TupleOf(f)
+		if !Subtype(h, full, single) {
+			t.Errorf("full tuple must be ≤ [%s:%s]", f.Name, f.Type)
+		}
+		if !Subtype(h, single, u) {
+			t.Errorf("[%s:%s] must be ≤ %s", f.Name, f.Type, u)
+		}
+	}
+	if !Subtype(h, full, u) {
+		t.Error("≤ must be transitive to the union")
+	}
+	// Second new rule: tuple ≤ heterogeneous list.
+	hl := HeterogeneousListType(full)
+	if !Subtype(h, full, hl) {
+		t.Errorf("%s must be ≤ %s", full, hl)
+	}
+	// And to a wider union element.
+	wider := ListOf(UnionOf(TField{"a", IntType}, TField{"b", StringType},
+		TField{"c", BoolType}, TField{"d", FloatType}))
+	if !Subtype(h, full, wider) {
+		t.Error("tuple ≤ list of wider union")
+	}
+	// But not to a narrower one.
+	narrow := ListOf(UnionOf(TField{"a", IntType}))
+	if Subtype(h, full, narrow) {
+		t.Error("tuple must not be ≤ list of narrower union")
+	}
+}
+
+func TestUnionSubtyping(t *testing.T) {
+	h := NewHierarchy()
+	small := UnionOf(TField{"a", IntType}, TField{"b", StringType})
+	big := UnionOf(TField{"a", IntType}, TField{"b", StringType}, TField{"c", BoolType})
+	if !Subtype(h, small, big) {
+		t.Error("narrower union ≤ wider union")
+	}
+	if Subtype(h, big, small) {
+		t.Error("wider union must not be ≤ narrower")
+	}
+	deep := UnionOf(TField{"a", IntType})
+	deepSup := UnionOf(TField{"a", FloatType})
+	if !Subtype(h, deep, deepSup) {
+		t.Error("union depth subtyping")
+	}
+	if Subtype(h, small, SetOf(IntType)) || Subtype(h, SetOf(IntType), small) {
+		t.Error("union and set are unrelated")
+	}
+}
+
+func TestCommonSupertypeRules(t *testing.T) {
+	h := testHierarchy(t)
+	// Rule 1 (Section 4.2): no common supertype between union and non-union.
+	u := UnionOf(TField{"a", IntType}, TField{"b", StringType})
+	if _, ok := CommonSupertype(h, SetOf(IntType), SetOf(u)); ok {
+		t.Error("set(int) and set(union) must not join (rule 1)")
+	}
+	if _, ok := CommonSupertype(h, IntType, u); ok {
+		t.Error("int and union must not join (rule 1)")
+	}
+	// Rule 2: the paper's example. (a:int+b:char) ⊔ (b:char+c:string) =
+	// (a:int+b:char+c:string); we use bool for char.
+	x := UnionOf(TField{"a", IntType}, TField{"b", BoolType})
+	y := UnionOf(TField{"b", BoolType}, TField{"c", StringType})
+	j, ok := CommonSupertype(h, x, y)
+	if !ok {
+		t.Fatal("rule 2 join must exist")
+	}
+	want := UnionOf(TField{"a", IntType}, TField{"b", BoolType}, TField{"c", StringType})
+	if !TypeEqual(j, want) {
+		t.Errorf("join = %s, want %s", j, want)
+	}
+	// Marker conflict: same marker, unjoinable domains.
+	x2 := UnionOf(TField{"a", IntType})
+	y2 := UnionOf(TField{"a", StringType})
+	if _, ok := CommonSupertype(h, x2, y2); ok {
+		t.Error("marker conflict must prevent a join")
+	}
+	// Same marker with joinable domains merges.
+	x3 := UnionOf(TField{"a", IntType})
+	y3 := UnionOf(TField{"a", FloatType})
+	j3, ok := CommonSupertype(h, x3, y3)
+	if !ok || !TypeEqual(j3, UnionOf(TField{"a", FloatType})) {
+		t.Errorf("same-marker joinable merge = %v", j3)
+	}
+}
+
+func TestCommonSupertypeClasses(t *testing.T) {
+	h := testHierarchy(t)
+	j, ok := CommonSupertype(h, Class("Title"), Class("Author"))
+	if !ok || !TypeEqual(j, Class("Text")) {
+		t.Errorf("Title ⊔ Author = %v, want Text", j)
+	}
+	j2, ok := CommonSupertype(h, Class("Title"), Class("Picture"))
+	if !ok || !TypeEqual(j2, Any) {
+		t.Errorf("Title ⊔ Picture = %v, want any", j2)
+	}
+	j3, ok := CommonSupertype(h, Class("Title"), Any)
+	if !ok || !TypeEqual(j3, Any) {
+		t.Errorf("Title ⊔ any = %v", j3)
+	}
+	if _, ok := CommonSupertype(h, IntType, StringType); ok {
+		t.Error("int ⊔ string must fail")
+	}
+	jf, ok := CommonSupertype(h, IntType, FloatType)
+	if !ok || !TypeEqual(jf, FloatType) {
+		t.Error("int ⊔ float = float")
+	}
+}
+
+func TestCommonSupertypeCollectionsAndTuples(t *testing.T) {
+	h := testHierarchy(t)
+	j, ok := CommonSupertype(h, SetOf(Class("Title")), SetOf(Class("Author")))
+	if !ok || !TypeEqual(j, SetOf(Class("Text"))) {
+		t.Errorf("set join = %v", j)
+	}
+	ta := TupleOf(TField{"a", IntType}, TField{"b", StringType})
+	tb := TupleOf(TField{"a", FloatType}, TField{"c", BoolType})
+	jt, ok := CommonSupertype(h, ta, tb)
+	if !ok || !TypeEqual(jt, TupleOf(TField{"a", FloatType})) {
+		t.Errorf("tuple join = %v", jt)
+	}
+	// Tuples with no common attributes do not join.
+	if _, ok := CommonSupertype(h, TupleOf(TField{"a", IntType}), TupleOf(TField{"b", IntType})); ok {
+		t.Error("disjoint tuples must not join")
+	}
+	// Tuple vs list joins through the heterogeneous-list view.
+	lt := ListOf(UnionOf(TField{"a", IntType}, TField{"b", StringType}, TField{"z", BoolType}))
+	jl, ok := CommonSupertype(h, ta, lt)
+	if !ok {
+		t.Fatal("tuple ⊔ list of union must exist")
+	}
+	if !Subtype(h, ta, jl) || !Subtype(h, lt, jl) {
+		t.Errorf("join %s must be above both", jl)
+	}
+}
+
+func TestHierarchyChecks(t *testing.T) {
+	h := NewHierarchy()
+	if err := h.AddClass("A", TupleOf(TField{"x", IntType})); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddClass("A", nil); err == nil {
+		t.Error("redeclaration must fail")
+	}
+	if err := h.AddClass("", nil); err == nil {
+		t.Error("empty name must fail")
+	}
+	if err := h.AddInherits("A", "Zed"); err == nil {
+		t.Error("inherits from undeclared must fail")
+	}
+	if err := h.AddInherits("Zed", "A"); err == nil {
+		t.Error("inherits of undeclared must fail")
+	}
+	if err := h.AddClass("B", TupleOf(TField{"x", IntType}, TField{"y", IntType})); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddInherits("B", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddInherits("B", "A"); err != nil {
+		t.Error("duplicate edge is idempotent")
+	}
+	if err := h.Check(); err != nil {
+		t.Errorf("valid hierarchy rejected: %v", err)
+	}
+	// Cycle detection.
+	if err := h.AddInherits("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Check(); err == nil {
+		t.Error("cycle must be rejected")
+	}
+	// σ incompatibility.
+	h2 := NewHierarchy()
+	_ = h2.AddClass("Sup", TupleOf(TField{"x", IntType}))
+	_ = h2.AddClass("Sub", TupleOf(TField{"y", IntType}))
+	_ = h2.AddInherits("Sub", "Sup")
+	if err := h2.Check(); err == nil {
+		t.Error("σ(Sub) ≰ σ(Sup) must be rejected")
+	}
+}
+
+func TestHierarchyQueries(t *testing.T) {
+	h := testHierarchy(t)
+	if !h.IsSubclass("Title", "Title") {
+		t.Error("≺* is reflexive")
+	}
+	subs := h.Subclasses("Text")
+	if len(subs) != 3 { // Text, Title, Author
+		t.Errorf("Subclasses(Text) = %v", subs)
+	}
+	sups := h.Superclasses("Title")
+	if len(sups) != 2 {
+		t.Errorf("Superclasses(Title) = %v", sups)
+	}
+	if h.LeastCommonSuperclass("Title", "Picture") != "" {
+		t.Error("Title and Picture share no class")
+	}
+	if h.LeastCommonSuperclass("Title", "Author") != "Text" {
+		t.Error("LCS(Title, Author) = Text")
+	}
+	if h.LeastCommonSuperclass("Title", "Text") != "Text" {
+		t.Error("LCS(Title, Text) = Text")
+	}
+	cl := h.Clone()
+	if err := cl.AddClass("New", TupleOf()); err != nil {
+		t.Fatal(err)
+	}
+	if h.Has("New") {
+		t.Error("Clone must be independent")
+	}
+	if got := h.Parents("Title"); len(got) != 1 || got[0] != "Text" {
+		t.Errorf("Parents = %v", got)
+	}
+}
+
+func TestDiamondInheritance(t *testing.T) {
+	h := NewHierarchy()
+	for _, c := range []string{"Top", "L", "R", "Bot"} {
+		if err := h.AddClass(c, TupleOf()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = h.AddInherits("L", "Top")
+	_ = h.AddInherits("R", "Top")
+	_ = h.AddInherits("Bot", "L")
+	_ = h.AddInherits("Bot", "R")
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.IsSubclass("Bot", "Top") {
+		t.Error("diamond transitivity")
+	}
+	// L and R are incomparable; LCS(L,R)=Top, LCS(Bot,L)=L.
+	if h.LeastCommonSuperclass("L", "R") != "Top" {
+		t.Error("LCS(L,R)")
+	}
+	if h.LeastCommonSuperclass("Bot", "L") != "L" {
+		t.Error("LCS(Bot,L)")
+	}
+}
+
+// genType builds a random type of bounded depth for property tests.
+func genType(r *rand.Rand, classes []string, depth int) Type {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return IntType
+		case 1:
+			return FloatType
+		case 2:
+			return StringType
+		case 3:
+			return BoolType
+		default:
+			if len(classes) == 0 {
+				return IntType
+			}
+			return Class(classes[r.Intn(len(classes))])
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return IntType
+	case 1:
+		return StringType
+	case 2:
+		return genTypeColl(r, classes, depth, true)
+	case 3:
+		return genTypeColl(r, classes, depth, false)
+	case 4, 5:
+		n := 1 + r.Intn(3)
+		names := []string{"a", "b", "c"}
+		fs := make([]TField, 0, n)
+		for i := 0; i < n && i < len(names); i++ {
+			fs = append(fs, TField{names[i], genType(r, classes, depth-1)})
+		}
+		return TupleOf(fs...)
+	case 6:
+		n := 1 + r.Intn(3)
+		names := []string{"a", "b", "c"}
+		fs := make([]TField, 0, n)
+		for i := 0; i < n && i < len(names); i++ {
+			fs = append(fs, TField{names[i], genType(r, classes, depth-1)})
+		}
+		return UnionOf(fs...)
+	default:
+		if len(classes) == 0 {
+			return BoolType
+		}
+		return Class(classes[r.Intn(len(classes))])
+	}
+}
+
+func genTypeColl(r *rand.Rand, classes []string, depth int, isSet bool) Type {
+	e := genType(r, classes, depth-1)
+	if isSet {
+		return SetOf(e)
+	}
+	return ListOf(e)
+}
+
+func TestPropertySubtypeReflexiveAndJoinSound(t *testing.T) {
+	h := testHierarchy(t)
+	classes := h.Classes()
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 1500; i++ {
+		a := genType(r, classes, 3)
+		b := genType(r, classes, 3)
+		if !Subtype(h, a, a) {
+			t.Fatalf("≤ not reflexive on %s", a)
+		}
+		if j, ok := CommonSupertype(h, a, b); ok {
+			if !Subtype(h, a, j) || !Subtype(h, b, j) {
+				t.Fatalf("join %s of %s and %s is not an upper bound", j, a, b)
+			}
+		} else if Subtype(h, a, b) || Subtype(h, b, a) {
+			t.Fatalf("comparable types %s, %s must join", a, b)
+		}
+	}
+}
+
+func TestPropertySubtypeTransitive(t *testing.T) {
+	h := testHierarchy(t)
+	classes := h.Classes()
+	r := rand.New(rand.NewSource(23))
+	checked := 0
+	for i := 0; i < 30000 && checked < 600; i++ {
+		a := genType(r, classes, 2)
+		b := genType(r, classes, 2)
+		c := genType(r, classes, 2)
+		if Subtype(h, a, b) && Subtype(h, b, c) {
+			checked++
+			if !Subtype(h, a, c) {
+				t.Fatalf("transitivity violated: %s ≤ %s ≤ %s but not %s ≤ %s", a, b, c, a, c)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("property test vacuous: no chains found")
+	}
+}
+
+func TestMemberOf(t *testing.T) {
+	h := testHierarchy(t)
+	classOf := func(o OID) (string, bool) {
+		switch o {
+		case 1:
+			return "Title", true
+		case 2:
+			return "Picture", true
+		}
+		return "", false
+	}
+	cases := []struct {
+		v    Value
+		t    Type
+		want bool
+	}{
+		{Int(3), IntType, true},
+		{Int(3), FloatType, true},
+		{Float(3), IntType, false},
+		{String_("x"), StringType, true},
+		{Bool(true), BoolType, true},
+		{Nil{}, Class("Text"), true},
+		{OID(1), Class("Text"), true},
+		{OID(1), Class("Title"), true},
+		{OID(2), Class("Text"), false},
+		{OID(1), Any, true},
+		{Int(1), Any, false},
+		{OID(9), Class("Text"), false}, // unassigned oid
+		{NewSet(Int(1), Int(2)), SetOf(IntType), true},
+		{NewSet(Int(1), String_("x")), SetOf(IntType), false},
+		{NewList(Int(1)), ListOf(IntType), true},
+		{NewTuple(Field{"a", Int(1)}), TupleOf(TField{"a", IntType}), true},
+		{NewTuple(Field{"a", Int(1)}, Field{"b", Bool(true)}),
+			TupleOf(TField{"a", IntType}), true}, // extra trailing attrs allowed
+		{NewTuple(Field{"b", Bool(true)}, Field{"a", Int(1)}),
+			TupleOf(TField{"a", IntType}), false}, // prefix must match in order
+		{NewUnion("a", Int(1)), UnionOf(TField{"a", IntType}, TField{"b", StringType}), true},
+		{NewUnion("c", Int(1)), UnionOf(TField{"a", IntType}), false},
+		{NewTuple(Field{"a", Int(1)}), UnionOf(TField{"a", IntType}), true},
+		// Tuple belongs to its heterogeneous-list type.
+		{NewTuple(Field{"a", Int(1)}, Field{"b", String_("s")}),
+			ListOf(UnionOf(TField{"a", IntType}, TField{"b", StringType})), true},
+		{Int(1), ListOf(IntType), false},
+		{NewList(Int(1)), SetOf(IntType), false},
+	}
+	for _, c := range cases {
+		if got := MemberOf(c.v, c.t, h, classOf); got != c.want {
+			t.Errorf("MemberOf(%s, %s) = %v, want %v", c.v, c.t, got, c.want)
+		}
+	}
+}
+
+func TestPropertyMemberRespectsSubtype(t *testing.T) {
+	// If v ∈ dom(τ) and τ ≤ υ then v ∈ dom(υ) — the paper's dom
+	// monotonicity, restricted to non-class types (class membership needs
+	// the oid assignment, exercised separately above).
+	h := testHierarchy(t)
+	r := rand.New(rand.NewSource(31))
+	checked := 0
+	for i := 0; i < 40000 && checked < 500; i++ {
+		tau := genType(r, nil, 2)
+		ups := genType(r, nil, 2)
+		if !Subtype(h, tau, ups) {
+			continue
+		}
+		v := genValue(r, 3)
+		if MemberOf(v, tau, h, nil) {
+			checked++
+			if !MemberOf(v, ups, h, nil) {
+				t.Fatalf("dom not monotone: %s ∈ dom(%s), %s ≤ %s, but ∉ dom(%s)", v, tau, tau, ups, ups)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("property test vacuous")
+	}
+}

@@ -1,0 +1,591 @@
+// Package object implements the extended O₂ data model of Section 5.1 of
+// "From Structured Documents to Novel Query Facilities" (SIGMOD 1994):
+// complex values built from atoms, object identifiers, ordered tuples,
+// lists, sets and marked unions, together with the type system, the class
+// hierarchy, and the paper's two new subtyping rules (tuple alternatives of
+// a marked union, and tuples viewed as heterogeneous lists).
+//
+// The model is exactly the formal one: a value over a set O of oids is nil,
+// an atom, an oid, or a tuple/set/list of values; marked-union values are
+// singleton tuples [aᵢ:v] carrying their marker. Ordering of tuple
+// attributes is meaningful (Section 3, "Ordered tuples"): two tuples with
+// permuted attributes are distinct values.
+package object
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the concrete representation of a Value.
+type Kind int
+
+// The value kinds of the model. KindUnion is the marked-union value
+// [marker: v] — formally a singleton tuple, but kept distinct so that the
+// marker introduced by the typechecker can be recognised and hidden again
+// ("implicit selectors", Section 4.2).
+const (
+	KindNil Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindOID
+	KindTuple
+	KindList
+	KindSet
+	KindUnion
+)
+
+// String returns the conventional name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNil:
+		return "nil"
+	case KindInt:
+		return "integer"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "boolean"
+	case KindOID:
+		return "oid"
+	case KindTuple:
+		return "tuple"
+	case KindList:
+		return "list"
+	case KindSet:
+		return "set"
+	case KindUnion:
+		return "union"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is an element of val(O): nil, an atom of dom, an oid of O, or a
+// constructed tuple/list/set/union value. Values are immutable by
+// convention: constructors copy their arguments where aliasing would be
+// observable, and accessors never expose internal slices for mutation.
+type Value interface {
+	// Kind reports the concrete kind of the value.
+	Kind() Kind
+	// String renders the value in the paper's surface syntax, e.g.
+	// tuple(title: "SGML", authors: list("A", "B")).
+	String() string
+	// key appends a canonical, injective encoding of the value used for
+	// hashing and set membership. Distinct values have distinct keys.
+	key(b *strings.Builder)
+}
+
+// Nil is the undefined value nil. It belongs to every class domain.
+type Nil struct{}
+
+// Kind implements Value.
+func (Nil) Kind() Kind     { return KindNil }
+func (Nil) String() string { return "nil" }
+func (Nil) key(b *strings.Builder) {
+	b.WriteByte('n')
+}
+
+// Int is an atomic integer value.
+type Int int64
+
+// Kind implements Value.
+func (Int) Kind() Kind       { return KindInt }
+func (v Int) String() string { return strconv.FormatInt(int64(v), 10) }
+func (v Int) key(b *strings.Builder) {
+	b.WriteByte('i')
+	b.WriteString(strconv.FormatInt(int64(v), 10))
+	b.WriteByte(';')
+}
+
+// Float is an atomic float value.
+type Float float64
+
+// Kind implements Value.
+func (Float) Kind() Kind { return KindFloat }
+func (v Float) String() string {
+	return strconv.FormatFloat(float64(v), 'g', -1, 64)
+}
+func (v Float) key(b *strings.Builder) {
+	b.WriteByte('f')
+	b.WriteString(strconv.FormatUint(math.Float64bits(float64(v)), 16))
+	b.WriteByte(';')
+}
+
+// String_ is an atomic string value. (Named with a trailing underscore to
+// avoid colliding with the String method required by fmt.Stringer.)
+type String_ string
+
+// Kind implements Value.
+func (String_) Kind() Kind       { return KindString }
+func (v String_) String() string { return strconv.Quote(string(v)) }
+func (v String_) key(b *strings.Builder) {
+	b.WriteByte('s')
+	b.WriteString(strconv.Itoa(len(v)))
+	b.WriteByte(':')
+	b.WriteString(string(v))
+}
+
+// Bool is an atomic boolean value.
+type Bool bool
+
+// Kind implements Value.
+func (Bool) Kind() Kind { return KindBool }
+func (v Bool) String() string {
+	if v {
+		return "true"
+	}
+	return "false"
+}
+func (v Bool) key(b *strings.Builder) {
+	if v {
+		b.WriteString("bt")
+	} else {
+		b.WriteString("bf")
+	}
+}
+
+// OID is an object identifier from obj. OIDs are pure names: the class of
+// an oid and the value it denotes live in the instance (π and ν), not in
+// the identifier. The zero OID is never assigned.
+type OID uint64
+
+// Kind implements Value.
+func (OID) Kind() Kind       { return KindOID }
+func (v OID) String() string { return fmt.Sprintf("o%d", uint64(v)) }
+func (v OID) key(b *strings.Builder) {
+	b.WriteByte('o')
+	b.WriteString(strconv.FormatUint(uint64(v), 10))
+	b.WriteByte(';')
+}
+
+// Field is one attribute of an ordered tuple: a name and a value.
+type Field struct {
+	Name  string
+	Value Value
+}
+
+// Tuple is an ordered tuple value [a₁:v₁, …, aₙ:vₙ]. Attribute names are
+// pairwise distinct and their order is part of the value: for any
+// non-identity permutation, [a₁:v₁,…,aₙ:vₙ] ≠ [aᵢ₁:vᵢ₁,…,aᵢₙ:vᵢₙ].
+type Tuple struct {
+	fields []Field
+}
+
+// NewTuple builds an ordered tuple from the given fields. It panics if two
+// fields share a name, mirroring the model's requirement that attribute
+// names within a tuple are distinct.
+func NewTuple(fields ...Field) *Tuple {
+	seen := make(map[string]bool, len(fields))
+	fs := make([]Field, len(fields))
+	for i, f := range fields {
+		if f.Value == nil {
+			f.Value = Nil{}
+		}
+		if seen[f.Name] {
+			panic(fmt.Sprintf("object: duplicate tuple attribute %q", f.Name))
+		}
+		seen[f.Name] = true
+		fs[i] = f
+	}
+	return &Tuple{fields: fs}
+}
+
+// Kind implements Value.
+func (*Tuple) Kind() Kind { return KindTuple }
+
+// Len reports the number of attributes.
+func (t *Tuple) Len() int { return len(t.fields) }
+
+// At returns the i-th field (0-based).
+func (t *Tuple) At(i int) Field { return t.fields[i] }
+
+// Get returns the value of the named attribute and whether it exists.
+func (t *Tuple) Get(name string) (Value, bool) {
+	for _, f := range t.fields {
+		if f.Name == name {
+			return f.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Index returns the position of the named attribute, or -1.
+func (t *Tuple) Index(name string) int {
+	for i, f := range t.fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the attribute names in order.
+func (t *Tuple) Names() []string {
+	ns := make([]string, len(t.fields))
+	for i, f := range t.fields {
+		ns[i] = f.Name
+	}
+	return ns
+}
+
+// With returns a copy of the tuple with the named attribute replaced (or
+// appended if absent). The receiver is unchanged.
+func (t *Tuple) With(name string, v Value) *Tuple {
+	fs := make([]Field, len(t.fields), len(t.fields)+1)
+	copy(fs, t.fields)
+	for i := range fs {
+		if fs[i].Name == name {
+			fs[i].Value = v
+			return &Tuple{fields: fs}
+		}
+	}
+	return &Tuple{fields: append(fs, Field{Name: name, Value: v})}
+}
+
+func (t *Tuple) String() string {
+	var b strings.Builder
+	b.WriteString("tuple(")
+	for i, f := range t.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+		b.WriteString(": ")
+		b.WriteString(f.Value.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (t *Tuple) key(b *strings.Builder) {
+	b.WriteByte('t')
+	b.WriteString(strconv.Itoa(len(t.fields)))
+	b.WriteByte('(')
+	for _, f := range t.fields {
+		b.WriteString(strconv.Itoa(len(f.Name)))
+		b.WriteByte(':')
+		b.WriteString(f.Name)
+		f.Value.key(b)
+	}
+	b.WriteByte(')')
+}
+
+// List is a list value [v₁, …, vₙ].
+type List struct {
+	elems []Value
+}
+
+// NewList builds a list from the given elements (copied).
+func NewList(elems ...Value) *List {
+	es := make([]Value, len(elems))
+	for i, e := range elems {
+		if e == nil {
+			e = Nil{}
+		}
+		es[i] = e
+	}
+	return &List{elems: es}
+}
+
+// Kind implements Value.
+func (*List) Kind() Kind { return KindList }
+
+// Len reports the number of elements.
+func (l *List) Len() int { return len(l.elems) }
+
+// At returns the i-th element (0-based).
+func (l *List) At(i int) Value { return l.elems[i] }
+
+// Elems returns a copy of the element slice.
+func (l *List) Elems() []Value {
+	es := make([]Value, len(l.elems))
+	copy(es, l.elems)
+	return es
+}
+
+// Slice returns the sublist l[from:to] (0-based, to exclusive). Bounds are
+// clamped to the list.
+func (l *List) Slice(from, to int) *List {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(l.elems) {
+		to = len(l.elems)
+	}
+	if from >= to {
+		return NewList()
+	}
+	return NewList(l.elems[from:to]...)
+}
+
+// Append returns a new list with vs appended.
+func (l *List) Append(vs ...Value) *List {
+	es := make([]Value, 0, len(l.elems)+len(vs))
+	es = append(es, l.elems...)
+	es = append(es, vs...)
+	return NewList(es...)
+}
+
+func (l *List) String() string {
+	var b strings.Builder
+	b.WriteString("list(")
+	for i, e := range l.elems {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (l *List) key(b *strings.Builder) {
+	b.WriteByte('l')
+	b.WriteString(strconv.Itoa(len(l.elems)))
+	b.WriteByte('[')
+	for _, e := range l.elems {
+		e.key(b)
+	}
+	b.WriteByte(']')
+}
+
+// Set is a set value {v₁, …, vₙ}. Elements are deduplicated under strict
+// value equality and kept in canonical (key) order so that equal sets have
+// equal representations.
+type Set struct {
+	elems []Value // sorted by Key, no duplicates
+}
+
+// NewSet builds a set from the given elements, removing duplicates.
+func NewSet(elems ...Value) *Set {
+	type keyed struct {
+		k string
+		v Value
+	}
+	ks := make([]keyed, 0, len(elems))
+	for _, e := range elems {
+		if e == nil {
+			e = Nil{}
+		}
+		ks = append(ks, keyed{Key(e), e})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].k < ks[j].k })
+	es := make([]Value, 0, len(ks))
+	var prev string
+	for i, ke := range ks {
+		if i > 0 && ke.k == prev {
+			continue
+		}
+		es = append(es, ke.v)
+		prev = ke.k
+	}
+	return &Set{elems: es}
+}
+
+// Kind implements Value.
+func (*Set) Kind() Kind { return KindSet }
+
+// Len reports the cardinality.
+func (s *Set) Len() int { return len(s.elems) }
+
+// At returns the i-th element in canonical order.
+func (s *Set) At(i int) Value { return s.elems[i] }
+
+// Elems returns a copy of the elements in canonical order.
+func (s *Set) Elems() []Value {
+	es := make([]Value, len(s.elems))
+	copy(es, s.elems)
+	return es
+}
+
+// Contains reports set membership under strict equality.
+func (s *Set) Contains(v Value) bool {
+	k := Key(v)
+	i := sort.Search(len(s.elems), func(i int) bool { return Key(s.elems[i]) >= k })
+	return i < len(s.elems) && Key(s.elems[i]) == k
+}
+
+// Union returns s ∪ t.
+func (s *Set) Union(t *Set) *Set {
+	return NewSet(append(s.Elems(), t.Elems()...)...)
+}
+
+// Intersect returns s ∩ t.
+func (s *Set) Intersect(t *Set) *Set {
+	var es []Value
+	for _, e := range s.elems {
+		if t.Contains(e) {
+			es = append(es, e)
+		}
+	}
+	return NewSet(es...)
+}
+
+// Diff returns s ∖ t.
+func (s *Set) Diff(t *Set) *Set {
+	var es []Value
+	for _, e := range s.elems {
+		if !t.Contains(e) {
+			es = append(es, e)
+		}
+	}
+	return NewSet(es...)
+}
+
+// SubsetOf reports s ⊆ t.
+func (s *Set) SubsetOf(t *Set) bool {
+	for _, e := range s.elems {
+		if !t.Contains(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteString("set(")
+	for i, e := range s.elems {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (s *Set) key(b *strings.Builder) {
+	b.WriteByte('S')
+	b.WriteString(strconv.Itoa(len(s.elems)))
+	b.WriteByte('{')
+	for _, e := range s.elems {
+		e.key(b)
+	}
+	b.WriteByte('}')
+}
+
+// Union_ is a marked-union value [marker: v]: a value of a union type
+// (a₁:τ₁ + … + aₙ:τₙ) tagged with the alternative it takes. Formally it is
+// the singleton tuple [aᵢ:v]; the distinct kind lets the query processor
+// apply and hide implicit selectors (Section 4.2).
+type Union_ struct {
+	Marker string
+	Value  Value
+}
+
+// NewUnion builds the marked-union value [marker: v].
+func NewUnion(marker string, v Value) *Union_ {
+	if v == nil {
+		v = Nil{}
+	}
+	return &Union_{Marker: marker, Value: v}
+}
+
+// Kind implements Value.
+func (*Union_) Kind() Kind { return KindUnion }
+
+func (u *Union_) String() string {
+	return fmt.Sprintf("<%s: %s>", u.Marker, u.Value.String())
+}
+
+func (u *Union_) key(b *strings.Builder) {
+	b.WriteByte('u')
+	b.WriteString(strconv.Itoa(len(u.Marker)))
+	b.WriteByte(':')
+	b.WriteString(u.Marker)
+	u.Value.key(b)
+}
+
+// Key returns a canonical injective encoding of v: Key(v)==Key(w) iff
+// Equal(v, w). It is the basis of set semantics and of hashing values in
+// maps.
+func Key(v Value) string {
+	var b strings.Builder
+	v.key(&b)
+	return b.String()
+}
+
+// Equal reports strict value equality: same kind, same structure, same
+// atoms, same attribute order. It does not identify a tuple with its
+// heterogeneous-list view; see Equiv for the (≡) equivalence of the paper.
+func Equal(v, w Value) bool {
+	if v == nil {
+		v = Nil{}
+	}
+	if w == nil {
+		w = Nil{}
+	}
+	if v.Kind() != w.Kind() {
+		return false
+	}
+	switch a := v.(type) {
+	case Nil:
+		return true
+	case Int:
+		return a == w.(Int)
+	case Float:
+		return a == w.(Float) || (math.IsNaN(float64(a)) && math.IsNaN(float64(w.(Float))))
+	case String_:
+		return a == w.(String_)
+	case Bool:
+		return a == w.(Bool)
+	case OID:
+		return a == w.(OID)
+	case *Tuple:
+		b := w.(*Tuple)
+		if len(a.fields) != len(b.fields) {
+			return false
+		}
+		for i := range a.fields {
+			if a.fields[i].Name != b.fields[i].Name || !Equal(a.fields[i].Value, b.fields[i].Value) {
+				return false
+			}
+		}
+		return true
+	case *List:
+		b := w.(*List)
+		if len(a.elems) != len(b.elems) {
+			return false
+		}
+		for i := range a.elems {
+			if !Equal(a.elems[i], b.elems[i]) {
+				return false
+			}
+		}
+		return true
+	case *Set:
+		b := w.(*Set)
+		if len(a.elems) != len(b.elems) {
+			return false
+		}
+		for i := range a.elems {
+			if !Equal(a.elems[i], b.elems[i]) {
+				return false
+			}
+		}
+		return true
+	case *Union_:
+		b := w.(*Union_)
+		return a.Marker == b.Marker && Equal(a.Value, b.Value)
+	default:
+		return false
+	}
+}
+
+// IsNil reports whether v is the undefined value.
+func IsNil(v Value) bool {
+	if v == nil {
+		return true
+	}
+	_, ok := v.(Nil)
+	return ok
+}

@@ -1,0 +1,446 @@
+package object
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNil: "nil", KindInt: "integer", KindFloat: "float",
+		KindString: "string", KindBool: "boolean", KindOID: "oid",
+		KindTuple: "tuple", KindList: "list", KindSet: "set", KindUnion: "union",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestAtomValues(t *testing.T) {
+	if Int(5).Kind() != KindInt || Int(5).String() != "5" {
+		t.Error("Int misbehaves")
+	}
+	if Float(2.5).Kind() != KindFloat || Float(2.5).String() != "2.5" {
+		t.Error("Float misbehaves")
+	}
+	if String_("x").Kind() != KindString || String_("x").String() != `"x"` {
+		t.Error("String misbehaves")
+	}
+	if Bool(true).String() != "true" || Bool(false).String() != "false" {
+		t.Error("Bool misbehaves")
+	}
+	if OID(7).Kind() != KindOID || OID(7).String() != "o7" {
+		t.Error("OID misbehaves")
+	}
+	if (Nil{}).Kind() != KindNil || (Nil{}).String() != "nil" {
+		t.Error("Nil misbehaves")
+	}
+}
+
+func TestTupleOrderMeaningful(t *testing.T) {
+	ab := NewTuple(Field{"a", Int(1)}, Field{"b", Int(2)})
+	ba := NewTuple(Field{"b", Int(2)}, Field{"a", Int(1)})
+	if Equal(ab, ba) {
+		t.Error("permuted tuples must be distinct values (ordered tuples)")
+	}
+	if Key(ab) == Key(ba) {
+		t.Error("permuted tuples must have distinct keys")
+	}
+	if Equiv(ab, ba) {
+		t.Error("permuted tuples must not even be ≡")
+	}
+}
+
+func TestTupleAccessors(t *testing.T) {
+	tp := NewTuple(Field{"title", String_("SGML")}, Field{"n", Int(3)})
+	if tp.Len() != 2 {
+		t.Fatalf("Len = %d", tp.Len())
+	}
+	if v, ok := tp.Get("title"); !ok || !Equal(v, String_("SGML")) {
+		t.Error("Get title failed")
+	}
+	if _, ok := tp.Get("nope"); ok {
+		t.Error("Get nope should fail")
+	}
+	if tp.Index("n") != 1 || tp.Index("zz") != -1 {
+		t.Error("Index wrong")
+	}
+	if !reflect.DeepEqual(tp.Names(), []string{"title", "n"}) {
+		t.Error("Names wrong")
+	}
+	tp2 := tp.With("n", Int(9))
+	if v, _ := tp2.Get("n"); !Equal(v, Int(9)) {
+		t.Error("With replace failed")
+	}
+	if v, _ := tp.Get("n"); !Equal(v, Int(3)) {
+		t.Error("With mutated receiver")
+	}
+	tp3 := tp.With("extra", Bool(true))
+	if tp3.Len() != 3 || tp3.Index("extra") != 2 {
+		t.Error("With append failed")
+	}
+	if got := tp.String(); got != `tuple(title: "SGML", n: 3)` {
+		t.Errorf("String = %s", got)
+	}
+}
+
+func TestTupleDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate attribute must panic")
+		}
+	}()
+	NewTuple(Field{"a", Int(1)}, Field{"a", Int(2)})
+}
+
+func TestNilFieldNormalised(t *testing.T) {
+	tp := NewTuple(Field{"a", nil})
+	if v, _ := tp.Get("a"); !IsNil(v) {
+		t.Error("nil field should normalise to Nil{}")
+	}
+	l := NewList(nil, Int(1))
+	if !IsNil(l.At(0)) {
+		t.Error("nil element should normalise to Nil{}")
+	}
+}
+
+func TestListOps(t *testing.T) {
+	l := NewList(Int(1), Int(2), Int(3), Int(4))
+	if l.Len() != 4 || !Equal(l.At(2), Int(3)) {
+		t.Fatal("basic list ops")
+	}
+	if got := l.Slice(1, 3); !Equal(got, NewList(Int(2), Int(3))) {
+		t.Errorf("Slice = %s", got)
+	}
+	if got := l.Slice(-5, 99); !Equal(got, l) {
+		t.Errorf("clamped Slice = %s", got)
+	}
+	if got := l.Slice(3, 1); got.Len() != 0 {
+		t.Errorf("empty Slice = %s", got)
+	}
+	l2 := l.Append(Int(5))
+	if l2.Len() != 5 || l.Len() != 4 {
+		t.Error("Append must not mutate")
+	}
+	if got := NewList(Int(1)).String(); got != "list(1)" {
+		t.Errorf("String = %s", got)
+	}
+	es := l.Elems()
+	es[0] = Int(99)
+	if !Equal(l.At(0), Int(1)) {
+		t.Error("Elems must copy")
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	s := NewSet(Int(2), Int(1), Int(2), Int(3), Int(1))
+	if s.Len() != 3 {
+		t.Fatalf("dedup failed: %s", s)
+	}
+	if !s.Contains(Int(2)) || s.Contains(Int(9)) {
+		t.Error("Contains wrong")
+	}
+	t2 := NewSet(Int(3), Int(4))
+	if got := s.Union(t2); got.Len() != 4 {
+		t.Errorf("Union = %s", got)
+	}
+	if got := s.Intersect(t2); !Equal(got, NewSet(Int(3))) {
+		t.Errorf("Intersect = %s", got)
+	}
+	if got := s.Diff(t2); !Equal(got, NewSet(Int(1), Int(2))) {
+		t.Errorf("Diff = %s", got)
+	}
+	if !NewSet(Int(1)).SubsetOf(s) || s.SubsetOf(t2) {
+		t.Error("SubsetOf wrong")
+	}
+	// Sets built in different orders are Equal.
+	a := NewSet(String_("x"), String_("y"))
+	b := NewSet(String_("y"), String_("x"))
+	if !Equal(a, b) || Key(a) != Key(b) {
+		t.Error("set equality must be order independent")
+	}
+}
+
+func TestUnionValue(t *testing.T) {
+	u := NewUnion("a1", Int(5))
+	if u.Kind() != KindUnion || u.String() != "<a1: 5>" {
+		t.Error("union value basics")
+	}
+	if !Equal(u, NewUnion("a1", Int(5))) || Equal(u, NewUnion("a2", Int(5))) {
+		t.Error("union equality")
+	}
+	if !Equal(UnwrapUnion(NewUnion("a", NewUnion("b", Int(1)))), Int(1)) {
+		t.Error("UnwrapUnion must strip nested wrappers")
+	}
+	if !Equal(UnwrapUnion(Int(3)), Int(3)) {
+		t.Error("UnwrapUnion identity on non-unions")
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	vals := []Value{
+		Nil{}, Int(0), Int(1), Float(0), Float(1), String_(""), String_("0"),
+		String_("ab"), String_("a"), Bool(true), Bool(false), OID(1), OID(2),
+		NewTuple(), NewTuple(Field{"a", Int(1)}),
+		NewTuple(Field{"a", Int(1)}, Field{"b", Int(2)}),
+		NewTuple(Field{"b", Int(2)}, Field{"a", Int(1)}),
+		NewList(), NewList(Int(1)), NewList(Int(1), Int(2)),
+		NewSet(), NewSet(Int(1)), NewSet(Int(1), Int(2)),
+		NewUnion("a", Int(1)), NewUnion("b", Int(1)),
+		NewList(NewList(Int(1))), NewList(NewSet(Int(1))),
+		// Adversarial: nested lengths that could collide under naive
+		// concatenation.
+		NewTuple(Field{"ab", String_("c")}), NewTuple(Field{"a", String_("bc")}),
+		NewList(String_("ab"), String_("c")), NewList(String_("a"), String_("bc")),
+	}
+	keys := map[string]Value{}
+	for _, v := range vals {
+		k := Key(v)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("key collision: %s and %s both have key %q", prev, v, k)
+		}
+		keys[k] = v
+	}
+}
+
+func TestEqualMixedKinds(t *testing.T) {
+	if Equal(Int(1), Float(1)) {
+		t.Error("Int and Float are distinct values")
+	}
+	if Equal(nil, Int(0)) {
+		t.Error("nil interface normalises to Nil{}")
+	}
+	if !Equal(nil, Nil{}) {
+		t.Error("nil interface equals Nil{}")
+	}
+}
+
+func TestEquivTupleHeterogeneousList(t *testing.T) {
+	tp := NewTuple(Field{"A", Int(5)}, Field{"B", Int(6)})
+	hl := NewList(NewUnion("A", Int(5)), NewUnion("B", Int(6)))
+	if !Equiv(tp, hl) {
+		t.Error("[A:5,B:6] ≡ [<A:5>,<B:6>] must hold")
+	}
+	if !Equiv(hl, tp) {
+		t.Error("≡ must be symmetric")
+	}
+	// Also against singleton-tuple representatives.
+	hl2 := NewList(NewTuple(Field{"A", Int(5)}), NewTuple(Field{"B", Int(6)}))
+	if !Equiv(tp, hl2) {
+		t.Error("[A:5,B:6] ≡ [[A:5],[B:6]] must hold")
+	}
+	// Wrong order is not equivalent.
+	bad := NewList(NewUnion("B", Int(6)), NewUnion("A", Int(5)))
+	if Equiv(tp, bad) {
+		t.Error("order must matter under ≡")
+	}
+	// Union value vs singleton tuple.
+	if !Equiv(NewUnion("a", Int(1)), NewTuple(Field{"a", Int(1)})) {
+		t.Error("<a:1> ≡ [a:1] must hold")
+	}
+	// Hereditary application.
+	nested := NewTuple(Field{"x", tp})
+	nestedL := NewTuple(Field{"x", hl})
+	if !Equiv(nested, nestedL) {
+		t.Error("≡ must apply hereditarily")
+	}
+	// Sets compared under ≡.
+	s1 := NewSet(tp)
+	s2 := NewSet(hl)
+	if !Equiv(s1, s2) {
+		t.Error("sets of ≡ elements are ≡")
+	}
+	if Equiv(Int(1), String_("1")) {
+		t.Error("distinct atoms are not ≡")
+	}
+}
+
+func TestHeterogeneousListView(t *testing.T) {
+	tp := NewTuple(Field{"to", String_("T")}, Field{"from", String_("F")})
+	hl := HeterogeneousList(tp)
+	if hl.Len() != 2 {
+		t.Fatal("length")
+	}
+	u0 := hl.At(0).(*Union_)
+	if u0.Marker != "to" || !Equal(u0.Value, String_("T")) {
+		t.Error("element 0 wrong")
+	}
+	if l, ok := AsList(tp); !ok || !Equal(l, hl) {
+		t.Error("AsList on tuple")
+	}
+	if _, ok := AsList(Int(1)); ok {
+		t.Error("AsList on atom must fail")
+	}
+	if tup, ok := AsTuple(NewUnion("a", Int(1))); !ok || tup.Len() != 1 {
+		t.Error("AsTuple on union")
+	}
+	if _, ok := AsTuple(NewList()); ok {
+		t.Error("AsTuple on list must fail")
+	}
+}
+
+// genValue builds a random value of bounded depth for property tests.
+func genValue(r *rand.Rand, depth int) Value {
+	if depth <= 0 {
+		switch r.Intn(6) {
+		case 0:
+			return Nil{}
+		case 1:
+			return Int(r.Intn(10))
+		case 2:
+			return Float(float64(r.Intn(5)))
+		case 3:
+			return String_(string(rune('a' + r.Intn(4))))
+		case 4:
+			return Bool(r.Intn(2) == 0)
+		default:
+			return OID(uint64(r.Intn(5) + 1))
+		}
+	}
+	switch r.Intn(9) {
+	case 0:
+		return Nil{}
+	case 1:
+		return Int(r.Intn(10))
+	case 2:
+		return String_(string(rune('a' + r.Intn(4))))
+	case 3, 4:
+		n := r.Intn(3)
+		fs := make([]Field, 0, n)
+		names := []string{"a", "b", "c"}
+		r.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+		for i := 0; i < n; i++ {
+			fs = append(fs, Field{names[i], genValue(r, depth-1)})
+		}
+		return NewTuple(fs...)
+	case 5, 6:
+		n := r.Intn(3)
+		es := make([]Value, n)
+		for i := range es {
+			es[i] = genValue(r, depth-1)
+		}
+		return NewList(es...)
+	case 7:
+		n := r.Intn(3)
+		es := make([]Value, n)
+		for i := range es {
+			es[i] = genValue(r, depth-1)
+		}
+		return NewSet(es...)
+	default:
+		return NewUnion(string(rune('a'+r.Intn(3))), genValue(r, depth-1))
+	}
+}
+
+func TestPropertyKeyAgreesWithEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 3000; i++ {
+		v := genValue(r, 3)
+		w := genValue(r, 3)
+		if Equal(v, w) != (Key(v) == Key(w)) {
+			t.Fatalf("Key/Equal disagree on %s vs %s", v, w)
+		}
+	}
+}
+
+func TestPropertyEqualImpliesEquiv(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		v := genValue(r, 3)
+		if !Equiv(v, v) {
+			t.Fatalf("≡ not reflexive on %s", v)
+		}
+		w := genValue(r, 3)
+		if Equal(v, w) && !Equiv(v, w) {
+			t.Fatalf("Equal must imply Equiv: %s vs %s", v, w)
+		}
+		if Equiv(v, w) != Equiv(w, v) {
+			t.Fatalf("≡ not symmetric on %s vs %s", v, w)
+		}
+	}
+}
+
+func TestPropertyTupleAlwaysEquivItsHeterogeneousList(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 1500; i++ {
+		v := genValue(r, 3)
+		tp, ok := v.(*Tuple)
+		if !ok {
+			continue
+		}
+		if !Equiv(tp, HeterogeneousList(tp)) {
+			t.Fatalf("tuple %s not ≡ its heterogeneous list", tp)
+		}
+	}
+}
+
+func TestQuickSetIdempotent(t *testing.T) {
+	f := func(xs []int64) bool {
+		vs := make([]Value, len(xs))
+		for i, x := range xs {
+			vs[i] = Int(x)
+		}
+		s1 := NewSet(vs...)
+		s2 := NewSet(s1.Elems()...)
+		return Equal(s1, s2) && s1.Len() <= len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSetAlgebraLaws(t *testing.T) {
+	mk := func(xs []int8) *Set {
+		vs := make([]Value, len(xs))
+		for i, x := range xs {
+			vs[i] = Int(int64(x % 8))
+		}
+		return NewSet(vs...)
+	}
+	f := func(xs, ys []int8) bool {
+		a, b := mk(xs), mk(ys)
+		// |A∪B| = |A| + |B| - |A∩B|
+		if a.Union(b).Len() != a.Len()+b.Len()-a.Intersect(b).Len() {
+			return false
+		}
+		// A∖B ⊆ A, disjoint from B
+		d := a.Diff(b)
+		if !d.SubsetOf(a) || d.Intersect(b).Len() != 0 {
+			return false
+		}
+		// union commutative
+		return Equal(a.Union(b), b.Union(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueStringsRoundTripKeyPrefixFreedom(t *testing.T) {
+	// Key encodings must be prefix-free enough that concatenation in
+	// containers is injective; spot-check tricky neighbours.
+	pairs := [][2]Value{
+		{NewList(Int(1), Int(2)), NewList(Int(12))},
+		{NewList(String_("a"), String_("b")), NewList(String_("ab"))},
+		{NewTuple(Field{"a", String_("bc")}), NewTuple(Field{"ab", String_("c")})},
+		{NewSet(Int(1), Int(2)), NewSet(Int(12))},
+	}
+	for _, p := range pairs {
+		if Key(p[0]) == Key(p[1]) {
+			t.Errorf("collision between %s and %s", p[0], p[1])
+		}
+	}
+	var b strings.Builder
+	Nil{}.key(&b)
+	if b.String() != "n" {
+		t.Error("nil key")
+	}
+}

@@ -1,0 +1,391 @@
+package oql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a parsed O₂SQL expression.
+type Expr interface {
+	isExpr()
+	String() string
+}
+
+// Ident is a variable or persistence-root reference.
+type Ident struct{ Name string }
+
+func (Ident) isExpr()          {}
+func (e Ident) String() string { return e.Name }
+
+// IntLit, FloatLit, StringLit, BoolLit and NilLit are literals.
+type IntLit struct{ V int64 }
+
+func (IntLit) isExpr()          {}
+func (e IntLit) String() string { return fmt.Sprintf("%d", e.V) }
+
+// FloatLit is a float literal.
+type FloatLit struct{ V float64 }
+
+func (FloatLit) isExpr()          {}
+func (e FloatLit) String() string { return fmt.Sprintf("%g", e.V) }
+
+// StringLit is a string literal.
+type StringLit struct{ V string }
+
+func (StringLit) isExpr()          {}
+func (e StringLit) String() string { return fmt.Sprintf("%q", e.V) }
+
+// BoolLit is true or false.
+type BoolLit struct{ V bool }
+
+func (BoolLit) isExpr() {}
+func (e BoolLit) String() string {
+	if e.V {
+		return "true"
+	}
+	return "false"
+}
+
+// NilLit is nil.
+type NilLit struct{}
+
+func (NilLit) isExpr()        {}
+func (NilLit) String() string { return "nil" }
+
+// PatElem is one element of a path suffix attached to an expression:
+// ".attr", ".ATT_a", "[i]", "->", "PATH_p", "..", or a binding "(x)"
+// directly after a path element.
+type PatElem interface {
+	isPatElem()
+	String() string
+}
+
+// AttrP is ".name".
+type AttrP struct{ Name string }
+
+func (AttrP) isPatElem()       {}
+func (e AttrP) String() string { return "." + e.Name }
+
+// AttrVarP is ".ATT_a".
+type AttrVarP struct{ Name string }
+
+func (AttrVarP) isPatElem()       {}
+func (e AttrVarP) String() string { return ".ATT_" + e.Name }
+
+// IdxP is "[expr]".
+type IdxP struct{ I Expr }
+
+func (IdxP) isPatElem()       {}
+func (e IdxP) String() string { return "[" + e.I.String() + "]" }
+
+// PathVarP is "PATH_p".
+type PathVarP struct{ Name string }
+
+func (PathVarP) isPatElem()       {}
+func (e PathVarP) String() string { return " PATH_" + e.Name }
+
+// DotDotP is the ".." sugar: an anonymous path variable.
+type DotDotP struct{}
+
+func (DotDotP) isPatElem()     {}
+func (DotDotP) String() string { return " .. " }
+
+// DerefP is "->".
+type DerefP struct{}
+
+func (DerefP) isPatElem()     {}
+func (DerefP) String() string { return "->" }
+
+// BindP is "(x)": bind the value reached here to a fresh variable.
+type BindP struct{ Var string }
+
+func (BindP) isPatElem()       {}
+func (e BindP) String() string { return "(" + e.Var + ")" }
+
+// PathExpr is a base expression followed by a path suffix, e.g.
+// a.sections[0], my_article PATH_p.title(t), s.title.
+type PathExpr struct {
+	Base  Expr
+	Elems []PatElem
+}
+
+func (PathExpr) isExpr() {}
+func (e PathExpr) String() string {
+	var b strings.Builder
+	b.WriteString(e.Base.String())
+	for _, el := range e.Elems {
+		b.WriteString(el.String())
+	}
+	return b.String()
+}
+
+// Call is a function application, e.g. first(a.authors), name(ATT_a),
+// text(ss), count(s), length(PATH_p).
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (Call) isExpr() {}
+func (e Call) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// PathVarRef uses a path variable as an expression (e.g. length(PATH_p)).
+type PathVarRef struct{ Name string }
+
+func (PathVarRef) isExpr()          {}
+func (e PathVarRef) String() string { return "PATH_" + e.Name }
+
+// AttrVarRef uses an attribute variable as an expression (name(ATT_a)).
+type AttrVarRef struct{ Name string }
+
+func (AttrVarRef) isExpr()          {}
+func (e AttrVarRef) String() string { return "ATT_" + e.Name }
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAnd BinOp = iota
+	OpOr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpIn
+	OpUnion
+	OpExcept // set difference, also written "-"
+	OpIntersect
+)
+
+func (op BinOp) String() string {
+	switch op {
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpIn:
+		return "in"
+	case OpUnion:
+		return "union"
+	case OpExcept:
+		return "-"
+	case OpIntersect:
+		return "intersect"
+	default:
+		return "?"
+	}
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (Binary) isExpr() {}
+func (e Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
+}
+
+// NotExpr is boolean negation.
+type NotExpr struct{ E Expr }
+
+func (NotExpr) isExpr()          {}
+func (e NotExpr) String() string { return "not " + e.E.String() }
+
+// ContainsExpr is the contains predicate: subject contains pattern.
+type ContainsExpr struct {
+	Subject Expr
+	Pattern PatternExpr
+}
+
+func (ContainsExpr) isExpr() {}
+func (e ContainsExpr) String() string {
+	return e.Subject.String() + " contains " + e.Pattern.String()
+}
+
+// NearExpr is the near predicate: near(subject, "a", "b", k).
+type NearCond struct {
+	Subject Expr
+	A, B    string
+	Dist    int64
+}
+
+func (NearCond) isExpr() {}
+func (e NearCond) String() string {
+	return fmt.Sprintf("near(%s, %q, %q, %d)", e.Subject, e.A, e.B, e.Dist)
+}
+
+// PatternExpr is a boolean combination of text patterns (the operand of
+// contains).
+type PatternExpr interface {
+	isPattern()
+	String() string
+}
+
+// PatLit is a pattern literal ("SGML", "(t|T)itle").
+type PatLit struct{ Src string }
+
+func (PatLit) isPattern()       {}
+func (p PatLit) String() string { return fmt.Sprintf("%q", p.Src) }
+
+// PatAnd, PatOr and PatNot combine patterns.
+type PatAnd struct{ L, R PatternExpr }
+
+func (PatAnd) isPattern() {}
+func (p PatAnd) String() string {
+	return "(" + p.L.String() + " and " + p.R.String() + ")"
+}
+
+// PatOr is pattern disjunction.
+type PatOr struct{ L, R PatternExpr }
+
+func (PatOr) isPattern() {}
+func (p PatOr) String() string {
+	return "(" + p.L.String() + " or " + p.R.String() + ")"
+}
+
+// PatNot is pattern negation.
+type PatNot struct{ E PatternExpr }
+
+func (PatNot) isPattern()       {}
+func (p PatNot) String() string { return "not " + p.E.String() }
+
+// TupleCons constructs a tuple: tuple(t: a.title, n: 3).
+type TupleField struct {
+	Name string
+	E    Expr
+}
+
+// TupleCons is the tuple constructor.
+type TupleCons struct{ Fields []TupleField }
+
+func (TupleCons) isExpr() {}
+func (e TupleCons) String() string {
+	parts := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		parts[i] = f.Name + ": " + f.E.String()
+	}
+	return "tuple(" + strings.Join(parts, ", ") + ")"
+}
+
+// ListCons and SetCons construct collections.
+type ListCons struct{ Items []Expr }
+
+func (ListCons) isExpr() {}
+func (e ListCons) String() string {
+	parts := make([]string, len(e.Items))
+	for i, it := range e.Items {
+		parts[i] = it.String()
+	}
+	return "list(" + strings.Join(parts, ", ") + ")"
+}
+
+// SetCons is the set constructor.
+type SetCons struct{ Items []Expr }
+
+func (SetCons) isExpr() {}
+func (e SetCons) String() string {
+	parts := make([]string, len(e.Items))
+	for i, it := range e.Items {
+		parts[i] = it.String()
+	}
+	return "set(" + strings.Join(parts, ", ") + ")"
+}
+
+// ExistsExpr is "exists x in coll: cond".
+type ExistsExpr struct {
+	Var  string
+	Coll Expr
+	Cond Expr
+}
+
+func (ExistsExpr) isExpr() {}
+func (e ExistsExpr) String() string {
+	return "exists " + e.Var + " in " + e.Coll.String() + ": " + e.Cond.String()
+}
+
+// ForallExpr is "forall x in coll: cond".
+type ForallExpr struct {
+	Var  string
+	Coll Expr
+	Cond Expr
+}
+
+func (ForallExpr) isExpr() {}
+func (e ForallExpr) String() string {
+	return "forall " + e.Var + " in " + e.Coll.String() + ": " + e.Cond.String()
+}
+
+// FromBinding is one entry of a from clause.
+type FromBinding struct {
+	// Var in Coll: "a in Articles".
+	Var  string
+	Coll Expr
+	// Pattern binding: "my_article PATH_p.title(t)" — Base with a path
+	// suffix whose variables the binding introduces. Exactly one of
+	// (Var, Coll) and (Base) is set.
+	Base Expr
+	// Position binding: "from(i) in letter" — Attr names the marker whose
+	// position i is bound (Section 4.4).
+	Attr   string
+	PosVar string
+}
+
+// String renders the binding.
+func (b FromBinding) String() string {
+	switch {
+	case b.Attr != "":
+		return b.Attr + "(" + b.PosVar + ") in " + b.Coll.String()
+	case b.Base != nil:
+		return b.Base.String()
+	default:
+		return b.Var + " in " + b.Coll.String()
+	}
+}
+
+// SelectExpr is select-from-where.
+type SelectExpr struct {
+	Proj  Expr
+	From  []FromBinding
+	Where Expr // nil when absent
+}
+
+func (SelectExpr) isExpr() {}
+func (e SelectExpr) String() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	b.WriteString(e.Proj.String())
+	b.WriteString(" from ")
+	parts := make([]string, len(e.From))
+	for i, f := range e.From {
+		parts[i] = f.String()
+	}
+	b.WriteString(strings.Join(parts, ", "))
+	if e.Where != nil {
+		b.WriteString(" where ")
+		b.WriteString(e.Where.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package oql
+
+import (
+	"fmt"
+
+	"sgmldb/internal/algebra"
+	"sgmldb/internal/calculus"
+	"sgmldb/internal/object"
+	"sgmldb/internal/text"
+)
+
+// Engine executes O₂SQL queries over a calculus environment: parse →
+// typecheck (Section 4.2) → lower to the calculus (Section 5.2) →
+// evaluate, either naively or through the algebraization of Section 5.4.
+type Engine struct {
+	Env *calculus.Env
+	// Index, when set, serves as the full-text access path for contains.
+	Index *text.Index
+	// UseAlgebra evaluates through the (★) algebra plans instead of the
+	// naive calculus interpreter.
+	UseAlgebra bool
+	// SkipTypecheck disables the static Section 4.2 checks.
+	SkipTypecheck bool
+	// MaxBranches bounds the (★) expansion (0 = default).
+	MaxBranches int
+
+	// planCache memoises compiled algebra plans per query source, so
+	// repeated queries pay the (★) analysis once. Plans and the cache
+	// share the engine's single-goroutine discipline.
+	planCache map[string]*algebra.Plan
+}
+
+// New builds an engine over an environment.
+func New(env *calculus.Env) *Engine { return &Engine{Env: env} }
+
+// Query parses, checks and evaluates a query, returning its value: a set
+// for select-from-where and bare pattern queries, the computed value for
+// other expressions.
+func (e *Engine) Query(src string) (object.Value, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if !e.SkipTypecheck && e.Env.Inst != nil {
+		if err := Typecheck(e.Env.Inst.Schema(), ast); err != nil {
+			return nil, err
+		}
+	}
+	switch x := ast.(type) {
+	case SelectExpr:
+		res, err := e.runCached(src, ast)
+		if err != nil {
+			return nil, err
+		}
+		return res.ToSet(), nil
+	case PathExpr:
+		if patternHasVars(x.Elems) {
+			res, err := e.runCached(src, ast)
+			if err != nil {
+				return nil, err
+			}
+			return res.ToSet(), nil
+		}
+		return e.value(ast)
+	default:
+		return e.value(ast)
+	}
+}
+
+// Rows evaluates a select or pattern query and returns the raw result
+// (head variables with their sorted bindings).
+func (e *Engine) Rows(src string) (*calculus.Result, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if !e.SkipTypecheck && e.Env.Inst != nil {
+		if err := Typecheck(e.Env.Inst.Schema(), ast); err != nil {
+			return nil, err
+		}
+	}
+	return e.runCached(src, ast)
+}
+
+// Lower exposes the calculus translation of a query (for inspection and
+// for the benchmarks).
+func (e *Engine) Lower(src string) (*calculus.Query, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(ast, e.rootNames())
+}
+
+// Plan exposes the algebra plan of a query.
+func (e *Engine) Plan(src string) (*algebra.Plan, error) {
+	q, err := e.Lower(src)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.Translate(e.Env, q, algebra.Options{Index: e.Index, MaxBranches: e.MaxBranches})
+}
+
+func (e *Engine) rootNames() []string {
+	if e.Env.Inst == nil {
+		return nil
+	}
+	return e.Env.Inst.Schema().Roots()
+}
+
+// run lowers and evaluates a query expression.
+func (e *Engine) run(ast Expr) (*calculus.Result, error) {
+	q, err := Lower(ast, e.rootNames())
+	if err != nil {
+		return nil, err
+	}
+	if e.UseAlgebra {
+		plan, err := algebra.Translate(e.Env, q, algebra.Options{Index: e.Index, MaxBranches: e.MaxBranches})
+		if err != nil {
+			return nil, err
+		}
+		ctx := algebra.NewCtx(e.Env)
+		ctx.Index = e.Index
+		return plan.Run(ctx)
+	}
+	return e.Env.Eval(q)
+}
+
+// runCached is run with plan caching keyed by the query source.
+func (e *Engine) runCached(src string, ast Expr) (*calculus.Result, error) {
+	if !e.UseAlgebra {
+		return e.run(ast)
+	}
+	if plan, ok := e.planCache[src]; ok {
+		ctx := algebra.NewCtx(e.Env)
+		ctx.Index = e.Index
+		return plan.Run(ctx)
+	}
+	q, err := Lower(ast, e.rootNames())
+	if err != nil {
+		return nil, err
+	}
+	plan, err := algebra.Translate(e.Env, q, algebra.Options{Index: e.Index, MaxBranches: e.MaxBranches})
+	if err != nil {
+		return nil, err
+	}
+	if e.planCache == nil {
+		e.planCache = map[string]*algebra.Plan{}
+	}
+	e.planCache[src] = plan
+	ctx := algebra.NewCtx(e.Env)
+	ctx.Index = e.Index
+	return plan.Run(ctx)
+}
+
+// value evaluates a bare (non-select) expression directly. A path step
+// that does not apply to a named instance surfaces as the execution-time
+// type error of Section 4.2 ("my_section.subsectns will return a type
+// error detected at execution time").
+func (e *Engine) value(ast Expr) (object.Value, error) {
+	lw := &lowerer{}
+	if roots := e.rootNames(); roots != nil {
+		lw.roots = map[string]bool{}
+		for _, r := range roots {
+			lw.roots[r] = true
+		}
+	}
+	t, err := lw.term(ast, scope{})
+	if err != nil {
+		return nil, err
+	}
+	v, err := e.Env.Term(t, calculus.Valuation{})
+	if calculus.IsNoSuchPath(err) {
+		return nil, fmt.Errorf("oql: execution-time type error: %v", err)
+	}
+	return v, err
+}

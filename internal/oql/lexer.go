@@ -1,0 +1,171 @@
+package oql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// lexer tokenises a query string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenises the whole input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("oql: at offset %d: %s", l.pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and -- comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if strings.HasPrefix(l.src[l.pos:], "--") {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isLetter(c) || c == '_':
+		for l.pos < len(l.src) && (isLetter(l.src[l.pos]) || isDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		lower := strings.ToLower(word)
+		switch {
+		case strings.HasPrefix(word, "PATH_"):
+			return token{kind: tokPathVar, text: word[len("PATH_"):], pos: start}, nil
+		case strings.HasPrefix(word, "ATT_"):
+			return token{kind: tokAttrVar, text: word[len("ATT_"):], pos: start}, nil
+		case keywords[lower]:
+			return token{kind: tokKeyword, text: lower, pos: start}, nil
+		default:
+			return token{kind: tokIdent, text: word, pos: start}, nil
+		}
+	case isDigit(c):
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		kind := tokInt
+		if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && isDigit(l.src[l.pos+1]) {
+			kind = tokFloat
+			l.pos++
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+		return token{kind: kind, text: l.src[start:l.pos], pos: start}, nil
+	case c == '"' || c == '\'':
+		q := c
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != q {
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+				switch l.src[l.pos] {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					b.WriteByte(l.src[l.pos])
+				}
+				l.pos++
+				continue
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated string literal")
+		}
+		l.pos++
+		return token{kind: tokString, text: b.String(), pos: start}, nil
+	}
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "..":
+		l.pos += 2
+		return token{kind: tokDotDot, text: "..", pos: start}, nil
+	case "->":
+		l.pos += 2
+		return token{kind: tokArrow, text: "->", pos: start}, nil
+	case "<=":
+		l.pos += 2
+		return token{kind: tokLe, text: "<=", pos: start}, nil
+	case ">=":
+		l.pos += 2
+		return token{kind: tokGe, text: ">=", pos: start}, nil
+	case "!=":
+		l.pos += 2
+		return token{kind: tokNe, text: "!=", pos: start}, nil
+	}
+	l.pos++
+	switch c {
+	case '.':
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case '[':
+		return token{kind: tokLBrack, text: "[", pos: start}, nil
+	case ']':
+		return token{kind: tokRBrack, text: "]", pos: start}, nil
+	case '(':
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case ')':
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case '{':
+		return token{kind: tokLBrace, text: "{", pos: start}, nil
+	case '}':
+		return token{kind: tokRBrace, text: "}", pos: start}, nil
+	case ',':
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case ':':
+		return token{kind: tokColon, text: ":", pos: start}, nil
+	case '=':
+		return token{kind: tokEq, text: "=", pos: start}, nil
+	case '<':
+		return token{kind: tokLt, text: "<", pos: start}, nil
+	case '>':
+		return token{kind: tokGt, text: ">", pos: start}, nil
+	case '-':
+		return token{kind: tokMinus, text: "-", pos: start}, nil
+	case '+':
+		return token{kind: tokPlus, text: "+", pos: start}, nil
+	case '*':
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	default:
+		return token{}, l.errf("unexpected character %q", string(c))
+	}
+}
+
+func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }

@@ -1,0 +1,616 @@
+package oql
+
+import (
+	"fmt"
+
+	"sgmldb/internal/calculus"
+	"sgmldb/internal/object"
+	"sgmldb/internal/text"
+)
+
+// lowerer translates parsed O₂SQL into the calculus of Section 5 — the
+// paper's remark that "any O₂SQL query of the form Doc PATH_p[i].ATT_a(x)…
+// can be translated into a calculus expression ⟨Doc P[I]·A(X)…⟩" made
+// systematic.
+type lowerer struct {
+	fresh int
+	// roots knows the persistence roots, distinguishing root references
+	// from unbound identifiers (nil means: any unbound identifier is a
+	// root reference).
+	roots map[string]bool
+}
+
+// Lower translates a parsed query into a calculus query. For a
+// select-from-where the head is the projection; for a bare expression the
+// head is a fresh variable equated with the expression.
+func Lower(e Expr, roots []string) (*calculus.Query, error) {
+	lw := &lowerer{}
+	if roots != nil {
+		lw.roots = map[string]bool{}
+		for _, r := range roots {
+			lw.roots[r] = true
+		}
+	}
+	return lw.query(e, scope{})
+}
+
+// scope tracks the variables in scope with their sorts.
+type scope map[string]calculus.Sort
+
+func (s scope) with(name string, sort calculus.Sort) scope {
+	out := make(scope, len(s)+1)
+	for k, v := range s {
+		out[k] = v
+	}
+	out[name] = sort
+	return out
+}
+
+func (lw *lowerer) freshVar(prefix string) string {
+	lw.fresh++
+	return fmt.Sprintf("_%s%d", prefix, lw.fresh)
+}
+
+// rewriteDotDot replaces each ".." sugar element with a fresh anonymous
+// path variable, so downstream lowering sees ordinary path variables.
+func (lw *lowerer) rewriteDotDot(elems []PatElem) []PatElem {
+	out := make([]PatElem, len(elems))
+	for i, el := range elems {
+		if _, ok := el.(DotDotP); ok {
+			out[i] = PathVarP{Name: lw.freshVar("dd")}
+		} else {
+			out[i] = el
+		}
+	}
+	return out
+}
+
+// query lowers a top-level or nested query expression.
+func (lw *lowerer) query(e Expr, outer scope) (*calculus.Query, error) {
+	if sel, ok := e.(SelectExpr); ok {
+		return lw.selectQuery(sel, outer)
+	}
+	// A bare expression: a path-pattern expression yields its paths (or
+	// bound values); anything else is equated with a fresh head variable.
+	if pe, ok := e.(PathExpr); ok && patternHasVars(pe.Elems) {
+		return lw.patternQuery(pe, outer)
+	}
+	head := lw.freshVar("r")
+	t, err := lw.term(e, outer)
+	if err != nil {
+		return nil, err
+	}
+	return &calculus.Query{
+		Head: []calculus.VarDecl{{Name: head, Sort: calculus.SortData}},
+		Body: calculus.Eq{L: calculus.Var{Name: head}, R: t},
+	}, nil
+}
+
+// selectQuery lowers select-from-where.
+func (lw *lowerer) selectQuery(sel SelectExpr, outer scope) (*calculus.Query, error) {
+	sc := outer
+	var declared []calculus.VarDecl
+	declare := func(name string, sort calculus.Sort) error {
+		if _, dup := sc[name]; dup {
+			return fmt.Errorf("oql: variable %s declared twice", name)
+		}
+		sc = sc.with(name, sort)
+		declared = append(declared, calculus.VarDecl{Name: name, Sort: sort})
+		return nil
+	}
+	// First pass: declare every variable the from clause introduces, so
+	// that bindings may reference each other in any order the clause
+	// allows (a in Articles, s in a.sections).
+	for i := range sel.From {
+		b := &sel.From[i]
+		switch {
+		case b.Attr != "":
+			if err := declare(b.PosVar, calculus.SortData); err != nil {
+				return nil, err
+			}
+		case b.Base != nil:
+			pe, ok := b.Base.(PathExpr)
+			if !ok {
+				return nil, fmt.Errorf("oql: from entry %s is not a path pattern", b.Base)
+			}
+			pe.Elems = lw.rewriteDotDot(pe.Elems)
+			b.Base = pe
+			for _, v := range patternVars(pe.Elems, sc) {
+				if err := declare(v.Name, v.Sort); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			if err := declare(b.Var, calculus.SortData); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Second pass: lower the bindings.
+	var conjs []calculus.Formula
+	for _, b := range sel.From {
+		f, err := lw.fromFormula(b, sc)
+		if err != nil {
+			return nil, err
+		}
+		conjs = append(conjs, f)
+	}
+	if sel.Where != nil {
+		w, err := lw.cond(sel.Where, sc)
+		if err != nil {
+			return nil, err
+		}
+		conjs = append(conjs, w)
+	}
+	// Projection: a bare in-scope variable becomes the head directly;
+	// anything else is computed into a fresh head variable.
+	var head calculus.VarDecl
+	switch proj := sel.Proj.(type) {
+	case Ident:
+		if sort, ok := sc[proj.Name]; ok {
+			head = calculus.VarDecl{Name: proj.Name, Sort: sort}
+		}
+	case PathVarRef:
+		if _, ok := sc[proj.Name]; ok {
+			head = calculus.VarDecl{Name: proj.Name, Sort: calculus.SortPath}
+		}
+	case AttrVarRef:
+		if _, ok := sc[proj.Name]; ok {
+			head = calculus.VarDecl{Name: proj.Name, Sort: calculus.SortAttr}
+		}
+	}
+	if head.Name == "" {
+		head = calculus.VarDecl{Name: lw.freshVar("r"), Sort: calculus.SortData}
+		t, err := lw.term(sel.Proj, sc)
+		if err != nil {
+			return nil, err
+		}
+		conjs = append(conjs, calculus.Eq{L: calculus.Var{Name: head.Name}, R: t})
+	}
+	// Quantify every declared variable except the head.
+	var quant []calculus.VarDecl
+	for _, d := range declared {
+		if d.Name != head.Name {
+			quant = append(quant, d)
+		}
+	}
+	body := calculus.Conj(conjs...)
+	if len(quant) > 0 {
+		body = calculus.Exists{Vars: quant, Body: body}
+	}
+	return &calculus.Query{Head: []calculus.VarDecl{head}, Body: body}, nil
+}
+
+// patternQuery lowers a bare path-pattern expression like
+// "my_article PATH_p.title": the result is the set of values of its
+// distinguished variable — the single path variable if there is exactly
+// one, else the single (x) binding.
+func (lw *lowerer) patternQuery(pe PathExpr, outer scope) (*calculus.Query, error) {
+	sc := outer
+	pe.Elems = lw.rewriteDotDot(pe.Elems)
+	vars := patternVars(pe.Elems, sc)
+	var headName string
+	var headSort calculus.Sort
+	var pathVars, bindVars []calculus.VarDecl
+	for _, v := range vars {
+		sc = sc.with(v.Name, v.Sort)
+		if v.Sort == calculus.SortPath {
+			pathVars = append(pathVars, v)
+		} else if v.Sort == calculus.SortData {
+			bindVars = append(bindVars, v)
+		}
+	}
+	switch {
+	case len(pathVars) == 1:
+		headName, headSort = pathVars[0].Name, calculus.SortPath
+	case len(bindVars) == 1:
+		headName, headSort = bindVars[0].Name, calculus.SortData
+	default:
+		return nil, fmt.Errorf("oql: ambiguous bare path pattern %s: name one variable", pe)
+	}
+	atom, err := lw.pathAtom(pe, sc)
+	if err != nil {
+		return nil, err
+	}
+	var quant []calculus.VarDecl
+	for _, v := range vars {
+		if v.Name != headName {
+			quant = append(quant, v)
+		}
+	}
+	var body calculus.Formula = atom
+	if len(quant) > 0 {
+		body = calculus.Exists{Vars: quant, Body: body}
+	}
+	return &calculus.Query{
+		Head: []calculus.VarDecl{{Name: headName, Sort: headSort}},
+		Body: body,
+	}, nil
+}
+
+// fromFormula lowers one from-clause binding.
+func (lw *lowerer) fromFormula(b FromBinding, sc scope) (calculus.Formula, error) {
+	switch {
+	case b.Attr != "":
+		// attr(i) in coll: i ranges over the positions of marker attr in
+		// the tuple viewed as a heterogeneous list (Section 4.4).
+		coll, err := lw.term(b.Coll, sc)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.PathAtom{Base: coll, Path: calculus.P(
+			calculus.ElemIndex{I: calculus.Var{Name: b.PosVar}},
+			calculus.ElemAttr{A: calculus.AttrName{Name: b.Attr}},
+		)}, nil
+	case b.Base != nil:
+		return lw.pathAtom(b.Base.(PathExpr), sc)
+	default:
+		coll, err := lw.term(b.Coll, sc)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.In{L: calculus.Var{Name: b.Var}, R: coll}, nil
+	}
+}
+
+// pathAtom lowers a path-pattern expression to a path predicate.
+func (lw *lowerer) pathAtom(pe PathExpr, sc scope) (calculus.Formula, error) {
+	base, err := lw.term(pe.Base, sc)
+	if err != nil {
+		return nil, err
+	}
+	elems, err := lw.patElems(pe.Elems, sc)
+	if err != nil {
+		return nil, err
+	}
+	return calculus.PathAtom{Base: base, Path: calculus.PathTerm{Elems: elems}}, nil
+}
+
+// patElems lowers pattern elements. The ".." sugar becomes an anonymous
+// path variable declared by patternVars.
+func (lw *lowerer) patElems(elems []PatElem, sc scope) ([]calculus.PathElem, error) {
+	var out []calculus.PathElem
+	for _, el := range elems {
+		switch x := el.(type) {
+		case AttrP:
+			out = append(out, calculus.ElemAttr{A: calculus.AttrName{Name: x.Name}})
+		case AttrVarP:
+			out = append(out, calculus.ElemAttr{A: calculus.AttrVar{Name: x.Name}})
+		case PathVarP:
+			out = append(out, calculus.ElemVar{Name: x.Name})
+		case DerefP:
+			out = append(out, calculus.ElemDeref{})
+		case BindP:
+			out = append(out, calculus.ElemBind{X: x.Var})
+		case IdxP:
+			t, err := lw.term(x.I, sc)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, calculus.ElemIndex{I: t})
+		default:
+			return nil, fmt.Errorf("oql: cannot lower pattern element %s", el)
+		}
+	}
+	return out, nil
+}
+
+// patternVars lists the variables a pattern introduces (those not already
+// in scope).
+func patternVars(elems []PatElem, sc scope) []calculus.VarDecl {
+	var out []calculus.VarDecl
+	seen := map[string]bool{}
+	add := func(name string, sort calculus.Sort) {
+		if _, inScope := sc[name]; inScope || seen[name] {
+			return
+		}
+		seen[name] = true
+		out = append(out, calculus.VarDecl{Name: name, Sort: sort})
+	}
+	for _, el := range elems {
+		switch x := el.(type) {
+		case PathVarP:
+			add(x.Name, calculus.SortPath)
+		case AttrVarP:
+			add(x.Name, calculus.SortAttr)
+		case BindP:
+			add(x.Var, calculus.SortData)
+		case IdxP:
+			if id, ok := x.I.(Ident); ok {
+				add(id.Name, calculus.SortData)
+			}
+		}
+	}
+	return out
+}
+
+// patternHasVars reports whether a path suffix introduces variables
+// (making the expression a query rather than plain navigation).
+func patternHasVars(elems []PatElem) bool {
+	for _, el := range elems {
+		switch el.(type) {
+		case PathVarP, AttrVarP, BindP, DotDotP:
+			return true
+		}
+	}
+	return false
+}
+
+// cond lowers a boolean condition to a formula.
+func (lw *lowerer) cond(e Expr, sc scope) (calculus.Formula, error) {
+	switch x := e.(type) {
+	case Binary:
+		switch x.Op {
+		case OpAnd, OpOr:
+			l, err := lw.cond(x.L, sc)
+			if err != nil {
+				return nil, err
+			}
+			r, err := lw.cond(x.R, sc)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == OpAnd {
+				return calculus.And{L: l, R: r}, nil
+			}
+			return calculus.Or{L: l, R: r}, nil
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpIn:
+			l, err := lw.term(x.L, sc)
+			if err != nil {
+				return nil, err
+			}
+			r, err := lw.term(x.R, sc)
+			if err != nil {
+				return nil, err
+			}
+			switch x.Op {
+			case OpEq:
+				return calculus.Eq{L: l, R: r}, nil
+			case OpIn:
+				return calculus.In{L: l, R: r}, nil
+			case OpNe:
+				return calculus.Cmp{Op: calculus.Ne, L: l, R: r}, nil
+			case OpLt:
+				return calculus.Cmp{Op: calculus.Lt, L: l, R: r}, nil
+			case OpLe:
+				return calculus.Cmp{Op: calculus.Le, L: l, R: r}, nil
+			case OpGt:
+				return calculus.Cmp{Op: calculus.Gt, L: l, R: r}, nil
+			default:
+				return calculus.Cmp{Op: calculus.Ge, L: l, R: r}, nil
+			}
+		default:
+			return nil, fmt.Errorf("oql: %s is not a condition", e)
+		}
+	case NotExpr:
+		f, err := lw.cond(x.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.Not{F: f}, nil
+	case ContainsExpr:
+		t, err := lw.term(x.Subject, sc)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := lowerPattern(x.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.Contains{T: t, E: pat}, nil
+	case NearCond:
+		t, err := lw.term(x.Subject, sc)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.Contains{T: t, E: text.NearExpr{A: x.A, B: x.B, Dist: int(x.Dist)}}, nil
+	case ExistsExpr:
+		coll, err := lw.term(x.Coll, sc)
+		if err != nil {
+			return nil, err
+		}
+		inner := sc.with(x.Var, calculus.SortData)
+		cond, err := lw.cond(x.Cond, inner)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.Exists{
+			Vars: []calculus.VarDecl{{Name: x.Var, Sort: calculus.SortData}},
+			Body: calculus.And{L: calculus.In{L: calculus.Var{Name: x.Var}, R: coll}, R: cond},
+		}, nil
+	case ForallExpr:
+		coll, err := lw.term(x.Coll, sc)
+		if err != nil {
+			return nil, err
+		}
+		inner := sc.with(x.Var, calculus.SortData)
+		cond, err := lw.cond(x.Cond, inner)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.Forall{
+			Vars:  []calculus.VarDecl{{Name: x.Var, Sort: calculus.SortData}},
+			Range: calculus.In{L: calculus.Var{Name: x.Var}, R: coll},
+			Then:  cond,
+		}, nil
+	case BoolLit:
+		if x.V {
+			return calculus.TrueF{}, nil
+		}
+		return calculus.Not{F: calculus.TrueF{}}, nil
+	default:
+		// A boolean-valued expression: compare with true.
+		t, err := lw.term(e, sc)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.Eq{L: t, R: calculus.Bl(true)}, nil
+	}
+}
+
+// lowerPattern compiles a pattern expression to a text.Expr.
+func lowerPattern(p PatternExpr) (text.Expr, error) {
+	switch x := p.(type) {
+	case PatLit:
+		return text.PatternExpr(x.Src)
+	case PatAnd:
+		l, err := lowerPattern(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lowerPattern(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return text.And(l, r), nil
+	case PatOr:
+		l, err := lowerPattern(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lowerPattern(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return text.Or(l, r), nil
+	case PatNot:
+		e, err := lowerPattern(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return text.Not(e), nil
+	default:
+		return nil, fmt.Errorf("oql: unknown pattern %T", p)
+	}
+}
+
+// term lowers an expression to a data term.
+func (lw *lowerer) term(e Expr, sc scope) (calculus.DataTerm, error) {
+	switch x := e.(type) {
+	case Ident:
+		if sort, ok := sc[x.Name]; ok {
+			if sort != calculus.SortData {
+				return nil, fmt.Errorf("oql: variable %s is a %v variable, not data", x.Name, sort)
+			}
+			return calculus.Var{Name: x.Name}, nil
+		}
+		if lw.roots != nil && !lw.roots[x.Name] {
+			return nil, fmt.Errorf("oql: unknown name %s (neither a variable in scope nor a persistence root)", x.Name)
+		}
+		return calculus.NameRef{Name: x.Name}, nil
+	case IntLit:
+		return calculus.Num(x.V), nil
+	case FloatLit:
+		return calculus.Const{V: object.Float(x.V)}, nil
+	case StringLit:
+		return calculus.Str(x.V), nil
+	case BoolLit:
+		return calculus.Bl(x.V), nil
+	case NilLit:
+		return calculus.Const{V: object.Nil{}}, nil
+	case PathExpr:
+		if patternHasVars(x.Elems) {
+			// A pattern used as a value: the set its query denotes (Q4).
+			q, err := lw.patternQuery(x, sc)
+			if err != nil {
+				return nil, err
+			}
+			return calculus.InnerQuery{Q: q}, nil
+		}
+		base, err := lw.term(x.Base, sc)
+		if err != nil {
+			return nil, err
+		}
+		elems, err := lw.patElems(x.Elems, sc)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.PathApply{Base: base, Path: calculus.PathTerm{Elems: elems}}, nil
+	case SelectExpr:
+		q, err := lw.selectQuery(x, sc)
+		if err != nil {
+			return nil, err
+		}
+		return calculus.InnerQuery{Q: q}, nil
+	case Binary:
+		switch x.Op {
+		case OpUnion, OpExcept, OpIntersect:
+			l, err := lw.term(x.L, sc)
+			if err != nil {
+				return nil, err
+			}
+			r, err := lw.term(x.R, sc)
+			if err != nil {
+				return nil, err
+			}
+			name := map[BinOp]string{OpUnion: "union", OpExcept: "diff", OpIntersect: "intersect"}[x.Op]
+			return calculus.FuncCall{Name: name, Args: []calculus.Term{l, r}}, nil
+		default:
+			return nil, fmt.Errorf("oql: %s is a condition, not a value", e)
+		}
+	case Call:
+		args := make([]calculus.Term, len(x.Args))
+		for i, a := range x.Args {
+			switch av := a.(type) {
+			case PathVarRef:
+				if _, ok := sc[av.Name]; !ok {
+					return nil, fmt.Errorf("oql: path variable PATH_%s not in scope", av.Name)
+				}
+				args[i] = calculus.PVar(av.Name)
+			case AttrVarRef:
+				if _, ok := sc[av.Name]; !ok {
+					return nil, fmt.Errorf("oql: attribute variable ATT_%s not in scope", av.Name)
+				}
+				args[i] = calculus.AttrVar{Name: av.Name}
+			default:
+				t, err := lw.term(a, sc)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = t
+			}
+		}
+		return calculus.FuncCall{Name: x.Name, Args: args}, nil
+	case TupleCons:
+		fields := make([]calculus.TupleField, len(x.Fields))
+		for i, f := range x.Fields {
+			t, err := lw.term(f.E, sc)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = calculus.TupleField{Attr: calculus.AttrName{Name: f.Name}, T: t}
+		}
+		return calculus.TupleTerm{Fields: fields}, nil
+	case ListCons:
+		items := make([]calculus.DataTerm, len(x.Items))
+		for i, it := range x.Items {
+			t, err := lw.term(it, sc)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = t
+		}
+		return calculus.ListTerm{Items: items}, nil
+	case SetCons:
+		items := make([]calculus.DataTerm, len(x.Items))
+		for i, it := range x.Items {
+			t, err := lw.term(it, sc)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = t
+		}
+		return calculus.SetTerm{Items: items}, nil
+	case PathVarRef:
+		return nil, fmt.Errorf("oql: PATH_%s cannot be used as a data value directly (use length/slice or project it)", x.Name)
+	case AttrVarRef:
+		// name(ATT_a) is the way to observe an attribute variable; as a
+		// data value it denotes its name.
+		if _, ok := sc[x.Name]; !ok {
+			return nil, fmt.Errorf("oql: attribute variable ATT_%s not in scope", x.Name)
+		}
+		return calculus.FuncCall{Name: "name", Args: []calculus.Term{calculus.AttrVar{Name: x.Name}}}, nil
+	default:
+		return nil, fmt.Errorf("oql: cannot use %s as a value", e)
+	}
+}

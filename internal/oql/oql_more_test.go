@@ -1,0 +1,274 @@
+package oql
+
+import (
+	"strings"
+	"testing"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/path"
+)
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lex(`select t.x, PATH_p ATT_a "s" 'q' 3 2.5 .. -> [ ] { } ( ) : = != < <= > >= - + * -- comment
+ident`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]tokenKind, 0, len(toks))
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokenKind{
+		tokKeyword, tokIdent, tokDot, tokIdent, tokComma, tokPathVar, tokAttrVar,
+		tokString, tokString, tokInt, tokFloat, tokDotDot, tokArrow,
+		tokLBrack, tokRBrack, tokLBrace, tokRBrace, tokLParen, tokRParen,
+		tokColon, tokEq, tokNe, tokLt, tokLe, tokGt, tokGe,
+		tokMinus, tokPlus, tokStar, tokIdent, tokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %v (%s), want %v", i, kinds[i], toks[i], want[i])
+		}
+	}
+	// String escapes.
+	toks2, err := lex(`"a\nb\t\"c\""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks2[0].text != "a\nb\t\"c\"" {
+		t.Errorf("escapes = %q", toks2[0].text)
+	}
+	// Errors.
+	for _, bad := range []string{`"open`, "~", "`"} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) must fail", bad)
+		}
+	}
+	// Keyword case-insensitivity.
+	toks3, _ := lex("SELECT x FROM y IN z")
+	if toks3[0].kind != tokKeyword || toks3[0].text != "select" {
+		t.Error("keywords are case-insensitive")
+	}
+}
+
+func TestSortInQueries(t *testing.T) {
+	e := articleEngine(t)
+	v, err := e.Query(`sort(set(3, 1, 2))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !object.Equal(v, object.NewList(object.Int(1), object.Int(2), object.Int(3))) {
+		t.Errorf("sort = %s", v)
+	}
+	// set_to_list composes with a select.
+	v, err = e.Query(`sort(select s from a in Articles, s in a.sections)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(*object.List).Len() != 4 {
+		t.Errorf("sorted sections = %s", v)
+	}
+}
+
+func TestLiberalSemanticsOption(t *testing.T) {
+	e := articleEngine(t)
+	// Under the restricted semantics, a path variable crosses each class
+	// once; the article fixture has no cycles, so liberal only adds the
+	// paths that revisit a class through the reflabel/label back pointers
+	// (none here), and both agree.
+	restricted, err := e.Query(`select t from my_article PATH_p.title(t)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Env.Semantics = path.Liberal
+	liberal, err := e.Query(`select t from my_article PATH_p.title(t)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Env.Semantics = path.Restricted
+	rs := restricted.(*object.Set)
+	ls := liberal.(*object.Set)
+	if !rs.SubsetOf(ls) {
+		t.Error("restricted results must be a subset of liberal results")
+	}
+}
+
+func TestTypecheckCollectionRules(t *testing.T) {
+	e := articleEngine(t)
+	// §4.2 rule 2 through the surface language: unions of section values
+	// join; mixing them with a non-union collection does not.
+	ok := []string{
+		`list(1, 2, 3)`,
+		`set("a", "b")`,
+		`list(1, 2.5)`, // int ⊔ float = float
+		`select s from a in Articles, s in a.sections`,
+		`tuple(a: 1, b: "x")`,
+		`set(my_article, my_old_article)`, // two Articles join
+	}
+	for _, q := range ok {
+		if _, err := e.Query(q); err != nil {
+			t.Errorf("%q must typecheck: %v", q, err)
+		}
+	}
+	bad := []string{
+		`set(1, "x")`,
+		`list(my_article, 3)`,
+		`set(set(1), list(2))`,
+	}
+	for _, q := range bad {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("%q must be rejected", q)
+		}
+	}
+}
+
+func TestTypecheckContainsOperands(t *testing.T) {
+	e := articleEngine(t)
+	// Strings, objects and dynamic values are searchable.
+	for _, q := range []string{
+		`select a from a in Articles where a.status contains "final"`,
+		`select a from a in Articles where a contains "SGML"`,
+		`select v from my_article PATH_p.ATT_a(v) where v contains "x"`,
+	} {
+		if _, err := e.Query(q); err != nil {
+			t.Errorf("%q must typecheck: %v", q, err)
+		}
+	}
+	// A list of sections has no text.
+	if _, err := e.Query(`select a from a in Articles where a.sections contains "x"`); err == nil {
+		t.Error("contains over list(Section) must be rejected")
+	}
+	// Comparisons with no common supertype.
+	if _, err := e.Query(`select a from a in Articles where a.status < 3`); err == nil {
+		t.Error("string < int must be rejected")
+	}
+}
+
+func TestQueryOverUnionRoot(t *testing.T) {
+	// A root whose type is a union directly (not through a class).
+	e := lettersEngine(t)
+	got, err := e.Query(`select p from l in Letters, l.preamble(p)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*object.Set).Len() != 3 {
+		t.Errorf("preambles = %s", got)
+	}
+	// The marker is visible to ATT variables but skipped by names.
+	rows, err := e.Rows(`select ATT_a from l in Letters, l.preamble->.ATT_a(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The PATH_/ATT_ prefixes are sort notation: the variable itself is
+	// named "a".
+	markers := map[string]bool{}
+	for _, b := range rows.Bindings("a") {
+		markers[b.Attr] = true
+	}
+	if !markers["a1"] || !markers["a2"] {
+		t.Errorf("markers = %v", markers)
+	}
+}
+
+func TestEngineValueErrors(t *testing.T) {
+	e := articleEngine(t)
+	for _, q := range []string{
+		`1 +`,            // parse error
+		`length(PATH_p)`, // path var out of scope
+		`name(ATT_a)`,    // attr var out of scope
+		`select PATH_q from my_article PATH_p.title(t)`, // projecting an undeclared var
+	} {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("%q must fail", q)
+		}
+	}
+}
+
+func TestNestedSelectInWhere(t *testing.T) {
+	e := articleEngine(t)
+	bothEngines(t, e, func(t *testing.T, e *Engine) {
+		// Articles whose section count matches another computed set.
+		got, err := e.Query(`
+select a from a in Articles
+where count(a.sections) in set(2)`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.(*object.Set).Len() != 2 {
+			t.Errorf("nested = %s", got)
+		}
+	})
+}
+
+func TestTupleProjectionAndLiterals(t *testing.T) {
+	e := articleEngine(t)
+	v, err := e.Query(`tuple(n: 1, f: 2.5, s: "x", b: true, z: nil)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := v.(*object.Tuple)
+	if tup.Len() != 5 {
+		t.Errorf("tuple = %s", tup)
+	}
+	if z, _ := tup.Get("z"); !object.IsNil(z) {
+		t.Error("nil literal")
+	}
+	if b, _ := tup.Get("b"); !object.Equal(b, object.Bool(true)) {
+		t.Error("bool literal")
+	}
+	// list/set constructors in queries.
+	v, err = e.Query(`list("a", "b")[1]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !object.Equal(v, object.String_("b")) {
+		t.Errorf("list index = %s", v)
+	}
+}
+
+func TestExplicitDerefInQuery(t *testing.T) {
+	e := articleEngine(t)
+	// Explicit -> works alongside implicit dereferencing.
+	v1, err := e.Query(`my_article->.title->.content`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := e.Query(`my_article.title.content`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !object.Equal(v1, v2) {
+		t.Errorf("explicit vs implicit deref: %s vs %s", v1, v2)
+	}
+	if !strings.Contains(v1.String(), "Querying Documents") {
+		t.Errorf("title content = %s", v1)
+	}
+}
+
+func TestAttrVarBindingConsistency(t *testing.T) {
+	e := articleEngine(t)
+	bothEngines(t, e, func(t *testing.T, e *Engine) {
+		// The same ATT variable used twice must take the same attribute in
+		// both places: attributes of my_article whose value equals the
+		// same attribute of my_old_article.
+		rows, err := e.Rows(`
+select ATT_a
+from my_article.ATT_a(x), my_old_article.ATT_a(y)
+where x = y`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Only "status" differs... actually both status values differ
+		// (draft vs final) and object-valued attributes differ; equal
+		// attributes would be none. The point is consistency: no row may
+		// pair different attributes.
+		for _, b := range rows.Bindings("a") {
+			if b.Sort != 2 { // SortAttr
+				t.Errorf("binding sort = %v", b.Sort)
+			}
+		}
+	})
+}

@@ -1,0 +1,665 @@
+package oql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one O₂SQL query.
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %s after query", p.peek())
+	}
+	return e, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) peek2() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("oql: at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokKeyword && t.text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return token{}, p.errf("expected %s, found %s", what, t)
+	}
+	return p.advance(), nil
+}
+
+// expr parses a full expression (or-level).
+func (p *parser) expr() (Expr, error) {
+	if p.peek().kind == tokKeyword && p.peek().text == "select" {
+		return p.selectExpr()
+	}
+	return p.orExpr()
+}
+
+func (p *parser) selectExpr() (Expr, error) {
+	p.advance() // select
+	p.keyword("distinct")
+	proj, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.keyword("from") {
+		return nil, p.errf("expected from, found %s", p.peek())
+	}
+	var from []FromBinding
+	for {
+		b, err := p.fromBinding()
+		if err != nil {
+			return nil, err
+		}
+		from = append(from, b)
+		if p.peek().kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	sel := SelectExpr{Proj: proj, From: from}
+	if p.keyword("where") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	return sel, nil
+}
+
+// fromBinding parses one from-clause entry:
+//
+//	x in coll
+//	attr(i) in coll          (position binding, Section 4.4)
+//	base PATH_p.title(t)     (path pattern binding, Section 4.3)
+func (p *parser) fromBinding() (FromBinding, error) {
+	t := p.peek()
+	// attr(i) in coll — the attribute may be any name, including words
+	// that are otherwise keywords (Section 4.4 uses "from" itself).
+	if (t.kind == tokIdent || t.kind == tokKeyword) && p.lookaheadPositionBinding() {
+		attr := p.advance().text
+		p.advance() // (
+		v, err := p.expect(tokIdent, "position variable")
+		if err != nil {
+			return FromBinding{}, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return FromBinding{}, err
+		}
+		if !p.keyword("in") {
+			return FromBinding{}, p.errf("expected in after position binding")
+		}
+		coll, err := p.orExpr()
+		if err != nil {
+			return FromBinding{}, err
+		}
+		return FromBinding{Attr: attr, PosVar: v.text, Coll: coll}, nil
+	}
+	// x in coll.
+	if t.kind == tokIdent && p.peek2().kind == tokKeyword && p.peek2().text == "in" {
+		v := p.advance().text
+		p.advance() // in
+		coll, err := p.orExpr()
+		if err != nil {
+			return FromBinding{}, err
+		}
+		return FromBinding{Var: v, Coll: coll}, nil
+	}
+	// Path pattern binding.
+	e, err := p.orExpr()
+	if err != nil {
+		return FromBinding{}, err
+	}
+	if _, ok := e.(PathExpr); !ok {
+		return FromBinding{}, p.errf("from entry %s is neither 'x in coll' nor a path pattern", e)
+	}
+	return FromBinding{Base: e}, nil
+}
+
+// lookaheadPositionBinding reports whether the tokens ahead form
+// attr(ident) in … — the Section 4.4 position binding shape.
+func (p *parser) lookaheadPositionBinding() bool {
+	at := func(i int) token {
+		j := p.pos + i
+		if j >= len(p.toks) {
+			return p.toks[len(p.toks)-1]
+		}
+		return p.toks[j]
+	}
+	return at(1).kind == tokLParen && at(2).kind == tokIdent &&
+		at(3).kind == tokRParen && at(4).kind == tokKeyword && at(4).text == "in"
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.keyword("not") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{E: e}, nil
+	}
+	return p.cmpExpr()
+}
+
+// cmpExpr parses comparisons, membership and contains (non-associative).
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.setOpExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	var op BinOp
+	switch {
+	case t.kind == tokEq:
+		op = OpEq
+	case t.kind == tokNe:
+		op = OpNe
+	case t.kind == tokLt:
+		op = OpLt
+	case t.kind == tokLe:
+		op = OpLe
+	case t.kind == tokGt:
+		op = OpGt
+	case t.kind == tokGe:
+		op = OpGe
+	case t.kind == tokKeyword && t.text == "in":
+		op = OpIn
+	case t.kind == tokKeyword && t.text == "contains":
+		p.advance()
+		pat, err := p.patternExpr()
+		if err != nil {
+			return nil, err
+		}
+		return ContainsExpr{Subject: l, Pattern: pat}, nil
+	default:
+		return l, nil
+	}
+	p.advance()
+	r, err := p.setOpExpr()
+	if err != nil {
+		return nil, err
+	}
+	return Binary{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) setOpExpr() (Expr, error) {
+	l, err := p.postfixExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		var op BinOp
+		switch {
+		case t.kind == tokKeyword && t.text == "union":
+			op = OpUnion
+		case t.kind == tokKeyword && t.text == "intersect":
+			op = OpIntersect
+		case t.kind == tokKeyword && t.text == "except", t.kind == tokMinus:
+			op = OpExcept
+		case t.kind == tokPlus:
+			op = OpUnion
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.postfixExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+}
+
+// postfixExpr parses a primary expression followed by a path suffix.
+func (p *parser) postfixExpr() (Expr, error) {
+	base, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	var elems []PatElem
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokDot:
+			p.advance()
+			nt := p.peek()
+			switch nt.kind {
+			case tokIdent, tokKeyword:
+				p.advance()
+				elems = append(elems, AttrP{Name: nt.text})
+			case tokAttrVar:
+				p.advance()
+				elems = append(elems, AttrVarP{Name: nt.text})
+			default:
+				return nil, p.errf("expected attribute after '.', found %s", nt)
+			}
+		case t.kind == tokLBrack:
+			p.advance()
+			idx, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBrack, "]"); err != nil {
+				return nil, err
+			}
+			elems = append(elems, IdxP{I: idx})
+		case t.kind == tokArrow:
+			p.advance()
+			elems = append(elems, DerefP{})
+		case t.kind == tokPathVar:
+			p.advance()
+			elems = append(elems, PathVarP{Name: t.text})
+		case t.kind == tokDotDot:
+			p.advance()
+			elems = append(elems, DotDotP{})
+			// The ".." sugar is followed by a bare attribute name:
+			// from my_article .. title(t).
+			nt := p.peek()
+			if nt.kind == tokIdent || nt.kind == tokAttrVar {
+				p.advance()
+				if nt.kind == tokAttrVar {
+					elems = append(elems, AttrVarP{Name: nt.text})
+				} else {
+					elems = append(elems, AttrP{Name: nt.text})
+				}
+			}
+		case t.kind == tokLParen && len(elems) > 0 &&
+			p.peek2().kind == tokIdent && p.toks[min(p.pos+2, len(p.toks)-1)].kind == tokRParen:
+			// A binding (x) after a path element.
+			p.advance()
+			v := p.advance()
+			p.advance() // )
+			elems = append(elems, BindP{Var: v.text})
+		default:
+			if len(elems) == 0 {
+				return base, nil
+			}
+			return PathExpr{Base: base, Elems: elems}, nil
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return IntLit{V: n}, nil
+	case tokFloat:
+		p.advance()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q", t.text)
+		}
+		return FloatLit{V: f}, nil
+	case tokString:
+		p.advance()
+		return StringLit{V: t.text}, nil
+	case tokPathVar:
+		p.advance()
+		return PathVarRef{Name: t.text}, nil
+	case tokAttrVar:
+		p.advance()
+		return AttrVarRef{Name: t.text}, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokKeyword:
+		switch t.text {
+		case "true":
+			p.advance()
+			return BoolLit{V: true}, nil
+		case "false":
+			p.advance()
+			return BoolLit{V: false}, nil
+		case "nil":
+			p.advance()
+			return NilLit{}, nil
+		case "select":
+			return p.selectExpr()
+		case "tuple":
+			p.advance()
+			return p.tupleCons()
+		case "list":
+			p.advance()
+			items, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			return ListCons{Items: items}, nil
+		case "set":
+			p.advance()
+			items, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			return SetCons{Items: items}, nil
+		case "exists", "forall":
+			kw := t.text
+			p.advance()
+			v, err := p.expect(tokIdent, "variable")
+			if err != nil {
+				return nil, err
+			}
+			if !p.keyword("in") {
+				return nil, p.errf("expected in after %s %s", kw, v.text)
+			}
+			coll, err := p.setOpExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokColon, ":"); err != nil {
+				return nil, err
+			}
+			cond, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			if kw == "exists" {
+				return ExistsExpr{Var: v.text, Coll: coll, Cond: cond}, nil
+			}
+			return ForallExpr{Var: v.text, Coll: coll, Cond: cond}, nil
+		case "element":
+			p.advance()
+			if _, err := p.expect(tokLParen, "("); err != nil {
+				return nil, err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return nil, err
+			}
+			return Call{Name: "element", Args: []Expr{e}}, nil
+		case "near":
+			p.advance()
+			return p.nearCond()
+		default:
+			return nil, p.errf("unexpected keyword %s", t.text)
+		}
+	case tokIdent:
+		p.advance()
+		if p.peek().kind == tokLParen {
+			// A function call.
+			p.advance()
+			var args []Expr
+			if p.peek().kind != tokRParen {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().kind == tokComma {
+						p.advance()
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return nil, err
+			}
+			return Call{Name: t.text, Args: args}, nil
+		}
+		return Ident{Name: t.text}, nil
+	default:
+		return nil, p.errf("unexpected %s", t)
+	}
+}
+
+// nearCond parses near(subject, "a", "b", k).
+func (p *parser) nearCond() (Expr, error) {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	subj, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, ","); err != nil {
+		return nil, err
+	}
+	a, err := p.expect(tokString, "word literal")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, ","); err != nil {
+		return nil, err
+	}
+	b, err := p.expect(tokString, "word literal")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, ","); err != nil {
+		return nil, err
+	}
+	k, err := p.expect(tokInt, "distance")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	n, _ := strconv.ParseInt(k.text, 10, 64)
+	return NearCond{Subject: subj, A: a.text, B: b.text, Dist: n}, nil
+}
+
+func (p *parser) tupleCons() (Expr, error) {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	var fields []TupleField
+	if p.peek().kind != tokRParen {
+		for {
+			name, err := p.fieldName()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokColon, ":"); err != nil {
+				return nil, err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, TupleField{Name: name, E: e})
+			if p.peek().kind == tokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return TupleCons{Fields: fields}, nil
+}
+
+func (p *parser) fieldName() (string, error) {
+	t := p.peek()
+	if t.kind == tokIdent || t.kind == tokKeyword {
+		p.advance()
+		return t.text, nil
+	}
+	return "", p.errf("expected field name, found %s", t)
+}
+
+func (p *parser) argList() ([]Expr, error) {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	var items []Expr
+	if p.peek().kind != tokRParen {
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, e)
+			if p.peek().kind == tokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// patternExpr parses the operand of contains: a boolean combination of
+// pattern literals.
+func (p *parser) patternExpr() (PatternExpr, error) {
+	return p.patOr()
+}
+
+func (p *parser) patOr() (PatternExpr, error) {
+	l, err := p.patAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or") {
+		r, err := p.patAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = PatOr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) patAnd() (PatternExpr, error) {
+	l, err := p.patNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		r, err := p.patNot()
+		if err != nil {
+			return nil, err
+		}
+		l = PatAnd{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) patNot() (PatternExpr, error) {
+	if p.keyword("not") {
+		e, err := p.patNot()
+		if err != nil {
+			return nil, err
+		}
+		return PatNot{E: e}, nil
+	}
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.advance()
+		return PatLit{Src: t.text}, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.patOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("expected a pattern literal, found %s", t)
+	}
+}

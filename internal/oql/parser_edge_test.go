@@ -1,0 +1,133 @@
+package oql
+
+import (
+	"testing"
+
+	"sgmldb/internal/object"
+)
+
+func TestParserDotDotWithoutAttribute(t *testing.T) {
+	// ".." with no following attribute is a bare anonymous path variable:
+	// "my_doc .." enumerates paths like "my_doc PATH_p".
+	e, err := Parse(`my_doc ..`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := e.(PathExpr)
+	if len(pe.Elems) != 1 {
+		t.Fatalf("elems = %v", pe.Elems)
+	}
+	if _, ok := pe.Elems[0].(DotDotP); !ok {
+		t.Errorf("elem = %T", pe.Elems[0])
+	}
+}
+
+func TestParserElementAndQuantifiers(t *testing.T) {
+	e, err := Parse(`element(select x from x in S)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := e.(Call)
+	if call.Name != "element" || len(call.Args) != 1 {
+		t.Fatalf("call = %v", call)
+	}
+	e2, err := Parse(`exists x in S: x > 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := e2.(ExistsExpr)
+	if ex.Var != "x" {
+		t.Errorf("exists var = %s", ex.Var)
+	}
+	e3, err := Parse(`forall x in S: x > 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e3.(ForallExpr); !ok {
+		t.Errorf("forall = %T", e3)
+	}
+	// String forms re-parse.
+	for _, ast := range []Expr{e, e2, e3} {
+		if _, err := Parse(ast.String()); err != nil {
+			t.Errorf("%s does not re-parse: %v", ast, err)
+		}
+	}
+}
+
+func TestParserPlusIsUnion(t *testing.T) {
+	e, err := Parse(`set(1) + set(2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := e.(Binary)
+	if bin.Op != OpUnion {
+		t.Errorf("+ lowers to %v", bin.Op)
+	}
+	e2, err := Parse(`set(1) except set(2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.(Binary).Op != OpExcept {
+		t.Error("except keyword")
+	}
+}
+
+func TestParserPatternNotAndNear(t *testing.T) {
+	e, err := Parse(`select x from x in S where x contains (not "draft" and "final")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := e.(SelectExpr).Where.(ContainsExpr)
+	and, ok := w.Pattern.(PatAnd)
+	if !ok {
+		t.Fatalf("pattern = %T", w.Pattern)
+	}
+	if _, ok := and.L.(PatNot); !ok {
+		t.Errorf("left = %T", and.L)
+	}
+	// near as a condition.
+	e2, err := Parse(`select x from x in S where near(x, "a", "b", 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e2.(SelectExpr).Where.(NearCond); !ok {
+		t.Errorf("where = %T", e2.(SelectExpr).Where)
+	}
+}
+
+func TestBareDotDotEvaluates(t *testing.T) {
+	e := articleEngine(t)
+	// The bare anonymous variable returns the set of all paths — the Q4
+	// building block without naming a variable.
+	got, err := e.Query(`my_old_article ..`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*object.Set).Len() < 10 {
+		t.Errorf("all paths = %s", got)
+	}
+	// And set operations work on it directly.
+	diff, err := e.Query(`(my_article ..) - (my_old_article ..)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.(*object.Set).Len() == 0 {
+		t.Error("difference of anonymous path sets")
+	}
+}
+
+func TestDistinctKeywordAccepted(t *testing.T) {
+	e := articleEngine(t)
+	// O₂SQL's select distinct is a no-op here (results are sets anyway).
+	v1, err := e.Query(`select distinct a from a in Articles`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := e.Query(`select a from a in Articles`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !object.Equal(v1, v2) {
+		t.Error("distinct changed the result")
+	}
+}

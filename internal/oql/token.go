@@ -1,0 +1,77 @@
+// Package oql implements the extended O₂SQL language of Section 4 of the
+// paper: select-from-where queries over the extended O₂ model with the
+// contains and near text predicates (Section 4.1), marked union types with
+// implicit selectors (Section 4.2), PATH_ and ATT_ variables with the ".."
+// sugar (Section 4.3), and position queries over ordered tuples (Section
+// 4.4). Queries are parsed, typechecked against the schema, lowered to the
+// calculus of Section 5, and evaluated either naively or through the
+// algebra.
+package oql
+
+import "fmt"
+
+// tokenKind enumerates lexical token kinds.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokPathVar // PATH_x
+	tokAttrVar // ATT_x
+	tokInt
+	tokFloat
+	tokString
+	tokKeyword
+
+	tokDot    // .
+	tokDotDot // ..
+	tokArrow  // ->
+	tokLBrack // [
+	tokRBrack // ]
+	tokLParen // (
+	tokRParen // )
+	tokLBrace // {
+	tokRBrace // }
+	tokComma  // ,
+	tokColon  // :
+	tokEq     // =
+	tokNe     // !=
+	tokLt     // <
+	tokLe     // <=
+	tokGt     // >
+	tokGe     // >=
+	tokMinus  // -
+	tokPlus   // +
+	tokStar   // *
+)
+
+// keywords of the language (stored lower-case; matching is
+// case-insensitive as in O₂SQL).
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "in": true,
+	"tuple": true, "list": true, "set": true,
+	"and": true, "or": true, "not": true,
+	"contains": true, "near": true,
+	"union": true, "intersect": true, "except": true,
+	"exists": true, "forall": true, "element": true,
+	"true": true, "false": true, "nil": true,
+	"distinct": true,
+}
+
+// token is one lexical token with its position.
+type token struct {
+	kind tokenKind
+	text string // identifier/keyword text (lower-cased for keywords), literal source
+	pos  int    // byte offset
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of query"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}

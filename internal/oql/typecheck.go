@@ -1,0 +1,489 @@
+package oql
+
+import (
+	"fmt"
+
+	"sgmldb/internal/calculus"
+	"sgmldb/internal/object"
+	"sgmldb/internal/store"
+)
+
+// checker implements the typing rules of Section 4.2 over the schema:
+//
+//  1. there is no common supertype between a union type and a non-union
+//     type (so set operations over mismatched element types are rejected);
+//  2. two union types join only without marker conflicts;
+//
+// plus the usual O₂SQL restrictions: collection constructors require a
+// common supertype among their members, from-clause ranges must be
+// collections, attribute steps must exist somewhere in the (possibly
+// union) type — implicit selectors make union alternatives transparent —
+// and the operand of contains must be able to hold text.
+//
+// Types flow best-effort: a nil type means "statically unknown" (e.g. a
+// value reached through a path variable), for which checks are deferred
+// to execution time, exactly the paper's split between compile-time and
+// execution-time type errors.
+type checker struct {
+	schema *store.Schema
+}
+
+// Typecheck checks a parsed query against the schema. A nil schema checks
+// nothing.
+func Typecheck(schema *store.Schema, e Expr) error {
+	if schema == nil {
+		return nil
+	}
+	c := &checker{schema: schema}
+	_, err := c.typeOf(e, map[string]object.Type{})
+	return err
+}
+
+// typeOf computes the static type of an expression (nil = unknown).
+func (c *checker) typeOf(e Expr, env map[string]object.Type) (object.Type, error) {
+	switch x := e.(type) {
+	case Ident:
+		if t, ok := env[x.Name]; ok {
+			return t, nil
+		}
+		if t, ok := c.schema.RootType(x.Name); ok {
+			return t, nil
+		}
+		return nil, fmt.Errorf("oql: type error: unknown name %s", x.Name)
+	case IntLit:
+		return object.IntType, nil
+	case FloatLit:
+		return object.FloatType, nil
+	case StringLit:
+		return object.StringType, nil
+	case BoolLit:
+		return object.BoolType, nil
+	case NilLit:
+		return nil, nil
+	case PathVarRef, AttrVarRef:
+		return nil, nil
+	case PathExpr:
+		base, err := c.typeOf(x.Base, env)
+		if err != nil {
+			return nil, err
+		}
+		return c.pathType(base, x.Elems, env, x)
+	case Call:
+		return c.callType(x, env)
+	case TupleCons:
+		fields := make([]object.TField, len(x.Fields))
+		for i, f := range x.Fields {
+			t, err := c.typeOf(f.E, env)
+			if err != nil {
+				return nil, err
+			}
+			if t == nil {
+				t = object.Any
+			}
+			fields[i] = object.TField{Name: f.Name, Type: t}
+		}
+		return object.TupleOf(fields...), nil
+	case ListCons:
+		elem, err := c.joinItems(x.Items, env, "list")
+		if err != nil {
+			return nil, err
+		}
+		if elem == nil {
+			return nil, nil
+		}
+		return object.ListOf(elem), nil
+	case SetCons:
+		elem, err := c.joinItems(x.Items, env, "set")
+		if err != nil {
+			return nil, err
+		}
+		if elem == nil {
+			return nil, nil
+		}
+		return object.SetOf(elem), nil
+	case SelectExpr:
+		return c.selectType(x, env)
+	case Binary:
+		return c.binaryType(x, env)
+	case NotExpr:
+		if _, err := c.typeOf(x.E, env); err != nil {
+			return nil, err
+		}
+		return object.BoolType, nil
+	case ContainsExpr:
+		t, err := c.typeOf(x.Subject, env)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.checkTextOperand(t, x); err != nil {
+			return nil, err
+		}
+		return object.BoolType, nil
+	case NearCond:
+		if _, err := c.typeOf(x.Subject, env); err != nil {
+			return nil, err
+		}
+		return object.BoolType, nil
+	case ExistsExpr:
+		return c.quantifierType(x.Var, x.Coll, x.Cond, env)
+	case ForallExpr:
+		return c.quantifierType(x.Var, x.Coll, x.Cond, env)
+	default:
+		return nil, nil
+	}
+}
+
+func (c *checker) quantifierType(v string, coll, cond Expr, env map[string]object.Type) (object.Type, error) {
+	ct, err := c.typeOf(coll, env)
+	if err != nil {
+		return nil, err
+	}
+	elem, err := c.elementType(ct, coll)
+	if err != nil {
+		return nil, err
+	}
+	inner := copyEnv(env)
+	inner[v] = elem
+	if _, err := c.typeOf(cond, inner); err != nil {
+		return nil, err
+	}
+	return object.BoolType, nil
+}
+
+// joinItems computes the least common supertype of constructor members —
+// the Section 4.2 check that "sets containing integers and characters are
+// forbidden".
+func (c *checker) joinItems(items []Expr, env map[string]object.Type, what string) (object.Type, error) {
+	var join object.Type
+	for _, it := range items {
+		t, err := c.typeOf(it, env)
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			return nil, nil // unknown member: defer
+		}
+		if join == nil {
+			join = t
+			continue
+		}
+		j, ok := object.CommonSupertype(c.schema.Hierarchy(), join, t)
+		if !ok {
+			return nil, fmt.Errorf("oql: type error: %s members %s and %s have no common supertype",
+				what, join, t)
+		}
+		join = j
+	}
+	return join, nil
+}
+
+// binaryType types comparisons, boolean connectives and set operations.
+func (c *checker) binaryType(x Binary, env map[string]object.Type) (object.Type, error) {
+	lt, err := c.typeOf(x.L, env)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := c.typeOf(x.R, env)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case OpAnd, OpOr:
+		return object.BoolType, nil
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		if lt != nil && rt != nil {
+			if _, ok := object.CommonSupertype(c.schema.Hierarchy(), lt, rt); !ok {
+				return nil, fmt.Errorf("oql: type error: cannot compare %s with %s", lt, rt)
+			}
+		}
+		return object.BoolType, nil
+	case OpIn:
+		if rt != nil {
+			elem, err := c.elementType(rt, x.R)
+			if err != nil {
+				return nil, err
+			}
+			if lt != nil && elem != nil {
+				if _, ok := object.CommonSupertype(c.schema.Hierarchy(), lt, elem); !ok {
+					return nil, fmt.Errorf("oql: type error: %s cannot be a member of %s", lt, rt)
+				}
+			}
+		}
+		return object.BoolType, nil
+	case OpUnion, OpExcept, OpIntersect:
+		// Section 4.2 rule 1 in action: set(integer) and set(union) do
+		// not join.
+		if lt != nil && rt != nil {
+			j, ok := object.CommonSupertype(c.schema.Hierarchy(), lt, rt)
+			if !ok {
+				return nil, fmt.Errorf("oql: type error: operands of %s have no common supertype (%s vs %s)",
+					x.Op, lt, rt)
+			}
+			if _, isSet := j.(object.SetType); !isSet {
+				if _, isList := j.(object.ListType); !isList {
+					return nil, fmt.Errorf("oql: type error: %s applies to sets, not %s", x.Op, j)
+				}
+			}
+			return j, nil
+		}
+		return nil, nil
+	default:
+		return nil, nil
+	}
+}
+
+// selectType types a select-from-where and returns set(projection type).
+func (c *checker) selectType(sel SelectExpr, env map[string]object.Type) (object.Type, error) {
+	inner := copyEnv(env)
+	for _, b := range sel.From {
+		switch {
+		case b.Attr != "":
+			inner[b.PosVar] = object.IntType
+			if _, err := c.typeOf(b.Coll, inner); err != nil {
+				return nil, err
+			}
+		case b.Base != nil:
+			pe, ok := b.Base.(PathExpr)
+			if !ok {
+				return nil, fmt.Errorf("oql: from entry %s is not a path pattern", b.Base)
+			}
+			if _, err := c.typeOf(pe.Base, inner); err != nil {
+				return nil, err
+			}
+			// Variables reached through patterns have union types computed
+			// at execution (Section 4.3 point 2); statically unknown.
+			for _, v := range patternVars(pe.Elems, scope{}) {
+				if v.Sort == calculus.SortData {
+					inner[v.Name] = nil
+				}
+			}
+		default:
+			ct, err := c.typeOf(b.Coll, inner)
+			if err != nil {
+				return nil, err
+			}
+			elem, err := c.elementType(ct, b.Coll)
+			if err != nil {
+				return nil, err
+			}
+			inner[b.Var] = elem
+		}
+	}
+	if sel.Where != nil {
+		if _, err := c.typeOf(sel.Where, inner); err != nil {
+			return nil, err
+		}
+	}
+	pt, err := c.typeOf(sel.Proj, inner)
+	if err != nil {
+		return nil, err
+	}
+	if pt == nil {
+		return nil, nil
+	}
+	return object.SetOf(pt), nil
+}
+
+// elementType returns the member type of a collection type; collections
+// include the heterogeneous-list view of tuples. nil input stays nil.
+func (c *checker) elementType(t object.Type, at Expr) (object.Type, error) {
+	switch ct := t.(type) {
+	case nil:
+		return nil, nil
+	case object.SetType:
+		return ct.Elem, nil
+	case object.ListType:
+		return ct.Elem, nil
+	case object.TupleType:
+		return object.HeterogeneousListType(ct).Elem, nil
+	case object.UnionType:
+		// Implicit selection: every alternative must be a collection.
+		var elems []object.Type
+		for _, alt := range ct.Alts() {
+			et, err := c.elementType(alt.Type, at)
+			if err != nil {
+				return nil, err
+			}
+			if et == nil {
+				return nil, nil
+			}
+			elems = append(elems, et)
+		}
+		return calculus.UnionOfTypes(elems), nil
+	case object.ClassType:
+		// Implicit dereference.
+		sigma := c.classValueType(ct.Name)
+		if sigma == nil {
+			return nil, fmt.Errorf("oql: type error: unknown class %s", ct.Name)
+		}
+		return c.elementType(sigma, at)
+	default:
+		return nil, fmt.Errorf("oql: type error: %s ranges over %s, which is not a collection", at, t)
+	}
+}
+
+// classValueType joins the value types of a class's extent.
+func (c *checker) classValueType(class string) object.Type {
+	var ts []object.Type
+	for _, sub := range c.schema.Hierarchy().Subclasses(class) {
+		if t, ok := c.schema.Hierarchy().TypeOf(sub); ok {
+			ts = append(ts, t)
+		}
+	}
+	if len(ts) == 0 {
+		return nil
+	}
+	return calculus.UnionOfTypes(ts)
+}
+
+// pathType walks path elements over a static type. Pattern variables make
+// the remainder unknown.
+func (c *checker) pathType(t object.Type, elems []PatElem, env map[string]object.Type, at Expr) (object.Type, error) {
+	cur := t
+	for _, el := range elems {
+		if cur == nil {
+			// Unknown: still typecheck index expressions.
+			if ix, ok := el.(IdxP); ok {
+				if _, err := c.typeOf(ix.I, env); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		switch x := el.(type) {
+		case AttrP:
+			nts := attrStepTypes(c.schema.Hierarchy(), cur, x.Name)
+			if len(nts) == 0 {
+				return nil, fmt.Errorf("oql: type error: %s has no attribute %q in %s", cur, x.Name, at)
+			}
+			cur = calculus.UnionOfTypes(nts)
+		case IdxP:
+			if _, err := c.typeOf(x.I, env); err != nil {
+				return nil, err
+			}
+			et, err := c.elementType(cur, at)
+			if err != nil {
+				return nil, err
+			}
+			cur = et
+		case DerefP:
+			if cl, ok := cur.(object.ClassType); ok {
+				cur = c.classValueType(cl.Name)
+			} else if _, ok := cur.(object.AnyType); ok {
+				cur = nil
+			} else {
+				return nil, fmt.Errorf("oql: type error: dereference of non-object type %s in %s", cur, at)
+			}
+		case AttrVarP, PathVarP, DotDotP, BindP:
+			// Dynamic from here on.
+			cur = nil
+		}
+	}
+	return cur, nil
+}
+
+// attrStepTypes resolves one attribute step over a type with implicit
+// selectors and implicit dereferencing.
+func attrStepTypes(h *object.Hierarchy, t object.Type, name string) []object.Type {
+	switch ct := t.(type) {
+	case object.TupleType:
+		if ft, ok := ct.Get(name); ok {
+			return []object.Type{ft}
+		}
+		return nil
+	case object.UnionType:
+		if alt, ok := ct.Get(name); ok {
+			return []object.Type{alt}
+		}
+		var out []object.Type
+		for _, alt := range ct.Alts() {
+			out = append(out, attrStepTypes(h, alt.Type, name)...)
+		}
+		return out
+	case object.ClassType:
+		var out []object.Type
+		for _, sub := range h.Subclasses(ct.Name) {
+			if sigma, ok := h.TypeOf(sub); ok {
+				out = append(out, attrStepTypes(h, sigma, name)...)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// checkTextOperand verifies that contains applies: strings, objects (whose
+// text the text operator extracts), unknown types, and union types with at
+// least one textual alternative (Q5's "O₂SQL restricts val to type
+// string").
+func (c *checker) checkTextOperand(t object.Type, at Expr) error {
+	switch ct := t.(type) {
+	case nil:
+		return nil
+	case object.AtomicType:
+		if ct.K == object.TypeString {
+			return nil
+		}
+	case object.ClassType, object.AnyType, object.TupleType:
+		return nil // complex logical objects go through text()
+	case object.UnionType:
+		for _, alt := range ct.Alts() {
+			if c.checkTextOperand(alt.Type, at) == nil {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("oql: type error: contains cannot search a %s (%s)", t, at)
+}
+
+// callType types the built-in functions.
+func (c *checker) callType(x Call, env map[string]object.Type) (object.Type, error) {
+	var argTypes []object.Type
+	for _, a := range x.Args {
+		t, err := c.typeOf(a, env)
+		if err != nil {
+			return nil, err
+		}
+		argTypes = append(argTypes, t)
+	}
+	arg := func(i int) object.Type {
+		if i < len(argTypes) {
+			return argTypes[i]
+		}
+		return nil
+	}
+	switch x.Name {
+	case "length", "count":
+		return object.IntType, nil
+	case "name", "text":
+		return object.StringType, nil
+	case "first", "last", "element":
+		t := arg(0)
+		if t == nil {
+			return nil, nil
+		}
+		return c.elementType(t, x)
+	case "set_to_list":
+		t := arg(0)
+		if st, ok := t.(object.SetType); ok {
+			return object.ListOf(st.Elem), nil
+		}
+		if t == nil {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("oql: type error: set_to_list of %s", t)
+	case "flatten":
+		return nil, nil
+	default:
+		return nil, nil // user functions and methods: dynamic
+	}
+}
+
+func copyEnv(env map[string]object.Type) map[string]object.Type {
+	out := make(map[string]object.Type, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}

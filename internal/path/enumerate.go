@@ -1,0 +1,212 @@
+package path
+
+import (
+	"fmt"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/store"
+)
+
+// Semantics selects the interpretation of path variables (Section 5.2,
+// "Range-Restriction").
+type Semantics int
+
+const (
+	// Restricted is the paper's chosen semantics: concrete paths with no
+	// two dereferencings of objects in the same class. The set of paths
+	// from a value is bounded by the schema, which is what makes the
+	// calculus algebraizable (Section 5.4). Deeper searches are still
+	// expressible by composing paths (P → P′).
+	Restricted Semantics = iota
+	// Liberal allows any path that does not visit the same object twice:
+	// paths of data-bounded length, requiring loop detection. It suits
+	// hypertext navigation.
+	Liberal
+)
+
+// String names the semantics.
+func (s Semantics) String() string {
+	if s == Liberal {
+		return "liberal"
+	}
+	return "restricted"
+}
+
+// Options configures enumeration.
+type Options struct {
+	Semantics Semantics
+	// MaxLen bounds path length (0 = unbounded). Enumeration under either
+	// semantics always terminates; the bound is an extra guard for
+	// interactive use.
+	MaxLen int
+}
+
+// Binding is one enumerated (path, value) pair: Value is reached from the
+// enumeration root by following Path.
+type Binding struct {
+	Path  Path
+	Value object.Value
+}
+
+// Apply follows a concrete path from v, dereferencing through inst (which
+// may be nil if the path has no → steps). It fails when a step does not
+// apply to the value at hand — the execution-time type error of Section
+// 4.2 for named instances.
+func Apply(inst *store.Instance, v object.Value, p Path) (object.Value, error) {
+	cur := v
+	for i, s := range p.Steps() {
+		switch s.Kind {
+		case StepAttr:
+			switch x := cur.(type) {
+			case *object.Tuple:
+				next, ok := x.Get(s.Name)
+				if !ok {
+					return nil, fmt.Errorf("path: no attribute %q at step %d of %s", s.Name, i, p)
+				}
+				cur = next
+			case *object.Union_:
+				if x.Marker != s.Name {
+					return nil, fmt.Errorf("path: union marked %q has no attribute %q (step %d of %s)",
+						x.Marker, s.Name, i, p)
+				}
+				cur = x.Value
+			default:
+				return nil, fmt.Errorf("path: attribute step %q on %s value (step %d of %s)",
+					s.Name, cur.Kind(), i, p)
+			}
+		case StepIndex:
+			l, ok := object.AsList(cur) // tuples embed as heterogeneous lists
+			if !ok {
+				return nil, fmt.Errorf("path: index step on %s value (step %d of %s)", cur.Kind(), i, p)
+			}
+			if s.Index < 0 || s.Index >= l.Len() {
+				return nil, fmt.Errorf("path: index %d out of range 0..%d (step %d of %s)",
+					s.Index, l.Len()-1, i, p)
+			}
+			cur = l.At(s.Index)
+		case StepDeref:
+			o, ok := cur.(object.OID)
+			if !ok {
+				return nil, fmt.Errorf("path: dereference of %s value (step %d of %s)", cur.Kind(), i, p)
+			}
+			if inst == nil {
+				return nil, fmt.Errorf("path: dereference without an instance (step %d of %s)", i, p)
+			}
+			next, ok := inst.Deref(o)
+			if !ok {
+				return nil, fmt.Errorf("path: dangling oid %s (step %d of %s)", o, i, p)
+			}
+			cur = next
+		case StepMember:
+			set, ok := cur.(*object.Set)
+			if !ok {
+				return nil, fmt.Errorf("path: member step on %s value (step %d of %s)", cur.Kind(), i, p)
+			}
+			if !set.Contains(s.Member) {
+				return nil, fmt.Errorf("path: %s is not a member (step %d of %s)", s.Member, i, p)
+			}
+			cur = s.Member
+		}
+	}
+	return cur, nil
+}
+
+// Enumerate produces every concrete path from v admitted by the chosen
+// semantics, paired with the value it reaches. The empty path (reaching v
+// itself) is included first; results are in depth-first, structure order,
+// so output is deterministic.
+func Enumerate(inst *store.Instance, v object.Value, opts Options) []Binding {
+	e := &enumerator{inst: inst, opts: opts}
+	e.visit(v, Empty, visitState{derefedClasses: map[string]bool{}, visitedOIDs: map[object.OID]bool{}})
+	return e.out
+}
+
+type enumerator struct {
+	inst *store.Instance
+	opts Options
+	out  []Binding
+}
+
+type visitState struct {
+	derefedClasses map[string]bool
+	visitedOIDs    map[object.OID]bool
+}
+
+func (e *enumerator) visit(v object.Value, p Path, st visitState) {
+	e.out = append(e.out, Binding{Path: p, Value: v})
+	if e.opts.MaxLen > 0 && p.Len() >= e.opts.MaxLen {
+		return
+	}
+	switch x := v.(type) {
+	case *object.Tuple:
+		for i := 0; i < x.Len(); i++ {
+			f := x.At(i)
+			e.visit(f.Value, p.Append(Attr(f.Name)), st)
+		}
+		// The heterogeneous-list view also admits index steps; they are
+		// not enumerated separately to keep path sets non-redundant (the
+		// calculus evaluator applies [i] on tuples via Apply when asked).
+	case *object.List:
+		for i := 0; i < x.Len(); i++ {
+			e.visit(x.At(i), p.Append(Index(i)), st)
+		}
+	case *object.Set:
+		for i := 0; i < x.Len(); i++ {
+			el := x.At(i)
+			e.visit(el, p.Append(Member(el)), st)
+		}
+	case *object.Union_:
+		e.visit(x.Value, p.Append(Attr(x.Marker)), st)
+	case object.OID:
+		if e.inst == nil {
+			return
+		}
+		inner, ok := e.inst.Deref(x)
+		if !ok {
+			return
+		}
+		switch e.opts.Semantics {
+		case Restricted:
+			class, _ := e.inst.ClassOf(x)
+			if st.derefedClasses[class] {
+				return
+			}
+			st2 := visitState{derefedClasses: copyStrSet(st.derefedClasses), visitedOIDs: st.visitedOIDs}
+			st2.derefedClasses[class] = true
+			e.visit(inner, p.Append(Deref()), st2)
+		case Liberal:
+			if st.visitedOIDs[x] {
+				return
+			}
+			st2 := visitState{derefedClasses: st.derefedClasses, visitedOIDs: copyOIDSet(st.visitedOIDs)}
+			st2.visitedOIDs[x] = true
+			e.visit(inner, p.Append(Deref()), st2)
+		}
+	}
+}
+
+func copyStrSet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m)+1)
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func copyOIDSet(m map[object.OID]bool) map[object.OID]bool {
+	out := make(map[object.OID]bool, len(m)+1)
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// PathSet collects the paths of an enumeration into a first-class set
+// value — the operand of the Q4 difference query.
+func PathSet(bindings []Binding) *object.Set {
+	vals := make([]object.Value, len(bindings))
+	for i, b := range bindings {
+		vals[i] = b.Path.Value()
+	}
+	return object.NewSet(vals...)
+}

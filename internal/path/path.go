@@ -1,0 +1,381 @@
+// Package path implements Section 4.3 and 5.2 of the paper: paths as
+// first-class citizens. A concrete path is a sequence of steps —
+//
+//	·a   follow attribute a of a tuple or marked union
+//	[i]  take the i-th element of a list
+//	→    dereference an object
+//	{v}  take member v of a set
+//
+// Paths are themselves data: a path value is an object.List whose elements
+// are marked-union step values, so the paper's claims hold literally —
+// "list functions can be used on paths": length(P) is the list length and
+// P[0:1] a list slice — and sets of paths support the difference query Q4.
+//
+// The package provides construction, parsing and printing of paths,
+// application of a path to a value, and enumeration of all concrete paths
+// from a value under the paper's two semantics: the restricted semantics
+// (no two dereferences of objects in the same class — the default, which
+// keeps the path set schema-bounded and algebraizable) and the liberal
+// semantics (no object visited twice — data-bounded, for hypertext-style
+// navigation).
+package path
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sgmldb/internal/object"
+)
+
+// StepKind discriminates path steps.
+type StepKind int
+
+// The four step kinds of Section 5.2.
+const (
+	StepAttr StepKind = iota
+	StepIndex
+	StepDeref
+	StepMember
+)
+
+// Markers of the union-encoded step values.
+const (
+	attrMarker   = "attr"
+	indexMarker  = "index"
+	derefMarker  = "deref"
+	memberMarker = "member"
+)
+
+// Step is the typed view of one path step.
+type Step struct {
+	Kind   StepKind
+	Name   string       // for StepAttr
+	Index  int          // for StepIndex
+	Member object.Value // for StepMember
+}
+
+// Attr returns the step ·name.
+func Attr(name string) Step { return Step{Kind: StepAttr, Name: name} }
+
+// Index returns the step [i].
+func Index(i int) Step { return Step{Kind: StepIndex, Index: i} }
+
+// Deref returns the dereferencing step →.
+func Deref() Step { return Step{Kind: StepDeref} }
+
+// Member returns the step {v}.
+func Member(v object.Value) Step { return Step{Kind: StepMember, Member: v} }
+
+// Value encodes the step as a marked-union value.
+func (s Step) Value() object.Value {
+	switch s.Kind {
+	case StepAttr:
+		return object.NewUnion(attrMarker, object.String_(s.Name))
+	case StepIndex:
+		return object.NewUnion(indexMarker, object.Int(s.Index))
+	case StepDeref:
+		return object.NewUnion(derefMarker, object.Bool(true))
+	case StepMember:
+		return object.NewUnion(memberMarker, s.Member)
+	default:
+		panic(fmt.Sprintf("path: unknown step kind %d", s.Kind))
+	}
+}
+
+// StepFromValue decodes a marked-union step value.
+func StepFromValue(v object.Value) (Step, error) {
+	u, ok := v.(*object.Union_)
+	if !ok {
+		return Step{}, fmt.Errorf("path: %s is not a step value", v)
+	}
+	switch u.Marker {
+	case attrMarker:
+		s, ok := u.Value.(object.String_)
+		if !ok {
+			return Step{}, fmt.Errorf("path: bad attr step %s", v)
+		}
+		return Attr(string(s)), nil
+	case indexMarker:
+		i, ok := u.Value.(object.Int)
+		if !ok {
+			return Step{}, fmt.Errorf("path: bad index step %s", v)
+		}
+		return Index(int(i)), nil
+	case derefMarker:
+		return Deref(), nil
+	case memberMarker:
+		return Member(u.Value), nil
+	default:
+		return Step{}, fmt.Errorf("path: unknown step marker %q", u.Marker)
+	}
+}
+
+// String renders the step in the paper's syntax.
+func (s Step) String() string {
+	switch s.Kind {
+	case StepAttr:
+		return "." + s.Name
+	case StepIndex:
+		return "[" + strconv.Itoa(s.Index) + "]"
+	case StepDeref:
+		return "->"
+	case StepMember:
+		return "{" + s.Member.String() + "}"
+	default:
+		return "?"
+	}
+}
+
+// Path is a concrete path: an immutable sequence of steps.
+type Path struct {
+	steps []Step
+}
+
+// Empty is the empty path ε.
+var Empty = Path{}
+
+// New builds a path from steps.
+func New(steps ...Step) Path {
+	cp := make([]Step, len(steps))
+	copy(cp, steps)
+	return Path{steps: cp}
+}
+
+// Len is the paper's length(P): the number of steps.
+func (p Path) Len() int { return len(p.steps) }
+
+// At returns the i-th step.
+func (p Path) At(i int) Step { return p.steps[i] }
+
+// Steps returns a copy of the step sequence.
+func (p Path) Steps() []Step {
+	cp := make([]Step, len(p.steps))
+	copy(cp, p.steps)
+	return cp
+}
+
+// Append returns p extended with more steps.
+func (p Path) Append(steps ...Step) Path {
+	cp := make([]Step, 0, len(p.steps)+len(steps))
+	cp = append(cp, p.steps...)
+	cp = append(cp, steps...)
+	return Path{steps: cp}
+}
+
+// Concat returns pq.
+func (p Path) Concat(q Path) Path { return p.Append(q.steps...) }
+
+// Slice is the paper's P[i:j] projection (inclusive bounds in the paper's
+// example: P[0:1] keeps the first two steps; here the conventional
+// half-open [from, to) is used by Value-level slicing, so Slice(from, to)
+// takes steps from..to-1, clamped).
+func (p Path) Slice(from, to int) Path {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(p.steps) {
+		to = len(p.steps)
+	}
+	if from >= to {
+		return Empty
+	}
+	return New(p.steps[from:to]...)
+}
+
+// HasPrefix reports whether q is a prefix of p.
+func (p Path) HasPrefix(q Path) bool {
+	if q.Len() > p.Len() {
+		return false
+	}
+	for i, s := range q.steps {
+		if !stepEqual(p.steps[i], s) {
+			return false
+		}
+	}
+	return true
+}
+
+func stepEqual(a, b Step) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case StepAttr:
+		return a.Name == b.Name
+	case StepIndex:
+		return a.Index == b.Index
+	case StepMember:
+		return object.Equal(a.Member, b.Member)
+	default:
+		return true
+	}
+}
+
+// Equal reports path equality.
+func (p Path) Equal(q Path) bool {
+	if len(p.steps) != len(q.steps) {
+		return false
+	}
+	for i := range p.steps {
+		if !stepEqual(p.steps[i], q.steps[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Value encodes the path as a first-class data value: a list of step
+// values. length(P) and P[0:1] are ordinary list operations on it.
+func (p Path) Value() object.Value {
+	elems := make([]object.Value, len(p.steps))
+	for i, s := range p.steps {
+		elems[i] = s.Value()
+	}
+	return object.NewList(elems...)
+}
+
+// FromValue decodes a path value produced by Value.
+func FromValue(v object.Value) (Path, error) {
+	l, ok := v.(*object.List)
+	if !ok {
+		return Empty, fmt.Errorf("path: %s is not a path value", v)
+	}
+	steps := make([]Step, l.Len())
+	for i := 0; i < l.Len(); i++ {
+		s, err := StepFromValue(l.At(i))
+		if err != nil {
+			return Empty, err
+		}
+		steps[i] = s
+	}
+	return Path{steps: steps}, nil
+}
+
+// String renders the path, e.g. ".sections[0].subsectns[0]"; the empty
+// path renders as "ε".
+func (p Path) String() string {
+	if len(p.steps) == 0 {
+		return "ε"
+	}
+	var b strings.Builder
+	for _, s := range p.steps {
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// Key returns a canonical encoding (distinct paths have distinct keys).
+func (p Path) Key() string { return object.Key(p.Value()) }
+
+// Parse reads a path in the String syntax: a sequence of ".name", "[i]",
+// "->" and "{literal}" steps, where literal is an integer, a quoted
+// string, true or false. The empty string and "ε" parse to the empty
+// path.
+func Parse(s string) (Path, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "ε" {
+		return Empty, nil
+	}
+	var steps []Step
+	i := 0
+	for i < len(s) {
+		switch {
+		case s[i] == '.':
+			i++
+			start := i
+			for i < len(s) && (isIdent(s[i])) {
+				i++
+			}
+			if start == i {
+				return Empty, fmt.Errorf("path: expected attribute name at %d in %q", i, s)
+			}
+			steps = append(steps, Attr(s[start:i]))
+		case s[i] == '[':
+			i++
+			start := i
+			for i < len(s) && s[i] != ']' {
+				i++
+			}
+			if i >= len(s) {
+				return Empty, fmt.Errorf("path: unterminated index in %q", s)
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(s[start:i]))
+			if err != nil {
+				return Empty, fmt.Errorf("path: bad index %q in %q", s[start:i], s)
+			}
+			i++
+			steps = append(steps, Index(n))
+		case strings.HasPrefix(s[i:], "->"):
+			i += 2
+			steps = append(steps, Deref())
+		case s[i] == '{':
+			i++
+			start := i
+			depth := 1
+			for i < len(s) && depth > 0 {
+				switch s[i] {
+				case '{':
+					depth++
+				case '}':
+					depth--
+				}
+				if depth > 0 {
+					i++
+				}
+			}
+			if depth != 0 {
+				return Empty, fmt.Errorf("path: unterminated member in %q", s)
+			}
+			lit := strings.TrimSpace(s[start:i])
+			i++
+			v, err := parseLiteral(lit)
+			if err != nil {
+				return Empty, err
+			}
+			steps = append(steps, Member(v))
+		default:
+			return Empty, fmt.Errorf("path: unexpected %q at %d in %q", s[i], i, s)
+		}
+	}
+	return Path{steps: steps}, nil
+}
+
+func isIdent(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func parseLiteral(s string) (object.Value, error) {
+	switch {
+	case s == "true":
+		return object.Bool(true), nil
+	case s == "false":
+		return object.Bool(false), nil
+	case len(s) >= 2 && s[0] == '"':
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("path: bad string literal %q", s)
+		}
+		return object.String_(unq), nil
+	default:
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return object.Int(n), nil
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return object.Float(f), nil
+		}
+		return nil, fmt.Errorf("path: bad member literal %q", s)
+	}
+}
+
+// IsStepValue reports whether v encodes a path step.
+func IsStepValue(v object.Value) bool {
+	_, err := StepFromValue(v)
+	return err == nil
+}
+
+// IsPathValue reports whether v encodes a path.
+func IsPathValue(v object.Value) bool {
+	_, err := FromValue(v)
+	return err == nil
+}

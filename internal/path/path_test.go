@@ -1,0 +1,489 @@
+package path
+
+import (
+	"strings"
+	"testing"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/store"
+)
+
+func TestStepValuesRoundTrip(t *testing.T) {
+	steps := []Step{
+		Attr("title"), Index(3), Deref(), Member(object.Int(7)),
+		Member(object.String_("x")), Attr("a1"), Index(0),
+	}
+	for _, s := range steps {
+		got, err := StepFromValue(s.Value())
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if !stepEqual(got, s) {
+			t.Errorf("round trip %s -> %s", s, got)
+		}
+	}
+	if _, err := StepFromValue(object.Int(1)); err == nil {
+		t.Error("non-union step accepted")
+	}
+	if _, err := StepFromValue(object.NewUnion("bogus", object.Int(1))); err == nil {
+		t.Error("unknown marker accepted")
+	}
+	if _, err := StepFromValue(object.NewUnion("attr", object.Int(1))); err == nil {
+		t.Error("bad attr payload accepted")
+	}
+	if _, err := StepFromValue(object.NewUnion("index", object.String_("x"))); err == nil {
+		t.Error("bad index payload accepted")
+	}
+}
+
+func TestPathStringAndParse(t *testing.T) {
+	// The paper's example: .sections[0].subsectns[0], length 4.
+	p := New(Attr("sections"), Index(0), Attr("subsectns"), Index(0))
+	if p.String() != ".sections[0].subsectns[0]" {
+		t.Errorf("String = %s", p)
+	}
+	if p.Len() != 4 {
+		t.Errorf("length(P) = %d, want 4", p.Len())
+	}
+	// P[0:1] = .sections[0] (the paper's inclusive projection on the
+	// first two steps).
+	if got := p.Slice(0, 2); got.String() != ".sections[0]" {
+		t.Errorf("P[0:1] = %s", got)
+	}
+	parsed, err := Parse(".sections[0].subsectns[0]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Equal(p) {
+		t.Errorf("Parse = %s", parsed)
+	}
+	// All step kinds round trip through String/Parse.
+	q := New(Deref(), Attr("a"), Index(12), Member(object.String_("k")), Member(object.Int(3)), Deref())
+	parsed2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	if !parsed2.Equal(q) {
+		t.Errorf("round trip %s -> %s", q, parsed2)
+	}
+	// Empty path.
+	if Empty.String() != "ε" {
+		t.Error("empty path renders ε")
+	}
+	for _, s := range []string{"", "ε", "  "} {
+		e, err := Parse(s)
+		if err != nil || e.Len() != 0 {
+			t.Errorf("Parse(%q) = %v %v", s, e, err)
+		}
+	}
+	for _, bad := range []string{".", "[x]", "[3", "{", "{zz}", "junk", ".a..b"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) must fail", bad)
+		}
+	}
+	// Member literal forms.
+	for _, src := range []string{`{true}`, `{false}`, `{"s"}`, `{3}`, `{2.5}`} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestPathOps(t *testing.T) {
+	p := New(Attr("a"), Index(1))
+	q := p.Append(Deref())
+	if p.Len() != 2 || q.Len() != 3 {
+		t.Error("Append must not mutate")
+	}
+	if got := p.Concat(New(Attr("b"))); got.String() != ".a[1].b" {
+		t.Errorf("Concat = %s", got)
+	}
+	if !q.HasPrefix(p) || p.HasPrefix(q) {
+		t.Error("HasPrefix")
+	}
+	if !p.HasPrefix(Empty) {
+		t.Error("empty path prefixes everything")
+	}
+	if p.Slice(-3, 99).String() != ".a[1]" {
+		t.Error("Slice clamps")
+	}
+	if p.Slice(1, 1).Len() != 0 {
+		t.Error("empty slice")
+	}
+	if p.Equal(New(Attr("a"), Index(2))) {
+		t.Error("different index must differ")
+	}
+	if p.Equal(New(Attr("a"))) {
+		t.Error("different length must differ")
+	}
+	if !stepEqual(Member(object.Int(1)), Member(object.Int(1))) ||
+		stepEqual(Member(object.Int(1)), Member(object.Int(2))) {
+		t.Error("member step equality")
+	}
+}
+
+func TestPathAsFirstClassValue(t *testing.T) {
+	p := New(Attr("sections"), Index(0))
+	v := p.Value()
+	// length(P) is the list length.
+	if v.(*object.List).Len() != 2 {
+		t.Error("path value length")
+	}
+	back, err := FromValue(v)
+	if err != nil || !back.Equal(p) {
+		t.Errorf("FromValue = %v %v", back, err)
+	}
+	// Sets of paths dedup and subtract — the machinery behind Q4.
+	q := New(Attr("sections"), Index(1))
+	s1 := object.NewSet(p.Value(), q.Value(), p.Value())
+	if s1.Len() != 2 {
+		t.Error("path set dedup")
+	}
+	s2 := object.NewSet(p.Value())
+	diff := s1.Diff(s2)
+	if diff.Len() != 1 {
+		t.Fatalf("diff = %s", diff)
+	}
+	got, _ := FromValue(diff.At(0))
+	if !got.Equal(q) {
+		t.Errorf("diff = %s", got)
+	}
+	if !IsPathValue(v) || !IsStepValue(v.(*object.List).At(0)) {
+		t.Error("Is*Value")
+	}
+	if IsPathValue(object.Int(3)) {
+		t.Error("IsPathValue on atom")
+	}
+	if p.Key() == q.Key() {
+		t.Error("Key collision")
+	}
+}
+
+// letterDB builds a small database: a root object with a tuple value
+// containing a list, a set, a union and a reference to another object.
+func letterDB(t *testing.T) (*store.Instance, object.OID) {
+	t.Helper()
+	s := store.NewSchema()
+	if err := s.AddClass("Doc", object.TupleOf(
+		object.TField{Name: "title", Type: object.StringType},
+		object.TField{Name: "items", Type: object.ListOf(object.IntType)},
+		object.TField{Name: "tags", Type: object.SetOf(object.StringType)},
+		object.TField{Name: "body", Type: object.UnionOf(
+			object.TField{Name: "fig", Type: object.IntType},
+			object.TField{Name: "par", Type: object.StringType})},
+		object.TField{Name: "next", Type: object.Class("Doc")},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRoot("MyDoc", object.Class("Doc")); err != nil {
+		t.Fatal(err)
+	}
+	in := store.NewInstance(s)
+	d2, err := in.NewObject("Doc", object.NewTuple(
+		object.Field{Name: "title", Value: object.String_("old")},
+		object.Field{Name: "items", Value: object.NewList()},
+		object.Field{Name: "tags", Value: object.NewSet()},
+		object.Field{Name: "body", Value: object.NewUnion("par", object.String_("text2"))},
+		object.Field{Name: "next", Value: object.Nil{}},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := in.NewObject("Doc", object.NewTuple(
+		object.Field{Name: "title", Value: object.String_("new")},
+		object.Field{Name: "items", Value: object.NewList(object.Int(10), object.Int(20))},
+		object.Field{Name: "tags", Value: object.NewSet(object.String_("x"), object.String_("y"))},
+		object.Field{Name: "body", Value: object.NewUnion("fig", object.Int(9))},
+		object.Field{Name: "next", Value: d2},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.SetRoot("MyDoc", d1); err != nil {
+		t.Fatal(err)
+	}
+	return in, d1
+}
+
+func TestApply(t *testing.T) {
+	in, d1 := letterDB(t)
+	cases := []struct {
+		path string
+		want object.Value
+	}{
+		{"->.title", object.String_("new")},
+		{"->.items[1]", object.Int(20)},
+		{`->.tags{"x"}`, object.String_("x")},
+		{"->.body.fig", object.Int(9)},
+		{"->.next->.title", object.String_("old")},
+		{"->.next->.body.par", object.String_("text2")},
+		{"", d1},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.path)
+		if err != nil {
+			t.Fatalf("%s: %v", c.path, err)
+		}
+		got, err := Apply(in, d1, p)
+		if err != nil {
+			t.Errorf("%s: %v", c.path, err)
+			continue
+		}
+		if !object.Equal(got, c.want) {
+			t.Errorf("%s = %s, want %s", c.path, got, c.want)
+		}
+	}
+	// Error cases: the execution-time type errors of Section 4.2.
+	for _, bad := range []string{
+		".title",          // attribute step on an oid
+		"->.nope",         // missing attribute
+		"->.items[5]",     // index out of range
+		"->.items.title",  // attribute on a list
+		`->.tags{"zz"}`,   // not a member
+		"->.title->",      // deref of a string
+		"->.body.par",     // wrong union marker
+		"->.title{\"x\"}", // member step on a string
+		"->.items[0][0]",  // index on an int
+	} {
+		p, err := Parse(bad)
+		if err != nil {
+			t.Fatalf("parse %q: %v", bad, err)
+		}
+		if _, err := Apply(in, d1, p); err == nil {
+			t.Errorf("Apply(%s) must fail", bad)
+		}
+	}
+	// Dereference without an instance.
+	if _, err := Apply(nil, d1, New(Deref())); err == nil {
+		t.Error("deref without instance must fail")
+	}
+	// Index steps apply to tuples through the heterogeneous-list view
+	// (Section 4.4).
+	tup := object.NewTuple(object.Field{Name: "to", Value: object.String_("T")},
+		object.Field{Name: "from", Value: object.String_("F")})
+	got, err := Apply(nil, tup, New(Index(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := got.(*object.Union_)
+	if u.Marker != "from" {
+		t.Errorf("tuple[1] = %s", got)
+	}
+}
+
+func TestEnumerateRestricted(t *testing.T) {
+	in, d1 := letterDB(t)
+	bs := Enumerate(in, d1, Options{Semantics: Restricted})
+	byPath := map[string]object.Value{}
+	for _, b := range bs {
+		byPath[b.Path.String()] = b.Value
+	}
+	// The root itself.
+	if v, ok := byPath["ε"]; !ok || !object.Equal(v, d1) {
+		t.Error("empty path missing")
+	}
+	// One deref reaches d1's fields.
+	if v := byPath["->.title"]; !object.Equal(v, object.String_("new")) {
+		t.Errorf("->.title = %v", v)
+	}
+	if v := byPath["->.items[0]"]; !object.Equal(v, object.Int(10)) {
+		t.Errorf("->.items[0] = %v", v)
+	}
+	if v := byPath["->.body.fig"]; !object.Equal(v, object.Int(9)) {
+		t.Errorf("->.body.fig = %v", v)
+	}
+	if _, ok := byPath[`->.tags{"y"}`]; !ok {
+		t.Error("set member path missing")
+	}
+	// The second deref enters class Doc again: forbidden under the
+	// restricted semantics.
+	if _, ok := byPath["->.next->.title"]; ok {
+		t.Error("restricted semantics must not dereference Doc twice")
+	}
+	// But the un-dereferenced oid is reached.
+	if v, ok := byPath["->.next"]; !ok || v.Kind() != object.KindOID {
+		t.Error("->.next must be reached as an oid")
+	}
+}
+
+func TestEnumerateLiberal(t *testing.T) {
+	in, d1 := letterDB(t)
+	bs := Enumerate(in, d1, Options{Semantics: Liberal})
+	byPath := map[string]object.Value{}
+	for _, b := range bs {
+		byPath[b.Path.String()] = b.Value
+	}
+	// Liberal semantics crosses into the second Doc...
+	if v := byPath["->.next->.title"]; !object.Equal(v, object.String_("old")) {
+		t.Errorf("liberal ->.next->.title = %v", v)
+	}
+	// ...but never revisits an object, so enumeration terminates even
+	// with a cycle.
+	v2, _ := in.Deref(d1)
+	_ = v2
+	// Make a cycle: d2.next = d1.
+	d2 := mustOID(t, byPath["->.next"])
+	v, _ := in.Deref(d2)
+	if err := in.SetValue(d2, v.(*object.Tuple).With("next", d1)); err != nil {
+		t.Fatal(err)
+	}
+	bs2 := Enumerate(in, d1, Options{Semantics: Liberal})
+	for _, b := range bs2 {
+		if b.Path.Len() > 12 {
+			t.Fatalf("cycle not cut: %s", b.Path)
+		}
+	}
+	// Restricted is a subset of liberal.
+	rs := Enumerate(in, d1, Options{Semantics: Restricted})
+	liberalSet := map[string]bool{}
+	for _, b := range bs2 {
+		liberalSet[b.Path.String()] = true
+	}
+	for _, b := range rs {
+		if !liberalSet[b.Path.String()] {
+			t.Errorf("restricted path %s not in liberal set", b.Path)
+		}
+	}
+}
+
+func mustOID(t *testing.T, v object.Value) object.OID {
+	t.Helper()
+	o, ok := v.(object.OID)
+	if !ok {
+		t.Fatalf("not an oid: %v", v)
+	}
+	return o
+}
+
+func TestEnumerateMaxLen(t *testing.T) {
+	in, d1 := letterDB(t)
+	bs := Enumerate(in, d1, Options{Semantics: Liberal, MaxLen: 2})
+	for _, b := range bs {
+		if b.Path.Len() > 2 {
+			t.Fatalf("MaxLen violated: %s", b.Path)
+		}
+	}
+}
+
+// TestQ4PathDifference reproduces the shape of query Q4: the structural
+// difference between two versions of a document is the set difference of
+// their path sets.
+func TestQ4PathDifference(t *testing.T) {
+	in, d1 := letterDB(t)
+	v, _ := in.Deref(d1)
+	// The "old version": same doc without the second list item.
+	oldDoc := v.(*object.Tuple).With("items", object.NewList(object.Int(10)))
+	newPaths := PathSet(Enumerate(in, v, Options{}))
+	oldPaths := PathSet(Enumerate(in, oldDoc, Options{}))
+	diff := newPaths.Diff(oldPaths)
+	var strs []string
+	for i := 0; i < diff.Len(); i++ {
+		p, err := FromValue(diff.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		strs = append(strs, p.String())
+	}
+	joined := strings.Join(strs, " ")
+	if !strings.Contains(joined, ".items[1]") {
+		t.Errorf("difference must expose the new item path, got %v", strs)
+	}
+	for _, s := range strs {
+		if s == ".title" {
+			t.Error("unchanged paths must not appear in the difference")
+		}
+	}
+}
+
+func TestEnumerateSchema(t *testing.T) {
+	in, _ := letterDB(t)
+	h := in.Schema().Hierarchy()
+	root, _ := in.Schema().RootType("MyDoc")
+	tas := DedupAbstract(EnumerateSchema(h, root, 0))
+	byPath := map[string]object.Type{}
+	for _, ta := range tas {
+		byPath[ta.Path.String()] = ta.Type
+	}
+	if ty, ok := byPath["->.title"]; !ok || !object.TypeEqual(ty, object.StringType) {
+		t.Errorf("->.title type = %v", ty)
+	}
+	if ty, ok := byPath["->.items[*]"]; !ok || !object.TypeEqual(ty, object.IntType) {
+		t.Errorf("->.items[*] type = %v", ty)
+	}
+	if ty, ok := byPath["->.tags{*}"]; !ok || !object.TypeEqual(ty, object.StringType) {
+		t.Errorf("->.tags{*} type = %v", ty)
+	}
+	if ty, ok := byPath["->.body.par"]; !ok || !object.TypeEqual(ty, object.StringType) {
+		t.Errorf("->.body.par type = %v", ty)
+	}
+	// No class is dereferenced twice.
+	if _, ok := byPath["->.next->.title"]; ok {
+		t.Error("schema enumeration must respect the restricted semantics")
+	}
+	if _, ok := byPath["->.next"]; !ok {
+		t.Error("->.next must appear as a class-typed path")
+	}
+	// Abstract/concrete matching.
+	ab := NewAbstract(
+		AbstractStep{Kind: StepDeref},
+		AbstractStep{Kind: StepAttr, Name: "items"},
+		AbstractStep{Kind: StepIndex},
+	)
+	if !ab.Matches(New(Deref(), Attr("items"), Index(7))) {
+		t.Error("abstract must match any index")
+	}
+	if ab.Matches(New(Deref(), Attr("title"))) {
+		t.Error("length mismatch")
+	}
+	if ab.Matches(New(Deref(), Attr("tags"), Index(0))) {
+		t.Error("attr mismatch")
+	}
+	if got := Abstraction(New(Deref(), Attr("items"), Index(7))); got.String() != "->.items[*]" {
+		t.Errorf("Abstraction = %s", got)
+	}
+	if ab.String() != "->.items[*]" {
+		t.Errorf("abstract String = %s", ab)
+	}
+}
+
+func TestEnumerateSchemaWithInheritanceAndAny(t *testing.T) {
+	s := store.NewSchema()
+	mustErr := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustErr(s.AddClass("Text", object.TupleOf(object.TField{Name: "content", Type: object.StringType})))
+	mustErr(s.AddClass("Title", object.TupleOf(object.TField{Name: "content", Type: object.StringType})))
+	mustErr(s.AddInherits("Title", "Text"))
+	mustErr(s.AddClass("Doc", object.TupleOf(
+		object.TField{Name: "t", Type: object.Class("Text")},
+		object.TField{Name: "ref", Type: object.Any},
+	)))
+	h := s.Hierarchy()
+	tas := DedupAbstract(EnumerateSchema(h, object.Class("Doc"), 0))
+	found := map[string]bool{}
+	for _, ta := range tas {
+		found[ta.Path.String()] = true
+	}
+	// Dereferencing a Text-typed attribute explores both Text and Title.
+	if !found["->.t->.content"] {
+		t.Error("subclass extents must be explored")
+	}
+	// any explores every class.
+	if !found["->.ref->.content"] {
+		t.Errorf("any must dereference into every class: %v", found)
+	}
+	// MaxLen bound.
+	short := EnumerateSchema(h, object.Class("Doc"), 2)
+	for _, ta := range short {
+		if ta.Path.Len() > 2 {
+			t.Error("maxLen violated")
+		}
+	}
+	// Semantics String.
+	if Restricted.String() != "restricted" || Liberal.String() != "liberal" {
+		t.Error("Semantics String")
+	}
+}

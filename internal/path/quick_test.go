@@ -1,0 +1,90 @@
+package path
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sgmldb/internal/object"
+)
+
+// quickPath is a generator for testing/quick: random paths over simple
+// member literals (the parseable subset).
+type quickPath struct{ P Path }
+
+// Generate implements quick.Generator.
+func (quickPath) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(6)
+	steps := make([]Step, 0, n)
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0:
+			names := []string{"title", "a1", "sections", "x_y", "b2"}
+			steps = append(steps, Attr(names[r.Intn(len(names))]))
+		case 1:
+			steps = append(steps, Index(r.Intn(100)))
+		case 2:
+			steps = append(steps, Deref())
+		default:
+			var m object.Value
+			switch r.Intn(4) {
+			case 0:
+				m = object.Int(int64(r.Intn(50)))
+			case 1:
+				m = object.Float(float64(r.Intn(10)) + 0.5)
+			case 2:
+				m = object.String_("word")
+			default:
+				m = object.Bool(r.Intn(2) == 0)
+			}
+			steps = append(steps, Member(m))
+		}
+	}
+	return reflect.ValueOf(quickPath{P: New(steps...)})
+}
+
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(qp quickPath) bool {
+		parsed, err := Parse(qp.P.String())
+		return err == nil && parsed.Equal(qp.P)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickValueRoundTrip(t *testing.T) {
+	f := func(qp quickPath) bool {
+		back, err := FromValue(qp.P.Value())
+		return err == nil && back.Equal(qp.P)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConcatLength(t *testing.T) {
+	f := func(a, b quickPath) bool {
+		c := a.P.Concat(b.P)
+		if c.Len() != a.P.Len()+b.P.Len() {
+			return false
+		}
+		// Concatenation preserves prefixes and slices recover operands.
+		return c.HasPrefix(a.P) &&
+			c.Slice(a.P.Len(), c.Len()).Equal(b.P) &&
+			c.Slice(0, a.P.Len()).Equal(a.P)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyInjective(t *testing.T) {
+	f := func(a, b quickPath) bool {
+		return (a.P.Key() == b.P.Key()) == a.P.Equal(b.P)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

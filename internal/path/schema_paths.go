@@ -1,0 +1,203 @@
+package path
+
+import (
+	"strings"
+
+	"sgmldb/internal/object"
+)
+
+// This file implements schema-level path enumeration: the analysis of
+// Section 5.4 that finds candidate valuations for path and attribute
+// variables from the schema alone, so that a query with path variables can
+// be rewritten into a union of variable-free queries. An abstract path is
+// a concrete path with indices and set members generalised to wildcards.
+
+// AbstractStep is one step of an abstract (schema-level) path.
+type AbstractStep struct {
+	Kind StepKind
+	Name string // attribute name for StepAttr
+}
+
+// String renders the abstract step: ".a", "[*]", "->", "{*}".
+func (s AbstractStep) String() string {
+	switch s.Kind {
+	case StepAttr:
+		return "." + s.Name
+	case StepIndex:
+		return "[*]"
+	case StepDeref:
+		return "->"
+	case StepMember:
+		return "{*}"
+	default:
+		return "?"
+	}
+}
+
+// Abstract is a schema-level path shape.
+type Abstract struct {
+	steps []AbstractStep
+}
+
+// NewAbstract builds an abstract path.
+func NewAbstract(steps ...AbstractStep) Abstract {
+	cp := make([]AbstractStep, len(steps))
+	copy(cp, steps)
+	return Abstract{steps: cp}
+}
+
+// Len reports the number of steps.
+func (a Abstract) Len() int { return len(a.steps) }
+
+// At returns the i-th step.
+func (a Abstract) At(i int) AbstractStep { return a.steps[i] }
+
+// Steps returns a copy of the steps.
+func (a Abstract) Steps() []AbstractStep {
+	cp := make([]AbstractStep, len(a.steps))
+	copy(cp, a.steps)
+	return cp
+}
+
+// Append returns a extended by steps.
+func (a Abstract) Append(steps ...AbstractStep) Abstract {
+	cp := make([]AbstractStep, 0, len(a.steps)+len(steps))
+	cp = append(cp, a.steps...)
+	cp = append(cp, steps...)
+	return Abstract{steps: cp}
+}
+
+// String renders the abstract path ("ε" when empty).
+func (a Abstract) String() string {
+	if len(a.steps) == 0 {
+		return "ε"
+	}
+	var b strings.Builder
+	for _, s := range a.steps {
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// Matches reports whether concrete path p instantiates the abstract path.
+func (a Abstract) Matches(p Path) bool {
+	if p.Len() != len(a.steps) {
+		return false
+	}
+	for i, as := range a.steps {
+		ps := p.At(i)
+		if ps.Kind != as.Kind {
+			return false
+		}
+		if as.Kind == StepAttr && as.Name != ps.Name {
+			return false
+		}
+	}
+	return true
+}
+
+// Abstraction generalises a concrete path to its abstract shape.
+func Abstraction(p Path) Abstract {
+	steps := make([]AbstractStep, p.Len())
+	for i, s := range p.Steps() {
+		steps[i] = AbstractStep{Kind: s.Kind, Name: s.Name}
+	}
+	return Abstract{steps: steps}
+}
+
+// TypedAbstract pairs an abstract path with the type it reaches.
+type TypedAbstract struct {
+	Path Abstract
+	Type object.Type
+}
+
+// EnumerateSchema produces every abstract path from a root type under the
+// restricted semantics (no class dereferenced twice along a path), with
+// the type each path reaches. This is the candidate-valuation analysis of
+// Section 5.4: a query ∃P(⟨v P ·title(X)⟩) is compiled by instantiating P
+// with every enumerated abstract path whose continuation admits ·title.
+//
+// The hierarchy resolves class types (σ) and subclasses: dereferencing a
+// class type explores σ(c') for every c' ≺* c, since π(c) contains
+// objects of every subclass.
+func EnumerateSchema(h *object.Hierarchy, root object.Type, maxLen int) []TypedAbstract {
+	e := &schemaEnum{h: h, maxLen: maxLen}
+	e.visit(root, NewAbstract(), map[string]bool{})
+	return e.out
+}
+
+type schemaEnum struct {
+	h      *object.Hierarchy
+	maxLen int
+	out    []TypedAbstract
+}
+
+func (e *schemaEnum) visit(t object.Type, a Abstract, derefed map[string]bool) {
+	e.out = append(e.out, TypedAbstract{Path: a, Type: t})
+	if e.maxLen > 0 && a.Len() >= e.maxLen {
+		return
+	}
+	switch x := t.(type) {
+	case object.TupleType:
+		for _, f := range x.Fields() {
+			e.visit(f.Type, a.Append(AbstractStep{Kind: StepAttr, Name: f.Name}), derefed)
+		}
+	case object.UnionType:
+		for _, alt := range x.Alts() {
+			e.visit(alt.Type, a.Append(AbstractStep{Kind: StepAttr, Name: alt.Name}), derefed)
+		}
+	case object.ListType:
+		e.visit(x.Elem, a.Append(AbstractStep{Kind: StepIndex}), derefed)
+	case object.SetType:
+		e.visit(x.Elem, a.Append(AbstractStep{Kind: StepMember}), derefed)
+	case object.ClassType:
+		e.derefClass(x.Name, a, derefed)
+	case object.AnyType:
+		if e.h == nil {
+			return
+		}
+		// any covers every class: dereference each declared class not yet
+		// crossed.
+		for _, c := range e.h.Classes() {
+			e.derefClass(c, a, derefed)
+		}
+	}
+}
+
+func (e *schemaEnum) derefClass(class string, a Abstract, derefed map[string]bool) {
+	if e.h == nil {
+		return
+	}
+	// π(class) holds objects of class and its subclasses; their values
+	// follow the respective σ. Each subclass counts as its own
+	// dereference target.
+	for _, sub := range e.h.Subclasses(class) {
+		if derefed[sub] {
+			continue
+		}
+		t, ok := e.h.TypeOf(sub)
+		if !ok {
+			continue
+		}
+		d2 := copyStrSet(derefed)
+		d2[sub] = true
+		e.visit(t, a.Append(AbstractStep{Kind: StepDeref}), d2)
+	}
+}
+
+// DedupAbstract removes duplicate (path, type) pairs, preserving order.
+// EnumerateSchema over a class hierarchy can reach the same shape through
+// different subclasses (e.g. →.content via Title and via Author).
+func DedupAbstract(in []TypedAbstract) []TypedAbstract {
+	seen := map[string]bool{}
+	var out []TypedAbstract
+	for _, ta := range in {
+		k := ta.Path.String() + "\x01" + object.TypeKey(ta.Type)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, ta)
+	}
+	return out
+}

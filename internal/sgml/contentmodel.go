@@ -1,0 +1,459 @@
+// Package sgml implements the SGML substrate of Section 2 of the paper:
+// document type definitions (ELEMENT, ATTLIST and ENTITY declarations;
+// content models built from the "," sequence, "&" unordered-aggregation and
+// "|" choice connectors with "?", "+" and "*" occurrence indicators; tag
+// minimisation), and document instances with validation, omitted-tag
+// inference, entity substitution and ID/IDREF cross-reference resolution.
+//
+// It is a from-scratch replacement for the proprietary Euroclid parser the
+// paper's prototype used. The mapping into the object model lives in
+// package dtdmap.
+package sgml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ContentModel is the recognised structure of an element's content: a
+// regular expression over element names and the pseudo-symbols #PCDATA,
+// EMPTY and ANY.
+type ContentModel interface {
+	// String renders the model in DTD syntax.
+	String() string
+	// nullable reports whether the model matches the empty content.
+	nullable() bool
+	// first collects the element names (and pcdata) that can start a match.
+	first(into map[string]bool)
+	// deriv returns the models that can remain after consuming sym; an
+	// empty slice means sym cannot occur here. (Brzozowski derivative,
+	// kept as a set because "&" groups branch.)
+	deriv(sym string) []ContentModel
+}
+
+// The symbol used for character data in matching. Element names in SGML
+// are case-insensitive and normalised to lower case by the parser, so the
+// leading '#' cannot collide.
+const pcdataSym = "#PCDATA"
+
+// PCData is the #PCDATA token: character data content.
+type PCData struct{}
+
+func (PCData) String() string          { return "#PCDATA" }
+func (PCData) nullable() bool          { return true } // character data may be empty
+func (PCData) first(m map[string]bool) { m[pcdataSym] = true }
+func (p PCData) deriv(sym string) []ContentModel {
+	if sym == pcdataSym {
+		return []ContentModel{p} // data repeats freely
+	}
+	return nil
+}
+
+// Empty is declared content EMPTY: the element has no content (and in SGML
+// its end tag is always omitted).
+type Empty struct{}
+
+func (Empty) String() string              { return "EMPTY" }
+func (Empty) nullable() bool              { return true }
+func (Empty) first(map[string]bool)       {}
+func (Empty) deriv(string) []ContentModel { return nil }
+
+// AnyContent is declared content ANY: any mix of data and elements.
+type AnyContent struct{}
+
+func (AnyContent) String() string            { return "ANY" }
+func (AnyContent) nullable() bool            { return true }
+func (a AnyContent) first(m map[string]bool) { m["*"] = true }
+func (a AnyContent) deriv(string) []ContentModel {
+	return []ContentModel{a}
+}
+
+// Name is a reference to an element type within a content model.
+type Name struct{ Elem string }
+
+func (n Name) String() string          { return n.Elem }
+func (Name) nullable() bool            { return false }
+func (n Name) first(m map[string]bool) { m[n.Elem] = true }
+func (n Name) deriv(sym string) []ContentModel {
+	if sym == n.Elem {
+		return []ContentModel{epsilon{}}
+	}
+	return nil
+}
+
+// epsilon matches exactly the empty content; it is the residue of a
+// consumed Name and never appears in parsed models.
+type epsilon struct{}
+
+func (epsilon) String() string              { return "()" }
+func (epsilon) nullable() bool              { return true }
+func (epsilon) first(map[string]bool)       {}
+func (epsilon) deriv(string) []ContentModel { return nil }
+
+// Seq is the ordered aggregation (a, b, c): each member in order.
+type Seq struct{ Items []ContentModel }
+
+func (s Seq) String() string { return groupString(s.Items, ", ") }
+
+func (s Seq) nullable() bool {
+	for _, it := range s.Items {
+		if !it.nullable() {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Seq) first(m map[string]bool) {
+	for _, it := range s.Items {
+		it.first(m)
+		if !it.nullable() {
+			return
+		}
+	}
+}
+
+func (s Seq) deriv(sym string) []ContentModel {
+	var out []ContentModel
+	for i, it := range s.Items {
+		for _, d := range it.deriv(sym) {
+			rest := append([]ContentModel{d}, s.Items[i+1:]...)
+			out = append(out, seqOf(rest))
+		}
+		if !it.nullable() {
+			break
+		}
+	}
+	return out
+}
+
+// Choice is the alternative (a | b | c): exactly one member.
+type Choice struct{ Items []ContentModel }
+
+func (c Choice) String() string { return groupString(c.Items, " | ") }
+
+func (c Choice) nullable() bool {
+	for _, it := range c.Items {
+		if it.nullable() {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Choice) first(m map[string]bool) {
+	for _, it := range c.Items {
+		it.first(m)
+	}
+}
+
+func (c Choice) deriv(sym string) []ContentModel {
+	var out []ContentModel
+	for _, it := range c.Items {
+		out = append(out, it.deriv(sym)...)
+	}
+	return out
+}
+
+// And is the unordered aggregation (a & b & c): every member exactly once,
+// in any order. It is the connector behind the paper's letters example
+// (Section 4.4), where sender and recipient appear in permutable order.
+type And struct{ Items []ContentModel }
+
+func (a And) String() string { return groupString(a.Items, " & ") }
+
+func (a And) nullable() bool {
+	for _, it := range a.Items {
+		if !it.nullable() {
+			return false
+		}
+	}
+	return true
+}
+
+func (a And) first(m map[string]bool) {
+	for _, it := range a.Items {
+		it.first(m)
+	}
+}
+
+func (a And) deriv(sym string) []ContentModel {
+	var out []ContentModel
+	for i, it := range a.Items {
+		for _, d := range it.deriv(sym) {
+			// The chosen member continues with d and must complete before
+			// another member begins (SGML "&" semantics), so sequence d
+			// before the And of the remaining members.
+			others := make([]ContentModel, 0, len(a.Items)-1)
+			others = append(others, a.Items[:i]...)
+			others = append(others, a.Items[i+1:]...)
+			out = append(out, seqOf([]ContentModel{d, andOf(others)}))
+		}
+	}
+	return out
+}
+
+// Occurrence is an occurrence indicator applied to a model.
+type Occurrence int
+
+// Occurrence indicators: "?" zero-or-one, "+" one-or-more, "*" zero-or-more.
+const (
+	Opt  Occurrence = iota // ?
+	Plus                   // +
+	Rep                    // *
+)
+
+// String returns the indicator character.
+func (o Occurrence) String() string {
+	switch o {
+	case Opt:
+		return "?"
+	case Plus:
+		return "+"
+	case Rep:
+		return "*"
+	default:
+		return "?"
+	}
+}
+
+// Occur applies an occurrence indicator to a model.
+type Occur struct {
+	Item ContentModel
+	Ind  Occurrence
+}
+
+func (o Occur) String() string {
+	s := o.Item.String()
+	// Bare names need no parentheses: title+, body*.
+	switch o.Item.(type) {
+	case Name, PCData:
+		return s + o.Ind.String()
+	}
+	if strings.HasPrefix(s, "(") {
+		return s + o.Ind.String()
+	}
+	return "(" + s + ")" + o.Ind.String()
+}
+
+func (o Occur) nullable() bool {
+	if o.Ind == Plus {
+		return o.Item.nullable()
+	}
+	return true
+}
+
+func (o Occur) first(m map[string]bool) { o.Item.first(m) }
+
+func (o Occur) deriv(sym string) []ContentModel {
+	var out []ContentModel
+	for _, d := range o.Item.deriv(sym) {
+		switch o.Ind {
+		case Opt:
+			out = append(out, d)
+		case Plus, Rep:
+			out = append(out, seqOf([]ContentModel{d, Occur{Item: o.Item, Ind: Rep}}))
+		}
+	}
+	return out
+}
+
+func groupString(items []ContentModel, sep string) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = it.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// seqOf normalises a sequence: drops epsilons, unwraps singletons.
+func seqOf(items []ContentModel) ContentModel {
+	var keep []ContentModel
+	for _, it := range items {
+		if _, ok := it.(epsilon); ok {
+			continue
+		}
+		if s, ok := it.(Seq); ok {
+			keep = append(keep, s.Items...)
+			continue
+		}
+		keep = append(keep, it)
+	}
+	switch len(keep) {
+	case 0:
+		return epsilon{}
+	case 1:
+		return keep[0]
+	default:
+		return Seq{Items: keep}
+	}
+}
+
+// andOf normalises an unordered group: drops epsilons, unwraps singletons.
+func andOf(items []ContentModel) ContentModel {
+	var keep []ContentModel
+	for _, it := range items {
+		if _, ok := it.(epsilon); ok {
+			continue
+		}
+		keep = append(keep, it)
+	}
+	switch len(keep) {
+	case 0:
+		return epsilon{}
+	case 1:
+		return keep[0]
+	default:
+		return And{Items: keep}
+	}
+}
+
+// Matcher incrementally matches a stream of child symbols (element names
+// and pcdata) against a content model using derivative sets. The residual
+// set is pruned with structural keys so that repeated derivations stay
+// small.
+type Matcher struct {
+	model     ContentModel
+	residuals []ContentModel
+	anyModel  bool
+}
+
+// NewMatcher starts matching against model.
+func NewMatcher(model ContentModel) *Matcher {
+	_, isAny := model.(AnyContent)
+	return &Matcher{model: model, residuals: []ContentModel{model}, anyModel: isAny}
+}
+
+// Model returns the model being matched.
+func (m *Matcher) Model() ContentModel { return m.model }
+
+// AcceptsAny reports whether the model is declared ANY.
+func (m *Matcher) AcceptsAny() bool { return m.anyModel }
+
+// Step consumes one child symbol: an element name or PCDataSymbol. It
+// reports whether the symbol is admissible here.
+func (m *Matcher) Step(sym string) bool {
+	if m.anyModel {
+		return true
+	}
+	var next []ContentModel
+	seen := map[string]bool{}
+	for _, r := range m.residuals {
+		for _, d := range r.deriv(sym) {
+			k := d.String()
+			if !seen[k] {
+				seen[k] = true
+				next = append(next, d)
+			}
+		}
+	}
+	if len(next) == 0 {
+		return false
+	}
+	m.residuals = next
+	return true
+}
+
+// CanStep reports whether sym would be admissible without consuming it.
+func (m *Matcher) CanStep(sym string) bool {
+	if m.anyModel {
+		return true
+	}
+	for _, r := range m.residuals {
+		if len(r.deriv(sym)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Complete reports whether the consumed prefix is a complete match.
+func (m *Matcher) Complete() bool {
+	if m.anyModel {
+		return true
+	}
+	for _, r := range m.residuals {
+		if r.nullable() {
+			return true
+		}
+	}
+	return false
+}
+
+// Next returns the set of symbols admissible at this point, sorted. For
+// ANY content it returns ["*"].
+func (m *Matcher) Next() []string {
+	set := map[string]bool{}
+	for _, r := range m.residuals {
+		r.first(set)
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Required returns the unique symbol that must come next if the match is
+// to be completed and no other symbol is admissible; ok is false when the
+// model is complete, ambiguous, or allows several continuations. It drives
+// omitted start-tag inference.
+func (m *Matcher) Required() (sym string, ok bool) {
+	if m.anyModel || m.Complete() {
+		return "", false
+	}
+	next := m.Next()
+	if len(next) == 1 && next[0] != "*" {
+		return next[0], true
+	}
+	return "", false
+}
+
+// PCDataSymbol is the symbol a Matcher consumes for character data.
+const PCDataSymbol = pcdataSym
+
+// CheckAmbiguity verifies SGML's unambiguity requirement on a content
+// model: no residual set may ever contain two derivations for the same
+// symbol prefix. We approximate with a bounded exploration of the
+// derivative graph; models used in practice are tiny. A model is reported
+// ambiguous if some reachable residual set holds more than maxResiduals
+// states.
+func CheckAmbiguity(model ContentModel, maxResiduals int) error {
+	start := NewMatcher(model)
+	seen := map[string]bool{}
+	queue := []*Matcher{start}
+	keyOf := func(m *Matcher) string {
+		ks := make([]string, len(m.residuals))
+		for i, r := range m.residuals {
+			ks[i] = r.String()
+		}
+		sort.Strings(ks)
+		return strings.Join(ks, " ")
+	}
+	seen[keyOf(start)] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if len(cur.residuals) > maxResiduals {
+			return fmt.Errorf("sgml: content model %s is too ambiguous (%d concurrent derivations)",
+				model, len(cur.residuals))
+		}
+		for _, sym := range cur.Next() {
+			if sym == "*" {
+				continue
+			}
+			cp := Matcher{model: cur.model, residuals: append([]ContentModel(nil), cur.residuals...)}
+			if !cp.Step(sym) {
+				continue
+			}
+			k := keyOf(&cp)
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, &cp)
+			}
+		}
+	}
+	return nil
+}

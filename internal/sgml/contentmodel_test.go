@@ -1,0 +1,261 @@
+package sgml
+
+import (
+	"strings"
+	"testing"
+)
+
+// match runs a full symbol sequence against a model.
+func match(m ContentModel, syms ...string) bool {
+	mt := NewMatcher(m)
+	for _, s := range syms {
+		if !mt.Step(s) {
+			return false
+		}
+	}
+	return mt.Complete()
+}
+
+func TestSeqMatching(t *testing.T) {
+	// (title, author+, abstract)
+	m := Seq{Items: []ContentModel{
+		Name{"title"},
+		Occur{Item: Name{"author"}, Ind: Plus},
+		Name{"abstract"},
+	}}
+	if !match(m, "title", "author", "abstract") {
+		t.Error("one author")
+	}
+	if !match(m, "title", "author", "author", "author", "abstract") {
+		t.Error("many authors")
+	}
+	if match(m, "title", "abstract") {
+		t.Error("plus requires at least one")
+	}
+	if match(m, "author", "title", "abstract") {
+		t.Error("order matters")
+	}
+	if match(m, "title", "author") {
+		t.Error("incomplete must not match")
+	}
+	if match(m, "title", "author", "abstract", "author") {
+		t.Error("trailing junk must not match")
+	}
+}
+
+func TestChoiceAndOccurrences(t *testing.T) {
+	// (figure | paragr)
+	m := Choice{Items: []ContentModel{Name{"figure"}, Name{"paragr"}}}
+	if !match(m, "figure") || !match(m, "paragr") {
+		t.Error("choice members")
+	}
+	if match(m) || match(m, "figure", "paragr") {
+		t.Error("choice picks exactly one")
+	}
+	// (picture, caption?)
+	m2 := Seq{Items: []ContentModel{Name{"picture"}, Occur{Item: Name{"caption"}, Ind: Opt}}}
+	if !match(m2, "picture") || !match(m2, "picture", "caption") {
+		t.Error("optional caption")
+	}
+	if match(m2, "picture", "caption", "caption") {
+		t.Error("? means at most one")
+	}
+	// body*
+	m3 := Occur{Item: Name{"body"}, Ind: Rep}
+	if !match(m3) || !match(m3, "body") || !match(m3, "body", "body", "body") {
+		t.Error("star")
+	}
+}
+
+func TestPaperSectionModel(t *testing.T) {
+	// ((title, body+) | (title, body*, subsectn+)) — the paper's section
+	// model, which is NOT 1-unambiguous: after title,body the match may
+	// continue in either branch. The derivative matcher tracks both.
+	m := Choice{Items: []ContentModel{
+		Seq{Items: []ContentModel{Name{"title"}, Occur{Item: Name{"body"}, Ind: Plus}}},
+		Seq{Items: []ContentModel{Name{"title"}, Occur{Item: Name{"body"}, Ind: Rep},
+			Occur{Item: Name{"subsectn"}, Ind: Plus}}},
+	}}
+	if !match(m, "title", "body") {
+		t.Error("branch 1")
+	}
+	if !match(m, "title", "subsectn") {
+		t.Error("branch 2 without bodies")
+	}
+	if !match(m, "title", "body", "body", "subsectn", "subsectn") {
+		t.Error("branch 2 with bodies")
+	}
+	if match(m, "title") {
+		t.Error("title alone matches neither branch")
+	}
+	if match(m, "title", "subsectn", "body") {
+		t.Error("body after subsectn")
+	}
+	if err := CheckAmbiguity(m, 64); err != nil {
+		t.Errorf("bounded ambiguity must be accepted: %v", err)
+	}
+}
+
+func TestAndConnector(t *testing.T) {
+	// (to & from): both, in either order — Section 4.4's preamble.
+	m := And{Items: []ContentModel{Name{"to"}, Name{"from"}}}
+	if !match(m, "to", "from") || !match(m, "from", "to") {
+		t.Error("& permits both orders")
+	}
+	if match(m, "to") || match(m, "from", "from") || match(m, "to", "from", "to") {
+		t.Error("& requires each exactly once")
+	}
+	// Three-way with an optional member.
+	m3 := And{Items: []ContentModel{Name{"a"}, Name{"b"}, Occur{Item: Name{"c"}, Ind: Opt}}}
+	if !match(m3, "b", "a") || !match(m3, "c", "a", "b") || !match(m3, "a", "c", "b") {
+		t.Error("3-way & with optional")
+	}
+	if match(m3, "a", "a", "b") {
+		t.Error("repeat member")
+	}
+	// A member must complete before another begins.
+	seq := And{Items: []ContentModel{
+		Seq{Items: []ContentModel{Name{"x"}, Name{"y"}}},
+		Name{"z"},
+	}}
+	if !match(seq, "x", "y", "z") || !match(seq, "z", "x", "y") {
+		t.Error("& over groups")
+	}
+	if match(seq, "x", "z", "y") {
+		t.Error("& member must not interleave")
+	}
+}
+
+func TestPCDataAndEmptyAndAny(t *testing.T) {
+	m := PCData{}
+	if !match(m) || !match(m, PCDataSymbol) || !match(m, PCDataSymbol, PCDataSymbol) {
+		t.Error("pcdata repeats freely")
+	}
+	if match(m, "title") {
+		t.Error("pcdata admits no elements")
+	}
+	e := Empty{}
+	if !match(e) || match(e, "x") || match(e, PCDataSymbol) {
+		t.Error("EMPTY admits nothing")
+	}
+	a := AnyContent{}
+	if !match(a) || !match(a, "x", PCDataSymbol, "y") {
+		t.Error("ANY admits everything")
+	}
+	mt := NewMatcher(a)
+	if !mt.AcceptsAny() {
+		t.Error("AcceptsAny")
+	}
+	if got := mt.Next(); len(got) != 1 || got[0] != "*" {
+		t.Errorf("ANY Next = %v", got)
+	}
+}
+
+func TestMatcherNextAndRequired(t *testing.T) {
+	m := Seq{Items: []ContentModel{
+		Name{"title"},
+		Occur{Item: Name{"author"}, Ind: Plus},
+		Name{"abstract"},
+	}}
+	mt := NewMatcher(m)
+	if got := mt.Next(); len(got) != 1 || got[0] != "title" {
+		t.Errorf("Next = %v", got)
+	}
+	if sym, ok := mt.Required(); !ok || sym != "title" {
+		t.Errorf("Required = %q %v", sym, ok)
+	}
+	mt.Step("title")
+	if sym, ok := mt.Required(); !ok || sym != "author" {
+		t.Errorf("Required after title = %q %v", sym, ok)
+	}
+	mt.Step("author")
+	// Now author or abstract may come: no unique requirement.
+	if _, ok := mt.Required(); ok {
+		t.Error("Required must fail with two continuations")
+	}
+	if got := mt.Next(); len(got) != 2 {
+		t.Errorf("Next = %v", got)
+	}
+	if !mt.CanStep("abstract") || mt.CanStep("title") {
+		t.Error("CanStep")
+	}
+	// CanStep must not consume.
+	if !mt.CanStep("abstract") {
+		t.Error("CanStep consumed input")
+	}
+	mt.Step("abstract")
+	if _, ok := mt.Required(); ok {
+		t.Error("Required on complete model")
+	}
+	if !mt.Complete() {
+		t.Error("Complete")
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	cases := []struct {
+		m    ContentModel
+		want string
+	}{
+		{Seq{Items: []ContentModel{Name{"title"}, Occur{Item: Name{"author"}, Ind: Plus}}},
+			"(title, author+)"},
+		{Choice{Items: []ContentModel{Name{"figure"}, Name{"paragr"}}}, "(figure | paragr)"},
+		{And{Items: []ContentModel{Name{"to"}, Name{"from"}}}, "(to & from)"},
+		{Occur{Item: Choice{Items: []ContentModel{Name{"a"}, Name{"b"}}}, Ind: Rep}, "(a | b)*"},
+		{Occur{Item: PCData{}, Ind: Opt}, "#PCDATA?"},
+		{Empty{}, "EMPTY"},
+		{AnyContent{}, "ANY"},
+		{PCData{}, "#PCDATA"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+	if Opt.String() != "?" || Plus.String() != "+" || Rep.String() != "*" {
+		t.Error("occurrence strings")
+	}
+}
+
+func TestCheckAmbiguityExplosion(t *testing.T) {
+	// (a?, a?, …, a?, b): consuming an "a" leaves one residual per
+	// possible alignment, so the derivative set grows with the number of
+	// optional members; the checker must bound it rather than hang.
+	var items []ContentModel
+	for i := 0; i < 20; i++ {
+		items = append(items, Occur{Item: Name{"a"}, Ind: Opt})
+	}
+	items = append(items, Name{"b"})
+	m := Seq{Items: items}
+	err := CheckAmbiguity(m, 8)
+	if err == nil {
+		t.Error("explosive model must be rejected at a small bound")
+	}
+	if err != nil && !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// The same model passes with a generous bound or fails fast — either
+	// way CheckAmbiguity must terminate (implicitly tested by returning).
+}
+
+func TestDerivativeResidualsStayBounded(t *testing.T) {
+	// Long repetitive input through a starred model must not grow the
+	// residual set.
+	m := Occur{Item: Choice{Items: []ContentModel{Name{"a"}, Name{"b"}}}, Ind: Rep}
+	mt := NewMatcher(m)
+	for i := 0; i < 1000; i++ {
+		sym := "a"
+		if i%3 == 0 {
+			sym = "b"
+		}
+		if !mt.Step(sym) {
+			t.Fatal("step failed")
+		}
+		if len(mt.residuals) > 4 {
+			t.Fatalf("residual blow-up: %d", len(mt.residuals))
+		}
+	}
+	if !mt.Complete() {
+		t.Error("star always complete")
+	}
+}

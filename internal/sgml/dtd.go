@@ -1,0 +1,863 @@
+package sgml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AttType is the declared type of an SGML attribute.
+type AttType int
+
+// The attribute types the paper's examples use (Figure 1): CDATA free
+// text, ID/IDREF(S) cross references, NMTOKEN(S) name tokens, ENTITY
+// references to declared entities, NUMBER, NAME, and enumerated
+// name-token groups.
+const (
+	AttCDATA AttType = iota
+	AttID
+	AttIDREF
+	AttIDREFS
+	AttNMTOKEN
+	AttNMTOKENS
+	AttENTITY
+	AttNUMBER
+	AttNAME
+	AttEnum
+)
+
+// String renders the attribute type keyword.
+func (t AttType) String() string {
+	switch t {
+	case AttCDATA:
+		return "CDATA"
+	case AttID:
+		return "ID"
+	case AttIDREF:
+		return "IDREF"
+	case AttIDREFS:
+		return "IDREFS"
+	case AttNMTOKEN:
+		return "NMTOKEN"
+	case AttNMTOKENS:
+		return "NMTOKENS"
+	case AttENTITY:
+		return "ENTITY"
+	case AttNUMBER:
+		return "NUMBER"
+	case AttNAME:
+		return "NAME"
+	case AttEnum:
+		return "enumeration"
+	default:
+		return fmt.Sprintf("AttType(%d)", int(t))
+	}
+}
+
+// DefaultKind says how an attribute defaults when omitted in an instance.
+type DefaultKind int
+
+// Attribute default kinds: #REQUIRED must be given, #IMPLIED may be
+// absent, #FIXED always has the declared value, DefaultValue supplies a
+// literal (Figure 1's sizex NMTOKEN "16cm").
+const (
+	DefaultRequired DefaultKind = iota
+	DefaultImplied
+	DefaultFixed
+	DefaultValue
+)
+
+// String renders the default kind.
+func (k DefaultKind) String() string {
+	switch k {
+	case DefaultRequired:
+		return "#REQUIRED"
+	case DefaultImplied:
+		return "#IMPLIED"
+	case DefaultFixed:
+		return "#FIXED"
+	case DefaultValue:
+		return "default"
+	default:
+		return fmt.Sprintf("DefaultKind(%d)", int(k))
+	}
+}
+
+// AttDef is one attribute definition from an ATTLIST declaration.
+type AttDef struct {
+	Name    string
+	Type    AttType
+	Enum    []string // for AttEnum: the allowed name tokens
+	Default DefaultKind
+	Value   string // for DefaultFixed and DefaultValue
+}
+
+// ElementDecl is an ELEMENT declaration: name, tag minimisation and
+// content model. OmitStart/OmitEnd record the "- O" minimisation field
+// ("O" means the tag may be omitted when unambiguous).
+type ElementDecl struct {
+	Name      string
+	OmitStart bool
+	OmitEnd   bool
+	Content   ContentModel
+	Attrs     []AttDef // from ATTLIST declarations, in declaration order
+}
+
+// Attr returns the definition of the named attribute, if declared.
+func (e *ElementDecl) Attr(name string) (AttDef, bool) {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return AttDef{}, false
+}
+
+// EntityKind discriminates entity declarations.
+type EntityKind int
+
+// Entity kinds: internal text replacement, external SYSTEM data (possibly
+// NDATA, i.e. non-SGML data such as Figure 1's image entity), and
+// parameter entities (usable inside the DTD).
+const (
+	EntityInternal EntityKind = iota
+	EntityExternal
+	EntityParameter
+)
+
+// EntityDecl is an ENTITY declaration.
+type EntityDecl struct {
+	Name     string
+	Kind     EntityKind
+	Text     string // replacement text for internal/parameter entities
+	SystemID string // for external entities
+	Notation string // NDATA notation name, when given
+}
+
+// DTD is a parsed document type definition: the grammar a document
+// instance must satisfy.
+type DTD struct {
+	Name     string // document element name, lower-cased
+	elements map[string]*ElementDecl
+	order    []string // element declaration order
+	entities map[string]*EntityDecl
+	entOrder []string
+}
+
+// Element returns the declaration of the named element (case-insensitive).
+func (d *DTD) Element(name string) (*ElementDecl, bool) {
+	e, ok := d.elements[strings.ToLower(name)]
+	return e, ok
+}
+
+// Elements returns element names in declaration order.
+func (d *DTD) Elements() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// Entity returns the named entity declaration.
+func (d *DTD) Entity(name string) (*EntityDecl, bool) {
+	e, ok := d.entities[name]
+	return e, ok
+}
+
+// Entities returns entity names in declaration order.
+func (d *DTD) Entities() []string {
+	out := make([]string, len(d.entOrder))
+	copy(out, d.entOrder)
+	return out
+}
+
+// Check validates the DTD: every element referenced in a content model
+// must be declared, and every content model must pass the unambiguity
+// check.
+func (d *DTD) Check() error {
+	for _, name := range d.order {
+		e := d.elements[name]
+		if err := d.checkRefs(e.Content, name); err != nil {
+			return err
+		}
+		if err := CheckAmbiguity(e.Content, 64); err != nil {
+			return fmt.Errorf("sgml: element %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func (d *DTD) checkRefs(m ContentModel, owner string) error {
+	switch x := m.(type) {
+	case Name:
+		if _, ok := d.elements[x.Elem]; !ok {
+			return fmt.Errorf("sgml: element %s refers to undeclared element %s", owner, x.Elem)
+		}
+	case Seq:
+		for _, it := range x.Items {
+			if err := d.checkRefs(it, owner); err != nil {
+				return err
+			}
+		}
+	case Choice:
+		for _, it := range x.Items {
+			if err := d.checkRefs(it, owner); err != nil {
+				return err
+			}
+		}
+	case And:
+		for _, it := range x.Items {
+			if err := d.checkRefs(it, owner); err != nil {
+				return err
+			}
+		}
+	case Occur:
+		return d.checkRefs(x.Item, owner)
+	}
+	return nil
+}
+
+// String renders the DTD back in declaration syntax.
+func (d *DTD) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!DOCTYPE %s [\n", d.Name)
+	for _, name := range d.order {
+		e := d.elements[name]
+		min := ""
+		if e.OmitStart || e.OmitEnd || !e.OmitStart {
+			s, en := "-", "-"
+			if e.OmitStart {
+				s = "O"
+			}
+			if e.OmitEnd {
+				en = "O"
+			}
+			min = " " + s + " " + en
+		}
+		model := e.Content.String()
+		// Model groups are parenthesised in declaration syntax; declared
+		// content keywords (EMPTY, ANY, CDATA) are not.
+		if !strings.HasPrefix(model, "(") {
+			switch e.Content.(type) {
+			case Empty, AnyContent:
+			default:
+				model = "(" + model + ")"
+			}
+		}
+		fmt.Fprintf(&b, "<!ELEMENT %s%s %s>\n", name, min, model)
+		if len(e.Attrs) > 0 {
+			fmt.Fprintf(&b, "<!ATTLIST %s", name)
+			for _, a := range e.Attrs {
+				ty := a.Type.String()
+				if a.Type == AttEnum {
+					ty = "(" + strings.Join(a.Enum, " | ") + ")"
+				}
+				def := a.Default.String()
+				if a.Default == DefaultValue {
+					def = fmt.Sprintf("%q", a.Value)
+				} else if a.Default == DefaultFixed {
+					def = fmt.Sprintf("#FIXED %q", a.Value)
+				}
+				fmt.Fprintf(&b, "\n  %s %s %s", a.Name, ty, def)
+			}
+			b.WriteString(">\n")
+		}
+	}
+	for _, name := range d.entOrder {
+		en := d.entities[name]
+		switch en.Kind {
+		case EntityInternal:
+			fmt.Fprintf(&b, "<!ENTITY %s %q>\n", name, en.Text)
+		case EntityParameter:
+			fmt.Fprintf(&b, "<!ENTITY %% %s %q>\n", name, en.Text)
+		case EntityExternal:
+			if en.Notation != "" {
+				fmt.Fprintf(&b, "<!ENTITY %s SYSTEM %q NDATA %s>\n", name, en.SystemID, en.Notation)
+			} else {
+				fmt.Fprintf(&b, "<!ENTITY %s SYSTEM %q>\n", name, en.SystemID)
+			}
+		}
+	}
+	b.WriteString("]>\n")
+	return b.String()
+}
+
+// dtdParser is a recursive-descent parser over declaration text.
+type dtdParser struct {
+	src  string
+	pos  int
+	dtd  *DTD
+	pent map[string]string // parameter entities, for %name; substitution
+}
+
+// ParseDTD parses a document type definition. The input is either a full
+// <!DOCTYPE name [ ... ]> prologue or the bare sequence of declarations
+// (in which case the first declared element is the document element).
+func ParseDTD(src string) (*DTD, error) {
+	p := &dtdParser{
+		src: src,
+		dtd: &DTD{
+			elements: make(map[string]*ElementDecl),
+			entities: make(map[string]*EntityDecl),
+		},
+		pent: make(map[string]string),
+	}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	if p.dtd.Name == "" && len(p.dtd.order) > 0 {
+		p.dtd.Name = p.dtd.order[0]
+	}
+	if p.dtd.Name == "" {
+		return nil, fmt.Errorf("sgml: empty DTD")
+	}
+	if err := p.dtd.Check(); err != nil {
+		return nil, err
+	}
+	return p.dtd, nil
+}
+
+func (p *dtdParser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:min(p.pos, len(p.src))], "\n")
+	return fmt.Errorf("sgml: dtd line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *dtdParser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		// Comments: <!-- ... --> and in-declaration -- ... --.
+		if strings.HasPrefix(p.src[p.pos:], "<!--") {
+			end := strings.Index(p.src[p.pos+4:], "-->")
+			if end < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			p.pos += 4 + end + 3
+			continue
+		}
+		return
+	}
+}
+
+func (p *dtdParser) eof() bool {
+	p.skipSpace()
+	return p.pos >= len(p.src)
+}
+
+func (p *dtdParser) lit(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *dtdParser) litCI(s string) bool {
+	if len(p.src)-p.pos < len(s) {
+		return false
+	}
+	if strings.EqualFold(p.src[p.pos:p.pos+len(s)], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '-' || c == '.' || c == '_'
+}
+
+// name reads an SGML name, lower-cased (SGML's default NAMECASE GENERAL YES).
+func (p *dtdParser) name() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || !isNameStart(p.src[p.pos]) {
+		return "", p.errf("expected a name")
+	}
+	start := p.pos
+	for p.pos < len(p.src) && isNameChar(p.src[p.pos]) {
+		p.pos++
+	}
+	return strings.ToLower(p.src[start:p.pos]), nil
+}
+
+// literal reads a quoted literal ("..." or '...').
+func (p *dtdParser) literal() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return "", p.errf("expected a quoted literal")
+	}
+	q := p.src[p.pos]
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", p.errf("unterminated literal")
+	}
+	s := p.src[start:p.pos]
+	p.pos++
+	return s, nil
+}
+
+// expandPEs substitutes parameter entity references %name; in s.
+func (p *dtdParser) expandPEs(s string) string {
+	if !strings.Contains(s, "%") {
+		return s
+	}
+	var b strings.Builder
+	i := 0
+	for i < len(s) {
+		if s[i] == '%' && i+1 < len(s) && isNameStart(s[i+1]) {
+			j := i + 1
+			for j < len(s) && isNameChar(s[j]) {
+				j++
+			}
+			name := strings.ToLower(s[i+1 : j])
+			if j < len(s) && s[j] == ';' {
+				j++
+			}
+			if text, ok := p.pent[name]; ok {
+				b.WriteString(text)
+				i = j
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+func (p *dtdParser) parse() error {
+	for !p.eof() {
+		p.skipSpace()
+		switch {
+		case p.litCI("<!DOCTYPE"):
+			name, err := p.name()
+			if err != nil {
+				return err
+			}
+			p.dtd.Name = name
+			p.skipSpace()
+			if p.lit("[") {
+				continue // declarations follow inline
+			}
+			return p.errf("expected [ after DOCTYPE name")
+		case p.lit("]>") || p.lit("]"):
+			p.skipSpace()
+			p.lit(">")
+			// Anything after the DOCTYPE bracket belongs to the instance;
+			// stop here.
+			return nil
+		case p.litCI("<!ELEMENT"):
+			if err := p.parseElement(); err != nil {
+				return err
+			}
+		case p.litCI("<!ATTLIST"):
+			if err := p.parseAttlist(); err != nil {
+				return err
+			}
+		case p.litCI("<!ENTITY"):
+			if err := p.parseEntity(); err != nil {
+				return err
+			}
+		case p.litCI("<!NOTATION"):
+			// Recognised and skipped: notations carry no structure we map.
+			if err := p.skipDecl(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected input %q", snippet(p.src[p.pos:]))
+		}
+	}
+	return nil
+}
+
+func (p *dtdParser) skipDecl() error {
+	for p.pos < len(p.src) && p.src[p.pos] != '>' {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return p.errf("unterminated declaration")
+	}
+	p.pos++
+	return nil
+}
+
+// parseElement parses <!ELEMENT name [minim] content>.
+// A name group (n1 | n2) declares several elements at once.
+func (p *dtdParser) parseElement() error {
+	names, err := p.nameOrGroup()
+	if err != nil {
+		return err
+	}
+	// Optional tag minimisation: two of "-"/"O".
+	omitStart, omitEnd := false, false
+	p.skipSpace()
+	if p.pos < len(p.src) && (p.src[p.pos] == '-' || p.src[p.pos] == 'O' || p.src[p.pos] == 'o') {
+		// Look ahead: minimisation is "X Y" where X,Y ∈ {-, O}.
+		save := p.pos
+		first := p.src[p.pos]
+		p.pos++
+		p.skipSpace()
+		if p.pos < len(p.src) && (p.src[p.pos] == '-' || p.src[p.pos] == 'O' || p.src[p.pos] == 'o') {
+			second := p.src[p.pos]
+			p.pos++
+			omitStart = first == 'O' || first == 'o'
+			omitEnd = second == 'O' || second == 'o'
+		} else {
+			p.pos = save
+		}
+	}
+	model, err := p.contentModel()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	if !p.lit(">") {
+		return p.errf("expected > at end of ELEMENT declaration")
+	}
+	for _, n := range names {
+		if _, dup := p.dtd.elements[n]; dup {
+			return p.errf("element %s declared twice", n)
+		}
+		decl := &ElementDecl{Name: n, OmitStart: omitStart, OmitEnd: omitEnd, Content: model}
+		// EMPTY elements always omit their end tag.
+		if _, empty := model.(Empty); empty {
+			decl.OmitEnd = true
+		}
+		p.dtd.elements[n] = decl
+		p.dtd.order = append(p.dtd.order, n)
+	}
+	return nil
+}
+
+// nameOrGroup reads a single name or a (n1 | n2 | ...) name group.
+func (p *dtdParser) nameOrGroup() ([]string, error) {
+	p.skipSpace()
+	if p.lit("(") {
+		var names []string
+		for {
+			n, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			names = append(names, n)
+			p.skipSpace()
+			if p.lit("|") {
+				continue
+			}
+			if p.lit(")") {
+				return names, nil
+			}
+			return nil, p.errf("expected | or ) in name group")
+		}
+	}
+	n, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	return []string{n}, nil
+}
+
+// contentModel parses a declared content keyword or a model group.
+func (p *dtdParser) contentModel() (ContentModel, error) {
+	p.skipSpace()
+	switch {
+	case p.litCI("EMPTY"):
+		return Empty{}, nil
+	case p.litCI("ANY"):
+		return AnyContent{}, nil
+	case p.litCI("CDATA"), p.litCI("RCDATA"):
+		// Declared character data content: treat as PCDATA for structure.
+		return PCData{}, nil
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '%' {
+		// Parameter entity holding a model.
+		p.pos++
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		p.lit(";")
+		text, ok := p.pent[n]
+		if !ok {
+			return nil, p.errf("undeclared parameter entity %%%s;", n)
+		}
+		sub := &dtdParser{src: text, dtd: p.dtd, pent: p.pent}
+		return sub.contentModel()
+	}
+	if !p.lit("(") {
+		return nil, p.errf("expected a content model")
+	}
+	return p.modelGroup()
+}
+
+// modelGroup parses the inside of a "(...)" group, including the closing
+// parenthesis and a trailing occurrence indicator.
+func (p *dtdParser) modelGroup() (ContentModel, error) {
+	var items []ContentModel
+	var connector byte // ',', '|', '&' — fixed by first use
+	for {
+		it, err := p.modelItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated model group")
+		}
+		c := p.src[p.pos]
+		switch c {
+		case ',', '|', '&':
+			if connector == 0 {
+				connector = c
+			} else if connector != c {
+				return nil, p.errf("mixed connectors %q and %q in one group", string(connector), string(c))
+			}
+			p.pos++
+			continue
+		case ')':
+			p.pos++
+			var m ContentModel
+			switch {
+			case len(items) == 1:
+				m = items[0]
+			case connector == '|':
+				m = Choice{Items: items}
+			case connector == '&':
+				m = And{Items: items}
+			default:
+				m = Seq{Items: items}
+			}
+			return p.occurrence(m), nil
+		default:
+			return nil, p.errf("expected connector or ) in model group, found %q", string(c))
+		}
+	}
+}
+
+// modelItem parses one member of a group: a name, #PCDATA, or a nested
+// group, with an optional occurrence indicator.
+func (p *dtdParser) modelItem() (ContentModel, error) {
+	p.skipSpace()
+	if p.lit("(") {
+		return p.modelGroup()
+	}
+	if p.litCI("#PCDATA") {
+		return p.occurrence(PCData{}), nil
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '%' {
+		p.pos++
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		p.lit(";")
+		text, ok := p.pent[n]
+		if !ok {
+			return nil, p.errf("undeclared parameter entity %%%s;", n)
+		}
+		sub := &dtdParser{src: "(" + text + ")", dtd: p.dtd, pent: p.pent}
+		sub.lit("(")
+		return sub.modelGroup()
+	}
+	n, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	return p.occurrence(Name{Elem: n}), nil
+}
+
+// occurrence wraps m with a trailing ?, + or * when present.
+func (p *dtdParser) occurrence(m ContentModel) ContentModel {
+	if p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '?':
+			p.pos++
+			return Occur{Item: m, Ind: Opt}
+		case '+':
+			p.pos++
+			return Occur{Item: m, Ind: Plus}
+		case '*':
+			p.pos++
+			return Occur{Item: m, Ind: Rep}
+		}
+	}
+	return m
+}
+
+// parseAttlist parses <!ATTLIST name (attname type default)*>.
+func (p *dtdParser) parseAttlist() error {
+	names, err := p.nameOrGroup()
+	if err != nil {
+		return err
+	}
+	var defs []AttDef
+	for {
+		p.skipSpace()
+		if p.lit(">") {
+			break
+		}
+		var def AttDef
+		def.Name, err = p.name()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		switch {
+		case p.litCI("CDATA"):
+			def.Type = AttCDATA
+		case p.litCI("IDREFS"):
+			def.Type = AttIDREFS
+		case p.litCI("IDREF"):
+			def.Type = AttIDREF
+		case p.litCI("ID"):
+			def.Type = AttID
+		case p.litCI("NMTOKENS"):
+			def.Type = AttNMTOKENS
+		case p.litCI("NMTOKEN"):
+			def.Type = AttNMTOKEN
+		case p.litCI("ENTITY"):
+			def.Type = AttENTITY
+		case p.litCI("NUMBER"):
+			def.Type = AttNUMBER
+		case p.litCI("NAME"):
+			def.Type = AttNAME
+		case p.lit("("):
+			def.Type = AttEnum
+			for {
+				tok, err := p.nmtoken()
+				if err != nil {
+					return err
+				}
+				def.Enum = append(def.Enum, tok)
+				p.skipSpace()
+				if p.lit("|") {
+					continue
+				}
+				if p.lit(")") {
+					break
+				}
+				return p.errf("expected | or ) in enumeration")
+			}
+		default:
+			return p.errf("unknown attribute type at %q", snippet(p.src[p.pos:]))
+		}
+		p.skipSpace()
+		switch {
+		case p.litCI("#REQUIRED"):
+			def.Default = DefaultRequired
+		case p.litCI("#IMPLIED"):
+			def.Default = DefaultImplied
+		case p.litCI("#FIXED"):
+			def.Default = DefaultFixed
+			def.Value, err = p.literal()
+			if err != nil {
+				return err
+			}
+		default:
+			def.Default = DefaultValue
+			if p.pos < len(p.src) && (p.src[p.pos] == '"' || p.src[p.pos] == '\'') {
+				def.Value, err = p.literal()
+				if err != nil {
+					return err
+				}
+			} else {
+				// Unquoted default name token (Figure 1: "draft").
+				def.Value, err = p.nmtoken()
+				if err != nil {
+					return err
+				}
+			}
+		}
+		defs = append(defs, def)
+	}
+	for _, n := range names {
+		e, ok := p.dtd.elements[n]
+		if !ok {
+			return p.errf("ATTLIST for undeclared element %s", n)
+		}
+		e.Attrs = append(e.Attrs, defs...)
+	}
+	return nil
+}
+
+// nmtoken reads a name token (may start with a digit, unlike a name).
+func (p *dtdParser) nmtoken() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isNameChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected a name token")
+	}
+	return strings.ToLower(p.src[start:p.pos]), nil
+}
+
+// parseEntity parses <!ENTITY [%] name (text | SYSTEM "sysid" [NDATA n])>.
+func (p *dtdParser) parseEntity() error {
+	p.skipSpace()
+	isParam := p.lit("%")
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	decl := &EntityDecl{Name: name}
+	if p.litCI("SYSTEM") {
+		decl.Kind = EntityExternal
+		decl.SystemID, err = p.literal()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		if p.litCI("NDATA") {
+			// The notation name is optional in the paper's Figure 1
+			// (line 16 leaves it blank); accept both forms.
+			p.skipSpace()
+			if p.pos < len(p.src) && isNameStart(p.src[p.pos]) {
+				decl.Notation, err = p.name()
+				if err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		text, err := p.literal()
+		if err != nil {
+			return err
+		}
+		decl.Text = p.expandPEs(text)
+		if isParam {
+			decl.Kind = EntityParameter
+			p.pent[name] = decl.Text
+		}
+	}
+	p.skipSpace()
+	if !p.lit(">") {
+		return p.errf("expected > at end of ENTITY declaration")
+	}
+	if _, dup := p.dtd.entities[name]; !dup {
+		p.dtd.entities[name] = decl
+		p.dtd.entOrder = append(p.dtd.entOrder, name)
+	}
+	return nil
+}
+
+func snippet(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) > 24 {
+		return s[:24] + "…"
+	}
+	return s
+}

@@ -1,0 +1,268 @@
+package sgml
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func loadFigure1(t *testing.T) *DTD {
+	t.Helper()
+	src, err := os.ReadFile("../../testdata/article.dtd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtd, err := ParseDTD(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dtd
+}
+
+// TestFigure1DTD reproduces experiment F1: parsing the paper's Figure 1
+// DTD and checking every declaration it contains.
+func TestFigure1DTD(t *testing.T) {
+	dtd := loadFigure1(t)
+	if dtd.Name != "article" {
+		t.Fatalf("document element = %s", dtd.Name)
+	}
+	wantElems := []string{"article", "title", "author", "affil", "abstract",
+		"section", "subsectn", "body", "figure", "picture", "caption", "paragr", "acknowl"}
+	if got := dtd.Elements(); len(got) != len(wantElems) {
+		t.Fatalf("elements = %v", got)
+	}
+	for _, e := range wantElems {
+		if _, ok := dtd.Element(e); !ok {
+			t.Errorf("element %s missing", e)
+		}
+	}
+	art, _ := dtd.Element("article")
+	if got := art.Content.String(); got != "(title, author+, affil, abstract, section+, acknowl)" {
+		t.Errorf("article model = %s", got)
+	}
+	if art.OmitStart || art.OmitEnd {
+		t.Error("article tags are not omissible")
+	}
+	status, ok := art.Attr("status")
+	if !ok || status.Type != AttEnum {
+		t.Fatal("status attribute")
+	}
+	if len(status.Enum) != 2 || status.Enum[0] != "final" || status.Enum[1] != "draft" {
+		t.Errorf("status enum = %v", status.Enum)
+	}
+	if status.Default != DefaultValue || status.Value != "draft" {
+		t.Errorf("status default = %v %q", status.Default, status.Value)
+	}
+	title, _ := dtd.Element("title")
+	if title.OmitStart || !title.OmitEnd {
+		t.Error("title is - O")
+	}
+	if _, ok := title.Content.(PCData); !ok {
+		t.Error("title content is #PCDATA")
+	}
+	section, _ := dtd.Element("section")
+	if got := section.Content.String(); got != "((title, body+) | (title, body*, subsectn+))" {
+		t.Errorf("section model = %s", got)
+	}
+	fig, _ := dtd.Element("figure")
+	if got := fig.Content.String(); got != "(picture, caption?)" {
+		t.Errorf("figure model = %s", got)
+	}
+	label, ok := fig.Attr("label")
+	if !ok || label.Type != AttID || label.Default != DefaultImplied {
+		t.Error("figure label ID #IMPLIED")
+	}
+	pic, _ := dtd.Element("picture")
+	if _, ok := pic.Content.(Empty); !ok {
+		t.Error("picture is EMPTY")
+	}
+	if !pic.OmitEnd {
+		t.Error("EMPTY elements always omit the end tag")
+	}
+	sizex, _ := pic.Attr("sizex")
+	if sizex.Type != AttNMTOKEN || sizex.Default != DefaultValue || sizex.Value != "16cm" {
+		t.Errorf("sizex = %+v", sizex)
+	}
+	sizey, _ := pic.Attr("sizey")
+	if sizey.Default != DefaultImplied {
+		t.Error("sizey #IMPLIED")
+	}
+	file, _ := pic.Attr("file")
+	if file.Type != AttENTITY {
+		t.Error("file ENTITY")
+	}
+	capt, _ := dtd.Element("caption")
+	if !capt.OmitStart || !capt.OmitEnd {
+		t.Error("caption is O O")
+	}
+	par, _ := dtd.Element("paragr")
+	ref, ok := par.Attr("reflabel")
+	if !ok || ref.Type != AttIDREF {
+		t.Error("reflabel IDREF")
+	}
+	ent, ok := dtd.Entity("fig1")
+	if !ok || ent.Kind != EntityExternal || ent.SystemID != "/u/christop/SGML/image1" {
+		t.Errorf("fig1 entity = %+v", ent)
+	}
+}
+
+func TestDTDStringRoundTrip(t *testing.T) {
+	dtd := loadFigure1(t)
+	out := dtd.String()
+	dtd2, err := ParseDTD(out)
+	if err != nil {
+		t.Fatalf("re-parse of rendered DTD failed: %v\n%s", err, out)
+	}
+	if len(dtd2.Elements()) != len(dtd.Elements()) {
+		t.Error("element count changed in round trip")
+	}
+	for _, name := range dtd.Elements() {
+		a, _ := dtd.Element(name)
+		b, ok := dtd2.Element(name)
+		if !ok {
+			t.Errorf("element %s lost", name)
+			continue
+		}
+		if a.Content.String() != b.Content.String() {
+			t.Errorf("%s model changed: %s vs %s", name, a.Content, b.Content)
+		}
+		if a.OmitStart != b.OmitStart || a.OmitEnd != b.OmitEnd {
+			t.Errorf("%s minimisation changed", name)
+		}
+		if len(a.Attrs) != len(b.Attrs) {
+			t.Errorf("%s attrs changed", name)
+		}
+	}
+}
+
+func TestDTDWithoutDoctypeWrapper(t *testing.T) {
+	dtd, err := ParseDTD(`<!ELEMENT memo - - (para+)> <!ELEMENT para - O (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dtd.Name != "memo" {
+		t.Errorf("first element becomes document element, got %s", dtd.Name)
+	}
+}
+
+func TestDTDNameGroupDeclarations(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!ELEMENT doc - - ((a | b)+)>
+<!ELEMENT (a | b) - O (#PCDATA)>
+<!ATTLIST (a | b) kind CDATA #IMPLIED>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"a", "b"} {
+		e, ok := dtd.Element(n)
+		if !ok {
+			t.Fatalf("element %s not declared via name group", n)
+		}
+		if _, ok := e.Attr("kind"); !ok {
+			t.Errorf("attlist by name group missed %s", n)
+		}
+	}
+}
+
+func TestDTDAndConnectorParsing(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!ELEMENT letter - - (preamble, content)>
+<!ELEMENT preamble - O (to & from)>
+<!ELEMENT to - O (#PCDATA)>
+<!ELEMENT from - O (#PCDATA)>
+<!ELEMENT content - O (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, _ := dtd.Element("preamble")
+	if got := pre.Content.String(); got != "(to & from)" {
+		t.Errorf("preamble model = %s", got)
+	}
+}
+
+func TestDTDParameterEntities(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!ENTITY % inline "(em | tt)">
+<!ELEMENT doc - - ((%inline;)*)>
+<!ELEMENT em - - (#PCDATA)>
+<!ELEMENT tt - - (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := dtd.Element("doc")
+	if !strings.Contains(doc.Content.String(), "em") || !strings.Contains(doc.Content.String(), "tt") {
+		t.Errorf("parameter entity not expanded: %s", doc.Content)
+	}
+}
+
+func TestDTDErrors(t *testing.T) {
+	cases := []string{
+		``,                     // empty
+		`<!ELEMENT a - - (b)>`, // undeclared reference
+		`<!ELEMENT a - - (#PCDATA)> <!ELEMENT a - - (#PCDATA)>`, // dup
+		`<!ELEMENT a - - (b,)>`,                                 // dangling connector
+		`<!ELEMENT a - - (b | c, d)>`,                           // mixed connectors
+		`<!ELEMENT a - - (#PCDATA)`,                             // missing >
+		`<!ATTLIST ghost x CDATA #IMPLIED>`,                     // attlist without element
+		`<!ELEMENT a - - (%nope;)>`,                             // undeclared parameter entity
+		`garbage`,                                               // not a declaration
+		`<!DOCTYPE d (x)>`,                                      // malformed doctype
+	}
+	for i, src := range cases {
+		if _, err := ParseDTD(src); err == nil {
+			t.Errorf("case %d: bad DTD accepted: %q", i, src)
+		}
+	}
+}
+
+func TestDTDComments(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!-- the memo dtd -->
+<!ELEMENT memo - - (para+) >
+<!-- paragraphs -->
+<!ELEMENT para - O (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dtd.Elements()) != 2 {
+		t.Error("comments must be skipped")
+	}
+}
+
+func TestAttTypeAndDefaultStrings(t *testing.T) {
+	types := map[AttType]string{
+		AttCDATA: "CDATA", AttID: "ID", AttIDREF: "IDREF", AttIDREFS: "IDREFS",
+		AttNMTOKEN: "NMTOKEN", AttNMTOKENS: "NMTOKENS", AttENTITY: "ENTITY",
+		AttNUMBER: "NUMBER", AttNAME: "NAME", AttEnum: "enumeration",
+	}
+	for ty, want := range types {
+		if ty.String() != want {
+			t.Errorf("%d String = %s", int(ty), ty.String())
+		}
+	}
+	defaults := map[DefaultKind]string{
+		DefaultRequired: "#REQUIRED", DefaultImplied: "#IMPLIED",
+		DefaultFixed: "#FIXED", DefaultValue: "default",
+	}
+	for k, want := range defaults {
+		if k.String() != want {
+			t.Errorf("%d String = %s", int(k), k.String())
+		}
+	}
+}
+
+func TestInternalEntities(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!ENTITY inria "Institut National de Recherche en Informatique">
+<!ELEMENT doc - - (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := dtd.Entity("inria")
+	if !ok || e.Kind != EntityInternal || !strings.Contains(e.Text, "Institut") {
+		t.Errorf("entity = %+v", e)
+	}
+	if len(dtd.Entities()) != 1 {
+		t.Error("Entities()")
+	}
+}

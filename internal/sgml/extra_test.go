@@ -1,0 +1,247 @@
+package sgml
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeclaredCharacterDataContent(t *testing.T) {
+	// CDATA/RCDATA declared content is treated as character data.
+	dtd, err := ParseDTD(`
+<!ELEMENT doc - - (code, note)>
+<!ELEMENT code - - CDATA>
+<!ELEMENT note - - RCDATA>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ := dtd.Element("code")
+	if _, ok := code.Content.(PCData); !ok {
+		t.Errorf("CDATA content = %T", code.Content)
+	}
+	doc, err := ParseDocument(dtd, `<doc><code>x = y</code><note>a note</note></doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element.Text concatenates raw character data (no separator is
+	// invented between adjacent elements) and normalises whitespace.
+	if got := doc.Root.Text(); got != "x = ya note" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestNotationDeclarationsSkipped(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!NOTATION gif SYSTEM "gifview">
+<!ELEMENT doc - - (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dtd.Name != "doc" {
+		t.Errorf("Name = %s", dtd.Name)
+	}
+}
+
+func TestFixedAttributeEnforced(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!ELEMENT doc - - (#PCDATA)>
+<!ATTLIST doc version CDATA #FIXED "1.0">`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseDocument(dtd, `<doc>x</doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := doc.Root.Attr("version"); v != "1.0" {
+		t.Errorf("fixed default = %q", v)
+	}
+	if _, err := ParseDocument(dtd, `<doc version="2.0">x</doc>`); err == nil {
+		t.Error("conflicting #FIXED value accepted")
+	}
+	if _, err := ParseDocument(dtd, `<doc version="1.0">x</doc>`); err != nil {
+		t.Errorf("matching #FIXED value rejected: %v", err)
+	}
+}
+
+func TestNumberAttributeValidation(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!ELEMENT doc - - (#PCDATA)>
+<!ATTLIST doc n NUMBER #IMPLIED>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseDocument(dtd, `<doc n="12">x</doc>`); err != nil {
+		t.Errorf("number rejected: %v", err)
+	}
+	if _, err := ParseDocument(dtd, `<doc n="twelve">x</doc>`); err == nil {
+		t.Error("non-number accepted")
+	}
+}
+
+func TestEntityAttributeValidation(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!ENTITY pic SYSTEM "/img/pic">
+<!ELEMENT doc - - (#PCDATA)>
+<!ATTLIST doc file ENTITY #IMPLIED>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseDocument(dtd, `<doc file="pic">x</doc>`); err != nil {
+		t.Errorf("declared entity rejected: %v", err)
+	}
+	if _, err := ParseDocument(dtd, `<doc file="nope">x</doc>`); err == nil {
+		t.Error("undeclared entity accepted")
+	}
+}
+
+func TestParameterEntityInsideLiteral(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!ENTITY % org "INRIA">
+<!ENTITY lab "at %org; labs">
+<!ELEMENT doc - - (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := dtd.Entity("lab")
+	if e.Text != "at INRIA labs" {
+		t.Errorf("parameter entity in literal = %q", e.Text)
+	}
+	// Unknown parameter entities are left intact.
+	dtd2, err := ParseDTD(`
+<!ENTITY odd "100%% done">
+<!ELEMENT doc - - (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := dtd2.Entity("odd")
+	if !strings.Contains(e2.Text, "%") {
+		t.Errorf("percent mangled: %q", e2.Text)
+	}
+}
+
+func TestDerivAndFirstOnKeywordModels(t *testing.T) {
+	// Empty / AnyContent / epsilon corner behaviours.
+	e := Empty{}
+	if len(e.deriv("x")) != 0 {
+		t.Error("EMPTY derives nothing")
+	}
+	set := map[string]bool{}
+	e.first(set)
+	if len(set) != 0 {
+		t.Error("EMPTY has no first set")
+	}
+	a := AnyContent{}
+	if len(a.deriv("anything")) != 1 {
+		t.Error("ANY derives itself")
+	}
+	eps := epsilon{}
+	if !eps.nullable() || len(eps.deriv("x")) != 0 || eps.String() != "()" {
+		t.Error("epsilon behaviour")
+	}
+	set2 := map[string]bool{}
+	eps.first(set2)
+	if len(set2) != 0 {
+		t.Error("epsilon first")
+	}
+	m := NewMatcher(Seq{Items: []ContentModel{Name{"a"}}})
+	if m.Model().String() != "(a)" && m.Model().String() != "a" {
+		t.Errorf("Model = %s", m.Model())
+	}
+}
+
+func TestSeqOfAndOfNormalisation(t *testing.T) {
+	// seqOf flattens nested sequences and drops epsilons.
+	s := seqOf([]ContentModel{epsilon{}, Seq{Items: []ContentModel{Name{"a"}, Name{"b"}}}, epsilon{}})
+	if s.String() != "(a, b)" {
+		t.Errorf("seqOf = %s", s)
+	}
+	if _, ok := seqOf([]ContentModel{epsilon{}}).(epsilon); !ok {
+		t.Error("all-epsilon seq is epsilon")
+	}
+	if got := seqOf([]ContentModel{Name{"x"}}); got.String() != "x" {
+		t.Errorf("singleton seq = %s", got)
+	}
+	a := andOf([]ContentModel{epsilon{}, Name{"a"}})
+	if a.String() != "a" {
+		t.Errorf("andOf singleton = %s", a)
+	}
+	if _, ok := andOf(nil).(epsilon); !ok {
+		t.Error("empty and is epsilon")
+	}
+}
+
+func TestDTDStringIncludesEntities(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!ENTITY a "text">
+<!ENTITY % p "stuff">
+<!ENTITY e SYSTEM "/x" NDATA gif>
+<!ELEMENT doc - - (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dtd.String()
+	for _, want := range []string{`<!ENTITY a "text">`, `<!ENTITY % p "stuff">`,
+		`<!ENTITY e SYSTEM "/x" NDATA gif>`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestImpliedStartWithNestedData(t *testing.T) {
+	// Data arriving where a required omissible-start element with PCDATA
+	// content is expected implies that element's start tag.
+	dtd, err := ParseDTD(`
+<!ELEMENT entry - - (term, def)>
+<!ELEMENT term - O (#PCDATA)>
+<!ELEMENT def O O (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseDocument(dtd, `<entry><term>word</term>the definition</entry>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := doc.Root.ChildElements()
+	if len(kids) != 2 || kids[1].Name != "def" || !kids[1].Implied {
+		t.Fatalf("children = %v", kids)
+	}
+	if kids[1].Text() != "the definition" {
+		t.Errorf("def text = %q", kids[1].Text())
+	}
+}
+
+func TestXMLStyleEmptyElementTolerated(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!ELEMENT doc - - (img, #PCDATA)>
+<!ELEMENT img - O EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseDocument(dtd, `<doc><img/>caption</doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Root.ChildElements()) != 1 {
+		t.Error("img lost")
+	}
+}
+
+func TestDocumentErrorsMore(t *testing.T) {
+	dtd, err := ParseDTD(`<!ELEMENT doc - - (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []string{
+		`<doc>unterminated comment <!-- oops</doc>`,
+		`<doc`,                        // unterminated start tag
+		`<doc><?pi never closed`,      // unterminated PI
+		`<doc>text</doc><doc>x</doc>`, // two document elements
+		`<doc x=">y</doc>`,            // unterminated attribute value... actually consumes to quote
+	}
+	for _, src := range cases {
+		if _, err := ParseDocument(dtd, src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}

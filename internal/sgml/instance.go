@@ -1,0 +1,756 @@
+package sgml
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Node is a node of the parsed document tree: an *Element or a Text run.
+type Node interface{ node() }
+
+// Text is a run of character data.
+type Text string
+
+func (Text) node() {}
+
+// Attr is one specified (or defaulted) attribute of an element.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Element is a document element: its (lower-cased) generic identifier, its
+// attributes and its content in document order.
+type Element struct {
+	Name     string
+	Attrs    []Attr
+	Children []Node
+	// Implied records that the start tag was omitted in the source and
+	// inferred from the content model.
+	Implied bool
+}
+
+func (*Element) node() {}
+
+// Attr returns the value of the named attribute and whether it was
+// specified or defaulted.
+func (e *Element) Attr(name string) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// ChildElements returns the element children in order.
+func (e *Element) ChildElements() []*Element {
+	var out []*Element
+	for _, c := range e.Children {
+		if el, ok := c.(*Element); ok {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// Text returns the concatenated character data of the element and its
+// descendants, in document order — the inverse mapping the paper's text()
+// operator relies on (Section 4.2).
+func (e *Element) Text() string {
+	var b strings.Builder
+	var walk func(n Node)
+	walk = func(n Node) {
+		switch x := n.(type) {
+		case Text:
+			b.WriteString(string(x))
+		case *Element:
+			for _, c := range x.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(e)
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// String renders the element as normalised SGML with all tags explicit.
+func (e *Element) String() string {
+	var b strings.Builder
+	e.write(&b)
+	return b.String()
+}
+
+func (e *Element) write(b *strings.Builder) {
+	b.WriteByte('<')
+	b.WriteString(e.Name)
+	for _, a := range e.Attrs {
+		fmt.Fprintf(b, " %s=%q", a.Name, a.Value)
+	}
+	b.WriteByte('>')
+	for _, c := range e.Children {
+		switch x := c.(type) {
+		case Text:
+			b.WriteString(string(x))
+		case *Element:
+			x.write(b)
+		}
+	}
+	b.WriteString("</")
+	b.WriteString(e.Name)
+	b.WriteByte('>')
+}
+
+// Document is a parsed, validated document instance together with its DTD
+// and the resolved ID map.
+type Document struct {
+	DTD  *DTD
+	Root *Element
+	// IDs maps ID attribute values to the elements carrying them.
+	IDs map[string]*Element
+}
+
+// ParseDocument parses and validates src against the DTD. The source may
+// include its own <!DOCTYPE ...> prologue (ignored in favour of dtd if both
+// given; if dtd is nil the prologue is parsed and used). Omitted end tags
+// are inferred wherever the DTD marks them omissible and the content model
+// makes the closing unambiguous; start tags are inferred when the model
+// requires exactly one element next and that element's start tag is
+// omissible.
+func ParseDocument(dtd *DTD, src string) (*Document, error) {
+	// Split off a prologue when present.
+	body := src
+	if i := indexDoctype(src); i >= 0 {
+		end, err := doctypeEnd(src, i)
+		if err != nil {
+			return nil, err
+		}
+		if dtd == nil {
+			d, err := ParseDTD(src[i:end])
+			if err != nil {
+				return nil, err
+			}
+			dtd = d
+		}
+		body = src[end:]
+	}
+	if dtd == nil {
+		return nil, fmt.Errorf("sgml: no DTD supplied and none found in the document")
+	}
+	p := &instParser{src: body, dtd: dtd}
+	root, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	doc := &Document{DTD: dtd, Root: root, IDs: make(map[string]*Element)}
+	if err := doc.resolveIDs(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// indexDoctype finds the start of a <!DOCTYPE prologue, if any.
+func indexDoctype(s string) int {
+	up := strings.ToUpper(s)
+	return strings.Index(up, "<!DOCTYPE")
+}
+
+// doctypeEnd returns the index just past the ]> of the prologue starting
+// at i.
+func doctypeEnd(s string, i int) (int, error) {
+	depth := 0
+	inLiteral := byte(0)
+	for j := i; j < len(s); j++ {
+		c := s[j]
+		if inLiteral != 0 {
+			if c == inLiteral {
+				inLiteral = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			inLiteral = c
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth == 0 {
+				return j + 1, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("sgml: unterminated DOCTYPE prologue")
+}
+
+// maxNesting bounds the element stack; it exists to turn pathological
+// recursive start-tag inference into an error instead of a hang.
+const maxNesting = 500
+
+// instParser parses the document body with DTD-driven tag inference.
+type instParser struct {
+	src string
+	pos int
+	dtd *DTD
+}
+
+type openElem struct {
+	elem    *Element
+	matcher *Matcher
+	decl    *ElementDecl
+}
+
+func (p *instParser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:min(p.pos, len(p.src))], "\n")
+	return fmt.Errorf("sgml: document line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *instParser) parse() (*Element, error) {
+	var stack []openElem
+	var root *Element
+
+	closeTop := func() error {
+		top := stack[len(stack)-1]
+		if !top.matcher.Complete() {
+			return p.errf("element %s closed with incomplete content; expected one of %v",
+				top.elem.Name, top.matcher.Next())
+		}
+		stack = stack[:len(stack)-1]
+		return nil
+	}
+
+	// push opens an element named name; it implies intermediate start tags
+	// and end tags as the content models dictate.
+	var push func(name string, attrs []Attr, implied bool) error
+	push = func(name string, attrs []Attr, implied bool) error {
+		decl, ok := p.dtd.Element(name)
+		if !ok {
+			return p.errf("undeclared element %s", name)
+		}
+		if len(stack) > maxNesting {
+			return p.errf("nesting deeper than %d (recursive start-tag inference?)", maxNesting)
+		}
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if top.matcher.CanStep(name) {
+				break
+			}
+			// Try implying a start tag of a uniquely required element.
+			if req, ok := top.matcher.Required(); ok {
+				reqDecl, okd := p.dtd.Element(req)
+				if okd && reqDecl.OmitStart && req != name {
+					if err := push(req, nil, true); err != nil {
+						return err
+					}
+					continue
+				}
+			}
+			// Otherwise close the top element if its end tag may be omitted.
+			if top.decl.OmitEnd && top.matcher.Complete() {
+				if err := closeTop(); err != nil {
+					return err
+				}
+				continue
+			}
+			return p.errf("element %s is not allowed in %s here; expected one of %v",
+				name, top.elem.Name, top.matcher.Next())
+		}
+		if len(stack) == 0 {
+			if root != nil {
+				return p.errf("content after the document element")
+			}
+			if name != p.dtd.Name {
+				return p.errf("document element is %s, DTD declares %s", name, p.dtd.Name)
+			}
+		} else {
+			top := stack[len(stack)-1]
+			top.matcher.Step(name)
+		}
+		el := &Element{Name: name, Implied: implied}
+		el.Attrs = defaultedAttrs(decl, attrs)
+		if err := checkAttrs(decl, el.Attrs, p.dtd); err != nil {
+			return p.errf("%v", err)
+		}
+		if len(stack) == 0 {
+			root = el
+		} else {
+			top := stack[len(stack)-1]
+			top.elem.Children = append(top.elem.Children, el)
+		}
+		stack = append(stack, openElem{elem: el, matcher: NewMatcher(decl.Content), decl: decl})
+		// EMPTY elements close immediately.
+		if _, empty := decl.Content.(Empty); empty {
+			return closeTop()
+		}
+		return nil
+	}
+
+	addText := func(text string) error {
+		if strings.TrimSpace(text) == "" {
+			// Whitespace between tags is record-structure noise, not data.
+			return nil
+		}
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if top.matcher.CanStep(PCDataSymbol) {
+				top.matcher.Step(PCDataSymbol)
+				top.elem.Children = append(top.elem.Children, Text(text))
+				return nil
+			}
+			// Imply a required omissible start tag that can hold data
+			// (e.g. an omitted <caption> before its text).
+			if req, ok := top.matcher.Required(); ok {
+				reqDecl, okd := p.dtd.Element(req)
+				if okd && reqDecl.OmitStart {
+					if err := push(req, nil, true); err != nil {
+						return err
+					}
+					continue
+				}
+			}
+			if top.decl.OmitEnd && top.matcher.Complete() {
+				if err := closeTop(); err != nil {
+					return err
+				}
+				continue
+			}
+			return p.errf("character data not allowed in element %s", top.elem.Name)
+		}
+		return p.errf("character data outside the document element")
+	}
+
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '<' {
+			switch {
+			case strings.HasPrefix(p.src[p.pos:], "<!--"):
+				end := strings.Index(p.src[p.pos+4:], "-->")
+				if end < 0 {
+					return nil, p.errf("unterminated comment")
+				}
+				p.pos += 4 + end + 3
+			case strings.HasPrefix(p.src[p.pos:], "<?"):
+				end := strings.Index(p.src[p.pos:], ">")
+				if end < 0 {
+					return nil, p.errf("unterminated processing instruction")
+				}
+				p.pos += end + 1
+			case strings.HasPrefix(p.src[p.pos:], "</"):
+				p.pos += 2
+				name, err := p.tagName()
+				if err != nil {
+					return nil, err
+				}
+				p.skipToGT()
+				// Close implied elements above the named one.
+				found := false
+				for i := len(stack) - 1; i >= 0; i-- {
+					if stack[i].elem.Name == name {
+						found = true
+						break
+					}
+					if !stack[i].decl.OmitEnd {
+						return nil, p.errf("end tag </%s> closes %s whose end tag is not omissible",
+							name, stack[i].elem.Name)
+					}
+				}
+				if !found {
+					return nil, p.errf("end tag </%s> matches no open element", name)
+				}
+				for {
+					top := stack[len(stack)-1]
+					if err := closeTop(); err != nil {
+						return nil, err
+					}
+					if top.elem.Name == name {
+						break
+					}
+				}
+			default:
+				p.pos++
+				name, err := p.tagName()
+				if err != nil {
+					return nil, err
+				}
+				attrs, err := p.attributes()
+				if err != nil {
+					return nil, err
+				}
+				if err := push(name, attrs, false); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		// Character data up to the next tag.
+		next := strings.IndexByte(p.src[p.pos:], '<')
+		var raw string
+		if next < 0 {
+			raw = p.src[p.pos:]
+			p.pos = len(p.src)
+		} else {
+			raw = p.src[p.pos : p.pos+next]
+			p.pos += next
+		}
+		text, err := p.expandEntities(raw)
+		if err != nil {
+			return nil, err
+		}
+		if err := addText(text); err != nil {
+			return nil, err
+		}
+	}
+	if root == nil {
+		return nil, p.errf("empty document")
+	}
+	// Close any remaining open elements, which must all be omissible and
+	// complete.
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		if !top.decl.OmitEnd {
+			return nil, p.errf("unclosed element %s (end tag not omissible)", top.elem.Name)
+		}
+		if err := closeTop(); err != nil {
+			return nil, err
+		}
+	}
+	return root, nil
+}
+
+func (p *instParser) tagName() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isNameChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected a tag name")
+	}
+	return strings.ToLower(p.src[start:p.pos]), nil
+}
+
+func (p *instParser) skipWS() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *instParser) skipToGT() {
+	for p.pos < len(p.src) && p.src[p.pos] != '>' {
+		p.pos++
+	}
+	if p.pos < len(p.src) {
+		p.pos++
+	}
+}
+
+// attributes parses name="value" pairs up to '>'. SGML also allows
+// minimised attributes: a bare value (for enumerated types, e.g.
+// <article final>) and unquoted token values.
+func (p *instParser) attributes() ([]Attr, error) {
+	var attrs []Attr
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated start tag")
+		}
+		if p.src[p.pos] == '>' {
+			p.pos++
+			return attrs, nil
+		}
+		if p.src[p.pos] == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '>' {
+			// XML-style empty-element tag; tolerated.
+			p.pos += 2
+			return attrs, nil
+		}
+		start := p.pos
+		for p.pos < len(p.src) && isNameChar(p.src[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, p.errf("malformed attribute at %q", snippet(p.src[p.pos:]))
+		}
+		name := strings.ToLower(p.src[start:p.pos])
+		p.skipWS()
+		if p.pos < len(p.src) && p.src[p.pos] == '=' {
+			p.pos++
+			p.skipWS()
+			var val string
+			if p.pos < len(p.src) && (p.src[p.pos] == '"' || p.src[p.pos] == '\'') {
+				q := p.src[p.pos]
+				p.pos++
+				vs := p.pos
+				for p.pos < len(p.src) && p.src[p.pos] != q {
+					p.pos++
+				}
+				if p.pos >= len(p.src) {
+					return nil, p.errf("unterminated attribute literal")
+				}
+				val = p.src[vs:p.pos]
+				p.pos++
+			} else {
+				vs := p.pos
+				for p.pos < len(p.src) && isNameChar(p.src[p.pos]) {
+					p.pos++
+				}
+				val = p.src[vs:p.pos]
+			}
+			expanded, err := p.expandEntities(val)
+			if err != nil {
+				return nil, err
+			}
+			attrs = append(attrs, Attr{Name: name, Value: expanded})
+		} else {
+			// Minimised form: bare enumerated value.
+			attrs = append(attrs, Attr{Name: "", Value: name})
+		}
+	}
+}
+
+// expandEntities substitutes general entity references &name; and numeric
+// character references &#n;.
+func (p *instParser) expandEntities(s string) (string, error) {
+	if !strings.Contains(s, "&") {
+		return s, nil
+	}
+	var b strings.Builder
+	i := 0
+	for i < len(s) {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		j := i + 1
+		if j < len(s) && s[j] == '#' {
+			j++
+			ns := j
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			if ns == j {
+				b.WriteByte('&')
+				i++
+				continue
+			}
+			n, _ := strconv.Atoi(s[ns:j])
+			b.WriteRune(rune(n))
+			if j < len(s) && s[j] == ';' {
+				j++
+			}
+			i = j
+			continue
+		}
+		ns := j
+		for j < len(s) && isNameChar(s[j]) {
+			j++
+		}
+		if ns == j {
+			b.WriteByte('&')
+			i++
+			continue
+		}
+		name := s[ns:j]
+		if j < len(s) && s[j] == ';' {
+			j++
+		}
+		switch name {
+		case "amp":
+			b.WriteByte('&')
+		case "lt":
+			b.WriteByte('<')
+		case "gt":
+			b.WriteByte('>')
+		case "quot":
+			b.WriteByte('"')
+		case "apos":
+			b.WriteByte('\'')
+		default:
+			ent, ok := p.dtd.Entity(name)
+			if !ok {
+				return "", p.errf("undeclared entity &%s;", name)
+			}
+			switch ent.Kind {
+			case EntityInternal:
+				b.WriteString(ent.Text)
+			case EntityExternal:
+				// External data entities stand for themselves (e.g. image
+				// files); keep the reference textual.
+				b.WriteString(ent.SystemID)
+			default:
+				return "", p.errf("parameter entity &%s; used in content", name)
+			}
+		}
+		i = j
+	}
+	return b.String(), nil
+}
+
+// defaultedAttrs merges specified attributes with ATTLIST defaults: the
+// minimised bare-value form is resolved against enumerated types, #FIXED
+// values are enforced and declared defaults filled in.
+func defaultedAttrs(decl *ElementDecl, specified []Attr) []Attr {
+	var out []Attr
+	used := map[string]bool{}
+	for _, a := range specified {
+		if a.Name == "" {
+			// Bare value: find the enumerated attribute admitting it.
+			for _, def := range decl.Attrs {
+				if def.Type == AttEnum {
+					for _, tok := range def.Enum {
+						if strings.EqualFold(tok, a.Value) {
+							out = append(out, Attr{Name: def.Name, Value: strings.ToLower(a.Value)})
+							used[def.Name] = true
+						}
+					}
+				}
+			}
+			continue
+		}
+		out = append(out, a)
+		used[a.Name] = true
+	}
+	for _, def := range decl.Attrs {
+		if used[def.Name] {
+			continue
+		}
+		switch def.Default {
+		case DefaultValue, DefaultFixed:
+			out = append(out, Attr{Name: def.Name, Value: def.Value})
+		}
+	}
+	return out
+}
+
+// checkAttrs validates specified attributes against the declarations.
+func checkAttrs(decl *ElementDecl, attrs []Attr, dtd *DTD) error {
+	for _, a := range attrs {
+		def, ok := decl.Attr(a.Name)
+		if !ok {
+			return fmt.Errorf("element %s has no attribute %s", decl.Name, a.Name)
+		}
+		switch def.Type {
+		case AttEnum:
+			ok := false
+			for _, tok := range def.Enum {
+				if strings.EqualFold(tok, a.Value) {
+					ok = true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("attribute %s of %s must be one of %v, got %q",
+					a.Name, decl.Name, def.Enum, a.Value)
+			}
+		case AttNUMBER:
+			if _, err := strconv.Atoi(a.Value); err != nil {
+				return fmt.Errorf("attribute %s of %s must be a number, got %q", a.Name, decl.Name, a.Value)
+			}
+		case AttENTITY:
+			if _, ok := dtd.Entity(a.Value); !ok {
+				return fmt.Errorf("attribute %s of %s references undeclared entity %q",
+					a.Name, decl.Name, a.Value)
+			}
+		}
+		if def.Default == DefaultFixed && a.Value != def.Value {
+			return fmt.Errorf("attribute %s of %s is #FIXED %q", a.Name, decl.Name, def.Value)
+		}
+	}
+	for _, def := range decl.Attrs {
+		if def.Default != DefaultRequired {
+			continue
+		}
+		found := false
+		for _, a := range attrs {
+			if a.Name == def.Name {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("element %s is missing required attribute %s", decl.Name, def.Name)
+		}
+	}
+	return nil
+}
+
+// resolveIDs indexes ID attributes and verifies IDREF targets.
+func (d *Document) resolveIDs() error {
+	var dangling []string
+	var walk func(e *Element) error
+	var checks []func() error
+	walk = func(e *Element) error {
+		decl, _ := d.DTD.Element(e.Name)
+		for _, a := range e.Attrs {
+			def, ok := decl.Attr(a.Name)
+			if !ok {
+				continue
+			}
+			switch def.Type {
+			case AttID:
+				if prev, dup := d.IDs[a.Value]; dup && prev != e {
+					return fmt.Errorf("sgml: duplicate ID %q", a.Value)
+				}
+				d.IDs[a.Value] = e
+			case AttIDREF:
+				v := a.Value
+				checks = append(checks, func() error {
+					if _, ok := d.IDs[v]; !ok {
+						dangling = append(dangling, v)
+					}
+					return nil
+				})
+			case AttIDREFS:
+				for _, v := range strings.Fields(a.Value) {
+					v := v
+					checks = append(checks, func() error {
+						if _, ok := d.IDs[v]; !ok {
+							dangling = append(dangling, v)
+						}
+						return nil
+					})
+				}
+			}
+		}
+		for _, c := range e.ChildElements() {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(d.Root); err != nil {
+		return err
+	}
+	for _, c := range checks {
+		if err := c(); err != nil {
+			return err
+		}
+	}
+	if len(dangling) > 0 {
+		return fmt.Errorf("sgml: dangling IDREF(s) %v", dangling)
+	}
+	return nil
+}
+
+// ElementsByName returns every element with the given name in document
+// order.
+func (d *Document) ElementsByName(name string) []*Element {
+	name = strings.ToLower(name)
+	var out []*Element
+	var walk func(e *Element)
+	walk = func(e *Element) {
+		if e.Name == name {
+			out = append(out, e)
+		}
+		for _, c := range e.ChildElements() {
+			walk(c)
+		}
+	}
+	walk(d.Root)
+	return out
+}

@@ -1,0 +1,351 @@
+package sgml
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func loadFigure2(t *testing.T) *Document {
+	t.Helper()
+	dtd := loadFigure1(t)
+	src, err := os.ReadFile("../../testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseDocument(dtd, string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestFigure2Document reproduces experiment F2: parsing the paper's
+// Figure 2 instance, whose author/affil/abstract/acknowl end tags are
+// omitted as the DTD's "- O" minimisation permits.
+func TestFigure2Document(t *testing.T) {
+	doc := loadFigure2(t)
+	root := doc.Root
+	if root.Name != "article" {
+		t.Fatalf("root = %s", root.Name)
+	}
+	if v, _ := root.Attr("status"); v != "final" {
+		t.Errorf("status = %q", v)
+	}
+	kids := root.ChildElements()
+	names := make([]string, len(kids))
+	for i, k := range kids {
+		names[i] = k.Name
+	}
+	want := []string{"title", "author", "author", "author", "author",
+		"affil", "abstract", "section", "section", "acknowl"}
+	if len(names) != len(want) {
+		t.Fatalf("children = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("children = %v, want %v", names, want)
+		}
+	}
+	if got := kids[0].Text(); got != "From Structured Documents to Novel Query Facilities" {
+		t.Errorf("title text = %q", got)
+	}
+	if got := kids[1].Text(); got != "V. Christophides" {
+		t.Errorf("author text = %q", got)
+	}
+	// Sections: title + one body with one paragr.
+	sec := kids[7]
+	secKids := sec.ChildElements()
+	if len(secKids) != 2 || secKids[0].Name != "title" || secKids[1].Name != "body" {
+		t.Fatalf("section children: %v", secKids)
+	}
+	if got := secKids[0].Text(); got != "Introduction" {
+		t.Errorf("section title = %q", got)
+	}
+	par := secKids[1].ChildElements()
+	if len(par) != 1 || par[0].Name != "paragr" {
+		t.Fatalf("body children")
+	}
+	if !strings.Contains(par[0].Text(), "organized as follows") {
+		t.Errorf("paragraph text = %q", par[0].Text())
+	}
+	// The document-wide text extraction.
+	if !strings.Contains(root.Text(), "SGML preliminaries") {
+		t.Error("document Text()")
+	}
+}
+
+func TestDocumentWithInlineDoctype(t *testing.T) {
+	src := `<!DOCTYPE memo [
+<!ELEMENT memo - - (para+)>
+<!ELEMENT para - O (#PCDATA)>
+]>
+<memo><para>hello<para>world</memo>`
+	doc, err := ParseDocument(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := doc.Root.ChildElements()
+	if len(ps) != 2 || ps[0].Text() != "hello" || ps[1].Text() != "world" {
+		t.Errorf("paras = %v", ps)
+	}
+	if _, err := ParseDocument(nil, `<memo>x</memo>`); err == nil {
+		t.Error("no DTD anywhere must fail")
+	}
+}
+
+func TestOmittedStartTagInference(t *testing.T) {
+	// caption is declared O O: its start tag may be implied when the
+	// model requires it.
+	dtd, err := ParseDTD(`
+<!ELEMENT fig - - (picture, caption)>
+<!ELEMENT picture - O EMPTY>
+<!ELEMENT caption O O (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseDocument(dtd, `<fig><picture>the caption text</fig>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := doc.Root.ChildElements()
+	if len(kids) != 2 || kids[1].Name != "caption" {
+		t.Fatalf("children = %v", kids)
+	}
+	if !kids[1].Implied {
+		t.Error("caption start tag must be marked implied")
+	}
+	if got := kids[1].Text(); got != "the caption text" {
+		t.Errorf("caption text = %q", got)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	dtd := loadFigure1(t)
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"wrong document element", `<title>x</title>`},
+		{"undeclared element", `<article status="final"><bogus></bogus></article>`},
+		{"incomplete content", `<article status="final"><title>t</title></article>`},
+		{"element out of order", `<article><author>a<title>t</title></article>`},
+		{"bad enum value", `<article status="published"><title>t</title></article>`},
+		{"undeclared attribute", `<article color="red"><title>t</title></article>`},
+		{"unclosed non-omissible", `<article status="final"><title>t</title>`},
+		{"data where forbidden", `<article>stray text</article>`},
+		{"mismatched end tag", `<article><title>t</wrong></article>`},
+		{"empty document", `   `},
+	}
+	for _, c := range cases {
+		if _, err := ParseDocument(dtd, c.src); err == nil {
+			t.Errorf("%s: invalid document accepted", c.name)
+		}
+	}
+}
+
+func TestAttributeDefaulting(t *testing.T) {
+	dtd := loadFigure1(t)
+	src := `<article>
+<title>t</title><author>a<affil>f<abstract>ab
+<section><title>s</title>
+<body><figure label="f1"><picture></figure></body>
+</section>
+<acknowl>ack
+</article>`
+	doc, err := ParseDocument(dtd, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// article status defaults to draft.
+	if v, ok := doc.Root.Attr("status"); !ok || v != "draft" {
+		t.Errorf("defaulted status = %q %v", v, ok)
+	}
+	// picture sizex defaults to 16cm; sizey (#IMPLIED) stays absent.
+	pics := doc.ElementsByName("picture")
+	if len(pics) != 1 {
+		t.Fatal("picture count")
+	}
+	if v, ok := pics[0].Attr("sizex"); !ok || v != "16cm" {
+		t.Errorf("sizex = %q", v)
+	}
+	if _, ok := pics[0].Attr("sizey"); ok {
+		t.Error("sizey must stay absent")
+	}
+	// figure captured the ID.
+	if doc.IDs["f1"] == nil || doc.IDs["f1"].Name != "figure" {
+		t.Error("ID index")
+	}
+}
+
+func TestMinimisedEnumAttribute(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!ELEMENT doc - - (#PCDATA)>
+<!ATTLIST doc status (final | draft) draft>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SGML minimised attribute: <doc final> means status="final".
+	doc, err := ParseDocument(dtd, `<doc final>x</doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := doc.Root.Attr("status"); v != "final" {
+		t.Errorf("minimised attribute = %q", v)
+	}
+}
+
+func TestIDREFResolution(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!ELEMENT doc - - (fig+, para+)>
+<!ELEMENT fig - O EMPTY>
+<!ATTLIST fig label ID #REQUIRED>
+<!ELEMENT para - O (#PCDATA)>
+<!ATTLIST para ref IDREF #IMPLIED
+               refs IDREFS #IMPLIED>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseDocument(dtd, `<doc><fig label="a"><fig label="b"><para ref="a">x<para refs="a b">y</doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.IDs) != 2 {
+		t.Errorf("IDs = %v", doc.IDs)
+	}
+	if _, err := ParseDocument(dtd, `<doc><fig label="a"><para ref="zz">x</doc>`); err == nil {
+		t.Error("dangling IDREF accepted")
+	}
+	if _, err := ParseDocument(dtd, `<doc><fig label="a"><fig label="a"><para>x</doc>`); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if _, err := ParseDocument(dtd, `<doc><fig label="a"><para refs="a zz">x</doc>`); err == nil {
+		t.Error("dangling IDREFS accepted")
+	}
+	// Missing #REQUIRED attribute.
+	if _, err := ParseDocument(dtd, `<doc><fig><para>x</doc>`); err == nil {
+		t.Error("missing required attribute accepted")
+	}
+}
+
+func TestEntitySubstitution(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!ENTITY lab "I.N.R.I.A.">
+<!ENTITY img SYSTEM "/images/one">
+<!ELEMENT doc - - (#PCDATA)>
+<!ATTLIST doc file CDATA #IMPLIED>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseDocument(dtd, `<doc file="&img;">Work done at &lab; &amp; CNAM &#33;</doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root.Text(); got != "Work done at I.N.R.I.A. & CNAM !" {
+		t.Errorf("text = %q", got)
+	}
+	if v, _ := doc.Root.Attr("file"); v != "/images/one" {
+		t.Errorf("external entity in attribute = %q", v)
+	}
+	if _, err := ParseDocument(dtd, `<doc>&undeclared;</doc>`); err == nil {
+		t.Error("undeclared entity accepted")
+	}
+	// Standard character entities need no declaration.
+	doc2, err := ParseDocument(dtd, `<doc>&lt;tag&gt; &quot;q&quot; &apos;a&apos;</doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc2.Root.Text(); got != `<tag> "q" 'a'` {
+		t.Errorf("char entities = %q", got)
+	}
+}
+
+func TestCommentsAndPIsInInstance(t *testing.T) {
+	dtd, _ := ParseDTD(`<!ELEMENT doc - - (#PCDATA)>`)
+	doc, err := ParseDocument(dtd, `<doc><!-- note -->text<?pi stuff?> more</doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root.Text(); got != "text more" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestAndConnectorDocument(t *testing.T) {
+	dtd, err := ParseDTD(`
+<!ELEMENT letter - - (preamble, content)>
+<!ELEMENT preamble - O (to & from)>
+<!ELEMENT to - O (#PCDATA)>
+<!ELEMENT from - O (#PCDATA)>
+<!ELEMENT content - O (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{
+		`<letter><preamble><to>Alice<from>Bob</preamble><content>hi</letter>`,
+		`<letter><preamble><from>Bob<to>Alice</preamble><content>hi</letter>`,
+	} {
+		doc, err := ParseDocument(dtd, src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		pre := doc.Root.ChildElements()[0]
+		if len(pre.ChildElements()) != 2 {
+			t.Error("preamble children")
+		}
+	}
+	if _, err := ParseDocument(dtd, `<letter><preamble><to>A</preamble><content>x</letter>`); err == nil {
+		t.Error("missing & member accepted")
+	}
+}
+
+func TestElementStringNormalises(t *testing.T) {
+	doc := loadFigure2(t)
+	out := doc.Root.String()
+	// All tags explicit in the normalised rendering.
+	if strings.Count(out, "</author>") != 4 {
+		t.Errorf("normalised output must close all authors:\n%s", out)
+	}
+	if !strings.HasPrefix(out, `<article status="final">`) {
+		t.Errorf("prefix = %.60s", out)
+	}
+	// The rendering re-parses to the same structure.
+	doc2, err := ParseDocument(doc.DTD, out)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(doc2.Root.ChildElements()) != len(doc.Root.ChildElements()) {
+		t.Error("round trip changed structure")
+	}
+}
+
+func TestDoctypePrologueSplitting(t *testing.T) {
+	if i := indexDoctype(`  <!doctype x [`); i != 2 {
+		t.Errorf("indexDoctype = %d", i)
+	}
+	if _, err := doctypeEnd(`<!DOCTYPE x [ <!ELEMENT`, 0); err == nil {
+		t.Error("unterminated prologue accepted")
+	}
+	end, err := doctypeEnd(`<!DOCTYPE x [ <!ELEMENT y - - (#PCDATA)> ]> <y>`, 0)
+	if err != nil || !strings.HasPrefix(`<!DOCTYPE x [ <!ELEMENT y - - (#PCDATA)> ]> <y>`[end:], " <y>") {
+		t.Errorf("doctypeEnd = %d %v", end, err)
+	}
+}
+
+func TestDeepNestingGuard(t *testing.T) {
+	dtd, err := ParseDTD(`<!ELEMENT box - - (box | #PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for i := 0; i < maxNesting+10; i++ {
+		b.WriteString("<box>")
+	}
+	b.WriteString("x")
+	for i := 0; i < maxNesting+10; i++ {
+		b.WriteString("</box>")
+	}
+	if _, err := ParseDocument(dtd, b.String()); err == nil {
+		t.Error("over-deep nesting accepted")
+	}
+}

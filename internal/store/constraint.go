@@ -1,0 +1,186 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+
+	"sgmldb/internal/object"
+)
+
+// Constraint is a class-level integrity constraint in the Figure 3
+// language. Constraints capture what SGML occurrence indicators and
+// attribute defaults say beyond the type: required components (!= nil),
+// non-empty repetitions (!= list()), enumerated attribute ranges
+// (in set("final", "draft")), and disjunctions over union alternatives.
+type Constraint interface {
+	// Holds evaluates the constraint against the (union-unwrapped) value
+	// of an object of the constrained class. deref resolves oids so that
+	// constraints can look through references; it may be nil.
+	Holds(v object.Value, deref func(object.OID) (object.Value, bool)) bool
+	String() string
+}
+
+// fieldValue resolves a dotted attribute path like "a1.title" against a
+// tuple or marked-union value. It returns the value and whether every step
+// resolved.
+func fieldValue(v object.Value, path string) (object.Value, bool) {
+	cur := v
+	for _, step := range strings.Split(path, ".") {
+		switch x := cur.(type) {
+		case *object.Tuple:
+			next, ok := x.Get(step)
+			if !ok {
+				return nil, false
+			}
+			cur = next
+		case *object.Union_:
+			if x.Marker != step {
+				// Implicit selection: skip the marker if the step matches
+				// inside it instead.
+				inner, ok := fieldValue(x.Value, step)
+				if !ok {
+					return nil, false
+				}
+				cur = inner
+				continue
+			}
+			cur = x.Value
+		default:
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// NotNil is the constraint "attr != nil". For attributes of class type it
+// also requires the referenced object to exist when deref is supplied.
+type NotNil struct{ Attr string }
+
+// Holds implements Constraint.
+func (c NotNil) Holds(v object.Value, deref func(object.OID) (object.Value, bool)) bool {
+	fv, ok := fieldValue(v, c.Attr)
+	if !ok {
+		return false
+	}
+	if object.IsNil(fv) {
+		return false
+	}
+	if o, isOID := fv.(object.OID); isOID && deref != nil {
+		_, exists := deref(o)
+		return exists
+	}
+	return true
+}
+
+func (c NotNil) String() string { return c.Attr + " != nil" }
+
+// NotEmptyList is the constraint "attr != list()" generated for "+"
+// occurrence indicators.
+type NotEmptyList struct{ Attr string }
+
+// Holds implements Constraint.
+func (c NotEmptyList) Holds(v object.Value, _ func(object.OID) (object.Value, bool)) bool {
+	fv, ok := fieldValue(v, c.Attr)
+	if !ok {
+		return false
+	}
+	l, ok := fv.(*object.List)
+	return ok && l.Len() > 0
+}
+
+func (c NotEmptyList) String() string { return c.Attr + " != list()" }
+
+// InSet is the constraint "attr in set(v₁, …, vₙ)" generated for enumerated
+// SGML attributes (e.g. status in set("final", "draft")).
+type InSet struct {
+	Attr   string
+	Values []object.Value
+}
+
+// Holds implements Constraint.
+func (c InSet) Holds(v object.Value, _ func(object.OID) (object.Value, bool)) bool {
+	fv, ok := fieldValue(v, c.Attr)
+	if !ok {
+		return false
+	}
+	for _, w := range c.Values {
+		if object.Equal(fv, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c InSet) String() string {
+	parts := make([]string, len(c.Values))
+	for i, w := range c.Values {
+		parts[i] = w.String()
+	}
+	return c.Attr + " in set(" + strings.Join(parts, ", ") + ")"
+}
+
+// OnAlt scopes a conjunction of constraints to one alternative of a union
+// type: it holds vacuously when the value is marked with a different
+// alternative (Figure 3's per-alternative constraint blocks on class
+// Section).
+type OnAlt struct {
+	Marker string
+	Inner  []Constraint
+}
+
+// Holds implements Constraint.
+func (c OnAlt) Holds(v object.Value, deref func(object.OID) (object.Value, bool)) bool {
+	u, ok := v.(*object.Union_)
+	if !ok || u.Marker != c.Marker {
+		return true
+	}
+	for _, inner := range c.Inner {
+		if !inner.Holds(u.Value, deref) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c OnAlt) String() string {
+	parts := make([]string, len(c.Inner))
+	for i, inner := range c.Inner {
+		parts[i] = c.Marker + "." + inner.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// AnyOf is a disjunction of constraints (Figure 3's
+// "figure != nil | paragr != nil" on class Body).
+type AnyOf struct{ Alts []Constraint }
+
+// Holds implements Constraint.
+func (c AnyOf) Holds(v object.Value, deref func(object.OID) (object.Value, bool)) bool {
+	for _, a := range c.Alts {
+		if a.Holds(v, deref) {
+			return true
+		}
+	}
+	return len(c.Alts) == 0
+}
+
+func (c AnyOf) String() string {
+	parts := make([]string, len(c.Alts))
+	for i, a := range c.Alts {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " | ")
+}
+
+// ConstraintViolation reports one failed constraint during instance
+// checking.
+type ConstraintViolation struct {
+	Class      string
+	OID        object.OID
+	Constraint Constraint
+}
+
+func (v ConstraintViolation) Error() string {
+	return fmt.Sprintf("store: object %s of class %s violates constraint %q",
+		v.OID, v.Class, v.Constraint)
+}

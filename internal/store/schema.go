@@ -1,0 +1,269 @@
+// Package store implements the schema and instance layer of Section 5.1:
+// schemas (C, σ, ≺, M, G) over the extended O₂ data model, instances
+// (π, ν, μ, γ) with disjoint per-class oid extents, the Figure 3 constraint
+// language, and snapshot persistence. It is the from-scratch substitute for
+// the O₂ OODBMS the paper targets: everything the query languages of
+// Sections 4–5 need is defined against this layer.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sgmldb/internal/object"
+)
+
+// MethodSig is a method signature in M. Methods are carried for
+// completeness, as in the paper ("we do not discuss methods here and
+// introduce them just for the sake of completeness"): the calculus treats
+// them as interpreted functions registered on the instance.
+type MethodSig struct {
+	Class  string        // receiver class
+	Name   string        // method name
+	Params []object.Type // parameter types
+	Result object.Type   // result type
+}
+
+// String renders the signature, e.g. "Article::text(): string".
+func (m MethodSig) String() string {
+	var b strings.Builder
+	b.WriteString(m.Class)
+	b.WriteString("::")
+	b.WriteString(m.Name)
+	b.WriteByte('(')
+	for i, p := range m.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(")")
+	if m.Result != nil {
+		b.WriteString(": ")
+		b.WriteString(m.Result.String())
+	}
+	return b.String()
+}
+
+// Schema is a 5-tuple (C, σ, ≺, M, G): a well-formed class hierarchy, a set
+// of method signatures and a set of named persistence roots with their
+// types.
+type Schema struct {
+	hierarchy   *object.Hierarchy
+	methods     []MethodSig
+	roots       map[string]object.Type // G with type(g)
+	rootOrder   []string
+	constraints map[string][]Constraint    // per class, Figure 3 style
+	private     map[string]map[string]bool // class -> private attribute names
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{
+		hierarchy:   object.NewHierarchy(),
+		roots:       make(map[string]object.Type),
+		constraints: make(map[string][]Constraint),
+		private:     make(map[string]map[string]bool),
+	}
+}
+
+// Hierarchy exposes the class hierarchy (C, σ, ≺).
+func (s *Schema) Hierarchy() *object.Hierarchy { return s.hierarchy }
+
+// AddClass declares a class with its type σ(name).
+func (s *Schema) AddClass(name string, typ object.Type) error {
+	return s.hierarchy.AddClass(name, typ)
+}
+
+// SetClassType replaces σ(name); used when compiling recursive DTDs.
+func (s *Schema) SetClassType(name string, typ object.Type) error {
+	return s.hierarchy.SetType(name, typ)
+}
+
+// AddInherits records c ≺ sup.
+func (s *Schema) AddInherits(c, sup string) error {
+	return s.hierarchy.AddInherits(c, sup)
+}
+
+// AddMethod registers a method signature in M.
+func (s *Schema) AddMethod(m MethodSig) error {
+	if !s.hierarchy.Has(m.Class) {
+		return fmt.Errorf("store: method %s on undeclared class %q", m.Name, m.Class)
+	}
+	s.methods = append(s.methods, m)
+	return nil
+}
+
+// Methods returns the method signatures.
+func (s *Schema) Methods() []MethodSig {
+	out := make([]MethodSig, len(s.methods))
+	copy(out, s.methods)
+	return out
+}
+
+// AddRoot declares a persistence root g ∈ G with its type.
+func (s *Schema) AddRoot(name string, typ object.Type) error {
+	if name == "" {
+		return fmt.Errorf("store: empty root name")
+	}
+	if _, ok := s.roots[name]; ok {
+		return fmt.Errorf("store: root %q already declared", name)
+	}
+	s.roots[name] = typ
+	s.rootOrder = append(s.rootOrder, name)
+	return nil
+}
+
+// RootType returns type(g) and whether g is declared.
+func (s *Schema) RootType(name string) (object.Type, bool) {
+	t, ok := s.roots[name]
+	return t, ok
+}
+
+// Roots returns the persistence root names in declaration order.
+func (s *Schema) Roots() []string {
+	out := make([]string, len(s.rootOrder))
+	copy(out, s.rootOrder)
+	return out
+}
+
+// AddConstraint attaches a Figure 3 style constraint to a class.
+func (s *Schema) AddConstraint(class string, c Constraint) error {
+	if !s.hierarchy.Has(class) {
+		return fmt.Errorf("store: constraint on undeclared class %q", class)
+	}
+	s.constraints[class] = append(s.constraints[class], c)
+	return nil
+}
+
+// Constraints returns the constraints declared on a class.
+func (s *Schema) Constraints(class string) []Constraint {
+	cs := s.constraints[class]
+	out := make([]Constraint, len(cs))
+	copy(out, cs)
+	return out
+}
+
+// MarkPrivate records that an attribute of a class is private (Figure 3's
+// "private status: string"). Private attributes are stored and queryable by
+// the engine but hidden from schema printing of the public type.
+func (s *Schema) MarkPrivate(class, attr string) error {
+	if !s.hierarchy.Has(class) {
+		return fmt.Errorf("store: private attribute on undeclared class %q", class)
+	}
+	m := s.private[class]
+	if m == nil {
+		m = make(map[string]bool)
+		s.private[class] = m
+	}
+	m[attr] = true
+	return nil
+}
+
+// IsPrivate reports whether class.attr was marked private.
+func (s *Schema) IsPrivate(class, attr string) bool {
+	return s.private[class][attr]
+}
+
+// Check validates the schema: the hierarchy must be well formed and root
+// types must only mention declared classes.
+func (s *Schema) Check() error {
+	if err := s.hierarchy.Check(); err != nil {
+		return err
+	}
+	for _, g := range s.rootOrder {
+		if err := s.checkTypeRefs(s.roots[g]); err != nil {
+			return fmt.Errorf("store: root %q: %w", g, err)
+		}
+	}
+	for _, c := range s.hierarchy.Classes() {
+		t, _ := s.hierarchy.TypeOf(c)
+		if err := s.checkTypeRefs(t); err != nil {
+			return fmt.Errorf("store: class %q: %w", c, err)
+		}
+	}
+	return nil
+}
+
+func (s *Schema) checkTypeRefs(t object.Type) error {
+	switch ty := t.(type) {
+	case object.ClassType:
+		if !s.hierarchy.Has(ty.Name) {
+			return fmt.Errorf("undeclared class %q in type", ty.Name)
+		}
+	case object.ListType:
+		return s.checkTypeRefs(ty.Elem)
+	case object.SetType:
+		return s.checkTypeRefs(ty.Elem)
+	case object.TupleType:
+		for _, f := range ty.Fields() {
+			if err := s.checkTypeRefs(f.Type); err != nil {
+				return err
+			}
+		}
+	case object.UnionType:
+		for _, a := range ty.Alts() {
+			if err := s.checkTypeRefs(a.Type); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the schema in the Figure 3 surface syntax.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for _, c := range s.hierarchy.Classes() {
+		b.WriteString("class ")
+		b.WriteString(c)
+		if ps := s.hierarchy.Parents(c); len(ps) > 0 {
+			sorted := append([]string(nil), ps...)
+			sort.Strings(sorted)
+			b.WriteString(" inherit ")
+			b.WriteString(strings.Join(sorted, ", "))
+		}
+		t, _ := s.hierarchy.TypeOf(c)
+		if tt, ok := t.(object.TupleType); !ok || tt.Len() > 0 {
+			b.WriteString(" public type ")
+			b.WriteString(s.typeString(c, t))
+		}
+		if cs := s.constraints[c]; len(cs) > 0 {
+			b.WriteString("\n  constraint: ")
+			parts := make([]string, len(cs))
+			for i, con := range cs {
+				parts[i] = con.String()
+			}
+			b.WriteString(strings.Join(parts, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	for _, g := range s.rootOrder {
+		fmt.Fprintf(&b, "name %s: %s\n", g, s.roots[g])
+	}
+	return b.String()
+}
+
+// typeString renders a class type, annotating private attributes.
+func (s *Schema) typeString(class string, t object.Type) string {
+	tt, ok := t.(object.TupleType)
+	if !ok {
+		return t.String()
+	}
+	var b strings.Builder
+	b.WriteString("tuple(")
+	for i, f := range tt.Fields() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if s.IsPrivate(class, f.Name) {
+			b.WriteString("private ")
+		}
+		b.WriteString(f.Name)
+		b.WriteString(": ")
+		b.WriteString(f.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,267 @@
+package text
+
+import (
+	"sort"
+)
+
+// DocID identifies an indexed document (the caller typically uses object
+// identifiers).
+type DocID uint64
+
+// posting is the occurrence list of one word in one document.
+type posting struct {
+	doc       DocID
+	positions []int // word positions, ascending
+}
+
+// Index is a positional inverted index: the full-text indexing mechanism
+// whose integration Section 4.1 and Section 6 call for. It answers
+// contains expressions (boolean combinations of patterns) and near
+// predicates without scanning document text.
+type Index struct {
+	vocab map[string][]posting // word -> postings, docs ascending
+	docs  map[DocID]bool
+	order []DocID // insertion order
+	// sortedWords caches the vocabulary for pattern scans; invalidated on
+	// Add.
+	sortedWords []string
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{vocab: make(map[string][]posting), docs: make(map[DocID]bool)}
+}
+
+// Add indexes the text of one document. Adding the same document twice
+// replaces nothing — positions accumulate — so callers index each
+// document once.
+func (ix *Index) Add(doc DocID, text string) {
+	if !ix.docs[doc] {
+		ix.docs[doc] = true
+		ix.order = append(ix.order, doc)
+	}
+	ix.sortedWords = nil
+	for _, t := range Tokenize(text) {
+		ps := ix.vocab[t.Word]
+		if n := len(ps); n > 0 && ps[n-1].doc == doc {
+			ps[n-1].positions = append(ps[n-1].positions, t.Pos)
+		} else {
+			ps = append(ps, posting{doc: doc, positions: []int{t.Pos}})
+		}
+		ix.vocab[t.Word] = ps
+	}
+}
+
+// Size reports the number of indexed documents.
+func (ix *Index) Size() int { return len(ix.docs) }
+
+// VocabularySize reports the number of distinct words.
+func (ix *Index) VocabularySize() int { return len(ix.vocab) }
+
+// Docs returns all indexed documents in insertion order.
+func (ix *Index) Docs() []DocID {
+	out := make([]DocID, len(ix.order))
+	copy(out, ix.order)
+	return out
+}
+
+// Lookup returns the documents containing the word, ascending.
+func (ix *Index) Lookup(word string) []DocID {
+	ps := ix.vocab[word]
+	out := make([]DocID, len(ps))
+	for i, p := range ps {
+		out[i] = p.doc
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// matchingWords scans the vocabulary with a pattern. Bare literals skip
+// the scan.
+func (ix *Index) matchingWords(p *Pattern) []string {
+	if lit, ok := p.Literal(); ok {
+		if _, present := ix.vocab[lit]; present {
+			return []string{lit}
+		}
+		return nil
+	}
+	if ix.sortedWords == nil {
+		ix.sortedWords = make([]string, 0, len(ix.vocab))
+		for w := range ix.vocab {
+			ix.sortedWords = append(ix.sortedWords, w)
+		}
+		sort.Strings(ix.sortedWords)
+	}
+	var out []string
+	for _, w := range ix.sortedWords {
+		if p.Match(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Eval answers a contains expression from the index: the set of documents
+// whose text satisfies expr, ascending by DocID.
+//
+// Pattern atoms are evaluated at word granularity (a pattern matches a
+// document if it matches one of the document's words), which is the IRS
+// convention the index supports; multi-word literal atoms are evaluated as
+// a phrase using positions. Negation complements against the set of all
+// indexed documents.
+func (ix *Index) Eval(expr Expr) []DocID {
+	set := ix.eval(expr)
+	out := make([]DocID, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (ix *Index) eval(expr Expr) map[DocID]bool {
+	switch e := expr.(type) {
+	case MatchExpr:
+		if lit, ok := e.Pattern.Literal(); ok {
+			words := Words(lit)
+			if len(words) > 1 {
+				return ix.phrase(words)
+			}
+			if len(words) == 1 {
+				return ix.docsWith(words[0])
+			}
+			return map[DocID]bool{}
+		}
+		out := map[DocID]bool{}
+		for _, w := range ix.matchingWords(e.Pattern) {
+			for d := range ix.docsWith(w) {
+				out[d] = true
+			}
+		}
+		return out
+	case AndExpr:
+		l := ix.eval(e.L)
+		r := ix.eval(e.R)
+		out := map[DocID]bool{}
+		for d := range l {
+			if r[d] {
+				out[d] = true
+			}
+		}
+		return out
+	case OrExpr:
+		out := ix.eval(e.L)
+		for d := range ix.eval(e.R) {
+			out[d] = true
+		}
+		return out
+	case NotExpr:
+		inner := ix.eval(e.E)
+		out := map[DocID]bool{}
+		for d := range ix.docs {
+			if !inner[d] {
+				out[d] = true
+			}
+		}
+		return out
+	case NearExpr:
+		return ix.near(e)
+	default:
+		return map[DocID]bool{}
+	}
+}
+
+func (ix *Index) docsWith(word string) map[DocID]bool {
+	out := map[DocID]bool{}
+	for _, p := range ix.vocab[word] {
+		out[p.doc] = true
+	}
+	return out
+}
+
+// phrase finds documents containing the words consecutively.
+func (ix *Index) phrase(words []string) map[DocID]bool {
+	out := map[DocID]bool{}
+	if len(words) == 0 {
+		return out
+	}
+	first := ix.vocab[words[0]]
+	for _, p := range first {
+		for _, pos := range p.positions {
+			ok := true
+			for k := 1; k < len(words); k++ {
+				if !ix.hasAt(words[k], p.doc, pos+k) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out[p.doc] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (ix *Index) hasAt(word string, doc DocID, pos int) bool {
+	for _, p := range ix.vocab[word] {
+		if p.doc != doc {
+			continue
+		}
+		i := sort.SearchInts(p.positions, pos)
+		return i < len(p.positions) && p.positions[i] == pos
+	}
+	return false
+}
+
+// near answers a word-distance predicate from positions.
+func (ix *Index) near(e NearExpr) map[DocID]bool {
+	out := map[DocID]bool{}
+	a := ix.postingsOf(e.A)
+	b := ix.postingsOf(e.B)
+	for doc, aPos := range a {
+		bPos, ok := b[doc]
+		if !ok {
+			continue
+		}
+		if nearPositions(aPos, bPos, e.Dist) {
+			out[doc] = true
+		}
+	}
+	return out
+}
+
+func (ix *Index) postingsOf(word string) map[DocID][]int {
+	out := map[DocID][]int{}
+	for _, t := range Tokenize(word) {
+		// near operands are single words; Tokenize normalises case.
+		word = t.Word
+		break
+	}
+	for _, p := range ix.vocab[word] {
+		out[p.doc] = p.positions
+	}
+	return out
+}
+
+// nearPositions reports whether some a-position and b-position are within
+// dist words (exclusive of the words themselves, matching NearExpr.Eval).
+func nearPositions(as, bs []int, dist int) bool {
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		d := as[i] - bs[j]
+		if d < 0 {
+			d = -d
+		}
+		if d > 0 && d-1 <= dist {
+			return true
+		}
+		if as[i] < bs[j] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}

@@ -1,0 +1,208 @@
+package text
+
+// Thompson construction and NFA simulation. States are numbered; each
+// state has either a rune condition with one successor, or up to two
+// epsilon successors. Simulation carries a sparse set of active states and
+// is re-seeded at every input position, giving unanchored (substring)
+// search in O(len(text) · states) without backtracking.
+
+type stateKind int
+
+const (
+	stRune stateKind = iota
+	stAny
+	stClass
+	stSplit
+	stMatch
+)
+
+type state struct {
+	kind      stateKind
+	r         rune
+	neg       bool
+	ranges    []runeRange
+	out, out2 int // successor state indices (-1 = none)
+}
+
+type program struct {
+	states []state
+	start  int
+}
+
+// frag is a partially built automaton: a start state and a list of
+// dangling out-pointers to patch.
+type frag struct {
+	start int
+	outs  []patch
+}
+
+type patch struct {
+	state  int
+	second bool
+}
+
+type builder struct{ states []state }
+
+func (b *builder) add(s state) int {
+	b.states = append(b.states, s)
+	return len(b.states) - 1
+}
+
+func (b *builder) patchAll(outs []patch, to int) {
+	for _, p := range outs {
+		if p.second {
+			b.states[p.state].out2 = to
+		} else {
+			b.states[p.state].out = to
+		}
+	}
+}
+
+func compileAST(n node) *program {
+	b := &builder{}
+	f := b.compile(n)
+	match := b.add(state{kind: stMatch, out: -1, out2: -1})
+	b.patchAll(f.outs, match)
+	return &program{states: b.states, start: f.start}
+}
+
+func (b *builder) compile(n node) frag {
+	switch x := n.(type) {
+	case litNode:
+		id := b.add(state{kind: stRune, r: x.r, out: -1, out2: -1})
+		return frag{start: id, outs: []patch{{state: id}}}
+	case anyNode:
+		id := b.add(state{kind: stAny, out: -1, out2: -1})
+		return frag{start: id, outs: []patch{{state: id}}}
+	case classNode:
+		id := b.add(state{kind: stClass, neg: x.neg, ranges: x.ranges, out: -1, out2: -1})
+		return frag{start: id, outs: []patch{{state: id}}}
+	case emptyNode:
+		id := b.add(state{kind: stSplit, out: -1, out2: -1})
+		return frag{start: id, outs: []patch{{state: id}}}
+	case seqNode:
+		f := b.compile(x.items[0])
+		for _, it := range x.items[1:] {
+			g := b.compile(it)
+			b.patchAll(f.outs, g.start)
+			f.outs = g.outs
+		}
+		return f
+	case altNode:
+		f := b.compile(x.items[0])
+		for _, it := range x.items[1:] {
+			g := b.compile(it)
+			split := b.add(state{kind: stSplit, out: f.start, out2: g.start})
+			f = frag{start: split, outs: append(f.outs, g.outs...)}
+		}
+		return f
+	case starNode:
+		f := b.compile(x.item)
+		split := b.add(state{kind: stSplit, out: f.start, out2: -1})
+		b.patchAll(f.outs, split)
+		return frag{start: split, outs: []patch{{state: split, second: true}}}
+	case plusNode:
+		f := b.compile(x.item)
+		split := b.add(state{kind: stSplit, out: f.start, out2: -1})
+		b.patchAll(f.outs, split)
+		return frag{start: f.start, outs: []patch{{state: split, second: true}}}
+	case optNode:
+		f := b.compile(x.item)
+		split := b.add(state{kind: stSplit, out: f.start, out2: -1})
+		return frag{start: split, outs: append(f.outs, patch{state: split, second: true})}
+	default:
+		panic("text: unknown pattern node")
+	}
+}
+
+// sparseSet is the classic sparse set for NFA simulation: O(1) add,
+// contains and clear.
+type sparseSet struct {
+	dense  []int
+	sparse []int
+}
+
+func newSparseSet(n int) *sparseSet {
+	return &sparseSet{dense: make([]int, 0, n), sparse: make([]int, n)}
+}
+
+func (s *sparseSet) has(i int) bool {
+	j := s.sparse[i]
+	return j < len(s.dense) && s.dense[j] == i
+}
+
+func (s *sparseSet) addRaw(i int) {
+	if s.has(i) {
+		return
+	}
+	s.sparse[i] = len(s.dense)
+	s.dense = append(s.dense, i)
+}
+
+func (s *sparseSet) clear() { s.dense = s.dense[:0] }
+
+// addClosure adds state i and its epsilon closure.
+func (p *program) addClosure(set *sparseSet, i int) {
+	if i < 0 || set.has(i) {
+		return
+	}
+	set.addRaw(i)
+	st := p.states[i]
+	if st.kind == stSplit {
+		p.addClosure(set, st.out)
+		p.addClosure(set, st.out2)
+	}
+}
+
+// search reports whether the program matches any substring of text.
+func (p *program) search(text string) bool {
+	cur := newSparseSet(len(p.states))
+	next := newSparseSet(len(p.states))
+	// Empty-match check at position 0 (and every position, but the start
+	// closure is position independent).
+	p.addClosure(cur, p.start)
+	if p.accepting(cur) {
+		return true
+	}
+	for _, r := range text {
+		// Re-seed: a match may start at this position.
+		p.addClosure(cur, p.start)
+		next.clear()
+		for _, i := range cur.dense {
+			st := p.states[i]
+			ok := false
+			switch st.kind {
+			case stRune:
+				ok = st.r == r
+			case stAny:
+				ok = true
+			case stClass:
+				in := false
+				for _, rng := range st.ranges {
+					if r >= rng.lo && r <= rng.hi {
+						in = true
+						break
+					}
+				}
+				ok = in != st.neg
+			}
+			if ok {
+				p.addClosure(next, st.out)
+			}
+		}
+		cur, next = next, cur
+		if p.accepting(cur) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *program) accepting(set *sparseSet) bool {
+	for _, i := range set.dense {
+		if p.states[i].kind == stMatch {
+			return true
+		}
+	}
+	return false
+}

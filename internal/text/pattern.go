@@ -1,0 +1,284 @@
+// Package text implements the information-retrieval substrate of Section
+// 4.1: the contains predicate matching strings against patterns or boolean
+// combinations of patterns (built from concatenation, disjunction, Kleene
+// closure, …), the near predicate on word distance, a tokenizer, and a
+// positional inverted index for full-text acceleration — the facilities
+// IRS systems provide and the paper integrates into the query language.
+//
+// The pattern engine is a from-scratch Thompson NFA (no backtracking, so
+// matching is linear in the text), built here rather than on a library so
+// the word-level boolean algebra and the index can share its machinery.
+package text
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pattern is a compiled character-level pattern (the atoms of contains).
+// Matching is unanchored: a pattern matches a string if it matches any
+// substring, which is the IRS "contains" convention.
+type Pattern struct {
+	src  string
+	prog *program
+	// literal is the lower-cased word when the pattern is a bare literal
+	// without operators: the index answers those without scanning its
+	// vocabulary.
+	literal string
+}
+
+// Source returns the pattern's source text.
+func (p *Pattern) Source() string { return p.src }
+
+// Literal returns the bare lower-cased literal and true when the pattern
+// contains no operators.
+func (p *Pattern) Literal() (string, bool) { return p.literal, p.literal != "" }
+
+// String renders the pattern source, quoted.
+func (p *Pattern) String() string { return fmt.Sprintf("%q", p.src) }
+
+// Compile parses and compiles a pattern. The syntax:
+//
+//	abc         literal characters (matching is case-sensitive; use
+//	            classes like (t|T) for case variants, as the paper does)
+//	(p)         grouping
+//	p|q         alternation
+//	p* p+ p?    closure, positive closure, option
+//	.           any character
+//	[a-z0-9]    character class ([^…] negated)
+//	\x          escape a metacharacter
+func Compile(src string) (*Pattern, error) {
+	ast, err := parsePattern(src)
+	if err != nil {
+		return nil, err
+	}
+	prog := compileAST(ast)
+	p := &Pattern{src: src, prog: prog}
+	if lit, ok := literalOf(ast); ok && lit != "" {
+		p.literal = strings.ToLower(lit)
+	}
+	return p, nil
+}
+
+// MustCompile is Compile that panics on error, for fixed patterns.
+func MustCompile(src string) *Pattern {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Match reports whether the pattern matches anywhere in s.
+func (p *Pattern) Match(s string) bool { return p.prog.search(s) }
+
+// node is the pattern AST.
+type node interface{ isNode() }
+
+type litNode struct{ r rune }
+type anyNode struct{}
+type classNode struct {
+	neg    bool
+	ranges []runeRange
+}
+type runeRange struct{ lo, hi rune }
+type seqNode struct{ items []node }
+type altNode struct{ items []node }
+type starNode struct{ item node }
+type plusNode struct{ item node }
+type optNode struct{ item node }
+type emptyNode struct{}
+
+func (litNode) isNode()   {}
+func (anyNode) isNode()   {}
+func (classNode) isNode() {}
+func (seqNode) isNode()   {}
+func (altNode) isNode()   {}
+func (starNode) isNode()  {}
+func (plusNode) isNode()  {}
+func (optNode) isNode()   {}
+func (emptyNode) isNode() {}
+
+// literalOf extracts the literal string of an operator-free pattern.
+func literalOf(n node) (string, bool) {
+	switch x := n.(type) {
+	case litNode:
+		return string(x.r), true
+	case seqNode:
+		var b strings.Builder
+		for _, it := range x.items {
+			s, ok := literalOf(it)
+			if !ok {
+				return "", false
+			}
+			b.WriteString(s)
+		}
+		return b.String(), true
+	case emptyNode:
+		return "", true
+	default:
+		return "", false
+	}
+}
+
+type patternParser struct {
+	src []rune
+	pos int
+}
+
+func parsePattern(src string) (node, error) {
+	p := &patternParser{src: []rune(src)}
+	n, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("text: unexpected %q at %d in pattern %q", p.src[p.pos], p.pos, src)
+	}
+	return n, nil
+}
+
+func (p *patternParser) alt() (node, error) {
+	first, err := p.seq()
+	if err != nil {
+		return nil, err
+	}
+	items := []node{first}
+	for p.pos < len(p.src) && p.src[p.pos] == '|' {
+		p.pos++
+		n, err := p.seq()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, n)
+	}
+	if len(items) == 1 {
+		return first, nil
+	}
+	return altNode{items: items}, nil
+}
+
+func (p *patternParser) seq() (node, error) {
+	var items []node
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '|' || c == ')' {
+			break
+		}
+		n, err := p.repeat()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, n)
+	}
+	switch len(items) {
+	case 0:
+		return emptyNode{}, nil
+	case 1:
+		return items[0], nil
+	default:
+		return seqNode{items: items}, nil
+	}
+}
+
+func (p *patternParser) repeat() (node, error) {
+	n, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '*':
+			p.pos++
+			n = starNode{item: n}
+		case '+':
+			p.pos++
+			n = plusNode{item: n}
+		case '?':
+			p.pos++
+			n = optNode{item: n}
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+func (p *patternParser) atom() (node, error) {
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("text: unexpected end of pattern")
+	}
+	c := p.src[p.pos]
+	switch c {
+	case '(':
+		p.pos++
+		n, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("text: missing ) in pattern")
+		}
+		p.pos++
+		return n, nil
+	case '.':
+		p.pos++
+		return anyNode{}, nil
+	case '[':
+		return p.class()
+	case '\\':
+		p.pos++
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("text: dangling escape in pattern")
+		}
+		r := p.src[p.pos]
+		p.pos++
+		return litNode{r: r}, nil
+	case '*', '+', '?':
+		return nil, fmt.Errorf("text: %q with nothing to repeat", c)
+	case ')':
+		return nil, fmt.Errorf("text: unmatched ) in pattern")
+	default:
+		p.pos++
+		return litNode{r: c}, nil
+	}
+}
+
+func (p *patternParser) class() (node, error) {
+	p.pos++ // consume '['
+	n := classNode{}
+	if p.pos < len(p.src) && p.src[p.pos] == '^' {
+		n.neg = true
+		p.pos++
+	}
+	for p.pos < len(p.src) && p.src[p.pos] != ']' {
+		lo := p.src[p.pos]
+		if lo == '\\' && p.pos+1 < len(p.src) {
+			p.pos++
+			lo = p.src[p.pos]
+		}
+		p.pos++
+		hi := lo
+		if p.pos+1 < len(p.src) && p.src[p.pos] == '-' && p.src[p.pos+1] != ']' {
+			p.pos++
+			hi = p.src[p.pos]
+			if hi == '\\' && p.pos+1 < len(p.src) {
+				p.pos++
+				hi = p.src[p.pos]
+			}
+			p.pos++
+		}
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		n.ranges = append(n.ranges, runeRange{lo: lo, hi: hi})
+	}
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("text: unterminated character class")
+	}
+	p.pos++ // consume ']'
+	if len(n.ranges) == 0 {
+		return nil, fmt.Errorf("text: empty character class")
+	}
+	return n, nil
+}

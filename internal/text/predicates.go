@@ -1,0 +1,142 @@
+package text
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a boolean combination of patterns: the operand of the contains
+// predicate in Q1's "SGML" and "OODBMS".
+type Expr interface {
+	// Eval reports whether the expression holds for the given text.
+	Eval(text string) bool
+	String() string
+}
+
+// MatchExpr is a single pattern atom.
+type MatchExpr struct{ Pattern *Pattern }
+
+// Eval implements Expr.
+func (e MatchExpr) Eval(text string) bool { return e.Pattern.Match(text) }
+func (e MatchExpr) String() string        { return e.Pattern.String() }
+
+// AndExpr holds when both operands hold.
+type AndExpr struct{ L, R Expr }
+
+// Eval implements Expr.
+func (e AndExpr) Eval(text string) bool { return e.L.Eval(text) && e.R.Eval(text) }
+func (e AndExpr) String() string        { return "(" + e.L.String() + " and " + e.R.String() + ")" }
+
+// OrExpr holds when either operand holds.
+type OrExpr struct{ L, R Expr }
+
+// Eval implements Expr.
+func (e OrExpr) Eval(text string) bool { return e.L.Eval(text) || e.R.Eval(text) }
+func (e OrExpr) String() string        { return "(" + e.L.String() + " or " + e.R.String() + ")" }
+
+// NotExpr holds when the operand does not.
+type NotExpr struct{ E Expr }
+
+// Eval implements Expr.
+func (e NotExpr) Eval(text string) bool { return !e.E.Eval(text) }
+func (e NotExpr) String() string        { return "not " + e.E.String() }
+
+// NearExpr is the near predicate: two words separated by at most Dist
+// words in the text ("whether two words are separated by, at most, a given
+// number of characters (or words) in a sentence"). With Chars true the
+// distance is counted in characters between the word occurrences.
+type NearExpr struct {
+	A, B  string
+	Dist  int
+	Chars bool
+}
+
+// Eval implements Expr.
+func (e NearExpr) Eval(text string) bool {
+	toks := Tokenize(text)
+	a := strings.ToLower(e.A)
+	b := strings.ToLower(e.B)
+	var aPos, bPos []Token
+	for _, t := range toks {
+		if t.Word == a {
+			aPos = append(aPos, t)
+		}
+		if t.Word == b {
+			bPos = append(bPos, t)
+		}
+	}
+	for _, ta := range aPos {
+		for _, tb := range bPos {
+			if e.Chars {
+				d := tb.Offset - (ta.Offset + len(ta.Word))
+				if d < 0 {
+					d = ta.Offset - (tb.Offset + len(tb.Word))
+				}
+				if d >= 0 && d <= e.Dist {
+					return true
+				}
+			} else {
+				d := ta.Pos - tb.Pos
+				if d < 0 {
+					d = -d
+				}
+				if d > 0 && d-1 <= e.Dist {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (e NearExpr) String() string {
+	unit := "words"
+	if e.Chars {
+		unit = "chars"
+	}
+	return fmt.Sprintf("near(%q, %q, %d %s)", e.A, e.B, e.Dist, unit)
+}
+
+// Contains is the contains predicate of Section 4.1: text contains expr.
+func Contains(text string, expr Expr) bool { return expr.Eval(text) }
+
+// ContainsWord is the common special case contains("word"): an unanchored
+// literal match.
+func ContainsWord(text, word string) bool {
+	p := MustCompile(escapeLiteral(word))
+	return p.Match(text)
+}
+
+// Word builds the pattern atom for a literal string (metacharacters
+// escaped).
+func Word(s string) Expr { return MatchExpr{Pattern: MustCompile(escapeLiteral(s))} }
+
+// PatternExpr builds a pattern atom from pattern syntax.
+func PatternExpr(src string) (Expr, error) {
+	p, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return MatchExpr{Pattern: p}, nil
+}
+
+// And, Or and Not build boolean combinations.
+func And(l, r Expr) Expr { return AndExpr{L: l, R: r} }
+
+// Or builds a disjunction.
+func Or(l, r Expr) Expr { return OrExpr{L: l, R: r} }
+
+// Not builds a negation.
+func Not(e Expr) Expr { return NotExpr{E: e} }
+
+func escapeLiteral(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '(', ')', '[', ']', '|', '*', '+', '?', '.', '\\':
+			b.WriteByte('\\')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one word occurrence: the lower-cased word, its ordinal position
+// and its byte offset in the source text.
+type Token struct {
+	Word   string
+	Pos    int // 0-based word position
+	Offset int // byte offset of the first character
+}
+
+// Tokenize splits text into word tokens: maximal runs of letters and
+// digits, lower-cased. Everything else separates words.
+func Tokenize(text string) []Token {
+	var out []Token
+	start := -1
+	pos := 0
+	flush := func(end int) {
+		if start >= 0 {
+			out = append(out, Token{
+				Word:   strings.ToLower(text[start:end]),
+				Pos:    pos,
+				Offset: start,
+			})
+			pos++
+			start = -1
+		}
+	}
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+		} else {
+			flush(i)
+		}
+	}
+	flush(len(text))
+	return out
+}
+
+// Words returns just the lower-cased words of text.
+func Words(text string) []string {
+	toks := Tokenize(text)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Word
+	}
+	return out
+}

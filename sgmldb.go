@@ -1,0 +1,193 @@
+// Package sgmldb is a from-scratch Go implementation of "From Structured
+// Documents to Novel Query Facilities" (Christophides, Abiteboul, Cluet,
+// Scholl — SIGMOD 1994): SGML documents mapped into an object database
+// with an extended O₂ data model (ordered tuples, marked unions), queried
+// through an extended O₂SQL with paths as first-class citizens, and
+// evaluated through the many-sorted calculus of the paper and its
+// algebraization.
+//
+// The typical flow:
+//
+//	db, _ := sgmldb.OpenDTD(dtdSource)            // Figure 1 → Figure 3
+//	oid, _ := db.LoadDocument(articleSource)      // Figure 2 → objects
+//	db.Name("my_article", oid)                    // a root of persistence
+//	res, _ := db.Query(`select t from my_article PATH_p.title(t)`)
+//
+// Everything is stdlib-only and in-memory, with snapshot persistence via
+// Save and OpenSnapshot.
+package sgmldb
+
+import (
+	"fmt"
+	"os"
+
+	"sgmldb/internal/calculus"
+	"sgmldb/internal/dtdmap"
+	"sgmldb/internal/object"
+	"sgmldb/internal/oql"
+	"sgmldb/internal/sgml"
+	"sgmldb/internal/store"
+	"sgmldb/internal/text"
+)
+
+// Database bundles a mapped schema, its instance, the query engine and
+// the full-text index.
+type Database struct {
+	Mapping *dtdmap.Mapping
+	Loader  *dtdmap.Loader
+	Engine  *oql.Engine
+}
+
+// OpenDTD compiles a DTD (Section 3) and opens an empty database for its
+// documents.
+func OpenDTD(dtdSource string) (*Database, error) {
+	dtd, err := sgml.ParseDTD(dtdSource)
+	if err != nil {
+		return nil, err
+	}
+	m, err := dtdmap.MapDTD(dtd)
+	if err != nil {
+		return nil, err
+	}
+	loader := dtdmap.NewLoader(m)
+	db := &Database{Mapping: m, Loader: loader}
+	db.wire(loader.Instance)
+	return db, nil
+}
+
+// wire builds the engine over an instance.
+func (db *Database) wire(inst *store.Instance) {
+	env := calculus.NewEnv(inst)
+	env.TextOf = func(v object.Value) string { return dtdmap.TextOf(inst, v) }
+	db.Engine = oql.New(env)
+	db.Engine.Index = text.NewIndex()
+}
+
+// Instance exposes the underlying store instance.
+func (db *Database) Instance() *store.Instance { return db.Engine.Env.Inst }
+
+// Schema exposes the mapped schema.
+func (db *Database) Schema() *store.Schema { return db.Instance().Schema() }
+
+// LoadDocument parses, validates and loads one SGML document, returning
+// the oid of its document object. The document is added to the plural
+// persistence root (e.g. Articles) and to the full-text index.
+func (db *Database) LoadDocument(src string) (object.OID, error) {
+	if db.Loader == nil {
+		return 0, fmt.Errorf("sgmldb: snapshot databases are read-only for documents")
+	}
+	doc, err := sgml.ParseDocument(db.Mapping.DTD, src)
+	if err != nil {
+		return 0, err
+	}
+	oid, err := db.Loader.Load(doc)
+	if err != nil {
+		return 0, err
+	}
+	db.Engine.Index.Add(text.DocID(oid), dtdmap.TextOf(db.Instance(), oid))
+	return oid, nil
+}
+
+// Name declares a root of persistence for an object (e.g. my_article),
+// making it addressable from queries.
+func (db *Database) Name(name string, oid object.OID) error {
+	class, ok := db.Instance().ClassOf(oid)
+	if !ok {
+		return fmt.Errorf("sgmldb: unknown object %s", oid)
+	}
+	if _, exists := db.Schema().RootType(name); !exists {
+		if err := db.Schema().AddRoot(name, object.Class(class)); err != nil {
+			return err
+		}
+	}
+	return db.Instance().SetRoot(name, oid)
+}
+
+// Query runs an extended O₂SQL query and returns its value (a set for
+// select and pattern queries).
+func (db *Database) Query(src string) (object.Value, error) {
+	return db.Engine.Query(src)
+}
+
+// QueryRows runs a query and returns the raw rows with their sorted
+// bindings (paths stay paths).
+func (db *Database) QueryRows(src string) (*calculus.Result, error) {
+	return db.Engine.Rows(src)
+}
+
+// UseAlgebra switches evaluation to the Section 5.4 algebra plans.
+func (db *Database) UseAlgebra(on bool) { db.Engine.UseAlgebra = on }
+
+// Text returns the text of a logical object (the text operator).
+func (db *Database) Text(v object.Value) string {
+	return dtdmap.TextOf(db.Instance(), v)
+}
+
+// Check validates the instance against the schema and the Figure 3
+// constraints.
+func (db *Database) Check() []error { return db.Instance().Check() }
+
+// Stats summarises the database.
+func (db *Database) Stats() store.Stats { return db.Instance().Stats() }
+
+// Save writes a snapshot of the database to a file.
+func (db *Database) Save(path string) error {
+	return store.SaveFile(path, db.Instance())
+}
+
+// OpenSnapshot reopens a saved database for querying. Loading further
+// documents requires the original DTD (use OpenDTD and reload instead).
+func OpenSnapshot(path string) (*Database, error) {
+	inst, err := store.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{}
+	db.wire(inst)
+	// Rebuild the full-text index over the document roots.
+	for _, g := range inst.Schema().Roots() {
+		v, ok := inst.Root(g)
+		if !ok {
+			continue
+		}
+		if l, isList := v.(*object.List); isList {
+			for i := 0; i < l.Len(); i++ {
+				if o, isOID := l.At(i).(object.OID); isOID {
+					db.Engine.Index.Add(text.DocID(o), dtdmap.TextOf(inst, o))
+				}
+			}
+		}
+	}
+	return db, nil
+}
+
+// Export reconstructs the SGML source of a loaded document object — the
+// inverse mapping of the paper's footnote 1. The result re-parses and
+// re-loads to an isomorphic instance.
+func (db *Database) Export(doc object.OID) (string, error) {
+	if db.Mapping == nil {
+		return "", fmt.Errorf("sgmldb: export requires the DTD mapping (open with OpenDTD)")
+	}
+	return dtdmap.Export(db.Mapping, db.Instance(), doc)
+}
+
+// SchemaString renders the schema in the paper's Figure 3 syntax.
+func (db *Database) SchemaString() string { return db.Schema().String() }
+
+// OpenDTDFile is OpenDTD over a file.
+func OpenDTDFile(path string) (*Database, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return OpenDTD(string(src))
+}
+
+// LoadDocumentFile loads a document from a file.
+func (db *Database) LoadDocumentFile(path string) (object.OID, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return db.LoadDocument(string(src))
+}
