@@ -1,0 +1,29 @@
+# Development targets. `make ci` is the extended verify recorded in
+# ROADMAP.md: vet + build + the full test suite under the race detector +
+# a smoke run of every benchmark.
+
+GO ?= go
+
+.PHONY: all build test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches bit-rot in the experiment
+# harness without paying for full measurements.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .

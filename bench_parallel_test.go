@@ -1,0 +1,75 @@
+package sgmldb
+
+// BenchmarkQueryParallel quantifies the concurrency tentpole on two axes:
+//
+//   - Serial vs Workers=N: intra-query parallelism — one query's outer
+//     scan partitioned across the worker pool;
+//   - Concurrent: inter-query parallelism — b.RunParallel issuing
+//     independent queries against one engine (shared plan cache, shared
+//     index, lock-free instance reads).
+//
+// Both must beat Serial when GOMAXPROCS > 1. Run with:
+//
+//	go test -bench=QueryParallel -cpu=1,4,8
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"sgmldb/internal/object"
+)
+
+func BenchmarkQueryParallel(b *testing.B) {
+	const q = `select t from a in Articles, a PATH_p.title(t)`
+	db := articlesDB(b, 12)
+	check := func(b *testing.B, v object.Value, err error) {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.(*object.Set).Len() == 0 {
+			b.Fatal("empty result")
+		}
+	}
+	b.Run("Serial", func(b *testing.B) {
+		e := engineFor(db, true, true)
+		e.Workers = 1
+		v, err := e.Query(q) // warm the plan cache
+		check(b, v, err)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, err := e.Query(q)
+			check(b, v, err)
+		}
+	})
+	b.Run(fmt.Sprintf("Workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		e := engineFor(db, true, true)
+		e.Workers = 0 // GOMAXPROCS
+		v, err := e.Query(q)
+		check(b, v, err)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, err := e.Query(q)
+			check(b, v, err)
+		}
+	})
+	b.Run("Concurrent", func(b *testing.B) {
+		e := engineFor(db, true, true)
+		e.Workers = 1 // isolate inter-query scaling
+		p, err := e.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		v, verr := p.Run(ctx)
+		check(b, v, verr)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				v, err := p.Run(ctx)
+				check(b, v, err)
+			}
+		})
+	})
+}

@@ -1,0 +1,19 @@
+package sgmldb
+
+import "errors"
+
+// Sentinel errors returned (wrapped) by the Database API; test with
+// errors.Is.
+var (
+	// ErrReadOnly is returned by LoadDocument on a snapshot database,
+	// which has no DTD mapping to parse and load documents with.
+	ErrReadOnly = errors.New("sgmldb: snapshot databases are read-only for documents")
+
+	// ErrUnknownObject is returned when an operation refers to an oid that
+	// is not assigned in the instance.
+	ErrUnknownObject = errors.New("sgmldb: unknown object")
+
+	// ErrNoMapping is returned by operations that need the DTD mapping
+	// (e.g. Export) on a database opened without one.
+	ErrNoMapping = errors.New("sgmldb: operation requires the DTD mapping (open with OpenDTD)")
+)

@@ -2,6 +2,7 @@ package algebra
 
 import (
 	"strings"
+	"sync"
 
 	"sgmldb/internal/calculus"
 	"sgmldb/internal/object"
@@ -21,7 +22,16 @@ import (
 // Types are interned to small integer ids; every transition (attribute
 // step, element step, dereference) is memoised per id, so the runtime
 // type tracking costs a map lookup, not a structural walk.
+//
+// The memo tables fill lazily: mostly at translation time (CandidateCount
+// walks the whole satisfiability space) but also during execution, when
+// navigation reaches types the eager pass did not touch. Concurrent Run
+// calls on one compiled plan therefore go through the rt* wrappers below,
+// which serve memo hits under a read lock and fall back to a write-locked
+// computation on a miss. The unlocked methods stay single-goroutine
+// (translation) or write-locked (runtime miss path).
 type guide struct {
+	mu     sync.RWMutex
 	h      *object.Hierarchy
 	schema *store.Schema
 	elems  []calculus.PathElem
@@ -391,6 +401,107 @@ func (g *guide) satVarID(i, id int) bool {
 	return out
 }
 
+// Runtime-safe accessors. Each serves the memo-hit fast path under the
+// read lock and recomputes under the write lock on a miss, so concurrent
+// plan executions share one guide without racing on the memo tables.
+
+// rtIDsOf interns base types at execution time (once per Rows call).
+func (g *guide) rtIDsOf(ts []object.Type) []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.idsOf(ts)
+}
+
+// rtID interns one type at execution time.
+func (g *guide) rtID(t object.Type) int {
+	k := object.TypeKey(t)
+	g.mu.RLock()
+	id, ok := g.ids[k]
+	g.mu.RUnlock()
+	if ok {
+		return id
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.id(t)
+}
+
+// rtSatAny is satAny for the runtime navigator.
+func (g *guide) rtSatAny(i int, ids []int) bool {
+	if len(ids) == 0 {
+		return false
+	}
+	if i >= len(g.elems) {
+		return true
+	}
+	g.mu.RLock()
+	complete := true
+	for _, id := range ids {
+		v, ok := g.sat[i][id]
+		if !ok || v < 0 {
+			complete = false
+			break
+		}
+		if v == 1 {
+			g.mu.RUnlock()
+			return true
+		}
+	}
+	g.mu.RUnlock()
+	if complete {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.satAny(i, ids)
+}
+
+// rtSatVar is satVarID for the runtime navigator.
+func (g *guide) rtSatVar(i, id int) bool {
+	if i >= len(g.elems) {
+		return true
+	}
+	g.mu.RLock()
+	v, ok := g.satVar[i][id]
+	g.mu.RUnlock()
+	if ok && v >= 0 {
+		return v == 1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.satVarID(i, id)
+}
+
+// rtMemoStep wraps one memoised transition table lookup.
+func (g *guide) rtMemoStep(memo map[int][]int, id int, compute func(int) []int) []int {
+	g.mu.RLock()
+	r, ok := memo[id]
+	g.mu.RUnlock()
+	if ok {
+		return r
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return compute(id)
+}
+
+func (g *guide) rtElemStep(id int) []int   { return g.rtMemoStep(g.elemsC, id, g.elemStep) }
+func (g *guide) rtMemberStep(id int) []int { return g.rtMemoStep(g.membC, id, g.memberStep) }
+
+// rtAttrStep is attrStep for the runtime navigator.
+func (g *guide) rtAttrStep(id int, name string) []int {
+	k := attrKey{id: id, name: name}
+	g.mu.RLock()
+	r, ok := g.attrs[k]
+	g.mu.RUnlock()
+	if ok {
+		return r
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.attrStep(id, name)
+}
+
 // CandidateCount eagerly evaluates sat for every (position, schema type)
 // pair and reports how many are satisfiable — the size of the candidate
 // valuation space, the cost measure of the union-expansion experiment.
@@ -432,22 +543,23 @@ func (o *guidedOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
 	if err != nil {
 		return nil, err
 	}
-	baseIDs := o.guide.idsOf(o.baseTypes)
-	var out []calculus.Valuation
-	for _, v := range in {
+	baseIDs := o.guide.rtIDsOf(o.baseTypes)
+	// Navigation is the plan's hot loop: partition the per-row matches
+	// across the worker pool (each partition gets its own matcher, so the
+	// per-execution oid caches stay goroutine-local).
+	out, err := ctx.mapRows(in, func(v calculus.Valuation) ([]calculus.Valuation, error) {
 		base, err := ctx.Env.Term(o.base, v)
 		if calculus.IsNoSuchPath(err) {
-			continue
+			return nil, nil
 		}
 		if err != nil {
 			return nil, err
 		}
 		m := &guidedMatcher{ctx: ctx, g: o.guide, noPrune: o.noPrune}
-		rows, err := m.match(base, baseIDs, 0, v)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rows...)
+		return m.match(base, baseIDs, 0, v)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return dedup(out), nil
 }
@@ -475,7 +587,7 @@ func (m *guidedMatcher) match(cur object.Value, ids []int, i int, v calculus.Val
 	if i >= len(m.g.elems) {
 		return []calculus.Valuation{v}, nil
 	}
-	if !m.noPrune && len(ids) > 0 && !m.g.satAny(i, ids) {
+	if !m.noPrune && len(ids) > 0 && !m.g.rtSatAny(i, ids) {
 		return nil, nil
 	}
 	switch el := m.g.elems[i].(type) {
@@ -546,7 +658,7 @@ func (m *guidedMatcher) idsOfOID(o object.OID) []int {
 	}
 	var ids []int
 	if sigma, ok := m.ctx.Env.Inst.Schema().Hierarchy().TypeOf(class); ok {
-		ids = []int{m.g.id(sigma)}
+		ids = []int{m.g.rtID(sigma)}
 	}
 	m.oidIDs[class] = ids
 	return ids
@@ -555,7 +667,7 @@ func (m *guidedMatcher) idsOfOID(o object.OID) []int {
 func (m *guidedMatcher) advanceAttr(ids []int, name string) []int {
 	var out []int
 	for _, id := range ids {
-		out = mergeUnique(out, m.g.attrStep(id, name))
+		out = mergeUnique(out, m.g.rtAttrStep(id, name))
 	}
 	return out
 }
@@ -612,7 +724,7 @@ func (m *guidedMatcher) attrVar(cur object.Value, ids []int, name string, i int,
 func (m *guidedMatcher) advanceElems(ids []int) []int {
 	var out []int
 	for _, id := range ids {
-		out = mergeUnique(out, m.g.elemStep(id))
+		out = mergeUnique(out, m.g.rtElemStep(id))
 	}
 	return out
 }
@@ -658,7 +770,7 @@ func (m *guidedMatcher) member(cur object.Value, ids []int, el calculus.ElemMemb
 	}
 	var next []int
 	for _, id := range ids {
-		next = mergeUnique(next, m.g.memberStep(id))
+		next = mergeUnique(next, m.g.rtMemberStep(id))
 	}
 	if mv, isVar := el.T.(calculus.Var); isVar {
 		if _, bound := v[mv.Name]; !bound {
@@ -703,7 +815,7 @@ func (m *guidedMatcher) enumerate(cur object.Value, ids []int, prefix path.Path,
 	i int, pvar string, v calculus.Valuation, st enumState, out *[]calculus.Valuation) error {
 	// The variable may stop here — attempt the continuation only when the
 	// current types admit it (or are unknown).
-	if m.noPrune || len(ids) == 0 || m.g.satAny(i, ids) {
+	if m.noPrune || len(ids) == 0 || m.g.rtSatAny(i, ids) {
 		sub, err := m.match(cur, ids, i, v.Extend(pvar, calculus.PathBinding(prefix)))
 		if err != nil {
 			return err
@@ -717,7 +829,7 @@ func (m *guidedMatcher) enumerate(cur object.Value, ids []int, prefix path.Path,
 		if !m.noPrune && len(childIDs) > 0 {
 			ok := false
 			for _, id := range childIDs {
-				if m.g.satVarID(i, id) {
+				if m.g.rtSatVar(i, id) {
 					ok = true
 					break
 				}
@@ -746,7 +858,7 @@ func (m *guidedMatcher) enumerate(cur object.Value, ids []int, prefix path.Path,
 	case *object.Set:
 		var next []int
 		for _, id := range ids {
-			next = mergeUnique(next, m.g.memberStep(id))
+			next = mergeUnique(next, m.g.rtMemberStep(id))
 		}
 		for j := 0; j < x.Len(); j++ {
 			el := x.At(j)

@@ -6,40 +6,62 @@
 // valuations.
 //
 // Plans are trees of operators that transform streams of valuations. A
-// compiled plan memoises schema analysis lazily during execution and is
-// therefore not safe for concurrent Run calls; compile one plan per
-// goroutine (translation is cheap relative to evaluation). The
+// compiled plan is immutable after translation except for its guides'
+// memo tables, which are protected by a lock, so one plan may serve any
+// number of concurrent Run calls (each with its own Ctx). The
 // decisive difference from naive calculus evaluation is the treatment of
 // path predicates: instead of enumerating every concrete path from the
 // base value (the naive interpretation of a path variable), the plan
 // navigates only the schema-derived shapes that can satisfy the whole
 // pattern — which is exactly why the restricted path semantics "can be
 // implemented with efficient algebraic techniques" (Section 5.2).
+//
+// Within one Run, the row-at-a-time operators (select, bind, unnest,
+// path-navigate, anti-join) can additionally partition their input rows
+// across a bounded worker pool (Ctx.Workers); partitions are contiguous
+// and results are concatenated in input order, so evaluation stays
+// deterministic at any worker count.
 package algebra
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"sgmldb/internal/calculus"
 	"sgmldb/internal/object"
 	"sgmldb/internal/text"
 )
 
-// Ctx carries the runtime context of a plan: the calculus environment
-// (instance, interpreted functions) and an optional full-text index used
-// as an access path for contains predicates.
+// Ctx carries the runtime context of one plan execution: the calculus
+// environment (instance, interpreted functions; derive it with
+// Env.WithContext to make the run cancellable), an optional full-text
+// index used as an access path for contains predicates, and the size of
+// the worker pool for intra-query parallel scans. A Ctx is used by one
+// Run call; concurrent Runs each build their own.
 type Ctx struct {
 	Env   *calculus.Env
 	Index *text.Index
-	// ContainsDocs caches index evaluations per expression source.
+	// Workers bounds intra-query parallelism: row-scan operators split
+	// their input across up to Workers goroutines. Values <= 1 evaluate
+	// serially. The split is deterministic (ordered merge), so results
+	// are identical at any setting.
+	Workers int
+
+	// mu guards containsDocs: parallel scan partitions may race on it.
+	mu sync.Mutex
+	// containsDocs caches index evaluations per expression source.
 	containsDocs map[string]map[object.OID]bool
 }
 
-// NewCtx builds a runtime context.
+// NewCtx builds a serial runtime context; set Workers to enable parallel
+// scans.
 func NewCtx(env *calculus.Env) *Ctx {
 	return &Ctx{Env: env, containsDocs: map[string]map[object.OID]bool{}}
 }
+
+// err reports the evaluation context's cancellation error, if any.
+func (c *Ctx) err() error { return c.Env.Context().Err() }
 
 // Op is one algebra operator: it produces valuations, consuming its
 // input's valuations (nested-loops style, materialised).
@@ -87,7 +109,9 @@ func (o *selectOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ctx.Env.EvalWith(o.f, in)
+	return ctx.mapRows(in, func(v calculus.Valuation) ([]calculus.Valuation, error) {
+		return ctx.Env.EvalWith(o.f, []calculus.Valuation{v})
+	})
 }
 
 func (o *selectOp) explain(b *strings.Builder, indent int) {
@@ -108,18 +132,16 @@ func (o *bindOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]calculus.Valuation, 0, len(in))
-	for _, v := range in {
+	return ctx.mapRows(in, func(v calculus.Valuation) ([]calculus.Valuation, error) {
 		val, err := ctx.Env.Term(o.t, v)
 		if calculus.IsNoSuchPath(err) {
-			continue
+			return nil, nil
 		}
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, v.Extend(o.x, calculus.DataBinding(val)))
-	}
-	return out, nil
+		return []calculus.Valuation{v.Extend(o.x, calculus.DataBinding(val))}, nil
+	})
 }
 
 func (o *bindOp) explain(b *strings.Builder, indent int) {
@@ -142,11 +164,12 @@ func (o *unnestOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []calculus.Valuation
-	for _, v := range in {
+	// The outer set/list scan of a select-from-where plan: partitioned
+	// across the worker pool, merged in input order.
+	return ctx.mapRows(in, func(v calculus.Valuation) ([]calculus.Valuation, error) {
 		val, err := ctx.Env.Term(o.coll, v)
 		if calculus.IsNoSuchPath(err) {
-			continue
+			return nil, nil
 		}
 		if err != nil {
 			return nil, err
@@ -160,13 +183,14 @@ func (o *unnestOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
 		case *object.Tuple:
 			members = object.HeterogeneousList(c).Elems()
 		default:
-			continue
+			return nil, nil
 		}
+		out := make([]calculus.Valuation, 0, len(members))
 		for _, m := range members {
 			out = append(out, v.Extend(o.x, calculus.DataBinding(m)))
 		}
-	}
-	return out, nil
+		return out, nil
+	})
 }
 
 func (o *unnestOp) explain(b *strings.Builder, indent int) {
@@ -185,6 +209,9 @@ type unionOp struct {
 func (o *unionOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
 	var all []calculus.Valuation
 	for _, c := range o.children {
+		if err := ctx.err(); err != nil {
+			return nil, err
+		}
 		rows, err := c.Rows(ctx)
 		if err != nil {
 			return nil, err
@@ -278,17 +305,16 @@ func (o *antiOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []calculus.Valuation
-	for _, v := range in {
+	return ctx.mapRows(in, func(v calculus.Valuation) ([]calculus.Valuation, error) {
 		sub, err := ctx.Env.EvalWith(o.sub, []calculus.Valuation{v})
 		if err != nil {
 			return nil, err
 		}
 		if len(sub) == 0 {
-			out = append(out, v)
+			return []calculus.Valuation{v}, nil
 		}
-	}
-	return out, nil
+		return nil, nil
+	})
 }
 
 func (o *antiOp) explain(b *strings.Builder, indent int) {
@@ -315,13 +341,17 @@ func (o *indexContainsOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
 		return ctx.Env.EvalWith(calculus.Contains{T: calculus.Var{Name: o.x}, E: o.expr}, in)
 	}
 	key := o.expr.String()
+	ctx.mu.Lock()
 	docs, ok := ctx.containsDocs[key]
+	ctx.mu.Unlock()
 	if !ok {
 		docs = map[object.OID]bool{}
 		for _, d := range ctx.Index.Eval(o.expr) {
 			docs[object.OID(d)] = true
 		}
+		ctx.mu.Lock()
 		ctx.containsDocs[key] = docs
+		ctx.mu.Unlock()
 	}
 	var out []calculus.Valuation
 	var fallback []calculus.Valuation

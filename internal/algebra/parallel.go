@@ -1,0 +1,94 @@
+package algebra
+
+import (
+	"sync"
+
+	"sgmldb/internal/calculus"
+)
+
+// This file implements the parallel row scan shared by the row-at-a-time
+// operators. An operator's per-row work (navigating a path predicate,
+// evaluating a residual formula, unnesting a collection) is independent
+// across rows, so the input can be partitioned into contiguous chunks and
+// handed to a bounded worker pool. Each worker appends into its own
+// output slot and the slots are concatenated in partition order, so the
+// merged result is byte-for-byte the serial result — parallelism changes
+// wall-clock time, never answers.
+
+// minParallelRows is the smallest input for which spawning workers can
+// pay for itself; smaller inputs run serially.
+const minParallelRows = 4
+
+// ctxStride bounds how many rows a scan processes between cancellation
+// checks (the scan-partition granularity of query cancellation).
+const ctxStride = 64
+
+// mapRows applies fn to every input valuation and concatenates the
+// results in input order, splitting the work across ctx.Workers
+// goroutines when the input is large enough. fn must be safe for
+// concurrent calls on distinct rows (all operator row functions are: they
+// only read the environment and extend copy-on-write valuations).
+func (ctx *Ctx) mapRows(in []calculus.Valuation, fn func(calculus.Valuation) ([]calculus.Valuation, error)) ([]calculus.Valuation, error) {
+	workers := ctx.Workers
+	if workers > len(in) {
+		workers = len(in)
+	}
+	if workers <= 1 || len(in) < minParallelRows {
+		return ctx.mapRowsSerial(in, fn)
+	}
+	outs := make([][]calculus.Valuation, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(in) / workers
+		hi := (w + 1) * len(in) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []calculus.Valuation
+			for i := lo; i < hi; i++ {
+				// Each row of a partition re-checks cancellation: a
+				// cancelled query stops all partitions within one row.
+				if err := ctx.err(); err != nil {
+					errs[w] = err
+					return
+				}
+				rows, err := fn(in[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out = append(out, rows...)
+			}
+			outs[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var merged []calculus.Valuation
+	for _, out := range outs {
+		merged = append(merged, out...)
+	}
+	return merged, nil
+}
+
+func (ctx *Ctx) mapRowsSerial(in []calculus.Valuation, fn func(calculus.Valuation) ([]calculus.Valuation, error)) ([]calculus.Valuation, error) {
+	var out []calculus.Valuation
+	for i, v := range in {
+		if i%ctxStride == 0 {
+			if err := ctx.err(); err != nil {
+				return nil, err
+			}
+		}
+		rows, err := fn(v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+package calculus
+
+import "context"
+
+// Context support for the evaluator. The environment built by NewEnv is
+// shared by every query; WithContext derives a cheap per-evaluation copy
+// that carries the caller's context, so concurrent evaluations each see
+// their own cancellation signal without synchronising on the shared Env.
+//
+// Cancellation is checked at scan granularity — once per formula
+// dispatch, once per valuation batch in the atom filters, and once per
+// enumerated path in the naive path-variable scan — so a long query
+// returns ctx.Err() promptly without paying a check on every term.
+
+// WithContext returns a copy of the environment whose evaluations observe
+// ctx: Eval, EvalWith and Term return ctx.Err() once ctx is done. The
+// receiver is not modified, so one shared Env can serve concurrent
+// queries, each through its own WithContext copy.
+func (e *Env) WithContext(ctx context.Context) *Env {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e2 := *e
+	e2.ctx = ctx
+	return &e2
+}
+
+// Context returns the evaluation context (context.Background when the
+// environment was not derived with WithContext).
+func (e *Env) Context() context.Context {
+	if e.ctx == nil {
+		return context.Background()
+	}
+	return e.ctx
+}
+
+// checkCtx reports the context's error, if any.
+func (e *Env) checkCtx() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
+// ctxCheckStride bounds how many valuations an atom filter processes
+// between cancellation checks.
+const ctxCheckStride = 64

@@ -1,6 +1,7 @@
 package calculus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -123,6 +124,11 @@ type PredFunc func(args []Binding) (bool, error)
 
 // Env is an evaluation environment: the instance, the path-variable
 // semantics, and the interpreted functions and predicates.
+//
+// Concurrency: an Env is safe for concurrent evaluations as long as its
+// fields and the underlying instance are not mutated concurrently (the
+// single-writer/multi-reader discipline enforced by the sgmldb facade).
+// Use WithContext to derive per-evaluation copies carrying cancellation.
 type Env struct {
 	Inst      *store.Instance
 	Semantics path.Semantics
@@ -136,6 +142,10 @@ type Env struct {
 	// predicates.
 	Funcs map[string]Func
 	Preds map[string]PredFunc
+
+	// ctx is the per-evaluation cancellation context, set by WithContext
+	// on a copy of the shared environment (nil means Background).
+	ctx context.Context
 }
 
 // NewEnv builds an environment over an instance with the restricted path
@@ -182,6 +192,12 @@ func (r *Result) Bindings(name string) []Binding {
 // Len reports the number of result rows.
 func (r *Result) Len() int { return len(r.Rows) }
 
+// EvalContext evaluates a query under a cancellation context: it is
+// Eval over a WithContext copy of the environment.
+func (e *Env) EvalContext(ctx context.Context, q *Query) (*Result, error) {
+	return e.WithContext(ctx).Eval(q)
+}
+
 // Eval evaluates a query after checking its safety.
 func (e *Env) Eval(q *Query) (*Result, error) {
 	if err := CheckQuery(q); err != nil {
@@ -215,6 +231,9 @@ func (e *Env) Eval(q *Query) (*Result, error) {
 func (e *Env) evalFormula(f Formula, in []Valuation) ([]Valuation, error) {
 	if len(in) == 0 {
 		return nil, nil
+	}
+	if err := e.checkCtx(); err != nil {
+		return nil, err
 	}
 	switch x := f.(type) {
 	case TrueF:
@@ -380,7 +399,12 @@ func (e *Env) evalFormula(f Formula, in []Valuation) ([]Valuation, error) {
 
 func (e *Env) filter(in []Valuation, pred func(Valuation) (bool, error)) ([]Valuation, error) {
 	var out []Valuation
-	for _, v := range in {
+	for i, v := range in {
+		if i%ctxCheckStride == 0 {
+			if err := e.checkCtx(); err != nil {
+				return nil, err
+			}
+		}
 		ok, err := pred(v)
 		if errors.Is(err, errNoSuchPath) {
 			continue // the atom is false on this valuation (Section 5.3)

@@ -52,7 +52,14 @@ func (e *Env) matchElems(cur object.Value, elems []PathElem, v Valuation) ([]Val
 			Semantics: e.Semantics, MaxLen: e.MaxPathLen,
 		})
 		var out []Valuation
-		for _, pb := range bindings {
+		for i, pb := range bindings {
+			// The enumeration is the naive evaluator's hot scan: check
+			// cancellation once per enumerated path partition.
+			if i%ctxCheckStride == 0 {
+				if err := e.checkCtx(); err != nil {
+					return nil, err
+				}
+			}
 			sub, err := e.matchElems(pb.Value, rest, v.extend(x.Name, PathBinding(pb.Path)))
 			if err != nil {
 				return nil, err

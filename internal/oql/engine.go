@@ -1,7 +1,10 @@
 package oql
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"sgmldb/internal/algebra"
 	"sgmldb/internal/calculus"
@@ -12,6 +15,13 @@ import (
 // Engine executes O₂SQL queries over a calculus environment: parse →
 // typecheck (Section 4.2) → lower to the calculus (Section 5.2) →
 // evaluate, either naively or through the algebraization of Section 5.4.
+//
+// Concurrency: the query methods (Query, QueryContext, Rows, RowsContext,
+// Prepare and prepared Run/Rows) are safe for concurrent use as long as
+// the underlying instance follows the single-writer/multi-reader
+// discipline — the sgmldb facade serialises writers against them. The
+// configuration fields (UseAlgebra, MaxBranches, Workers, …) must not be
+// changed while queries are in flight.
 type Engine struct {
 	Env *calculus.Env
 	// Index, when set, serves as the full-text access path for contains.
@@ -23,53 +33,112 @@ type Engine struct {
 	SkipTypecheck bool
 	// MaxBranches bounds the (★) expansion (0 = default).
 	MaxBranches int
+	// Workers bounds intra-query parallelism of algebra scans:
+	// 0 uses GOMAXPROCS, 1 evaluates serially, n > 1 uses n goroutines.
+	Workers int
 
+	// mu guards planCache; queries from many goroutines share the cache.
+	mu sync.RWMutex
 	// planCache memoises compiled algebra plans per query source, so
-	// repeated queries pay the (★) analysis once. Plans and the cache
-	// share the engine's single-goroutine discipline.
-	planCache map[string]*algebra.Plan
+	// repeated queries pay the (★) analysis once. Entries record the
+	// schema version they were compiled against and are recompiled when
+	// the schema moves (a document load can add persistence roots, which
+	// changes the candidate valuations of unbound variables).
+	planCache map[string]cachedPlan
+}
+
+// cachedPlan is one plan cache entry with its compilation version.
+type cachedPlan struct {
+	plan    *algebra.Plan
+	version uint64
 }
 
 // New builds an engine over an environment.
 func New(env *calculus.Env) *Engine { return &Engine{Env: env} }
 
+// schemaVersion reports the current schema mutation counter (0 when the
+// engine has no instance).
+func (e *Engine) schemaVersion() uint64 {
+	if e.Env.Inst == nil {
+		return 0
+	}
+	return e.Env.Inst.Schema().Version()
+}
+
+// workers resolves the Workers setting to a concrete pool size.
+func (e *Engine) workers() int {
+	if e.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.Workers
+}
+
+// newCtx builds one plan-execution context carrying ctx for cancellation.
+func (e *Engine) newCtx(ctx context.Context) *algebra.Ctx {
+	c := algebra.NewCtx(e.Env.WithContext(ctx))
+	c.Index = e.Index
+	c.Workers = e.workers()
+	return c
+}
+
 // Query parses, checks and evaluates a query, returning its value: a set
 // for select-from-where and bare pattern queries, the computed value for
 // other expressions.
 func (e *Engine) Query(src string) (object.Value, error) {
-	ast, err := Parse(src)
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query under a context: evaluation observes ctx and
+// returns its error promptly after cancellation.
+func (e *Engine) QueryContext(ctx context.Context, src string) (object.Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ast, err := e.parseCheck(src)
 	if err != nil {
 		return nil, err
 	}
-	if !e.SkipTypecheck && e.Env.Inst != nil {
-		if err := Typecheck(e.Env.Inst.Schema(), ast); err != nil {
-			return nil, err
-		}
-	}
 	switch x := ast.(type) {
 	case SelectExpr:
-		res, err := e.runCached(src, ast)
+		res, err := e.runCached(ctx, src, ast)
 		if err != nil {
 			return nil, err
 		}
 		return res.ToSet(), nil
 	case PathExpr:
 		if patternHasVars(x.Elems) {
-			res, err := e.runCached(src, ast)
+			res, err := e.runCached(ctx, src, ast)
 			if err != nil {
 				return nil, err
 			}
 			return res.ToSet(), nil
 		}
-		return e.value(ast)
+		return e.value(ctx, ast)
 	default:
-		return e.value(ast)
+		return e.value(ctx, ast)
 	}
 }
 
 // Rows evaluates a select or pattern query and returns the raw result
 // (head variables with their sorted bindings).
 func (e *Engine) Rows(src string) (*calculus.Result, error) {
+	return e.RowsContext(context.Background(), src)
+}
+
+// RowsContext is Rows under a context.
+func (e *Engine) RowsContext(ctx context.Context, src string) (*calculus.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ast, err := e.parseCheck(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.runCached(ctx, src, ast)
+}
+
+// parseCheck parses the source and runs the static checks.
+func (e *Engine) parseCheck(src string) (Expr, error) {
 	ast, err := Parse(src)
 	if err != nil {
 		return nil, err
@@ -79,7 +148,7 @@ func (e *Engine) Rows(src string) (*calculus.Result, error) {
 			return nil, err
 		}
 	}
-	return e.runCached(src, ast)
+	return ast, nil
 }
 
 // Lower exposes the calculus translation of a query (for inspection and
@@ -109,7 +178,7 @@ func (e *Engine) rootNames() []string {
 }
 
 // run lowers and evaluates a query expression.
-func (e *Engine) run(ast Expr) (*calculus.Result, error) {
+func (e *Engine) run(ctx context.Context, ast Expr) (*calculus.Result, error) {
 	q, err := Lower(ast, e.rootNames())
 	if err != nil {
 		return nil, err
@@ -119,22 +188,32 @@ func (e *Engine) run(ast Expr) (*calculus.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ctx := algebra.NewCtx(e.Env)
-		ctx.Index = e.Index
-		return plan.Run(ctx)
+		return plan.Run(e.newCtx(ctx))
 	}
-	return e.Env.Eval(q)
+	return e.Env.EvalContext(ctx, q)
 }
 
 // runCached is run with plan caching keyed by the query source.
-func (e *Engine) runCached(src string, ast Expr) (*calculus.Result, error) {
+func (e *Engine) runCached(ctx context.Context, src string, ast Expr) (*calculus.Result, error) {
 	if !e.UseAlgebra {
-		return e.run(ast)
+		return e.run(ctx, ast)
 	}
-	if plan, ok := e.planCache[src]; ok {
-		ctx := algebra.NewCtx(e.Env)
-		ctx.Index = e.Index
-		return plan.Run(ctx)
+	plan, err := e.cachedPlan(src, ast)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Run(e.newCtx(ctx))
+}
+
+// cachedPlan returns the compiled plan for src, compiling (or recompiling,
+// if the schema changed underneath the cached entry) under the write lock.
+func (e *Engine) cachedPlan(src string, ast Expr) (*algebra.Plan, error) {
+	version := e.schemaVersion()
+	e.mu.RLock()
+	entry, ok := e.planCache[src]
+	e.mu.RUnlock()
+	if ok && entry.version == version {
+		return entry.plan, nil
 	}
 	q, err := Lower(ast, e.rootNames())
 	if err != nil {
@@ -144,20 +223,138 @@ func (e *Engine) runCached(src string, ast Expr) (*calculus.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.mu.Lock()
 	if e.planCache == nil {
-		e.planCache = map[string]*algebra.Plan{}
+		e.planCache = map[string]cachedPlan{}
 	}
-	e.planCache[src] = plan
-	ctx := algebra.NewCtx(e.Env)
-	ctx.Index = e.Index
-	return plan.Run(ctx)
+	e.planCache[src] = cachedPlan{plan: plan, version: version}
+	e.mu.Unlock()
+	return plan, nil
+}
+
+// Prepared is a query whose front-end work — parsing, typechecking,
+// lowering to the calculus and (in algebra mode) plan compilation — has
+// been done once. Run and Rows replay only the evaluation. A Prepared is
+// safe for concurrent use; it recompiles its plan transparently if the
+// schema has changed since preparation (e.g. after a document load).
+type Prepared struct {
+	engine *Engine
+	src    string
+	ast    Expr
+	bare   bool // bare expression: evaluated directly, no row form
+
+	mu      sync.RWMutex
+	lowered *calculus.Query
+	plan    *algebra.Plan // nil in naive-calculus mode
+	version uint64
+}
+
+// Prepare parses, typechecks and compiles a query for repeated execution.
+func (e *Engine) Prepare(src string) (*Prepared, error) {
+	ast, err := e.parseCheck(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{engine: e, src: src, ast: ast}
+	switch x := ast.(type) {
+	case SelectExpr:
+	case PathExpr:
+		if !patternHasVars(x.Elems) {
+			p.bare = true
+			return p, nil
+		}
+	default:
+		p.bare = true
+		return p, nil
+	}
+	if err := p.compile(e.schemaVersion()); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// compile (re)lowers the query and, in algebra mode, rebuilds its plan,
+// recording the schema version it compiled against.
+func (p *Prepared) compile(version uint64) error {
+	e := p.engine
+	q, err := Lower(p.ast, e.rootNames())
+	if err != nil {
+		return err
+	}
+	var plan *algebra.Plan
+	if e.UseAlgebra {
+		plan, err = algebra.Translate(e.Env, q, algebra.Options{Index: e.Index, MaxBranches: e.MaxBranches})
+		if err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	p.lowered, p.plan, p.version = q, plan, version
+	p.mu.Unlock()
+	return nil
+}
+
+// Source returns the query text the statement was prepared from.
+func (p *Prepared) Source() string { return p.src }
+
+// Run evaluates the prepared query and returns its value, like
+// Engine.QueryContext but without re-doing the front-end work.
+func (p *Prepared) Run(ctx context.Context) (object.Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.bare {
+		return p.engine.value(ctx, p.ast)
+	}
+	res, err := p.rows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res.ToSet(), nil
+}
+
+// Rows evaluates the prepared query and returns the raw result. It
+// reports an error for bare expressions that have no row form.
+func (p *Prepared) Rows(ctx context.Context) (*calculus.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.bare {
+		return nil, fmt.Errorf("oql: prepared query %q has no row form", p.src)
+	}
+	return p.rows(ctx)
+}
+
+func (p *Prepared) rows(ctx context.Context) (*calculus.Result, error) {
+	e := p.engine
+	version := e.schemaVersion()
+	p.mu.RLock()
+	q, plan := p.lowered, p.plan
+	fresh := p.version == version && (plan != nil) == e.UseAlgebra
+	p.mu.RUnlock()
+	if !fresh {
+		// The schema moved since compilation (a document load can add
+		// persistence roots, changing the candidate valuations of unbound
+		// variables), or the engine's evaluation mode was switched:
+		// recompile against the current state.
+		if err := p.compile(version); err != nil {
+			return nil, err
+		}
+		p.mu.RLock()
+		q, plan = p.lowered, p.plan
+		p.mu.RUnlock()
+	}
+	if plan == nil {
+		return e.Env.EvalContext(ctx, q)
+	}
+	return plan.Run(e.newCtx(ctx))
 }
 
 // value evaluates a bare (non-select) expression directly. A path step
 // that does not apply to a named instance surfaces as the execution-time
 // type error of Section 4.2 ("my_section.subsectns will return a type
 // error detected at execution time").
-func (e *Engine) value(ast Expr) (object.Value, error) {
+func (e *Engine) value(ctx context.Context, ast Expr) (object.Value, error) {
 	lw := &lowerer{}
 	if roots := e.rootNames(); roots != nil {
 		lw.roots = map[string]bool{}
@@ -169,7 +366,7 @@ func (e *Engine) value(ast Expr) (object.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	v, err := e.Env.Term(t, calculus.Valuation{})
+	v, err := e.Env.WithContext(ctx).Term(t, calculus.Valuation{})
 	if calculus.IsNoSuchPath(err) {
 		return nil, fmt.Errorf("oql: execution-time type error: %v", err)
 	}

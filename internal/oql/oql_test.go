@@ -103,15 +103,19 @@ func articleEngine(t *testing.T) *Engine {
 // evaluator.
 func bothEngines(t *testing.T, e *Engine, body func(t *testing.T, e *Engine)) {
 	t.Helper()
+	withMode := func(on bool) *Engine {
+		e2 := New(e.Env)
+		e2.Index = e.Index
+		e2.SkipTypecheck = e.SkipTypecheck
+		e2.MaxBranches = e.MaxBranches
+		e2.UseAlgebra = on
+		return e2
+	}
 	t.Run("naive", func(t *testing.T) {
-		e2 := *e
-		e2.UseAlgebra = false
-		body(t, &e2)
+		body(t, withMode(false))
 	})
 	t.Run("algebra", func(t *testing.T) {
-		e2 := *e
-		e2.UseAlgebra = true
-		body(t, &e2)
+		body(t, withMode(true))
 	})
 }
 

@@ -18,6 +18,14 @@ type Method func(inst *Instance, recv object.OID, args []object.Value) (object.V
 //   - ν maps each oid to a value of the correct type;
 //   - μ assigns executable semantics to method names;
 //   - γ assigns each persistence root a value of its declared type.
+//
+// Concurrency: an Instance follows the single-writer/multi-reader
+// discipline. The readers (Deref, ClassOf, Root, Extent, …) are pure map
+// lookups and safe to call from any number of goroutines, provided no
+// mutator (NewObject, SetValue, SetRoot, BindMethod) runs at the same
+// time. The sgmldb facade enforces this with an RWMutex: document loads
+// take the write lock, queries the read lock, so the hot query path pays
+// no per-Deref synchronisation.
 type Instance struct {
 	schema *Schema
 	nextID object.OID

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"sgmldb/internal/object"
 )
@@ -49,6 +50,11 @@ func (m MethodSig) String() string {
 // Schema is a 5-tuple (C, σ, ≺, M, G): a well-formed class hierarchy, a set
 // of method signatures and a set of named persistence roots with their
 // types.
+//
+// Concurrency: schemas follow the single-writer/multi-reader discipline —
+// mutators (AddClass, AddRoot, …) must not run concurrently with readers.
+// Version is safe to read at any time and lets caches built from the
+// schema (e.g. compiled algebra plans) detect staleness.
 type Schema struct {
 	hierarchy   *object.Hierarchy
 	methods     []MethodSig
@@ -56,7 +62,20 @@ type Schema struct {
 	rootOrder   []string
 	constraints map[string][]Constraint    // per class, Figure 3 style
 	private     map[string]map[string]bool // class -> private attribute names
+
+	// version counts schema mutations; anything compiled against the
+	// schema (candidate-valuation guides, cached plans) records it and
+	// recompiles when it moves.
+	version atomic.Uint64
 }
+
+// Version reports the schema's mutation counter. It increases on every
+// structural change (class, inheritance, root, constraint, method or
+// privacy declaration), so a cache keyed by (input, Version) never serves
+// a plan compiled against a stale schema.
+func (s *Schema) Version() uint64 { return s.version.Load() }
+
+func (s *Schema) bumpVersion() { s.version.Add(1) }
 
 // NewSchema returns an empty schema.
 func NewSchema() *Schema {
@@ -73,16 +92,19 @@ func (s *Schema) Hierarchy() *object.Hierarchy { return s.hierarchy }
 
 // AddClass declares a class with its type σ(name).
 func (s *Schema) AddClass(name string, typ object.Type) error {
+	s.bumpVersion()
 	return s.hierarchy.AddClass(name, typ)
 }
 
 // SetClassType replaces σ(name); used when compiling recursive DTDs.
 func (s *Schema) SetClassType(name string, typ object.Type) error {
+	s.bumpVersion()
 	return s.hierarchy.SetType(name, typ)
 }
 
 // AddInherits records c ≺ sup.
 func (s *Schema) AddInherits(c, sup string) error {
+	s.bumpVersion()
 	return s.hierarchy.AddInherits(c, sup)
 }
 
@@ -92,6 +114,7 @@ func (s *Schema) AddMethod(m MethodSig) error {
 		return fmt.Errorf("store: method %s on undeclared class %q", m.Name, m.Class)
 	}
 	s.methods = append(s.methods, m)
+	s.bumpVersion()
 	return nil
 }
 
@@ -112,6 +135,7 @@ func (s *Schema) AddRoot(name string, typ object.Type) error {
 	}
 	s.roots[name] = typ
 	s.rootOrder = append(s.rootOrder, name)
+	s.bumpVersion()
 	return nil
 }
 
@@ -134,6 +158,7 @@ func (s *Schema) AddConstraint(class string, c Constraint) error {
 		return fmt.Errorf("store: constraint on undeclared class %q", class)
 	}
 	s.constraints[class] = append(s.constraints[class], c)
+	s.bumpVersion()
 	return nil
 }
 
@@ -158,6 +183,7 @@ func (s *Schema) MarkPrivate(class, attr string) error {
 		s.private[class] = m
 	}
 	m[attr] = true
+	s.bumpVersion()
 	return nil
 }
 

@@ -2,6 +2,7 @@ package text
 
 import (
 	"sort"
+	"sync"
 )
 
 // DocID identifies an indexed document (the caller typically uses object
@@ -18,10 +19,19 @@ type posting struct {
 // whose integration Section 4.1 and Section 6 call for. It answers
 // contains expressions (boolean combinations of patterns) and near
 // predicates without scanning document text.
+//
+// An Index is safe for concurrent use: Add takes the write lock, every
+// reader (Lookup, Eval, Docs, …) the read lock, so any number of queries
+// can evaluate contains expressions while one loader indexes documents.
 type Index struct {
+	mu    sync.RWMutex
 	vocab map[string][]posting // word -> postings, docs ascending
 	docs  map[DocID]bool
 	order []DocID // insertion order
+	// sortMu guards the lazily built sortedWords cache, which readers
+	// (holding only mu.RLock) may need to build. Lock order: mu before
+	// sortMu.
+	sortMu sync.Mutex
 	// sortedWords caches the vocabulary for pattern scans; invalidated on
 	// Add.
 	sortedWords []string
@@ -36,11 +46,15 @@ func NewIndex() *Index {
 // replaces nothing — positions accumulate — so callers index each
 // document once.
 func (ix *Index) Add(doc DocID, text string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if !ix.docs[doc] {
 		ix.docs[doc] = true
 		ix.order = append(ix.order, doc)
 	}
+	ix.sortMu.Lock()
 	ix.sortedWords = nil
+	ix.sortMu.Unlock()
 	for _, t := range Tokenize(text) {
 		ps := ix.vocab[t.Word]
 		if n := len(ps); n > 0 && ps[n-1].doc == doc {
@@ -53,13 +67,23 @@ func (ix *Index) Add(doc DocID, text string) {
 }
 
 // Size reports the number of indexed documents.
-func (ix *Index) Size() int { return len(ix.docs) }
+func (ix *Index) Size() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
 
 // VocabularySize reports the number of distinct words.
-func (ix *Index) VocabularySize() int { return len(ix.vocab) }
+func (ix *Index) VocabularySize() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.vocab)
+}
 
 // Docs returns all indexed documents in insertion order.
 func (ix *Index) Docs() []DocID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	out := make([]DocID, len(ix.order))
 	copy(out, ix.order)
 	return out
@@ -67,6 +91,8 @@ func (ix *Index) Docs() []DocID {
 
 // Lookup returns the documents containing the word, ascending.
 func (ix *Index) Lookup(word string) []DocID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	ps := ix.vocab[word]
 	out := make([]DocID, len(ps))
 	for i, p := range ps {
@@ -77,7 +103,7 @@ func (ix *Index) Lookup(word string) []DocID {
 }
 
 // matchingWords scans the vocabulary with a pattern. Bare literals skip
-// the scan.
+// the scan. Callers hold at least ix.mu.RLock.
 func (ix *Index) matchingWords(p *Pattern) []string {
 	if lit, ok := p.Literal(); ok {
 		if _, present := ix.vocab[lit]; present {
@@ -85,6 +111,23 @@ func (ix *Index) matchingWords(p *Pattern) []string {
 		}
 		return nil
 	}
+	var out []string
+	for _, w := range ix.sorted() {
+		if p.Match(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// sorted returns the sorted vocabulary, (re)building the cache under its
+// own mutex so that concurrent readers — who hold only mu.RLock — do not
+// race on the cache. Add invalidates it under mu.Lock, which excludes all
+// readers, so the cache a reader builds here is consistent with the
+// vocabulary it scans.
+func (ix *Index) sorted() []string {
+	ix.sortMu.Lock()
+	defer ix.sortMu.Unlock()
 	if ix.sortedWords == nil {
 		ix.sortedWords = make([]string, 0, len(ix.vocab))
 		for w := range ix.vocab {
@@ -92,13 +135,7 @@ func (ix *Index) matchingWords(p *Pattern) []string {
 		}
 		sort.Strings(ix.sortedWords)
 	}
-	var out []string
-	for _, w := range ix.sortedWords {
-		if p.Match(w) {
-			out = append(out, w)
-		}
-	}
-	return out
+	return ix.sortedWords
 }
 
 // Eval answers a contains expression from the index: the set of documents
@@ -110,6 +147,8 @@ func (ix *Index) matchingWords(p *Pattern) []string {
 // a phrase using positions. Negation complements against the set of all
 // indexed documents.
 func (ix *Index) Eval(expr Expr) []DocID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	set := ix.eval(expr)
 	out := make([]DocID, 0, len(set))
 	for d := range set {

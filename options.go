@@ -1,0 +1,36 @@
+package sgmldb
+
+// Option configures a Database at open time:
+//
+//	db, err := sgmldb.OpenDTD(src, sgmldb.WithAlgebra(true), sgmldb.WithWorkers(8))
+//
+// Options apply before the database is returned, so the engine
+// configuration is fixed while queries run — the concurrency contract of
+// the engine requires exactly that.
+type Option func(*Database)
+
+// WithAlgebra selects the evaluation strategy: true evaluates through the
+// Section 5.4 algebra plans (with plan caching), false through the naive
+// calculus interpreter. The default is the naive interpreter.
+func WithAlgebra(on bool) Option {
+	return func(db *Database) { db.Engine.UseAlgebra = on }
+}
+
+// WithMaxBranches bounds the (★) expansion of path-variable patterns into
+// a union of variable-free plans (0 keeps the engine default).
+func WithMaxBranches(n int) Option {
+	return func(db *Database) { db.Engine.MaxBranches = n }
+}
+
+// WithSkipTypecheck disables the static Section 4.2 checks, leaving only
+// execution-time type errors.
+func WithSkipTypecheck(on bool) Option {
+	return func(db *Database) { db.Engine.SkipTypecheck = on }
+}
+
+// WithWorkers bounds intra-query parallelism of algebra plan scans:
+// 0 (the default) uses GOMAXPROCS, 1 evaluates serially, n > 1 uses up to
+// n goroutines per query. Results are identical at any setting.
+func WithWorkers(n int) Option {
+	return func(db *Database) { db.Engine.Workers = n }
+}

@@ -15,11 +15,25 @@
 //
 // Everything is stdlib-only and in-memory, with snapshot persistence via
 // Save and OpenSnapshot.
+//
+// # Concurrency
+//
+// A Database is safe for concurrent use under a single-writer /
+// multi-reader discipline enforced internally with an RWMutex: the
+// mutating methods (LoadDocument, Name, UseAlgebra) take the write lock,
+// while queries (Query, QueryContext, QueryRows, prepared Run/Rows) and
+// the other read-only methods share the read lock. Readers run fully in
+// parallel — the hot evaluation path pays no per-object synchronisation —
+// and a writer simply excludes them for the duration of a load. Query
+// evaluation itself can additionally use multiple goroutines per query
+// (see WithWorkers) and is cancellable through QueryContext.
 package sgmldb
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"sync"
 
 	"sgmldb/internal/calculus"
 	"sgmldb/internal/dtdmap"
@@ -36,11 +50,15 @@ type Database struct {
 	Mapping *dtdmap.Mapping
 	Loader  *dtdmap.Loader
 	Engine  *oql.Engine
+
+	// mu enforces the single-writer/multi-reader discipline: document
+	// loads and root naming take the write lock, queries the read lock.
+	mu sync.RWMutex
 }
 
 // OpenDTD compiles a DTD (Section 3) and opens an empty database for its
 // documents.
-func OpenDTD(dtdSource string) (*Database, error) {
+func OpenDTD(dtdSource string, opts ...Option) (*Database, error) {
 	dtd, err := sgml.ParseDTD(dtdSource)
 	if err != nil {
 		return nil, err
@@ -51,16 +69,19 @@ func OpenDTD(dtdSource string) (*Database, error) {
 	}
 	loader := dtdmap.NewLoader(m)
 	db := &Database{Mapping: m, Loader: loader}
-	db.wire(loader.Instance)
+	db.wire(loader.Instance, opts)
 	return db, nil
 }
 
-// wire builds the engine over an instance.
-func (db *Database) wire(inst *store.Instance) {
+// wire builds the engine over an instance and applies the open options.
+func (db *Database) wire(inst *store.Instance, opts []Option) {
 	env := calculus.NewEnv(inst)
 	env.TextOf = func(v object.Value) string { return dtdmap.TextOf(inst, v) }
 	db.Engine = oql.New(env)
 	db.Engine.Index = text.NewIndex()
+	for _, opt := range opts {
+		opt(db)
+	}
 }
 
 // Instance exposes the underlying store instance.
@@ -71,15 +92,19 @@ func (db *Database) Schema() *store.Schema { return db.Instance().Schema() }
 
 // LoadDocument parses, validates and loads one SGML document, returning
 // the oid of its document object. The document is added to the plural
-// persistence root (e.g. Articles) and to the full-text index.
+// persistence root (e.g. Articles) and to the full-text index. It excludes
+// concurrent queries for the duration of the load; on a snapshot database
+// it reports ErrReadOnly.
 func (db *Database) LoadDocument(src string) (object.OID, error) {
 	if db.Loader == nil {
-		return 0, fmt.Errorf("sgmldb: snapshot databases are read-only for documents")
+		return 0, ErrReadOnly
 	}
 	doc, err := sgml.ParseDocument(db.Mapping.DTD, src)
 	if err != nil {
 		return 0, err
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	oid, err := db.Loader.Load(doc)
 	if err != nil {
 		return 0, err
@@ -89,11 +114,14 @@ func (db *Database) LoadDocument(src string) (object.OID, error) {
 }
 
 // Name declares a root of persistence for an object (e.g. my_article),
-// making it addressable from queries.
+// making it addressable from queries. It reports ErrUnknownObject for an
+// unassigned oid.
 func (db *Database) Name(name string, oid object.OID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	class, ok := db.Instance().ClassOf(oid)
 	if !ok {
-		return fmt.Errorf("sgmldb: unknown object %s", oid)
+		return fmt.Errorf("%w: %s", ErrUnknownObject, oid)
 	}
 	if _, exists := db.Schema().RootType(name); !exists {
 		if err := db.Schema().AddRoot(name, object.Class(class)); err != nil {
@@ -104,58 +132,140 @@ func (db *Database) Name(name string, oid object.OID) error {
 }
 
 // Query runs an extended O₂SQL query and returns its value (a set for
-// select and pattern queries).
+// select and pattern queries). It is QueryContext under
+// context.Background.
 func (db *Database) Query(src string) (object.Value, error) {
-	return db.Engine.Query(src)
+	return db.QueryContext(context.Background(), src)
+}
+
+// QueryContext runs a query under a context: cancelling ctx makes the
+// evaluation return ctx's error promptly. Any number of QueryContext
+// calls may run concurrently.
+func (db *Database) QueryContext(ctx context.Context, src string) (object.Value, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.Engine.QueryContext(ctx, src)
 }
 
 // QueryRows runs a query and returns the raw rows with their sorted
 // bindings (paths stay paths).
 func (db *Database) QueryRows(src string) (*calculus.Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.Engine.Rows(src)
 }
 
+// Prepare parses, typechecks and compiles a query once for repeated —
+// possibly concurrent — execution via Run or Rows.
+func (db *Database) Prepare(src string) (*PreparedQuery, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, err := db.Engine.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{db: db, p: p}, nil
+}
+
+// PreparedQuery is a compiled query bound to its database. It is safe for
+// concurrent use and stays valid across document loads (the plan is
+// recompiled transparently when the schema changes).
+type PreparedQuery struct {
+	db *Database
+	p  *oql.Prepared
+}
+
+// Source returns the query text the statement was prepared from.
+func (pq *PreparedQuery) Source() string { return pq.p.Source() }
+
+// Run evaluates the prepared query and returns its value, like
+// Database.QueryContext without the per-call front-end work.
+func (pq *PreparedQuery) Run(ctx context.Context) (object.Value, error) {
+	pq.db.mu.RLock()
+	defer pq.db.mu.RUnlock()
+	return pq.p.Run(ctx)
+}
+
+// Rows evaluates the prepared query and returns the raw rows.
+func (pq *PreparedQuery) Rows(ctx context.Context) (*calculus.Result, error) {
+	pq.db.mu.RLock()
+	defer pq.db.mu.RUnlock()
+	return pq.p.Rows(ctx)
+}
+
 // UseAlgebra switches evaluation to the Section 5.4 algebra plans.
-func (db *Database) UseAlgebra(on bool) { db.Engine.UseAlgebra = on }
+//
+// Deprecated: prefer the WithAlgebra open option, which fixes the
+// evaluation strategy before any query can run. UseAlgebra remains for
+// compatibility and takes the write lock, so it must not be called from
+// within a query.
+func (db *Database) UseAlgebra(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.Engine.UseAlgebra = on
+}
 
 // Text returns the text of a logical object (the text operator).
 func (db *Database) Text(v object.Value) string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return dtdmap.TextOf(db.Instance(), v)
 }
 
 // Check validates the instance against the schema and the Figure 3
 // constraints.
-func (db *Database) Check() []error { return db.Instance().Check() }
+func (db *Database) Check() []error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.Instance().Check()
+}
 
 // Stats summarises the database.
-func (db *Database) Stats() store.Stats { return db.Instance().Stats() }
+func (db *Database) Stats() store.Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.Instance().Stats()
+}
 
 // Save writes a snapshot of the database to a file.
 func (db *Database) Save(path string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return store.SaveFile(path, db.Instance())
 }
 
 // OpenSnapshot reopens a saved database for querying. Loading further
 // documents requires the original DTD (use OpenDTD and reload instead).
-func OpenSnapshot(path string) (*Database, error) {
+func OpenSnapshot(path string, opts ...Option) (*Database, error) {
 	inst, err := store.LoadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	db := &Database{}
-	db.wire(inst)
-	// Rebuild the full-text index over the document roots.
+	db.wire(inst, opts)
+	// Rebuild the full-text index over the document roots: both plural
+	// roots (lists of documents) and singular roots naming one document.
+	indexed := map[object.OID]bool{}
+	addDoc := func(o object.OID) {
+		if !indexed[o] {
+			indexed[o] = true
+			db.Engine.Index.Add(text.DocID(o), dtdmap.TextOf(inst, o))
+		}
+	}
 	for _, g := range inst.Schema().Roots() {
 		v, ok := inst.Root(g)
 		if !ok {
 			continue
 		}
-		if l, isList := v.(*object.List); isList {
-			for i := 0; i < l.Len(); i++ {
-				if o, isOID := l.At(i).(object.OID); isOID {
-					db.Engine.Index.Add(text.DocID(o), dtdmap.TextOf(inst, o))
+		switch r := v.(type) {
+		case *object.List:
+			for i := 0; i < r.Len(); i++ {
+				if o, isOID := r.At(i).(object.OID); isOID {
+					addDoc(o)
 				}
 			}
+		case object.OID:
+			addDoc(r)
 		}
 	}
 	return db, nil
@@ -163,24 +273,31 @@ func OpenSnapshot(path string) (*Database, error) {
 
 // Export reconstructs the SGML source of a loaded document object — the
 // inverse mapping of the paper's footnote 1. The result re-parses and
-// re-loads to an isomorphic instance.
+// re-loads to an isomorphic instance. It reports ErrNoMapping on a
+// database opened without the DTD.
 func (db *Database) Export(doc object.OID) (string, error) {
 	if db.Mapping == nil {
-		return "", fmt.Errorf("sgmldb: export requires the DTD mapping (open with OpenDTD)")
+		return "", fmt.Errorf("%w: export", ErrNoMapping)
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return dtdmap.Export(db.Mapping, db.Instance(), doc)
 }
 
 // SchemaString renders the schema in the paper's Figure 3 syntax.
-func (db *Database) SchemaString() string { return db.Schema().String() }
+func (db *Database) SchemaString() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.Schema().String()
+}
 
 // OpenDTDFile is OpenDTD over a file.
-func OpenDTDFile(path string) (*Database, error) {
+func OpenDTDFile(path string, opts ...Option) (*Database, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return OpenDTD(string(src))
+	return OpenDTD(string(src), opts...)
 }
 
 // LoadDocumentFile loads a document from a file.
