@@ -1,15 +1,20 @@
 # Development targets. `make ci` is the extended verify recorded in
-# ROADMAP.md: vet + build + the full test suite under the race detector +
-# a smoke run of every benchmark.
+# ROADMAP.md: vet + sgmldbvet + build + the full test suite under the
+# race detector + a fuzz smoke of the SGML parsers + a smoke run of
+# every benchmark.
 
 GO ?= go
 
-.PHONY: all build test race bench ci
+.PHONY: all build vet test race bench fuzz ci
 
 all: build
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/sgmldbvet ./...
 
 test:
 	$(GO) test ./...
@@ -22,8 +27,17 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
+# A few seconds per fuzz target: catches parser panics on mutated input
+# without an open-ended run. Minimization is capped by executions — the
+# default 60s-per-interesting-input budget stalls a smoke run.
+fuzz:
+	$(GO) test ./internal/sgml/ -run='^$$' -fuzz=FuzzParseDTD -fuzztime=5s -fuzzminimizetime=10x
+	$(GO) test ./internal/sgml/ -run='^$$' -fuzz=FuzzParseDocument -fuzztime=5s -fuzzminimizetime=10x
+
 ci:
 	$(GO) vet ./...
+	$(GO) run ./cmd/sgmldbvet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .

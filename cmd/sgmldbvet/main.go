@@ -1,0 +1,61 @@
+// Command sgmldbvet runs sgmldb's domain-specific static analyzers over
+// the repository: exhaustive kind switches, context polling in row scans,
+// receiver-mutex discipline, error wrapping, and panic reachability. It
+// prints findings in the familiar file:line:col format and exits non-zero
+// when any survive, so `make ci` can gate on it.
+//
+// Usage:
+//
+//	sgmldbvet [-analyzers exhaustive,ctxpoll,…] [packages]
+//
+// Packages default to ./... and accept any `go list` pattern.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sgmldb/internal/analysis"
+)
+
+func main() {
+	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prog, err := analysis.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(prog, analyzers)
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sgmldbvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+package sgmldb
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sgmldb/internal/object"
+)
+
+// The facade promises sentinel errors testable with errors.Is, no matter
+// how many wrapping layers the failing operation adds.
+
+func TestErrReadOnlyFromSnapshot(t *testing.T) {
+	db := openArticleDB(t)
+	src, err := os.ReadFile("testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadDocument(string(src)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.snap")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = snap.LoadDocument(string(src))
+	if !errors.Is(err, ErrReadOnly) {
+		t.Errorf("LoadDocument on snapshot: err = %v, want errors.Is ErrReadOnly", err)
+	}
+}
+
+func TestErrUnknownObjectFromName(t *testing.T) {
+	db := openArticleDB(t)
+	err := db.Name("ghost", object.OID(1<<40))
+	if !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("Name with bogus oid: err = %v, want errors.Is ErrUnknownObject", err)
+	}
+}
+
+func TestErrNoMappingFromExport(t *testing.T) {
+	db := openArticleDB(t)
+	src, err := os.ReadFile("testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, err := db.LoadDocument(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.snap")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = snap.Export(oid)
+	if !errors.Is(err, ErrNoMapping) {
+		t.Errorf("Export without mapping: err = %v, want errors.Is ErrNoMapping", err)
+	}
+}

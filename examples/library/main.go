@@ -99,6 +99,7 @@ func run(env *calculus.Env, label string, q *calculus.Query) {
 		log.Fatal(err)
 	}
 	fmt.Println(label)
+	//lint:allow ctxpoll printing a finished result; evaluation is already complete
 	for _, row := range res.Rows {
 		for _, h := range q.Head {
 			fmt.Printf("  %s = %s\n", h.Name, row[h.Name])

@@ -304,7 +304,7 @@ func TestContainsWithAndWithoutIndex(t *testing.T) {
 						calculus.ElemAttr{A: calculus.AttrName{Name: "chapters"}},
 						calculus.ElemIndex{I: calculus.Var{Name: "I"}},
 						calculus.ElemBind{X: "C"})},
-				calculus.Contains{T: calculus.Var{Name: "C"}, E: text.Word("Random")},
+				calculus.Contains{T: calculus.Var{Name: "C"}, E: text.MustWord("Random")},
 			),
 		},
 	}

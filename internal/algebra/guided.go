@@ -166,6 +166,8 @@ func (g *guide) successors(id int) []int {
 		for _, cl := range g.h.Classes() {
 			out = mergeUnique(out, g.classIDs(cl))
 		}
+	default:
+		// atomic types are leaves: no successors
 	}
 	g.succ[id] = out
 	return out
@@ -220,6 +222,8 @@ func (g *guide) attrStep(id int, name string) []int {
 		for _, s := range g.successors(id) {
 			out = mergeUnique(out, g.attrStep(s, name))
 		}
+	default:
+		// other kinds have no named attributes: dead end
 	}
 	g.attrs[k] = out
 	return out
@@ -245,6 +249,8 @@ func (g *guide) attrAllStep(id int) []int {
 		for _, s := range g.successors(id) {
 			out = mergeUnique(out, g.attrAllStep(s))
 		}
+	default:
+		// other kinds have no attributes: dead end
 	}
 	g.allC[id] = out
 	return out
@@ -271,6 +277,8 @@ func (g *guide) elemStep(id int) []int {
 		for _, s := range g.successors(id) {
 			out = mergeUnique(out, g.elemStep(s))
 		}
+	default:
+		// other kinds are not indexable: dead end
 	}
 	g.elemsC[id] = out
 	return out
@@ -294,6 +302,8 @@ func (g *guide) memberStep(id int) []int {
 		for _, s := range g.successors(id) {
 			out = mergeUnique(out, g.memberStep(s))
 		}
+	default:
+		// other kinds have no members: dead end
 	}
 	g.membC[id] = out
 	return out
@@ -313,6 +323,8 @@ func (g *guide) derefStep(id int) []int {
 		for _, a := range c.Alts() {
 			out = mergeUnique(out, g.derefStep(g.id(a.Type)))
 		}
+	default:
+		// other kinds are not dereferenceable: dead end
 	}
 	g.derefC[id] = out
 	return out
@@ -561,7 +573,7 @@ func (o *guidedOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return dedup(out), nil
+	return ctx.dedup(out)
 }
 
 func (o *guidedOp) explain(b *strings.Builder, indent int) {
@@ -898,6 +910,8 @@ func (m *guidedMatcher) enumerate(cur object.Value, ids []int, prefix path.Path,
 			st2.visited[x] = true
 			return descend(inner, m.idsOfOID(x), path.Deref(), st2)
 		}
+	default:
+		// atoms and nil are leaves: nothing to descend into
 	}
 	return nil
 }

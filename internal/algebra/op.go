@@ -63,8 +63,19 @@ func NewCtx(env *calculus.Env) *Ctx {
 // err reports the evaluation context's cancellation error, if any.
 func (c *Ctx) err() error { return c.Env.Context().Err() }
 
+// poll is the strided cancellation check of the row-scan loops: one
+// context read every ctxStride rows.
+func (c *Ctx) poll(i int) error {
+	if i%ctxStride == 0 {
+		return c.err()
+	}
+	return nil
+}
+
 // Op is one algebra operator: it produces valuations, consuming its
 // input's valuations (nested-loops style, materialised).
+//
+//sgmldbvet:closed
 type Op interface {
 	Rows(ctx *Ctx) ([]calculus.Valuation, error)
 	// explain appends an indented description of the operator subtree.
@@ -218,7 +229,7 @@ func (o *unionOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
 		}
 		all = append(all, rows...)
 	}
-	return dedup(all), nil
+	return ctx.dedup(all)
 }
 
 func (o *unionOp) explain(b *strings.Builder, indent int) {
@@ -241,7 +252,10 @@ func (o *projectOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
 		return nil, err
 	}
 	out := make([]calculus.Valuation, 0, len(in))
-	for _, v := range in {
+	for i, v := range in {
+		if err := ctx.poll(i); err != nil {
+			return nil, err
+		}
 		row := calculus.Valuation{}
 		for _, h := range o.keep {
 			b, ok := v[h.Name]
@@ -252,7 +266,7 @@ func (o *projectOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
 		}
 		out = append(out, row)
 	}
-	return dedup(out), nil
+	return ctx.dedup(out)
 }
 
 func (o *projectOp) explain(b *strings.Builder, indent int) {
@@ -277,10 +291,13 @@ func (o *dropOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
 		return nil, err
 	}
 	out := make([]calculus.Valuation, 0, len(in))
-	for _, v := range in {
+	for i, v := range in {
+		if err := ctx.poll(i); err != nil {
+			return nil, err
+		}
 		out = append(out, v.Without(o.vars))
 	}
-	return dedup(out), nil
+	return ctx.dedup(out)
 }
 
 func (o *dropOp) explain(b *strings.Builder, indent int) {
@@ -355,7 +372,10 @@ func (o *indexContainsOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
 	}
 	var out []calculus.Valuation
 	var fallback []calculus.Valuation
-	for _, v := range in {
+	for i, v := range in {
+		if err := ctx.poll(i); err != nil {
+			return nil, err
+		}
 		b := v[o.x]
 		if oid, isOID := b.Data.(object.OID); isOID {
 			if docs[oid] {
@@ -381,15 +401,20 @@ func (o *indexContainsOp) explain(b *strings.Builder, indent int) {
 	o.in.explain(b, indent+1)
 }
 
-func dedup(in []calculus.Valuation) []calculus.Valuation {
+// dedup removes duplicate valuations, polling cancellation as it scans
+// (union results can be large).
+func (c *Ctx) dedup(in []calculus.Valuation) ([]calculus.Valuation, error) {
 	seen := map[string]bool{}
 	out := make([]calculus.Valuation, 0, len(in))
-	for _, v := range in {
+	for i, v := range in {
+		if err := c.poll(i); err != nil {
+			return nil, err
+		}
 		k := v.Key()
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, v)
 		}
 	}
-	return out
+	return out, nil
 }

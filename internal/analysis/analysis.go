@@ -1,0 +1,230 @@
+// Package analysis is sgmldb's domain-specific static-analysis suite: a
+// from-scratch driver on go/parser and go/types (packages enumerated via
+// `go list -json`), with analyzers that enforce the repo's hand-kept
+// invariants mechanically:
+//
+//   - exhaustive: switches over closed kind sets (types marked
+//     //sgmldbvet:closed) must handle every variant, so that removing or
+//     adding a variant fails CI instead of surfacing as a runtime panic.
+//   - ctxpoll: row-scan loops over valuation slices must poll context
+//     cancellation, keeping long queries promptly cancellable.
+//   - lockcheck: a method that acquires its receiver's mutex must release
+//     it on every path and must not re-acquire it — directly or through
+//     another method of the same receiver (self-deadlock).
+//   - errwrap: fmt.Errorf with an error operand must wrap it with %w, and
+//     facade-level errors must be sentinel-based.
+//   - nopanic: a panic reachable from an exported function is flagged
+//     unless annotated.
+//
+// Intentional deviations are annotated in source as
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Standard   bool // part of the Go standard library
+	Target     bool // named by the load patterns: analyzed, not just imported
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Program is a load result: the analysis targets plus every dependency,
+// sharing one FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // in dependency order (dependencies first)
+	Targets  []*Package // the packages named by the load patterns
+	packages map[string]*Package
+
+	closedOnce sync.Once
+	closed     *closedSets
+
+	graphOnce sync.Once
+	graph     *callGraph
+}
+
+// Diagnostic is one finding, positioned in the program's FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Analyzer is one check. Run inspects the program's target packages and
+// reports findings; it must not mutate the program.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program, report func(Diagnostic))
+}
+
+// Analyzers returns the full suite in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		ExhaustiveAnalyzer,
+		CtxpollAnalyzer,
+		LockcheckAnalyzer,
+		ErrwrapAnalyzer,
+		NopanicAnalyzer,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("" means all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return Analyzers(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to the program's targets and returns the
+// surviving diagnostics sorted by position: findings suppressed by a
+// well-formed //lint:allow directive are dropped, and malformed
+// directives (missing reason) are themselves reported.
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a.Run(prog, func(d Diagnostic) {
+			d.Analyzer = a.Name
+			diags = append(diags, d)
+		})
+	}
+	allows, bad := collectAllows(prog)
+	var out []Diagnostic
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		if allows.covers(d.Analyzer, pos) {
+			continue
+		}
+		out = append(out, d)
+	}
+	out = append(out, bad...)
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(out[i].Pos), prog.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// allowKey identifies one //lint:allow site.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type allowSet map[allowKey]bool
+
+// covers reports whether an allow directive for the analyzer sits on the
+// diagnostic's line or the line directly above it.
+func (s allowSet) covers(analyzer string, pos token.Position) bool {
+	return s[allowKey{pos.Filename, pos.Line, analyzer}] ||
+		s[allowKey{pos.Filename, pos.Line - 1, analyzer}]
+}
+
+// collectAllows gathers the //lint:allow directives of every target file.
+// A directive without a reason is reported: the annotation grammar is
+// "//lint:allow <analyzer> <reason>", and the reason is the audit trail.
+func collectAllows(prog *Program) (allowSet, []Diagnostic) {
+	allows := allowSet{}
+	var bad []Diagnostic
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "lint:allow") {
+						continue
+					}
+					fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
+					pos := prog.Fset.Position(c.Pos())
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{
+							Pos:      c.Pos(),
+							Analyzer: "directive",
+							Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\"",
+						})
+						continue
+					}
+					allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// funcBodies visits every function declaration of a target package with
+// its resolved types.Func (nil receiver-less init bodies included).
+func funcBodies(pkg *Package, visit func(decl *ast.FuncDecl, fn *types.Func)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[decl.Name].(*types.Func)
+			visit(decl, fn)
+		}
+	}
+}
+
+// calleeOf resolves a call expression to the called named function or
+// method, when the call is direct (not through an interface value whose
+// dynamic type is unknown — those resolve to the interface method).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPanicCall reports a call to the builtin panic.
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

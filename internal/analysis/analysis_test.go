@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The fixture harness: each testdata/src/<name> package is loaded and
+// analyzed, and the diagnostics are compared against `// want "…"`
+// comments — every quoted string must be a substring of a diagnostic
+// reported on that line, and every diagnostic must be accounted for by a
+// want. Diagnostics from the "directive" pseudo-analyzer (malformed
+// //lint:allow) are returned to the caller for explicit assertion, since
+// their positions are the directive comments themselves.
+
+var wantRE = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+type wantSite struct {
+	file string
+	line int
+	subs []string
+	hits int
+}
+
+func loadFixture(t *testing.T, name string) *Program {
+	t.Helper()
+	prog, err := Load(".", []string{"./testdata/src/" + name})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(prog.Targets) != 1 {
+		t.Fatalf("fixture %s: got %d target packages, want 1", name, len(prog.Targets))
+	}
+	return prog
+}
+
+// collectWants scans the fixture's comments for want expectations.
+func collectWants(t *testing.T, prog *Program) []*wantSite {
+	t.Helper()
+	var wants []*wantSite
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					site := &wantSite{file: pos.Filename, line: pos.Line}
+					for _, q := range regexp.MustCompile(`"(?:[^"\\]|\\.)*"`).FindAllString(m[1], -1) {
+						s, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						site.subs = append(site.subs, s)
+					}
+					wants = append(wants, site)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs the named analyzer over the fixture and verifies the
+// want expectations, returning any "directive" diagnostics.
+func checkFixture(t *testing.T, fixture, analyzer string) []Diagnostic {
+	t.Helper()
+	prog := loadFixture(t, fixture)
+	analyzers, err := ByName(analyzer)
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	diags := Run(prog, analyzers)
+	wants := collectWants(t, prog)
+	var directives []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "directive" {
+			directives = append(directives, d)
+			continue
+		}
+		pos := prog.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			ok := true
+			for _, sub := range w.subs {
+				if !strings.Contains(d.Message, sub) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				w.hits++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w.hits == 0 {
+			t.Errorf("missing diagnostic at %s:%d: want %q", w.file, w.line, w.subs)
+		}
+	}
+	return directives
+}
+
+func TestExhaustiveFixture(t *testing.T) {
+	checkFixture(t, "exhaustive", "exhaustive")
+}
+
+func TestCtxpollFixture(t *testing.T) {
+	checkFixture(t, "ctxpoll", "ctxpoll")
+}
+
+func TestLockcheckFixture(t *testing.T) {
+	checkFixture(t, "lockcheck", "lockcheck")
+}
+
+func TestErrwrapFixture(t *testing.T) {
+	checkFixture(t, "errwrap", "errwrap")
+}
+
+func TestPanicFixture(t *testing.T) {
+	directives := checkFixture(t, "panic", "panic")
+	if len(directives) != 1 {
+		t.Fatalf("got %d directive diagnostics, want 1 (the reason-less //lint:allow)", len(directives))
+	}
+	if !strings.Contains(directives[0].Message, "malformed //lint:allow") {
+		t.Errorf("directive diagnostic = %q, want malformed //lint:allow", directives[0].Message)
+	}
+}
+
+// TestVariantRemovalIsNamed is the acceptance check in executable form:
+// deleting a variant from a closed-set switch must fail the build with a
+// diagnostic naming the missing case. The fixture's missingConst switch
+// plays the deleted-variant role — the diagnostic must name KindC
+// specifically, not merely report non-exhaustiveness.
+func TestVariantRemovalIsNamed(t *testing.T) {
+	prog := loadFixture(t, "exhaustive")
+	diags := Run(prog, []*Analyzer{ExhaustiveAnalyzer})
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "missing KindC") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no diagnostic names the missing variant KindC; got %v", messages(diags))
+	}
+}
+
+func messages(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Message)
+	}
+	return out
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
+	}
+	two, err := ByName("exhaustive, panic")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("ByName subset = %d analyzers, err %v", len(two), err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) did not fail")
+	}
+}
+
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   string
+	}{
+		{"%s %d", "sd"},
+		{"100%% %v", "v"},
+		{"%+v %#x %08.3f", "vxf"},
+		{"%*d %w", "*dw"},
+		{"%[1]s", "s"},
+		{"plain", ""},
+	}
+	for _, c := range cases {
+		got := string(formatVerbs(c.format))
+		if got != c.want {
+			t.Errorf("formatVerbs(%q) = %q, want %q", c.format, got, c.want)
+		}
+	}
+}
+
+// TestRepoIsClean pins the tentpole's acceptance criterion: the analyzers
+// run clean over the repository itself.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo load in -short mode")
+	}
+	prog, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags := Run(prog, Analyzers())
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		t.Errorf("%s:%d: [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+	}
+}

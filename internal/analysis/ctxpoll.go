@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The ctxpoll analyzer: the engine's cancellation guarantee ("a cancelled
+// query returns ctx.Err() promptly") rests on every row-scan loop polling
+// the context. A row scan is a loop that iterates a slice of valuations —
+// ranging over a value of slice type whose element type is named
+// Valuation, or counting with an index bounded by len() of such a slice.
+// Its body (or the body of a function literal it runs) must reach a
+// cancellation poll: a call to a function or method named err, Err,
+// checkCtx, pollCtx or poll, or a receive from a Done() channel.
+// Per-iteration cost is the loop author's business — strided polls
+// (every k rows) satisfy the rule, since the call appears in the body.
+
+// CtxpollAnalyzer checks that valuation scans poll cancellation.
+var CtxpollAnalyzer = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "row-scan loops over valuation slices must poll context cancellation",
+	Run:  runCtxpoll,
+}
+
+// pollNames are the recognised cancellation-poll callees.
+var pollNames = map[string]bool{
+	"err":      true,
+	"Err":      true,
+	"checkCtx": true,
+	"pollCtx":  true,
+	"poll":     true,
+}
+
+func runCtxpoll(prog *Program, report func(Diagnostic)) {
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch loop := n.(type) {
+				case *ast.RangeStmt:
+					if isValuationSlice(pkg.Info.TypeOf(loop.X)) && !bodyPolls(loop.Body) {
+						report(Diagnostic{Pos: loop.For,
+							Message: "row-scan loop over valuations does not poll context cancellation"})
+					}
+				case *ast.ForStmt:
+					if forOverValuations(pkg, loop) && !bodyPolls(loop.Body) {
+						report(Diagnostic{Pos: loop.For,
+							Message: "row-scan loop over valuations does not poll context cancellation"})
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isValuationSlice reports a []Valuation (by element type name, so the
+// rule is testable outside the calculus package).
+func isValuationSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	slice, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := slice.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Valuation"
+}
+
+// forOverValuations reports a counting loop bounded by len() of a
+// valuation slice.
+func forOverValuations(pkg *Package, loop *ast.ForStmt) bool {
+	if loop.Cond == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(loop.Cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "len" {
+			if isValuationSlice(pkg.Info.TypeOf(call.Args[0])) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// bodyPolls reports whether the loop body reaches a cancellation poll.
+// Function literals are descended into: the parallel scan hands each
+// partition to a goroutine whose body does the polling.
+func bodyPolls(body *ast.BlockStmt) bool {
+	polls := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(x.Fun).(type) {
+			case *ast.Ident:
+				if pollNames[fun.Name] {
+					polls = true
+				}
+			case *ast.SelectorExpr:
+				if pollNames[fun.Sel.Name] {
+					polls = true
+				}
+				if fun.Sel.Name == "Done" {
+					polls = true
+				}
+			}
+		}
+		return !polls
+	})
+	return polls
+}

@@ -1,0 +1,372 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The exhaustive analyzer: the paper's value and formula sorts are closed
+// algebraic kind sets, dispatched all over the engine via switch
+// statements. A type declaration marked
+//
+//	//sgmldbvet:closed
+//
+// declares the set closed: for an interface, the variants are every
+// concrete named type of the defining package implementing it; for a
+// defined constant kind (e.g. an int enum), the variants are the
+// package-level constants of that exact type. Any switch over a closed
+// set must then cover every variant explicitly — a case naming the
+// variant, its pointer form, or an interface it satisfies — unless the
+// switch has a default clause that does not panic (a benign default is an
+// explicit "everything else" handler; a panicking default is exactly the
+// latent-crash pattern this analyzer exists to retire).
+
+// ExhaustiveAnalyzer checks kind switches over closed sets.
+var ExhaustiveAnalyzer = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over //sgmldbvet:closed kind sets must handle every variant",
+	Run:  runExhaustive,
+}
+
+// closedDirective is the marker in a type's doc comment.
+const closedDirective = "sgmldbvet:closed"
+
+// ifaceSet is a closed interface kind set.
+type ifaceSet struct {
+	named    *types.Named
+	variants []ifaceVariant
+}
+
+// ifaceVariant is one concrete implementation of a closed interface.
+type ifaceVariant struct {
+	name string     // display name, e.g. "*Tuple"
+	typ  types.Type // the implementing type (pointer form when needed)
+}
+
+// constSet is a closed constant kind set (an enum).
+type constSet struct {
+	named    *types.Named
+	variants []constVariant
+}
+
+// constVariant is one enum constant; variants with equal values (aliases)
+// collapse onto the first declared name.
+type constVariant struct {
+	name string
+	val  constant.Value
+}
+
+// closedSets is the program-wide registry of closed kind sets.
+type closedSets struct {
+	ifaces map[*types.TypeName]*ifaceSet
+	consts map[*types.TypeName]*constSet
+}
+
+// closedSets computes the registry once per program: every non-standard
+// package is scanned for marked type declarations, so directives in a
+// dependency (e.g. the object package) govern switches in its dependents.
+func (prog *Program) closedSets() *closedSets {
+	prog.closedOnce.Do(func() {
+		cs := &closedSets{
+			ifaces: map[*types.TypeName]*ifaceSet{},
+			consts: map[*types.TypeName]*constSet{},
+		}
+		for _, pkg := range prog.Packages {
+			if pkg.Standard {
+				continue
+			}
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					gd, ok := d.(*ast.GenDecl)
+					if !ok {
+						continue
+					}
+					for _, spec := range gd.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok || !hasClosedDirective(gd, ts) {
+							continue
+						}
+						obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+						if !ok {
+							continue
+						}
+						registerClosed(cs, pkg, obj)
+					}
+				}
+			}
+		}
+		prog.closed = cs
+	})
+	return prog.closed
+}
+
+// hasClosedDirective looks for the marker in the doc comments attached to
+// the type spec or its enclosing declaration group.
+func hasClosedDirective(gd *ast.GenDecl, ts *ast.TypeSpec) bool {
+	for _, cg := range []*ast.CommentGroup{ts.Doc, ts.Comment, gd.Doc} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, closedDirective) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// registerClosed computes the variant set of one marked type.
+func registerClosed(cs *closedSets, pkg *Package, obj *types.TypeName) {
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	if iface, ok := named.Underlying().(*types.Interface); ok {
+		set := &ifaceSet{named: named}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn == obj || tn.IsAlias() {
+				continue
+			}
+			t := tn.Type()
+			if types.IsInterface(t) {
+				continue
+			}
+			switch {
+			case types.Implements(t, iface):
+				set.variants = append(set.variants, ifaceVariant{name: name, typ: t})
+			case types.Implements(types.NewPointer(t), iface):
+				set.variants = append(set.variants, ifaceVariant{name: "*" + name, typ: types.NewPointer(t)})
+			}
+		}
+		if len(set.variants) > 0 {
+			cs.ifaces[obj] = set
+		}
+		return
+	}
+	// A constant kind set: collect the defining package's constants of
+	// this exact type, collapsing value aliases onto their first name.
+	set := &constSet{named: named}
+	scope := pkg.Types.Scope()
+	seen := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, n := range vs.Names {
+					c, ok := scope.Lookup(n.Name).(*types.Const)
+					if !ok || !types.Identical(c.Type(), named) {
+						continue
+					}
+					key := c.Val().ExactString()
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					set.variants = append(set.variants, constVariant{name: n.Name, val: c.Val()})
+				}
+			}
+		}
+	}
+	if len(set.variants) > 0 {
+		cs.consts[obj] = set
+	}
+}
+
+func runExhaustive(prog *Program, report func(Diagnostic)) {
+	cs := prog.closedSets()
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch sw := n.(type) {
+				case *ast.TypeSwitchStmt:
+					checkTypeSwitch(pkg, cs, sw, report)
+				case *ast.SwitchStmt:
+					checkConstSwitch(pkg, cs, sw, report)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// typeNameOf resolves a type to its marked *types.TypeName, if any.
+func typeNameOf(t types.Type) *types.TypeName {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// checkTypeSwitch enforces exhaustiveness of `switch x := v.(type)` when
+// the static type of v is a closed interface.
+func checkTypeSwitch(pkg *Package, cs *closedSets, sw *ast.TypeSwitchStmt, report func(Diagnostic)) {
+	var tagExpr ast.Expr
+	switch s := sw.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if ta, ok := s.Rhs[0].(*ast.TypeAssertExpr); ok {
+				tagExpr = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := s.X.(*ast.TypeAssertExpr); ok {
+			tagExpr = ta.X
+		}
+	}
+	if tagExpr == nil {
+		return
+	}
+	tn := typeNameOf(pkg.Info.TypeOf(tagExpr))
+	if tn == nil {
+		return
+	}
+	set, ok := cs.ifaces[tn]
+	if !ok {
+		return
+	}
+	covered := make([]bool, len(set.variants))
+	hasBenignDefault := false
+	for _, stmt := range sw.Body.List {
+		clause := stmt.(*ast.CaseClause)
+		if clause.List == nil { // default:
+			if !clausePanics(pkg, clause) {
+				hasBenignDefault = true
+			}
+			continue
+		}
+		for _, expr := range clause.List {
+			tv, ok := pkg.Info.Types[expr]
+			if !ok || tv.IsNil() {
+				continue
+			}
+			caseType := tv.Type
+			for i, v := range set.variants {
+				if covered[i] {
+					continue
+				}
+				if types.Identical(v.typ, caseType) {
+					covered[i] = true
+					continue
+				}
+				// A case over a broader interface (e.g. case DataTerm in a
+				// Term switch) covers every variant satisfying it.
+				if ci, ok := caseType.Underlying().(*types.Interface); ok && types.Implements(v.typ, ci) {
+					covered[i] = true
+				}
+			}
+		}
+	}
+	if hasBenignDefault {
+		return
+	}
+	var missing []string
+	for i, v := range set.variants {
+		if !covered[i] {
+			missing = append(missing, v.name)
+		}
+	}
+	if len(missing) > 0 {
+		report(Diagnostic{
+			Pos: sw.Switch,
+			Message: fmt.Sprintf("non-exhaustive type switch over closed set %s: missing %s",
+				qualified(set.named), strings.Join(missing, ", ")),
+		})
+	}
+}
+
+// checkConstSwitch enforces exhaustiveness of a value switch whose tag is
+// a closed constant kind.
+func checkConstSwitch(pkg *Package, cs *closedSets, sw *ast.SwitchStmt, report func(Diagnostic)) {
+	if sw.Tag == nil {
+		return
+	}
+	tn := typeNameOf(pkg.Info.TypeOf(sw.Tag))
+	if tn == nil {
+		return
+	}
+	set, ok := cs.consts[tn]
+	if !ok {
+		return
+	}
+	covered := make([]bool, len(set.variants))
+	hasBenignDefault := false
+	for _, stmt := range sw.Body.List {
+		clause := stmt.(*ast.CaseClause)
+		if clause.List == nil {
+			if !clausePanics(pkg, clause) {
+				hasBenignDefault = true
+			}
+			continue
+		}
+		for _, expr := range clause.List {
+			tv, ok := pkg.Info.Types[expr]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			for i, v := range set.variants {
+				if !covered[i] && constant.Compare(v.val, token.EQL, tv.Value) {
+					covered[i] = true
+				}
+			}
+		}
+	}
+	if hasBenignDefault {
+		return
+	}
+	var missing []string
+	for i, v := range set.variants {
+		if !covered[i] {
+			missing = append(missing, v.name)
+		}
+	}
+	if len(missing) > 0 {
+		report(Diagnostic{
+			Pos: sw.Switch,
+			Message: fmt.Sprintf("non-exhaustive switch over closed kind %s: missing %s",
+				qualified(set.named), strings.Join(missing, ", ")),
+		})
+	}
+}
+
+// clausePanics reports whether a case clause's body calls the builtin
+// panic directly (function literals excluded: a panic inside a deferred
+// closure is not the clause's behaviour).
+func clausePanics(pkg *Package, clause *ast.CaseClause) bool {
+	panics := false
+	for _, s := range clause.Body {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && isPanicCall(pkg.Info, call) {
+				panics = true
+			}
+			return !panics
+		})
+	}
+	return panics
+}
+
+// qualified renders pkgpath.TypeName for diagnostics.
+func qualified(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

@@ -1,0 +1,329 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The lockcheck analyzer guards the PR-1 concurrency discipline: the
+// facade and the engine keep their invariants with by-hand RWMutex use,
+// whose two failure modes are (a) a path that returns while the lock is
+// held and (b) a method that — holding the lock — calls another method of
+// the same receiver that acquires it again (self-deadlock; Go mutexes are
+// not reentrant).
+//
+// The analysis is a linear walk of each method body in source order,
+// tracking which of the receiver's sync.Mutex/sync.RWMutex fields are
+// held. `defer mu.Unlock()` discharges the obligation for the rest of
+// the method (the preferred shape). Statements inside `go` function
+// literals run on another goroutine and are skipped. The walk is an
+// approximation — it does not model path-sensitive branch interleavings —
+// so intentional exceptions carry a //lint:allow lockcheck annotation.
+
+// LockcheckAnalyzer checks receiver-mutex discipline.
+var LockcheckAnalyzer = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "receiver mutexes must be released on all paths and never re-acquired",
+	Run:  runLockcheck,
+}
+
+// lockOp classifies one mutex method call.
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock        // Lock, RLock
+	opUnlock
+)
+
+func classifyLockOp(name string) lockOp {
+	switch name {
+	case "Lock", "RLock":
+		return opLock
+	case "Unlock", "RUnlock":
+		return opUnlock
+	}
+	return opNone
+}
+
+// mutexRef is a resolved `recv.field.Op()` call.
+type mutexRef struct {
+	field string
+	mode  string // the mutex method name: Lock, RLock, …
+	op    lockOp
+}
+
+func runLockcheck(prog *Program, report func(Diagnostic)) {
+	for _, pkg := range prog.Targets {
+		// First pass: which methods acquire which receiver mutex fields.
+		acquires := map[*types.Func]map[string]bool{}
+		funcBodies(pkg, func(decl *ast.FuncDecl, fn *types.Func) {
+			recv := receiverVar(pkg, decl)
+			if recv == nil || fn == nil {
+				return
+			}
+			fields := map[string]bool{}
+			inspectSkippingFuncLits(decl.Body, func(n ast.Node) {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if ref, ok := resolveMutexCall(pkg, recv, call); ok && ref.op == opLock {
+						fields[ref.field] = true
+					}
+				}
+			})
+			if len(fields) > 0 {
+				acquires[fn] = fields
+			}
+		})
+		// Second pass: the linear held-lock walk.
+		funcBodies(pkg, func(decl *ast.FuncDecl, fn *types.Func) {
+			recv := receiverVar(pkg, decl)
+			if recv == nil {
+				return
+			}
+			w := &lockWalker{
+				pkg:      pkg,
+				recv:     recv,
+				acquires: acquires,
+				held:     map[string]token.Pos{},
+				deferred: map[string]bool{},
+				report:   report,
+			}
+			w.stmts(decl.Body.List)
+			for field, pos := range w.held {
+				if !w.deferred[field] {
+					report(Diagnostic{Pos: pos, Message: fmt.Sprintf(
+						"%s is locked but not released on every path (prefer `defer %s.Unlock()`)",
+						field, field)})
+				}
+			}
+		})
+	}
+}
+
+// receiverVar resolves the receiver identifier's object, or nil for
+// functions and anonymous receivers.
+func receiverVar(pkg *Package, decl *ast.FuncDecl) *types.Var {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := pkg.Info.Defs[decl.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// resolveMutexCall matches `recv.field.M()` where field is a
+// sync.Mutex/sync.RWMutex field of the receiver.
+func resolveMutexCall(pkg *Package, recv *types.Var, call *ast.CallExpr) (mutexRef, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return mutexRef{}, false
+	}
+	op := classifyLockOp(sel.Sel.Name)
+	if op == opNone {
+		return mutexRef{}, false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return mutexRef{}, false
+	}
+	base, ok := inner.X.(*ast.Ident)
+	if !ok || pkg.Info.Uses[base] != recv {
+		return mutexRef{}, false
+	}
+	fieldObj, ok := pkg.Info.Uses[inner.Sel].(*types.Var)
+	if !ok || !isMutexType(fieldObj.Type()) {
+		return mutexRef{}, false
+	}
+	return mutexRef{field: inner.Sel.Name, mode: sel.Sel.Name, op: op}, true
+}
+
+// isMutexType matches sync.Mutex and sync.RWMutex (and pointers to them).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+// lockWalker carries the linear walk state of one method body.
+type lockWalker struct {
+	pkg      *Package
+	recv     *types.Var
+	acquires map[*types.Func]map[string]bool
+	held     map[string]token.Pos // field -> position of the acquiring call
+	deferred map[string]bool      // field -> discharged by defer Unlock
+	report   func(Diagnostic)
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		w.stmts(x.List)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		w.calls(x.Cond)
+		w.stmt(x.Body)
+		if x.Else != nil {
+			w.stmt(x.Else)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		if x.Cond != nil {
+			w.calls(x.Cond)
+		}
+		w.stmt(x.Body)
+		if x.Post != nil {
+			w.stmt(x.Post)
+		}
+	case *ast.RangeStmt:
+		w.calls(x.X)
+		w.stmt(x.Body)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		if x.Tag != nil {
+			w.calls(x.Tag)
+		}
+		for _, c := range x.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		for _, c := range x.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			comm := c.(*ast.CommClause)
+			if comm.Comm != nil {
+				w.stmt(comm.Comm)
+			}
+			w.stmts(comm.Body)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(x.Stmt)
+	case *ast.DeferStmt:
+		w.deferStmt(x)
+	case *ast.GoStmt:
+		// Another goroutine: its lock operations are outside this
+		// method's linear discipline.
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.calls(r)
+		}
+		for field := range w.held {
+			if !w.deferred[field] {
+				w.report(Diagnostic{Pos: x.Return, Message: fmt.Sprintf(
+					"returns while %s is held (missing %s.Unlock, or use defer)", field, field)})
+			}
+		}
+	default:
+		w.calls(s)
+	}
+}
+
+// deferStmt handles `defer mu.Unlock()` (directly or wrapped in an
+// immediate function literal), which discharges the release obligation
+// for the rest of the method.
+func (w *lockWalker) deferStmt(d *ast.DeferStmt) {
+	discharge := func(call *ast.CallExpr) {
+		if ref, ok := resolveMutexCall(w.pkg, w.recv, call); ok && ref.op == opUnlock {
+			// The field stays in held: the lock is released only at return,
+			// so a later call into a lock-acquiring method of the same
+			// receiver is still a self-deadlock.
+			w.deferred[ref.field] = true
+		}
+	}
+	discharge(d.Call)
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		inspectSkippingFuncLits(lit.Body, func(n ast.Node) {
+			if call, ok := n.(*ast.CallExpr); ok {
+				discharge(call)
+			}
+		})
+	}
+}
+
+// calls processes every direct call inside an expression or simple
+// statement, in source order.
+func (w *lockWalker) calls(n ast.Node) {
+	if n == nil {
+		return
+	}
+	inspectSkippingFuncLits(n, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if ref, ok := resolveMutexCall(w.pkg, w.recv, call); ok {
+			switch ref.op {
+			case opLock:
+				if _, already := w.held[ref.field]; already || w.deferred[ref.field] {
+					w.report(Diagnostic{Pos: call.Pos(), Message: fmt.Sprintf(
+						"%s.%s while %s is already held: Go mutexes are not reentrant", ref.field, ref.mode, ref.field)})
+				}
+				w.held[ref.field] = call.Pos()
+			case opUnlock:
+				delete(w.held, ref.field)
+			}
+			return
+		}
+		// A method call on the same receiver while a lock is held: if the
+		// callee acquires that lock, this is a guaranteed self-deadlock.
+		if len(w.held) == 0 {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || w.pkg.Info.Uses[base] != w.recv {
+			return
+		}
+		callee, _ := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+		if callee == nil {
+			return
+		}
+		for field := range w.acquires[callee] {
+			if _, heldHere := w.held[field]; heldHere {
+				w.report(Diagnostic{Pos: call.Pos(), Message: fmt.Sprintf(
+					"calls %s.%s while holding %s, and %s acquires %s: self-deadlock",
+					base.Name, sel.Sel.Name, field, sel.Sel.Name, field)})
+			}
+		}
+	})
+}
+
+// inspectSkippingFuncLits visits n's subtree without descending into
+// function literals.
+func inspectSkippingFuncLits(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The nopanic analyzer: a panic that an exported function can reach is a
+// latent crash in an API consumer — in a concurrent serving process, one
+// bad query text or malformed document must surface as an error, never
+// tear the process down. The analyzer builds a static call graph over the
+// analyzed packages (direct calls only; calls through interface values
+// are not resolved), marks every exported function and method as a root,
+// and flags each reachable `panic` site. Deliberate panics — contract
+// violations of the "programming error" kind (MustCompile on a constant,
+// duplicate attributes in a constructor) and defense-in-depth defaults
+// behind exhaustive kind switches — carry a
+//
+//	//lint:allow panic <reason>
+//
+// annotation naming why the panic is the right behaviour.
+
+// NopanicAnalyzer flags panics reachable from exported API.
+var NopanicAnalyzer = &Analyzer{
+	Name: "panic",
+	Doc:  "panic reachable from exported API must be annotated or removed",
+	Run:  runNopanic,
+}
+
+// callGraph is the program's static direct-call graph.
+type callGraph struct {
+	calls  map[*types.Func][]*types.Func
+	panics map[*types.Func][]token.Pos
+	roots  []*types.Func
+	names  map[*types.Func]string
+}
+
+// callGraph builds the graph once per program over all target packages.
+func (prog *Program) callGraph() *callGraph {
+	prog.graphOnce.Do(func() {
+		g := &callGraph{
+			calls:  map[*types.Func][]*types.Func{},
+			panics: map[*types.Func][]token.Pos{},
+			names:  map[*types.Func]string{},
+		}
+		for _, pkg := range prog.Targets {
+			funcBodies(pkg, func(decl *ast.FuncDecl, fn *types.Func) {
+				if fn == nil {
+					return
+				}
+				g.names[fn] = funcDisplayName(pkg, decl)
+				if isExportedAPI(decl) {
+					g.roots = append(g.roots, fn)
+				}
+				ast.Inspect(decl.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if isPanicCall(pkg.Info, call) {
+						g.panics[fn] = append(g.panics[fn], call.Pos())
+						return true
+					}
+					if callee := calleeOf(pkg.Info, call); callee != nil {
+						g.calls[fn] = append(g.calls[fn], callee)
+					}
+					return true
+				})
+			})
+		}
+		prog.graph = g
+	})
+	return prog.graph
+}
+
+// isExportedAPI reports an exported function, or an exported method on an
+// exported receiver type.
+func isExportedAPI(decl *ast.FuncDecl) bool {
+	if !decl.Name.IsExported() {
+		return false
+	}
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return true
+	}
+	t := decl.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+// funcDisplayName renders pkg.Func or pkg.(*T).M for diagnostics.
+func funcDisplayName(pkg *Package, decl *ast.FuncDecl) string {
+	name := decl.Name.Name
+	if decl.Recv != nil && len(decl.Recv.List) > 0 {
+		t := decl.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			if id, ok := star.X.(*ast.Ident); ok {
+				name = "(*" + id.Name + ")." + name
+			}
+		} else if id, ok := t.(*ast.Ident); ok {
+			name = id.Name + "." + name
+		}
+	}
+	return pkg.Types.Name() + "." + name
+}
+
+func runNopanic(prog *Program, report func(Diagnostic)) {
+	g := prog.callGraph()
+	// Multi-source BFS from the exported roots, remembering for each
+	// reached function one example root (the provenance shown to the
+	// developer).
+	via := map[*types.Func]*types.Func{}
+	queue := make([]*types.Func, 0, len(g.roots))
+	for _, r := range g.roots {
+		if _, seen := via[r]; !seen {
+			via[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range g.calls[fn] {
+			if _, seen := via[callee]; !seen {
+				via[callee] = via[fn]
+				queue = append(queue, callee)
+			}
+		}
+	}
+	for fn, sites := range g.panics {
+		root, reachable := via[fn]
+		if !reachable {
+			continue
+		}
+		for _, pos := range sites {
+			msg := fmt.Sprintf("panic reachable from exported API (e.g. via %s)", g.names[root])
+			if root == fn {
+				msg = fmt.Sprintf("panic in exported %s", g.names[fn])
+			}
+			report(Diagnostic{Pos: pos, Message: msg + "; return an error or annotate //lint:allow panic <reason>"})
+		}
+	}
+}

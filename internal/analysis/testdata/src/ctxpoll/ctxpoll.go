@@ -1,0 +1,86 @@
+// Package ctxpoll is a sgmldbvet fixture: row-scan loops over valuation
+// slices must poll context cancellation.
+package ctxpoll
+
+// Valuation mirrors the engine's row type by name; the analyzer matches
+// slices of any named type called Valuation.
+type Valuation map[string]int
+
+type evalCtx struct{ cancelled bool }
+
+func (c *evalCtx) err() error {
+	if c.cancelled {
+		return errCancelled
+	}
+	return nil
+}
+
+type cancelErr struct{}
+
+func (cancelErr) Error() string { return "cancelled" }
+
+var errCancelled = cancelErr{}
+
+func scanNoPoll(in []Valuation) int {
+	total := 0
+	for range in { // want "does not poll context cancellation"
+		total++
+	}
+	return total
+}
+
+func scanStrided(c *evalCtx, in []Valuation) (int, error) {
+	total := 0
+	for i := range in {
+		if i%64 == 0 {
+			if err := c.err(); err != nil {
+				return 0, err
+			}
+		}
+		total++
+	}
+	return total, nil
+}
+
+func countNoPoll(in []Valuation) int {
+	n := 0
+	for i := 0; i < len(in); i++ { // want "does not poll context cancellation"
+		n++
+	}
+	return n
+}
+
+func countPolled(c *evalCtx, in []Valuation) (int, error) {
+	n := 0
+	for i := 0; i < len(in); i++ {
+		if err := c.err(); err != nil {
+			return 0, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func parallelScan(c *evalCtx, in []Valuation, run func(func())) {
+	for range in {
+		// The poll may live in a function literal the loop hands off.
+		run(func() { _ = c.err() })
+	}
+}
+
+func allowedScan(in []Valuation) int {
+	total := 0
+	//lint:allow ctxpoll fixture demonstrates suppression
+	for range in {
+		total++
+	}
+	return total
+}
+
+func notValuations(in []int) int {
+	total := 0
+	for range in {
+		total++
+	}
+	return total
+}

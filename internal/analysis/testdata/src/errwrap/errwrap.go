@@ -1,0 +1,39 @@
+// Package errwrap is a sgmldbvet fixture: fmt.Errorf must format error
+// operands with %w so errors.Is and errors.As see the chain.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func flattensV(err error) error {
+	return fmt.Errorf("load: %v", err) // want "use %w"
+}
+
+func flattensS(err error) error {
+	return fmt.Errorf("load %s at %d: %s", "x", 3, err) // want "use %w"
+}
+
+func wraps(err error) error {
+	return fmt.Errorf("load: %w", err)
+}
+
+func doubleWraps(err error) error {
+	return fmt.Errorf("%w: %w", errBase, err)
+}
+
+func notAnError(s string) error {
+	return fmt.Errorf("load: %v (%d%%)", s, 3)
+}
+
+func starWidth(err error) error {
+	return fmt.Errorf("pad %*d: %w", 4, 7, err)
+}
+
+func allowedFlatten(err error) error {
+	//lint:allow errwrap fixture demonstrates suppression
+	return fmt.Errorf("load: %v", err)
+}

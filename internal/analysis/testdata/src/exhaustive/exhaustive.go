@@ -1,0 +1,111 @@
+// Package exhaustive is a sgmldbvet fixture: switches over closed kind
+// sets must cover every variant. The want comments state the diagnostics
+// the analyzer must produce on that line.
+package exhaustive
+
+import "fmt"
+
+// Kind is a closed enum kind.
+//
+//sgmldbvet:closed
+type Kind int
+
+// The three kinds.
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+	// KindAlias collapses onto KindC: aliases are not separate variants.
+	KindAlias = KindC
+)
+
+// Node is a closed interface kind set.
+//
+//sgmldbvet:closed
+type Node interface{ isNode() }
+
+// Leaf implements Node by value.
+type Leaf struct{}
+
+// Branch implements Node through its pointer.
+type Branch struct{ L, R Node }
+
+func (Leaf) isNode()    {}
+func (*Branch) isNode() {}
+
+// Open is an unmarked interface: switches over it are never checked.
+type Open interface{ isOpen() }
+
+type onlyImpl struct{}
+
+func (onlyImpl) isOpen() {}
+
+func completeConst(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	case KindC:
+		return "c"
+	default:
+		panic("unreachable")
+	}
+}
+
+func missingConst(k Kind) string {
+	switch k { // want "non-exhaustive switch over closed kind" "missing KindC"
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	default:
+		panic(fmt.Sprintf("unknown kind %d", k))
+	}
+}
+
+func benignDefaultConst(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	default:
+		return "other"
+	}
+}
+
+func completeType(n Node) int {
+	switch x := n.(type) {
+	case Leaf:
+		return 1
+	case *Branch:
+		return completeType(x.L) + completeType(x.R)
+	}
+	return 0
+}
+
+func missingType(n Node) int {
+	switch n.(type) { // want "non-exhaustive type switch over closed set" "missing *Branch"
+	case Leaf:
+		return 1
+	default:
+		panic("unknown node")
+	}
+}
+
+func allowedMissingType(n Node) int {
+	//lint:allow exhaustive fixture demonstrates suppression
+	switch n.(type) {
+	case Leaf:
+		return 1
+	default:
+		panic("unknown node")
+	}
+}
+
+func openSwitch(o Open) int {
+	switch o.(type) {
+	case onlyImpl:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,66 @@
+// Package lockcheck is a sgmldbvet fixture: receiver mutexes must be
+// released on every path and never re-acquired.
+package lockcheck
+
+import "sync"
+
+type store struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (s *store) goodDefer() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+func (s *store) goodLinear() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *store) forgetsUnlock() {
+	s.mu.Lock() // want "locked but not released on every path"
+	s.n++
+}
+
+func (s *store) returnsWhileHeld(flag bool) int {
+	s.mu.Lock()
+	if flag {
+		return s.n // want "returns while mu is held"
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *store) reacquires() {
+	s.mu.Lock()
+	s.mu.Lock() // want "Go mutexes are not reentrant"
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *store) lockedIncr() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+func (s *store) selfDeadlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockedIncr() // want "self-deadlock"
+}
+
+func (s *store) callsOtherUnlocked() {
+	s.lockedIncr()
+	s.lockedIncr()
+}
+
+func (s *store) allowedHold() {
+	//lint:allow lockcheck fixture demonstrates suppression
+	s.mu.Lock()
+	s.n++
+}

@@ -1,0 +1,34 @@
+// Package panicfix is a sgmldbvet fixture: a panic reachable from
+// exported API must be annotated or removed.
+package panicfix
+
+// Explode panics directly.
+func Explode() {
+	panic("boom") // want "panic in exported panicfix.Explode"
+}
+
+// Outer reaches a panic through an unexported helper.
+func Outer() int {
+	return helper()
+}
+
+func helper() int {
+	panic("inner") // want "panic reachable from exported API (e.g. via panicfix.Outer)"
+}
+
+// Allowed panics deliberately, with the annotation naming why.
+func Allowed() {
+	//lint:allow panic fixture demonstrates a deliberate contract panic
+	panic("deliberate")
+}
+
+// Malformed carries an annotation without a reason: the directive itself
+// is diagnosed and does not suppress the finding.
+func Malformed() {
+	//lint:allow panic
+	panic("still flagged") // want "panic in exported panicfix.Malformed"
+}
+
+func unreachablePanic() {
+	panic("dead code")
+}

@@ -290,7 +290,7 @@ func TestTextOfOnEnv(t *testing.T) {
 			Body: Conj(
 				PathAtom{Base: NameRef{Name: "Knuth_Books"},
 					Path: P(ElemVar{Name: "P"}, ElemBind{X: "X"}, ElemAttr{A: AttrName{Name: "chapters"}})},
-				Contains{T: Var{Name: "X"}, E: text.Word("Fundamental")},
+				Contains{T: Var{Name: "X"}, E: text.MustWord("Fundamental")},
 			),
 		},
 	}

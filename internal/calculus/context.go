@@ -42,6 +42,16 @@ func (e *Env) checkCtx() error {
 	return e.ctx.Err()
 }
 
+// pollCtx is the strided cancellation poll of the row-scan loops: it
+// checks the context once every ctxCheckStride rows, so a scan stays
+// promptly cancellable without paying a context read per row.
+func (e *Env) pollCtx(i int) error {
+	if i%ctxCheckStride == 0 {
+		return e.checkCtx()
+	}
+	return nil
+}
+
 // ctxCheckStride bounds how many valuations an atom filter processes
 // between cancellation checks.
 const ctxCheckStride = 64

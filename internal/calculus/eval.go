@@ -166,6 +166,7 @@ type Result struct {
 // attribute per head variable) otherwise.
 func (r *Result) ToSet() *object.Set {
 	vals := make([]object.Value, 0, len(r.Rows))
+	//lint:allow ctxpoll Result methods materialise an already-evaluated result and have no context
 	for _, row := range r.Rows {
 		if len(r.Head) == 1 {
 			vals = append(vals, row[r.Head[0].Name].Value())
@@ -183,6 +184,7 @@ func (r *Result) ToSet() *object.Set {
 // Bindings returns the column of one head variable.
 func (r *Result) Bindings(name string) []Binding {
 	out := make([]Binding, 0, len(r.Rows))
+	//lint:allow ctxpoll Result methods materialise an already-evaluated result and have no context
 	for _, row := range r.Rows {
 		out = append(out, row[name])
 	}
@@ -209,7 +211,10 @@ func (e *Env) Eval(q *Query) (*Result, error) {
 	}
 	res := &Result{Head: q.Head}
 	seen := map[string]bool{}
-	for _, v := range vals {
+	for i, v := range vals {
+		if err := e.pollCtx(i); err != nil {
+			return nil, err
+		}
 		row := make(Valuation, len(q.Head))
 		for _, h := range q.Head {
 			b, ok := v[h.Name]
@@ -268,10 +273,13 @@ func (e *Env) evalFormula(f Formula, in []Valuation) ([]Valuation, error) {
 			return nil, err
 		}
 		out := append(l, r...)
-		return dedupValuations(out), nil
+		return e.dedupValuations(out)
 	case Not:
 		var out []Valuation
-		for _, v := range in {
+		for i, v := range in {
+			if err := e.pollCtx(i); err != nil {
+				return nil, err
+			}
 			sub, err := e.evalFormula(x.F, []Valuation{v})
 			if err != nil {
 				return nil, err
@@ -287,19 +295,28 @@ func (e *Env) evalFormula(f Formula, in []Valuation) ([]Valuation, error) {
 			return nil, err
 		}
 		var out []Valuation
-		for _, v := range sub {
+		for i, v := range sub {
+			if err := e.pollCtx(i); err != nil {
+				return nil, err
+			}
 			out = append(out, v.without(x.Vars))
 		}
-		return dedupValuations(out), nil
+		return e.dedupValuations(out)
 	case Forall:
 		var out []Valuation
-		for _, v := range in {
+		for i, v := range in {
+			if err := e.pollCtx(i); err != nil {
+				return nil, err
+			}
 			rng, err := e.evalFormula(x.Range, []Valuation{v})
 			if err != nil {
 				return nil, err
 			}
 			ok := true
-			for _, rv := range rng {
+			for j, rv := range rng {
+				if err := e.pollCtx(j); err != nil {
+					return nil, err
+				}
 				then, err := e.evalFormula(x.Then, []Valuation{rv})
 				if err != nil {
 					return nil, err
@@ -377,7 +394,10 @@ func (e *Env) evalFormula(f Formula, in []Valuation) ([]Valuation, error) {
 		})
 	case PathAtom:
 		var out []Valuation
-		for _, v := range in {
+		for i, v := range in {
+			if err := e.pollCtx(i); err != nil {
+				return nil, err
+			}
 			base, err := e.evalDataTerm(x.Base, v)
 			if errors.Is(err, errNoSuchPath) {
 				continue
@@ -391,7 +411,7 @@ func (e *Env) evalFormula(f Formula, in []Valuation) ([]Valuation, error) {
 			}
 			out = append(out, matched...)
 		}
-		return dedupValuations(out), nil
+		return e.dedupValuations(out)
 	default:
 		return nil, fmt.Errorf("calculus: cannot evaluate %T", f)
 	}
@@ -421,7 +441,10 @@ func (e *Env) filter(in []Valuation, pred func(Valuation) (bool, error)) ([]Valu
 
 func (e *Env) evalEq(x Eq, in []Valuation) ([]Valuation, error) {
 	var out []Valuation
-	for _, v := range in {
+	for i, v := range in {
+		if err := e.pollCtx(i); err != nil {
+			return nil, err
+		}
 		lv, lok := x.L.(Var)
 		rv, rok := x.R.(Var)
 		_, lBound := v[lvName(lv, lok)]
@@ -477,7 +500,10 @@ func lvName(v Var, ok bool) string {
 
 func (e *Env) evalIn(x In, in []Valuation) ([]Valuation, error) {
 	var out []Valuation
-	for _, v := range in {
+	for i, v := range in {
+		if err := e.pollCtx(i); err != nil {
+			return nil, err
+		}
 		r, err := e.evalDataTerm(x.R, v)
 		if errors.Is(err, errNoSuchPath) {
 			continue
@@ -532,17 +558,22 @@ func (e *Env) textOf(v object.Value) (string, bool) {
 	return "", false
 }
 
-func dedupValuations(in []Valuation) []Valuation {
+// dedupValuations removes duplicate valuations, polling cancellation as
+// it scans (result sets can be large after a union).
+func (e *Env) dedupValuations(in []Valuation) ([]Valuation, error) {
 	seen := map[string]bool{}
 	var out []Valuation
-	for _, v := range in {
+	for i, v := range in {
+		if err := e.pollCtx(i); err != nil {
+			return nil, err
+		}
 		k := v.key()
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, v)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // compareValues implements the interpreted comparisons over integers,

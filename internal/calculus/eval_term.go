@@ -42,8 +42,9 @@ func numeric(v object.Value) (float64, bool) {
 		return float64(x), true
 	case object.Float:
 		return float64(x), true
+	default:
+		return 0, false
 	}
-	return 0, false
 }
 
 // evalTerm evaluates a term of any sort under a valuation; every variable
@@ -152,7 +153,10 @@ func (e *Env) evalDataTerm(t DataTerm, v Valuation) (object.Value, error) {
 		}
 		var out []object.Value
 		seen := map[string]bool{}
-		for _, val := range vals {
+		for i, val := range vals {
+			if err := e.pollCtx(i); err != nil {
+				return nil, err
+			}
 			var item object.Value
 			if len(x.Q.Head) == 1 {
 				b, ok := val[x.Q.Head[0].Name]
@@ -225,7 +229,7 @@ func (e *Env) applyWithSelectors(v object.Value, p path.Path) (object.Value, err
 		}
 		next, err := path.Apply(e.Inst, cur, path.New(s))
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", errNoSuchPath, err)
+			return nil, fmt.Errorf("%w: %w", errNoSuchPath, err)
 		}
 		cur = next
 	}
@@ -323,8 +327,9 @@ func (e *Env) evalFunc(f FuncCall, v Valuation) (object.Value, error) {
 				return object.Int(len(x)), nil
 			case *object.Tuple:
 				return object.Int(x.Len()), nil
+			default:
+				return nil, fmt.Errorf("calculus: length of %s", args[0])
 			}
-			return nil, fmt.Errorf("calculus: length of %s", args[0])
 		}
 	case "name":
 		if len(args) != 1 || args[0].Sort != SortAttr {
@@ -482,7 +487,7 @@ func (e *Env) evalFunc(f FuncCall, v Valuation) (object.Value, error) {
 		}
 		out, err := e.Inst.Invoke(recv, f.Name, rest...)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", errNoSuchPath, err)
+			return nil, fmt.Errorf("%w: %w", errNoSuchPath, err)
 		}
 		return out, nil
 	}

@@ -8,6 +8,8 @@ import (
 )
 
 // Formula is a first-order formula over the atoms of Section 5.2.
+//
+//sgmldbvet:closed
 type Formula interface {
 	isFormula()
 	String() string
@@ -267,6 +269,7 @@ func freeVars(f Formula, bound map[string]bool, into map[string]Sort) {
 		freeVars(x.Then, b2, into)
 	case TrueF:
 	default:
+		//lint:allow panic unreachable: the switch covers the closed Formula set (enforced by sgmldbvet exhaustive)
 		panic(fmt.Sprintf("calculus: unknown formula %T", f))
 	}
 }
@@ -325,6 +328,8 @@ func dataTermVars(t DataTerm, bound map[string]bool, into map[string]Sort) {
 			b2[v.Name] = true
 		}
 		freeVars(x.Q.Body, b2, into)
+	case Const, NameRef:
+		// no variables
 	}
 }
 
@@ -351,6 +356,8 @@ func pathTermVars(t PathTerm, bound map[string]bool, into map[string]Sort) {
 			}
 		case ElemMember:
 			dataTermVars(x.T, bound, into)
+		case ElemDeref:
+			// no variables
 		}
 	}
 }

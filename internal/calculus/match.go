@@ -103,6 +103,8 @@ func (e *Env) matchElems(cur object.Value, elems []PathElem, v Valuation) ([]Val
 					return nil, err
 				}
 				out = append(out, sub...)
+			default:
+				// other kinds have no attributes: no match
 			}
 			return out, nil
 		}

@@ -163,6 +163,8 @@ func restrict(f Formula, bound varSet) (varSet, bool) {
 				} else if !groundableData(el.T, bound) {
 					return nil, false
 				}
+			case ElemDeref:
+				// binds nothing
 			}
 		}
 		return out, true

@@ -20,6 +20,8 @@ import (
 )
 
 // Sort is the sort of a variable or term: val, path or att.
+//
+//sgmldbvet:closed
 type Sort int
 
 // The three sorts of the calculus.
@@ -44,6 +46,8 @@ func (s Sort) String() string {
 }
 
 // DataTerm is a term of sort val.
+//
+//sgmldbvet:closed
 type DataTerm interface {
 	isDataTerm()
 	String() string
@@ -151,6 +155,8 @@ func (InnerQuery) isDataTerm()      {}
 func (t InnerQuery) String() string { return t.Q.String() }
 
 // AttrTerm is a term of sort att: an attribute name or variable.
+//
+//sgmldbvet:closed
 type AttrTerm interface {
 	isAttrTerm()
 	String() string
@@ -198,6 +204,8 @@ func (t PathTerm) Concat(u PathTerm) PathTerm {
 }
 
 // PathElem is one element of a path term.
+//
+//sgmldbvet:closed
 type PathElem interface {
 	isPathElem()
 	String() string

@@ -143,6 +143,8 @@ func (inf *inferencer) formula(f Formula) error {
 					inf.ti.Data[v.Name] = append(inf.ti.Data[v.Name], c.Elem)
 				case object.ListType:
 					inf.ti.Data[v.Name] = append(inf.ti.Data[v.Name], c.Elem)
+				default:
+					// non-collection range types constrain nothing
 				}
 			}
 		}
@@ -256,6 +258,8 @@ func (inf *inferencer) pathTerm(types []object.Type, elems []PathElem) {
 							inf.ti.Attr[a.Name] = append(inf.ti.Attr[a.Name], alt.Name)
 							next = append(next, alt.Type)
 						}
+					default:
+						// other kinds have no attributes
 					}
 				}
 			}
@@ -271,6 +275,8 @@ func (inf *inferencer) pathTerm(types []object.Type, elems []PathElem) {
 					next = append(next, c.Elem)
 				case object.TupleType:
 					next = append(next, object.HeterogeneousListType(c).Elem)
+				default:
+					// other kinds are not indexable
 				}
 			}
 			cur = dedupTypes(next)

@@ -99,6 +99,8 @@ func oidsIn(v object.Value) []object.OID {
 		}
 	case *object.Union_:
 		out = append(out, oidsIn(x.Value)...)
+	default:
+		// atoms and nil contain no oids
 	}
 	return out
 }

@@ -301,6 +301,9 @@ func constraintsFor(s shape) []constraintSpec {
 	}
 }
 
+// constraintKind discriminates the constraint specs the mapper emits.
+//
+//sgmldbvet:closed
 type constraintKind int
 
 const (

@@ -56,6 +56,8 @@ func TextOf(inst *store.Instance, v object.Value) string {
 			}
 		case *object.Union_:
 			walk(x.Value, class)
+		default:
+			// ints, floats, bools and nil contribute no text
 		}
 	}
 	if o, ok := v.(object.OID); ok {

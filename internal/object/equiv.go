@@ -92,6 +92,8 @@ func Equiv(v, w Value) bool {
 			return true
 		case *List:
 			return Equiv(HeterogeneousList(a), b)
+		default:
+			// kind mismatch: not equivalent
 		}
 	case *List:
 		switch b := w.(type) {
@@ -107,6 +109,8 @@ func Equiv(v, w Value) bool {
 				}
 			}
 			return true
+		default:
+			// kind mismatch: not equivalent
 		}
 	case *Set:
 		b, ok := w.(*Set)
@@ -133,6 +137,8 @@ func Equiv(v, w Value) bool {
 			return false
 		}
 		return a.Marker == b.Marker && Equiv(a.Value, b.Value)
+	default:
+		// atoms, oids and nil: Equal above is the whole relation
 	}
 	return false
 }

@@ -39,8 +39,10 @@ func MemberOf(v Value, t Type, h *Hierarchy, classOf ClassOf) bool {
 			return v.Kind() == KindString
 		case TypeBool:
 			return v.Kind() == KindBool
+		default:
+			// non-atomic kinds never label an AtomicType
+			return false
 		}
-		return false
 	case AnyType:
 		// nil belongs to every class domain and c ≤ any, so dom
 		// monotonicity puts nil in dom(any) as well.
@@ -115,8 +117,10 @@ func MemberOf(v Value, t Type, h *Hierarchy, classOf ClassOf) bool {
 			}
 			alt, ok := ty.Get(x.At(0).Name)
 			return ok && MemberOf(x.At(0).Value, alt, h, classOf)
+		default:
+			// other kinds are outside every union domain
+			return false
 		}
-		return false
 	default:
 		return false
 	}

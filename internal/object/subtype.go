@@ -31,8 +31,9 @@ func Subtype(h *Hierarchy, t, u Type) bool {
 		switch t.(type) {
 		case ClassType, AnyType:
 			return true
+		default:
+			return false
 		}
-		return false
 	case AtomicType:
 		at, ok := t.(AtomicType)
 		if !ok {
@@ -70,8 +71,9 @@ func Subtype(h *Hierarchy, t, u Type) bool {
 				}
 			}
 			return true
+		default:
+			return false
 		}
-		return false
 	case TupleType:
 		tt, ok := t.(TupleType)
 		if !ok {
@@ -112,8 +114,9 @@ func Subtype(h *Hierarchy, t, u Type) bool {
 				}
 			}
 			return false
+		default:
+			return false
 		}
-		return false
 	default:
 		return false
 	}
@@ -224,8 +227,9 @@ func CommonSupertype(h *Hierarchy, t, u Type) (Type, bool) {
 			return ListOf(elem), true
 		case TupleType:
 			return CommonSupertype(h, u, t)
+		default:
+			return nil, false
 		}
-		return nil, false
 	case TupleType:
 		switch uu := u.(type) {
 		case TupleType:
@@ -250,8 +254,9 @@ func CommonSupertype(h *Hierarchy, t, u Type) (Type, bool) {
 			// The tuple embeds into a heterogeneous list; join the list of
 			// the tuple's field union with u.
 			return CommonSupertype(h, HeterogeneousListType(tt), uu)
+		default:
+			return nil, false
 		}
-		return nil, false
 	default:
 		return nil, false
 	}

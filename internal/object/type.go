@@ -7,6 +7,8 @@ import (
 )
 
 // TypeKind discriminates the concrete representation of a Type.
+//
+//sgmldbvet:closed
 type TypeKind int
 
 // The type kinds of types(C) (Section 5.1): atomic types, class names, any,
@@ -25,6 +27,8 @@ const (
 )
 
 // Type is an element of types(C).
+//
+//sgmldbvet:closed
 type Type interface {
 	TypeKind() TypeKind
 	// String renders the type in the paper's surface syntax.
@@ -143,6 +147,7 @@ func TupleOf(fields ...TField) TupleType {
 	fs := make([]TField, len(fields))
 	for i, f := range fields {
 		if seen[f.Name] {
+			//lint:allow panic programmer-error guard on a schema literal, caught at construction
 			panic(fmt.Sprintf("object: duplicate tuple type attribute %q", f.Name))
 		}
 		seen[f.Name] = true
@@ -218,6 +223,7 @@ func UnionOf(alts ...TField) UnionType {
 	for _, a := range alts {
 		if prev, ok := m[a.Name]; ok {
 			if !TypeEqual(prev, a.Type) {
+				//lint:allow panic programmer-error guard on a schema literal, caught at construction
 				panic(fmt.Sprintf("object: conflicting union alternative %q: %s vs %s", a.Name, prev, a.Type))
 			}
 			continue

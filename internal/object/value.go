@@ -21,6 +21,8 @@ import (
 )
 
 // Kind discriminates the concrete representation of a Value.
+//
+//sgmldbvet:closed
 type Kind int
 
 // The value kinds of the model. KindUnion is the marked-union value
@@ -72,6 +74,8 @@ func (k Kind) String() string {
 // constructed tuple/list/set/union value. Values are immutable by
 // convention: constructors copy their arguments where aliasing would be
 // observable, and accessors never expose internal slices for mutation.
+//
+//sgmldbvet:closed
 type Value interface {
 	// Kind reports the concrete kind of the value.
 	Kind() Kind
@@ -190,6 +194,7 @@ func NewTuple(fields ...Field) *Tuple {
 			f.Value = Nil{}
 		}
 		if seen[f.Name] {
+			//lint:allow panic programmer-error guard on a value literal, caught at construction
 			panic(fmt.Sprintf("object: duplicate tuple attribute %q", f.Name))
 		}
 		seen[f.Name] = true

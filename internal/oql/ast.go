@@ -6,6 +6,8 @@ import (
 )
 
 // Expr is a parsed O₂SQL expression.
+//
+//sgmldbvet:closed
 type Expr interface {
 	isExpr()
 	String() string

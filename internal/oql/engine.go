@@ -1,6 +1,7 @@
 package oql
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"runtime"
@@ -36,22 +37,35 @@ type Engine struct {
 	// Workers bounds intra-query parallelism of algebra scans:
 	// 0 uses GOMAXPROCS, 1 evaluates serially, n > 1 uses n goroutines.
 	Workers int
+	// PlanCacheSize bounds the plan cache (0 = DefaultPlanCacheSize). A
+	// long-lived serving process sees unbounded query-text churn; the
+	// cache keeps the hot plans and evicts the least recently used.
+	PlanCacheSize int
 
-	// mu guards planCache; queries from many goroutines share the cache.
+	// mu guards the plan cache; queries from many goroutines share it.
 	mu sync.RWMutex
-	// planCache memoises compiled algebra plans per query source, so
-	// repeated queries pay the (★) analysis once. Entries record the
-	// schema version they were compiled against and are recompiled when
-	// the schema moves (a document load can add persistence roots, which
-	// changes the candidate valuations of unbound variables).
-	planCache map[string]cachedPlan
+	// plans memoises compiled algebra plans per query source, so repeated
+	// queries pay the (★) analysis once. Entries record the schema
+	// version they were compiled against and are recompiled when the
+	// schema moves (a document load can add persistence roots, which
+	// changes the candidate valuations of unbound variables). The cache
+	// is a bounded LRU: entries is the by-source index into order, whose
+	// front is the most recently used plan.
+	plans struct {
+		entries map[string]*list.Element
+		order   list.List // of *planEntry
+	}
 }
 
-// cachedPlan is one plan cache entry with its compilation version.
-type cachedPlan struct {
+// planEntry is one plan cache entry with its compilation version.
+type planEntry struct {
+	src     string
 	plan    *algebra.Plan
 	version uint64
 }
+
+// DefaultPlanCacheSize is the plan-cache bound when PlanCacheSize is 0.
+const DefaultPlanCacheSize = 128
 
 // New builds an engine over an environment.
 func New(env *calculus.Env) *Engine { return &Engine{Env: env} }
@@ -206,14 +220,11 @@ func (e *Engine) runCached(ctx context.Context, src string, ast Expr) (*calculus
 }
 
 // cachedPlan returns the compiled plan for src, compiling (or recompiling,
-// if the schema changed underneath the cached entry) under the write lock.
+// if the schema changed underneath the cached entry) outside the lock.
 func (e *Engine) cachedPlan(src string, ast Expr) (*algebra.Plan, error) {
 	version := e.schemaVersion()
-	e.mu.RLock()
-	entry, ok := e.planCache[src]
-	e.mu.RUnlock()
-	if ok && entry.version == version {
-		return entry.plan, nil
+	if plan, ok := e.lookupPlan(src, version); ok {
+		return plan, nil
 	}
 	q, err := Lower(ast, e.rootNames())
 	if err != nil {
@@ -223,13 +234,78 @@ func (e *Engine) cachedPlan(src string, ast Expr) (*algebra.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	if e.planCache == nil {
-		e.planCache = map[string]cachedPlan{}
-	}
-	e.planCache[src] = cachedPlan{plan: plan, version: version}
-	e.mu.Unlock()
+	e.storePlan(src, plan, version)
 	return plan, nil
+}
+
+// planCacheCap resolves the configured cache bound.
+func (e *Engine) planCacheCap() int {
+	if e.PlanCacheSize > 0 {
+		return e.PlanCacheSize
+	}
+	return DefaultPlanCacheSize
+}
+
+// lookupPlan returns the cached plan for src if it was compiled against
+// the current schema version, marking it most recently used. A stale
+// entry (schema moved underneath it) is dropped so the recompiled plan
+// re-enters at the front.
+func (e *Engine) lookupPlan(src string, version uint64) (*algebra.Plan, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.plans.entries[src]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*planEntry)
+	if ent.version != version {
+		e.plans.order.Remove(el)
+		delete(e.plans.entries, src)
+		return nil, false
+	}
+	e.plans.order.MoveToFront(el)
+	return ent.plan, true
+}
+
+// storePlan inserts (or refreshes) a compiled plan at the front of the
+// LRU order, evicting from the back beyond the cache bound.
+func (e *Engine) storePlan(src string, plan *algebra.Plan, version uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.plans.entries == nil {
+		e.plans.entries = map[string]*list.Element{}
+	}
+	if el, ok := e.plans.entries[src]; ok {
+		ent := el.Value.(*planEntry)
+		ent.plan, ent.version = plan, version
+		e.plans.order.MoveToFront(el)
+		return
+	}
+	e.plans.entries[src] = e.plans.order.PushFront(&planEntry{src: src, plan: plan, version: version})
+	for e.plans.order.Len() > e.planCacheCap() {
+		back := e.plans.order.Back()
+		e.plans.order.Remove(back)
+		delete(e.plans.entries, back.Value.(*planEntry).src)
+	}
+}
+
+// PlanCacheLen reports the number of cached plans.
+func (e *Engine) PlanCacheLen() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.plans.order.Len()
+}
+
+// planCacheKeys lists the cached query sources in recency order (most
+// recent first); test hook.
+func (e *Engine) planCacheKeys() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []string
+	for el := e.plans.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*planEntry).src)
+	}
+	return out
 }
 
 // Prepared is a query whose front-end work — parsing, typechecking,
@@ -368,7 +444,7 @@ func (e *Engine) value(ctx context.Context, ast Expr) (object.Value, error) {
 	}
 	v, err := e.Env.WithContext(ctx).Term(t, calculus.Valuation{})
 	if calculus.IsNoSuchPath(err) {
-		return nil, fmt.Errorf("oql: execution-time type error: %v", err)
+		return nil, fmt.Errorf("oql: execution-time type error: %w", err)
 	}
 	return v, err
 }

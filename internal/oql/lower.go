@@ -158,6 +158,8 @@ func (lw *lowerer) selectQuery(sel SelectExpr, outer scope) (*calculus.Query, er
 		if _, ok := sc[proj.Name]; ok {
 			head = calculus.VarDecl{Name: proj.Name, Sort: calculus.SortAttr}
 		}
+	default:
+		// computed projection: handled by the fresh-variable fallback below
 	}
 	if head.Name == "" {
 		head = calculus.VarDecl{Name: lw.freshVar("r"), Sort: calculus.SortData}

@@ -1,0 +1,115 @@
+package oql
+
+import (
+	"strings"
+	"testing"
+
+	"sgmldb/internal/object"
+)
+
+// The plan cache keys on the query source text, so whitespace variants of
+// one query make distinct cache entries that compile to identical plans —
+// cheap fodder for exercising the LRU bookkeeping.
+func spacedQuery(i int) string {
+	return "select a from a in my_article" + strings.Repeat(" ", i)
+}
+
+func mustQuery(t *testing.T, e *Engine, src string) {
+	t.Helper()
+	if _, err := e.Query(src); err != nil {
+		t.Fatalf("Query(%q): %v", src, err)
+	}
+}
+
+func TestPlanCacheEvictionOrder(t *testing.T) {
+	e := articleEngine(t)
+	e.UseAlgebra = true
+	e.PlanCacheSize = 3
+
+	for i := 0; i < 3; i++ {
+		mustQuery(t, e, spacedQuery(i))
+	}
+	if got := e.PlanCacheLen(); got != 3 {
+		t.Fatalf("cache len = %d, want 3", got)
+	}
+
+	// Touch the oldest entry so it becomes the most recently used …
+	mustQuery(t, e, spacedQuery(0))
+	// … then overflow: the eviction victim must be query 1, not query 0.
+	mustQuery(t, e, spacedQuery(3))
+
+	if got := e.PlanCacheLen(); got != 3 {
+		t.Fatalf("cache len after overflow = %d, want 3", got)
+	}
+	keys := e.planCacheKeys()
+	want := []string{spacedQuery(3), spacedQuery(0), spacedQuery(2)}
+	if len(keys) != len(want) {
+		t.Fatalf("cache keys = %q, want %q", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("cache order[%d] = %q, want %q (full order %q)", i, keys[i], want[i], keys)
+		}
+	}
+
+	// A cache hit must not grow the cache.
+	mustQuery(t, e, spacedQuery(2))
+	if got := e.PlanCacheLen(); got != 3 {
+		t.Fatalf("cache len after hit = %d, want 3", got)
+	}
+}
+
+func TestPlanCacheDefaultBound(t *testing.T) {
+	e := articleEngine(t)
+	if got := e.planCacheCap(); got != DefaultPlanCacheSize {
+		t.Fatalf("planCacheCap() = %d, want DefaultPlanCacheSize (%d)", got, DefaultPlanCacheSize)
+	}
+	e.PlanCacheSize = 7
+	if got := e.planCacheCap(); got != 7 {
+		t.Fatalf("planCacheCap() = %d, want 7", got)
+	}
+}
+
+// TestPlanCacheSchemaInvalidation checks the interplay of the LRU with
+// schema-version invalidation: a schema change makes every cached plan
+// stale, and re-running a query recompiles it in place — the cache must
+// not grow, and the refreshed entry must carry the new version.
+func TestPlanCacheSchemaInvalidation(t *testing.T) {
+	e := articleEngine(t)
+	e.UseAlgebra = true
+	e.PlanCacheSize = 4
+
+	const src = "select a from a in my_article"
+	mustQuery(t, e, src)
+	mustQuery(t, e, spacedQuery(1))
+	if got := e.PlanCacheLen(); got != 2 {
+		t.Fatalf("cache len = %d, want 2", got)
+	}
+	oldVersion := e.schemaVersion()
+
+	// Any schema mutation bumps the version; a new root also changes the
+	// candidate valuations of unbound variables, which is exactly why
+	// cached plans must not survive it.
+	schema := e.Env.Inst.Schema()
+	if err := schema.AddRoot("cache_probe", object.Class("Article")); err != nil {
+		t.Fatal(err)
+	}
+	if e.schemaVersion() == oldVersion {
+		t.Fatal("schema version did not move")
+	}
+
+	// The stale entry must be treated as a miss and recompiled in place.
+	if _, ok := e.lookupPlan(src, e.schemaVersion()); ok {
+		t.Fatal("stale plan served as a hit after schema change")
+	}
+	mustQuery(t, e, src)
+	if plan, ok := e.lookupPlan(src, e.schemaVersion()); !ok || plan == nil {
+		t.Fatal("recompiled plan not cached under the new schema version")
+	}
+
+	// Re-running the other stale query refreshes rather than duplicates.
+	mustQuery(t, e, spacedQuery(1))
+	if got := e.PlanCacheLen(); got != 2 {
+		t.Fatalf("cache len after invalidation round = %d, want 2", got)
+	}
+}

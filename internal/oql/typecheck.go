@@ -433,6 +433,8 @@ func (c *checker) checkTextOperand(t object.Type, at Expr) error {
 				return nil
 			}
 		}
+	default:
+		// lists, sets and non-string atoms are not searchable
 	}
 	return fmt.Errorf("oql: type error: contains cannot search a %s (%s)", t, at)
 }

@@ -182,6 +182,8 @@ func (e *enumerator) visit(v object.Value, p Path, st visitState) {
 			st2.visitedOIDs[x] = true
 			e.visit(inner, p.Append(Deref()), st2)
 		}
+	default:
+		// atoms and nil are leaves: no further steps
 	}
 }
 

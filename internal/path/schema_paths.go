@@ -161,6 +161,8 @@ func (e *schemaEnum) visit(t object.Type, a Abstract, derefed map[string]bool) {
 		for _, c := range e.h.Classes() {
 			e.derefClass(c, a, derefed)
 		}
+	default:
+		// atomic types are leaves: no further steps
 	}
 }
 

@@ -1,0 +1,60 @@
+package sgml
+
+import (
+	"os"
+	"testing"
+)
+
+// The fuzz targets pin the parser contract: arbitrary input must produce
+// a value or an error, never a panic, and a successfully parsed document
+// must be internally consistent enough to walk.
+
+func seedFile(f *testing.F, path string) {
+	f.Helper()
+	f.Add(mustReadFile(f, path))
+}
+
+func FuzzParseDTD(f *testing.F) {
+	seedFile(f, "../../testdata/article.dtd")
+	f.Add("<!ELEMENT a - - (#PCDATA)>")
+	f.Add("<!ELEMENT a - - (b, c*)> <!ELEMENT (b|c) - O (#PCDATA)>")
+	f.Add("<!ATTLIST a kind (x|y) x>")
+	f.Add("<!ELEMENT")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		dtd, err := ParseDTD(src)
+		if err == nil && dtd == nil {
+			t.Fatal("ParseDTD returned nil, nil")
+		}
+	})
+}
+
+func FuzzParseDocument(f *testing.F) {
+	seedFile(f, "../../testdata/article.sgml")
+	f.Add("<article><title>t</title></article>")
+	f.Add("<article status=\"draft\">")
+	f.Add("</article>")
+	f.Add("")
+	dtd, err := ParseDTD(mustReadFile(f, "../../testdata/article.dtd"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseDocument(dtd, src)
+		if err == nil && doc == nil {
+			t.Fatal("ParseDocument returned nil, nil")
+		}
+		if err == nil && doc.Root == nil {
+			t.Fatal("parsed document has nil root")
+		}
+	})
+}
+
+func mustReadFile(f *testing.F, path string) string {
+	f.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return string(src)
+}

@@ -7,6 +7,8 @@ import (
 )
 
 // Node is a node of the parsed document tree: an *Element or a Text run.
+//
+//sgmldbvet:closed
 type Node interface{ node() }
 
 // Text is a run of character data.

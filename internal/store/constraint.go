@@ -12,6 +12,8 @@ import (
 // attribute defaults say beyond the type: required components (!= nil),
 // non-empty repetitions (!= list()), enumerated attribute ranges
 // (in set("final", "draft")), and disjunctions over union alternatives.
+//
+//sgmldbvet:closed
 type Constraint interface {
 	// Holds evaluates the constraint against the (union-unwrapped) value
 	// of an object of the constrained class. deref resolves oids so that

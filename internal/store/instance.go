@@ -264,6 +264,8 @@ func danglingOIDs(v object.Value, assigned map[object.OID]object.Value) []object
 			}
 		case *object.Union_:
 			walk(x.Value)
+		default:
+			// atoms and nil contain no oids
 		}
 	}
 	walk(v)

@@ -234,6 +234,8 @@ func (s *Schema) checkTypeRefs(t object.Type) error {
 				return err
 			}
 		}
+	default:
+		// atomic and any types reference no classes
 	}
 	return nil
 }

@@ -64,6 +64,7 @@ func Compile(src string) (*Pattern, error) {
 func MustCompile(src string) *Pattern {
 	p, err := Compile(src)
 	if err != nil {
+		//lint:allow panic Must* constructor for fixed patterns, by convention
 		panic(err)
 	}
 	return p
@@ -73,6 +74,8 @@ func MustCompile(src string) *Pattern {
 func (p *Pattern) Match(s string) bool { return p.prog.search(s) }
 
 // node is the pattern AST.
+//
+//sgmldbvet:closed
 type node interface{ isNode() }
 
 type litNode struct{ r rune }

@@ -101,15 +101,36 @@ func (e NearExpr) String() string {
 func Contains(text string, expr Expr) bool { return expr.Eval(text) }
 
 // ContainsWord is the common special case contains("word"): an unanchored
-// literal match.
-func ContainsWord(text, word string) bool {
-	p := MustCompile(escapeLiteral(word))
-	return p.Match(text)
+// literal match. A word that fails to compile (impossible for escaped
+// literals, but the contains path must not panic) returns the error.
+func ContainsWord(text, word string) (bool, error) {
+	p, err := Compile(escapeLiteral(word))
+	if err != nil {
+		return false, err
+	}
+	return p.Match(text), nil
 }
 
 // Word builds the pattern atom for a literal string (metacharacters
-// escaped).
-func Word(s string) Expr { return MatchExpr{Pattern: MustCompile(escapeLiteral(s))} }
+// escaped), propagating compile errors instead of panicking.
+func Word(s string) (Expr, error) {
+	p, err := Compile(escapeLiteral(s))
+	if err != nil {
+		return nil, err
+	}
+	return MatchExpr{Pattern: p}, nil
+}
+
+// MustWord is Word that panics on error, for fixed literals in tests and
+// examples.
+func MustWord(s string) Expr {
+	e, err := Word(s)
+	if err != nil {
+		//lint:allow panic Must* constructor for fixed literals, by convention
+		panic(err)
+	}
+	return e
+}
 
 // PatternExpr builds a pattern atom from pattern syntax.
 func PatternExpr(src string) (Expr, error) {

@@ -87,30 +87,30 @@ func TestMustCompilePanics(t *testing.T) {
 func TestBooleanCombinations(t *testing.T) {
 	title := "Combining SGML repositories with an OODBMS"
 	// Q1's pattern: contains ("SGML" and "OODBMS").
-	e := And(Word("SGML"), Word("OODBMS"))
+	e := And(MustWord("SGML"), MustWord("OODBMS"))
 	if !Contains(title, e) {
 		t.Error("Q1 combination must hold")
 	}
 	if Contains("SGML only", e) {
 		t.Error("and must require both")
 	}
-	if !Contains("SGML only", Or(Word("OODBMS"), Word("SGML"))) {
+	if !Contains("SGML only", Or(MustWord("OODBMS"), MustWord("SGML"))) {
 		t.Error("or")
 	}
-	if Contains(title, Not(Word("SGML"))) {
+	if Contains(title, Not(MustWord("SGML"))) {
 		t.Error("not")
 	}
-	if !Contains(title, Not(Word("XQuery"))) {
+	if !Contains(title, Not(MustWord("XQuery"))) {
 		t.Error("not of absent word")
 	}
 	if got := e.String(); got != `("SGML" and "OODBMS")` {
 		t.Errorf("And String = %s", got)
 	}
-	if got := Or(Word("a"), Not(Word("b"))).String(); got != `("a" or not "b")` {
+	if got := Or(MustWord("a"), Not(MustWord("b"))).String(); got != `("a" or not "b")` {
 		t.Errorf("Or String = %s", got)
 	}
 	// Word escapes metacharacters.
-	if !Contains("f(x)=y*z", Word("f(x)=y*z")) {
+	if !Contains("f(x)=y*z", MustWord("f(x)=y*z")) {
 		t.Error("Word must escape metacharacters")
 	}
 	// PatternExpr exposes raw syntax.
@@ -124,8 +124,15 @@ func TestBooleanCombinations(t *testing.T) {
 	if _, err := PatternExpr("("); err == nil {
 		t.Error("PatternExpr must propagate errors")
 	}
-	if !ContainsWord("complex object store", "complex object") {
+	ok, err := ContainsWord("complex object store", "complex object")
+	if err != nil {
+		t.Fatalf("ContainsWord: %v", err)
+	}
+	if !ok {
 		t.Error("ContainsWord phrase")
+	}
+	if _, err := Word("complex object"); err != nil {
+		t.Errorf("Word: %v", err)
 	}
 }
 
@@ -216,15 +223,15 @@ func TestIndexLookup(t *testing.T) {
 func TestIndexEval(t *testing.T) {
 	ix := buildIndex()
 	// Q1's conjunction.
-	got := ix.Eval(And(Word("SGML"), Word("OODBMS")))
+	got := ix.Eval(And(MustWord("SGML"), MustWord("OODBMS")))
 	if len(got) != 1 || got[0] != 3 {
 		t.Errorf("and = %v", got)
 	}
-	got = ix.Eval(Or(Word("SGML"), Word("relational")))
+	got = ix.Eval(Or(MustWord("SGML"), MustWord("relational")))
 	if len(got) != 3 {
 		t.Errorf("or = %v", got)
 	}
-	got = ix.Eval(Not(Word("SGML")))
+	got = ix.Eval(Not(MustWord("SGML")))
 	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
 		t.Errorf("not = %v", got)
 	}
@@ -235,11 +242,11 @@ func TestIndexEval(t *testing.T) {
 		t.Errorf("pattern = %v", got)
 	}
 	// Phrase: consecutive words.
-	got = ix.Eval(Word("complex object"))
+	got = ix.Eval(MustWord("complex object"))
 	if len(got) != 1 || got[0] != 3 {
 		t.Errorf("phrase = %v", got)
 	}
-	got = ix.Eval(Word("complex objects"))
+	got = ix.Eval(MustWord("complex objects"))
 	if len(got) != 1 || got[0] != 2 {
 		t.Errorf("phrase 2 = %v", got)
 	}
@@ -249,7 +256,7 @@ func TestIndexEval(t *testing.T) {
 		t.Errorf("near = %v", got)
 	}
 	// Empty results.
-	if got := ix.Eval(Word("zebra")); len(got) != 0 {
+	if got := ix.Eval(MustWord("zebra")); len(got) != 0 {
 		t.Errorf("missing word = %v", got)
 	}
 }
@@ -273,9 +280,9 @@ func TestIndexAgreesWithScan(t *testing.T) {
 		ix.Add(d, text)
 	}
 	for trial := 0; trial < 200; trial++ {
-		var e Expr = Word(vocab[r.Intn(len(vocab))])
+		var e Expr = MustWord(vocab[r.Intn(len(vocab))])
 		for d := 0; d < 2; d++ {
-			w := Word(vocab[r.Intn(len(vocab))])
+			w := MustWord(vocab[r.Intn(len(vocab))])
 			switch r.Intn(3) {
 			case 0:
 				e = And(e, w)

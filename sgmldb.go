@@ -266,6 +266,8 @@ func OpenSnapshot(path string, opts ...Option) (*Database, error) {
 			}
 		case object.OID:
 			addDoc(r)
+		default:
+			// other root shapes hold no document objects
 		}
 	}
 	return db, nil
