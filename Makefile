@@ -16,11 +16,14 @@ vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/sgmldbvet ./...
 
+# -shuffle=on randomises test (and subtest) order: tests must not lean
+# on residue from earlier tests, which matters doubly now that database
+# state is published through shared snapshots.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # One iteration of every benchmark: catches bit-rot in the experiment
 # harness without paying for full measurements.
@@ -38,6 +41,6 @@ ci:
 	$(GO) vet ./...
 	$(GO) run ./cmd/sgmldbvet ./...
 	$(GO) build ./...
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 	$(MAKE) fuzz
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"testing"
 
+	"sgmldb/internal/corpus"
 	"sgmldb/internal/object"
 )
 
@@ -72,4 +73,68 @@ func BenchmarkQueryParallel(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkLoadWhileQuerying measures reader latency under write load:
+// one goroutine keeps loading documents through the facade while the
+// benchmark loop queries a named root. With copy-on-write snapshots the
+// readers never block on the loads — the number reported here is the
+// price of a query that pins its snapshot while a writer publishes new
+// ones, and should track BenchmarkQueryParallel/Serial, not the load
+// time.
+func BenchmarkLoadWhileQuerying(b *testing.B) {
+	g := corpus.NewGenerator(corpus.Params{Seed: 7})
+	const pool = 32
+	srcs := make([]string, pool)
+	for i := range srcs {
+		srcs[i] = g.Article(i)
+	}
+	db, err := OpenDTD(corpus.ArticleDTD, WithAlgebra(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	oid, err := db.LoadDocument(srcs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Name("probe", oid); err != nil {
+		b.Fatal(err)
+	}
+	// Query a singular root so the read cost stays flat as the writer
+	// grows the Articles extent behind it.
+	const q = `select t from probe PATH_p.title(t)`
+	v, err := db.Query(q) // warm the plan cache
+	if err != nil {
+		b.Fatal(err)
+	}
+	if v.(*object.Set).Len() == 0 {
+		b.Fatal("empty result")
+	}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+			}
+			if _, err := db.LoadDocument(srcs[i%pool]); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	if err := <-done; err != nil {
+		b.Fatalf("writer: %v", err)
+	}
 }

@@ -1,0 +1,315 @@
+package sgmldb
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sgmldb/internal/object"
+)
+
+// facadeState captures everything about the published database state that
+// a failed load must leave untouched.
+type facadeState struct {
+	epoch    uint64
+	objects  int
+	stats    string
+	checks   int
+	articles int
+	indexed  int
+	titles   string
+}
+
+func captureFacade(t *testing.T, db *Database) facadeState {
+	t.Helper()
+	got, err := db.Query(`select t from a in Articles, a PATH_p.title(t)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := db.Instance().Root("Articles")
+	return facadeState{
+		epoch:    db.Epoch(),
+		objects:  db.Stats().Objects,
+		stats:    fmt.Sprintf("%+v", db.Stats()),
+		checks:   len(db.Check()),
+		articles: root.(*object.List).Len(),
+		indexed:  len(db.state().Index.Docs()),
+		titles:   got.String(),
+	}
+}
+
+// TestFacadeFailedLoadIsAtomic is the facade half of the load-atomicity
+// story: a rejected document — alone or anywhere inside a batch — leaves
+// the published database byte-identical. The mid-load (post-parse)
+// failure path is covered in internal/dtdmap's atomicity tests; here we
+// assert the contract users observe through LoadDocument(s).
+func TestFacadeFailedLoadIsAtomic(t *testing.T) {
+	db := openArticleDB(t)
+	good, err := os.ReadFile("testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bad = `<article><title>only a title</title></article>`
+
+	before := captureFacade(t, db)
+	if before.checks != 0 {
+		t.Fatalf("pre-state dirty: %d check errors", before.checks)
+	}
+	if _, err := db.LoadDocument(bad); err == nil {
+		t.Fatal("invalid document accepted")
+	}
+	// A batch must be all-or-nothing: the valid first document must not
+	// leak when its sibling is rejected.
+	if _, err := db.LoadDocuments([]string{string(good), bad}); err == nil {
+		t.Fatal("batch with invalid document accepted")
+	}
+	after := captureFacade(t, db)
+	if before != after {
+		t.Errorf("failed loads changed published state:\n before %+v\n after  %+v", before, after)
+	}
+
+	// The database stays fully usable: the next valid load succeeds and
+	// publishes exactly one new epoch.
+	if _, err := db.LoadDocument(string(good)); err != nil {
+		t.Fatal(err)
+	}
+	if db.Epoch() != before.epoch+1 {
+		t.Errorf("epoch after recovery load = %d, want %d", db.Epoch(), before.epoch+1)
+	}
+	if errs := db.Check(); len(errs) != 0 {
+		t.Errorf("Check after recovery = %v", errs)
+	}
+}
+
+// TestFacadeBatchLoadOneEpoch checks the batch contract of LoadDocuments:
+// the whole batch becomes visible in a single snapshot publication — one
+// epoch, one index version — never document by document.
+func TestFacadeBatchLoadOneEpoch(t *testing.T) {
+	db := openArticleDB(t)
+	src, err := os.ReadFile("testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := db.Epoch()
+	oids, err := db.LoadDocuments([]string{string(src), string(src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) != 2 || oids[0] == oids[1] {
+		t.Fatalf("oids = %v, want two distinct", oids)
+	}
+	if db.Epoch() != e0+1 {
+		t.Errorf("epoch = %d, want exactly one bump from %d", db.Epoch(), e0)
+	}
+	root, _ := db.Instance().Root("Articles")
+	if n := root.(*object.List).Len(); n != 3 {
+		t.Errorf("Articles = %d documents, want 3", n)
+	}
+	if n := len(db.state().Index.Docs()); n != 3 {
+		t.Errorf("index = %d documents, want 3", n)
+	}
+	if errs := db.Check(); len(errs) != 0 {
+		t.Errorf("Check = %v", errs)
+	}
+	// Empty batches are a no-op, not a publication.
+	if oids, err := db.LoadDocuments(nil); err != nil || oids != nil {
+		t.Errorf("empty batch = %v, %v", oids, err)
+	}
+	if db.Epoch() != e0+1 {
+		t.Errorf("empty batch published an epoch: %d", db.Epoch())
+	}
+}
+
+// TestFacadePinnedSnapshotSurvivesLoads checks the reader half of the
+// copy-on-write design: a pinned snapshot (as every query pins one) keeps
+// answering with its own consistent (instance, index) pair while writers
+// publish new versions over it.
+func TestFacadePinnedSnapshotSurvivesLoads(t *testing.T) {
+	db := openArticleDB(t)
+	src, err := os.ReadFile("testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := db.Engine.State() // what a query starting now would see
+	if _, err := db.LoadDocuments([]string{string(src), string(src)}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Instance() == pinned.Snap.Inst {
+		t.Fatal("load published without a new instance version")
+	}
+	if db.Epoch() <= pinned.Snap.Epoch {
+		t.Errorf("epoch %d not past pinned %d", db.Epoch(), pinned.Snap.Epoch)
+	}
+	// The pinned pair is frozen: one article, one indexed document — even
+	// though the published state has three of each.
+	root, _ := pinned.Snap.Inst.Root("Articles")
+	if n := root.(*object.List).Len(); n != 1 {
+		t.Errorf("pinned Articles = %d, want 1", n)
+	}
+	if n := len(pinned.Index.Docs()); n != 1 {
+		t.Errorf("pinned index = %d documents, want 1", n)
+	}
+	if errs := pinned.Snap.Inst.Check(); len(errs) != 0 {
+		t.Errorf("pinned snapshot dirty after later loads: %v", errs)
+	}
+	root, _ = db.Instance().Root("Articles")
+	if n := root.(*object.List).Len(); n != 3 {
+		t.Errorf("published Articles = %d, want 3", n)
+	}
+}
+
+// TestFacadeRebindServesCurrentRoot is the regression test for the
+// stale-plan hazard: rebinding an existing root to another object changes
+// no schema, so the plan cache keeps serving the already-translated plan —
+// which is correct only because plans read root bindings at run time, not
+// at translate time. Before-and-after queries must follow the binding.
+func TestFacadeRebindServesCurrentRoot(t *testing.T) {
+	dtd, err := os.ReadFile("testdata/article.dtd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src1, err := os.ReadFile("testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const oldTitle = "From Structured Documents to Novel Query Facilities"
+	const newTitle = "An Entirely Different Headline"
+	src2 := strings.Replace(string(src1), oldTitle, newTitle, 1)
+	if src2 == string(src1) {
+		t.Fatal("fixture title changed; update the test")
+	}
+	for _, algebra := range []bool{false, true} {
+		t.Run(fmt.Sprintf("algebra=%v", algebra), func(t *testing.T) {
+			db, err := OpenDTD(string(dtd), WithAlgebra(algebra))
+			if err != nil {
+				t.Fatal(err)
+			}
+			oids, err := db.LoadDocuments([]string{string(src1), src2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Name("probe", oids[0]); err != nil {
+				t.Fatal(err)
+			}
+			// The result binds title objects; render them to text so the
+			// two documents are distinguishable.
+			titles := func(v object.Value) string {
+				var b strings.Builder
+				for _, e := range v.(*object.Set).Elems() {
+					b.WriteString(db.Text(e))
+					b.WriteString("\n")
+				}
+				return b.String()
+			}
+			const q = `select t from probe PATH_p.title(t)`
+			pq, err := db.Prepare(q) // compiled against the first binding
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := db.Query(q) // populates the plan cache
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(titles(got), oldTitle) {
+				t.Fatalf("first binding: %s lacks %q", titles(got), oldTitle)
+			}
+			// Rebind the root. No new root is declared, so the schema —
+			// and with it every cached plan — stays valid and must now
+			// resolve probe to the second document.
+			if err := db.Name("probe", oids[1]); err != nil {
+				t.Fatal(err)
+			}
+			for _, run := range []struct {
+				name string
+				eval func() (object.Value, error)
+			}{
+				{"Query", func() (object.Value, error) { return db.Query(q) }},
+				{"Prepared.Run", func() (object.Value, error) { return pq.Run(context.Background()) }},
+			} {
+				got, err := run.eval()
+				if err != nil {
+					t.Fatalf("%s after rebind: %v", run.name, err)
+				}
+				if !strings.Contains(titles(got), newTitle) {
+					t.Errorf("%s after rebind: %s lacks %q", run.name, titles(got), newTitle)
+				}
+				if strings.Contains(titles(got), oldTitle) {
+					t.Errorf("%s after rebind: stale plan served the old binding: %s", run.name, titles(got))
+				}
+			}
+		})
+	}
+}
+
+// TestFacadeLoadVsQuerySnapshots races LoadDocument against QueryContext
+// and checks snapshot semantics, not just race-cleanness: every answer
+// must reflect a complete published epoch (the contains count equals some
+// prefix of the load sequence), and the epochs a reader observes never go
+// backwards.
+func TestFacadeLoadVsQuerySnapshots(t *testing.T) {
+	dtd, err := os.ReadFile("testdata/article.dtd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile("testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenDTD(string(dtd), WithAlgebra(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadDocument(string(src)); err != nil {
+		t.Fatal(err)
+	}
+	// Every copy of the article matches, so the answer size counts the
+	// documents of the pinned snapshot — through the pinned index.
+	const q = `select a from a in Articles where a contains "SGML"`
+	const loads = 12
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ctx := context.Background()
+			last := 0
+			for {
+				stop := done.Load() // read before querying: one final pass after the writer finishes
+				got, err := db.QueryContext(ctx, q)
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				n := got.(*object.Set).Len()
+				if n < last || n < 1 || n > 1+loads {
+					errc <- fmt.Errorf("reader %d: count %d after %d (want monotonic in [1,%d])", r, n, last, 1+loads)
+					return
+				}
+				last = n
+				if stop {
+					if n != 1+loads {
+						errc <- fmt.Errorf("reader %d: final count %d, want %d", r, n, 1+loads)
+					}
+					return
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < loads; i++ {
+		if _, err := db.LoadDocument(string(src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -276,9 +276,9 @@ func TestEquivalenceMembershipAndFunctions(t *testing.T) {
 func TestContainsWithAndWithoutIndex(t *testing.T) {
 	env := knuthEnv(t)
 	// Text extraction: chapters' titles as document text.
-	env.TextOf = func(v object.Value) string {
+	env.TextOf = func(inst *store.Instance, v object.Value) string {
 		if o, ok := v.(object.OID); ok {
-			if inner, ok := env.Inst.Deref(o); ok {
+			if inner, ok := inst.Deref(o); ok {
 				if tup, ok := inner.(*object.Tuple); ok {
 					if tv, ok := tup.Get("title"); ok {
 						if s, ok := tv.(object.String_); ok {
@@ -292,7 +292,7 @@ func TestContainsWithAndWithoutIndex(t *testing.T) {
 	}
 	ix := text.NewIndex()
 	for _, o := range env.Inst.Extent("Chapter") {
-		ix.Add(text.DocID(o), env.TextOf(o))
+		ix.Add(text.DocID(o), env.TextOf(env.Inst, o))
 	}
 	q := &calculus.Query{
 		Head: []calculus.VarDecl{{Name: "C", Sort: calculus.SortData}},

@@ -299,9 +299,9 @@ func TestTextOfOnEnv(t *testing.T) {
 		t.Errorf("without TextOf = %d rows", r.Len())
 	}
 	// With TextOf, complex values become searchable.
-	e.TextOf = func(v object.Value) string {
+	e.TextOf = func(inst *store.Instance, v object.Value) string {
 		if o, ok := v.(object.OID); ok {
-			if inner, ok := e.Inst.Deref(o); ok {
+			if inner, ok := inst.Deref(o); ok {
 				return inner.String()
 			}
 		}

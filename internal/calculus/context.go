@@ -1,6 +1,10 @@
 package calculus
 
-import "context"
+import (
+	"context"
+
+	"sgmldb/internal/store"
+)
 
 // Context support for the evaluator. The environment built by NewEnv is
 // shared by every query; WithContext derives a cheap per-evaluation copy
@@ -22,6 +26,17 @@ func (e *Env) WithContext(ctx context.Context) *Env {
 	}
 	e2 := *e
 	e2.ctx = ctx
+	return &e2
+}
+
+// WithInstance returns a copy of the environment evaluating against
+// inst: the snapshot-pinning hook of the copy-on-write facade. Queries
+// derive a copy pinned to the instance version current at query start,
+// so one evaluation never straddles a concurrently published load. The
+// receiver is not modified.
+func (e *Env) WithInstance(inst *store.Instance) *Env {
+	e2 := *e
+	e2.Inst = inst
 	return &e2
 }
 

@@ -136,8 +136,11 @@ type Env struct {
 	MaxPathLen int
 	// TextOf maps a complex value to its text for the contains predicate
 	// over logical objects (Section 4.2's text operator); when nil, only
-	// string values can be searched.
-	TextOf func(object.Value) string
+	// string values can be searched. It receives the instance the
+	// evaluation is pinned to, so an environment copied onto a snapshot
+	// (WithInstance) extracts text from that snapshot, not from whatever
+	// instance was current when the environment was wired.
+	TextOf func(*store.Instance, object.Value) string
 	// Funcs and Preds extend the built-in interpreted functions and
 	// predicates.
 	Funcs map[string]Func
@@ -553,7 +556,7 @@ func (e *Env) textOf(v object.Value) (string, bool) {
 		return string(s), true
 	}
 	if e.TextOf != nil {
-		return e.TextOf(v), true
+		return e.TextOf(e.Inst, v), true
 	}
 	return "", false
 }

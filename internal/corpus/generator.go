@@ -13,7 +13,6 @@ import (
 
 	"sgmldb/internal/calculus"
 	"sgmldb/internal/dtdmap"
-	"sgmldb/internal/object"
 	"sgmldb/internal/sgml"
 	"sgmldb/internal/text"
 )
@@ -249,7 +248,7 @@ func BuildLetters(p Params) (*Database, error) {
 func (db *Database) finish() {
 	inst := db.Loader.Instance
 	db.Env = calculus.NewEnv(inst)
-	db.Env.TextOf = func(v object.Value) string { return dtdmap.TextOf(inst, v) }
+	db.Env.TextOf = dtdmap.TextOf
 	db.Index = text.NewIndex()
 	for _, o := range db.Loader.Documents() {
 		db.Index.Add(text.DocID(o), dtdmap.TextOf(inst, o))

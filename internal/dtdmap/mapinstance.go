@@ -14,6 +14,12 @@ import (
 // mapped schema — the "semantic actions" of Section 3. A Loader may ingest
 // many documents into one instance; the document objects accumulate under
 // the mapping's persistence root.
+//
+// Loads are atomic: each Load (or LoadAll batch) builds into a private
+// copy-on-write layer over Instance and swings Instance to the layer only
+// if the whole load succeeded. A failed load discards the layer, so the
+// published instance never sees the partial objects a failed sibling or
+// an unresolved IDREF would otherwise leave behind.
 type Loader struct {
 	Mapping  *Mapping
 	Instance *store.Instance
@@ -40,8 +46,53 @@ func NewLoader(m *Mapping) *Loader {
 
 // Load ingests one parsed document and returns the oid of its document
 // object. The persistence root (e.g. Articles) is updated to list every
-// loaded document.
+// loaded document. On error the loader's instance is exactly what it was
+// before the call: the half-built objects live only in a discarded
+// copy-on-write layer.
 func (l *Loader) Load(doc *sgml.Document) (object.OID, error) {
+	oids, err := l.LoadAll([]*sgml.Document{doc})
+	if err != nil {
+		return 0, err
+	}
+	return oids[0], nil
+}
+
+// LoadAll ingests a batch of parsed documents into one copy-on-write
+// layer, updating the persistence root once for the whole batch. The
+// batch is all-or-nothing: if any document fails, none of them become
+// visible and the loader's instance is unchanged.
+func (l *Loader) LoadAll(docs []*sgml.Document) ([]object.OID, error) {
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	published := l.Instance
+	nDocs := len(l.docs)
+	l.Instance = published.Begin()
+	out := make([]object.OID, 0, len(docs))
+	for _, doc := range docs {
+		oid, err := l.loadOne(doc)
+		if err != nil {
+			l.Instance = published
+			l.docs = l.docs[:nDocs]
+			return nil, err
+		}
+		out = append(out, oid)
+	}
+	vals := make([]object.Value, len(l.docs))
+	for i, d := range l.docs {
+		vals[i] = d
+	}
+	if err := l.Instance.SetRoot(l.Mapping.RootName, object.NewList(vals...)); err != nil {
+		l.Instance = published
+		l.docs = l.docs[:nDocs]
+		return nil, err
+	}
+	return out, nil
+}
+
+// loadOne builds one document's objects into the current (staged)
+// instance and appends its oid to docs; the caller handles rollback.
+func (l *Loader) loadOne(doc *sgml.Document) (object.OID, error) {
 	l.idTargets = make(map[string]object.OID)
 	l.idReferrers = make(map[string][]object.OID)
 	l.idFixups = nil
@@ -53,13 +104,6 @@ func (l *Loader) Load(doc *sgml.Document) (object.OID, error) {
 		return 0, err
 	}
 	l.docs = append(l.docs, oid)
-	vals := make([]object.Value, len(l.docs))
-	for i, d := range l.docs {
-		vals[i] = d
-	}
-	if err := l.Instance.SetRoot(l.Mapping.RootName, object.NewList(vals...)); err != nil {
-		return 0, err
-	}
 	return oid, nil
 }
 

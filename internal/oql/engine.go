@@ -6,27 +6,44 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"sgmldb/internal/algebra"
 	"sgmldb/internal/calculus"
 	"sgmldb/internal/object"
+	"sgmldb/internal/store"
 	"sgmldb/internal/text"
 )
+
+// State is one published (instance, text index) pair: the consistent
+// snapshot a query pins at entry. The facade publishes a new State after
+// every successful load, so a query never sees an instance whose text
+// index lags it (or vice versa).
+type State struct {
+	Snap  store.Snapshot
+	Index *text.Index
+}
 
 // Engine executes O₂SQL queries over a calculus environment: parse →
 // typecheck (Section 4.2) → lower to the calculus (Section 5.2) →
 // evaluate, either naively or through the algebraization of Section 5.4.
 //
 // Concurrency: the query methods (Query, QueryContext, Rows, RowsContext,
-// Prepare and prepared Run/Rows) are safe for concurrent use as long as
-// the underlying instance follows the single-writer/multi-reader
-// discipline — the sgmldb facade serialises writers against them. The
-// configuration fields (UseAlgebra, MaxBranches, Workers, …) must not be
-// changed while queries are in flight.
+// Prepare and prepared Run/Rows) are safe for concurrent use. When a
+// State has been published (Publish), every query pins the state current
+// at its start and evaluates entirely against it, so writers staging the
+// next version never block or corrupt a reader. Without a published
+// state the engine falls back to Env.Inst/Index directly, under the
+// single-writer/multi-reader discipline. The configuration fields
+// (UseAlgebra, MaxBranches, Workers, …) must not be changed while
+// queries are in flight.
 type Engine struct {
 	Env *calculus.Env
 	// Index, when set, serves as the full-text access path for contains.
+	// It is the fallback when no State has been published.
 	Index *text.Index
+	// state is the atomically published snapshot (nil until Publish).
+	state atomic.Pointer[State]
 	// UseAlgebra evaluates through the (★) algebra plans instead of the
 	// naive calculus interpreter.
 	UseAlgebra bool
@@ -70,13 +87,44 @@ const DefaultPlanCacheSize = 128
 // New builds an engine over an environment.
 func New(env *calculus.Env) *Engine { return &Engine{Env: env} }
 
-// schemaVersion reports the current schema mutation counter (0 when the
-// engine has no instance).
-func (e *Engine) schemaVersion() uint64 {
-	if e.Env.Inst == nil {
+// Publish atomically installs a new (instance, index) state. In-flight
+// queries finish against the state they pinned; queries starting after
+// the call see the new one. The instance and index published must never
+// be mutated again (the copy-on-write discipline: stage into fresh
+// layers instead).
+func (e *Engine) Publish(st State) { e.state.Store(&st) }
+
+// State returns the currently published state, falling back to the
+// engine's direct Env.Inst and Index fields when nothing has been
+// published (the single-writer setup used by tests and one-shot tools).
+func (e *Engine) State() State {
+	if st := e.state.Load(); st != nil {
+		return *st
+	}
+	var snap store.Snapshot
+	if e.Env.Inst != nil {
+		snap = e.Env.Inst.Snapshot()
+	}
+	return State{Snap: snap, Index: e.Index}
+}
+
+// pin captures the environment and index for one query: every evaluation
+// step of the query uses this pair, so a load published mid-query is
+// invisible to it.
+func (e *Engine) pin() (*calculus.Env, *text.Index) {
+	if st := e.state.Load(); st != nil {
+		return e.Env.WithInstance(st.Snap.Inst), st.Index
+	}
+	return e.Env, e.Index
+}
+
+// schemaVersionOf reports the pinned schema's mutation counter (0 when
+// the environment has no instance).
+func schemaVersionOf(env *calculus.Env) uint64 {
+	if env.Inst == nil {
 		return 0
 	}
-	return e.Env.Inst.Schema().Version()
+	return env.Inst.Schema().Version()
 }
 
 // workers resolves the Workers setting to a concrete pool size.
@@ -87,10 +135,11 @@ func (e *Engine) workers() int {
 	return e.Workers
 }
 
-// newCtx builds one plan-execution context carrying ctx for cancellation.
-func (e *Engine) newCtx(ctx context.Context) *algebra.Ctx {
-	c := algebra.NewCtx(e.Env.WithContext(ctx))
-	c.Index = e.Index
+// newCtx builds one plan-execution context over the pinned environment,
+// carrying ctx for cancellation.
+func (e *Engine) newCtx(ctx context.Context, env *calculus.Env, ix *text.Index) *algebra.Ctx {
+	c := algebra.NewCtx(env.WithContext(ctx))
+	c.Index = ix
 	c.Workers = e.workers()
 	return c
 }
@@ -108,28 +157,29 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (object.Value, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ast, err := e.parseCheck(src)
+	env, ix := e.pin()
+	ast, err := e.parseCheck(env, src)
 	if err != nil {
 		return nil, err
 	}
 	switch x := ast.(type) {
 	case SelectExpr:
-		res, err := e.runCached(ctx, src, ast)
+		res, err := e.runCached(ctx, env, ix, src, ast)
 		if err != nil {
 			return nil, err
 		}
 		return res.ToSet(), nil
 	case PathExpr:
 		if patternHasVars(x.Elems) {
-			res, err := e.runCached(ctx, src, ast)
+			res, err := e.runCached(ctx, env, ix, src, ast)
 			if err != nil {
 				return nil, err
 			}
 			return res.ToSet(), nil
 		}
-		return e.value(ctx, ast)
+		return e.value(ctx, env, ast)
 	default:
-		return e.value(ctx, ast)
+		return e.value(ctx, env, ast)
 	}
 }
 
@@ -144,21 +194,23 @@ func (e *Engine) RowsContext(ctx context.Context, src string) (*calculus.Result,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ast, err := e.parseCheck(src)
+	env, ix := e.pin()
+	ast, err := e.parseCheck(env, src)
 	if err != nil {
 		return nil, err
 	}
-	return e.runCached(ctx, src, ast)
+	return e.runCached(ctx, env, ix, src, ast)
 }
 
-// parseCheck parses the source and runs the static checks.
-func (e *Engine) parseCheck(src string) (Expr, error) {
+// parseCheck parses the source and runs the static checks against the
+// pinned schema.
+func (e *Engine) parseCheck(env *calculus.Env, src string) (Expr, error) {
 	ast, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	if !e.SkipTypecheck && e.Env.Inst != nil {
-		if err := Typecheck(e.Env.Inst.Schema(), ast); err != nil {
+	if !e.SkipTypecheck && env.Inst != nil {
+		if err := Typecheck(env.Inst.Schema(), ast); err != nil {
 			return nil, err
 		}
 	}
@@ -172,65 +224,74 @@ func (e *Engine) Lower(src string) (*calculus.Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Lower(ast, e.rootNames())
+	env, _ := e.pin()
+	return Lower(ast, rootNamesOf(env))
 }
 
 // Plan exposes the algebra plan of a query.
 func (e *Engine) Plan(src string) (*algebra.Plan, error) {
-	q, err := e.Lower(src)
+	ast, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return algebra.Translate(e.Env, q, algebra.Options{Index: e.Index, MaxBranches: e.MaxBranches})
+	env, ix := e.pin()
+	q, err := Lower(ast, rootNamesOf(env))
+	if err != nil {
+		return nil, err
+	}
+	return algebra.Translate(env, q, algebra.Options{Index: ix, MaxBranches: e.MaxBranches})
 }
 
-func (e *Engine) rootNames() []string {
-	if e.Env.Inst == nil {
+func rootNamesOf(env *calculus.Env) []string {
+	if env.Inst == nil {
 		return nil
 	}
-	return e.Env.Inst.Schema().Roots()
+	return env.Inst.Schema().Roots()
 }
 
-// run lowers and evaluates a query expression.
-func (e *Engine) run(ctx context.Context, ast Expr) (*calculus.Result, error) {
-	q, err := Lower(ast, e.rootNames())
+// run lowers and evaluates a query expression against the pinned state.
+func (e *Engine) run(ctx context.Context, env *calculus.Env, ix *text.Index, ast Expr) (*calculus.Result, error) {
+	q, err := Lower(ast, rootNamesOf(env))
 	if err != nil {
 		return nil, err
 	}
 	if e.UseAlgebra {
-		plan, err := algebra.Translate(e.Env, q, algebra.Options{Index: e.Index, MaxBranches: e.MaxBranches})
+		plan, err := algebra.Translate(env, q, algebra.Options{Index: ix, MaxBranches: e.MaxBranches})
 		if err != nil {
 			return nil, err
 		}
-		return plan.Run(e.newCtx(ctx))
+		return plan.Run(e.newCtx(ctx, env, ix))
 	}
-	return e.Env.EvalContext(ctx, q)
+	return env.EvalContext(ctx, q)
 }
 
 // runCached is run with plan caching keyed by the query source.
-func (e *Engine) runCached(ctx context.Context, src string, ast Expr) (*calculus.Result, error) {
+func (e *Engine) runCached(ctx context.Context, env *calculus.Env, ix *text.Index, src string, ast Expr) (*calculus.Result, error) {
 	if !e.UseAlgebra {
-		return e.run(ctx, ast)
+		return e.run(ctx, env, ix, ast)
 	}
-	plan, err := e.cachedPlan(src, ast)
+	plan, err := e.cachedPlan(env, ix, src, ast)
 	if err != nil {
 		return nil, err
 	}
-	return plan.Run(e.newCtx(ctx))
+	return plan.Run(e.newCtx(ctx, env, ix))
 }
 
 // cachedPlan returns the compiled plan for src, compiling (or recompiling,
 // if the schema changed underneath the cached entry) outside the lock.
-func (e *Engine) cachedPlan(src string, ast Expr) (*algebra.Plan, error) {
-	version := e.schemaVersion()
+// Plans depend only on the schema — root *bindings* are resolved at run
+// time — so a plan compiled against one schema version serves every
+// instance version sharing that schema.
+func (e *Engine) cachedPlan(env *calculus.Env, ix *text.Index, src string, ast Expr) (*algebra.Plan, error) {
+	version := schemaVersionOf(env)
 	if plan, ok := e.lookupPlan(src, version); ok {
 		return plan, nil
 	}
-	q, err := Lower(ast, e.rootNames())
+	q, err := Lower(ast, rootNamesOf(env))
 	if err != nil {
 		return nil, err
 	}
-	plan, err := algebra.Translate(e.Env, q, algebra.Options{Index: e.Index, MaxBranches: e.MaxBranches})
+	plan, err := algebra.Translate(env, q, algebra.Options{Index: ix, MaxBranches: e.MaxBranches})
 	if err != nil {
 		return nil, err
 	}
@@ -327,7 +388,8 @@ type Prepared struct {
 
 // Prepare parses, typechecks and compiles a query for repeated execution.
 func (e *Engine) Prepare(src string) (*Prepared, error) {
-	ast, err := e.parseCheck(src)
+	env, ix := e.pin()
+	ast, err := e.parseCheck(env, src)
 	if err != nil {
 		return nil, err
 	}
@@ -343,7 +405,7 @@ func (e *Engine) Prepare(src string) (*Prepared, error) {
 		p.bare = true
 		return p, nil
 	}
-	if err := p.compile(e.schemaVersion()); err != nil {
+	if err := p.compile(env, ix, schemaVersionOf(env)); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -351,23 +413,35 @@ func (e *Engine) Prepare(src string) (*Prepared, error) {
 
 // compile (re)lowers the query and, in algebra mode, rebuilds its plan,
 // recording the schema version it compiled against.
-func (p *Prepared) compile(version uint64) error {
+func (p *Prepared) compile(env *calculus.Env, ix *text.Index, version uint64) error {
+	_, _, err := p.recompile(env, ix, version)
+	return err
+}
+
+// recompile does the compile work under the statement lock: the lowerer
+// rewrites the shared AST in place, so two racing executions must not
+// lower it concurrently. The double-check under the lock makes the loser
+// of the race reuse the winner's result instead of redoing it.
+func (p *Prepared) recompile(env *calculus.Env, ix *text.Index, version uint64) (*calculus.Query, *algebra.Plan, error) {
 	e := p.engine
-	q, err := Lower(p.ast, e.rootNames())
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lowered != nil && p.version == version && (p.plan != nil) == e.UseAlgebra {
+		return p.lowered, p.plan, nil
+	}
+	q, err := Lower(p.ast, rootNamesOf(env))
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	var plan *algebra.Plan
 	if e.UseAlgebra {
-		plan, err = algebra.Translate(e.Env, q, algebra.Options{Index: e.Index, MaxBranches: e.MaxBranches})
+		plan, err = algebra.Translate(env, q, algebra.Options{Index: ix, MaxBranches: e.MaxBranches})
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 	}
-	p.mu.Lock()
 	p.lowered, p.plan, p.version = q, plan, version
-	p.mu.Unlock()
-	return nil
+	return q, plan, nil
 }
 
 // Source returns the query text the statement was prepared from.
@@ -380,7 +454,8 @@ func (p *Prepared) Run(ctx context.Context) (object.Value, error) {
 		return nil, err
 	}
 	if p.bare {
-		return p.engine.value(ctx, p.ast)
+		env, _ := p.engine.pin()
+		return p.engine.value(ctx, env, p.ast)
 	}
 	res, err := p.rows(ctx)
 	if err != nil {
@@ -403,36 +478,36 @@ func (p *Prepared) Rows(ctx context.Context) (*calculus.Result, error) {
 
 func (p *Prepared) rows(ctx context.Context) (*calculus.Result, error) {
 	e := p.engine
-	version := e.schemaVersion()
+	env, ix := e.pin()
+	version := schemaVersionOf(env)
 	p.mu.RLock()
 	q, plan := p.lowered, p.plan
-	fresh := p.version == version && (plan != nil) == e.UseAlgebra
+	fresh := q != nil && p.version == version && (plan != nil) == e.UseAlgebra
 	p.mu.RUnlock()
 	if !fresh {
 		// The schema moved since compilation (a document load can add
 		// persistence roots, changing the candidate valuations of unbound
 		// variables), or the engine's evaluation mode was switched:
 		// recompile against the current state.
-		if err := p.compile(version); err != nil {
+		var err error
+		q, plan, err = p.recompile(env, ix, version)
+		if err != nil {
 			return nil, err
 		}
-		p.mu.RLock()
-		q, plan = p.lowered, p.plan
-		p.mu.RUnlock()
 	}
 	if plan == nil {
-		return e.Env.EvalContext(ctx, q)
+		return env.EvalContext(ctx, q)
 	}
-	return plan.Run(e.newCtx(ctx))
+	return plan.Run(e.newCtx(ctx, env, ix))
 }
 
 // value evaluates a bare (non-select) expression directly. A path step
 // that does not apply to a named instance surfaces as the execution-time
 // type error of Section 4.2 ("my_section.subsectns will return a type
 // error detected at execution time").
-func (e *Engine) value(ctx context.Context, ast Expr) (object.Value, error) {
+func (e *Engine) value(ctx context.Context, env *calculus.Env, ast Expr) (object.Value, error) {
 	lw := &lowerer{}
-	if roots := e.rootNames(); roots != nil {
+	if roots := rootNamesOf(env); roots != nil {
 		lw.roots = map[string]bool{}
 		for _, r := range roots {
 			lw.roots[r] = true
@@ -442,7 +517,7 @@ func (e *Engine) value(ctx context.Context, ast Expr) (object.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	v, err := e.Env.WithContext(ctx).Term(t, calculus.Valuation{})
+	v, err := env.WithContext(ctx).Term(t, calculus.Valuation{})
 	if calculus.IsNoSuchPath(err) {
 		return nil, fmt.Errorf("oql: execution-time type error: %w", err)
 	}

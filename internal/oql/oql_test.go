@@ -89,7 +89,7 @@ func articleEngine(t *testing.T) *Engine {
 		t.Fatalf("fixture invalid: %v", errs)
 	}
 	env := calculus.NewEnv(inst)
-	env.TextOf = func(v object.Value) string { return dtdmap.TextOf(inst, v) }
+	env.TextOf = dtdmap.TextOf
 	ix := text.NewIndex()
 	for _, o := range inst.Objects() {
 		ix.Add(text.DocID(o), dtdmap.TextOf(inst, o))
@@ -191,7 +191,7 @@ where ss contains "complex object"`)
 			t.Fatalf("Q2 = %s", s)
 		}
 		oid := s.At(0).(object.OID)
-		if txt := e.Env.TextOf(oid); !strings.Contains(txt, "complex object") {
+		if txt := e.Env.TextOf(e.Env.Inst, oid); !strings.Contains(txt, "complex object") {
 			t.Errorf("subsection text = %q", txt)
 		}
 	})
@@ -213,7 +213,7 @@ func TestQ3(t *testing.T) {
 		var texts []string
 		for i := 0; i < s.Len(); i++ {
 			if o, ok := s.At(i).(object.OID); ok {
-				texts = append(texts, e.Env.TextOf(o))
+				texts = append(texts, e.Env.TextOf(e.Env.Inst, o))
 			}
 		}
 		want := []string{"Querying Documents in Object Databases", "Background",
@@ -347,7 +347,7 @@ func lettersEngine(t *testing.T) *Engine {
 	}
 	inst := loader.Instance
 	env := calculus.NewEnv(inst)
-	env.TextOf = func(v object.Value) string { return dtdmap.TextOf(inst, v) }
+	env.TextOf = dtdmap.TextOf
 	return New(env)
 }
 
@@ -370,7 +370,7 @@ where i < j`)
 		}
 		// The matching letter is the Carol→Dan one (from precedes to).
 		oid := s.At(0).(object.OID)
-		txt := e.Env.TextOf(oid)
+		txt := e.Env.TextOf(e.Env.Inst, oid)
 		if !strings.Contains(txt, "Carol") {
 			t.Errorf("Q6 letter text = %q", txt)
 		}
@@ -567,7 +567,7 @@ where length(PATH_p) < 3`)
 		if s.Len() != 1 {
 			t.Fatalf("short paths = %s", s)
 		}
-		if txt := e.Env.TextOf(s.At(0)); txt != "Querying Documents in Object Databases" {
+		if txt := e.Env.TextOf(e.Env.Inst, s.At(0)); txt != "Querying Documents in Object Databases" {
 			t.Errorf("short-path title = %q", txt)
 		}
 	})

@@ -85,7 +85,7 @@ func TestPlanCacheSchemaInvalidation(t *testing.T) {
 	if got := e.PlanCacheLen(); got != 2 {
 		t.Fatalf("cache len = %d, want 2", got)
 	}
-	oldVersion := e.schemaVersion()
+	oldVersion := schemaVersionOf(e.Env)
 
 	// Any schema mutation bumps the version; a new root also changes the
 	// candidate valuations of unbound variables, which is exactly why
@@ -94,16 +94,16 @@ func TestPlanCacheSchemaInvalidation(t *testing.T) {
 	if err := schema.AddRoot("cache_probe", object.Class("Article")); err != nil {
 		t.Fatal(err)
 	}
-	if e.schemaVersion() == oldVersion {
+	if schemaVersionOf(e.Env) == oldVersion {
 		t.Fatal("schema version did not move")
 	}
 
 	// The stale entry must be treated as a miss and recompiled in place.
-	if _, ok := e.lookupPlan(src, e.schemaVersion()); ok {
+	if _, ok := e.lookupPlan(src, schemaVersionOf(e.Env)); ok {
 		t.Fatal("stale plan served as a hit after schema change")
 	}
 	mustQuery(t, e, src)
-	if plan, ok := e.lookupPlan(src, e.schemaVersion()); !ok || plan == nil {
+	if plan, ok := e.lookupPlan(src, schemaVersionOf(e.Env)); !ok || plan == nil {
 		t.Fatal("recompiled plan not cached under the new schema version")
 	}
 

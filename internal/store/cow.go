@@ -1,0 +1,162 @@
+package store
+
+import "sgmldb/internal/object"
+
+// Copy-on-write instance versions. A document load must be atomic: either
+// every object it creates becomes visible, or none does. Mutating the
+// shared (π, ν, μ, γ) maps in place cannot provide that — an error halfway
+// through a load leaves orphan objects behind — and it forces readers to
+// block for the whole load. Instead, writers stage their changes in a
+// private *delta layer* chained over the published instance (Begin), and
+// the owner publishes the staged layer with one atomic pointer swap only
+// if the whole load succeeded. A failed load simply drops the layer.
+//
+// Readers that pinned the old version keep reading it: published layers
+// are never mutated again, so pinned reads need no locks at all. The
+// layer chain is bounded by maxCOWDepth — Begin flattens the chain into a
+// fresh single-layer instance once it grows past that, so the per-read
+// chain walk stays O(1) amortised while the flatten cost is paid by the
+// writer, not the readers.
+
+// maxCOWDepth bounds the delta-layer chain. Reads walk the chain on a
+// miss, so depth is a direct multiplier on worst-case Deref cost; 8 keeps
+// the walk trivial while amortising the O(objects) flatten over 8 loads.
+const maxCOWDepth = 8
+
+// Epoch reports the instance's version number: 0 for a fresh instance,
+// incremented by every Begin. Epochs order the published versions of one
+// database; two instances from different Begin chains are not comparable.
+func (in *Instance) Epoch() uint64 { return in.epoch }
+
+// Begin starts a new copy-on-write layer over the instance: an Instance
+// that reads through to the receiver but stages every mutation (NewObject,
+// SetValue, SetRoot, BindMethod) privately. The receiver is not touched —
+// it can keep serving readers — and the staged layer becomes durable only
+// when the caller publishes it (e.g. swaps it into an atomic pointer).
+// Discarding the returned instance discards the staged mutations
+// wholesale, which is what makes failed loads atomic.
+//
+// The receiver must not be mutated directly after Begin: the staged layer
+// shares its maps by reference.
+func (in *Instance) Begin() *Instance {
+	if in.depth >= maxCOWDepth {
+		f := in.flatten()
+		f.epoch = in.epoch + 1
+		return f
+	}
+	return &Instance{
+		schema: in.schema,
+		nextID: in.nextID,
+		base:   in,
+		depth:  in.depth + 1,
+		epoch:  in.epoch + 1,
+		class:  make(map[object.OID]string),
+		extent: make(map[string][]object.OID),
+		values: make(map[object.OID]object.Value),
+		roots:  make(map[string]object.Value),
+		method: make(map[string]Method),
+	}
+}
+
+// flatten merges the whole layer chain into a fresh single-layer instance
+// with the same contents, schema and epoch. Newer layers win where a key
+// is shadowed (ν after fixups, rebound roots).
+func (in *Instance) flatten() *Instance {
+	out := &Instance{
+		schema: in.schema,
+		nextID: in.nextID,
+		epoch:  in.epoch,
+		class:  make(map[object.OID]string, in.NumObjects()),
+		extent: make(map[string][]object.OID),
+		values: make(map[object.OID]object.Value, in.NumObjects()),
+		roots:  make(map[string]object.Value),
+		method: make(map[string]Method),
+	}
+	// Walk the chain bottom-up so appends preserve creation order and
+	// top-layer writes overwrite base entries last.
+	var layers []*Instance
+	for l := in; l != nil; l = l.base {
+		layers = append(layers, l)
+	}
+	for i := len(layers) - 1; i >= 0; i-- {
+		l := layers[i]
+		for o, c := range l.class {
+			out.class[o] = c
+		}
+		for c, es := range l.extent {
+			out.extent[c] = append(out.extent[c], es...)
+		}
+		for o, v := range l.values {
+			out.values[o] = v
+		}
+		for g, v := range l.roots {
+			out.roots[g] = v
+		}
+		for k, m := range l.method {
+			out.method[k] = m
+		}
+	}
+	return out
+}
+
+// Depth reports the length of the copy-on-write chain under the instance
+// (0 for a flat instance); exposed for tests and diagnostics.
+func (in *Instance) Depth() int { return in.depth }
+
+// AdoptSchema swaps the instance's schema pointer. It is meant for staged
+// layers only (between Begin and publish): declaring a new persistence
+// root at run time must not mutate the schema that older pinned versions
+// still read, so the writer clones the schema, adds the root to the
+// clone, and adopts it on the staged layer before publishing.
+func (in *Instance) AdoptSchema(s *Schema) { in.schema = s }
+
+// Snapshot pins one published instance version: the version readers hold
+// for the duration of a query so every Deref, extent scan and root lookup
+// answers against a single consistent (π, ν, μ, γ).
+type Snapshot struct {
+	Inst  *Instance
+	Epoch uint64
+}
+
+// Snapshot captures the instance as a pinnable version.
+func (in *Instance) Snapshot() Snapshot { return Snapshot{Inst: in, Epoch: in.epoch} }
+
+// eachValue visits every assigned (oid, ν(oid)) pair exactly once, newer
+// layers shadowing older ones.
+func (in *Instance) eachValue(f func(object.OID, object.Value)) {
+	if in.base == nil {
+		for o, v := range in.values {
+			f(o, v)
+		}
+		return
+	}
+	seen := make(map[object.OID]bool)
+	for l := in; l != nil; l = l.base {
+		for o, v := range l.values {
+			if !seen[o] {
+				seen[o] = true
+				f(o, v)
+			}
+		}
+	}
+}
+
+// eachRoot visits every assigned root exactly once, newer layers
+// shadowing older ones.
+func (in *Instance) eachRoot(f func(string, object.Value)) {
+	if in.base == nil {
+		for g, v := range in.roots {
+			f(g, v)
+		}
+		return
+	}
+	seen := make(map[string]bool)
+	for l := in; l != nil; l = l.base {
+		for g, v := range l.roots {
+			if !seen[g] {
+				seen[g] = true
+				f(g, v)
+			}
+		}
+	}
+}

@@ -19,22 +19,29 @@ type Method func(inst *Instance, recv object.OID, args []object.Value) (object.V
 //   - μ assigns executable semantics to method names;
 //   - γ assigns each persistence root a value of its declared type.
 //
-// Concurrency: an Instance follows the single-writer/multi-reader
-// discipline. The readers (Deref, ClassOf, Root, Extent, …) are pure map
-// lookups and safe to call from any number of goroutines, provided no
-// mutator (NewObject, SetValue, SetRoot, BindMethod) runs at the same
-// time. The sgmldb facade enforces this with an RWMutex: document loads
-// take the write lock, queries the read lock, so the hot query path pays
-// no per-Deref synchronisation.
+// Concurrency: an Instance is versioned copy-on-write (see cow.go). The
+// readers (Deref, ClassOf, Root, Extent, …) are map lookups through the
+// layer chain and safe to call from any number of goroutines, provided no
+// mutator (NewObject, SetValue, SetRoot, BindMethod) runs on the same
+// layer at the same time. The sgmldb facade never mutates a published
+// layer: writers stage into a private Begin layer and publish it with an
+// atomic pointer swap, so the hot query path pays no per-Deref
+// synchronisation and never blocks on a load.
 type Instance struct {
 	schema *Schema
 	nextID object.OID
 
-	class  map[object.OID]string       // π_d, by oid
-	extent map[string][]object.OID     // π_d, by class, in creation order
-	values map[object.OID]object.Value // ν
-	roots  map[string]object.Value     // γ
-	method map[string]Method           // μ, keyed Class::Name
+	// base is the copy-on-write parent layer (nil for a flat instance):
+	// reads fall through to it on a miss, mutations stay in this layer.
+	base  *Instance
+	depth int    // chain length below this layer
+	epoch uint64 // version number, bumped by Begin
+
+	class  map[object.OID]string       // π_d, by oid (this layer only)
+	extent map[string][]object.OID     // π_d, by class, in creation order (this layer only)
+	values map[object.OID]object.Value // ν (this layer only)
+	roots  map[string]object.Value     // γ (this layer only)
+	method map[string]Method           // μ, keyed Class::Name (this layer only)
 }
 
 // NewInstance returns an empty instance of the schema.
@@ -72,9 +79,10 @@ func (in *Instance) NewObject(class string, v object.Value) (object.OID, error) 
 	return o, nil
 }
 
-// SetValue updates ν(o).
+// SetValue updates ν(o). On a copy-on-write layer the new value shadows
+// the base layer's; the base itself is untouched.
 func (in *Instance) SetValue(o object.OID, v object.Value) error {
-	if _, ok := in.class[o]; !ok {
+	if _, ok := in.ClassOf(o); !ok {
 		return fmt.Errorf("store: set value of unknown oid %s", o)
 	}
 	if v == nil {
@@ -86,14 +94,22 @@ func (in *Instance) SetValue(o object.OID, v object.Value) error {
 
 // Deref returns ν(o) and whether the oid is assigned.
 func (in *Instance) Deref(o object.OID) (object.Value, bool) {
-	v, ok := in.values[o]
-	return v, ok
+	for l := in; l != nil; l = l.base {
+		if v, ok := l.values[o]; ok {
+			return v, true
+		}
+	}
+	return nil, false
 }
 
 // ClassOf returns the (most specific) class of an oid under π_d.
 func (in *Instance) ClassOf(o object.OID) (string, bool) {
-	c, ok := in.class[o]
-	return c, ok
+	for l := in; l != nil; l = l.base {
+		if c, ok := l.class[o]; ok {
+			return c, true
+		}
+	}
+	return "", false
 }
 
 // Extent returns π(c): the oids of class c and all of its subclasses, in
@@ -102,32 +118,52 @@ func (in *Instance) Extent(c string) []object.OID {
 	subs := in.schema.Hierarchy().Subclasses(c)
 	var out []object.OID
 	for _, s := range subs {
-		out = append(out, in.extent[s]...)
+		for l := in; l != nil; l = l.base {
+			out = append(out, l.extent[s]...)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// DirectExtent returns π_d(c): the oids created directly in class c.
+// DirectExtent returns π_d(c): the oids created directly in class c, in
+// creation order.
 func (in *Instance) DirectExtent(c string) []object.OID {
-	es := in.extent[c]
-	out := make([]object.OID, len(es))
-	copy(out, es)
+	// Base layers hold the older (smaller) oids: append bottom-up.
+	var layers []*Instance
+	n := 0
+	for l := in; l != nil; l = l.base {
+		layers = append(layers, l)
+		n += len(l.extent[c])
+	}
+	out := make([]object.OID, 0, n)
+	for i := len(layers) - 1; i >= 0; i-- {
+		out = append(out, layers[i].extent[c]...)
+	}
 	return out
 }
 
 // Objects returns every assigned oid in ascending order.
 func (in *Instance) Objects() []object.OID {
-	out := make([]object.OID, 0, len(in.class))
-	for o := range in.class {
-		out = append(out, o)
+	out := make([]object.OID, 0, in.NumObjects())
+	for l := in; l != nil; l = l.base {
+		for o := range l.class {
+			out = append(out, o)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// NumObjects reports |O|.
-func (in *Instance) NumObjects() int { return len(in.class) }
+// NumObjects reports |O|. Oids are created exactly once (nextID carries
+// over into copy-on-write layers), so the per-layer counts are disjoint.
+func (in *Instance) NumObjects() int {
+	n := 0
+	for l := in; l != nil; l = l.base {
+		n += len(l.class)
+	}
+	return n
+}
 
 // SetRoot assigns γ(name) = v. The root must be declared in the schema.
 func (in *Instance) SetRoot(name string, v object.Value) error {
@@ -143,8 +179,12 @@ func (in *Instance) SetRoot(name string, v object.Value) error {
 
 // Root returns γ(name) and whether it has been assigned.
 func (in *Instance) Root(name string) (object.Value, bool) {
-	v, ok := in.roots[name]
-	return v, ok
+	for l := in; l != nil; l = l.base {
+		if v, ok := l.roots[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
 }
 
 // BindMethod attaches the executable body for Class::Name.
@@ -160,18 +200,30 @@ func (in *Instance) BindMethod(class, name string, m Method) error {
 // (used by the calculus to decide whether a function call is a method
 // dispatch).
 func (in *Instance) HasMethodNamed(name string) bool {
-	for key := range in.method {
-		if i := len(key) - len(name); i > 2 && key[i:] == name && key[i-2:i] == "::" {
-			return true
+	for l := in; l != nil; l = l.base {
+		for key := range l.method {
+			if i := len(key) - len(name); i > 2 && key[i:] == name && key[i-2:i] == "::" {
+				return true
+			}
 		}
 	}
 	return false
 }
 
+// methodOf resolves μ(key) through the layer chain.
+func (in *Instance) methodOf(key string) (Method, bool) {
+	for l := in; l != nil; l = l.base {
+		if m, ok := l.method[key]; ok {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
 // Invoke runs method name on receiver o, resolving the body along the
 // inheritance order (most specific class first).
 func (in *Instance) Invoke(o object.OID, name string, args ...object.Value) (object.Value, error) {
-	c, ok := in.class[o]
+	c, ok := in.ClassOf(o)
 	if !ok {
 		return nil, fmt.Errorf("store: invoke on unknown oid %s", o)
 	}
@@ -181,7 +233,7 @@ func (in *Instance) Invoke(o object.OID, name string, args ...object.Value) (obj
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		if m, ok := in.method[cur+"::"+name]; ok {
+		if m, ok := in.methodOf(cur + "::" + name); ok {
 			return m(in, o, args)
 		}
 		for _, p := range in.schema.Hierarchy().Parents(cur) {
@@ -207,14 +259,15 @@ func (in *Instance) Check() []error {
 	var errs []error
 	h := in.schema.Hierarchy()
 	classOf := func(o object.OID) (string, bool) { return in.ClassOf(o) }
+	assigned := func(o object.OID) bool { _, ok := in.Deref(o); return ok }
 	for _, c := range h.Classes() {
 		t, _ := h.TypeOf(c)
-		for _, o := range in.extent[c] {
-			v := in.values[o]
+		for _, o := range in.DirectExtent(c) {
+			v, _ := in.Deref(o)
 			if !object.MemberOf(v, t, h, classOf) {
 				errs = append(errs, fmt.Errorf("store: ν(%s) = %s is not in dom(σ(%s)) = %s", o, v, c, t))
 			}
-			if dangling := danglingOIDs(v, in.values); len(dangling) > 0 {
+			if dangling := danglingOIDs(v, assigned); len(dangling) > 0 {
 				errs = append(errs, fmt.Errorf("store: object %s references unassigned oids %v", o, dangling))
 			}
 			for _, con := range in.schema.Constraints(c) {
@@ -225,7 +278,7 @@ func (in *Instance) Check() []error {
 		}
 	}
 	for _, g := range in.schema.Roots() {
-		v, ok := in.roots[g]
+		v, ok := in.Root(g)
 		if !ok {
 			continue
 		}
@@ -233,7 +286,7 @@ func (in *Instance) Check() []error {
 		if !object.MemberOf(v, t, h, classOf) {
 			errs = append(errs, fmt.Errorf("store: γ(%s) = %s is not in dom(%s)", g, v, t))
 		}
-		if dangling := danglingOIDs(v, in.values); len(dangling) > 0 {
+		if dangling := danglingOIDs(v, assigned); len(dangling) > 0 {
 			errs = append(errs, fmt.Errorf("store: root %s references unassigned oids %v", g, dangling))
 		}
 	}
@@ -241,13 +294,13 @@ func (in *Instance) Check() []error {
 }
 
 // danglingOIDs collects oids mentioned in v that are not assigned.
-func danglingOIDs(v object.Value, assigned map[object.OID]object.Value) []object.OID {
+func danglingOIDs(v object.Value, assigned func(object.OID) bool) []object.OID {
 	var out []object.OID
 	var walk func(object.Value)
 	walk = func(v object.Value) {
 		switch x := v.(type) {
 		case object.OID:
-			if _, ok := assigned[x]; !ok {
+			if !assigned(x) {
 				out = append(out, x)
 			}
 		case *object.Tuple:
@@ -285,21 +338,27 @@ type Stats struct {
 // Stats computes instance statistics.
 func (in *Instance) Stats() Stats {
 	st := Stats{
-		Objects:     len(in.class),
-		PerClass:    make(map[string]int),
-		MethodCount: len(in.method),
+		Objects:  in.NumObjects(),
+		PerClass: make(map[string]int),
 	}
-	for _, c := range in.class {
-		st.PerClass[c]++
+	methods := make(map[string]bool)
+	for l := in; l != nil; l = l.base {
+		for _, c := range l.class {
+			st.PerClass[c]++
+		}
+		for k := range l.method {
+			methods[k] = true
+		}
 	}
-	for o := range in.values {
-		st.ValueBytes += len(object.Key(in.values[o]))
-	}
-	for g, v := range in.roots {
+	st.MethodCount = len(methods)
+	in.eachValue(func(_ object.OID, v object.Value) {
+		st.ValueBytes += len(object.Key(v))
+	})
+	in.eachRoot(func(g string, v object.Value) {
 		st.Roots = append(st.Roots, g)
 		st.RootValues++
 		st.ValueBytes += len(object.Key(v))
-	}
+	})
 	sort.Strings(st.Roots)
 	return st
 }

@@ -90,6 +90,29 @@ func NewSchema() *Schema {
 // Hierarchy exposes the class hierarchy (C, σ, ≺).
 func (s *Schema) Hierarchy() *object.Hierarchy { return s.hierarchy }
 
+// Clone returns a copy of the schema that shares the class hierarchy,
+// methods, constraints and privacy marks (immutable once the DTD mapping
+// is compiled) but owns its persistence-root declarations. It supports
+// the copy-on-write write path: declaring a root at run time mutates the
+// clone, so readers pinned to an older instance version keep a stable
+// view of G. The clone starts at the receiver's version; mutating it
+// bumps the clone's counter only.
+func (s *Schema) Clone() *Schema {
+	c := &Schema{
+		hierarchy:   s.hierarchy,
+		methods:     s.methods,
+		constraints: s.constraints,
+		private:     s.private,
+		roots:       make(map[string]object.Type, len(s.roots)),
+		rootOrder:   append([]string(nil), s.rootOrder...),
+	}
+	for g, t := range s.roots {
+		c.roots[g] = t
+	}
+	c.version.Store(s.version.Load())
+	return c
+}
+
 // AddClass declares a class with its type σ(name).
 func (s *Schema) AddClass(name string, typ object.Type) error {
 	s.bumpVersion()

@@ -23,11 +23,25 @@ type posting struct {
 // An Index is safe for concurrent use: Add takes the write lock, every
 // reader (Lookup, Eval, Docs, …) the read lock, so any number of queries
 // can evaluate contains expressions while one loader indexes documents.
+// Clone additionally supports the facade's copy-on-write discipline: a
+// writer clones the published index, Adds into the clone (posting lists
+// are copied lazily, the first time a clone touches a word), and
+// publishes the clone, so queries pinned to the old index never observe a
+// half-applied batch.
 type Index struct {
 	mu    sync.RWMutex
-	vocab map[string][]posting // word -> postings, docs ascending
+	vocab map[string][]posting // word -> postings, one posting per doc
 	docs  map[DocID]bool
 	order []DocID // insertion order
+	// docWords records the distinct words of each indexed document so that
+	// re-Adding a document can first retract its old postings.
+	docWords map[DocID][]string
+	// cow marks an index whose posting slices may be shared with a clone
+	// (set on both sides of Clone). A cow index copies a word's posting
+	// slice the first time it modifies it; owned tracks which words this
+	// index has already copied.
+	cow   bool
+	owned map[string]bool
 	// sortMu guards the lazily built sortedWords cache, which readers
 	// (holding only mu.RLock) may need to build. Lock order: mu before
 	// sortMu.
@@ -39,31 +53,122 @@ type Index struct {
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
-	return &Index{vocab: make(map[string][]posting), docs: make(map[DocID]bool)}
+	return &Index{
+		vocab:    make(map[string][]posting),
+		docs:     make(map[DocID]bool),
+		docWords: make(map[DocID][]string),
+	}
 }
 
-// Add indexes the text of one document. Adding the same document twice
-// replaces nothing — positions accumulate — so callers index each
-// document once.
+// Clone returns an independently mutable copy of the index. The copy is
+// cheap — posting slices are shared until either side modifies a word —
+// which is what makes per-load index versions affordable: the writer
+// clones, Adds the new documents, and atomically publishes the clone,
+// while readers pinned to the original keep a stable view.
+func (ix *Index) Clone() *Index {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	c := &Index{
+		vocab:    make(map[string][]posting, len(ix.vocab)),
+		docs:     make(map[DocID]bool, len(ix.docs)),
+		order:    append([]DocID(nil), ix.order...),
+		docWords: make(map[DocID][]string, len(ix.docWords)),
+		cow:      true,
+		owned:    make(map[string]bool),
+	}
+	for w, ps := range ix.vocab {
+		c.vocab[w] = ps
+	}
+	for d := range ix.docs {
+		c.docs[d] = true
+	}
+	for d, ws := range ix.docWords {
+		c.docWords[d] = ws
+	}
+	// The receiver's slices are now shared too: everything it owned it no
+	// longer owns exclusively, and future Adds must copy before writing.
+	ix.cow = true
+	ix.owned = make(map[string]bool)
+	return c
+}
+
+// Add indexes the text of one document. Re-Adding a document replaces its
+// postings wholesale: the old positions are retracted first, so positions
+// stay ascending and phrase/near evaluation (which binary-searches
+// position lists) stays correct across re-indexing.
 func (ix *Index) Add(doc DocID, text string) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if !ix.docs[doc] {
+	if ix.docs[doc] {
+		ix.retract(doc)
+	} else {
 		ix.docs[doc] = true
 		ix.order = append(ix.order, doc)
 	}
 	ix.sortMu.Lock()
 	ix.sortedWords = nil
 	ix.sortMu.Unlock()
+	var words []string
 	for _, t := range Tokenize(text) {
-		ps := ix.vocab[t.Word]
+		ps := ix.ownPostings(t.Word)
 		if n := len(ps); n > 0 && ps[n-1].doc == doc {
 			ps[n-1].positions = append(ps[n-1].positions, t.Pos)
 		} else {
+			words = append(words, t.Word)
 			ps = append(ps, posting{doc: doc, positions: []int{t.Pos}})
 		}
 		ix.vocab[t.Word] = ps
 	}
+	ix.docWords[doc] = words
+}
+
+// retract removes a document's postings ahead of re-indexing. The caller
+// holds ix.mu and re-Adds the document immediately, so docs and order are
+// left alone.
+func (ix *Index) retract(doc DocID) {
+	for _, w := range ix.docWords[doc] {
+		ps := ix.vocab[w]
+		at := -1
+		for i, p := range ps {
+			if p.doc == doc {
+				at = i
+				break
+			}
+		}
+		if at < 0 {
+			continue
+		}
+		if ix.cow && !ix.owned[w] {
+			cp := make([]posting, 0, len(ps)-1)
+			cp = append(cp, ps[:at]...)
+			cp = append(cp, ps[at+1:]...)
+			ps = cp
+			ix.owned[w] = true
+		} else {
+			ps = append(ps[:at], ps[at+1:]...)
+		}
+		if len(ps) == 0 {
+			delete(ix.vocab, w)
+		} else {
+			ix.vocab[w] = ps
+		}
+	}
+	delete(ix.docWords, doc)
+}
+
+// ownPostings returns the word's posting slice, first copying it if it
+// may be shared with a clone. Every posting this Add call appends is
+// fresh (retract removed the document's old entry), so owning the slice
+// itself is enough — older postings' position lists are never written.
+func (ix *Index) ownPostings(w string) []posting {
+	ps := ix.vocab[w]
+	if ix.cow && !ix.owned[w] {
+		cp := make([]posting, len(ps))
+		copy(cp, ps)
+		ps = cp
+		ix.owned[w] = true
+	}
+	return ps
 }
 
 // Size reports the number of indexed documents.
@@ -254,52 +359,69 @@ func (ix *Index) hasAt(word string, doc DocID, pos int) bool {
 	return false
 }
 
-// near answers a word-distance predicate from positions.
+// near answers a word-distance predicate from positions. Either operand
+// may be a multi-word phrase: its occurrences are the start positions at
+// which the words appear consecutively, and the distance is the word gap
+// between the end of one occurrence and the start of the other.
 func (ix *Index) near(e NearExpr) map[DocID]bool {
 	out := map[DocID]bool{}
-	a := ix.postingsOf(e.A)
-	b := ix.postingsOf(e.B)
+	aw, bw := Words(e.A), Words(e.B)
+	if len(aw) == 0 || len(bw) == 0 {
+		return out
+	}
+	a := ix.occurrencesOf(aw)
+	b := ix.occurrencesOf(bw)
 	for doc, aPos := range a {
 		bPos, ok := b[doc]
 		if !ok {
 			continue
 		}
-		if nearPositions(aPos, bPos, e.Dist) {
+		if nearSpans(aPos, bPos, len(aw), len(bw), e.Dist) {
 			out[doc] = true
 		}
 	}
 	return out
 }
 
-func (ix *Index) postingsOf(word string) map[DocID][]int {
+// occurrencesOf maps each document to the ascending start positions at
+// which the words occur consecutively. A single word reduces to its
+// position list; a phrase is resolved like phrase(), but keeps every
+// start rather than just existence.
+func (ix *Index) occurrencesOf(words []string) map[DocID][]int {
 	out := map[DocID][]int{}
-	for _, t := range Tokenize(word) {
-		// near operands are single words; Tokenize normalises case.
-		word = t.Word
-		break
-	}
-	for _, p := range ix.vocab[word] {
-		out[p.doc] = p.positions
+	for _, p := range ix.vocab[words[0]] {
+		for _, pos := range p.positions {
+			full := true
+			for k := 1; k < len(words); k++ {
+				if !ix.hasAt(words[k], p.doc, pos+k) {
+					full = false
+					break
+				}
+			}
+			if full {
+				out[p.doc] = append(out[p.doc], pos)
+			}
+		}
 	}
 	return out
 }
 
-// nearPositions reports whether some a-position and b-position are within
-// dist words (exclusive of the words themselves, matching NearExpr.Eval).
-func nearPositions(as, bs []int, dist int) bool {
-	i, j := 0, 0
-	for i < len(as) && j < len(bs) {
-		d := as[i] - bs[j]
-		if d < 0 {
-			d = -d
-		}
-		if d > 0 && d-1 <= dist {
-			return true
-		}
-		if as[i] < bs[j] {
-			i++
-		} else {
-			j++
+// nearSpans reports whether some a-occurrence (la words long) and some
+// b-occurrence (lb words long) are separated by at most dist intervening
+// words. Overlapping occurrences do not match, which for single words
+// coincides with NearExpr.Eval's |pa−pb|−1 ≤ dist, pa ≠ pb.
+func nearSpans(as, bs []int, la, lb, dist int) bool {
+	for _, sa := range as {
+		for _, sb := range bs {
+			var gap int
+			if sa < sb {
+				gap = sb - (sa + la)
+			} else {
+				gap = sa - (sb + lb)
+			}
+			if gap >= 0 && gap <= dist {
+				return true
+			}
 		}
 	}
 	return false

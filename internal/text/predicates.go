@@ -41,48 +41,77 @@ type NotExpr struct{ E Expr }
 func (e NotExpr) Eval(text string) bool { return !e.E.Eval(text) }
 func (e NotExpr) String() string        { return "not " + e.E.String() }
 
-// NearExpr is the near predicate: two words separated by at most Dist
+// NearExpr is the near predicate: two terms separated by at most Dist
 // words in the text ("whether two words are separated by, at most, a given
 // number of characters (or words) in a sentence"). With Chars true the
-// distance is counted in characters between the word occurrences.
+// distance is counted in characters between the term occurrences. Either
+// term may be a multi-word phrase; an occurrence is then a run of
+// consecutive tokens matching the phrase, and the distance is measured
+// between the end of one occurrence and the start of the other.
 type NearExpr struct {
 	A, B  string
 	Dist  int
 	Chars bool
 }
 
+// span is one occurrence of a near term in the token stream: its word
+// position range and byte offset range.
+type span struct {
+	pos, endPos       int // word positions [pos, endPos)
+	offset, endOffset int // byte offsets [offset, endOffset)
+}
+
+// phraseSpans finds the occurrences of the phrase (one or more words) in
+// the token stream.
+func phraseSpans(toks []Token, words []string) []span {
+	var out []span
+	if len(words) == 0 {
+		return out
+	}
+	for i := 0; i+len(words) <= len(toks); i++ {
+		ok := true
+		for k, w := range words {
+			if toks[i+k].Word != w {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			last := toks[i+len(words)-1]
+			out = append(out, span{
+				pos:       toks[i].Pos,
+				endPos:    last.Pos + 1,
+				offset:    toks[i].Offset,
+				endOffset: last.Offset + len(last.Word),
+			})
+		}
+	}
+	return out
+}
+
 // Eval implements Expr.
 func (e NearExpr) Eval(text string) bool {
 	toks := Tokenize(text)
-	a := strings.ToLower(e.A)
-	b := strings.ToLower(e.B)
-	var aPos, bPos []Token
-	for _, t := range toks {
-		if t.Word == a {
-			aPos = append(aPos, t)
-		}
-		if t.Word == b {
-			bPos = append(bPos, t)
-		}
-	}
-	for _, ta := range aPos {
-		for _, tb := range bPos {
+	aSpans := phraseSpans(toks, Words(e.A))
+	bSpans := phraseSpans(toks, Words(e.B))
+	for _, sa := range aSpans {
+		for _, sb := range bSpans {
+			var d int
 			if e.Chars {
-				d := tb.Offset - (ta.Offset + len(ta.Word))
-				if d < 0 {
-					d = ta.Offset - (tb.Offset + len(tb.Word))
-				}
-				if d >= 0 && d <= e.Dist {
-					return true
+				if sa.offset < sb.offset {
+					d = sb.offset - sa.endOffset
+				} else {
+					d = sa.offset - sb.endOffset
 				}
 			} else {
-				d := ta.Pos - tb.Pos
-				if d < 0 {
-					d = -d
+				if sa.pos < sb.pos {
+					d = sb.pos - sa.endPos
+				} else {
+					d = sa.pos - sb.endPos
 				}
-				if d > 0 && d-1 <= e.Dist {
-					return true
-				}
+			}
+			if d >= 0 && d <= e.Dist {
+				return true
 			}
 		}
 	}

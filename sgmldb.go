@@ -18,15 +18,24 @@
 //
 // # Concurrency
 //
-// A Database is safe for concurrent use under a single-writer /
-// multi-reader discipline enforced internally with an RWMutex: the
-// mutating methods (LoadDocument, Name, UseAlgebra) take the write lock,
-// while queries (Query, QueryContext, QueryRows, prepared Run/Rows) and
-// the other read-only methods share the read lock. Readers run fully in
-// parallel — the hot evaluation path pays no per-object synchronisation —
-// and a writer simply excludes them for the duration of a load. Query
-// evaluation itself can additionally use multiple goroutines per query
-// (see WithWorkers) and is cancellable through QueryContext.
+// A Database serves queries and loads concurrently through epoch-based
+// copy-on-write snapshots. Writers (LoadDocument, LoadDocuments, Name)
+// serialise among themselves on an internal mutex and build each change
+// into a private copy-on-write layer over the published instance — plus a
+// lazily-copied clone of the full-text index — publishing the new
+// (instance, index) pair with one atomic pointer swap only when the whole
+// change succeeded. A failed load is discarded wholesale: the published
+// instance is never touched, so no orphan objects can appear (load
+// atomicity by construction).
+//
+// Readers (Query, QueryContext, QueryRows, prepared Run/Rows, Text,
+// Check, Stats, Save, Export) pin the snapshot current at their start and
+// never block on writers — a query and a load overlap freely, with the
+// query answering against the consistent pre-load state. Published
+// snapshots are immutable, so the hot evaluation path pays no per-object
+// synchronisation. Query evaluation itself can additionally use multiple
+// goroutines per query (see WithWorkers) and is cancellable through
+// QueryContext.
 package sgmldb
 
 import (
@@ -51,9 +60,9 @@ type Database struct {
 	Loader  *dtdmap.Loader
 	Engine  *oql.Engine
 
-	// mu enforces the single-writer/multi-reader discipline: document
-	// loads and root naming take the write lock, queries the read lock.
-	mu sync.RWMutex
+	// loadMu serialises writers (loads and root naming). Readers never
+	// take it: they pin the engine's published snapshot instead.
+	loadMu sync.Mutex
 }
 
 // OpenDTD compiles a DTD (Section 3) and opens an empty database for its
@@ -70,13 +79,15 @@ func OpenDTD(dtdSource string, opts ...Option) (*Database, error) {
 	loader := dtdmap.NewLoader(m)
 	db := &Database{Mapping: m, Loader: loader}
 	db.wire(loader.Instance, opts)
+	db.Engine.Publish(oql.State{Snap: loader.Instance.Snapshot(), Index: db.Engine.Index})
 	return db, nil
 }
 
 // wire builds the engine over an instance and applies the open options.
+// The caller publishes the initial snapshot once the index is built.
 func (db *Database) wire(inst *store.Instance, opts []Option) {
 	env := calculus.NewEnv(inst)
-	env.TextOf = func(v object.Value) string { return dtdmap.TextOf(inst, v) }
+	env.TextOf = dtdmap.TextOf
 	db.Engine = oql.New(env)
 	db.Engine.Index = text.NewIndex()
 	for _, opt := range opts {
@@ -84,51 +95,104 @@ func (db *Database) wire(inst *store.Instance, opts []Option) {
 	}
 }
 
-// Instance exposes the underlying store instance.
-func (db *Database) Instance() *store.Instance { return db.Engine.Env.Inst }
+// state returns the published snapshot queries and read-only methods
+// answer against.
+func (db *Database) state() oql.State { return db.Engine.State() }
+
+// Instance exposes the currently published store instance. Writers
+// publish new versions; the returned instance is immutable.
+func (db *Database) Instance() *store.Instance { return db.state().Snap.Inst }
+
+// Epoch reports the published snapshot's version number; it advances on
+// every successful load or root naming.
+func (db *Database) Epoch() uint64 { return db.state().Snap.Epoch }
 
 // Schema exposes the mapped schema.
 func (db *Database) Schema() *store.Schema { return db.Instance().Schema() }
 
 // LoadDocument parses, validates and loads one SGML document, returning
 // the oid of its document object. The document is added to the plural
-// persistence root (e.g. Articles) and to the full-text index. It excludes
-// concurrent queries for the duration of the load; on a snapshot database
-// it reports ErrReadOnly.
+// persistence root (e.g. Articles) and to the full-text index. The load
+// is atomic — on error the published database state is exactly what it
+// was — and concurrent queries keep running against the pre-load
+// snapshot. On a snapshot database it reports ErrReadOnly.
 func (db *Database) LoadDocument(src string) (object.OID, error) {
+	oids, err := db.LoadDocuments([]string{src})
+	if err != nil {
+		return 0, err
+	}
+	return oids[0], nil
+}
+
+// LoadDocuments loads a batch of documents as one atomic unit: either
+// every document becomes visible — in one snapshot publication, one
+// copy-on-write layer and one index version — or none does. Batching
+// amortises the per-publication cost (root update, index clone, pointer
+// swap) over the whole batch.
+func (db *Database) LoadDocuments(srcs []string) ([]object.OID, error) {
 	if db.Loader == nil {
-		return 0, ErrReadOnly
+		return nil, ErrReadOnly
 	}
-	doc, err := sgml.ParseDocument(db.Mapping.DTD, src)
+	// Parse and validate outside the writer lock: only instance building
+	// needs serialisation.
+	docs := make([]*sgml.Document, len(srcs))
+	for i, src := range srcs {
+		doc, err := sgml.ParseDocument(db.Mapping.DTD, src)
+		if err != nil {
+			return nil, err
+		}
+		docs[i] = doc
+	}
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	db.loadMu.Lock()
+	defer db.loadMu.Unlock()
+	oids, err := db.Loader.LoadAll(docs)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	oid, err := db.Loader.Load(doc)
-	if err != nil {
-		return 0, err
+	staged := db.Loader.Instance
+	ix := db.state().Index.Clone()
+	for _, oid := range oids {
+		ix.Add(text.DocID(oid), dtdmap.TextOf(staged, oid))
 	}
-	db.Engine.Index.Add(text.DocID(oid), dtdmap.TextOf(db.Instance(), oid))
-	return oid, nil
+	db.Engine.Publish(oql.State{Snap: staged.Snapshot(), Index: ix})
+	return oids, nil
 }
 
 // Name declares a root of persistence for an object (e.g. my_article),
 // making it addressable from queries. It reports ErrUnknownObject for an
-// unassigned oid.
+// unassigned oid. Like a load, the change is staged on a copy-on-write
+// layer (with a cloned schema when the root is new, so pinned readers
+// keep a stable view of G) and published atomically.
 func (db *Database) Name(name string, oid object.OID) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	class, ok := db.Instance().ClassOf(oid)
+	db.loadMu.Lock()
+	defer db.loadMu.Unlock()
+	cur := db.state()
+	published := cur.Snap.Inst
+	class, ok := published.ClassOf(oid)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownObject, oid)
 	}
-	if _, exists := db.Schema().RootType(name); !exists {
-		if err := db.Schema().AddRoot(name, object.Class(class)); err != nil {
+	staged := published.Begin()
+	if _, exists := published.Schema().RootType(name); !exists {
+		s2 := published.Schema().Clone()
+		if err := s2.AddRoot(name, object.Class(class)); err != nil {
 			return err
 		}
+		staged.AdoptSchema(s2)
 	}
-	return db.Instance().SetRoot(name, oid)
+	if err := staged.SetRoot(name, oid); err != nil {
+		return err
+	}
+	db.Engine.Publish(oql.State{Snap: staged.Snapshot(), Index: cur.Index})
+	// The loader must build the next load on the newly published version,
+	// or it would branch from a stale base and drop the root binding.
+	if db.Loader != nil {
+		db.Loader.Instance = staged
+	}
+	return nil
 }
 
 // Query runs an extended O₂SQL query and returns its value (a set for
@@ -140,26 +204,21 @@ func (db *Database) Query(src string) (object.Value, error) {
 
 // QueryContext runs a query under a context: cancelling ctx makes the
 // evaluation return ctx's error promptly. Any number of QueryContext
-// calls may run concurrently.
+// calls may run concurrently, including while a load is in flight: the
+// query pins the snapshot current at its start and never blocks.
 func (db *Database) QueryContext(ctx context.Context, src string) (object.Value, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	return db.Engine.QueryContext(ctx, src)
 }
 
 // QueryRows runs a query and returns the raw rows with their sorted
 // bindings (paths stay paths).
 func (db *Database) QueryRows(src string) (*calculus.Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	return db.Engine.Rows(src)
 }
 
 // Prepare parses, typechecks and compiles a query once for repeated —
 // possibly concurrent — execution via Run or Rows.
 func (db *Database) Prepare(src string) (*PreparedQuery, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	p, err := db.Engine.Prepare(src)
 	if err != nil {
 		return nil, err
@@ -169,7 +228,8 @@ func (db *Database) Prepare(src string) (*PreparedQuery, error) {
 
 // PreparedQuery is a compiled query bound to its database. It is safe for
 // concurrent use and stays valid across document loads (the plan is
-// recompiled transparently when the schema changes).
+// recompiled transparently when the schema changes; each execution pins
+// the snapshot current at its start).
 type PreparedQuery struct {
 	db *Database
 	p  *oql.Prepared
@@ -181,15 +241,11 @@ func (pq *PreparedQuery) Source() string { return pq.p.Source() }
 // Run evaluates the prepared query and returns its value, like
 // Database.QueryContext without the per-call front-end work.
 func (pq *PreparedQuery) Run(ctx context.Context) (object.Value, error) {
-	pq.db.mu.RLock()
-	defer pq.db.mu.RUnlock()
 	return pq.p.Run(ctx)
 }
 
 // Rows evaluates the prepared query and returns the raw rows.
 func (pq *PreparedQuery) Rows(ctx context.Context) (*calculus.Result, error) {
-	pq.db.mu.RLock()
-	defer pq.db.mu.RUnlock()
 	return pq.p.Rows(ctx)
 }
 
@@ -197,40 +253,32 @@ func (pq *PreparedQuery) Rows(ctx context.Context) (*calculus.Result, error) {
 //
 // Deprecated: prefer the WithAlgebra open option, which fixes the
 // evaluation strategy before any query can run. UseAlgebra remains for
-// compatibility and takes the write lock, so it must not be called from
-// within a query.
+// compatibility; like the option it must not be called while queries are
+// in flight.
 func (db *Database) UseAlgebra(on bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.loadMu.Lock()
+	defer db.loadMu.Unlock()
 	db.Engine.UseAlgebra = on
 }
 
 // Text returns the text of a logical object (the text operator).
 func (db *Database) Text(v object.Value) string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	return dtdmap.TextOf(db.Instance(), v)
 }
 
-// Check validates the instance against the schema and the Figure 3
-// constraints.
+// Check validates the published instance against the schema and the
+// Figure 3 constraints.
 func (db *Database) Check() []error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	return db.Instance().Check()
 }
 
 // Stats summarises the database.
 func (db *Database) Stats() store.Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	return db.Instance().Stats()
 }
 
 // Save writes a snapshot of the database to a file.
 func (db *Database) Save(path string) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	return store.SaveFile(path, db.Instance())
 }
 
@@ -270,6 +318,7 @@ func OpenSnapshot(path string, opts ...Option) (*Database, error) {
 			// other root shapes hold no document objects
 		}
 	}
+	db.Engine.Publish(oql.State{Snap: inst.Snapshot(), Index: db.Engine.Index})
 	return db, nil
 }
 
@@ -281,15 +330,11 @@ func (db *Database) Export(doc object.OID) (string, error) {
 	if db.Mapping == nil {
 		return "", fmt.Errorf("%w: export", ErrNoMapping)
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	return dtdmap.Export(db.Mapping, db.Instance(), doc)
 }
 
 // SchemaString renders the schema in the paper's Figure 3 syntax.
 func (db *Database) SchemaString() string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	return db.Schema().String()
 }
 
