@@ -1,11 +1,11 @@
 # Development targets. `make ci` is the extended verify recorded in
 # ROADMAP.md: vet + sgmldbvet + build + the full test suite under the
-# race detector + a fuzz smoke of the SGML parsers + a smoke run of
-# every benchmark.
+# race detector + the chaos (fault-injection) suite + a fuzz smoke of
+# the SGML parsers + a smoke run of every benchmark.
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz ci
+.PHONY: all build vet test race bench fuzz chaos ci
 
 all: build
 
@@ -37,10 +37,17 @@ fuzz:
 	$(GO) test ./internal/sgml/ -run='^$$' -fuzz=FuzzParseDTD -fuzztime=5s -fuzzminimizetime=10x
 	$(GO) test ./internal/sgml/ -run='^$$' -fuzz=FuzzParseDocument -fuzztime=5s -fuzzminimizetime=10x
 
+# The fault-injection suite under the race detector, alone and
+# repeated: injected failures mid-load, evaluator panics, budget trips
+# and admission shedding must leave the database serving, every run.
+chaos:
+	$(GO) test -race -count=2 -run='TestChaos' .
+
 ci:
 	$(GO) vet ./...
 	$(GO) run ./cmd/sgmldbvet ./...
 	$(GO) build ./...
 	$(GO) test -race -shuffle=on ./...
+	$(MAKE) chaos
 	$(MAKE) fuzz
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .

@@ -75,6 +75,69 @@ func BenchmarkQueryParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkAdmissionGate prices resource governance on the hot query
+// path: the same prepared query ungated, behind an uncontended admission
+// gate, under a per-query budget, and with all issuing goroutines
+// contending for GOMAXPROCS slots. Ungated vs Gated is the cost of the
+// semaphore (one channel send/receive per query), Budgeted adds the cost
+// of metering at the strided polls, and GatedConcurrent shows shedding
+// is not needed to stay cheap when slots cover the parallelism.
+func BenchmarkAdmissionGate(b *testing.B) {
+	const q = `select t from probe PATH_p.title(t)`
+	open := func(b *testing.B, opts ...Option) *PreparedQuery {
+		b.Helper()
+		g := corpus.NewGenerator(corpus.Params{Seed: 7})
+		db, err := OpenDTD(corpus.ArticleDTD, append([]Option{WithAlgebra(true)}, opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oid, err := db.LoadDocument(g.Article(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Name("probe", oid); err != nil {
+			b.Fatal(err)
+		}
+		p, err := db.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Run(context.Background()); err != nil { // warm the plan cache
+			b.Fatal(err)
+		}
+		return p
+	}
+	serial := func(b *testing.B, p *PreparedQuery) {
+		b.Helper()
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Ungated", func(b *testing.B) { serial(b, open(b)) })
+	b.Run("Gated", func(b *testing.B) {
+		serial(b, open(b, WithMaxConcurrentQueries(runtime.GOMAXPROCS(0))))
+	})
+	b.Run("Budgeted", func(b *testing.B) {
+		serial(b, open(b, WithMaxRows(1<<40), WithMaxMemory(1<<40)))
+	})
+	b.Run("GatedConcurrent", func(b *testing.B) {
+		p := open(b, WithMaxConcurrentQueries(runtime.GOMAXPROCS(0)))
+		ctx := context.Background()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := p.Run(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
 // BenchmarkLoadWhileQuerying measures reader latency under write load:
 // one goroutine keeps loading documents through the facade while the
 // benchmark loop queries a named root. With copy-on-write snapshots the

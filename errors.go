@@ -1,6 +1,10 @@
 package sgmldb
 
-import "errors"
+import (
+	"errors"
+
+	"sgmldb/internal/calculus"
+)
 
 // Sentinel errors returned (wrapped) by the Database API; test with
 // errors.Is.
@@ -16,4 +20,24 @@ var (
 	// ErrNoMapping is returned by operations that need the DTD mapping
 	// (e.g. Export) on a database opened without one.
 	ErrNoMapping = errors.New("sgmldb: operation requires the DTD mapping (open with OpenDTD)")
+
+	// ErrOverloaded is returned when admission control sheds a query: the
+	// database already runs WithMaxConcurrentQueries queries and the
+	// caller's wait exceeded WithQueueTimeout. Overload is the caller's
+	// signal to back off (or retry elsewhere); the queries already admitted
+	// are unaffected.
+	ErrOverloaded = errors.New("sgmldb: overloaded, query shed by admission control")
+
+	// ErrBudgetExceeded is returned when a query exhausts its resource
+	// budget (WithMaxRows, WithMaxMemory, WithQueryTimeout). The message
+	// carries the cost accrued up to the trip point. Only the offending
+	// query fails; the database and other in-flight queries are unaffected.
+	// It aliases the internal sentinel so errors.Is works across layers.
+	ErrBudgetExceeded = calculus.ErrBudgetExceeded
+
+	// ErrInternal is returned when an evaluation panics: the panic is
+	// contained at the API boundary (or at the spawning worker), converted
+	// to an error wrapping this sentinel together with the panic value and
+	// stack, and the database keeps serving from its published snapshot.
+	ErrInternal = calculus.ErrInternal
 )

@@ -5,7 +5,10 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
+	"sgmldb/internal/calculus"
+	"sgmldb/internal/faultpoint"
 	"sgmldb/internal/object"
 )
 
@@ -64,5 +67,95 @@ func TestErrNoMappingFromExport(t *testing.T) {
 	_, err = snap.Export(oid)
 	if !errors.Is(err, ErrNoMapping) {
 		t.Errorf("Export without mapping: err = %v, want errors.Is ErrNoMapping", err)
+	}
+}
+
+func TestErrBudgetExceededFromQuery(t *testing.T) {
+	db, err := OpenDTDFile("testdata/article.dtd", WithQueryTimeout(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, err := db.LoadDocumentFile("testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Name("my_article", oid); err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.Query(`select t from my_article PATH_p.title(t)`)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("query over budget: err = %v, want errors.Is ErrBudgetExceeded", err)
+	}
+	// The facade sentinel aliases the internal one, so errors.Is holds
+	// across layers.
+	if !errors.Is(err, calculus.ErrBudgetExceeded) {
+		t.Errorf("query over budget: err = %v, want errors.Is calculus.ErrBudgetExceeded", err)
+	}
+}
+
+func TestErrInternalFromEvaluatorPanic(t *testing.T) {
+	t.Cleanup(faultpoint.DisarmAll)
+	db := openArticleDB(t)
+	defer faultpoint.Arm("calculus/eval", faultpoint.Panic("kaboom"))()
+	_, err := db.Query(`select t from my_article PATH_p.title(t)`)
+	if !errors.Is(err, ErrInternal) {
+		t.Errorf("query under panic: err = %v, want errors.Is ErrInternal", err)
+	}
+	if !errors.Is(err, calculus.ErrInternal) {
+		t.Errorf("query under panic: err = %v, want errors.Is calculus.ErrInternal", err)
+	}
+}
+
+// TestErrOverloadedQueueTimeoutBounded asserts both the sentinel and the
+// bound: a shed query waits roughly the configured queue timeout — not
+// forever, and not zero (it did queue).
+func TestErrOverloadedQueueTimeoutBounded(t *testing.T) {
+	t.Cleanup(faultpoint.DisarmAll)
+	const wait = 50 * time.Millisecond
+	dtd, err := os.ReadFile("testdata/article.dtd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := os.ReadFile("testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenDTD(string(dtd), WithMaxConcurrentQueries(1), WithQueueTimeout(wait))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, err := db.LoadDocument(string(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Name("my_article", oid); err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer faultpoint.Arm("calculus/eval", faultpoint.Once(func() error {
+		close(entered)
+		<-release
+		return nil
+	}))()
+	defer close(release)
+	holder := make(chan error, 1)
+	go func() {
+		_, err := db.Query(`select t from my_article PATH_p.title(t)`)
+		holder <- err
+	}()
+	<-entered
+
+	start := time.Now()
+	_, err = db.Query(`select t from my_article PATH_p.title(t)`)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued query: err = %v, want errors.Is ErrOverloaded", err)
+	}
+	if elapsed < wait {
+		t.Errorf("shed after %v, want >= %v (the query must queue first)", elapsed, wait)
+	}
+	if elapsed > 10*wait {
+		t.Errorf("shed after %v, want well under %v (the timeout bounds the wait)", elapsed, 10*wait)
 	}
 }

@@ -52,6 +52,12 @@ type Ctx struct {
 	mu sync.Mutex
 	// containsDocs caches index evaluations per expression source.
 	containsDocs map[string]map[object.OID]bool
+
+	// pool is the shared worker-token channel bounding the query's total
+	// goroutines across every parallel site (row scans, union branches);
+	// see parallel.go. Built lazily once Workers is known.
+	poolOnce sync.Once
+	pool     chan struct{}
 }
 
 // NewCtx builds a serial runtime context; set Workers to enable parallel
@@ -63,13 +69,23 @@ func NewCtx(env *calculus.Env) *Ctx {
 // err reports the evaluation context's cancellation error, if any.
 func (c *Ctx) err() error { return c.Env.Context().Err() }
 
-// poll is the strided cancellation check of the row-scan loops: one
-// context read every ctxStride rows.
+// poll is the strided cancellation-and-budget check of the row-scan
+// loops: one context read every ctxStride rows, charging the stride to
+// the query's cost meter so a scan past its budget fails within one
+// stride.
 func (c *Ctx) poll(i int) error {
-	if i%ctxStride == 0 {
-		return c.err()
+	if i%ctxStride != 0 {
+		return nil
 	}
-	return nil
+	if err := c.err(); err != nil {
+		return err
+	}
+	if i == 0 {
+		// Nothing scanned yet here: just observe a trip from a sibling
+		// partition or branch.
+		return c.Env.Meter().Err()
+	}
+	return c.Env.Meter().Charge(ctxStride, 0)
 }
 
 // Op is one algebra operator: it produces valuations, consuming its
@@ -218,16 +234,57 @@ type unionOp struct {
 }
 
 func (o *unionOp) Rows(ctx *Ctx) ([]calculus.Valuation, error) {
+	outs := make([][]calculus.Valuation, len(o.children))
+	errs := make([]error, len(o.children))
+	if ctx.Workers > 1 && len(o.children) > 1 {
+		// The branches are independent variable-free plans: fan them out
+		// over the query's shared worker pool. A branch whose token
+		// claim fails runs inline on this goroutine, so the union makes
+		// progress even with the pool drained by sibling scans. Outputs
+		// are concatenated in branch order below, so the result is the
+		// serial result at any worker count; a budget trip or
+		// cancellation in one branch stops the others at their next
+		// strided poll, since every branch charges the same meter.
+		pool := ctx.workerPool()
+		var wg sync.WaitGroup
+		for i := range o.children {
+			if err := ctx.err(); err != nil {
+				errs[i] = err
+				break
+			}
+			select {
+			case pool <- struct{}{}:
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					defer func() { <-pool }()
+					defer func() {
+						if r := recover(); r != nil {
+							errs[i] = calculus.Internal(r)
+						}
+					}()
+					outs[i], errs[i] = o.children[i].Rows(ctx)
+				}(i)
+			default:
+				outs[i], errs[i] = o.children[i].Rows(ctx)
+			}
+		}
+		wg.Wait()
+	} else {
+		for i, c := range o.children {
+			if err := ctx.err(); err != nil {
+				errs[i] = err
+				break
+			}
+			outs[i], errs[i] = c.Rows(ctx)
+		}
+	}
 	var all []calculus.Valuation
-	for _, c := range o.children {
-		if err := ctx.err(); err != nil {
-			return nil, err
+	for i := range o.children {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		rows, err := c.Rows(ctx)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, rows...)
+		all = append(all, outs[i]...)
 	}
 	return ctx.dedup(all)
 }

@@ -7,35 +7,85 @@ import (
 )
 
 // This file implements the parallel row scan shared by the row-at-a-time
-// operators. An operator's per-row work (navigating a path predicate,
-// evaluating a residual formula, unnesting a collection) is independent
-// across rows, so the input can be partitioned into contiguous chunks and
-// handed to a bounded worker pool. Each worker appends into its own
-// output slot and the slots are concatenated in partition order, so the
-// merged result is byte-for-byte the serial result — parallelism changes
-// wall-clock time, never answers.
+// operators, and the worker pool behind it. An operator's per-row work
+// (navigating a path predicate, evaluating a residual formula, unnesting
+// a collection) is independent across rows, so the input can be
+// partitioned into contiguous chunks and handed to a bounded worker
+// pool. Each worker appends into its own output slot and the slots are
+// concatenated in partition order, so the merged result is byte-for-byte
+// the serial result — parallelism changes wall-clock time, never
+// answers.
+//
+// The pool is one token channel per Ctx, shared by every parallelisable
+// site of the plan — row scans here, union branches in op.go — so one
+// query never runs more than Ctx.Workers goroutines no matter how its
+// operators nest: a site claims tokens for its extra goroutines and runs
+// narrower (down to fully serial) when concurrent sites hold them.
+//
+// Worker goroutines convert panics to ErrInternal-wrapped errors: a
+// panicking evaluation must surface to the caller as an error, not kill
+// the process (the serial path leaves panics to unwind to the facade's
+// recover, which does the same conversion).
 
 // minParallelRows is the smallest input for which spawning workers can
 // pay for itself; smaller inputs run serially.
 const minParallelRows = 4
 
-// ctxStride bounds how many rows a scan processes between cancellation
-// checks (the scan-partition granularity of query cancellation).
+// ctxStride bounds how many rows a scan processes between
+// cancellation-and-budget checks (the scan-partition granularity of
+// query cancellation).
 const ctxStride = 64
 
+// workerPool returns the query's shared token pool, sized Workers-1:
+// the calling goroutine of any site is a worker already, tokens cover
+// only the extras. Built lazily on first use (Workers is set after
+// NewCtx); sync.Once makes the build safe against concurrent sites.
+func (c *Ctx) workerPool() chan struct{} {
+	c.poolOnce.Do(func() {
+		n := c.Workers - 1
+		if n < 0 {
+			n = 0
+		}
+		c.pool = make(chan struct{}, n)
+	})
+	return c.pool
+}
+
 // mapRows applies fn to every input valuation and concatenates the
-// results in input order, splitting the work across ctx.Workers
-// goroutines when the input is large enough. fn must be safe for
-// concurrent calls on distinct rows (all operator row functions are: they
-// only read the environment and extend copy-on-write valuations).
+// results in input order, splitting the work across the worker pool when
+// the input is large enough and tokens are free. fn must be safe for
+// concurrent calls on distinct rows (all operator row functions are:
+// they only read the environment and extend copy-on-write valuations).
 func (ctx *Ctx) mapRows(in []calculus.Valuation, fn func(calculus.Valuation) ([]calculus.Valuation, error)) ([]calculus.Valuation, error) {
-	workers := ctx.Workers
-	if workers > len(in) {
-		workers = len(in)
+	if ctx.Workers <= 1 || len(in) < minParallelRows {
+		return ctx.scanPartition(in, fn)
 	}
-	if workers <= 1 || len(in) < minParallelRows {
-		return ctx.mapRowsSerial(in, fn)
+	max := ctx.Workers
+	if max > len(in) {
+		max = len(in)
 	}
+	pool := ctx.workerPool()
+	extra := 0
+claim:
+	for extra < max-1 {
+		select {
+		case pool <- struct{}{}:
+			extra++
+		default:
+			// Pool exhausted (e.g. sibling union branches scanning
+			// concurrently): run with what we got.
+			break claim
+		}
+	}
+	if extra == 0 {
+		return ctx.scanPartition(in, fn)
+	}
+	defer func() {
+		for i := 0; i < extra; i++ {
+			<-pool
+		}
+	}()
+	workers := extra + 1
 	outs := make([][]calculus.Valuation, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -45,22 +95,12 @@ func (ctx *Ctx) mapRows(in []calculus.Valuation, fn func(calculus.Valuation) ([]
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			var out []calculus.Valuation
-			for i := lo; i < hi; i++ {
-				// Each row of a partition re-checks cancellation: a
-				// cancelled query stops all partitions within one row.
-				if err := ctx.err(); err != nil {
-					errs[w] = err
-					return
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = calculus.Internal(r)
 				}
-				rows, err := fn(in[i])
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				out = append(out, rows...)
-			}
-			outs[w] = out
+			}()
+			outs[w], errs[w] = ctx.scanPartition(in[lo:hi], fn)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -76,17 +116,27 @@ func (ctx *Ctx) mapRows(in []calculus.Valuation, fn func(calculus.Valuation) ([]
 	return merged, nil
 }
 
-func (ctx *Ctx) mapRowsSerial(in []calculus.Valuation, fn func(calculus.Valuation) ([]calculus.Valuation, error)) ([]calculus.Valuation, error) {
+// scanPartition is the serial scan over one contiguous chunk: the whole
+// input on the serial path, one partition per worker on the parallel
+// path. The strided poll checks cancellation and charges the scanned
+// rows to the query's cost meter; produced rows beyond one-per-input
+// (unnest and navigation expansions) are charged at materialisation, so
+// a cross product trips its budget while allocating, not after.
+func (ctx *Ctx) scanPartition(in []calculus.Valuation, fn func(calculus.Valuation) ([]calculus.Valuation, error)) ([]calculus.Valuation, error) {
+	meter := ctx.Env.Meter()
 	var out []calculus.Valuation
 	for i, v := range in {
-		if i%ctxStride == 0 {
-			if err := ctx.err(); err != nil {
-				return nil, err
-			}
+		if err := ctx.poll(i); err != nil {
+			return nil, err
 		}
 		rows, err := fn(v)
 		if err != nil {
 			return nil, err
+		}
+		if len(rows) > 1 {
+			if err := meter.Charge(int64(len(rows))-1, int64(len(rows))*calculus.EstimateBytes(rows[0])); err != nil {
+				return nil, err
+			}
 		}
 		out = append(out, rows...)
 	}

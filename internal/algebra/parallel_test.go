@@ -1,0 +1,79 @@
+package algebra
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sgmldb/internal/calculus"
+)
+
+// disjunctionQuery builds the two-branch union query of
+// TestEquivalenceDisjunction: its plan contains a unionOp, the operator
+// the parallel branch evaluation must keep deterministic.
+func disjunctionQuery() *calculus.Query {
+	mk := func(author string) calculus.Formula {
+		return calculus.Exists{
+			Vars: []calculus.VarDecl{{Name: "P", Sort: calculus.SortPath}},
+			Body: calculus.Conj(
+				calculus.PathAtom{Base: calculus.NameRef{Name: "Knuth_Books"},
+					Path: calculus.P(calculus.ElemVar{Name: "P"},
+						calculus.ElemAttr{A: calculus.AttrName{Name: "author"}},
+						calculus.ElemBind{X: "X"})},
+				calculus.Eq{L: calculus.Var{Name: "X"}, R: calculus.Str(author)},
+			),
+		}
+	}
+	return &calculus.Query{
+		Head: []calculus.VarDecl{{Name: "X", Sort: calculus.SortData}},
+		Body: calculus.Or{L: mk("Jo"), R: mk("Knuth")},
+	}
+}
+
+// TestUnionParallelDeterministic runs a union plan serially and with a
+// worker pool, repeatedly: the parallel branch evaluation must return
+// rows identical to the serial evaluation — same bindings, same order —
+// because branch results are concatenated in branch order regardless of
+// completion order.
+func TestUnionParallelDeterministic(t *testing.T) {
+	env := knuthEnv(t)
+	plan, err := Translate(env, disjunctionQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) string {
+		ctx := NewCtx(env)
+		ctx.Workers = workers
+		res, err := plan.Run(ctx)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return fmt.Sprint(res.Rows)
+	}
+	want := run(1)
+	for i := 0; i < 50; i++ {
+		for _, workers := range []int{2, 4, 8} {
+			if got := run(workers); got != want {
+				t.Fatalf("iteration %d workers=%d: rows %s, want %s", i, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestUnionParallelObservesMeter threads an exhausted cost meter into a
+// parallel union evaluation: the branches, scanning on pool goroutines,
+// must observe the meter at their polls and fail the query with
+// ErrBudgetExceeded.
+func TestUnionParallelObservesMeter(t *testing.T) {
+	env := knuthEnv(t)
+	plan, err := Translate(env, disjunctionQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := calculus.NewMeter(calculus.Budget{MaxDuration: 1}) // expires immediately
+	ctx := NewCtx(env.WithMeter(m))
+	ctx.Workers = 4
+	if _, err := plan.Run(ctx); !errors.Is(err, calculus.ErrBudgetExceeded) {
+		t.Fatalf("run with exhausted meter: err = %v, want ErrBudgetExceeded", err)
+	}
+}

@@ -15,6 +15,9 @@
 //     facade-level errors must be sentinel-based.
 //   - nopanic: a panic reachable from an exported function is flagged
 //     unless annotated.
+//   - faultpoint: fault-injection sites must be package-level
+//     declarations, and production code may only Hit them — the arming
+//     machinery stays in tests.
 //
 // Intentional deviations are annotated in source as
 //
@@ -82,6 +85,7 @@ func Analyzers() []*Analyzer {
 		LockcheckAnalyzer,
 		ErrwrapAnalyzer,
 		NopanicAnalyzer,
+		FaultpointAnalyzer,
 	}
 }
 

@@ -139,6 +139,10 @@ func TestPanicFixture(t *testing.T) {
 	}
 }
 
+func TestFaultpointFixture(t *testing.T) {
+	checkFixture(t, "faultguard", "faultpoint")
+}
+
 // TestVariantRemovalIsNamed is the acceptance check in executable form:
 // deleting a variant from a closed-set switch must fail the build with a
 // diagnostic naming the missing case. The fixture's missingConst switch

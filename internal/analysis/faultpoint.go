@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// The faultpoint analyzer keeps fault injection out of production
+// control flow. The faultpoint package is deliberately two-faced: the
+// declaration side (New) and the probe side (Hit) belong in shipping
+// code, while the arming machinery (Arm, DisarmAll, the injector
+// constructors) belongs in tests only — an armed site in production
+// would be a latent chaos monkey. Test files never reach the analyzer
+// (the loader excludes _test.go), so the rule for what it does see is
+// simple:
+//
+//   - faultpoint.New may appear only as a package-level var initializer,
+//     keeping the set of injection sites static and enumerable;
+//   - method Hit may be called anywhere;
+//   - every other use of the faultpoint package is flagged.
+//
+// The faultpoint package itself is exempt (it implements the machinery
+// it would otherwise be flagged for).
+
+// FaultpointAnalyzer restricts production faultpoint usage to
+// package-level New declarations and Hit calls.
+var FaultpointAnalyzer = &Analyzer{
+	Name: "faultpoint",
+	Doc:  "fault-injection sites must be declared at package level and only Hit in production code",
+	Run:  runFaultpoint,
+}
+
+func runFaultpoint(prog *Program, report func(Diagnostic)) {
+	for _, pkg := range prog.Targets {
+		if pkg.Types.Name() == "faultpoint" {
+			continue
+		}
+		declared := declaredSiteCalls(pkg)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "faultpoint" {
+					return true
+				}
+				switch fn.Name() {
+				case "Hit":
+				case "New":
+					if !declared[call.Pos()] {
+						report(Diagnostic{Pos: call.Pos(),
+							Message: "faultpoint.New outside a package-level var declaration; injection sites must be static and enumerable"})
+					}
+				default:
+					report(Diagnostic{Pos: call.Pos(),
+						Message: fmt.Sprintf("faultpoint.%s is test-only machinery; production code may only declare sites (package-level faultpoint.New) and call Hit", fn.Name())})
+				}
+				return true
+			})
+		}
+	}
+}
+
+// declaredSiteCalls collects the positions of calls used directly as
+// package-level var initializers — the one place faultpoint.New belongs.
+func declaredSiteCalls(pkg *Package) map[token.Pos]bool {
+	out := map[token.Pos]bool{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gen, ok := d.(*ast.GenDecl)
+			if !ok || gen.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					if call, ok := ast.Unparen(v).(*ast.CallExpr); ok {
+						out[call.Pos()] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}

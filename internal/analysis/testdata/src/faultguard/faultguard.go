@@ -1,0 +1,41 @@
+// Package faultguard exercises the faultpoint analyzer: production code
+// may declare injection sites as package-level vars and Hit them; the
+// arming machinery is test-only and anything else is flagged.
+package faultguard
+
+import (
+	"sgmldb/internal/analysis/testdata/src/faultguard/faultpoint"
+)
+
+// A package-level declaration is the sanctioned form.
+var fpGood = faultpoint.New("guard/good")
+
+// Grouped declarations are fine too.
+var (
+	fpOther = faultpoint.New("guard/other")
+)
+
+// hitOnPath is the sanctioned probe.
+func hitOnPath() error {
+	if err := fpGood.Hit(); err != nil {
+		return err
+	}
+	return fpOther.Hit()
+}
+
+// declareDynamically creates a site at run time, defeating enumerability.
+func declareDynamically(name string) *faultpoint.Point {
+	return faultpoint.New(name) // want "faultpoint.New outside a package-level var"
+}
+
+// armInProduction reaches for the test-only machinery.
+func armInProduction() {
+	inject := faultpoint.Error(nil)              // want "faultpoint.Error is test-only"
+	defer faultpoint.Arm("guard/good", inject)() // want "faultpoint.Arm is test-only"
+}
+
+// resetEverything is suppressible with an annotation like any analyzer.
+func resetEverything() {
+	//lint:allow faultpoint fixture demonstrates suppression
+	faultpoint.DisarmAll()
+}

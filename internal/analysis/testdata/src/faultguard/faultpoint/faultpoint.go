@@ -1,0 +1,23 @@
+// Package faultpoint is a stub of the real fault-injection package with
+// just enough API surface for the faultguard fixture to compile. The
+// analyzer matches uses by package name, so the stub exercises the same
+// paths as the real thing without the fixture depending on internal/.
+package faultpoint
+
+// Point is one named injection site.
+type Point struct{ name string }
+
+// New declares a site.
+func New(name string) *Point { return &Point{name: name} }
+
+// Hit fires the site.
+func (p *Point) Hit() error { return nil }
+
+// Arm installs an injector.
+func Arm(name string, fire func() error) func() { return func() {} }
+
+// Error returns an always-failing injector.
+func Error(err error) func() error { return func() error { return err } }
+
+// DisarmAll disarms every site.
+func DisarmAll() {}

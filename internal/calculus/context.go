@@ -40,6 +40,21 @@ func (e *Env) WithInstance(inst *store.Instance) *Env {
 	return &e2
 }
 
+// WithMeter returns a copy of the environment whose evaluations charge
+// the meter: the strided row-scan polls account processed rows (and
+// estimated materialisation) against the meter's budget and fail the
+// evaluation with ErrBudgetExceeded when it is exhausted. A nil meter
+// leaves the evaluation unbudgeted. The receiver is not modified.
+func (e *Env) WithMeter(m *Meter) *Env {
+	e2 := *e
+	e2.meter = m
+	return &e2
+}
+
+// Meter returns the evaluation's cost meter (nil when unbudgeted); the
+// algebra's charge sites read it off the execution environment.
+func (e *Env) Meter() *Meter { return e.meter }
+
 // Context returns the evaluation context (context.Background when the
 // environment was not derived with WithContext).
 func (e *Env) Context() context.Context {
@@ -57,14 +72,24 @@ func (e *Env) checkCtx() error {
 	return e.ctx.Err()
 }
 
-// pollCtx is the strided cancellation poll of the row-scan loops: it
-// checks the context once every ctxCheckStride rows, so a scan stays
-// promptly cancellable without paying a context read per row.
+// pollCtx is the strided cancellation-and-budget poll of the row-scan
+// loops: it checks the context once every ctxCheckStride rows, so a scan
+// stays promptly cancellable without paying a context read per row, and
+// charges the stride's rows to the evaluation's cost meter so a scan
+// past its budget stops within one stride.
 func (e *Env) pollCtx(i int) error {
-	if i%ctxCheckStride == 0 {
-		return e.checkCtx()
+	if i%ctxCheckStride != 0 {
+		return nil
 	}
-	return nil
+	if err := e.checkCtx(); err != nil {
+		return err
+	}
+	if i == 0 {
+		// Nothing processed yet on this scan: just observe a budget trip
+		// from a sibling goroutine or branch.
+		return e.meter.Err()
+	}
+	return e.meter.Charge(ctxCheckStride, 0)
 }
 
 // ctxCheckStride bounds how many valuations an atom filter processes

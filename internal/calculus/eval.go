@@ -7,11 +7,17 @@ import (
 	"sort"
 	"strings"
 
+	"sgmldb/internal/faultpoint"
 	"sgmldb/internal/object"
 	"sgmldb/internal/path"
 	"sgmldb/internal/store"
 	"sgmldb/internal/text"
 )
+
+// fpEval lets chaos tests fail (or panic) a naive-calculus evaluation at
+// entry: the injection site for "an evaluator blew up mid-query" on the
+// non-algebra path.
+var fpEval = faultpoint.New("calculus/eval")
 
 // Binding is the value of one variable in a valuation: a data value, a
 // concrete path or an attribute name, matching the variable's sort.
@@ -149,6 +155,10 @@ type Env struct {
 	// ctx is the per-evaluation cancellation context, set by WithContext
 	// on a copy of the shared environment (nil means Background).
 	ctx context.Context
+	// meter is the per-evaluation cost meter, set by WithMeter on a copy
+	// of the shared environment (nil means unlimited). The strided polls
+	// charge it alongside the cancellation checks.
+	meter *Meter
 }
 
 // NewEnv builds an environment over an instance with the restricted path
@@ -205,6 +215,9 @@ func (e *Env) EvalContext(ctx context.Context, q *Query) (*Result, error) {
 
 // Eval evaluates a query after checking its safety.
 func (e *Env) Eval(q *Query) (*Result, error) {
+	if err := fpEval.Hit(); err != nil {
+		return nil, err
+	}
 	if err := CheckQuery(q); err != nil {
 		return nil, err
 	}
@@ -423,10 +436,8 @@ func (e *Env) evalFormula(f Formula, in []Valuation) ([]Valuation, error) {
 func (e *Env) filter(in []Valuation, pred func(Valuation) (bool, error)) ([]Valuation, error) {
 	var out []Valuation
 	for i, v := range in {
-		if i%ctxCheckStride == 0 {
-			if err := e.checkCtx(); err != nil {
-				return nil, err
-			}
+		if err := e.pollCtx(i); err != nil {
+			return nil, err
 		}
 		ok, err := pred(v)
 		if errors.Is(err, errNoSuchPath) {
@@ -527,6 +538,13 @@ func (e *Env) evalIn(x In, in []Valuation) ([]Valuation, error) {
 		}
 		if lv, ok := x.L.(Var); ok {
 			if _, bound := v[lv.Name]; !bound {
+				// The unbound-variable expansion is where cross products
+				// materialise in the naive evaluator: charge the produced
+				// valuations up front so a runaway join trips its budget
+				// at the point of allocation, not after.
+				if err := e.meter.Charge(int64(len(members)), int64(len(members))*estimateBytes(v)); err != nil {
+					return nil, err
+				}
 				for _, m := range members {
 					out = append(out, v.extend(lv.Name, DataBinding(m)))
 				}

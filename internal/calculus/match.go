@@ -54,11 +54,10 @@ func (e *Env) matchElems(cur object.Value, elems []PathElem, v Valuation) ([]Val
 		var out []Valuation
 		for i, pb := range bindings {
 			// The enumeration is the naive evaluator's hot scan: check
-			// cancellation once per enumerated path partition.
-			if i%ctxCheckStride == 0 {
-				if err := e.checkCtx(); err != nil {
-					return nil, err
-				}
+			// cancellation (and charge the cost meter) once per
+			// enumerated path partition.
+			if err := e.pollCtx(i); err != nil {
+				return nil, err
 			}
 			sub, err := e.matchElems(pb.Value, rest, v.extend(x.Name, PathBinding(pb.Path)))
 			if err != nil {

@@ -1,0 +1,170 @@
+package calculus
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements per-query resource governance: a Budget states
+// what one query may consume, a Meter enforces it. The meter piggybacks
+// on the strided cancellation polls of the row-scan loops (pollCtx here,
+// Ctx.poll in the algebra), so enforcement costs nothing on queries that
+// were already paying for prompt cancellation: every stride boundary
+// charges the stride's rows (plus an estimated materialisation size) and
+// fails the scan with ErrBudgetExceeded the moment the budget is gone.
+// Counters are atomic — one meter is shared by every goroutine of one
+// query (parallel scan partitions, parallel union branches), so a budget
+// trip in any branch stops all of them at their next poll.
+
+// ErrBudgetExceeded is the sentinel for a query that exhausted its
+// budget (rows, memory or duration); the returned error wraps it and
+// carries a partial-cost report. Test with errors.Is. The sgmldb facade
+// re-exports it.
+var ErrBudgetExceeded = errors.New("query budget exceeded")
+
+// ErrInternal is the sentinel wrapping a panic recovered at an engine
+// boundary (the facade's query/load entry points, the algebra's worker
+// goroutines). The database that returns it is still serving: the panic
+// unwound a single evaluation, never the published snapshot. The sgmldb
+// facade re-exports it.
+var ErrInternal = errors.New("internal error (recovered panic)")
+
+// Budget bounds one query's run-time cost. The zero value means
+// unlimited on every axis.
+type Budget struct {
+	// MaxRows bounds the valuations the query may process, summed over
+	// every operator scan — a work bound, not a result-size bound. 0 is
+	// unlimited. Enforcement is strided: overruns are detected within
+	// one poll stride (64 rows) per scanning goroutine.
+	MaxRows int64
+	// MaxMem bounds the query's estimated materialisation, in bytes
+	// (valuations built by scans, unnests and unions — an allocation
+	// estimate, not resident-set truth). 0 is unlimited.
+	MaxMem int64
+	// MaxDuration bounds wall-clock evaluation time; checked at the same
+	// stride boundaries, so it fires while scanning, not after. 0 is
+	// unlimited.
+	MaxDuration time.Duration
+}
+
+// zero reports a budget with no limits, for which no meter is needed.
+func (b Budget) zero() bool {
+	return b.MaxRows == 0 && b.MaxMem == 0 && b.MaxDuration == 0
+}
+
+// Cost is a meter reading: what the query has consumed so far.
+type Cost struct {
+	Rows int64         // valuations processed across all scans
+	Mem  int64         // estimated bytes materialised
+	Took time.Duration // wall clock since the meter started
+}
+
+func (c Cost) String() string {
+	return fmt.Sprintf("~%d rows scanned, ~%d bytes materialised, %v elapsed",
+		c.Rows, c.Mem, c.Took.Round(time.Millisecond))
+}
+
+// Meter enforces a Budget for one query execution. A nil *Meter is a
+// valid no-op (every method returns nil), so un-budgeted paths pay one
+// nil check. Safe for concurrent use by the query's goroutines.
+type Meter struct {
+	budget Budget
+	start  time.Time
+	rows   atomic.Int64
+	mem    atomic.Int64
+	// tripped latches the first budget error so every subsequent poll —
+	// on any goroutine — fails fast with the same report instead of
+	// re-deriving it.
+	tripped atomic.Bool
+}
+
+// NewMeter starts a meter over a budget; nil when the budget is
+// unlimited, so callers thread the no-op for free.
+func NewMeter(b Budget) *Meter {
+	if b.zero() {
+		return nil
+	}
+	return &Meter{budget: b, start: time.Now()}
+}
+
+// Cost reads the meter.
+func (m *Meter) Cost() Cost {
+	if m == nil {
+		return Cost{}
+	}
+	return Cost{Rows: m.rows.Load(), Mem: m.mem.Load(), Took: time.Since(m.start)}
+}
+
+// Charge accounts rows processed and bytes materialised, returning
+// ErrBudgetExceeded (wrapped, with the partial cost) once any budget
+// axis is exhausted. The deadline is checked here too, so a slow scan
+// trips within one stride of its deadline.
+func (m *Meter) Charge(rows, bytes int64) error {
+	if m == nil {
+		return nil
+	}
+	r := m.rows.Add(rows)
+	b := m.mem.Add(bytes)
+	if m.tripped.Load() {
+		return m.fail("")
+	}
+	switch {
+	case m.budget.MaxRows > 0 && r > m.budget.MaxRows:
+		return m.fail(fmt.Sprintf("row budget %d", m.budget.MaxRows))
+	case m.budget.MaxMem > 0 && b > m.budget.MaxMem:
+		return m.fail(fmt.Sprintf("memory budget %d bytes", m.budget.MaxMem))
+	case m.budget.MaxDuration > 0 && time.Since(m.start) > m.budget.MaxDuration:
+		return m.fail(fmt.Sprintf("deadline %v", m.budget.MaxDuration))
+	}
+	return nil
+}
+
+// Err reports whether the meter has already tripped (or is past
+// deadline), without charging anything: the cheap re-check for code that
+// sits between charge sites.
+func (m *Meter) Err() error {
+	if m == nil {
+		return nil
+	}
+	if m.tripped.Load() {
+		return m.fail("")
+	}
+	if m.budget.MaxDuration > 0 && time.Since(m.start) > m.budget.MaxDuration {
+		return m.fail(fmt.Sprintf("deadline %v", m.budget.MaxDuration))
+	}
+	return nil
+}
+
+// fail latches the trip and builds the budget error with its
+// partial-cost report.
+func (m *Meter) fail(axis string) error {
+	m.tripped.Store(true)
+	if axis == "" {
+		return fmt.Errorf("calculus: %w (%s)", ErrBudgetExceeded, m.Cost())
+	}
+	return fmt.Errorf("calculus: %w: %s (%s)", ErrBudgetExceeded, axis, m.Cost())
+}
+
+// estimateBytes approximates the heap footprint of one valuation: map
+// header plus per-binding bucket, key string and Binding struct. A
+// governance estimate, deliberately coarse and deliberately cheap.
+func estimateBytes(v Valuation) int64 {
+	return 48 + 112*int64(len(v))
+}
+
+// EstimateBytes is estimateBytes for the algebra's charge sites.
+func EstimateBytes(v Valuation) int64 { return estimateBytes(v) }
+
+// Internal converts a recovered panic value into an ErrInternal-wrapped
+// error carrying the panic and its stack. Worker goroutines recover with
+// it so an evaluator panic surfaces to the caller as an error instead of
+// killing the process; the facade boundary uses it for the same
+// conversion on the calling goroutine.
+func Internal(recovered any) error {
+	buf := make([]byte, 16<<10)
+	buf = buf[:runtime.Stack(buf, false)]
+	return fmt.Errorf("%w: %v\n%s", ErrInternal, recovered, buf)
+}

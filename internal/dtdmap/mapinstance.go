@@ -5,9 +5,19 @@ import (
 	"strconv"
 	"strings"
 
+	"sgmldb/internal/faultpoint"
 	"sgmldb/internal/object"
 	"sgmldb/internal/sgml"
 	"sgmldb/internal/store"
+)
+
+// Fault-injection sites on the staging path: chaos tests arm these to
+// fail a load mid-batch (after some documents are already staged) and at
+// the very last step before the batch would succeed, asserting that the
+// published instance is untouched either way.
+var (
+	fpLoadDoc = faultpoint.New("dtdmap/load-doc")
+	fpSetRoot = faultpoint.New("dtdmap/set-root")
 )
 
 // Loader turns validated document instances into objects and values of the
@@ -82,6 +92,11 @@ func (l *Loader) LoadAll(docs []*sgml.Document) ([]object.OID, error) {
 	for i, d := range l.docs {
 		vals[i] = d
 	}
+	if err := fpSetRoot.Hit(); err != nil {
+		l.Instance = published
+		l.docs = l.docs[:nDocs]
+		return nil, err
+	}
 	if err := l.Instance.SetRoot(l.Mapping.RootName, object.NewList(vals...)); err != nil {
 		l.Instance = published
 		l.docs = l.docs[:nDocs]
@@ -93,6 +108,9 @@ func (l *Loader) LoadAll(docs []*sgml.Document) ([]object.OID, error) {
 // loadOne builds one document's objects into the current (staged)
 // instance and appends its oid to docs; the caller handles rollback.
 func (l *Loader) loadOne(doc *sgml.Document) (object.OID, error) {
+	if err := fpLoadDoc.Hit(); err != nil {
+		return 0, err
+	}
 	l.idTargets = make(map[string]object.OID)
 	l.idReferrers = make(map[string][]object.OID)
 	l.idFixups = nil
@@ -105,6 +123,30 @@ func (l *Loader) loadOne(doc *sgml.Document) (object.OID, error) {
 	}
 	l.docs = append(l.docs, oid)
 	return oid, nil
+}
+
+// Mark captures the loader's current state so a caller can roll back
+// work done after a successful LoadAll. LoadAll rolls its own batch back
+// on failure, but a caller that does more work with the staged instance
+// before publishing (the facade rebuilds the text index) needs to undo
+// the whole load if that later work fails: Mark before LoadAll, Restore
+// on failure.
+type Mark struct {
+	inst  *store.Instance
+	nDocs int
+}
+
+// Mark records the instance and document list to restore to.
+func (l *Loader) Mark() Mark {
+	return Mark{inst: l.Instance, nDocs: len(l.docs)}
+}
+
+// Restore abandons everything loaded since the mark was taken: the
+// staged copy-on-write layer is discarded and the document list
+// truncated, leaving the loader exactly as Mark saw it.
+func (l *Loader) Restore(m Mark) {
+	l.Instance = m.inst
+	l.docs = l.docs[:m.nDocs]
 }
 
 // Documents returns the oids of the loaded document objects, in load

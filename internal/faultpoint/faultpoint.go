@@ -1,0 +1,178 @@
+// Package faultpoint provides named fault-injection sites for chaos
+// testing. Production code declares a site once, as a package-level var:
+//
+//	var fpSetRoot = faultpoint.New("dtdmap/set-root")
+//
+// and hits it on the path under test:
+//
+//	if err := fpSetRoot.Hit(); err != nil {
+//		return err
+//	}
+//
+// A disarmed site — the only state production ever sees — costs one
+// atomic load per hit and allocates nothing. Tests arm a site with an
+// injector:
+//
+//	defer faultpoint.Arm("dtdmap/set-root", faultpoint.Error(errBoom))()
+//
+// and the next Hit runs the injector, which may return an error or panic
+// (sites on paths without an error return escalate an injected error to
+// a panic themselves, exercising the caller's panic containment).
+//
+// The sgmldbvet `faultpoint` analyzer keeps the discipline honest: in
+// non-test code only package-level New declarations and Hit calls are
+// allowed, so injection sites stay enumerable and the arming machinery
+// stays test-only.
+package faultpoint
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Point is one named injection site. The zero value is not usable;
+// declare points with New.
+type Point struct {
+	name  string
+	armed atomic.Bool
+	mu    sync.Mutex
+	fire  func() error
+}
+
+// registry holds every declared point, keyed by name, so tests can
+// enumerate the sites (Names) and arm them by name (Arm).
+var registry = struct {
+	mu     sync.Mutex
+	points map[string]*Point
+}{points: map[string]*Point{}}
+
+// New declares an injection site. Names are unique across the process;
+// declaring the same name twice is a programmer error caught at init
+// time. Call New only from package-level var declarations so the set of
+// sites is static and enumerable.
+func New(name string) *Point {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.points[name]; dup {
+		//lint:allow panic duplicate faultpoint names are an init-time programmer error
+		panic(fmt.Sprintf("faultpoint: duplicate point %q", name))
+	}
+	p := &Point{name: name}
+	registry.points[name] = p
+	return p
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Hit fires the site: nil unless a test armed it, in which case the
+// injector decides — return an error, panic, or (for probabilistic or
+// nth-hit injectors) pass. The disarmed fast path is a single atomic
+// load.
+func (p *Point) Hit() error {
+	if !p.armed.Load() {
+		return nil
+	}
+	p.mu.Lock()
+	fire := p.fire
+	p.mu.Unlock()
+	if fire == nil {
+		return nil
+	}
+	return fire()
+}
+
+// arm installs an injector on the point, returning a disarm func.
+func (p *Point) arm(fire func() error) func() {
+	p.mu.Lock()
+	p.fire = fire
+	p.mu.Unlock()
+	p.armed.Store(fire != nil)
+	return func() { p.arm(nil) }
+}
+
+// Arm installs an injector on the named point and returns the disarm
+// func; the usual pattern is
+//
+//	defer faultpoint.Arm("text/index-add", faultpoint.Error(errBoom))()
+//
+// Arm on an undeclared name panics: a chaos test naming a site that no
+// longer exists should fail loudly, not silently inject nothing.
+func Arm(name string, fire func() error) func() {
+	registry.mu.Lock()
+	p, ok := registry.points[name]
+	registry.mu.Unlock()
+	if !ok {
+		//lint:allow panic arming an undeclared site is a test programming error
+		panic(fmt.Sprintf("faultpoint: no point named %q (declared: %v)", name, Names()))
+	}
+	return p.arm(fire)
+}
+
+// DisarmAll disarms every point (test hygiene between chaos cases).
+func DisarmAll() {
+	registry.mu.Lock()
+	points := make([]*Point, 0, len(registry.points))
+	for _, p := range registry.points {
+		points = append(points, p)
+	}
+	registry.mu.Unlock()
+	for _, p := range points {
+		p.arm(nil)
+	}
+}
+
+// Names lists every declared site, sorted — the chaos suite iterates
+// this so a new injection site cannot be added without test coverage.
+func Names() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]string, 0, len(registry.points))
+	for n := range registry.points {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Error returns an injector that fails every hit with err.
+func Error(err error) func() error {
+	return func() error { return err }
+}
+
+// Panic returns an injector that panics with v on every hit — the
+// injection mode for sites on paths without an error return, and for
+// exercising panic containment.
+func Panic(v any) func() error {
+	return func() error {
+		//lint:allow panic panic injection is this injector's entire purpose
+		panic(v)
+	}
+}
+
+// After wraps an injector to pass for the first n hits and fire from
+// hit n+1 on: faults that strike mid-operation rather than at the first
+// opportunity. Safe for concurrent hits.
+func After(n int64, fire func() error) func() error {
+	var hits atomic.Int64
+	return func() error {
+		if hits.Add(1) <= n {
+			return nil
+		}
+		return fire()
+	}
+}
+
+// Once wraps an injector to fire on exactly the first hit and pass
+// afterwards: a transient fault the caller should not see twice.
+func Once(fire func() error) func() error {
+	var done atomic.Bool
+	return func() error {
+		if done.Swap(true) {
+			return nil
+		}
+		return fire()
+	}
+}

@@ -1,0 +1,120 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	p := New("test/disarmed")
+	for i := 0; i < 3; i++ {
+		if err := p.Hit(); err != nil {
+			t.Fatalf("disarmed Hit: %v", err)
+		}
+	}
+}
+
+func TestArmDisarmRoundTrip(t *testing.T) {
+	p := New("test/arm")
+	boom := errors.New("boom")
+	disarm := Arm("test/arm", Error(boom))
+	if err := p.Hit(); !errors.Is(err, boom) {
+		t.Fatalf("armed Hit = %v, want boom", err)
+	}
+	disarm()
+	if err := p.Hit(); err != nil {
+		t.Fatalf("Hit after disarm: %v", err)
+	}
+}
+
+func TestAfterAndOnce(t *testing.T) {
+	boom := errors.New("boom")
+	fire := After(2, Error(boom))
+	for i := 0; i < 2; i++ {
+		if err := fire(); err != nil {
+			t.Fatalf("After hit %d: %v", i, err)
+		}
+	}
+	if err := fire(); !errors.Is(err, boom) {
+		t.Fatalf("After hit 3 = %v, want boom", err)
+	}
+
+	once := Once(Error(boom))
+	if err := once(); !errors.Is(err, boom) {
+		t.Fatalf("Once first hit = %v, want boom", err)
+	}
+	if err := once(); err != nil {
+		t.Fatalf("Once second hit = %v, want nil", err)
+	}
+}
+
+func TestPanicInjector(t *testing.T) {
+	p := New("test/panic")
+	defer Arm("test/panic", Panic("injected"))()
+	defer func() {
+		if r := recover(); r != "injected" {
+			t.Fatalf("recover = %v, want injected", r)
+		}
+	}()
+	_ = p.Hit()
+	t.Fatal("Hit with panic injector returned")
+}
+
+func TestNamesEnumerates(t *testing.T) {
+	New("test/names")
+	found := false
+	for _, n := range Names() {
+		if n == "test/names" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v, missing test/names", Names())
+	}
+}
+
+func TestArmUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Arm on undeclared name did not panic")
+		}
+	}()
+	Arm("test/no-such-point", Error(errors.New("x")))
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	New("test/dup")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate New did not panic")
+		}
+	}()
+	New("test/dup")
+}
+
+// TestConcurrentHitAndArm races hits against arm/disarm cycles; run
+// under -race this validates the locking.
+func TestConcurrentHitAndArm(t *testing.T) {
+	p := New("test/race")
+	boom := errors.New("boom")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if err := p.Hit(); err != nil && !errors.Is(err, boom) {
+					t.Errorf("Hit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		disarm := Arm("test/race", Error(boom))
+		disarm()
+	}
+	wg.Wait()
+	DisarmAll()
+}

@@ -10,10 +10,15 @@ import (
 
 	"sgmldb/internal/algebra"
 	"sgmldb/internal/calculus"
+	"sgmldb/internal/faultpoint"
 	"sgmldb/internal/object"
 	"sgmldb/internal/store"
 	"sgmldb/internal/text"
 )
+
+// fpRecompile lets chaos tests fail a plan (re)compilation — the
+// cache-miss path a schema change forces every cached plan through.
+var fpRecompile = faultpoint.New("oql/plan-recompile")
 
 // State is one published (instance, text index) pair: the consistent
 // snapshot a query pins at entry. The facade publishes a new State after
@@ -58,6 +63,12 @@ type Engine struct {
 	// long-lived serving process sees unbounded query-text churn; the
 	// cache keeps the hot plans and evicts the least recently used.
 	PlanCacheSize int
+	// Budget bounds each query's run-time cost (rows scanned, estimated
+	// bytes materialised, wall-clock duration); the zero value is
+	// unlimited. Every execution gets its own meter, so one query
+	// exhausting its budget fails with calculus.ErrBudgetExceeded
+	// without touching other in-flight queries.
+	Budget calculus.Budget
 
 	// mu guards the plan cache; queries from many goroutines share it.
 	mu sync.RWMutex
@@ -127,6 +138,16 @@ func schemaVersionOf(env *calculus.Env) uint64 {
 	return env.Inst.Schema().Version()
 }
 
+// budgetEnv derives the per-execution environment carrying a fresh cost
+// meter when the engine has a budget; with no budget the environment is
+// returned as is (nil meter, no-op charges).
+func (e *Engine) budgetEnv(env *calculus.Env) *calculus.Env {
+	if m := calculus.NewMeter(e.Budget); m != nil {
+		return env.WithMeter(m)
+	}
+	return env
+}
+
 // workers resolves the Workers setting to a concrete pool size.
 func (e *Engine) workers() int {
 	if e.Workers == 0 {
@@ -158,6 +179,7 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (object.Value, er
 		return nil, err
 	}
 	env, ix := e.pin()
+	env = e.budgetEnv(env)
 	ast, err := e.parseCheck(env, src)
 	if err != nil {
 		return nil, err
@@ -195,6 +217,7 @@ func (e *Engine) RowsContext(ctx context.Context, src string) (*calculus.Result,
 		return nil, err
 	}
 	env, ix := e.pin()
+	env = e.budgetEnv(env)
 	ast, err := e.parseCheck(env, src)
 	if err != nil {
 		return nil, err
@@ -286,6 +309,9 @@ func (e *Engine) cachedPlan(env *calculus.Env, ix *text.Index, src string, ast E
 	version := schemaVersionOf(env)
 	if plan, ok := e.lookupPlan(src, version); ok {
 		return plan, nil
+	}
+	if err := fpRecompile.Hit(); err != nil {
+		return nil, err
 	}
 	q, err := Lower(ast, rootNamesOf(env))
 	if err != nil {
@@ -429,6 +455,9 @@ func (p *Prepared) recompile(env *calculus.Env, ix *text.Index, version uint64) 
 	if p.lowered != nil && p.version == version && (p.plan != nil) == e.UseAlgebra {
 		return p.lowered, p.plan, nil
 	}
+	if err := fpRecompile.Hit(); err != nil {
+		return nil, nil, err
+	}
 	q, err := Lower(p.ast, rootNamesOf(env))
 	if err != nil {
 		return nil, nil, err
@@ -455,7 +484,7 @@ func (p *Prepared) Run(ctx context.Context) (object.Value, error) {
 	}
 	if p.bare {
 		env, _ := p.engine.pin()
-		return p.engine.value(ctx, env, p.ast)
+		return p.engine.value(ctx, p.engine.budgetEnv(env), p.ast)
 	}
 	res, err := p.rows(ctx)
 	if err != nil {
@@ -479,6 +508,7 @@ func (p *Prepared) Rows(ctx context.Context) (*calculus.Result, error) {
 func (p *Prepared) rows(ctx context.Context) (*calculus.Result, error) {
 	e := p.engine
 	env, ix := e.pin()
+	env = e.budgetEnv(env)
 	version := schemaVersionOf(env)
 	p.mu.RLock()
 	q, plan := p.lowered, p.plan

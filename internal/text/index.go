@@ -3,6 +3,19 @@ package text
 import (
 	"sort"
 	"sync"
+
+	"sgmldb/internal/faultpoint"
+)
+
+// Fault-injection sites on the index-rebuild path the facade runs after
+// staging a load. Clone and Add return no error, so an injected failure
+// escalates to a panic — deliberately: these sites exist to prove that a
+// panic between "documents staged" and "snapshot published" is contained
+// at the facade boundary and rolled back, not that an error is politely
+// forwarded.
+var (
+	fpClone = faultpoint.New("text/index-clone")
+	fpAdd   = faultpoint.New("text/index-add")
 )
 
 // DocID identifies an indexed document (the caller typically uses object
@@ -66,6 +79,10 @@ func NewIndex() *Index {
 // clones, Adds the new documents, and atomically publishes the clone,
 // while readers pinned to the original keep a stable view.
 func (ix *Index) Clone() *Index {
+	if err := fpClone.Hit(); err != nil {
+		//lint:allow panic injected faults escalate to panics here (no error return); contained at the facade boundary
+		panic(err)
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	c := &Index{
@@ -97,6 +114,10 @@ func (ix *Index) Clone() *Index {
 // stay ascending and phrase/near evaluation (which binary-searches
 // position lists) stays correct across re-indexing.
 func (ix *Index) Add(doc DocID, text string) {
+	if err := fpAdd.Hit(); err != nil {
+		//lint:allow panic injected faults escalate to panics here (no error return); contained at the facade boundary
+		panic(err)
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ix.docs[doc] {

@@ -1,5 +1,7 @@
 package sgmldb
 
+import "time"
+
 // Option configures a Database at open time:
 //
 //	db, err := sgmldb.OpenDTD(src, sgmldb.WithAlgebra(true), sgmldb.WithWorkers(8))
@@ -33,4 +35,50 @@ func WithSkipTypecheck(on bool) Option {
 // n goroutines per query. Results are identical at any setting.
 func WithWorkers(n int) Option {
 	return func(db *Database) { db.Engine.Workers = n }
+}
+
+// WithMaxConcurrentQueries admits at most n queries at a time (across
+// Query, QueryContext, QueryRows and prepared Run/Rows); excess callers
+// queue until a slot frees, their context is done, or WithQueueTimeout
+// elapses — the latter two shed the query with ctx.Err() or
+// ErrOverloaded respectively. n <= 0 (the default) admits everything.
+func WithMaxConcurrentQueries(n int) Option {
+	return func(db *Database) {
+		if n > 0 {
+			db.gate = make(chan struct{}, n)
+		}
+	}
+}
+
+// WithQueueTimeout bounds how long an excess query (see
+// WithMaxConcurrentQueries) waits for an admission slot before being
+// shed with ErrOverloaded. Zero (the default) queues until a slot frees
+// or the query's context is done.
+func WithQueueTimeout(d time.Duration) Option {
+	return func(db *Database) { db.queueTimeout = d }
+}
+
+// WithMaxRows bounds the rows a single query may scan or materialise
+// (measured at the evaluator's strided polls and at expansion points). A
+// query over budget fails with ErrBudgetExceeded; others are unaffected.
+// Zero (the default) is unlimited.
+func WithMaxRows(n int64) Option {
+	return func(db *Database) { db.Engine.Budget.MaxRows = n }
+}
+
+// WithMaxMemory bounds the estimated bytes a single query may
+// materialise (valuations are costed by arity, not measured
+// allocations). A query over budget fails with ErrBudgetExceeded. Zero
+// (the default) is unlimited.
+func WithMaxMemory(bytes int64) Option {
+	return func(db *Database) { db.Engine.Budget.MaxMem = bytes }
+}
+
+// WithQueryTimeout bounds each query's wall-clock evaluation time,
+// enforced at the same strided polls as cancellation; an expired query
+// fails with ErrBudgetExceeded. Unlike a context deadline it needs no
+// caller cooperation, so it also covers Query and QueryRows. Zero (the
+// default) is unlimited.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(db *Database) { db.Engine.Budget.MaxDuration = d }
 }

@@ -36,6 +36,20 @@
 // synchronisation. Query evaluation itself can additionally use multiple
 // goroutines per query (see WithWorkers) and is cancellable through
 // QueryContext.
+//
+// # Robustness
+//
+// A Database governs its resources and contains its failures.
+// WithMaxConcurrentQueries admits a bounded number of queries and sheds
+// the excess with ErrOverloaded after WithQueueTimeout. WithMaxRows,
+// WithMaxMemory and WithQueryTimeout bound what one admitted query may
+// cost; a query over budget fails alone with ErrBudgetExceeded. A panic
+// during evaluation is contained at the API boundary as ErrInternal, and
+// a failure (or panic) anywhere in a load is rolled back before anything
+// is published — so under misbehaving queries and failing loads alike,
+// the database keeps answering from its last good snapshot. DESIGN.md §7
+// describes the model; the chaos tests (make chaos) exercise it through
+// injected faults.
 package sgmldb
 
 import (
@@ -43,6 +57,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"sgmldb/internal/calculus"
 	"sgmldb/internal/dtdmap"
@@ -63,6 +78,52 @@ type Database struct {
 	// loadMu serialises writers (loads and root naming). Readers never
 	// take it: they pin the engine's published snapshot instead.
 	loadMu sync.Mutex
+
+	// gate is the admission-control semaphore (nil = unlimited): a query
+	// holds one slot for its whole evaluation, excess queries queue on the
+	// channel and are shed with ErrOverloaded after queueTimeout. See
+	// WithMaxConcurrentQueries.
+	gate         chan struct{}
+	queueTimeout time.Duration
+}
+
+// acquire admits one query, blocking while WithMaxConcurrentQueries
+// queries are in flight. The returned release frees the slot; it must be
+// called exactly once. With no gate configured both are no-ops.
+func (db *Database) acquire(ctx context.Context) (release func(), err error) {
+	if db.gate == nil {
+		return func() {}, nil
+	}
+	select {
+	case db.gate <- struct{}{}:
+		return func() { <-db.gate }, nil
+	default:
+	}
+	var timeout <-chan time.Time
+	if db.queueTimeout > 0 {
+		t := time.NewTimer(db.queueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case db.gate <- struct{}{}:
+		return func() { <-db.gate }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timeout:
+		return nil, fmt.Errorf("%w: %d queries in flight, queued %v", ErrOverloaded, cap(db.gate), db.queueTimeout)
+	}
+}
+
+// rescue converts a panic that unwound to the API boundary into an
+// ErrInternal-wrapped error carrying the panic value and stack. The
+// published snapshot is immutable, so a contained panic cannot have
+// corrupted it: the database keeps serving. (Worker goroutines of a
+// parallel plan do their own conversion; rescue covers the serial path.)
+func rescue(err *error) {
+	if r := recover(); r != nil {
+		*err = calculus.Internal(r)
+	}
 }
 
 // OpenDTD compiles a DTD (Section 3) and opens an empty database for its
@@ -128,8 +189,15 @@ func (db *Database) LoadDocument(src string) (object.OID, error) {
 // every document becomes visible — in one snapshot publication, one
 // copy-on-write layer and one index version — or none does. Batching
 // amortises the per-publication cost (root update, index clone, pointer
-// swap) over the whole batch.
-func (db *Database) LoadDocuments(srcs []string) ([]object.OID, error) {
+// swap) over the whole batch. An empty (or nil) batch is a no-op: it
+// returns (nil, nil) without taking the writer lock or publishing.
+//
+// Failures anywhere on the staging path — a document that fails
+// validation or loading, and even a panic while rebuilding the text
+// index — roll the loader back to the pre-load state (panics surface as
+// ErrInternal); the published snapshot was never touched, so concurrent
+// queries are unaffected either way.
+func (db *Database) LoadDocuments(srcs []string) (oids []object.OID, err error) {
 	if db.Loader == nil {
 		return nil, ErrReadOnly
 	}
@@ -148,7 +216,22 @@ func (db *Database) LoadDocuments(srcs []string) ([]object.OID, error) {
 	}
 	db.loadMu.Lock()
 	defer db.loadMu.Unlock()
-	oids, err := db.Loader.LoadAll(docs)
+	// After a successful LoadAll the loader already sits on the staged
+	// layer; a failure between that point and Publish (the index rebuild
+	// can panic) must swing it back, or the "failed" batch would leak into
+	// the next successful load. The mark captures the pre-load state, and
+	// the rollback runs under loadMu, so no other writer sees the window.
+	mark := db.Loader.Mark()
+	defer func() {
+		if r := recover(); r != nil {
+			err = calculus.Internal(r)
+		}
+		if err != nil {
+			db.Loader.Restore(mark)
+			oids = nil
+		}
+	}()
+	oids, err = db.Loader.LoadAll(docs)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +249,8 @@ func (db *Database) LoadDocuments(srcs []string) ([]object.OID, error) {
 // unassigned oid. Like a load, the change is staged on a copy-on-write
 // layer (with a cloned schema when the root is new, so pinned readers
 // keep a stable view of G) and published atomically.
-func (db *Database) Name(name string, oid object.OID) error {
+func (db *Database) Name(name string, oid object.OID) (err error) {
+	defer rescue(&err)
 	db.loadMu.Lock()
 	defer db.loadMu.Unlock()
 	cur := db.state()
@@ -205,20 +289,36 @@ func (db *Database) Query(src string) (object.Value, error) {
 // QueryContext runs a query under a context: cancelling ctx makes the
 // evaluation return ctx's error promptly. Any number of QueryContext
 // calls may run concurrently, including while a load is in flight: the
-// query pins the snapshot current at its start and never blocks.
-func (db *Database) QueryContext(ctx context.Context, src string) (object.Value, error) {
+// query pins the snapshot current at its start and never blocks on
+// writers (admission control, when configured, may queue it behind other
+// queries). An evaluation panic is contained here and reported as
+// ErrInternal; the database keeps serving.
+func (db *Database) QueryContext(ctx context.Context, src string) (v object.Value, err error) {
+	release, err := db.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	defer rescue(&err)
 	return db.Engine.QueryContext(ctx, src)
 }
 
 // QueryRows runs a query and returns the raw rows with their sorted
 // bindings (paths stay paths).
-func (db *Database) QueryRows(src string) (*calculus.Result, error) {
+func (db *Database) QueryRows(src string) (res *calculus.Result, err error) {
+	release, err := db.acquire(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	defer rescue(&err)
 	return db.Engine.Rows(src)
 }
 
 // Prepare parses, typechecks and compiles a query once for repeated —
 // possibly concurrent — execution via Run or Rows.
-func (db *Database) Prepare(src string) (*PreparedQuery, error) {
+func (db *Database) Prepare(src string) (pq *PreparedQuery, err error) {
+	defer rescue(&err)
 	p, err := db.Engine.Prepare(src)
 	if err != nil {
 		return nil, err
@@ -239,13 +339,26 @@ type PreparedQuery struct {
 func (pq *PreparedQuery) Source() string { return pq.p.Source() }
 
 // Run evaluates the prepared query and returns its value, like
-// Database.QueryContext without the per-call front-end work.
-func (pq *PreparedQuery) Run(ctx context.Context) (object.Value, error) {
+// Database.QueryContext without the per-call front-end work. Executions
+// count against admission control like any other query.
+func (pq *PreparedQuery) Run(ctx context.Context) (v object.Value, err error) {
+	release, err := pq.db.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	defer rescue(&err)
 	return pq.p.Run(ctx)
 }
 
 // Rows evaluates the prepared query and returns the raw rows.
-func (pq *PreparedQuery) Rows(ctx context.Context) (*calculus.Result, error) {
+func (pq *PreparedQuery) Rows(ctx context.Context) (res *calculus.Result, err error) {
+	release, err := pq.db.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	defer rescue(&err)
 	return pq.p.Rows(ctx)
 }
 

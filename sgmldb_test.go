@@ -172,3 +172,22 @@ func TestFacadeQ4AcrossVersions(t *testing.T) {
 		t.Errorf("rows = %d", rows.Len())
 	}
 }
+
+// TestLoadDocumentsEmptyBatch asserts the empty (and nil) batch is a
+// cheap no-op: (nil, nil) back, no snapshot published, epoch unchanged.
+func TestLoadDocumentsEmptyBatch(t *testing.T) {
+	db := openArticleDB(t)
+	epoch := db.Epoch()
+	for _, batch := range [][]string{nil, {}} {
+		oids, err := db.LoadDocuments(batch)
+		if err != nil {
+			t.Fatalf("LoadDocuments(%v): %v", batch, err)
+		}
+		if oids != nil {
+			t.Errorf("LoadDocuments(%v) = %v, want nil", batch, oids)
+		}
+	}
+	if got := db.Epoch(); got != epoch {
+		t.Errorf("epoch after empty batches = %d, want %d (no publication)", got, epoch)
+	}
+}
