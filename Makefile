@@ -1,11 +1,12 @@
 # Development targets. `make ci` is the extended verify recorded in
 # ROADMAP.md: vet + sgmldbvet + build + the full test suite under the
-# race detector + the chaos (fault-injection) suite + a fuzz smoke of
-# the SGML parsers + a smoke run of every benchmark.
+# race detector + the chaos (fault-injection) suite + the crash-recovery
+# suite + a fuzz smoke of the SGML parsers and the WAL record decoder +
+# a smoke run of every benchmark.
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz chaos ci
+.PHONY: all build vet test race bench fuzz chaos crash ci
 
 all: build
 
@@ -36,6 +37,7 @@ bench:
 fuzz:
 	$(GO) test ./internal/sgml/ -run='^$$' -fuzz=FuzzParseDTD -fuzztime=5s -fuzzminimizetime=10x
 	$(GO) test ./internal/sgml/ -run='^$$' -fuzz=FuzzParseDocument -fuzztime=5s -fuzzminimizetime=10x
+	$(GO) test ./internal/wal/ -run='^$$' -fuzz=FuzzWALRecord -fuzztime=5s -fuzzminimizetime=10x
 
 # The fault-injection suite under the race detector, alone and
 # repeated: injected failures mid-load, evaluator panics, budget trips
@@ -43,11 +45,19 @@ fuzz:
 chaos:
 	$(GO) test -race -count=2 -run='TestChaos' .
 
+# The crash-recovery suite under the race detector: the durable commit
+# path is killed at every WAL seam (append, post-append, post-fsync,
+# mid-checkpoint, pre-checkpoint-rename) and the data directory must
+# recover to exactly the pre- or post-operation epoch, never a hybrid.
+crash:
+	$(GO) test -race -count=1 -run='TestCrash|TestDurable' .
+
 ci:
 	$(GO) vet ./...
 	$(GO) run ./cmd/sgmldbvet ./...
 	$(GO) build ./...
 	$(GO) test -race -shuffle=on ./...
 	$(MAKE) chaos
+	$(MAKE) crash
 	$(MAKE) fuzz
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .

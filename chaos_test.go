@@ -84,6 +84,11 @@ func TestChaosSitesEnumerated(t *testing.T) {
 		"oql/plan-recompile",
 		"text/index-add",
 		"text/index-clone",
+		"wal/append",
+		"wal/checkpoint-rename",
+		"wal/checkpoint-write",
+		"wal/post-append",
+		"wal/post-fsync",
 	}
 	if got := faultpoint.Names(); !reflect.DeepEqual(got, want) {
 		t.Errorf("faultpoint.Names() = %v, want %v", got, want)

@@ -1,0 +1,202 @@
+package sgmldb
+
+import (
+	"fmt"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/oql"
+	"sgmldb/internal/sgml"
+	"sgmldb/internal/store"
+	"sgmldb/internal/text"
+	"sgmldb/internal/wal"
+)
+
+// Durability (DESIGN.md §8). With WithDataDir, every committed load batch
+// and root naming appends one checksummed record to a write-ahead log and
+// fsyncs it *before* the atomic snapshot swap publishes the new epoch —
+// so any epoch a reader ever observed is recoverable. A checkpointer
+// (background, every WithCheckpointEvery records, or on-demand via
+// Checkpoint) serializes the published (instance, index, schema) triple
+// to a sidecar file and truncates the log prefix it covers. OpenDTD on an
+// existing directory recovers: newest valid checkpoint, then replay of
+// the log tail; a torn tail record (the crash signature) is truncated
+// silently, any other damage is ErrCorruptLog.
+
+// defaultCheckpointEvery is the auto-checkpoint cadence (in committed
+// records) when WithDataDir is set and WithCheckpointEvery is not.
+const defaultCheckpointEvery = 8
+
+// openDurable recovers (or initializes) the data directory and attaches
+// the log to the database. Called from OpenDTD before the database is
+// returned, so no queries or loads race it.
+func (db *Database) openDurable(dtdSource string) error {
+	db.dtdSource = dtdSource
+	l, ck, tail, err := wal.Open(db.dataDir)
+	if err != nil {
+		return err
+	}
+	db.walLog = l
+	if ck != nil {
+		if ck.DTD != dtdSource {
+			l.Close()
+			return fmt.Errorf("sgmldb: data directory %s holds a database for a different DTD", db.dataDir)
+		}
+		// Adopt the checkpointed version wholesale and re-anchor its epoch
+		// so the sequence continues exactly where the durable history ended.
+		inst := ck.Inst
+		inst.SetEpoch(ck.Epoch)
+		docs := make([]object.OID, len(ck.Docs))
+		for i, o := range ck.Docs {
+			docs[i] = object.OID(o)
+		}
+		db.Loader.Adopt(inst, docs)
+		db.Engine.Publish(oql.State{Snap: inst.Snapshot(), Index: ck.Index})
+	} else {
+		db.Engine.Publish(oql.State{Snap: db.Loader.Instance.Snapshot(), Index: db.Engine.Index})
+	}
+	// Replay the records the checkpoint does not cover, through the same
+	// commit path as live writes minus the append: loading is
+	// deterministic, so replay reproduces the pre-crash oids and epochs.
+	for _, rec := range tail {
+		switch rec.Kind {
+		case wal.KindSchema:
+			if rec.Schema != dtdSource {
+				l.Close()
+				return fmt.Errorf("sgmldb: data directory %s holds a database for a different DTD", db.dataDir)
+			}
+		case wal.KindLoad:
+			docs := make([]*sgml.Document, len(rec.Docs))
+			for i, src := range rec.Docs {
+				d, err := sgml.ParseDocument(db.Mapping.DTD, src)
+				if err != nil {
+					l.Close()
+					return fmt.Errorf("sgmldb: replay record %d: %w", rec.Seq, err)
+				}
+				docs[i] = d
+			}
+			if _, err := db.commitLoad(docs, rec.Docs, false); err != nil {
+				l.Close()
+				return fmt.Errorf("sgmldb: replay record %d: %w", rec.Seq, err)
+			}
+		case wal.KindName:
+			if err := db.commitName(rec.Name, object.OID(rec.OID), false); err != nil {
+				l.Close()
+				return fmt.Errorf("sgmldb: replay record %d: %w", rec.Seq, err)
+			}
+		}
+	}
+	if l.Seq() == 0 {
+		// Fresh directory: pin the DTD as the first record so a reopen can
+		// verify it is given the same schema.
+		if err := l.Append(wal.Record{Kind: wal.KindSchema, Schema: dtdSource}); err != nil {
+			l.Close()
+			return err
+		}
+	}
+	if db.checkpointEvery == 0 {
+		db.checkpointEvery = defaultCheckpointEvery
+	}
+	if db.checkpointEvery > 0 {
+		db.ckptCh = make(chan *wal.Checkpoint, 1)
+		db.ckptWG.Add(1)
+		go db.checkpointer()
+	}
+	return nil
+}
+
+// captureCheckpoint snapshots everything a checkpoint needs. Caller holds
+// loadMu, so the (seq, epoch, docs, inst, index) quintuple is consistent;
+// the instance and index are published versions and thus immutable, so
+// the checkpointer can serialize them outside the lock.
+func (db *Database) captureCheckpoint(inst *store.Instance, ix *text.Index) *wal.Checkpoint {
+	loaderDocs := db.Loader.Documents()
+	docs := make([]uint64, len(loaderDocs))
+	for i, o := range loaderDocs {
+		docs[i] = uint64(o)
+	}
+	return &wal.Checkpoint{
+		Seq:   db.walLog.Seq(),
+		Epoch: inst.Epoch(),
+		DTD:   db.dtdSource,
+		Docs:  docs,
+		Inst:  inst,
+		Index: ix,
+	}
+}
+
+// maybeCheckpoint hands the just-published version to the background
+// checkpointer once enough records have accumulated. Caller holds loadMu.
+// The send never blocks: if the checkpointer is still busy with the
+// previous version, this one is skipped and the counter keeps growing, so
+// the next commit offers again.
+func (db *Database) maybeCheckpoint(inst *store.Instance, ix *text.Index) {
+	if db.ckptCh == nil || db.walClosed {
+		return
+	}
+	db.recordsSinceCkpt++
+	if db.recordsSinceCkpt < db.checkpointEvery {
+		return
+	}
+	select {
+	case db.ckptCh <- db.captureCheckpoint(inst, ix):
+		db.recordsSinceCkpt = 0
+	default:
+	}
+}
+
+// checkpointer is the background goroutine that makes offered versions
+// durable and drops the log prefix they cover. A failed write only means
+// the log keeps more history; the next offer retries from scratch.
+func (db *Database) checkpointer() {
+	defer db.ckptWG.Done()
+	for ck := range db.ckptCh {
+		db.writeCheckpoint(ck)
+	}
+}
+
+// writeCheckpoint serializes one checkpoint and truncates the covered log
+// prefix. ckptMu keeps on-demand and background checkpoints from
+// interleaving their temp-file/rename/truncate sequences.
+func (db *Database) writeCheckpoint(ck *wal.Checkpoint) error {
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	if err := wal.WriteCheckpoint(db.dataDir, ck); err != nil {
+		return err
+	}
+	return db.walLog.TruncatePrefix(ck.Seq)
+}
+
+// Checkpoint forces a checkpoint of the currently published version and
+// truncates the log prefix it covers, synchronously. On a database
+// without a data directory it is a no-op. Useful before a planned
+// shutdown to make the next open's recovery O(1) in loaded documents.
+func (db *Database) Checkpoint() error {
+	if db.walLog == nil {
+		return nil
+	}
+	db.loadMu.Lock()
+	st := db.state()
+	ck := db.captureCheckpoint(st.Snap.Inst, st.Index)
+	db.recordsSinceCkpt = 0
+	db.loadMu.Unlock()
+	return db.writeCheckpoint(ck)
+}
+
+// Close releases the durability machinery: it stops the background
+// checkpointer and closes the log file. The in-memory database keeps
+// answering queries, but further loads and namings fail. On a database
+// without a data directory it is a no-op. Close is idempotent.
+func (db *Database) Close() error {
+	db.loadMu.Lock()
+	if db.walLog == nil || db.walClosed {
+		db.loadMu.Unlock()
+		return nil
+	}
+	db.walClosed = true
+	db.loadMu.Unlock()
+	if db.ckptCh != nil {
+		close(db.ckptCh)
+	}
+	db.ckptWG.Wait()
+	return db.walLog.Close()
+}

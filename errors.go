@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"sgmldb/internal/calculus"
+	"sgmldb/internal/wal"
 )
 
 // Sentinel errors returned (wrapped) by the Database API; test with
@@ -40,4 +41,12 @@ var (
 	// to an error wrapping this sentinel together with the panic value and
 	// stack, and the database keeps serving from its published snapshot.
 	ErrInternal = calculus.ErrInternal
+
+	// ErrCorruptLog is returned by OpenDTD(..., WithDataDir(dir)) when the
+	// write-ahead log in dir is damaged somewhere other than its tail. A
+	// torn tail record is the normal signature of a crash and is truncated
+	// silently during recovery; corruption before the tail means durable
+	// history was lost, which recovery refuses to guess around. It aliases
+	// the internal sentinel so errors.Is works across layers.
+	ErrCorruptLog = wal.ErrCorruptLog
 )

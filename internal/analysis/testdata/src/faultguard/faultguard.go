@@ -39,3 +39,38 @@ func resetEverything() {
 	//lint:allow faultpoint fixture demonstrates suppression
 	faultpoint.DisarmAll()
 }
+
+// The commit-path shape used by the write-ahead log: several seam sites
+// declared in one grouped var, probed in order along a single function.
+var (
+	fpSeamAppend = faultpoint.New("guard/wal-append")
+	fpSeamSync   = faultpoint.New("guard/wal-post-fsync")
+	fpSeamRename = faultpoint.New("guard/wal-checkpoint-rename")
+)
+
+// commitBatch hits every seam on the way through, like Log.Append and
+// WriteCheckpoint do. All sanctioned.
+func commitBatch() error {
+	if err := fpSeamAppend.Hit(); err != nil {
+		return err
+	}
+	if err := fpSeamSync.Hit(); err != nil {
+		return err
+	}
+	return fpSeamRename.Hit()
+}
+
+// armCrashSeam wires a crash simulation into production code — the
+// injector constructors are as test-only as Arm itself.
+func armCrashSeam() {
+	inject := faultpoint.Error(nil)          // want "faultpoint.Error is test-only"
+	fire := faultpoint.Once(inject)          // want "faultpoint.Once is test-only"
+	_ = faultpoint.After(2, fire)            // want "faultpoint.After is test-only"
+	faultpoint.Arm("guard/wal-append", fire) // want "faultpoint.Arm is test-only"
+}
+
+// enumerateSeams inspects the registry, which only the chaos suite's
+// site-enumeration test should do.
+func enumerateSeams() []string {
+	return faultpoint.Names() // want "faultpoint.Names is test-only"
+}

@@ -19,5 +19,14 @@ func Arm(name string, fire func() error) func() { return func() {} }
 // Error returns an always-failing injector.
 func Error(err error) func() error { return func() error { return err } }
 
+// Once wraps an injector to fire a single time.
+func Once(fire func() error) func() error { return fire }
+
+// After wraps an injector to fire from the nth hit on.
+func After(n int, fire func() error) func() error { return fire }
+
 // DisarmAll disarms every site.
 func DisarmAll() {}
+
+// Names enumerates the declared sites.
+func Names() []string { return nil }

@@ -78,12 +78,21 @@ func (l *Loader) LoadAll(docs []*sgml.Document) ([]object.OID, error) {
 	published := l.Instance
 	nDocs := len(l.docs)
 	l.Instance = published.Begin()
+	// rollback restores the pre-batch state and eagerly discards the
+	// abandoned staged layer — without the Discard, the dead layer (and
+	// every half-built object in it) would stay reachable until the next
+	// successful load replaced l.Instance.
+	rollback := func() {
+		staged := l.Instance
+		l.Instance = published
+		l.docs = l.docs[:nDocs]
+		staged.Discard()
+	}
 	out := make([]object.OID, 0, len(docs))
 	for _, doc := range docs {
 		oid, err := l.loadOne(doc)
 		if err != nil {
-			l.Instance = published
-			l.docs = l.docs[:nDocs]
+			rollback()
 			return nil, err
 		}
 		out = append(out, oid)
@@ -93,13 +102,11 @@ func (l *Loader) LoadAll(docs []*sgml.Document) ([]object.OID, error) {
 		vals[i] = d
 	}
 	if err := fpSetRoot.Hit(); err != nil {
-		l.Instance = published
-		l.docs = l.docs[:nDocs]
+		rollback()
 		return nil, err
 	}
 	if err := l.Instance.SetRoot(l.Mapping.RootName, object.NewList(vals...)); err != nil {
-		l.Instance = published
-		l.docs = l.docs[:nDocs]
+		rollback()
 		return nil, err
 	}
 	return out, nil
@@ -142,11 +149,25 @@ func (l *Loader) Mark() Mark {
 }
 
 // Restore abandons everything loaded since the mark was taken: the
-// staged copy-on-write layer is discarded and the document list
-// truncated, leaving the loader exactly as Mark saw it.
+// staged copy-on-write layer is dropped — and eagerly discarded, so the
+// abandoned layer's maps become garbage now rather than at the next
+// successful load — and the document list truncated, leaving the loader
+// exactly as Mark saw it. If the loader already rolled itself back (a
+// failed LoadAll), Restore is a no-op on the instance.
 func (l *Loader) Restore(m Mark) {
-	l.Instance = m.inst
+	if staged := l.Instance; staged != m.inst {
+		l.Instance = m.inst
+		staged.Discard()
+	}
 	l.docs = l.docs[:m.nDocs]
+}
+
+// Adopt swings the loader onto a recovered instance and document list —
+// the checkpoint-recovery path, where the instance comes from a
+// serialized snapshot rather than a chain of loads.
+func (l *Loader) Adopt(inst *store.Instance, docs []object.OID) {
+	l.Instance = inst
+	l.docs = append(l.docs[:0], docs...)
 }
 
 // Documents returns the oids of the loaded document objects, in load

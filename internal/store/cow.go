@@ -103,6 +103,25 @@ func (in *Instance) flatten() *Instance {
 // (0 for a flat instance); exposed for tests and diagnostics.
 func (in *Instance) Depth() int { return in.depth }
 
+// SetEpoch re-anchors the instance's version number. Recovery uses it: an
+// instance deserialized from a checkpoint starts at epoch 0, but the
+// epochs it publishes must continue the pre-crash sequence so that the
+// recovered database reports exactly the epoch that was durable.
+func (in *Instance) SetEpoch(e uint64) { in.epoch = e }
+
+// Discard releases a staged layer that will never be published: it drops
+// the layer's maps and its reference to the base chain so an abandoned
+// load's staging becomes garbage immediately rather than living until the
+// *Instance itself is collected. The instance is unusable afterwards.
+func (in *Instance) Discard() {
+	in.base = nil
+	in.class = nil
+	in.extent = nil
+	in.values = nil
+	in.roots = nil
+	in.method = nil
+}
+
 // AdoptSchema swaps the instance's schema pointer. It is meant for staged
 // layers only (between Begin and publish): declaring a new persistence
 // root at run time must not mutate the schema that older pinned versions

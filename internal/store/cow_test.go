@@ -246,3 +246,42 @@ func TestCOWSaveRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestDiscardReleasesLayer pins the eager-release contract: Discard drops
+// the staged layer's maps and its base reference, so an abandoned load's
+// staging is garbage immediately — not retained until the next successful
+// load happens to replace the pointer.
+func TestDiscardReleasesLayer(t *testing.T) {
+	in := NewInstance(cowSchema(t))
+	staged := in.Begin()
+	newDoc(t, staged, 1)
+	staged.Discard()
+	if staged.base != nil {
+		t.Error("Discard kept the base reference")
+	}
+	if staged.class != nil || staged.values != nil || staged.extent != nil || staged.roots != nil || staged.method != nil {
+		t.Error("Discard kept staged maps alive")
+	}
+	// The base is untouched and stageable again.
+	if in.NumObjects() != 0 {
+		t.Errorf("base NumObjects = %d after discard", in.NumObjects())
+	}
+	again := in.Begin()
+	newDoc(t, again, 2)
+	if again.NumObjects() != 1 {
+		t.Errorf("restaged NumObjects = %d", again.NumObjects())
+	}
+}
+
+// TestSetEpoch pins the recovery re-anchoring hook: a deserialized
+// instance continues the pre-crash epoch sequence.
+func TestSetEpoch(t *testing.T) {
+	in := NewInstance(cowSchema(t))
+	in.SetEpoch(41)
+	if in.Epoch() != 41 {
+		t.Fatalf("Epoch = %d, want 41", in.Epoch())
+	}
+	if got := in.Begin().Epoch(); got != 42 {
+		t.Errorf("Begin after SetEpoch: epoch = %d, want 42", got)
+	}
+}

@@ -1,0 +1,315 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sgmldb/internal/faultpoint"
+	"sgmldb/internal/store"
+	"sgmldb/internal/text"
+)
+
+// A checkpoint is a full serialization of one published database version:
+// everything recovery needs so the log prefix up to the checkpoint's
+// sequence number can be dropped. It is written to a temp file and
+// renamed into place, so a crash mid-checkpoint leaves at worst a stray
+// temp file that recovery ignores.
+
+const checkpointMagic = "sgmldb-checkpoint 1"
+
+var (
+	fpCkptWrite  = faultpoint.New("wal/checkpoint-write")  // mid-checkpoint, temp file partially written
+	fpCkptRename = faultpoint.New("wal/checkpoint-rename") // temp file durable, not yet renamed
+)
+
+// Checkpoint carries one published version across the serialization
+// boundary: the instance and index pointers are the immutable published
+// versions (never mutated after publish), so the checkpointer can encode
+// them concurrently with new staged writes.
+type Checkpoint struct {
+	Seq   uint64 // last log sequence number the checkpoint covers
+	Epoch uint64 // published epoch at capture
+	DTD   string // the DTD the database was opened with
+	Docs  []uint64
+	Inst  *store.Instance
+	Index *text.Index
+}
+
+func checkpointName(seq uint64) string {
+	return fmt.Sprintf("checkpoint-%020d", seq)
+}
+
+// parseCheckpointName extracts the sequence number, or ok=false for
+// files that are not checkpoints (the log, temp files, strays).
+func parseCheckpointName(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, "checkpoint-")
+	if !ok || strings.Contains(rest, ".") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// WriteCheckpoint serializes ck into dir under its sequence-numbered
+// name, durably (temp file, fsync, rename, directory fsync), then prunes
+// older checkpoint files. It does not truncate the log — the caller does
+// that after this returns, so a crash between the two leaves a log whose
+// replayed prefix the checkpoint already covers (replay skips by seq).
+func WriteCheckpoint(dir string, ck *Checkpoint) error {
+	tmp, err := os.CreateTemp(dir, "checkpoint.tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	w := bufio.NewWriter(tmp)
+	if _, err := fmt.Fprintf(w, "%s\nseq %d\nepoch %d\ndtd %d\n%s\n", checkpointMagic, ck.Seq, ck.Epoch, len(ck.DTD), ck.DTD); err != nil {
+		cleanup()
+		return err
+	}
+	if err := fpCkptWrite.Hit(); err != nil {
+		// Flush what we have so a crash copied at this seam sees a
+		// genuinely partial checkpoint file.
+		w.Flush()
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if _, err := fmt.Fprintf(w, "docs %d\n", len(ck.Docs)); err != nil {
+		cleanup()
+		return err
+	}
+	for _, o := range ck.Docs {
+		if _, err := fmt.Fprintf(w, "o %d\n", o); err != nil {
+			cleanup()
+			return err
+		}
+	}
+	if err := store.Save(w, ck.Inst); err != nil {
+		cleanup()
+		return err
+	}
+	if err := ck.Index.Encode(w); err != nil {
+		cleanup()
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "end"); err != nil {
+		cleanup()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := fpCkptRename.Hit(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	final := filepath.Join(dir, checkpointName(ck.Seq))
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	pruneCheckpoints(dir, ck.Seq)
+	return nil
+}
+
+// pruneCheckpoints removes checkpoint files older than keepSeq and any
+// leftover temp files. Best-effort: a failure here only wastes disk.
+func pruneCheckpoints(dir string, keepSeq uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "checkpoint.tmp-") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if seq, ok := parseCheckpointName(name); ok && seq < keepSeq {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// newestCheckpoint finds and decodes the newest valid checkpoint in dir.
+// An unreadable or truncated checkpoint file (a crash can leave one only
+// via a torn rename, which modern filesystems don't produce, but be
+// lenient) is skipped in favour of an older one. Returns nil if none.
+func newestCheckpoint(dir string) (*Checkpoint, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseCheckpointName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, seq := range seqs {
+		ck, err := readCheckpoint(filepath.Join(dir, checkpointName(seq)))
+		if err == nil {
+			return ck, nil
+		}
+	}
+	return nil, nil
+}
+
+// readCheckpoint decodes one checkpoint file.
+func readCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	line, err := readCkptLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if line != checkpointMagic {
+		return nil, fmt.Errorf("wal: not a checkpoint file (got %q)", line)
+	}
+	ck := &Checkpoint{}
+	if ck.Seq, err = ckptUintLine(r, "seq"); err != nil {
+		return nil, err
+	}
+	if ck.Epoch, err = ckptUintLine(r, "epoch"); err != nil {
+		return nil, err
+	}
+	dtdLen, err := ckptUintLine(r, "dtd")
+	if err != nil {
+		return nil, err
+	}
+	if dtdLen > maxRecordSize {
+		return nil, fmt.Errorf("wal: checkpoint dtd length %d too large", dtdLen)
+	}
+	dtd := make([]byte, dtdLen)
+	if _, err := io.ReadFull(r, dtd); err != nil {
+		return nil, err
+	}
+	ck.DTD = string(dtd)
+	if b, err := r.ReadByte(); err != nil || b != '\n' {
+		return nil, fmt.Errorf("wal: checkpoint dtd not newline-terminated")
+	}
+	nDocs, err := ckptUintLine(r, "docs")
+	if err != nil {
+		return nil, err
+	}
+	if nDocs > maxRecordSize {
+		return nil, fmt.Errorf("wal: checkpoint claims %d docs", nDocs)
+	}
+	ck.Docs = make([]uint64, 0, nDocs)
+	for i := uint64(0); i < nDocs; i++ {
+		o, err := ckptUintLine(r, "o")
+		if err != nil {
+			return nil, err
+		}
+		ck.Docs = append(ck.Docs, o)
+	}
+	// store.Load wraps its reader in bufio.NewReader, which hands back an
+	// existing *bufio.Reader unchanged — so it consumes exactly its
+	// section and leaves r positioned at the index section.
+	if ck.Inst, err = store.Load(r); err != nil {
+		return nil, fmt.Errorf("wal: checkpoint instance: %w", err)
+	}
+	if ck.Index, err = text.DecodeIndex(r); err != nil {
+		return nil, fmt.Errorf("wal: checkpoint index: %w", err)
+	}
+	line, err = readCkptLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if line != "end" {
+		return nil, fmt.Errorf("wal: checkpoint missing end (got %q)", line)
+	}
+	return ck, nil
+}
+
+func readCkptLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err == io.EOF && line != "" {
+		return strings.TrimRight(line, "\n"), nil
+	}
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\n"), nil
+}
+
+func ckptUintLine(r *bufio.Reader, verb string) (uint64, error) {
+	line, err := readCkptLine(r)
+	if err != nil {
+		return 0, err
+	}
+	rest, ok := strings.CutPrefix(line, verb+" ")
+	if !ok {
+		return 0, fmt.Errorf("wal: expected %q line, got %q", verb, line)
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("wal: bad %s value %q", verb, rest)
+	}
+	return n, nil
+}
+
+// Open prepares a data directory: it loads the newest valid checkpoint
+// (nil if none), opens the log, validates it end to end, truncates a torn
+// tail, and returns the records the checkpoint does not cover, in order.
+// The caller replays those records to reconstruct the last durable state.
+func Open(dir string) (*Log, *Checkpoint, []Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, err
+	}
+	ck, err := newestCheckpoint(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var after uint64
+	if ck != nil {
+		after = ck.Seq
+	}
+	l, tail, err := openLog(dir, after)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if ck != nil && l.seq < ck.Seq {
+		// The log was truncated past ck.Seq by a prefix truncation that
+		// raced a crash; the checkpoint is still the durable state and the
+		// next append must not reuse covered sequence numbers.
+		l.seq = ck.Seq
+	}
+	return l, ck, tail, nil
+}
+
+// TruncatePrefix drops log records at or before seq; the facade's
+// checkpointer calls it once a checkpoint covering seq is durable.
+func (l *Log) TruncatePrefix(seq uint64) error {
+	return l.truncatePrefix(seq)
+}

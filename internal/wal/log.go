@@ -1,0 +1,303 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"sgmldb/internal/faultpoint"
+)
+
+// logMagic is the first line of every log file; a data directory whose log
+// lacks it is not ours (or is damaged before the first record).
+const logMagic = "sgmldb-wal 1\n"
+
+const logName = "wal.log"
+
+// Fault-injection sites on the commit path. The crash chaos suite arms
+// these to kill the write path at every seam and prove recovery lands on
+// exactly the pre-batch or post-batch epoch.
+var (
+	fpAppend    = faultpoint.New("wal/append")      // before the frame is written
+	fpPostWrite = faultpoint.New("wal/post-append") // frame written, not yet fsynced
+	fpPostSync  = faultpoint.New("wal/post-fsync")  // durable, not yet published
+)
+
+// Log is the append-only write-ahead log of one data directory. Appends
+// are serialized by the facade's single-writer lock; the Log's own mutex
+// additionally protects against the background checkpointer truncating a
+// covered prefix concurrently with an append.
+type Log struct {
+	mu   sync.Mutex
+	dir  string
+	f    *os.File
+	size int64  // current file size (append offset)
+	seq  uint64 // last appended sequence number
+}
+
+// Seq returns the sequence number of the last record written (or replayed
+// at open), 0 if none.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Append frames the record, writes it, and fsyncs — one sync per call, so
+// the facade batches a whole document load into a single record. On any
+// failure the file is truncated back to its pre-append offset so the live
+// log never holds a half-written frame the process itself would then have
+// to treat as torn.
+func (l *Log) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.Seq = l.seq + 1
+	if err := fpAppend.Hit(); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	frame := EncodeFrame(r)
+	if _, err := l.f.WriteAt(frame, l.size); err != nil {
+		l.rewind()
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := fpPostWrite.Hit(); err != nil {
+		l.rewind()
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.rewind()
+		return fmt.Errorf("wal: append sync: %w", err)
+	}
+	if err := fpPostSync.Hit(); err != nil {
+		// The record is durable; the injected failure models a crash after
+		// fsync but before publish. Rewind so the live process stays
+		// consistent with the rolled-back in-memory state.
+		l.rewind()
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(frame))
+	l.seq = r.Seq
+	return nil
+}
+
+// rewind discards anything written past the last committed offset.
+func (l *Log) rewind() {
+	if err := l.f.Truncate(l.size); err == nil {
+		_ = l.f.Sync()
+	}
+}
+
+// NextSeq is the sequence number Append would assign next; the facade
+// captures it to label checkpoints.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq + 1
+}
+
+// Close releases the log file. Appends after Close fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// openLog opens (or creates) dir's log file, scans it, and returns the
+// records after afterSeq along with the validated log handle. Records at
+// or before afterSeq — covered by a checkpoint — are skipped without being
+// re-materialized, but still participate in CRC and sequence validation.
+//
+// Tail policy: a final frame that is incomplete or fails its CRC with
+// nothing behind it is the signature of a crash mid-append; it is cut off
+// and the log truncated to the last good record. The same damage with
+// records behind it is ErrCorruptLog.
+func openLog(dir string, afterSeq uint64) (*Log, []Record, error) {
+	path := filepath.Join(dir, logName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if len(data) == 0 {
+		// Fresh log: stamp the magic.
+		if _, err := f.WriteString(logMagic); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return &Log{dir: dir, f: f, size: int64(len(logMagic))}, nil, nil
+	}
+	if !bytes.HasPrefix(data, []byte(logMagic)) {
+		// A short prefix of the magic can only mean a crash while stamping
+		// a fresh, record-free log: safe to restart it.
+		if len(data) < len(logMagic) && bytes.HasPrefix([]byte(logMagic), data) {
+			if err := restampMagic(f); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			return &Log{dir: dir, f: f, size: int64(len(logMagic))}, nil, nil
+		}
+		f.Close()
+		return nil, nil, fmt.Errorf("%w: bad log header", ErrCorruptLog)
+	}
+
+	var (
+		tail    []Record
+		off     = len(logMagic)
+		lastSeq uint64
+		first   = true
+	)
+	for off < len(data) {
+		rec, n, err := DecodeFrame(data[off:])
+		if err != nil {
+			if isTornTail(data, off, n, err) {
+				break // silent truncate below
+			}
+			f.Close()
+			return nil, nil, fmt.Errorf("%w: record at offset %d: %w", ErrCorruptLog, off, err)
+		}
+		if first {
+			// A prefix-truncated log starts just past some checkpointed
+			// seq; an untruncated one starts at 1. Anything past
+			// afterSeq+1 means durable records are missing.
+			if rec.Seq == 0 || rec.Seq > afterSeq+1 {
+				f.Close()
+				return nil, nil, fmt.Errorf("%w: log starts at sequence %d, checkpoint covers %d", ErrCorruptLog, rec.Seq, afterSeq)
+			}
+			first = false
+		} else if rec.Seq != lastSeq+1 {
+			f.Close()
+			return nil, nil, fmt.Errorf("%w: sequence jump %d -> %d at offset %d", ErrCorruptLog, lastSeq, rec.Seq, off)
+		}
+		lastSeq = rec.Seq
+		if rec.Seq > afterSeq {
+			tail = append(tail, rec)
+		}
+		off += n
+	}
+	l := &Log{dir: dir, f: f, size: int64(off), seq: lastSeq}
+	if off < len(data) {
+		// Torn tail: cut it off so the next append starts on a clean edge.
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return l, tail, nil
+}
+
+// isTornTail decides whether a decode failure at off is the expected
+// crash signature (damage confined to the final frame) or mid-log
+// corruption. n is the frame length DecodeFrame reported (0 when the
+// header itself is short).
+func isTornTail(data []byte, off, n int, err error) bool {
+	if errors.Is(err, errShortFrame) {
+		return true // file ends inside the frame, by definition the tail
+	}
+	if errors.Is(err, errBadCRC) {
+		// A checksum-failed frame is torn only if nothing follows it.
+		return n == 0 || off+n >= len(data)
+	}
+	return false // valid CRC over a malformed payload: not crash damage
+}
+
+// restampMagic resets a file to exactly the log magic.
+func restampMagic(f *os.File) error {
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt([]byte(logMagic), 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// truncatePrefix rewrites the log to hold only records after seq — called
+// by the checkpointer once a checkpoint covering seq is durable. The
+// rewrite goes through a temp file + rename so a crash mid-truncation
+// leaves either the old or the new log, never a partial one.
+func (l *Log) truncatePrefix(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	data := make([]byte, l.size)
+	if _, err := l.f.ReadAt(data, 0); err != nil {
+		return err
+	}
+	keep := []byte(logMagic)
+	off := len(logMagic)
+	for off < len(data) {
+		rec, n, err := DecodeFrame(data[off:])
+		if err != nil {
+			return fmt.Errorf("wal: truncate scan: %w", err)
+		}
+		if rec.Seq > seq {
+			keep = append(keep, data[off:off+n]...)
+		}
+		off += n
+	}
+	tmp, err := os.CreateTemp(l.dir, logName+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(keep); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(l.dir, logName)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	// Swap the handle to the new file.
+	nf, err := os.OpenFile(filepath.Join(l.dir, logName), os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	old := l.f
+	l.f = nf
+	l.size = int64(len(keep))
+	old.Close()
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creates in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

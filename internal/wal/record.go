@@ -1,0 +1,215 @@
+// Package wal gives the database durability: committed writes append
+// checksummed records to a write-ahead log that is fsynced before the
+// in-memory snapshot swap publishes them, a checkpointer periodically
+// serializes the published (instance, index, schema) snapshot to a
+// sidecar file and truncates the log prefix it covers, and Open recovers
+// the last durable state by loading the newest valid checkpoint and
+// replaying the log tail. A torn tail record — the signature a crash
+// leaves — is truncated silently; corruption anywhere before the tail is
+// ErrCorruptLog.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// ErrCorruptLog reports damage to the write-ahead log that is not a torn
+// tail: a record whose checksum fails (or whose sequencing breaks) with
+// further data behind it. A torn tail is the expected crash signature and
+// is truncated silently; mid-log corruption means durable history was
+// lost or altered, which recovery must surface, not paper over.
+var ErrCorruptLog = errors.New("wal: corrupt log record before the tail")
+
+// Kind discriminates the record types of the log.
+type Kind uint8
+
+//sgmldbvet:closed
+const (
+	// KindSchema records the DTD the database was opened with; it is the
+	// first record of a fresh log and pins the data directory to its DTD.
+	KindSchema Kind = 1
+	// KindLoad records one committed document batch as the raw SGML
+	// sources; replay re-parses and re-loads them, which reproduces the
+	// original oids because loading is deterministic.
+	KindLoad Kind = 2
+	// KindName records a root naming (name → oid).
+	KindName Kind = 3
+)
+
+// Record is one logical log entry.
+type Record struct {
+	Seq  uint64
+	Kind Kind
+
+	Schema string   // KindSchema: the DTD source
+	Docs   []string // KindLoad: document sources, in batch order
+	Name   string   // KindName: the root name
+	OID    uint64   // KindName: the named object
+}
+
+// Frame layout: a fixed header of payload length and CRC, then the
+// payload. The CRC (Castagnoli) covers the whole payload, so a torn or
+// bit-flipped record never decodes.
+const frameHeaderSize = 8
+
+// maxRecordSize bounds a single record's payload. The length field of a
+// torn frame can hold garbage; the bound keeps a bad length from forcing
+// a giant allocation while scanning.
+const maxRecordSize = 1 << 28 // 256 MiB
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendUvarint/appendString build the payload.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// EncodePayload serializes the record body (everything the CRC covers).
+func EncodePayload(r Record) []byte {
+	b := []byte{byte(r.Kind)}
+	b = binary.AppendUvarint(b, r.Seq)
+	switch r.Kind {
+	case KindSchema:
+		b = appendString(b, r.Schema)
+	case KindLoad:
+		b = binary.AppendUvarint(b, uint64(len(r.Docs)))
+		for _, d := range r.Docs {
+			b = appendString(b, d)
+		}
+	case KindName:
+		b = appendString(b, r.Name)
+		b = binary.AppendUvarint(b, r.OID)
+	default:
+		//lint:allow panic encoding an unknown Kind is a programmer error (closed set, enforced by sgmldbvet exhaustive)
+		panic(fmt.Sprintf("wal: encode unknown record kind %d", r.Kind))
+	}
+	return b
+}
+
+// EncodeFrame serializes the whole framed record: header plus payload.
+func EncodeFrame(r Record) []byte {
+	payload := EncodePayload(r)
+	frame := make([]byte, frameHeaderSize, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	return append(frame, payload...)
+}
+
+// payloadReader decodes payload fields with bounds checking — arbitrary
+// bytes must produce errors, never panics (FuzzWALRecord pins this).
+type payloadReader struct {
+	b   []byte
+	pos int
+}
+
+func (p *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.b[p.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wal: bad varint at %d", p.pos)
+	}
+	p.pos += n
+	return v, nil
+}
+
+func (p *payloadReader) str() (string, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(p.b)-p.pos) {
+		return "", fmt.Errorf("wal: string of %d bytes overruns payload at %d", n, p.pos)
+	}
+	s := string(p.b[p.pos : p.pos+int(n)])
+	p.pos += int(n)
+	return s, nil
+}
+
+// DecodePayload parses a record body (the bytes EncodePayload produced,
+// after the frame CRC already vouched for them — or arbitrary bytes, in
+// which case it returns an error).
+func DecodePayload(b []byte) (Record, error) {
+	if len(b) == 0 {
+		return Record{}, errors.New("wal: empty payload")
+	}
+	p := &payloadReader{b: b, pos: 1}
+	r := Record{Kind: Kind(b[0])}
+	var err error
+	if r.Seq, err = p.uvarint(); err != nil {
+		return Record{}, err
+	}
+	switch r.Kind {
+	case KindSchema:
+		if r.Schema, err = p.str(); err != nil {
+			return Record{}, err
+		}
+	case KindLoad:
+		n, err := p.uvarint()
+		if err != nil {
+			return Record{}, err
+		}
+		if n > uint64(len(b)) { // each doc needs at least its length byte
+			return Record{}, fmt.Errorf("wal: load record claims %d documents in %d bytes", n, len(b))
+		}
+		r.Docs = make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			d, err := p.str()
+			if err != nil {
+				return Record{}, err
+			}
+			r.Docs = append(r.Docs, d)
+		}
+	case KindName:
+		if r.Name, err = p.str(); err != nil {
+			return Record{}, err
+		}
+		if r.OID, err = p.uvarint(); err != nil {
+			return Record{}, err
+		}
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record kind %d", b[0])
+	}
+	if p.pos != len(b) {
+		return Record{}, fmt.Errorf("wal: %d trailing payload bytes", len(b)-p.pos)
+	}
+	return r, nil
+}
+
+// DecodeFrame parses one framed record from the front of b, returning the
+// record and the number of bytes consumed.
+//
+// The error taxonomy drives the torn-tail policy: errShortFrame means b
+// ends before the frame does (decidable only with more data — at EOF it
+// is a torn tail), errBadCRC means a complete frame failed its checksum
+// (a torn tail only if nothing follows it). Any other error is a malformed
+// payload behind a valid CRC, which cannot happen to a log we wrote —
+// corruption.
+func DecodeFrame(b []byte) (Record, int, error) {
+	if len(b) < frameHeaderSize {
+		return Record{}, 0, errShortFrame
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	if n > maxRecordSize {
+		return Record{}, 0, errBadCRC // an insane length is indistinguishable from a scribbled header
+	}
+	if uint64(len(b)-frameHeaderSize) < uint64(n) {
+		return Record{}, 0, errShortFrame
+	}
+	payload := b[frameHeaderSize : frameHeaderSize+int(n)]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(b[4:8]) {
+		return Record{}, frameHeaderSize + int(n), errBadCRC
+	}
+	r, err := DecodePayload(payload)
+	if err != nil {
+		return Record{}, frameHeaderSize + int(n), err
+	}
+	return r, frameHeaderSize + int(n), nil
+}
+
+var (
+	errShortFrame = errors.New("wal: frame extends past the data")
+	errBadCRC     = errors.New("wal: frame checksum mismatch")
+)

@@ -74,6 +74,26 @@ func WithMaxMemory(bytes int64) Option {
 	return func(db *Database) { db.Engine.Budget.MaxMem = bytes }
 }
 
+// WithDataDir makes the database durable in dir (created if missing):
+// every committed load batch and root naming is appended to a write-ahead
+// log and fsynced before it is published, and OpenDTD recovers the last
+// durable state from the directory on startup (newest checkpoint + log
+// tail replay). Without this option the database is purely in-memory, as
+// before — the query path is identical either way. Only OpenDTD supports
+// it: recovery replays document loads, which needs the DTD.
+func WithDataDir(dir string) Option {
+	return func(db *Database) { db.dataDir = dir }
+}
+
+// WithCheckpointEvery sets how many committed records accumulate before
+// the background checkpointer snapshots the database and truncates the
+// covered log prefix. 0 (the default) checkpoints every 8 records; a
+// negative n disables automatic checkpoints (Checkpoint still works).
+// Only meaningful together with WithDataDir.
+func WithCheckpointEvery(n int) Option {
+	return func(db *Database) { db.checkpointEvery = n }
+}
+
 // WithQueryTimeout bounds each query's wall-clock evaluation time,
 // enforced at the same strided polls as cancellation; an expired query
 // fails with ErrBudgetExceeded. Unlike a context deadline it needs no

@@ -66,6 +66,7 @@ import (
 	"sgmldb/internal/sgml"
 	"sgmldb/internal/store"
 	"sgmldb/internal/text"
+	"sgmldb/internal/wal"
 )
 
 // Database bundles a mapped schema, its instance, the query engine and
@@ -85,6 +86,19 @@ type Database struct {
 	// WithMaxConcurrentQueries.
 	gate         chan struct{}
 	queueTimeout time.Duration
+
+	// Durability (nil/zero without WithDataDir; see durable.go). The
+	// query path never touches these: durability costs fall on writers
+	// only.
+	dataDir          string
+	checkpointEvery  int
+	dtdSource        string
+	walLog           *wal.Log
+	walClosed        bool
+	recordsSinceCkpt int
+	ckptCh           chan *wal.Checkpoint
+	ckptMu           sync.Mutex
+	ckptWG           sync.WaitGroup
 }
 
 // acquire admits one query, blocking while WithMaxConcurrentQueries
@@ -140,6 +154,15 @@ func OpenDTD(dtdSource string, opts ...Option) (*Database, error) {
 	loader := dtdmap.NewLoader(m)
 	db := &Database{Mapping: m, Loader: loader}
 	db.wire(loader.Instance, opts)
+	if db.dataDir != "" {
+		// Durable open: recover the last durable state from the data
+		// directory (or initialize a fresh one) instead of publishing the
+		// empty instance. See durable.go.
+		if err := db.openDurable(dtdSource); err != nil {
+			return nil, err
+		}
+		return db, nil
+	}
 	db.Engine.Publish(oql.State{Snap: loader.Instance.Snapshot(), Index: db.Engine.Index})
 	return db, nil
 }
@@ -216,11 +239,21 @@ func (db *Database) LoadDocuments(srcs []string) (oids []object.OID, err error) 
 	}
 	db.loadMu.Lock()
 	defer db.loadMu.Unlock()
-	// After a successful LoadAll the loader already sits on the staged
-	// layer; a failure between that point and Publish (the index rebuild
-	// can panic) must swing it back, or the "failed" batch would leak into
-	// the next successful load. The mark captures the pre-load state, and
-	// the rollback runs under loadMu, so no other writer sees the window.
+	return db.commitLoad(docs, srcs, true)
+}
+
+// commitLoad stages a parsed batch, makes it durable (when the database
+// has a log and logIt is set — recovery replays through here with logIt
+// false), and publishes it. Caller holds loadMu.
+//
+// After a successful LoadAll the loader already sits on the staged layer;
+// a failure between that point and Publish (the index rebuild can panic,
+// the log append can fail) must swing it back, or the "failed" batch
+// would leak into the next successful load. The mark captures the
+// pre-load state, and the rollback runs under loadMu, so no other writer
+// sees the window. The append is fsynced before Publish: a published
+// epoch is always recoverable.
+func (db *Database) commitLoad(docs []*sgml.Document, srcs []string, logIt bool) (oids []object.OID, err error) {
 	mark := db.Loader.Mark()
 	defer func() {
 		if r := recover(); r != nil {
@@ -240,7 +273,15 @@ func (db *Database) LoadDocuments(srcs []string) (oids []object.OID, err error) 
 	for _, oid := range oids {
 		ix.Add(text.DocID(oid), dtdmap.TextOf(staged, oid))
 	}
+	if logIt && db.walLog != nil {
+		if err = db.walLog.Append(wal.Record{Kind: wal.KindLoad, Docs: srcs}); err != nil {
+			return nil, err
+		}
+	}
 	db.Engine.Publish(oql.State{Snap: staged.Snapshot(), Index: ix})
+	if logIt {
+		db.maybeCheckpoint(staged, ix)
+	}
 	return oids, nil
 }
 
@@ -253,6 +294,12 @@ func (db *Database) Name(name string, oid object.OID) (err error) {
 	defer rescue(&err)
 	db.loadMu.Lock()
 	defer db.loadMu.Unlock()
+	return db.commitName(name, oid, true)
+}
+
+// commitName stages, logs (when logIt — recovery replays with it unset),
+// and publishes one root naming. Caller holds loadMu.
+func (db *Database) commitName(name string, oid object.OID, logIt bool) error {
 	cur := db.state()
 	published := cur.Snap.Inst
 	class, ok := published.ClassOf(oid)
@@ -263,18 +310,29 @@ func (db *Database) Name(name string, oid object.OID) (err error) {
 	if _, exists := published.Schema().RootType(name); !exists {
 		s2 := published.Schema().Clone()
 		if err := s2.AddRoot(name, object.Class(class)); err != nil {
+			staged.Discard()
 			return err
 		}
 		staged.AdoptSchema(s2)
 	}
 	if err := staged.SetRoot(name, oid); err != nil {
+		staged.Discard()
 		return err
+	}
+	if logIt && db.walLog != nil {
+		if err := db.walLog.Append(wal.Record{Kind: wal.KindName, Name: name, OID: uint64(oid)}); err != nil {
+			staged.Discard()
+			return err
+		}
 	}
 	db.Engine.Publish(oql.State{Snap: staged.Snapshot(), Index: cur.Index})
 	// The loader must build the next load on the newly published version,
 	// or it would branch from a stale base and drop the root binding.
 	if db.Loader != nil {
 		db.Loader.Instance = staged
+	}
+	if logIt {
+		db.maybeCheckpoint(staged, cur.Index)
 	}
 	return nil
 }
@@ -404,6 +462,9 @@ func OpenSnapshot(path string, opts ...Option) (*Database, error) {
 	}
 	db := &Database{}
 	db.wire(inst, opts)
+	if db.dataDir != "" {
+		return nil, fmt.Errorf("sgmldb: WithDataDir needs the DTD to replay loads; use OpenDTD")
+	}
 	// Rebuild the full-text index over the document roots: both plural
 	// roots (lists of documents) and singular roots naming one document.
 	indexed := map[object.OID]bool{}
