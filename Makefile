@@ -2,11 +2,12 @@
 # ROADMAP.md: vet + sgmldbvet + build + the full test suite under the
 # race detector + the chaos (fault-injection) suite + the crash-recovery
 # suite + a fuzz smoke of the SGML parsers and the WAL record decoder +
-# a smoke run of every benchmark.
+# the network-service smoke (real sgmldbd process, load-generator burst,
+# clean drain) + a smoke run of every benchmark.
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz chaos crash ci
+.PHONY: all build vet test race bench fuzz chaos crash smoke ci
 
 all: build
 
@@ -52,6 +53,12 @@ chaos:
 crash:
 	$(GO) test -race -count=1 -run='TestCrash|TestDurable' .
 
+# End-to-end service smoke: a real sgmldbd process on loopback under a
+# tenant config, a load-generator burst with zero tolerated errors, and
+# a SIGTERM drain that must exit 0.
+smoke:
+	sh scripts/service_smoke.sh
+
 ci:
 	$(GO) vet ./...
 	$(GO) run ./cmd/sgmldbvet ./...
@@ -60,4 +67,5 @@ ci:
 	$(MAKE) chaos
 	$(MAKE) crash
 	$(MAKE) fuzz
+	$(MAKE) smoke
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .

@@ -1,0 +1,144 @@
+// Command sgmldbd serves one SGML database over HTTP — the network query
+// service of DESIGN.md §9. It opens a database from a DTD (optionally
+// durable under -data, optionally preloading documents), mounts the
+// internal/service handlers, and runs until SIGINT/SIGTERM, at which
+// point it drains: new requests get 503, in-flight requests finish, a
+// final checkpoint is written, and the process exits 0.
+//
+// Usage:
+//
+//	sgmldbd -dtd article.dtd [-addr 127.0.0.1:8344] [-tenants tenants.json]
+//	        [-data dir] [-max-concurrent N] [-max-rows N] [-max-memory B]
+//	        [-query-timeout D] [-drain-timeout D] [doc.sgml …]
+//
+// Without -tenants the server runs in open mode: every caller is one
+// anonymous tenant with no per-tenant limits (the database-level budgets
+// still apply). With -tenants, callers authenticate with
+// "Authorization: Bearer <key>" or "X-API-Key: <key>".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sgmldb"
+	"sgmldb/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sgmldbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dtdPath := flag.String("dtd", "", "DTD file (required)")
+	addr := flag.String("addr", "127.0.0.1:8344", "listen address")
+	tenantsPath := flag.String("tenants", "", "tenants config file (JSON); empty = open mode")
+	dataDir := flag.String("data", "", "data directory for durable operation (WAL + checkpoints)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "database-wide concurrent query limit (0 = unlimited)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "how long a query may wait for an admission slot")
+	maxRows := flag.Int64("max-rows", 0, "database-wide per-query row budget (0 = unlimited)")
+	maxMemory := flag.Int64("max-memory", 0, "database-wide per-query memory budget in bytes (0 = unlimited)")
+	queryTimeout := flag.Duration("query-timeout", 0, "database-wide per-query wall-clock budget (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	flag.Parse()
+	if *dtdPath == "" {
+		return fmt.Errorf("usage: sgmldbd -dtd file.dtd [flags] [doc.sgml…]")
+	}
+
+	var opts []sgmldb.Option
+	if *dataDir != "" {
+		opts = append(opts, sgmldb.WithDataDir(*dataDir))
+	}
+	if *maxConcurrent > 0 {
+		opts = append(opts, sgmldb.WithMaxConcurrentQueries(*maxConcurrent))
+	}
+	if *queueTimeout > 0 {
+		opts = append(opts, sgmldb.WithQueueTimeout(*queueTimeout))
+	}
+	if *maxRows > 0 {
+		opts = append(opts, sgmldb.WithMaxRows(*maxRows))
+	}
+	if *maxMemory > 0 {
+		opts = append(opts, sgmldb.WithMaxMemory(*maxMemory))
+	}
+	if *queryTimeout > 0 {
+		opts = append(opts, sgmldb.WithQueryTimeout(*queryTimeout))
+	}
+
+	db, err := sgmldb.OpenDTDFile(*dtdPath, opts...)
+	if err != nil {
+		return err
+	}
+	for _, path := range flag.Args() {
+		if _, err := db.LoadDocumentFile(path); err != nil {
+			return fmt.Errorf("preloading %s: %w", path, err)
+		}
+	}
+
+	cfg := service.Config{}
+	if *tenantsPath != "" {
+		cfg, err = service.LoadConfig(*tenantsPath)
+		if err != nil {
+			return err
+		}
+	}
+	srv, err := service.New(db, cfg)
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	mode := "open"
+	if n := len(cfg.Tenants); n > 0 {
+		mode = fmt.Sprintf("%d tenants", n)
+	}
+	log.Printf("sgmldbd: serving on %s (%s mode, epoch %d)", *addr, mode, db.Epoch())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		log.Printf("sgmldbd: %v, draining", s)
+	}
+
+	// Graceful shutdown: flip the service into draining (503 for new
+	// calls), let http.Server.Shutdown wait out the in-flight handlers,
+	// then checkpoint and close the durability machinery.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("sgmldbd: shutdown: %v", err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		log.Printf("sgmldbd: final checkpoint: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		return err
+	}
+	log.Printf("sgmldbd: drained, bye")
+	return nil
+}

@@ -37,6 +37,7 @@ func (db *Database) openDurable(dtdSource string) error {
 	}
 	db.walLog = l
 	if ck != nil {
+		db.ckptSeq.Store(ck.Seq)
 		if ck.DTD != dtdSource {
 			l.Close()
 			return fmt.Errorf("sgmldb: data directory %s holds a database for a different DTD", db.dataDir)
@@ -163,6 +164,7 @@ func (db *Database) writeCheckpoint(ck *wal.Checkpoint) error {
 	if err := wal.WriteCheckpoint(db.dataDir, ck); err != nil {
 		return err
 	}
+	db.ckptSeq.Store(ck.Seq)
 	return db.walLog.TruncatePrefix(ck.Seq)
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"sgmldb/internal/calculus"
+	"sgmldb/internal/oql"
 	"sgmldb/internal/wal"
 )
 
@@ -41,6 +42,17 @@ var (
 	// to an error wrapping this sentinel together with the panic value and
 	// stack, and the database keeps serving from its published snapshot.
 	ErrInternal = calculus.ErrInternal
+
+	// ErrParse is returned when a query source is not well-formed O₂SQL:
+	// every lexical and syntactic rejection wraps it. It aliases the
+	// internal sentinel so errors.Is works across layers.
+	ErrParse = oql.ErrParse
+
+	// ErrTypecheck is returned when a well-formed query fails the static
+	// Section 4.2 checks (and by the paper's deferred execution-time type
+	// errors). It aliases the internal sentinel so errors.Is works across
+	// layers.
+	ErrTypecheck = oql.ErrTypecheck
 
 	// ErrCorruptLog is returned by OpenDTD(..., WithDataDir(dir)) when the
 	// write-ahead log in dir is damaged somewhere other than its tail. A

@@ -70,6 +70,12 @@ type Engine struct {
 	// without touching other in-flight queries.
 	Budget calculus.Budget
 
+	// planHits / planMisses count plan-cache lookups (a stale entry whose
+	// schema moved counts as a miss). Served by /v1/stats; atomics because
+	// every querying goroutine touches them.
+	planHits   atomic.Uint64
+	planMisses atomic.Uint64
+
 	// mu guards the plan cache; queries from many goroutines share it.
 	mu sync.RWMutex
 	// plans memoises compiled algebra plans per query source, so repeated
@@ -139,10 +145,10 @@ func schemaVersionOf(env *calculus.Env) uint64 {
 }
 
 // budgetEnv derives the per-execution environment carrying a fresh cost
-// meter when the engine has a budget; with no budget the environment is
-// returned as is (nil meter, no-op charges).
-func (e *Engine) budgetEnv(env *calculus.Env) *calculus.Env {
-	if m := calculus.NewMeter(e.Budget); m != nil {
+// meter for the given budget; with no budget the environment is returned
+// as is (nil meter, no-op charges).
+func budgetEnv(env *calculus.Env, b calculus.Budget) *calculus.Env {
+	if m := calculus.NewMeter(b); m != nil {
 		return env.WithMeter(m)
 	}
 	return env
@@ -175,11 +181,19 @@ func (e *Engine) Query(src string) (object.Value, error) {
 // QueryContext is Query under a context: evaluation observes ctx and
 // returns its error promptly after cancellation.
 func (e *Engine) QueryContext(ctx context.Context, src string) (object.Value, error) {
+	return e.QueryBudget(ctx, src, e.Budget)
+}
+
+// QueryBudget is QueryContext under an explicit per-execution budget,
+// replacing the engine-level Budget for this one call. The facade derives
+// the effective budget from its per-call options and threads it through
+// here; the zero budget is unlimited.
+func (e *Engine) QueryBudget(ctx context.Context, src string, b calculus.Budget) (object.Value, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	env, ix := e.pin()
-	env = e.budgetEnv(env)
+	env = budgetEnv(env, b)
 	ast, err := e.parseCheck(env, src)
 	if err != nil {
 		return nil, err
@@ -213,11 +227,17 @@ func (e *Engine) Rows(src string) (*calculus.Result, error) {
 
 // RowsContext is Rows under a context.
 func (e *Engine) RowsContext(ctx context.Context, src string) (*calculus.Result, error) {
+	return e.RowsBudget(ctx, src, e.Budget)
+}
+
+// RowsBudget is RowsContext under an explicit per-execution budget (see
+// QueryBudget).
+func (e *Engine) RowsBudget(ctx context.Context, src string, b calculus.Budget) (*calculus.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	env, ix := e.pin()
-	env = e.budgetEnv(env)
+	env = budgetEnv(env, b)
 	ast, err := e.parseCheck(env, src)
 	if err != nil {
 		return nil, err
@@ -342,16 +362,25 @@ func (e *Engine) lookupPlan(src string, version uint64) (*algebra.Plan, bool) {
 	defer e.mu.Unlock()
 	el, ok := e.plans.entries[src]
 	if !ok {
+		e.planMisses.Add(1)
 		return nil, false
 	}
 	ent := el.Value.(*planEntry)
 	if ent.version != version {
 		e.plans.order.Remove(el)
 		delete(e.plans.entries, src)
+		e.planMisses.Add(1)
 		return nil, false
 	}
 	e.plans.order.MoveToFront(el)
+	e.planHits.Add(1)
 	return ent.plan, true
+}
+
+// PlanCacheStats reports cumulative plan-cache lookups: hits served from
+// the cache and misses that forced a (re)compilation.
+func (e *Engine) PlanCacheStats() (hits, misses uint64) {
+	return e.planHits.Load(), e.planMisses.Load()
 }
 
 // storePlan inserts (or refreshes) a compiled plan at the front of the
@@ -479,14 +508,20 @@ func (p *Prepared) Source() string { return p.src }
 // Run evaluates the prepared query and returns its value, like
 // Engine.QueryContext but without re-doing the front-end work.
 func (p *Prepared) Run(ctx context.Context) (object.Value, error) {
+	return p.RunBudget(ctx, p.engine.Budget)
+}
+
+// RunBudget is Run under an explicit per-execution budget (see
+// Engine.QueryBudget).
+func (p *Prepared) RunBudget(ctx context.Context, b calculus.Budget) (object.Value, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if p.bare {
 		env, _ := p.engine.pin()
-		return p.engine.value(ctx, p.engine.budgetEnv(env), p.ast)
+		return p.engine.value(ctx, budgetEnv(env, b), p.ast)
 	}
-	res, err := p.rows(ctx)
+	res, err := p.rows(ctx, b)
 	if err != nil {
 		return nil, err
 	}
@@ -496,19 +531,25 @@ func (p *Prepared) Run(ctx context.Context) (object.Value, error) {
 // Rows evaluates the prepared query and returns the raw result. It
 // reports an error for bare expressions that have no row form.
 func (p *Prepared) Rows(ctx context.Context) (*calculus.Result, error) {
+	return p.RowsBudget(ctx, p.engine.Budget)
+}
+
+// RowsBudget is Rows under an explicit per-execution budget (see
+// Engine.QueryBudget).
+func (p *Prepared) RowsBudget(ctx context.Context, b calculus.Budget) (*calculus.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if p.bare {
 		return nil, fmt.Errorf("oql: prepared query %q has no row form", p.src)
 	}
-	return p.rows(ctx)
+	return p.rows(ctx, b)
 }
 
-func (p *Prepared) rows(ctx context.Context) (*calculus.Result, error) {
+func (p *Prepared) rows(ctx context.Context, b calculus.Budget) (*calculus.Result, error) {
 	e := p.engine
 	env, ix := e.pin()
-	env = e.budgetEnv(env)
+	env = budgetEnv(env, b)
 	version := schemaVersionOf(env)
 	p.mu.RLock()
 	q, plan := p.lowered, p.plan
@@ -549,7 +590,7 @@ func (e *Engine) value(ctx context.Context, env *calculus.Env, ast Expr) (object
 	}
 	v, err := env.WithContext(ctx).Term(t, calculus.Valuation{})
 	if calculus.IsNoSuchPath(err) {
-		return nil, fmt.Errorf("oql: execution-time type error: %w", err)
+		return nil, fmt.Errorf("%w: execution-time: %w", ErrTypecheck, err)
 	}
 	return v, err
 }

@@ -1,0 +1,18 @@
+package oql
+
+import "errors"
+
+// Sentinel errors of the query front end. The sgmldb facade re-exports
+// them (and cmd/sgmldbd maps them to wire codes), so a caller can tell a
+// malformed query from a well-formed one that fails the static checks
+// without parsing message text. Test with errors.Is.
+var (
+	// ErrParse wraps every lexical and syntactic error: the source is not
+	// a well-formed O₂SQL query.
+	ErrParse = errors.New("oql: parse error")
+
+	// ErrTypecheck wraps every static Section 4.2 type error, and the
+	// execution-time type errors of the paper's deferred checks (a path
+	// step that does not apply to the named instance).
+	ErrTypecheck = errors.New("oql: type error")
+)

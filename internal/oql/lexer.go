@@ -28,7 +28,7 @@ func lex(src string) ([]token, error) {
 }
 
 func (l *lexer) errf(format string, args ...any) error {
-	return fmt.Errorf("oql: at offset %d: %s", l.pos, fmt.Sprintf(format, args...))
+	return fmt.Errorf("%w at offset %d: %s", ErrParse, l.pos, fmt.Sprintf(format, args...))
 }
 
 func (l *lexer) next() (token, error) {

@@ -44,7 +44,7 @@ func (p *parser) advance() token {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("oql: at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+	return fmt.Errorf("%w at offset %d: %s", ErrParse, p.peek().pos, fmt.Sprintf(format, args...))
 }
 
 func (p *parser) keyword(kw string) bool {

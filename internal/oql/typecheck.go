@@ -1,6 +1,7 @@
 package oql
 
 import (
+	"errors"
 	"fmt"
 
 	"sgmldb/internal/calculus"
@@ -29,13 +30,19 @@ type checker struct {
 }
 
 // Typecheck checks a parsed query against the schema. A nil schema checks
-// nothing.
+// nothing. Every failure wraps ErrTypecheck, including the structural
+// checks that do not phrase themselves as type errors (e.g. a from entry
+// that is not a path pattern), so the facade can classify any static
+// rejection uniformly.
 func Typecheck(schema *store.Schema, e Expr) error {
 	if schema == nil {
 		return nil
 	}
 	c := &checker{schema: schema}
 	_, err := c.typeOf(e, map[string]object.Type{})
+	if err != nil && !errors.Is(err, ErrTypecheck) {
+		err = fmt.Errorf("%w: %w", ErrTypecheck, err)
+	}
 	return err
 }
 
@@ -49,7 +56,7 @@ func (c *checker) typeOf(e Expr, env map[string]object.Type) (object.Type, error
 		if t, ok := c.schema.RootType(x.Name); ok {
 			return t, nil
 		}
-		return nil, fmt.Errorf("oql: type error: unknown name %s", x.Name)
+		return nil, fmt.Errorf("%w: unknown name %s", ErrTypecheck, x.Name)
 	case IntLit:
 		return object.IntType, nil
 	case FloatLit:
@@ -169,8 +176,7 @@ func (c *checker) joinItems(items []Expr, env map[string]object.Type, what strin
 		}
 		j, ok := object.CommonSupertype(c.schema.Hierarchy(), join, t)
 		if !ok {
-			return nil, fmt.Errorf("oql: type error: %s members %s and %s have no common supertype",
-				what, join, t)
+			return nil, fmt.Errorf("%w: %s members %s and %s have no common supertype", ErrTypecheck, what, join, t)
 		}
 		join = j
 	}
@@ -193,7 +199,7 @@ func (c *checker) binaryType(x Binary, env map[string]object.Type) (object.Type,
 	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
 		if lt != nil && rt != nil {
 			if _, ok := object.CommonSupertype(c.schema.Hierarchy(), lt, rt); !ok {
-				return nil, fmt.Errorf("oql: type error: cannot compare %s with %s", lt, rt)
+				return nil, fmt.Errorf("%w: cannot compare %s with %s", ErrTypecheck, lt, rt)
 			}
 		}
 		return object.BoolType, nil
@@ -205,7 +211,7 @@ func (c *checker) binaryType(x Binary, env map[string]object.Type) (object.Type,
 			}
 			if lt != nil && elem != nil {
 				if _, ok := object.CommonSupertype(c.schema.Hierarchy(), lt, elem); !ok {
-					return nil, fmt.Errorf("oql: type error: %s cannot be a member of %s", lt, rt)
+					return nil, fmt.Errorf("%w: %s cannot be a member of %s", ErrTypecheck, lt, rt)
 				}
 			}
 		}
@@ -216,12 +222,11 @@ func (c *checker) binaryType(x Binary, env map[string]object.Type) (object.Type,
 		if lt != nil && rt != nil {
 			j, ok := object.CommonSupertype(c.schema.Hierarchy(), lt, rt)
 			if !ok {
-				return nil, fmt.Errorf("oql: type error: operands of %s have no common supertype (%s vs %s)",
-					x.Op, lt, rt)
+				return nil, fmt.Errorf("%w: operands of %s have no common supertype (%s vs %s)", ErrTypecheck, x.Op, lt, rt)
 			}
 			if _, isSet := j.(object.SetType); !isSet {
 				if _, isList := j.(object.ListType); !isList {
-					return nil, fmt.Errorf("oql: type error: %s applies to sets, not %s", x.Op, j)
+					return nil, fmt.Errorf("%w: %s applies to sets, not %s", ErrTypecheck, x.Op, j)
 				}
 			}
 			return j, nil
@@ -314,11 +319,11 @@ func (c *checker) elementType(t object.Type, at Expr) (object.Type, error) {
 		// Implicit dereference.
 		sigma := c.classValueType(ct.Name)
 		if sigma == nil {
-			return nil, fmt.Errorf("oql: type error: unknown class %s", ct.Name)
+			return nil, fmt.Errorf("%w: unknown class %s", ErrTypecheck, ct.Name)
 		}
 		return c.elementType(sigma, at)
 	default:
-		return nil, fmt.Errorf("oql: type error: %s ranges over %s, which is not a collection", at, t)
+		return nil, fmt.Errorf("%w: %s ranges over %s, which is not a collection", ErrTypecheck, at, t)
 	}
 }
 
@@ -354,7 +359,7 @@ func (c *checker) pathType(t object.Type, elems []PatElem, env map[string]object
 		case AttrP:
 			nts := attrStepTypes(c.schema.Hierarchy(), cur, x.Name)
 			if len(nts) == 0 {
-				return nil, fmt.Errorf("oql: type error: %s has no attribute %q in %s", cur, x.Name, at)
+				return nil, fmt.Errorf("%w: %s has no attribute %q in %s", ErrTypecheck, cur, x.Name, at)
 			}
 			cur = calculus.UnionOfTypes(nts)
 		case IdxP:
@@ -372,7 +377,7 @@ func (c *checker) pathType(t object.Type, elems []PatElem, env map[string]object
 			} else if _, ok := cur.(object.AnyType); ok {
 				cur = nil
 			} else {
-				return nil, fmt.Errorf("oql: type error: dereference of non-object type %s in %s", cur, at)
+				return nil, fmt.Errorf("%w: dereference of non-object type %s in %s", ErrTypecheck, cur, at)
 			}
 		case AttrVarP, PathVarP, DotDotP, BindP:
 			// Dynamic from here on.
@@ -436,7 +441,7 @@ func (c *checker) checkTextOperand(t object.Type, at Expr) error {
 	default:
 		// lists, sets and non-string atoms are not searchable
 	}
-	return fmt.Errorf("oql: type error: contains cannot search a %s (%s)", t, at)
+	return fmt.Errorf("%w: contains cannot search a %s (%s)", ErrTypecheck, t, at)
 }
 
 // callType types the built-in functions.
@@ -474,7 +479,7 @@ func (c *checker) callType(x Call, env map[string]object.Type) (object.Type, err
 		if t == nil {
 			return nil, nil
 		}
-		return nil, fmt.Errorf("oql: type error: set_to_list of %s", t)
+		return nil, fmt.Errorf("%w: set_to_list of %s", ErrTypecheck, t)
 	case "flatten":
 		return nil, nil
 	default:

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"sgmldb/internal/object"
+)
+
+// ValueJSON encodes a query result value as the JSON-marshallable shape
+// the wire responses carry:
+//
+//	atoms     → JSON scalars (nil, number, string, bool)
+//	oids      → their printed form ("o12")
+//	tuples    → objects keyed by attribute name
+//	lists     → arrays (document order preserved)
+//	sets      → arrays (canonical element order, so responses are
+//	            deterministic across servers and runs)
+//	unions    → a single-key object {marker: value}
+//
+// Anything outside the closed value set falls back to its String form, so
+// the codec can never fail a response that the engine produced.
+func ValueJSON(v object.Value) any {
+	switch x := v.(type) {
+	case nil, object.Nil:
+		return nil
+	case object.Int:
+		return int64(x)
+	case object.Float:
+		return float64(x)
+	case object.String_:
+		return string(x)
+	case object.Bool:
+		return bool(x)
+	case object.OID:
+		return x.String()
+	case *object.Tuple:
+		m := make(map[string]any, x.Len())
+		for i := 0; i < x.Len(); i++ {
+			f := x.At(i)
+			m[f.Name] = ValueJSON(f.Value)
+		}
+		return m
+	case *object.List:
+		out := make([]any, x.Len())
+		for i := range out {
+			out[i] = ValueJSON(x.At(i))
+		}
+		return out
+	case *object.Set:
+		out := make([]any, x.Len())
+		for i := range out {
+			out[i] = ValueJSON(x.At(i))
+		}
+		return out
+	case *object.Union_:
+		return map[string]any{x.Marker: ValueJSON(x.Value)}
+	default:
+		return v.String()
+	}
+}
+
+// RowsJSON flattens a result value into the response row array: sets and
+// lists contribute one row per element, any other value is a single row.
+func RowsJSON(v object.Value) []any {
+	switch x := v.(type) {
+	case *object.Set:
+		out := make([]any, x.Len())
+		for i := range out {
+			out[i] = ValueJSON(x.At(i))
+		}
+		return out
+	case *object.List:
+		out := make([]any, x.Len())
+		for i := range out {
+			out[i] = ValueJSON(x.At(i))
+		}
+		return out
+	default:
+		return []any{ValueJSON(v)}
+	}
+}

@@ -1,0 +1,99 @@
+// Package service implements the network query service behind
+// cmd/sgmldbd: HTTP handlers, the JSON codec for query results, wire
+// error mapping over the sgmldb.Code taxonomy, and per-tenant governance
+// (API keys resolved to concurrency/row/memory/time limits layered over
+// the one shared Database). It is net/http-only and fully unit-testable
+// without sockets via httptest.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// TenantConfig is one tenant's identity and resource grant, as read from
+// the tenants file. Zero limits mean "no per-tenant bound on this axis"
+// (the database-level budgets still apply).
+type TenantConfig struct {
+	// Name identifies the tenant in stats and logs; it never leaves the
+	// server except on /v1/stats.
+	Name string `json:"name"`
+	// APIKey authenticates the tenant (Authorization: Bearer <key> or
+	// X-API-Key). Keys are opaque strings, compared byte-for-byte.
+	APIKey string `json:"api_key"`
+	// MaxConcurrent bounds the tenant's in-flight calls (queries,
+	// executes and loads together). Over-limit calls are rejected
+	// immediately with HTTP 429 — the tenant's own excess never queues
+	// into the shared admission gate, so one greedy tenant cannot starve
+	// the others. 0 = unlimited (only the database gate applies).
+	MaxConcurrent int `json:"max_concurrent"`
+	// MaxRows / MaxMemoryBytes / TimeoutMS clamp every call's budget via
+	// per-call query options; a client's own limits can tighten but never
+	// exceed them. 0 = axis unlimited.
+	MaxRows        int64 `json:"max_rows"`
+	MaxMemoryBytes int64 `json:"max_memory_bytes"`
+	TimeoutMS      int64 `json:"timeout_ms"`
+	// MaxHandles bounds the tenant's live prepared-statement handles
+	// (0 = DefaultMaxHandles).
+	MaxHandles int `json:"max_handles"`
+	// DenyLoad forbids POST /v1/load for this tenant (read-only tenants).
+	DenyLoad bool `json:"deny_load"`
+}
+
+// Timeout returns the tenant's per-call wall-clock clamp.
+func (t TenantConfig) Timeout() time.Duration {
+	return time.Duration(t.TimeoutMS) * time.Millisecond
+}
+
+// Config is the service configuration: the tenant table. An empty table
+// runs the server in open mode — a single anonymous tenant with no
+// per-tenant limits — which is what the quickstart and the load
+// generator's default target use.
+type Config struct {
+	Tenants []TenantConfig `json:"tenants"`
+}
+
+// DefaultMaxHandles bounds a tenant's live prepared-statement handles
+// when its config does not say otherwise.
+const DefaultMaxHandles = 64
+
+// ParseConfig decodes and validates a tenants file.
+func ParseConfig(data []byte) (Config, error) {
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return Config{}, fmt.Errorf("service: tenants config: %w", err)
+	}
+	names := map[string]bool{}
+	keys := map[string]bool{}
+	for i, t := range cfg.Tenants {
+		if t.Name == "" {
+			return Config{}, fmt.Errorf("service: tenants config: tenant %d has no name", i)
+		}
+		if t.APIKey == "" {
+			return Config{}, fmt.Errorf("service: tenants config: tenant %q has no api_key", t.Name)
+		}
+		if names[t.Name] {
+			return Config{}, fmt.Errorf("service: tenants config: duplicate tenant name %q", t.Name)
+		}
+		if keys[t.APIKey] {
+			return Config{}, fmt.Errorf("service: tenants config: tenant %q reuses another tenant's api_key", t.Name)
+		}
+		if t.MaxConcurrent < 0 || t.MaxRows < 0 || t.MaxMemoryBytes < 0 || t.TimeoutMS < 0 || t.MaxHandles < 0 {
+			return Config{}, fmt.Errorf("service: tenants config: tenant %q has a negative limit", t.Name)
+		}
+		names[t.Name] = true
+		keys[t.APIKey] = true
+	}
+	return cfg, nil
+}
+
+// LoadConfig reads and validates a tenants file from disk.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	return ParseConfig(data)
+}

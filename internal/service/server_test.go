@@ -1,0 +1,475 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"sgmldb"
+	"sgmldb/internal/faultpoint"
+)
+
+// openTestDB opens an in-memory database over the article corpus with
+// ndocs copies loaded, so /v1/query has rows to return.
+func openTestDB(t *testing.T, ndocs int) *sgmldb.Database {
+	t.Helper()
+	dtd, err := os.ReadFile("../../testdata/article.dtd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := os.ReadFile("../../testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := sgmldb.OpenDTD(string(dtd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]string, ndocs)
+	for i := range srcs {
+		srcs[i] = string(doc)
+	}
+	if _, err := db.LoadDocuments(srcs); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// newTestServer builds a Server (open mode when cfg is zero) mounted on
+// an httptest.Server.
+func newTestServer(t *testing.T, db *sgmldb.Database, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// call performs one API call and decodes the JSON response.
+func call(t *testing.T, ts *httptest.Server, method, path, key string, body any) (int, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	switch b := body.(type) {
+	case nil:
+	case string:
+		rd = bytes.NewReader([]byte(b))
+	default:
+		raw, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatalf("%s %s: non-JSON response %q: %v", method, path, raw, err)
+		}
+	}
+	return resp.StatusCode, decoded
+}
+
+// errCode extracts the wire error code from an error envelope.
+func errCode(t *testing.T, body map[string]any) string {
+	t.Helper()
+	e, ok := body["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("response has no error envelope: %v", body)
+	}
+	code, _ := e["code"].(string)
+	return code
+}
+
+// TestServiceHappyPath drives the whole wire surface in open mode:
+// health, ad-hoc query, prepare/execute/close, batch load, stats.
+func TestServiceHappyPath(t *testing.T) {
+	db := openTestDB(t, 3)
+	_, ts := newTestServer(t, db, Config{})
+
+	status, body := call(t, ts, "GET", "/v1/health", "", nil)
+	if status != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("health: status %d body %v", status, body)
+	}
+
+	status, body = call(t, ts, "POST", "/v1/query", "", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusOK {
+		t.Fatalf("query: status %d body %v", status, body)
+	}
+	if n := body["count"].(float64); n != 3 {
+		t.Errorf("query: count = %v, want 3", n)
+	}
+	rows, ok := body["rows"].([]any)
+	if !ok || len(rows) != 3 {
+		t.Fatalf("query: rows = %v", body["rows"])
+	}
+
+	status, body = call(t, ts, "POST", "/v1/prepare", "", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusOK {
+		t.Fatalf("prepare: status %d body %v", status, body)
+	}
+	h, _ := body["handle"].(string)
+	if h == "" {
+		t.Fatalf("prepare: no handle in %v", body)
+	}
+	for i := 0; i < 2; i++ {
+		status, body = call(t, ts, "POST", "/v1/execute/"+h, "", nil)
+		if status != http.StatusOK || body["count"].(float64) != 3 {
+			t.Fatalf("execute %d: status %d body %v", i, status, body)
+		}
+	}
+
+	doc, err := os.ReadFile("../../testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body = call(t, ts, "POST", "/v1/load", "", map[string]any{"documents": []string{string(doc), string(doc)}})
+	if status != http.StatusOK {
+		t.Fatalf("load: status %d body %v", status, body)
+	}
+	if n := body["count"].(float64); n != 2 {
+		t.Errorf("load: count = %v, want 2", n)
+	}
+	// The load is visible to the already-prepared handle (new epoch).
+	status, body = call(t, ts, "POST", "/v1/execute/"+h, "", nil)
+	if status != http.StatusOK || body["count"].(float64) != 5 {
+		t.Fatalf("execute after load: status %d body %v", status, body)
+	}
+
+	status, body = call(t, ts, "DELETE", "/v1/execute/"+h, "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("close: status %d body %v", status, body)
+	}
+	status, body = call(t, ts, "POST", "/v1/execute/"+h, "", nil)
+	if status != http.StatusNotFound || errCode(t, body) != codeUnknownHandle {
+		t.Fatalf("execute after close: status %d body %v", status, body)
+	}
+
+	status, body = call(t, ts, "GET", "/v1/stats", "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("stats: status %d body %v", status, body)
+	}
+	engine, ok := body["engine"].(map[string]any)
+	if !ok || engine["QueriesServed"].(float64) < 4 {
+		t.Errorf("stats: engine counters missing or low: %v", body["engine"])
+	}
+}
+
+// TestServiceBadRequests pins the 400 family: malformed JSON, missing
+// query field, empty load batch, and an invalid document (422).
+func TestServiceBadRequests(t *testing.T) {
+	db := openTestDB(t, 1)
+	_, ts := newTestServer(t, db, Config{})
+
+	status, body := call(t, ts, "POST", "/v1/query", "", `{"query": not-json`)
+	if status != http.StatusBadRequest || errCode(t, body) != codeBadRequest {
+		t.Errorf("malformed body: status %d code %q", status, errCode(t, body))
+	}
+	status, body = call(t, ts, "POST", "/v1/query", "", map[string]any{})
+	if status != http.StatusBadRequest || errCode(t, body) != codeBadRequest {
+		t.Errorf("missing query: status %d code %q", status, errCode(t, body))
+	}
+	status, body = call(t, ts, "POST", "/v1/query", "", map[string]any{"query": "select from where"})
+	if status != http.StatusBadRequest || errCode(t, body) != sgmldb.CodeParse {
+		t.Errorf("parse error: status %d code %q", status, errCode(t, body))
+	}
+	status, body = call(t, ts, "POST", "/v1/load", "", map[string]any{"documents": []string{}})
+	if status != http.StatusBadRequest || errCode(t, body) != codeBadRequest {
+		t.Errorf("empty load: status %d code %q", status, errCode(t, body))
+	}
+	status, body = call(t, ts, "POST", "/v1/load", "", map[string]any{"documents": []string{"<not-an-article/>"}})
+	if status != http.StatusUnprocessableEntity || errCode(t, body) != codeBadDocument {
+		t.Errorf("invalid document: status %d code %q body %v", status, errCode(t, body), body)
+	}
+	status, body = call(t, ts, "POST", "/v1/execute/h999", "", nil)
+	if status != http.StatusNotFound || errCode(t, body) != codeUnknownHandle {
+		t.Errorf("unknown handle: status %d code %q", status, errCode(t, body))
+	}
+}
+
+// TestServiceAuth pins the tenant boundary: no key and wrong key are
+// 401, a valid key works, health stays open, and one tenant's prepared
+// handle is invisible to another (404, exactly like a nonexistent one).
+func TestServiceAuth(t *testing.T) {
+	db := openTestDB(t, 1)
+	cfg := Config{Tenants: []TenantConfig{
+		{Name: "alice", APIKey: "key-a"},
+		{Name: "bob", APIKey: "key-b"},
+		{Name: "reader", APIKey: "key-r", DenyLoad: true},
+	}}
+	_, ts := newTestServer(t, db, cfg)
+
+	status, body := call(t, ts, "POST", "/v1/query", "", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusUnauthorized || errCode(t, body) != codeUnauthorized {
+		t.Errorf("no key: status %d code %q", status, errCode(t, body))
+	}
+	status, body = call(t, ts, "POST", "/v1/query", "key-wrong", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusUnauthorized || errCode(t, body) != codeUnauthorized {
+		t.Errorf("wrong key: status %d code %q", status, errCode(t, body))
+	}
+	status, _ = call(t, ts, "GET", "/v1/health", "", nil)
+	if status != http.StatusOK {
+		t.Errorf("health without key: status %d", status)
+	}
+	status, body = call(t, ts, "POST", "/v1/query", "key-a", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusOK {
+		t.Errorf("alice query: status %d body %v", status, body)
+	}
+
+	status, body = call(t, ts, "POST", "/v1/prepare", "key-a", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusOK {
+		t.Fatalf("alice prepare: status %d body %v", status, body)
+	}
+	h := body["handle"].(string)
+	status, body = call(t, ts, "POST", "/v1/execute/"+h, "key-b", nil)
+	if status != http.StatusNotFound || errCode(t, body) != codeUnknownHandle {
+		t.Errorf("bob executing alice's handle: status %d code %q", status, errCode(t, body))
+	}
+	status, body = call(t, ts, "DELETE", "/v1/execute/"+h, "key-b", nil)
+	if status != http.StatusNotFound {
+		t.Errorf("bob closing alice's handle: status %d body %v", status, body)
+	}
+	status, _ = call(t, ts, "POST", "/v1/execute/"+h, "key-a", nil)
+	if status != http.StatusOK {
+		t.Errorf("alice's handle after bob's attempts: status %d", status)
+	}
+
+	doc, err := os.ReadFile("../../testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body = call(t, ts, "POST", "/v1/load", "key-r", map[string]any{"documents": []string{string(doc)}})
+	if status != http.StatusForbidden || errCode(t, body) != codeForbidden {
+		t.Errorf("deny_load tenant loading: status %d code %q", status, errCode(t, body))
+	}
+}
+
+// TestServiceTenantIsolation parks one of tenant A's queries inside the
+// evaluator, filling A's single concurrency slot, and asserts A's next
+// call is shed with 429 while tenant B — same database, same instant —
+// still gets 200. That is the isolation contract: one tenant's limit is
+// invisible to another.
+func TestServiceTenantIsolation(t *testing.T) {
+	t.Cleanup(faultpoint.DisarmAll)
+	db := openTestDB(t, 1)
+	cfg := Config{Tenants: []TenantConfig{
+		{Name: "small", APIKey: "key-small", MaxConcurrent: 1},
+		{Name: "big", APIKey: "key-big"},
+	}}
+	_, ts := newTestServer(t, db, cfg)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer faultpoint.Arm("calculus/eval", faultpoint.Once(func() error {
+		close(entered)
+		<-release
+		return nil
+	}))()
+
+	parked := make(chan int, 1)
+	go func() {
+		status, _ := call(t, ts, "POST", "/v1/query", "key-small", map[string]any{"query": "select a from a in Articles"})
+		parked <- status
+	}()
+	<-entered // small's slot-holder is parked inside the evaluator
+
+	status, body := call(t, ts, "POST", "/v1/query", "key-small", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusTooManyRequests || errCode(t, body) != codeTenantLimit {
+		t.Errorf("small over limit: status %d code %q", status, errCode(t, body))
+	}
+	status, body = call(t, ts, "POST", "/v1/query", "key-big", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusOK {
+		t.Errorf("big while small is saturated: status %d body %v", status, body)
+	}
+
+	close(release)
+	if status := <-parked; status != http.StatusOK {
+		t.Errorf("small's parked query: status %d", status)
+	}
+	// The slot is free again.
+	status, _ = call(t, ts, "POST", "/v1/query", "key-small", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusOK {
+		t.Errorf("small after release: status %d", status)
+	}
+}
+
+// TestServiceTenantBudget pins the limit layering over the wire: a
+// tenant row cap kills a query the open database would answer, and the
+// client's own max_rows cannot exceed the tenant's grant.
+func TestServiceTenantBudget(t *testing.T) {
+	// 200 docs so the scan crosses the meter's 64-row poll stride.
+	db := openTestDB(t, 200)
+	cfg := Config{Tenants: []TenantConfig{
+		{Name: "capped", APIKey: "key-c", MaxRows: 1},
+		{Name: "free", APIKey: "key-f"},
+	}}
+	_, ts := newTestServer(t, db, cfg)
+
+	status, body := call(t, ts, "POST", "/v1/query", "key-c", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusUnprocessableEntity || errCode(t, body) != sgmldb.CodeBudget {
+		t.Errorf("capped tenant: status %d code %q", status, errCode(t, body))
+	}
+	status, body = call(t, ts, "POST", "/v1/query", "key-c", map[string]any{
+		"query": "select a from a in Articles", "max_rows": 1_000_000,
+	})
+	if status != http.StatusUnprocessableEntity || errCode(t, body) != sgmldb.CodeBudget {
+		t.Errorf("capped tenant asking for more: status %d code %q", status, errCode(t, body))
+	}
+	status, _ = call(t, ts, "POST", "/v1/query", "key-f", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusOK {
+		t.Errorf("free tenant: status %d", status)
+	}
+	status, body = call(t, ts, "POST", "/v1/query", "key-f", map[string]any{
+		"query": "select a from a in Articles", "max_rows": 1,
+	})
+	if status != http.StatusUnprocessableEntity || errCode(t, body) != sgmldb.CodeBudget {
+		t.Errorf("free tenant self-capping: status %d code %q", status, errCode(t, body))
+	}
+}
+
+// TestServicePanicContained injects an evaluator panic and asserts the
+// wire reports a clean 500 with the INTERNAL code — and that the server
+// keeps serving afterwards.
+func TestServicePanicContained(t *testing.T) {
+	t.Cleanup(faultpoint.DisarmAll)
+	db := openTestDB(t, 1)
+	_, ts := newTestServer(t, db, Config{})
+
+	disarm := faultpoint.Arm("calculus/eval", faultpoint.Panic("injected evaluator panic"))
+	status, body := call(t, ts, "POST", "/v1/query", "", map[string]any{"query": "select a from a in Articles"})
+	disarm()
+	if status != http.StatusInternalServerError || errCode(t, body) != sgmldb.CodeInternal {
+		t.Errorf("panicking query: status %d code %q body %v", status, errCode(t, body), body)
+	}
+	status, _ = call(t, ts, "POST", "/v1/query", "", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusOK {
+		t.Errorf("query after contained panic: status %d", status)
+	}
+}
+
+// TestServiceDrain pins the graceful-shutdown handshake: after Drain,
+// new calls are rejected with 503 DRAINING and health flips to
+// draining, while a request already inside a handler runs to completion.
+func TestServiceDrain(t *testing.T) {
+	t.Cleanup(faultpoint.DisarmAll)
+	db := openTestDB(t, 1)
+	s, ts := newTestServer(t, db, Config{})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer faultpoint.Arm("calculus/eval", faultpoint.Once(func() error {
+		close(entered)
+		<-release
+		return nil
+	}))()
+
+	inflight := make(chan int, 1)
+	go func() {
+		status, _ := call(t, ts, "POST", "/v1/query", "", map[string]any{"query": "select a from a in Articles"})
+		inflight <- status
+	}()
+	<-entered
+	s.Drain()
+
+	status, body := call(t, ts, "POST", "/v1/query", "", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusServiceUnavailable || errCode(t, body) != codeDraining {
+		t.Errorf("query while draining: status %d code %q", status, errCode(t, body))
+	}
+	status, body = call(t, ts, "GET", "/v1/health", "", nil)
+	if status != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Errorf("health while draining: status %d body %v", status, body)
+	}
+
+	close(release)
+	select {
+	case status := <-inflight:
+		if status != http.StatusOK {
+			t.Errorf("in-flight query during drain: status %d", status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight query did not complete after release")
+	}
+}
+
+// TestServiceHandleLimit fills a tenant's handle quota and asserts the
+// next prepare is rejected with 429 HANDLE_LIMIT until a handle closes.
+func TestServiceHandleLimit(t *testing.T) {
+	db := openTestDB(t, 1)
+	cfg := Config{Tenants: []TenantConfig{{Name: "t", APIKey: "k", MaxHandles: 2}}}
+	_, ts := newTestServer(t, db, cfg)
+
+	handles := make([]string, 2)
+	for i := range handles {
+		status, body := call(t, ts, "POST", "/v1/prepare", "k", map[string]any{
+			"query": fmt.Sprintf("select a from a in Articles where %d = %d", i, i),
+		})
+		if status != http.StatusOK {
+			t.Fatalf("prepare %d: status %d body %v", i, status, body)
+		}
+		handles[i] = body["handle"].(string)
+	}
+	status, body := call(t, ts, "POST", "/v1/prepare", "k", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusTooManyRequests || errCode(t, body) != codeHandleLimit {
+		t.Errorf("over handle quota: status %d code %q", status, errCode(t, body))
+	}
+	status, _ = call(t, ts, "DELETE", "/v1/execute/"+handles[0], "k", nil)
+	if status != http.StatusOK {
+		t.Fatalf("close: status %d", status)
+	}
+	status, _ = call(t, ts, "POST", "/v1/prepare", "k", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusOK {
+		t.Errorf("prepare after close: status %d", status)
+	}
+}
+
+// TestParseConfig pins the tenants-file validation rules.
+func TestParseConfig(t *testing.T) {
+	good := `{"tenants": [
+		{"name": "a", "api_key": "ka", "max_concurrent": 2, "max_rows": 100},
+		{"name": "b", "api_key": "kb", "deny_load": true}
+	]}`
+	cfg, err := ParseConfig([]byte(good))
+	if err != nil {
+		t.Fatalf("good config: %v", err)
+	}
+	if len(cfg.Tenants) != 2 || cfg.Tenants[0].MaxConcurrent != 2 || !cfg.Tenants[1].DenyLoad {
+		t.Errorf("good config parsed wrong: %+v", cfg)
+	}
+	bad := []string{
+		`{"tenants": [{"api_key": "k"}]}`,                                    // no name
+		`{"tenants": [{"name": "a"}]}`,                                       // no key
+		`{"tenants": [{"name": "a", "api_key": "k"}, {"name": "a", "api_key": "k2"}]}`, // dup name
+		`{"tenants": [{"name": "a", "api_key": "k"}, {"name": "b", "api_key": "k"}]}`,  // dup key
+		`{"tenants": [{"name": "a", "api_key": "k", "max_rows": -1}]}`,       // negative limit
+		`{"tenants": `, // malformed JSON
+	}
+	for _, src := range bad {
+		if _, err := ParseConfig([]byte(src)); err == nil {
+			t.Errorf("ParseConfig(%s) accepted invalid config", src)
+		}
+	}
+}

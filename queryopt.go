@@ -1,0 +1,102 @@
+package sgmldb
+
+import (
+	"time"
+
+	"sgmldb/internal/calculus"
+)
+
+// QueryOption tightens the resource budget of one query execution:
+//
+//	v, err := db.QueryContext(ctx, src, sgmldb.QMaxRows(10_000), sgmldb.QTimeout(time.Second))
+//
+// Per-call options override the Database-level budgets (WithMaxRows,
+// WithMaxMemory, WithQueryTimeout) downward only: on each axis the
+// effective limit is the tighter of the two, so a caller can never buy
+// itself more than the database grants. This is what lets one Database
+// serve many tenants — the service hands each tenant's limits to every
+// call as options, and a tenant's own per-request limits clamp further.
+type QueryOption func(*callOpts)
+
+// callOpts accumulates the per-call limits.
+type callOpts struct {
+	budget calculus.Budget
+}
+
+// QMaxRows bounds the rows this one query may scan or materialise, like
+// WithMaxRows but per call. Zero or negative leaves the axis at the
+// database limit.
+func QMaxRows(n int64) QueryOption {
+	return func(c *callOpts) {
+		if n > 0 {
+			c.budget.MaxRows = n
+		}
+	}
+}
+
+// QMaxMemory bounds the estimated bytes this one query may materialise,
+// like WithMaxMemory but per call. Zero or negative leaves the axis at
+// the database limit.
+func QMaxMemory(bytes int64) QueryOption {
+	return func(c *callOpts) {
+		if bytes > 0 {
+			c.budget.MaxMem = bytes
+		}
+	}
+}
+
+// QTimeout bounds this one query's wall-clock evaluation time, like
+// WithQueryTimeout but per call. Zero or negative leaves the axis at the
+// database limit.
+func QTimeout(d time.Duration) QueryOption {
+	return func(c *callOpts) {
+		if d > 0 {
+			c.budget.MaxDuration = d
+		}
+	}
+}
+
+// callBudget resolves the effective budget of one execution: the
+// database-level budget clamped per axis by the per-call options. With no
+// options it is exactly the database budget, so the un-optioned paths
+// behave as before.
+func (db *Database) callBudget(opts []QueryOption) calculus.Budget {
+	base := db.Engine.Budget
+	if len(opts) == 0 {
+		return base
+	}
+	var c callOpts
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return clampBudget(base, c.budget)
+}
+
+// clampBudget merges a requested budget into a base budget, axis by axis:
+// an unrequested axis keeps the base limit, a requested axis on an
+// unlimited base applies as is, and where both are set the tighter limit
+// wins.
+func clampBudget(base, req calculus.Budget) calculus.Budget {
+	return calculus.Budget{
+		MaxRows:     clampI64(base.MaxRows, req.MaxRows),
+		MaxMem:      clampI64(base.MaxMem, req.MaxMem),
+		MaxDuration: time.Duration(clampI64(int64(base.MaxDuration), int64(req.MaxDuration))),
+	}
+}
+
+// clampI64 merges one axis (0 = unlimited): the tighter of the two
+// limits, or whichever is set.
+func clampI64(base, req int64) int64 {
+	switch {
+	case req <= 0:
+		return base
+	case base <= 0:
+		return req
+	case req < base:
+		return req
+	default:
+		return base
+	}
+}

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Service smoke test (make smoke / part of make ci): build sgmldbd and
+# sgmldbload, start the server on loopback in tenant mode over the
+# article corpus, fire a load-generator burst through the authenticated
+# key, require zero request errors, then SIGTERM the server and require
+# a clean drain (exit 0). Fails fast on any step.
+set -eu
+
+GO=${GO:-go}
+ADDR=${SGMLDBD_ADDR:-127.0.0.1:8344}
+TMP=$(mktemp -d)
+SRV_PID=
+
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "service_smoke: building"
+$GO build -o "$TMP/sgmldbd" ./cmd/sgmldbd
+$GO build -o "$TMP/sgmldbload" ./cmd/sgmldbload
+
+cat > "$TMP/tenants.json" <<'EOF'
+{"tenants": [
+  {"name": "smoke", "api_key": "smoke-key", "max_concurrent": 32, "timeout_ms": 10000}
+]}
+EOF
+
+echo "service_smoke: starting sgmldbd on $ADDR"
+"$TMP/sgmldbd" -dtd testdata/article.dtd -addr "$ADDR" -tenants "$TMP/tenants.json" \
+    testdata/article.sgml testdata/article.sgml testdata/article.sgml &
+SRV_PID=$!
+
+# Wait for the health endpoint (the server binds asynchronously).
+i=0
+until curl -sf "http://$ADDR/v1/health" > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "service_smoke: server never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "service_smoke: load burst"
+"$TMP/sgmldbload" -addr "http://$ADDR" -key smoke-key -n 500 -c 8 -o "$TMP/report.json"
+cat "$TMP/report.json"
+grep -q '"errors": 0' "$TMP/report.json" || {
+    echo "service_smoke: load generator reported request errors" >&2
+    exit 1
+}
+
+echo "service_smoke: draining"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || {
+    echo "service_smoke: sgmldbd exited non-zero" >&2
+    SRV_PID=
+    exit 1
+}
+SRV_PID=
+echo "service_smoke: ok"

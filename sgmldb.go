@@ -57,6 +57,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sgmldb/internal/calculus"
@@ -87,6 +88,9 @@ type Database struct {
 	gate         chan struct{}
 	queueTimeout time.Duration
 
+	// metrics are the cumulative serving counters reported by Stats.
+	metrics metrics
+
 	// Durability (nil/zero without WithDataDir; see durable.go). The
 	// query path never touches these: durability costs fall on writers
 	// only.
@@ -99,6 +103,10 @@ type Database struct {
 	ckptCh           chan *wal.Checkpoint
 	ckptMu           sync.Mutex
 	ckptWG           sync.WaitGroup
+	// ckptSeq is the log sequence covered by the newest written
+	// checkpoint, for Stats (atomic: the background checkpointer stores
+	// it, Stats loads it).
+	ckptSeq atomic.Uint64
 }
 
 // acquire admits one query, blocking while WithMaxConcurrentQueries
@@ -125,6 +133,7 @@ func (db *Database) acquire(ctx context.Context) (release func(), err error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case <-timeout:
+		db.metrics.shed.Add(1)
 		return nil, fmt.Errorf("%w: %d queries in flight, queued %v", ErrOverloaded, cap(db.gate), db.queueTimeout)
 	}
 }
@@ -350,27 +359,37 @@ func (db *Database) Query(src string) (object.Value, error) {
 // query pins the snapshot current at its start and never blocks on
 // writers (admission control, when configured, may queue it behind other
 // queries). An evaluation panic is contained here and reported as
-// ErrInternal; the database keeps serving.
-func (db *Database) QueryContext(ctx context.Context, src string) (v object.Value, err error) {
+// ErrInternal; the database keeps serving. Per-call options tighten the
+// database budgets for this one execution (see QueryOption).
+func (db *Database) QueryContext(ctx context.Context, src string, opts ...QueryOption) (v object.Value, err error) {
 	release, err := db.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	defer func() { db.observe(err) }()
 	defer rescue(&err)
-	return db.Engine.QueryContext(ctx, src)
+	return db.Engine.QueryBudget(ctx, src, db.callBudget(opts))
 }
 
 // QueryRows runs a query and returns the raw rows with their sorted
-// bindings (paths stay paths).
-func (db *Database) QueryRows(src string) (res *calculus.Result, err error) {
-	release, err := db.acquire(context.Background())
+// bindings (paths stay paths). It is QueryRowsContext under
+// context.Background.
+func (db *Database) QueryRows(src string, opts ...QueryOption) (*calculus.Result, error) {
+	return db.QueryRowsContext(context.Background(), src, opts...)
+}
+
+// QueryRowsContext is QueryRows under a context, with per-call options
+// tightening the database budgets for this one execution.
+func (db *Database) QueryRowsContext(ctx context.Context, src string, opts ...QueryOption) (res *calculus.Result, err error) {
+	release, err := db.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	defer func() { db.observe(err) }()
 	defer rescue(&err)
-	return db.Engine.Rows(src)
+	return db.Engine.RowsBudget(ctx, src, db.callBudget(opts))
 }
 
 // Prepare parses, typechecks and compiles a query once for repeated —
@@ -398,26 +417,29 @@ func (pq *PreparedQuery) Source() string { return pq.p.Source() }
 
 // Run evaluates the prepared query and returns its value, like
 // Database.QueryContext without the per-call front-end work. Executions
-// count against admission control like any other query.
-func (pq *PreparedQuery) Run(ctx context.Context) (v object.Value, err error) {
+// count against admission control like any other query; per-call options
+// tighten the database budgets for this one execution.
+func (pq *PreparedQuery) Run(ctx context.Context, opts ...QueryOption) (v object.Value, err error) {
 	release, err := pq.db.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	defer func() { pq.db.observe(err) }()
 	defer rescue(&err)
-	return pq.p.Run(ctx)
+	return pq.p.RunBudget(ctx, pq.db.callBudget(opts))
 }
 
 // Rows evaluates the prepared query and returns the raw rows.
-func (pq *PreparedQuery) Rows(ctx context.Context) (res *calculus.Result, err error) {
+func (pq *PreparedQuery) Rows(ctx context.Context, opts ...QueryOption) (res *calculus.Result, err error) {
 	release, err := pq.db.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	defer func() { pq.db.observe(err) }()
 	defer rescue(&err)
-	return pq.p.Rows(ctx)
+	return pq.p.RowsBudget(ctx, pq.db.callBudget(opts))
 }
 
 // UseAlgebra switches evaluation to the Section 5.4 algebra plans.
@@ -441,11 +463,6 @@ func (db *Database) Text(v object.Value) string {
 // Figure 3 constraints.
 func (db *Database) Check() []error {
 	return db.Instance().Check()
-}
-
-// Stats summarises the database.
-func (db *Database) Stats() store.Stats {
-	return db.Instance().Stats()
 }
 
 // Save writes a snapshot of the database to a file.
