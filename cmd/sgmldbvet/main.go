@@ -1,61 +1,186 @@
 // Command sgmldbvet runs sgmldb's domain-specific static analyzers over
-// the repository: exhaustive kind switches, context polling in row scans,
-// receiver-mutex discipline, error wrapping, and panic reachability. It
-// prints findings in the familiar file:line:col format and exits non-zero
-// when any survive, so `make ci` can gate on it.
+// the repository: exhaustive kind switches, context polling in row
+// scans, receiver-mutex discipline, error wrapping, panic reachability,
+// fault-injection hygiene, atomic-field discipline, commit-path publish
+// ordering, snapshot pinning, and the wire-code taxonomy.
 //
 // Usage:
 //
-//	sgmldbvet [-analyzers exhaustive,ctxpoll,…] [packages]
+//	sgmldbvet [flags] [packages]
 //
-// Packages default to ./... and accept any `go list` pattern.
+// Packages default to ./... and accept any `go list` pattern. Flags:
+//
+//	-analyzers a,b,…   run a subset (default: all)
+//	-list              list the analyzers and exit
+//	-json              emit the findings report as JSON on stdout
+//	-baseline FILE     grandfather the findings recorded in FILE
+//	-write-baseline    regenerate FILE from the current findings
+//	-parallel N        analysis worker count (default: GOMAXPROCS)
+//	-dir DIR           directory to resolve patterns in (default: cwd)
+//
+// Exit status: 0 when clean, 1 when unsuppressed findings (or stale
+// baseline entries) are present, 2 when the driver itself fails —
+// unknown analyzer, unloadable or untypecheckable packages. CI can
+// therefore distinguish "the code has findings" from "the tool broke".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sgmldb/internal/analysis"
 )
 
+// report is the stable JSON artifact schema (-json).
+type report struct {
+	Version       int                      `json:"version"`
+	Patterns      []string                 `json:"patterns"`
+	Analyzers     []string                 `json:"analyzers"`
+	Findings      []analysis.Finding       `json:"findings"`
+	StaleBaseline []analysis.BaselineEntry `json:"stale_baseline,omitempty"`
+}
+
 func main() {
-	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgmldbvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit the findings report as JSON on stdout")
+	baselinePath := fs.String("baseline", "", "baseline file grandfathering known findings")
+	writeBaseline := fs.Bool("write-baseline", false, "regenerate the -baseline file from current findings")
+	parallel := fs.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS)")
+	dir := fs.String("dir", "", "directory to resolve patterns in (default: cwd)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	analyzers, err := analysis.ByName(*names)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	patterns := flag.Args()
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "sgmldbvet: -write-baseline requires -baseline FILE")
+		return 2
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	cwd, err := os.Getwd()
+	loadDir := *dir
+	if loadDir == "" {
+		loadDir, err = os.Getwd()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+	prog, err := analysis.Load(loadDir, patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	prog, err := analysis.Load(cwd, patterns)
+	findings := analysis.Analyze(prog, analyzers, *parallel)
+
+	if *writeBaseline {
+		return regenerateBaseline(*baselinePath, findings, stderr)
+	}
+
+	var stale []analysis.BaselineEntry
+	if *baselinePath != "" {
+		baseline, err := analysis.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		stale = baseline.Apply(findings)
+	}
+
+	active := 0
+	for _, f := range findings {
+		if f.Active() {
+			active++
+		}
+	}
+
+	if *asJSON {
+		analyzerNames := make([]string, 0, len(analyzers))
+		for _, a := range analyzers {
+			analyzerNames = append(analyzerNames, a.Name)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{
+			Version:       1,
+			Patterns:      patterns,
+			Analyzers:     analyzerNames,
+			Findings:      findings,
+			StaleBaseline: stale,
+		}); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			if f.Active() {
+				fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+			}
+		}
+	}
+	for _, e := range stale {
+		fmt.Fprintf(stderr, "sgmldbvet: stale baseline entry (fixed or reworded — regenerate with -write-baseline): [%s] %s: %s\n",
+			e.Analyzer, e.File, e.Message)
+	}
+	if active > 0 || len(stale) > 0 {
+		fmt.Fprintf(stderr, "sgmldbvet: %d finding(s), %d stale baseline entr(ies)\n", active, len(stale))
+		return 1
+	}
+	return 0
+}
+
+// regenerateBaseline rewrites the baseline from the current findings.
+// The new file is always written, but a shrink — entries present in
+// the old baseline and gone from the new — exits nonzero with the
+// removed entries listed, so a baseline never shrinks silently.
+func regenerateBaseline(path string, findings []analysis.Finding, stderr io.Writer) int {
+	old, err := analysis.ReadBaseline(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	diags := analysis.Run(prog, analyzers)
-	for _, d := range diags {
-		pos := prog.Fset.Position(d.Pos)
-		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	next := analysis.BaselineOf(findings)
+	if err := analysis.WriteBaseline(path, next); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "sgmldbvet: %d finding(s)\n", len(diags))
-		os.Exit(1)
+	kept := map[analysis.BaselineEntry]bool{}
+	for _, e := range next.Findings {
+		kept[e] = true
 	}
+	removed := 0
+	for _, e := range old.Findings {
+		if !kept[e] {
+			removed++
+			fmt.Fprintf(stderr, "sgmldbvet: baseline entry removed: [%s] %s: %s\n", e.Analyzer, e.File, e.Message)
+		}
+	}
+	fmt.Fprintf(stderr, "sgmldbvet: wrote %s with %d entr(ies)\n", path, len(next.Findings))
+	if removed > 0 {
+		fmt.Fprintf(stderr, "sgmldbvet: baseline shrank by %d entr(ies); review and commit the regenerated file\n", removed)
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The exit-code contract is the CI interface: 0 clean, 1 findings (or
+// stale baseline), 2 driver error. Each test drives run() against a
+// throwaway module so the paths stay pinned.
+
+const goMod = "module tmp\n\ngo 1.22\n"
+
+const cleanSrc = `package main
+
+func main() {}
+`
+
+// findingSrc trips errwrap: an error operand formatted with %v.
+const findingSrc = `package main
+
+import (
+	"fmt"
+	"io"
+)
+
+func main() {
+	fmt.Println(fmt.Errorf("wrap: %v", io.EOF))
+}
+`
+
+// fixedSrc is findingSrc with the finding fixed.
+const fixedSrc = `package main
+
+import (
+	"fmt"
+	"io"
+)
+
+func main() {
+	fmt.Println(fmt.Errorf("wrap: %w", io.EOF))
+}
+`
+
+const brokenSrc = `package main
+
+func main() { undefinedFunction() }
+`
+
+const suppressedSrc = `package main
+
+import (
+	"fmt"
+	"io"
+)
+
+func main() {
+	//lint:allow errwrap demonstrating suppression in a fixture module
+	fmt.Println(fmt.Errorf("wrap: %v", io.EOF))
+}
+`
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runVet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestExitClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "main.go": cleanSrc})
+	code, _, stderr := runVet(t, "-dir", dir, "./...")
+	if code != 0 {
+		t.Fatalf("clean module: exit %d, stderr:\n%s", code, stderr)
+	}
+}
+
+func TestExitFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "main.go": findingSrc})
+	code, stdout, _ := runVet(t, "-dir", dir, "./...")
+	if code != 1 {
+		t.Fatalf("module with finding: exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "errwrap") || !strings.Contains(stdout, "%w") {
+		t.Errorf("finding not reported on stdout:\n%s", stdout)
+	}
+}
+
+func TestExitDriverError(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "main.go": brokenSrc})
+	code, _, stderr := runVet(t, "-dir", dir, "./...")
+	if code != 2 {
+		t.Fatalf("untypecheckable module: exit %d, want 2 (stderr:\n%s)", code, stderr)
+	}
+	if stderr == "" {
+		t.Error("driver error produced no stderr")
+	}
+}
+
+func TestExitNoPackages(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "main.go": cleanSrc})
+	code, _, _ := runVet(t, "-dir", dir, "./nonexistent/...")
+	if code != 2 {
+		t.Fatalf("empty pattern: exit %d, want 2", code)
+	}
+}
+
+func TestExitUnknownAnalyzer(t *testing.T) {
+	code, _, _ := runVet(t, "-analyzers", "nope", "./...")
+	if code != 2 {
+		t.Fatalf("unknown analyzer: exit %d, want 2", code)
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "main.go": findingSrc})
+	code, stdout, _ := runVet(t, "-dir", dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, stdout)
+	}
+	if rep.Version != 1 || len(rep.Findings) != 1 {
+		t.Fatalf("report = version %d, %d findings; want version 1, 1 finding", rep.Version, len(rep.Findings))
+	}
+	f := rep.Findings[0]
+	if f.Analyzer != "errwrap" || f.File != "main.go" || f.Line == 0 || f.Suppressed || f.Baselined {
+		t.Errorf("finding = %+v", f)
+	}
+}
+
+func TestJSONSuppressed(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "main.go": suppressedSrc})
+	code, stdout, stderr := runVet(t, "-dir", dir, "-json", "./...")
+	if code != 0 {
+		t.Fatalf("suppressed finding: exit %d, want 0 (stderr:\n%s)", code, stderr)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v", err)
+	}
+	if len(rep.Findings) != 1 || !rep.Findings[0].Suppressed {
+		t.Fatalf("suppressed finding missing from the JSON artifact: %+v", rep.Findings)
+	}
+}
+
+// TestBaselineFlow drives the whole grandfather lifecycle: record a
+// dirty state, gate on it, fix the finding (stale entry fails), then
+// regenerate — a shrink is loud (exit 1) but written, so the next run
+// is clean.
+func TestBaselineFlow(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "main.go": findingSrc})
+	bl := filepath.Join(dir, "baseline.json")
+
+	code, _, stderr := runVet(t, "-dir", dir, "-baseline", bl, "-write-baseline", "./...")
+	if code != 0 {
+		t.Fatalf("initial -write-baseline: exit %d (stderr:\n%s)", code, stderr)
+	}
+	code, _, stderr = runVet(t, "-dir", dir, "-baseline", bl, "./...")
+	if code != 0 {
+		t.Fatalf("baselined finding still fails: exit %d (stderr:\n%s)", code, stderr)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(fixedSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runVet(t, "-dir", dir, "-baseline", bl, "./...")
+	if code != 1 || !strings.Contains(stderr, "stale baseline entry") {
+		t.Fatalf("stale baseline: exit %d, stderr:\n%s", code, stderr)
+	}
+
+	code, _, stderr = runVet(t, "-dir", dir, "-baseline", bl, "-write-baseline", "./...")
+	if code != 1 || !strings.Contains(stderr, "shrank") {
+		t.Fatalf("shrinking regenerate: exit %d, stderr:\n%s", code, stderr)
+	}
+	code, _, stderr = runVet(t, "-dir", dir, "-baseline", bl, "./...")
+	if code != 0 {
+		t.Fatalf("after deliberate regenerate: exit %d (stderr:\n%s)", code, stderr)
+	}
+}
+
+func TestWriteBaselineRequiresPath(t *testing.T) {
+	code, _, _ := runVet(t, "-write-baseline", "./...")
+	if code != 2 {
+		t.Fatalf("-write-baseline without -baseline: exit %d, want 2", code)
+	}
+}

@@ -18,12 +18,30 @@
 //   - faultpoint: fault-injection sites must be package-level
 //     declarations, and production code may only Hit them — the arming
 //     machinery stays in tests.
+//   - atomiccheck: a struct field accessed through sync/atomic anywhere
+//     must never be read or written plainly anywhere else.
+//   - publishorder: in functions annotated //sgmldbvet:commitpath, the
+//     WAL append+fsync must precede the atomic snapshot publish, and a
+//     failed append must never reach the publish.
+//   - snapshotpin: one query/evaluator chain must load the published
+//     engine State exactly once and thread it — a second load in the
+//     same chain can observe a different epoch (torn snapshot).
+//   - wirecode: every error sentinel must have a Code(err) wire-code
+//     mapping and a DESIGN.md table entry, and HTTP handlers may respond
+//     only through the JSON envelope helper.
 //
 // Intentional deviations are annotated in source as
 //
 //	//lint:allow <analyzer> <reason>
 //
 // on the flagged line or the line above; the reason is mandatory.
+//
+// The driver analyzes target packages in parallel: one task per
+// (per-package analyzer, package) pair plus one per whole-program
+// analyzer, all sharing the single type-checked Program and its memoized
+// indices (closed sets, call graph, atomic-field census, pin family).
+// Findings are sorted into a deterministic order afterwards, so a
+// parallel run reports exactly what a serial run reports.
 package analysis
 
 import (
@@ -31,6 +49,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -51,6 +71,7 @@ type Package struct {
 // sharing one FileSet.
 type Program struct {
 	Fset     *token.FileSet
+	Dir      string     // the directory the load patterns were resolved in
 	Packages []*Package // in dependency order (dependencies first)
 	Targets  []*Package // the packages named by the load patterns
 	packages map[string]*Package
@@ -60,6 +81,12 @@ type Program struct {
 
 	graphOnce sync.Once
 	graph     *callGraph
+
+	atomicOnce sync.Once
+	atomics    *atomicCensus
+
+	pinOnce sync.Once
+	pins    *pinCensus
 }
 
 // Diagnostic is one finding, positioned in the program's FileSet.
@@ -69,12 +96,41 @@ type Diagnostic struct {
 	Message  string
 }
 
-// Analyzer is one check. Run inspects the program's target packages and
-// reports findings; it must not mutate the program.
+// Finding is one fully resolved diagnostic: position rendered against
+// the program's load directory, plus the suppression state the JSON
+// emitter and the baseline machinery work with. Suppressed findings
+// (covered by a //lint:allow directive) and baselined findings
+// (grandfathered by a -baseline file) are reported in the JSON artifact
+// but do not fail the build.
+type Finding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"` // relative to the load directory when possible
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Baselined  bool   `json:"baselined"`
+
+	pos token.Pos
+}
+
+// Pos returns the finding's position in the program's FileSet.
+func (f Finding) Pos() token.Pos { return f.pos }
+
+// Active reports whether the finding should fail the build: neither
+// suppressed in source nor grandfathered by the baseline.
+func (f Finding) Active() bool { return !f.Suppressed && !f.Baselined }
+
+// Analyzer is one check. Exactly one of Run / RunPackage is set:
+// RunPackage analyzes one target package and is the driver's unit of
+// parallelism; Run analyzes the whole program at once (analyzers whose
+// invariant spans packages, like the nopanic call graph). Neither may
+// mutate the program.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(prog *Program, report func(Diagnostic))
+	Name       string
+	Doc        string
+	Run        func(prog *Program, report func(Diagnostic))
+	RunPackage func(prog *Program, pkg *Package, report func(Diagnostic))
 }
 
 // Analyzers returns the full suite in a fixed order.
@@ -86,6 +142,10 @@ func Analyzers() []*Analyzer {
 		ErrwrapAnalyzer,
 		NopanicAnalyzer,
 		FaultpointAnalyzer,
+		AtomicCheckAnalyzer,
+		PublishOrderAnalyzer,
+		SnapshotPinAnalyzer,
+		WireCodeAnalyzer,
 	}
 }
 
@@ -109,38 +169,136 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// Run applies the analyzers to the program's targets and returns the
-// surviving diagnostics sorted by position: findings suppressed by a
-// well-formed //lint:allow directive are dropped, and malformed
-// directives (missing reason) are themselves reported.
-func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		a.Run(prog, func(d Diagnostic) {
-			d.Analyzer = a.Name
-			diags = append(diags, d)
-		})
+// Analyze applies the analyzers to the program's targets on the given
+// number of workers (0 means GOMAXPROCS) and returns every diagnostic —
+// suppressed ones included, marked — as findings in a deterministic
+// order. Malformed //lint:allow directives (missing reason) are reported
+// under the "directive" pseudo-analyzer and are never suppressible.
+func Analyze(prog *Program, analyzers []*Analyzer, workers int) []Finding {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	type task func(report func(Diagnostic))
+	var tasks []task
+	for _, a := range analyzers {
+		a := a
+		switch {
+		case a.RunPackage != nil:
+			for _, pkg := range prog.Targets {
+				pkg := pkg
+				tasks = append(tasks, func(report func(Diagnostic)) {
+					a.RunPackage(prog, pkg, func(d Diagnostic) {
+						d.Analyzer = a.Name
+						report(d)
+					})
+				})
+			}
+		case a.Run != nil:
+			tasks = append(tasks, func(report func(Diagnostic)) {
+				a.Run(prog, func(d Diagnostic) {
+					d.Analyzer = a.Name
+					report(d)
+				})
+			})
+		}
+	}
+
+	var (
+		mu    sync.Mutex
+		diags []Diagnostic
+	)
+	report := func(d Diagnostic) {
+		mu.Lock()
+		diags = append(diags, d)
+		mu.Unlock()
+	}
+	ch := make(chan task)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				t(report)
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+
 	allows, bad := collectAllows(prog)
-	var out []Diagnostic
+	findings := make([]Finding, 0, len(diags)+len(bad))
 	for _, d := range diags {
 		pos := prog.Fset.Position(d.Pos)
-		if allows.covers(d.Analyzer, pos) {
+		findings = append(findings, Finding{
+			Analyzer:   d.Analyzer,
+			File:       relFile(prog.Dir, pos.Filename),
+			Line:       pos.Line,
+			Col:        pos.Column,
+			Message:    d.Message,
+			Suppressed: allows.covers(d.Analyzer, pos),
+			pos:        d.Pos,
+		})
+	}
+	for _, d := range bad {
+		pos := prog.Fset.Position(d.Pos)
+		findings = append(findings, Finding{
+			Analyzer: d.Analyzer,
+			File:     relFile(prog.Dir, pos.Filename),
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  d.Message,
+			pos:      d.Pos,
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings
+}
+
+// relFile renders a file path relative to the load directory (stable
+// across machines, so baselines and JSON artifacts are portable).
+func relFile(dir, file string) string {
+	if dir == "" {
+		return file
+	}
+	rel, err := filepath.Rel(dir, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}
+
+// Run applies the analyzers serially and returns the surviving
+// diagnostics sorted by position: findings suppressed by a well-formed
+// //lint:allow directive are dropped, and malformed directives (missing
+// reason) are themselves reported. It is the single-goroutine view of
+// Analyze, kept for tests and embedders that want plain diagnostics.
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range Analyze(prog, analyzers, 1) {
+		if f.Suppressed {
 			continue
 		}
-		out = append(out, d)
+		out = append(out, Diagnostic{Pos: f.pos, Analyzer: f.Analyzer, Message: f.Message})
 	}
-	out = append(out, bad...)
-	sort.Slice(out, func(i, j int) bool {
-		pi, pj := prog.Fset.Position(out[i].Pos), prog.Fset.Position(out[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		return out[i].Analyzer < out[j].Analyzer
-	})
 	return out
 }
 

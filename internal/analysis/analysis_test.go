@@ -204,6 +204,97 @@ func TestFormatVerbs(t *testing.T) {
 	}
 }
 
+func TestAtomicCheckFixture(t *testing.T) {
+	checkFixture(t, "atomiccheck", "atomiccheck")
+}
+
+func TestPublishOrderFixture(t *testing.T) {
+	checkFixture(t, "publishorder", "publishorder")
+}
+
+func TestSnapshotPinFixture(t *testing.T) {
+	checkFixture(t, "snapshotpin", "snapshotpin")
+}
+
+func TestWireCodeFixture(t *testing.T) {
+	checkFixture(t, "wirecode", "wirecode")
+}
+
+// TestLoadNoPackages pins the driver-error path: patterns that match
+// nothing must be a load error (exit 2 at the CLI), not a silent clean
+// run.
+func TestLoadNoPackages(t *testing.T) {
+	if _, err := Load(".", []string{"./testdata/src/no-such-package"}); err == nil {
+		t.Fatal("Load of a nonexistent pattern did not fail")
+	}
+}
+
+// TestBaselineRoundTrip covers the grandfather machinery: BaselineOf →
+// Apply marks exactly the recorded findings, and entries that match
+// nothing come back stale.
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "atomiccheck", File: "a.go", Line: 3, Message: "plain access"},
+		{Analyzer: "wirecode", File: "b.go", Line: 9, Message: "no mapping"},
+		{Analyzer: "wirecode", File: "b.go", Line: 12, Message: "suppressed one", Suppressed: true},
+	}
+	b := BaselineOf(findings)
+	if len(b.Findings) != 2 {
+		t.Fatalf("BaselineOf kept %d entries, want 2 (suppressed findings excluded)", len(b.Findings))
+	}
+	stale := b.Apply(findings)
+	if len(stale) != 0 {
+		t.Fatalf("round-trip Apply reported stale entries: %v", stale)
+	}
+	for i, f := range findings {
+		wantBaselined := !f.Suppressed
+		if f.Baselined != wantBaselined {
+			t.Errorf("finding %d: Baselined = %v, want %v", i, f.Baselined, wantBaselined)
+		}
+		if f.Active() {
+			t.Errorf("finding %d still active after Apply", i)
+		}
+	}
+	orphan := &Baseline{Version: 1, Findings: []BaselineEntry{
+		{Analyzer: "ctxpoll", File: "gone.go", Message: "fixed long ago"},
+	}}
+	if stale := orphan.Apply(findings); len(stale) != 1 {
+		t.Fatalf("orphan baseline: got %d stale entries, want 1", len(stale))
+	}
+}
+
+// TestParallelDeterminism pins the driver's ordering contract: a fully
+// parallel run over the repository — fresh load, so even token.Pos
+// assignment order differs — reports byte-identical findings to a
+// single-goroutine run.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo loads in -short mode")
+	}
+	render := func(workers int) []string {
+		prog, err := Load("../..", []string{"./..."})
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		var out []string
+		for _, f := range Analyze(prog, Analyzers(), workers) {
+			out = append(out, strconv.Itoa(f.Line)+":"+strconv.Itoa(f.Col)+":"+f.File+
+				":["+f.Analyzer+"] "+f.Message)
+		}
+		return out
+	}
+	serial := render(1)
+	parallel := render(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial run: %d findings, parallel run: %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("finding %d differs:\n  serial:   %s\n  parallel: %s", i, serial[i], parallel[i])
+		}
+	}
+}
+
 // TestRepoIsClean pins the tentpole's acceptance criterion: the analyzers
 // run clean over the repository itself.
 func TestRepoIsClean(t *testing.T) {

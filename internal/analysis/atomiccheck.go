@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The atomiccheck analyzer enforces the all-or-nothing rule of the Go
+// memory model: once any access to a struct field is atomic, every
+// access must be. A mixed regime — atomic.AddUint64(&s.n, 1) on one
+// goroutine, s.n++ or a plain read on another — is a data race that
+// the race detector only catches when the schedule cooperates, so the
+// rule is enforced statically instead.
+//
+// The census is program-wide (an atomic user in one package commits
+// every other package), in two kinds:
+//
+//   - fields whose type is declared in sync/atomic (atomic.Uint64,
+//     atomic.Pointer[T], …): legal uses are method calls on the field
+//     and taking its address; anything else reads or writes the raw
+//     word behind the API's back.
+//   - plain-typed fields whose address is passed to a sync/atomic
+//     package function (atomic.LoadUint64(&s.n), …): the only legal
+//     use anywhere is exactly that form.
+//
+// The engine's published-state pointer, the facade metrics counters
+// and the WAL/checkpoint sequence numbers all live under this rule.
+
+// AtomicCheckAnalyzer flags plain access to atomically accessed fields.
+var AtomicCheckAnalyzer = &Analyzer{
+	Name:       "atomiccheck",
+	Doc:        "a struct field accessed through sync/atomic must never be accessed plainly",
+	RunPackage: runAtomicCheck,
+}
+
+// atomicKind says how a field entered the census.
+type atomicKind int
+
+const (
+	atomicTyped    atomicKind = iota + 1 // field of a sync/atomic type
+	atomicViaFuncs                       // plain field addressed into sync/atomic functions
+)
+
+// atomicCensus is the program-wide set of atomically accessed fields.
+type atomicCensus struct {
+	fields map[*types.Var]atomicKind
+}
+
+// atomicCensus scans every non-standard package once: field
+// declarations of sync/atomic types, and &s.f arguments to sync/atomic
+// package functions.
+func (prog *Program) atomicCensus() *atomicCensus {
+	prog.atomicOnce.Do(func() {
+		c := &atomicCensus{fields: map[*types.Var]atomicKind{}}
+		for _, pkg := range prog.Packages {
+			if pkg.Standard {
+				continue
+			}
+			for _, obj := range pkg.Info.Defs {
+				v, ok := obj.(*types.Var)
+				if ok && v.IsField() && isAtomicNamed(v.Type()) {
+					c.fields[v] = atomicTyped
+				}
+			}
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeOf(pkg.Info, call)
+					if fn == nil || !isAtomicPkgFunc(fn) {
+						return true
+					}
+					for _, arg := range call.Args {
+						u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+						if !ok || u.Op != token.AND {
+							continue
+						}
+						sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						if v, ok := pkg.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+							if c.fields[v] == 0 {
+								c.fields[v] = atomicViaFuncs
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+		prog.atomics = c
+	})
+	return prog.atomics
+}
+
+// isAtomicNamed matches any named type declared in sync/atomic
+// (including instantiations like atomic.Pointer[State]).
+func isAtomicNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicPkgFunc matches package-level functions of sync/atomic
+// (AddUint64, LoadPointer, …), not methods of the atomic types.
+func isAtomicPkgFunc(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+func runAtomicCheck(prog *Program, pkg *Package, report func(Diagnostic)) {
+	census := prog.atomicCensus()
+	if len(census.fields) == 0 {
+		return
+	}
+	for _, f := range pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if v, ok := pkg.Info.Uses[sel.Sel].(*types.Var); ok {
+					if kind, tracked := census.fields[v]; tracked {
+						checkAtomicUse(pkg, sel, v, kind, stack, report)
+					}
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// checkAtomicUse validates one selector of a census field against the
+// legal shapes for its kind, using the enclosing node stack.
+func checkAtomicUse(pkg *Package, sel *ast.SelectorExpr, v *types.Var,
+	kind atomicKind, stack []ast.Node, report func(Diagnostic)) {
+	var parent ast.Node
+	if len(stack) > 0 {
+		parent = stack[len(stack)-1]
+	}
+	switch kind {
+	case atomicTyped:
+		// Method call on the field (s.f.Load()) or taking its address.
+		if p, ok := parent.(*ast.SelectorExpr); ok && p.X == sel {
+			return
+		}
+		if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			return
+		}
+		report(Diagnostic{Pos: sel.Sel.Pos(), Message: fmt.Sprintf(
+			"field %s has a sync/atomic type: access it only through its atomic methods", v.Name())})
+	case atomicViaFuncs:
+		// The one legal shape: &s.f as an argument of a sync/atomic call.
+		if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND && len(stack) >= 2 {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok {
+				if fn := calleeOf(pkg.Info, call); fn != nil && isAtomicPkgFunc(fn) {
+					for _, arg := range call.Args {
+						if arg == u {
+							return
+						}
+					}
+				}
+			}
+		}
+		report(Diagnostic{Pos: sel.Sel.Pos(), Message: fmt.Sprintf(
+			"field %s is accessed via sync/atomic elsewhere: a plain access here is a data race", v.Name())})
+	}
+}

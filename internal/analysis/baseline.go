@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A baseline grandfathers known findings so the suite can be turned on
+// strict against a codebase that is not yet clean: baselined findings
+// are reported in the JSON artifact but do not fail the build. The
+// match key is (analyzer, file, message) — deliberately line-free, so
+// unrelated edits that shift a finding a few lines do not resurrect
+// it. A baseline entry that no longer matches anything is stale and
+// IS a failure: baselines may only shrink deliberately (via the
+// regenerate target), never rot silently.
+
+// BaselineEntry identifies one grandfathered finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// Baseline is the serialized grandfather list.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// baselineVersion is the current serialization format.
+const baselineVersion = 1
+
+// ReadBaseline loads a baseline file; a missing file is an empty
+// baseline, not an error.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: baselineVersion}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("analysis: baseline %s has version %d, want %d", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Apply marks findings covered by the baseline as Baselined and
+// returns the stale entries — baseline lines that matched nothing.
+func (b *Baseline) Apply(findings []Finding) (stale []BaselineEntry) {
+	keys := map[BaselineEntry]bool{}
+	for _, e := range b.Findings {
+		keys[e] = true
+	}
+	matched := map[BaselineEntry]bool{}
+	for i := range findings {
+		f := &findings[i]
+		if f.Suppressed {
+			continue
+		}
+		key := BaselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message}
+		if keys[key] {
+			f.Baselined = true
+			matched[key] = true
+		}
+	}
+	for _, e := range b.Findings {
+		if !matched[e] {
+			stale = append(stale, e)
+		}
+	}
+	return stale
+}
+
+// BaselineOf builds the baseline covering every unsuppressed finding,
+// deduplicated and sorted.
+func BaselineOf(findings []Finding) *Baseline {
+	seen := map[BaselineEntry]bool{}
+	b := &Baseline{Version: baselineVersion, Findings: []BaselineEntry{}}
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		e := BaselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message}
+		if !seen[e] {
+			seen[e] = true
+			b.Findings = append(b.Findings, e)
+		}
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteBaseline writes the baseline as stable, indented JSON.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -18,9 +18,9 @@ import (
 
 // CtxpollAnalyzer checks that valuation scans poll cancellation.
 var CtxpollAnalyzer = &Analyzer{
-	Name: "ctxpoll",
-	Doc:  "row-scan loops over valuation slices must poll context cancellation",
-	Run:  runCtxpoll,
+	Name:       "ctxpoll",
+	Doc:        "row-scan loops over valuation slices must poll context cancellation",
+	RunPackage: runCtxpoll,
 }
 
 // pollNames are the recognised cancellation-poll callees.
@@ -32,25 +32,23 @@ var pollNames = map[string]bool{
 	"poll":     true,
 }
 
-func runCtxpoll(prog *Program, report func(Diagnostic)) {
-	for _, pkg := range prog.Targets {
-		for _, f := range pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				switch loop := n.(type) {
-				case *ast.RangeStmt:
-					if isValuationSlice(pkg.Info.TypeOf(loop.X)) && !bodyPolls(loop.Body) {
-						report(Diagnostic{Pos: loop.For,
-							Message: "row-scan loop over valuations does not poll context cancellation"})
-					}
-				case *ast.ForStmt:
-					if forOverValuations(pkg, loop) && !bodyPolls(loop.Body) {
-						report(Diagnostic{Pos: loop.For,
-							Message: "row-scan loop over valuations does not poll context cancellation"})
-					}
+func runCtxpoll(prog *Program, pkg *Package, report func(Diagnostic)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch loop := n.(type) {
+			case *ast.RangeStmt:
+				if isValuationSlice(pkg.Info.TypeOf(loop.X)) && !bodyPolls(loop.Body) {
+					report(Diagnostic{Pos: loop.For,
+						Message: "row-scan loop over valuations does not poll context cancellation"})
 				}
-				return true
-			})
-		}
+			case *ast.ForStmt:
+				if forOverValuations(pkg, loop) && !bodyPolls(loop.Body) {
+					report(Diagnostic{Pos: loop.For,
+						Message: "row-scan loop over valuations does not poll context cancellation"})
+				}
+			}
+			return true
+		})
 	}
 }
 

@@ -22,34 +22,32 @@ import (
 
 // ErrwrapAnalyzer checks error wrapping discipline.
 var ErrwrapAnalyzer = &Analyzer{
-	Name: "errwrap",
-	Doc:  "fmt.Errorf error operands must use %w; facade errors are sentinel-based",
-	Run:  runErrwrap,
+	Name:       "errwrap",
+	Doc:        "fmt.Errorf error operands must use %w; facade errors are sentinel-based",
+	RunPackage: runErrwrap,
 }
 
-func runErrwrap(prog *Program, report func(Diagnostic)) {
-	for _, pkg := range prog.Targets {
-		facade := isFacadePackage(pkg)
-		for _, f := range pkg.Files {
-			file := prog.Fset.Position(f.Pos()).Filename
-			inErrorsFile := filepath.Base(file) == "errors.go"
-			ast.Inspect(f, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				switch fullNameOf(pkg.Info, call) {
-				case "fmt.Errorf":
-					checkErrorf(pkg, call, report)
-				case "errors.New":
-					if facade && !inErrorsFile {
-						report(Diagnostic{Pos: call.Pos(), Message: "facade errors must be declared in errors.go " +
-							"(as sentinels) or wrap one with fmt.Errorf(\"…: %w\", Err…)"})
-					}
-				}
+func runErrwrap(prog *Program, pkg *Package, report func(Diagnostic)) {
+	facade := isFacadePackage(pkg)
+	for _, f := range pkg.Files {
+		file := prog.Fset.Position(f.Pos()).Filename
+		inErrorsFile := filepath.Base(file) == "errors.go"
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
 				return true
-			})
-		}
+			}
+			switch fullNameOf(pkg.Info, call) {
+			case "fmt.Errorf":
+				checkErrorf(pkg, call, report)
+			case "errors.New":
+				if facade && !inErrorsFile {
+					report(Diagnostic{Pos: call.Pos(), Message: "facade errors must be declared in errors.go " +
+						"(as sentinels) or wrap one with fmt.Errorf(\"…: %w\", Err…)"})
+				}
+			}
+			return true
+		})
 	}
 }
 

@@ -27,9 +27,9 @@ import (
 
 // ExhaustiveAnalyzer checks kind switches over closed sets.
 var ExhaustiveAnalyzer = &Analyzer{
-	Name: "exhaustive",
-	Doc:  "switches over //sgmldbvet:closed kind sets must handle every variant",
-	Run:  runExhaustive,
+	Name:       "exhaustive",
+	Doc:        "switches over //sgmldbvet:closed kind sets must handle every variant",
+	RunPackage: runExhaustive,
 }
 
 // closedDirective is the marker in a type's doc comment.
@@ -186,20 +186,18 @@ func registerClosed(cs *closedSets, pkg *Package, obj *types.TypeName) {
 	}
 }
 
-func runExhaustive(prog *Program, report func(Diagnostic)) {
+func runExhaustive(prog *Program, pkg *Package, report func(Diagnostic)) {
 	cs := prog.closedSets()
-	for _, pkg := range prog.Targets {
-		for _, f := range pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				switch sw := n.(type) {
-				case *ast.TypeSwitchStmt:
-					checkTypeSwitch(pkg, cs, sw, report)
-				case *ast.SwitchStmt:
-					checkConstSwitch(pkg, cs, sw, report)
-				}
-				return true
-			})
-		}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch sw := n.(type) {
+			case *ast.TypeSwitchStmt:
+				checkTypeSwitch(pkg, cs, sw, report)
+			case *ast.SwitchStmt:
+				checkConstSwitch(pkg, cs, sw, report)
+			}
+			return true
+		})
 	}
 }
 

@@ -26,41 +26,39 @@ import (
 // FaultpointAnalyzer restricts production faultpoint usage to
 // package-level New declarations and Hit calls.
 var FaultpointAnalyzer = &Analyzer{
-	Name: "faultpoint",
-	Doc:  "fault-injection sites must be declared at package level and only Hit in production code",
-	Run:  runFaultpoint,
+	Name:       "faultpoint",
+	Doc:        "fault-injection sites must be declared at package level and only Hit in production code",
+	RunPackage: runFaultpoint,
 }
 
-func runFaultpoint(prog *Program, report func(Diagnostic)) {
-	for _, pkg := range prog.Targets {
-		if pkg.Types.Name() == "faultpoint" {
-			continue
-		}
-		declared := declaredSiteCalls(pkg)
-		for _, f := range pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				fn := calleeOf(pkg.Info, call)
-				if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "faultpoint" {
-					return true
-				}
-				switch fn.Name() {
-				case "Hit":
-				case "New":
-					if !declared[call.Pos()] {
-						report(Diagnostic{Pos: call.Pos(),
-							Message: "faultpoint.New outside a package-level var declaration; injection sites must be static and enumerable"})
-					}
-				default:
-					report(Diagnostic{Pos: call.Pos(),
-						Message: fmt.Sprintf("faultpoint.%s is test-only machinery; production code may only declare sites (package-level faultpoint.New) and call Hit", fn.Name())})
-				}
+func runFaultpoint(prog *Program, pkg *Package, report func(Diagnostic)) {
+	if pkg.Types.Name() == "faultpoint" {
+		return
+	}
+	declared := declaredSiteCalls(pkg)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
 				return true
-			})
-		}
+			}
+			fn := calleeOf(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "faultpoint" {
+				return true
+			}
+			switch fn.Name() {
+			case "Hit":
+			case "New":
+				if !declared[call.Pos()] {
+					report(Diagnostic{Pos: call.Pos(),
+						Message: "faultpoint.New outside a package-level var declaration; injection sites must be static and enumerable"})
+				}
+			default:
+				report(Diagnostic{Pos: call.Pos(),
+					Message: fmt.Sprintf("faultpoint.%s is test-only machinery; production code may only declare sites (package-level faultpoint.New) and call Hit", fn.Name())})
+			}
+			return true
+		})
 	}
 }
 

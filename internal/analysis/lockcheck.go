@@ -24,9 +24,9 @@ import (
 
 // LockcheckAnalyzer checks receiver-mutex discipline.
 var LockcheckAnalyzer = &Analyzer{
-	Name: "lockcheck",
-	Doc:  "receiver mutexes must be released on all paths and never re-acquired",
-	Run:  runLockcheck,
+	Name:       "lockcheck",
+	Doc:        "receiver mutexes must be released on all paths and never re-acquired",
+	RunPackage: runLockcheck,
 }
 
 // lockOp classifies one mutex method call.
@@ -55,51 +55,49 @@ type mutexRef struct {
 	op    lockOp
 }
 
-func runLockcheck(prog *Program, report func(Diagnostic)) {
-	for _, pkg := range prog.Targets {
-		// First pass: which methods acquire which receiver mutex fields.
-		acquires := map[*types.Func]map[string]bool{}
-		funcBodies(pkg, func(decl *ast.FuncDecl, fn *types.Func) {
-			recv := receiverVar(pkg, decl)
-			if recv == nil || fn == nil {
-				return
-			}
-			fields := map[string]bool{}
-			inspectSkippingFuncLits(decl.Body, func(n ast.Node) {
-				if call, ok := n.(*ast.CallExpr); ok {
-					if ref, ok := resolveMutexCall(pkg, recv, call); ok && ref.op == opLock {
-						fields[ref.field] = true
-					}
-				}
-			})
-			if len(fields) > 0 {
-				acquires[fn] = fields
-			}
-		})
-		// Second pass: the linear held-lock walk.
-		funcBodies(pkg, func(decl *ast.FuncDecl, fn *types.Func) {
-			recv := receiverVar(pkg, decl)
-			if recv == nil {
-				return
-			}
-			w := &lockWalker{
-				pkg:      pkg,
-				recv:     recv,
-				acquires: acquires,
-				held:     map[string]token.Pos{},
-				deferred: map[string]bool{},
-				report:   report,
-			}
-			w.stmts(decl.Body.List)
-			for field, pos := range w.held {
-				if !w.deferred[field] {
-					report(Diagnostic{Pos: pos, Message: fmt.Sprintf(
-						"%s is locked but not released on every path (prefer `defer %s.Unlock()`)",
-						field, field)})
+func runLockcheck(prog *Program, pkg *Package, report func(Diagnostic)) {
+	// First pass: which methods acquire which receiver mutex fields.
+	acquires := map[*types.Func]map[string]bool{}
+	funcBodies(pkg, func(decl *ast.FuncDecl, fn *types.Func) {
+		recv := receiverVar(pkg, decl)
+		if recv == nil || fn == nil {
+			return
+		}
+		fields := map[string]bool{}
+		inspectSkippingFuncLits(decl.Body, func(n ast.Node) {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if ref, ok := resolveMutexCall(pkg, recv, call); ok && ref.op == opLock {
+					fields[ref.field] = true
 				}
 			}
 		})
-	}
+		if len(fields) > 0 {
+			acquires[fn] = fields
+		}
+	})
+	// Second pass: the linear held-lock walk.
+	funcBodies(pkg, func(decl *ast.FuncDecl, fn *types.Func) {
+		recv := receiverVar(pkg, decl)
+		if recv == nil {
+			return
+		}
+		w := &lockWalker{
+			pkg:      pkg,
+			recv:     recv,
+			acquires: acquires,
+			held:     map[string]token.Pos{},
+			deferred: map[string]bool{},
+			report:   report,
+		}
+		w.stmts(decl.Body.List)
+		for field, pos := range w.held {
+			if !w.deferred[field] {
+				report(Diagnostic{Pos: pos, Message: fmt.Sprintf(
+					"%s is locked but not released on every path (prefer `defer %s.Unlock()`)",
+					field, field)})
+			}
+		}
+	})
 }
 
 // receiverVar resolves the receiver identifier's object, or nil for

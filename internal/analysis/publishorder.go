@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The publishorder analyzer guards the crash-safety ordering of the
+// commit path: a mutation is durable only once its WAL record is
+// appended and fsynced, so the atomic snapshot publish (the epoch
+// swap readers see) must come after a successful append. The two
+// reorderings that silently break recovery are
+//
+//   - publishing before the append: a crash between the two leaves
+//     readers having observed state the log never recorded;
+//   - publishing on the append-failure path: the caller gets an error
+//     while readers already see the new state.
+//
+// Functions opt in with a //sgmldbvet:commitpath doc-comment
+// directive; the analyzer then walks the body linearly in source
+// order (skipping `go` statements and function literals — other
+// goroutines are not this path). An append is "handled" when its
+// error is checked by the idiomatic shapes
+//
+//	if err := log.Append(rec); err != nil { …; return … }
+//	err = log.Append(rec); if err != nil { …; return … }
+//
+// and any other append is flagged as unchecked. A publish is a call
+// to a method named Publish, or Store on a sync/atomic-typed value.
+
+// commitPathDirective marks a function as a commit path.
+const commitPathDirective = "sgmldbvet:commitpath"
+
+// PublishOrderAnalyzer checks WAL-append-before-publish ordering.
+var PublishOrderAnalyzer = &Analyzer{
+	Name:       "publishorder",
+	Doc:        "//sgmldbvet:commitpath functions must fsync the WAL append before the atomic publish",
+	RunPackage: runPublishOrder,
+}
+
+func runPublishOrder(prog *Program, pkg *Package, report func(Diagnostic)) {
+	funcBodies(pkg, func(decl *ast.FuncDecl, fn *types.Func) {
+		if !hasCommitPathDirective(decl) {
+			return
+		}
+		w := &publishWalker{pkg: pkg, report: report}
+		inspectSkippingFuncLits(decl.Body, func(n ast.Node) {
+			if call, ok := n.(*ast.CallExpr); ok && isWALAppendCall(pkg, call) {
+				w.appendPositions = append(w.appendPositions, call.Pos())
+			}
+		})
+		w.stmts(decl.Body.List)
+	})
+}
+
+func hasCommitPathDirective(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.Contains(c.Text, commitPathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// isWALAppendCall matches a method call named Append whose receiver
+// type is named Log (the WAL's append+fsync entry point).
+func isWALAppendCall(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeOf(pkg.Info, call)
+	if fn == nil || fn.Name() != "Append" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Log"
+}
+
+// isPublishCall matches the snapshot publish: a method named Publish,
+// or Store on a value of a sync/atomic type (a raw epoch swap).
+func isPublishCall(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeOf(pkg.Info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Publish":
+		return true
+	case "Store":
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		return ok && isAtomicNamed(pkg.Info.TypeOf(sel.X))
+	}
+	return false
+}
+
+// publishWalker is the linear source-order walk of one commit path.
+type publishWalker struct {
+	pkg             *Package
+	report          func(Diagnostic)
+	appendPositions []token.Pos // every WAL append in the body, for "append later?" queries
+	appendSeen      bool        // an append site has been passed
+	inFailure       bool        // inside an append-failure branch
+}
+
+// appendLater reports whether some WAL append appears after pos.
+func (w *publishWalker) appendLater(pos token.Pos) bool {
+	for _, p := range w.appendPositions {
+		if p > pos {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *publishWalker) stmts(list []ast.Stmt) {
+	for i := 0; i < len(list); i++ {
+		// Shape: err = log.Append(rec)  followed by  if err != nil { … return }
+		if as, ok := list[i].(*ast.AssignStmt); ok {
+			if call := appendCallIn(w.pkg, as.Rhs); call != nil {
+				w.appendSeen = true
+				if i+1 < len(list) {
+					if ifs, ok := list[i+1].(*ast.IfStmt); ok && ifs.Init == nil &&
+						isErrNilCheck(ifs.Cond) && endsInReturn(ifs.Body) {
+						w.failureBody(ifs.Body)
+						if ifs.Else != nil {
+							w.stmt(ifs.Else)
+						}
+						i++
+						continue
+					}
+				}
+				w.report(Diagnostic{Pos: call.Pos(),
+					Message: "commit path does not check the WAL append error before continuing"})
+				continue
+			}
+		}
+		w.stmt(list[i])
+	}
+}
+
+func (w *publishWalker) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		w.stmts(x.List)
+	case *ast.IfStmt:
+		// Shape: if err := log.Append(rec); err != nil { … return }
+		if as, ok := x.Init.(*ast.AssignStmt); ok {
+			if call := appendCallIn(w.pkg, as.Rhs); call != nil {
+				w.appendSeen = true
+				if isErrNilCheck(x.Cond) && endsInReturn(x.Body) {
+					w.failureBody(x.Body)
+					if x.Else != nil {
+						w.stmt(x.Else)
+					}
+					return
+				}
+				w.report(Diagnostic{Pos: call.Pos(),
+					Message: "commit path does not check the WAL append error before continuing"})
+				w.stmt(x.Body)
+				if x.Else != nil {
+					w.stmt(x.Else)
+				}
+				return
+			}
+		}
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		w.exprCalls(x.Cond)
+		w.stmt(x.Body)
+		if x.Else != nil {
+			w.stmt(x.Else)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		if x.Cond != nil {
+			w.exprCalls(x.Cond)
+		}
+		w.stmt(x.Body)
+		if x.Post != nil {
+			w.stmt(x.Post)
+		}
+	case *ast.RangeStmt:
+		w.exprCalls(x.X)
+		w.stmt(x.Body)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		if x.Tag != nil {
+			w.exprCalls(x.Tag)
+		}
+		for _, c := range x.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		for _, c := range x.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			comm := c.(*ast.CommClause)
+			if comm.Comm != nil {
+				w.stmt(comm.Comm)
+			}
+			w.stmts(comm.Body)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(x.Stmt)
+	case *ast.GoStmt:
+		// Another goroutine: outside this path's ordering.
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.exprCalls(r)
+		}
+	default:
+		w.exprCalls(s)
+	}
+}
+
+// failureBody walks an append-failure branch, where a publish means
+// readers observe state the log rejected.
+func (w *publishWalker) failureBody(body *ast.BlockStmt) {
+	defer func(prev bool) { w.inFailure = prev }(w.inFailure)
+	w.inFailure = true
+	w.stmts(body.List)
+}
+
+// exprCalls classifies every direct call inside an expression or
+// simple statement, in source order.
+func (w *publishWalker) exprCalls(n ast.Node) {
+	if n == nil {
+		return
+	}
+	inspectSkippingFuncLits(n, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		switch {
+		case isWALAppendCall(w.pkg, call):
+			// Reached outside the two handled shapes: the error goes nowhere.
+			w.appendSeen = true
+			w.report(Diagnostic{Pos: call.Pos(),
+				Message: "commit path does not check the WAL append error before continuing"})
+		case isPublishCall(w.pkg, call):
+			switch {
+			case w.inFailure:
+				w.report(Diagnostic{Pos: call.Pos(),
+					Message: "commit path publishes the snapshot after a failed WAL append"})
+			case !w.appendSeen && w.appendLater(call.Pos()):
+				w.report(Diagnostic{Pos: call.Pos(),
+					Message: "commit path publishes the snapshot before the WAL append+fsync"})
+			}
+		}
+	})
+}
+
+// appendCallIn returns the WAL append call among assignment operands,
+// if any.
+func appendCallIn(pkg *Package, rhs []ast.Expr) *ast.CallExpr {
+	for _, e := range rhs {
+		if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && isWALAppendCall(pkg, call) {
+			return call
+		}
+	}
+	return nil
+}
+
+// isErrNilCheck matches `x != nil`.
+func isErrNilCheck(cond ast.Expr) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != token.NEQ {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return isNil(b.X) || isNil(b.Y)
+}
+
+// endsInReturn reports a block whose last statement returns.
+func endsInReturn(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	_, ok := body.List[len(body.List)-1].(*ast.ReturnStmt)
+	return ok
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The snapshotpin analyzer guards epoch coherence on the read side.
+// The engine publishes an immutable State behind an atomic pointer;
+// a reader that loads it twice in one logical chain can observe two
+// different epochs — a torn snapshot whose halves disagree (stats
+// from one epoch labelled with another, a plan resolved against one
+// instance and executed against the next). The rule: one chain loads
+// the State once and threads it.
+//
+// The census is program-wide. The primitive is a .Load() on an
+// atomic.Pointer[State]. The "pin family" is the least set containing
+// every function whose body performs the primitive directly, closed
+// under pure accessors: a function whose every direct call is to a
+// family member joins the family (e.g. Epoch() { return state().Snap.
+// Epoch } — calling it IS loading the snapshot). Functions with any
+// call outside the family (parsing, evaluation, I/O) stay out: they
+// are chain roots that may legitimately run several chains.
+//
+// The check: in each function body — function literals are separate
+// chains — the second and later direct family/primitive call sites
+// are flagged.
+
+// SnapshotPinAnalyzer flags repeated State loads in one chain.
+var SnapshotPinAnalyzer = &Analyzer{
+	Name:       "snapshotpin",
+	Doc:        "a query chain must load the published State once and thread it",
+	RunPackage: runSnapshotPin,
+}
+
+// pinCensus is the program-wide pin family.
+type pinCensus struct {
+	family map[*types.Func]bool
+}
+
+// pinCensus computes the family once: seed with primitive loaders,
+// then close over pure accessors to a fixpoint.
+func (prog *Program) pinCensus() *pinCensus {
+	prog.pinOnce.Do(func() {
+		type fnInfo struct {
+			fn        *types.Func
+			primitive bool                 // body performs a State load directly
+			calls     map[*types.Func]bool // direct named callees
+			other     bool                 // has a call not resolvable to a named function
+		}
+		var infos []*fnInfo
+		for _, pkg := range prog.Packages {
+			if pkg.Standard {
+				continue
+			}
+			pkg := pkg
+			funcBodies(pkg, func(decl *ast.FuncDecl, fn *types.Func) {
+				if fn == nil {
+					return
+				}
+				info := &fnInfo{fn: fn, calls: map[*types.Func]bool{}}
+				inspectSkippingFuncLits(decl.Body, func(n ast.Node) {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return
+					}
+					if isStateLoad(pkg, call) {
+						info.primitive = true
+						return
+					}
+					if callee := calleeOf(pkg.Info, call); callee != nil {
+						info.calls[callee] = true
+						return
+					}
+					if !isConversionOrBuiltin(pkg, call) {
+						info.other = true
+					}
+				})
+				infos = append(infos, info)
+			})
+		}
+		family := map[*types.Func]bool{}
+		for _, in := range infos {
+			if in.primitive {
+				family[in.fn] = true
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, in := range infos {
+				if family[in.fn] || in.other || len(in.calls) == 0 {
+					continue
+				}
+				all := true
+				for c := range in.calls {
+					if !family[c] {
+						all = false
+						break
+					}
+				}
+				if all {
+					family[in.fn] = true
+					changed = true
+				}
+			}
+		}
+		prog.pins = &pinCensus{family: family}
+	})
+	return prog.pins
+}
+
+// isStateLoad matches `x.Load()` where x is an atomic.Pointer[State].
+func isStateLoad(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return false
+	}
+	t := pkg.Info.TypeOf(sel.X)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Path() != "sync/atomic" || named.Obj().Name() != "Pointer" {
+		return false
+	}
+	args := named.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return false
+	}
+	elem, ok := args.At(0).(*types.Named)
+	return ok && elem.Obj().Name() == "State"
+}
+
+// isConversionOrBuiltin matches type conversions and builtin calls —
+// neither counts as leaving the pin family.
+func isConversionOrBuiltin(pkg *Package, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() {
+		return true
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func runSnapshotPin(prog *Program, pkg *Package, report func(Diagnostic)) {
+	census := prog.pinCensus()
+	check := func(body *ast.BlockStmt) {
+		var sites []*ast.CallExpr
+		inspectSkippingFuncLits(body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if isStateLoad(pkg, call) || census.family[calleeOf(pkg.Info, call)] {
+				sites = append(sites, call)
+			}
+		})
+		if len(sites) < 2 {
+			return
+		}
+		for _, call := range sites[1:] {
+			report(Diagnostic{Pos: call.Pos(),
+				Message: "reloads the published State in the same chain: pin one snapshot and thread it"})
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			check(decl.Body)
+		}
+		// Function literals are separate chains, checked on their own.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				check(lit.Body)
+			}
+			return true
+		})
+	}
+}

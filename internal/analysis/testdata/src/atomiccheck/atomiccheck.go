@@ -1,0 +1,53 @@
+// Package atomiccheck is a sgmldbvet fixture: a struct field accessed
+// through sync/atomic anywhere must never be accessed plainly anywhere
+// else.
+package atomiccheck
+
+import "sync/atomic"
+
+type counters struct {
+	served atomic.Uint64 // atomic-typed: methods only
+	shed   uint64        // plain-typed, but addressed into sync/atomic below
+	plain  uint64        // never touched atomically: free to use plainly
+}
+
+func (c *counters) inc() {
+	c.served.Add(1)
+	atomic.AddUint64(&c.shed, 1)
+	c.plain++
+}
+
+func (c *counters) read() (uint64, uint64, uint64) {
+	return c.served.Load(), atomic.LoadUint64(&c.shed), c.plain
+}
+
+func bump(u *atomic.Uint64) { u.Add(1) }
+
+// Taking the field's address to hand it to an atomic-aware helper is a
+// legal use of an atomic-typed field.
+func (c *counters) viaHelper() { bump(&c.served) }
+
+func (c *counters) tornRead() uint64 {
+	return c.shed // want "accessed via sync/atomic elsewhere"
+}
+
+func (c *counters) tornWrite() {
+	c.shed++ // want "accessed via sync/atomic elsewhere"
+}
+
+func bumpRaw(p *uint64) { *p++ }
+
+// Even by address: only sync/atomic calls may take &c.shed.
+func (c *counters) escape() {
+	bumpRaw(&c.shed) // want "accessed via sync/atomic elsewhere"
+}
+
+func (c *counters) copyAtomic() {
+	v := c.served // want "access it only through its atomic methods"
+	_ = v
+}
+
+func (c *counters) sampled() uint64 {
+	//lint:allow atomiccheck single-writer phase before the struct is shared
+	return c.shed
+}

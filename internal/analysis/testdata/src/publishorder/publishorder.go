@@ -1,0 +1,103 @@
+// Package publishorder is a sgmldbvet fixture: in functions annotated
+// //sgmldbvet:commitpath, the WAL append must be checked and must
+// precede the atomic snapshot publish.
+package publishorder
+
+import "sync/atomic"
+
+type Record struct{ Kind int }
+
+type Log struct{ appended int }
+
+func (l *Log) Append(rec Record) error {
+	l.appended++
+	return nil
+}
+
+type State struct{ Epoch uint64 }
+
+type Engine struct{ state atomic.Pointer[State] }
+
+func (e *Engine) Publish(s *State) { e.state.Store(s) }
+
+type DB struct {
+	log *Log
+	eng *Engine
+}
+
+// The idiomatic shape: init-checked append, then publish.
+//
+//sgmldbvet:commitpath
+func (db *DB) commitGood(s *State) error {
+	if err := db.log.Append(Record{Kind: 1}); err != nil {
+		return err
+	}
+	db.eng.Publish(s)
+	return nil
+}
+
+// The two-statement shape is equally handled.
+//
+//sgmldbvet:commitpath
+func (db *DB) commitAssignShape(s *State) error {
+	var err error
+	err = db.log.Append(Record{Kind: 1})
+	if err != nil {
+		return err
+	}
+	db.eng.Publish(s)
+	return nil
+}
+
+//sgmldbvet:commitpath
+func (db *DB) commitReordered(s *State) error {
+	db.eng.Publish(s) // want "publishes the snapshot before the WAL append"
+	if err := db.log.Append(Record{Kind: 1}); err != nil {
+		return err
+	}
+	return nil
+}
+
+//sgmldbvet:commitpath
+func (db *DB) commitUnchecked(s *State) error {
+	db.log.Append(Record{Kind: 1}) // want "does not check the WAL append error"
+	db.eng.Publish(s)
+	return nil
+}
+
+//sgmldbvet:commitpath
+func (db *DB) commitPublishOnFailure(s *State) error {
+	if err := db.log.Append(Record{Kind: 1}); err != nil {
+		db.eng.Publish(s) // want "publishes the snapshot after a failed WAL append"
+		return err
+	}
+	db.eng.Publish(s)
+	return nil
+}
+
+// A raw epoch swap (Store on an atomic) counts as a publish too.
+//
+//sgmldbvet:commitpath
+func (db *DB) commitRawStore(s *State) error {
+	db.eng.state.Store(s) // want "publishes the snapshot before the WAL append"
+	if err := db.log.Append(Record{Kind: 1}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Unannotated functions are not policed: recovery replays publish
+// without logging.
+func (db *DB) replay(s *State) {
+	db.eng.Publish(s)
+}
+
+//sgmldbvet:commitpath
+func (db *DB) commitAllowed(s *State) error {
+	//lint:allow publishorder fixture demonstrates a deliberate exception
+	db.eng.Publish(s)
+	if err := db.log.Append(Record{Kind: 1}); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Package snapshotpin is a sgmldbvet fixture: one chain loads the
+// published State once and threads it; a reload can observe a
+// different epoch.
+package snapshotpin
+
+import "sync/atomic"
+
+type State struct{ Epoch uint64 }
+
+type Engine struct{ state atomic.Pointer[State] }
+
+// State performs the primitive load: it is the seed of the pin family.
+func (e *Engine) State() *State { return e.state.Load() }
+
+// Epoch only calls family members, so calling it IS loading the
+// snapshot: it joins the family.
+func (e *Engine) Epoch() uint64 { return e.State().Epoch }
+
+func exec(st *State, q string) uint64 { return st.Epoch + uint64(len(q)) }
+
+// Query pins once and hands the snapshot to execution; the exec call
+// keeps it out of the family, so callers may run several queries.
+func (e *Engine) Query(q string) uint64 {
+	st := e.State()
+	return exec(st, q)
+}
+
+func torn(e *Engine) (uint64, uint64) {
+	epoch := e.Epoch()
+	again := e.State().Epoch // want "reloads the published State"
+	return epoch, again
+}
+
+func pinned(e *Engine) (uint64, uint64) {
+	st := e.State()
+	return st.Epoch, st.Epoch
+}
+
+// Two query chains are two chains, not one torn snapshot.
+func twice(e *Engine) uint64 { return e.Query("a") + e.Query("b") }
+
+// Function literals are separate chains, each pinning its own load.
+func chains(e *Engine) []uint64 {
+	var out []uint64
+	for i := 0; i < 2; i++ {
+		func() { out = append(out, e.State().Epoch) }()
+	}
+	return out
+}
+
+func audit(e *Engine) (uint64, uint64) {
+	before := e.Epoch()
+	//lint:allow snapshotpin epochs are compared across a reload deliberately
+	after := e.Epoch()
+	return before, after
+}

@@ -1,0 +1,52 @@
+// Package wirecode is a sgmldbvet fixture: sentinels need Code(err)
+// mappings, wire codes need DESIGN.md entries (this directory carries
+// its own DESIGN.md), and responses go through the writeJSON envelope.
+package wirecode
+
+import (
+	"errors"
+	"net/http"
+)
+
+var (
+	ErrMapped   = errors.New("mapped")
+	ErrUnmapped = errors.New("unmapped") // want "no wire-code mapping in Code"
+)
+
+const (
+	CodeOK      = ""                    // empty: never hits the wire
+	CodeMapped  = "MAPPED"              // documented below
+	codeLocal   = "LOCAL_OK"            // documented below
+	CodeMissing = "MISSING_FROM_DESIGN" // want "not documented in DESIGN.md"
+)
+
+func Code(err error) string {
+	if err == nil {
+		return CodeOK
+	}
+	if errors.Is(err, ErrMapped) {
+		return CodeMapped
+	}
+	return codeLocal
+}
+
+func writeJSON(w http.ResponseWriter, status int, v []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(v)
+}
+
+func good(w http.ResponseWriter) { writeJSON(w, 200, []byte("{}")) }
+
+func bad(w http.ResponseWriter) {
+	http.Error(w, "boom", 500) // want "not http.Error"
+}
+
+func naked(w http.ResponseWriter) {
+	w.WriteHeader(500) // want "bypasses the writeJSON envelope"
+}
+
+func raw(w http.ResponseWriter) {
+	//lint:allow wirecode streaming endpoint writes raw bytes by design
+	_, _ = w.Write([]byte("raw"))
+}

@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The wirecode analyzer keeps the error-code taxonomy closed end to
+// end: every failure a client can see must have a stable wire code,
+// and the code must be documented. Three mechanically checkable rules:
+//
+//   - In a package that declares the mapper `func Code(error) string`,
+//     every package-level `Err…` sentinel must be referenced inside
+//     Code's body — adding a sentinel without a mapping otherwise
+//     degrades silently to UNKNOWN on the wire.
+//   - Every non-empty string constant named `Code…`/`code…` must
+//     appear backticked in the governing DESIGN.md (found by walking
+//     up from the package directory; the walk stops at the first
+//     DESIGN.md or at the module root). Undocumented codes are wire
+//     surface nobody signed off on.
+//   - In a package that declares the envelope writer `writeJSON`,
+//     responses must go through it: http.Error and direct
+//     WriteHeader/Write calls on an http.ResponseWriter outside
+//     writeJSON bypass the JSON error envelope clients parse.
+
+// WireCodeAnalyzer checks the wire-code taxonomy and envelope discipline.
+var WireCodeAnalyzer = &Analyzer{
+	Name:       "wirecode",
+	Doc:        "sentinels map to documented wire codes; responses go through the JSON envelope",
+	RunPackage: runWireCode,
+}
+
+func runWireCode(prog *Program, pkg *Package, report func(Diagnostic)) {
+	checkSentinelMapping(pkg, report)
+	checkDocumentedCodes(pkg, report)
+	checkEnvelopeDiscipline(pkg, report)
+}
+
+// checkSentinelMapping enforces Err… sentinel coverage in Code(err).
+func checkSentinelMapping(pkg *Package, report func(Diagnostic)) {
+	var codeDecl *ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if ok && decl.Recv == nil && decl.Name.Name == "Code" && decl.Body != nil &&
+				isErrorToStringSig(pkg, decl) {
+				codeDecl = decl
+			}
+		}
+	}
+	if codeDecl == nil {
+		return
+	}
+	referenced := map[types.Object]bool{}
+	ast.Inspect(codeDecl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				referenced[obj] = true
+			}
+		}
+		return true
+	})
+	errorIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gen, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					v, ok := pkg.Info.Defs[name].(*types.Var)
+					if !ok || !strings.HasPrefix(name.Name, "Err") ||
+						!types.Implements(v.Type(), errorIface) {
+						continue
+					}
+					if !referenced[v] {
+						report(Diagnostic{Pos: name.Pos(), Message: fmt.Sprintf(
+							"sentinel %s has no wire-code mapping in Code(err)", name.Name)})
+					}
+				}
+			}
+		}
+	}
+}
+
+// isErrorToStringSig matches func(error) string.
+func isErrorToStringSig(pkg *Package, decl *ast.FuncDecl) bool {
+	fn, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	return sig.Params().At(0).Type().String() == "error" &&
+		sig.Results().At(0).Type().String() == "string"
+}
+
+// checkDocumentedCodes enforces the DESIGN.md entry for each wire code
+// constant.
+func checkDocumentedCodes(pkg *Package, report func(Diagnostic)) {
+	type codeConst struct {
+		name  *ast.Ident
+		value string
+	}
+	var codes []codeConst
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gen, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Code") && !strings.HasPrefix(name.Name, "code") {
+						continue
+					}
+					c, ok := pkg.Info.Defs[name].(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					if v := constant.StringVal(c.Val()); v != "" {
+						codes = append(codes, codeConst{name: name, value: v})
+					}
+				}
+			}
+		}
+	}
+	if len(codes) == 0 {
+		return
+	}
+	design := findDesignDoc(pkg.Dir)
+	if design == "" {
+		report(Diagnostic{Pos: codes[0].name.Pos(), Message: fmt.Sprintf(
+			"package declares wire codes but no DESIGN.md was found above %s", pkg.Dir)})
+		return
+	}
+	content, err := os.ReadFile(design)
+	if err != nil {
+		report(Diagnostic{Pos: codes[0].name.Pos(),
+			Message: "package declares wire codes but " + design + " is unreadable"})
+		return
+	}
+	for _, c := range codes {
+		if !strings.Contains(string(content), "`"+c.value+"`") {
+			report(Diagnostic{Pos: c.name.Pos(), Message: fmt.Sprintf(
+				"wire code %s (%q) is not documented in %s", c.name.Name, c.value, filepath.Base(design))})
+		}
+	}
+}
+
+// findDesignDoc walks up from dir to the first DESIGN.md; the walk
+// stops at the module root (the first go.mod).
+func findDesignDoc(dir string) string {
+	for {
+		p := filepath.Join(dir, "DESIGN.md")
+		if _, err := os.Stat(p); err == nil {
+			return p
+		}
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return ""
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// checkEnvelopeDiscipline enforces writeJSON-only responses.
+func checkEnvelopeDiscipline(pkg *Package, report func(Diagnostic)) {
+	hasEnvelope := false
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if decl, ok := d.(*ast.FuncDecl); ok && decl.Recv == nil && decl.Name.Name == "writeJSON" {
+				hasEnvelope = true
+			}
+		}
+	}
+	if !hasEnvelope {
+		return
+	}
+	funcBodies(pkg, func(decl *ast.FuncDecl, fn *types.Func) {
+		if decl.Recv == nil && decl.Name.Name == "writeJSON" {
+			return // the envelope itself is the one sanctioned writer
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fullNameOf(pkg.Info, call) == "net/http.Error" {
+				report(Diagnostic{Pos: call.Pos(),
+					Message: "respond through the writeJSON envelope, not http.Error"})
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "WriteHeader" && sel.Sel.Name != "Write" {
+				return true
+			}
+			if isResponseWriter(pkg.Info.TypeOf(sel.X)) {
+				report(Diagnostic{Pos: call.Pos(), Message: fmt.Sprintf(
+					"%s on an http.ResponseWriter bypasses the writeJSON envelope", sel.Sel.Name)})
+			}
+			return true
+		})
+	})
+}
+
+// isResponseWriter matches net/http.ResponseWriter.
+func isResponseWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "ResponseWriter"
+}

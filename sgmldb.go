@@ -262,6 +262,8 @@ func (db *Database) LoadDocuments(srcs []string) (oids []object.OID, err error) 
 // pre-load state, and the rollback runs under loadMu, so no other writer
 // sees the window. The append is fsynced before Publish: a published
 // epoch is always recoverable.
+//
+//sgmldbvet:commitpath
 func (db *Database) commitLoad(docs []*sgml.Document, srcs []string, logIt bool) (oids []object.OID, err error) {
 	mark := db.Loader.Mark()
 	defer func() {
@@ -308,6 +310,8 @@ func (db *Database) Name(name string, oid object.OID) (err error) {
 
 // commitName stages, logs (when logIt — recovery replays with it unset),
 // and publishes one root naming. Caller holds loadMu.
+//
+//sgmldbvet:commitpath
 func (db *Database) commitName(name string, oid object.OID, logIt bool) error {
 	cur := db.state()
 	published := cur.Snap.Inst

@@ -75,9 +75,10 @@ func (db *Database) observe(err error) {
 // Stats summarises the database.
 func (db *Database) Stats() Stats {
 	hits, misses := db.Engine.PlanCacheStats()
+	snap := db.state() // one pinned snapshot: stats and epoch must agree
 	st := Stats{
-		Stats:           db.Instance().Stats(),
-		Epoch:           db.Epoch(),
+		Stats:           snap.Snap.Inst.Stats(),
+		Epoch:           snap.Snap.Epoch,
 		QueriesServed:   db.metrics.queries.Load(),
 		QueriesShed:     db.metrics.shed.Load(),
 		BudgetExceeded:  db.metrics.budgetKills.Load(),
