@@ -82,6 +82,8 @@ func TestChaosSitesEnumerated(t *testing.T) {
 		"dtdmap/load-doc",
 		"dtdmap/set-root",
 		"oql/plan-recompile",
+		"service/feed-stream",
+		"service/follower-apply",
 		"text/index-add",
 		"text/index-clone",
 		"wal/append",
@@ -89,6 +91,7 @@ func TestChaosSitesEnumerated(t *testing.T) {
 		"wal/checkpoint-write",
 		"wal/post-append",
 		"wal/post-fsync",
+		"wal/truncate-reopen",
 	}
 	if got := faultpoint.Names(); !reflect.DeepEqual(got, want) {
 		t.Errorf("faultpoint.Names() = %v, want %v", got, want)

@@ -10,11 +10,17 @@
 //	sgmldbd -dtd article.dtd [-addr 127.0.0.1:8344] [-tenants tenants.json]
 //	        [-data dir] [-max-concurrent N] [-max-rows N] [-max-memory B]
 //	        [-query-timeout D] [-drain-timeout D] [doc.sgml …]
+//	sgmldbd -dtd article.dtd -follow http://primary:8344 [-follow-key K] [flags]
 //
 // Without -tenants the server runs in open mode: every caller is one
 // anonymous tenant with no per-tenant limits (the database-level budgets
 // still apply). With -tenants, callers authenticate with
 // "Authorization: Bearer <key>" or "X-API-Key: <key>".
+//
+// With -follow the process is a read-only follower (DESIGN.md §10): it
+// bootstraps from the primary's newest checkpoint, tails its log feed,
+// and serves queries at the primary's epoch; loads are rejected with
+// READ_ONLY. -data and document preloading are primary-only.
 package main
 
 import (
@@ -51,9 +57,20 @@ func run() error {
 	maxMemory := flag.Int64("max-memory", 0, "database-wide per-query memory budget in bytes (0 = unlimited)")
 	queryTimeout := flag.Duration("query-timeout", 0, "database-wide per-query wall-clock budget (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	follow := flag.String("follow", "", "primary base URL; run as a read-only follower")
+	followKey := flag.String("follow-key", "", "API key the follower presents to the primary")
+	followWait := flag.Uint64("follow-wait-ms", 0, "feed long-poll window in ms (0 = server default)")
 	flag.Parse()
 	if *dtdPath == "" {
 		return fmt.Errorf("usage: sgmldbd -dtd file.dtd [flags] [doc.sgml…]")
+	}
+	if *follow != "" {
+		if *dataDir != "" {
+			return fmt.Errorf("-follow and -data are mutually exclusive: a follower replays the primary's log, it keeps none of its own")
+		}
+		if flag.NArg() > 0 {
+			return fmt.Errorf("-follow rejects document preloading: followers are read-only")
+		}
 	}
 
 	var opts []sgmldb.Option
@@ -76,7 +93,17 @@ func run() error {
 		opts = append(opts, sgmldb.WithQueryTimeout(*queryTimeout))
 	}
 
-	db, err := sgmldb.OpenDTDFile(*dtdPath, opts...)
+	var db *sgmldb.Database
+	var err error
+	if *follow != "" {
+		dtdSrc, rerr := os.ReadFile(*dtdPath)
+		if rerr != nil {
+			return rerr
+		}
+		db, err = sgmldb.OpenFollower(string(dtdSrc), opts...)
+	} else {
+		db, err = sgmldb.OpenDTDFile(*dtdPath, opts...)
+	}
 	if err != nil {
 		return err
 	}
@@ -84,6 +111,26 @@ func run() error {
 		if _, err := db.LoadDocumentFile(path); err != nil {
 			return fmt.Errorf("preloading %s: %w", path, err)
 		}
+	}
+
+	// In follower mode, start the replication client before serving: the
+	// first poll bootstraps from the primary's checkpoint, later ones tail
+	// its live log. The tail loop is cancelled first thing at shutdown.
+	var stopTail context.CancelFunc
+	tailDone := make(chan struct{})
+	close(tailDone)
+	if *follow != "" {
+		var tailCtx context.Context
+		tailCtx, stopTail = context.WithCancel(context.Background())
+		defer stopTail()
+		fl := &service.Follower{DB: db, Primary: *follow, Key: *followKey, WaitMS: *followWait}
+		tailDone = make(chan struct{})
+		go func() {
+			defer close(tailDone)
+			if err := fl.Run(tailCtx); err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("sgmldbd: replication stopped: %v", err)
+			}
+		}()
 	}
 
 	cfg := service.Config{}
@@ -109,11 +156,14 @@ func run() error {
 			errCh <- err
 		}
 	}()
-	mode := "open"
+	mode := "open mode"
 	if n := len(cfg.Tenants); n > 0 {
-		mode = fmt.Sprintf("%d tenants", n)
+		mode = fmt.Sprintf("%d-tenant mode", n)
 	}
-	log.Printf("sgmldbd: serving on %s (%s mode, epoch %d)", *addr, mode, db.Epoch())
+	if *follow != "" {
+		mode += fmt.Sprintf(", following %s", *follow)
+	}
+	log.Printf("sgmldbd: serving on %s (%s, epoch %d)", *addr, mode, db.Epoch())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -128,6 +178,10 @@ func run() error {
 	// calls), let http.Server.Shutdown wait out the in-flight handlers,
 	// then checkpoint and close the durability machinery.
 	srv.Drain()
+	if stopTail != nil {
+		stopTail()
+		<-tailDone
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

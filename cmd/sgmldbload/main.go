@@ -8,7 +8,11 @@
 //
 //	sgmldbload [-addr http://127.0.0.1:8344] [-key K] [-n 1000] [-c 8]
 //	           [-query "select a from a in Articles"] [-prepared 0.5]
-//	           [-o report.json]
+//	           [-load doc.sgml] [-load-count N] [-o report.json]
+//
+// With -load, before the read burst the given SGML document is loaded
+// -load-count times through POST /v1/load (one document per batch) — the
+// write leg the replication smoke uses to make a primary's feed move.
 package main
 
 import (
@@ -55,6 +59,8 @@ func run() error {
 	workers := flag.Int("c", 8, "concurrent workers")
 	query := flag.String("query", "select a from a in Articles", "query to drive")
 	prepared := flag.Float64("prepared", 0.5, "fraction of requests via a prepared handle (0..1)")
+	loadFile := flag.String("load", "", "SGML document to load before the read burst")
+	loadCount := flag.Int("load-count", 1, "how many times to load the -load document")
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	flag.Parse()
 	if *n <= 0 || *workers <= 0 || *prepared < 0 || *prepared > 1 {
@@ -90,6 +96,22 @@ func run() error {
 			}
 		}
 		return resp.StatusCode, decoded, nil
+	}
+
+	if *loadFile != "" {
+		src, err := os.ReadFile(*loadFile)
+		if err != nil {
+			return fmt.Errorf("reading -load file: %w", err)
+		}
+		for i := 0; i < *loadCount; i++ {
+			status, body, err := post("/v1/load", map[string]any{"documents": []string{string(src)}})
+			if err != nil {
+				return fmt.Errorf("load %d: %w", i+1, err)
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("load %d: status %d: %v", i+1, status, body)
+			}
+		}
 	}
 
 	// One warm-up round trip doubles as the health check.

@@ -19,6 +19,8 @@ const (
 	CodeUnknownObject = "UNKNOWN_OBJECT"  // ErrUnknownObject
 	CodeNoMapping     = "NO_MAPPING"      // ErrNoMapping
 	CodeCorruptLog    = "CORRUPT_LOG"     // ErrCorruptLog
+	CodeNotPrimary    = "NOT_PRIMARY"     // ErrNotPrimary
+	CodeSeqTruncated  = "SEQ_TRUNCATED"   // ErrSeqTruncated
 	CodeCanceled      = "CANCELED"        // context.Canceled
 	CodeDeadline      = "DEADLINE"        // context.DeadlineExceeded
 	CodeUnknown       = "UNKNOWN"         // anything else
@@ -56,6 +58,10 @@ func Code(err error) string {
 		return CodeNoMapping
 	case errors.Is(err, ErrCorruptLog):
 		return CodeCorruptLog
+	case errors.Is(err, ErrNotPrimary):
+		return CodeNotPrimary
+	case errors.Is(err, ErrSeqTruncated):
+		return CodeSeqTruncated
 	case errors.Is(err, context.Canceled):
 		return CodeCanceled
 	case errors.Is(err, context.DeadlineExceeded):

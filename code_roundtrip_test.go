@@ -27,6 +27,8 @@ var sentinelByName = map[string]error{
 	"ErrParse":          ErrParse,
 	"ErrTypecheck":      ErrTypecheck,
 	"ErrCorruptLog":     ErrCorruptLog,
+	"ErrNotPrimary":     ErrNotPrimary,
+	"ErrSeqTruncated":   ErrSeqTruncated,
 }
 
 // declaredSentinels parses errors.go for its package-level Err… names.

@@ -61,4 +61,17 @@ var (
 	// history was lost, which recovery refuses to guess around. It aliases
 	// the internal sentinel so errors.Is works across layers.
 	ErrCorruptLog = wal.ErrCorruptLog
+
+	// ErrNotPrimary is returned by the replication feed accessors
+	// (FeedFrames, FeedWatch, FeedSeq, NewestCheckpointFile) on a database
+	// without a write-ahead log: only a durable primary has history to
+	// ship to followers.
+	ErrNotPrimary = errors.New("sgmldb: not a primary (no write-ahead log to ship)")
+
+	// ErrSeqTruncated is returned by FeedFrames when the requested anchor
+	// precedes the retained log — a checkpoint dropped that prefix, and
+	// the follower must bootstrap from a checkpoint instead of tailing
+	// frames. It aliases the internal sentinel so errors.Is works across
+	// layers.
+	ErrSeqTruncated = wal.ErrSeqTruncated
 )

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"sgmldb"
+	"sgmldb/internal/faultpoint"
+)
+
+// Replication feed (DESIGN.md §10). Two endpoints turn a durable primary
+// into a log shipper:
+//
+//	GET /v1/feed?after=S        raw committed WAL frames with seq > S
+//	GET /v1/checkpoint          the newest checkpoint file, verbatim
+//
+// Both responses are binary (application/octet-stream): the feed body is
+// a concatenation of on-disk frames the follower validates with the same
+// codec the local replay path uses, the checkpoint body is the exact file
+// WriteCheckpoint produced. Errors still use the JSON envelope. The feed
+// long-polls: with no records due it parks up to wait_ms for the next
+// commit (a drain or client hang-up wakes it early), so a quiet primary
+// costs one idle request per wait window, not a busy poll.
+//
+// Response headers:
+//
+//	Sgmldb-Seq            last sequence number included in the body
+//	Sgmldb-Primary-Seq    newest committed sequence on the primary
+//	Sgmldb-Checkpoint-Seq sequence the checkpoint covers
+const (
+	feedDefaultWaitMS  = 2000
+	feedMaxWaitMS      = 30000
+	feedDefaultMaxB    = 4 << 20
+	feedMaxMaxB        = 64 << 20
+	contentTypeBinary  = "application/octet-stream"
+	headerSeq          = "Sgmldb-Seq"
+	headerPrimarySeq   = "Sgmldb-Primary-Seq"
+	headerCheckpointSq = "Sgmldb-Checkpoint-Seq"
+)
+
+// fpFeedStream cuts a feed response short mid-body: the chaos suite arms
+// it to prove a follower treats a truncated frame stream like a torn tail
+// and resumes cleanly from its last applied record.
+var fpFeedStream = faultpoint.New("service/feed-stream")
+
+// uintParam parses one optional unsigned query parameter.
+func uintParam(r *http.Request, name string, def uint64) (uint64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %q parameter %q", name, raw)
+	}
+	return v, nil
+}
+
+// handleFeed streams committed log frames after the follower's anchor.
+func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	t, release, ok := s.enter(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	after, err := uintParam(r, "after", 0)
+	if err != nil {
+		t.errors.Add(1)
+		fail(w, codeBadRequest, err.Error())
+		return
+	}
+	waitMS, err := uintParam(r, "wait_ms", feedDefaultWaitMS)
+	if err != nil {
+		t.errors.Add(1)
+		fail(w, codeBadRequest, err.Error())
+		return
+	}
+	if waitMS > feedMaxWaitMS {
+		waitMS = feedMaxWaitMS
+	}
+	maxBytes, err := uintParam(r, "max_bytes", feedDefaultMaxB)
+	if err != nil {
+		t.errors.Add(1)
+		fail(w, codeBadRequest, err.Error())
+		return
+	}
+	if maxBytes == 0 || maxBytes > feedMaxMaxB {
+		maxBytes = feedDefaultMaxB
+	}
+
+	// Long-poll: when the primary has nothing past the anchor, park on the
+	// log's commit signal until a record lands, the wait expires, the
+	// client goes away, or the server drains — whichever is first.
+	deadline := time.After(time.Duration(waitMS) * time.Millisecond)
+	for {
+		seq, commit, err := s.db.FeedWatch()
+		if err != nil {
+			t.errors.Add(1)
+			failErr(w, err)
+			return
+		}
+		if seq > after {
+			break
+		}
+		select {
+		case <-commit:
+		case <-deadline:
+			writeFrames(w, nil, after, seq)
+			return
+		case <-r.Context().Done():
+			return // nobody is listening anymore
+		case <-s.drainCh:
+			fail(w, codeDraining, "server is draining")
+			return
+		}
+	}
+	frames, lastSeq, err := s.db.FeedFrames(after, int(maxBytes))
+	if err != nil {
+		if code := sgmldb.Code(err); code != sgmldb.CodeSeqTruncated {
+			t.errors.Add(1)
+		}
+		failErr(w, err)
+		return
+	}
+	if fpFeedStream.Hit() != nil {
+		// Injected stream cut: ship only a prefix of the frame bytes, as a
+		// killed connection would. The last frame is torn mid-body unless
+		// the cut lands exactly on a boundary — both are follower-legal.
+		frames = frames[:len(frames)/2]
+	}
+	primarySeq, _ := s.db.FeedSeq()
+	writeFrames(w, frames, lastSeq, primarySeq)
+}
+
+// writeFrames ships one binary feed response.
+func writeFrames(w http.ResponseWriter, frames []byte, lastSeq, primarySeq uint64) {
+	w.Header().Set("Content-Type", contentTypeBinary)
+	w.Header().Set(headerSeq, strconv.FormatUint(lastSeq, 10))
+	w.Header().Set(headerPrimarySeq, strconv.FormatUint(primarySeq, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(frames)))
+	//lint:allow wirecode binary feed body; errors on this endpoint still use writeJSON
+	w.WriteHeader(http.StatusOK)
+	//lint:allow wirecode binary feed body; errors on this endpoint still use writeJSON
+	_, _ = w.Write(frames)
+}
+
+// handleCheckpoint streams the newest checkpoint file for a follower
+// bootstrap. 404 NO_CHECKPOINT when none has been written yet — the
+// follower then tails the feed from sequence 0.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	t, release, ok := s.enter(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	path, seq, found, err := s.db.NewestCheckpointFile()
+	if err != nil {
+		t.errors.Add(1)
+		failErr(w, err)
+		return
+	}
+	if !found {
+		fail(w, codeNoCheckpoint, "no checkpoint written yet; tail the feed from 0")
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.errors.Add(1)
+		fail(w, sgmldb.CodeInternal, "opening checkpoint: "+err.Error())
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", contentTypeBinary)
+	w.Header().Set(headerCheckpointSq, strconv.FormatUint(seq, 10))
+	//lint:allow wirecode binary checkpoint body; errors on this endpoint still use writeJSON
+	w.WriteHeader(http.StatusOK)
+	//lint:allow wirecode binary checkpoint body; errors on this endpoint still use writeJSON
+	_, _ = io.Copy(w, f)
+}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sgmldb"
+	"sgmldb/internal/faultpoint"
+)
+
+// TestServicePrepareQuotaRace is the regression test for the prepared-
+// handle quota TOCTOU: the pre-fix code checked the tenant's handle count
+// before Engine.Prepare and incremented it after, so N concurrent
+// prepares all passed the check and a tenant with quota 2 ended up
+// holding N handles. The fixed code reserves the slot atomically up
+// front: exactly quota prepares may be in flight, the rest get
+// HANDLE_LIMIT immediately.
+func TestServicePrepareQuotaRace(t *testing.T) {
+	defer faultpoint.DisarmAll()
+	db := openTestDB(t, 1)
+	defer db.Close()
+	cfg := Config{Tenants: []TenantConfig{{Name: "t", APIKey: "k", MaxHandles: 2}}}
+	_, ts := newTestServer(t, db, cfg)
+
+	// Park every prepare that makes it past the quota gate inside
+	// Engine.Prepare, widening the pre-fix race window from nanoseconds
+	// to the whole test.
+	var parked atomic.Int64
+	release := make(chan struct{})
+	released := false
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+	defer faultpoint.Arm("oql/plan-recompile", func() error {
+		parked.Add(1)
+		<-release
+		return nil
+	})()
+
+	const callers = 8
+	var ok, limited atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body := call(t, ts, "POST", "/v1/prepare", "k", map[string]any{"query": "select a from a in Articles"})
+			switch {
+			case status == http.StatusOK:
+				ok.Add(1)
+			case status == http.StatusTooManyRequests && errCode(t, body) == codeHandleLimit:
+				limited.Add(1)
+			default:
+				t.Errorf("prepare: unexpected status %d body %v", status, body)
+			}
+		}()
+	}
+	waitFor(t, "prepares to park in the engine", func() bool { return parked.Load() >= 2 })
+	released = true
+	close(release)
+	wg.Wait()
+
+	if ok.Load() != 2 || limited.Load() != callers-2 {
+		t.Fatalf("quota 2 under %d concurrent prepares: %d succeeded, %d limited (want 2/%d)",
+			callers, ok.Load(), limited.Load(), callers-2)
+	}
+	status, body := call(t, ts, "GET", "/v1/stats", "k", nil)
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	tn := body["service"].(map[string]any)["tenants"].([]any)[0].(map[string]any)
+	if h := tn["handles"].(float64); h != 2 {
+		t.Fatalf("tenant holds %v handles after the race, quota is 2", h)
+	}
+}
+
+// TestServiceStatsTenantOrderStable: the tenants array in /v1/stats must
+// come back in one deterministic (name-sorted) order on every scrape —
+// pre-fix it followed Go's randomized map iteration.
+func TestServiceStatsTenantOrderStable(t *testing.T) {
+	db := openTestDB(t, 1)
+	defer db.Close()
+	cfg := Config{Tenants: []TenantConfig{
+		{Name: "zeta", APIKey: "kz"},
+		{Name: "alpha", APIKey: "ka"},
+		{Name: "mid", APIKey: "km"},
+		{Name: "beta", APIKey: "kb"},
+	}}
+	_, ts := newTestServer(t, db, cfg)
+	want := []string{"alpha", "beta", "mid", "zeta"}
+	for i := 0; i < 20; i++ {
+		status, body := call(t, ts, "GET", "/v1/stats", "ka", nil)
+		if status != http.StatusOK {
+			t.Fatalf("stats scrape %d: status %d", i, status)
+		}
+		raw := body["service"].(map[string]any)["tenants"].([]any)
+		if len(raw) != len(want) {
+			t.Fatalf("scrape %d: %d tenants, want %d", i, len(raw), len(want))
+		}
+		for j, tn := range raw {
+			if name := tn.(map[string]any)["name"].(string); name != want[j] {
+				t.Fatalf("scrape %d: tenants[%d] = %q, want %q", i, j, name, want[j])
+			}
+		}
+	}
+}
+
+// TestServiceCanceledNotAnError: a client hanging up mid-query is the
+// client's doing, not a service fault — the wire status is 499 (client
+// closed request) and the tenant's error counter must not move.
+// DESIGN.md §9 names this test.
+func TestServiceCanceledNotAnError(t *testing.T) {
+	defer faultpoint.DisarmAll()
+	db := openTestDB(t, 1)
+	defer db.Close()
+	s, err := New(db, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer faultpoint.Arm("calculus/eval", faultpoint.Once(func() error {
+		close(entered)
+		<-release
+		// The evaluator observes the (by now canceled) request context.
+		return context.Canceled
+	}))()
+
+	raw, _ := json.Marshal(map[string]any{"query": "select a from a in Articles"})
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/v1/query", bytes.NewReader(raw)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.ServeHTTP(rec, req)
+	}()
+	<-entered
+	cancel() // the client hangs up while the query is mid-evaluation
+	close(release)
+	<-done
+
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("canceled query: status %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	var envelope map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil {
+		t.Fatalf("non-JSON 499 body %q: %v", rec.Body.Bytes(), err)
+	}
+	if code := errCode(t, envelope); code != sgmldb.CodeCanceled {
+		t.Fatalf("canceled query: wire code %q, want %q", code, sgmldb.CodeCanceled)
+	}
+	if got := s.open.queries.Load(); got != 1 {
+		t.Fatalf("canceled query: queries counter = %d, want 1 (it did run)", got)
+	}
+	if got := s.open.errors.Load(); got != 0 {
+		t.Fatalf("client cancellation counted as a tenant error (%d); 499 is not the service's fault", got)
+	}
+}
+
+// TestServiceStatusForCanceled pins the wire mapping the cancel test
+// rides on: CANCELED is 499, SEQ_TRUNCATED is 410.
+func TestServiceStatusForCanceled(t *testing.T) {
+	if got := statusFor(sgmldb.CodeCanceled); got != statusClientClosedRequest {
+		t.Errorf("statusFor(CANCELED) = %d, want %d", got, statusClientClosedRequest)
+	}
+	if got := statusFor(sgmldb.CodeSeqTruncated); got != http.StatusGone {
+		t.Errorf("statusFor(SEQ_TRUNCATED) = %d, want %d", got, http.StatusGone)
+	}
+	if got := statusFor(sgmldb.CodeNotPrimary); got != http.StatusForbidden {
+		t.Errorf("statusFor(NOT_PRIMARY) = %d, want %d", got, http.StatusForbidden)
+	}
+}

@@ -1,0 +1,237 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sgmldb"
+	"sgmldb/internal/faultpoint"
+	"sgmldb/internal/wal"
+)
+
+// Follower is the replication client: it tails a primary's /v1/feed and
+// applies the shipped records to a local OpenFollower database. On a 410
+// SEQ_TRUNCATED — the primary checkpointed past our anchor — it
+// bootstraps from /v1/checkpoint and resumes tailing. Transient failures
+// (network, primary restarting, primary draining) back off exponentially
+// and retry; the loop runs until ctx is cancelled. Every request anchors
+// at DB.AppliedSeq(), so a restarted or reconnected follower resumes
+// exactly where it stopped — no record is re-applied or skipped.
+type Follower struct {
+	DB      *sgmldb.Database // an OpenFollower database
+	Primary string           // primary base URL, e.g. http://10.0.0.1:8080
+	Key     string           // API key for the primary (empty in open mode)
+
+	// Optional knobs; zero values get serviceable defaults.
+	Client     *http.Client
+	WaitMS     uint64        // feed long-poll window
+	MaxBytes   uint64        // per-response frame budget
+	MinBackoff time.Duration // first retry delay
+	MaxBackoff time.Duration // retry delay ceiling
+}
+
+// fpFollowerApply fails the apply of one shipped record: the chaos suite
+// arms it to prove a follower that dies mid-batch resumes from its last
+// applied record, not the batch boundary.
+var fpFollowerApply = faultpoint.New("service/follower-apply")
+
+func (f *Follower) client() *http.Client {
+	if f.Client != nil {
+		return f.Client
+	}
+	return http.DefaultClient
+}
+
+func (f *Follower) backoffBounds() (lo, hi time.Duration) {
+	lo, hi = f.MinBackoff, f.MaxBackoff
+	if lo <= 0 {
+		lo = 50 * time.Millisecond
+	}
+	if hi <= 0 {
+		hi = 3 * time.Second
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// Run tails the primary until ctx is cancelled. It returns ctx.Err() on
+// cancellation; any other return is a permanent failure (a DTD mismatch,
+// a poisoned stream) that retrying cannot fix.
+func (f *Follower) Run(ctx context.Context) error {
+	lo, hi := f.backoffBounds()
+	backoff := lo
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		progressed, err := f.poll(ctx)
+		switch {
+		case err == nil:
+			backoff = lo
+			continue
+		case errors.Is(err, errBootstrap):
+			if berr := f.bootstrap(ctx); berr == nil {
+				backoff = lo
+				continue
+			} else if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Bootstrap failed (primary mid-checkpoint, transient error):
+			// fall through to back off and retry the whole handshake.
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case isPermanent(err):
+			return err
+		}
+		if progressed {
+			backoff = lo
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if backoff *= 2; backoff > hi {
+			backoff = hi
+		}
+	}
+}
+
+// errBootstrap signals poll saw 410 SEQ_TRUNCATED: the anchor precedes
+// the primary's retained log and the follower must install a checkpoint.
+var errBootstrap = errors.New("service: feed anchor truncated; checkpoint bootstrap required")
+
+// isPermanent classifies apply-side failures retrying cannot fix.
+func isPermanent(err error) bool {
+	return errors.Is(err, errApply)
+}
+
+// errApply wraps a local ApplyRecord failure: the shipped record decoded
+// cleanly but would not apply, which re-fetching the same record cannot
+// cure.
+var errApply = errors.New("service: applying shipped record")
+
+// poll performs one feed round-trip and applies what it got. progressed
+// reports whether at least one record applied, so the caller can reset
+// its backoff even when the stream then broke.
+func (f *Follower) poll(ctx context.Context) (progressed bool, err error) {
+	after := f.DB.AppliedSeq()
+	url := fmt.Sprintf("%s/v1/feed?after=%d&wait_ms=%d&max_bytes=%d", f.Primary, after, f.waitMS(), f.maxBytes())
+	body, hdr, status, err := f.get(ctx, url)
+	if err != nil {
+		return false, err
+	}
+	switch status {
+	case http.StatusOK:
+	case http.StatusGone:
+		return false, errBootstrap
+	default:
+		return false, fmt.Errorf("service: feed: %s", wireError(status, body))
+	}
+	if seq, perr := strconv.ParseUint(hdr.Get(headerPrimarySeq), 10, 64); perr == nil {
+		f.DB.ObservePrimarySeq(seq)
+	}
+	// Decode and apply frame by frame. A decode failure means the stream
+	// was cut mid-frame (a killed primary, a dropped connection): keep
+	// what applied, re-anchor, and let the next poll refetch the rest —
+	// the same torn-tail tolerance local recovery has.
+	off := 0
+	for off < len(body) {
+		rec, n, derr := wal.DecodeFrame(body[off:])
+		if derr != nil {
+			return progressed, fmt.Errorf("service: feed stream cut at offset %d: %w", off, derr)
+		}
+		off += n
+		if rec.Seq <= f.DB.AppliedSeq() {
+			continue // duplicate delivery after a re-anchor race: skip
+		}
+		if ferr := fpFollowerApply.Hit(); ferr != nil {
+			return progressed, fmt.Errorf("service: apply record %d: %w", rec.Seq, ferr)
+		}
+		if aerr := f.DB.ApplyRecord(rec); aerr != nil {
+			return progressed, fmt.Errorf("%w %d: %w", errApply, rec.Seq, aerr)
+		}
+		progressed = true
+	}
+	return progressed, nil
+}
+
+// bootstrap fetches and installs the primary's newest checkpoint.
+func (f *Follower) bootstrap(ctx context.Context) error {
+	body, _, status, err := f.get(ctx, f.Primary+"/v1/checkpoint")
+	if err != nil {
+		return err
+	}
+	if status == http.StatusNotFound {
+		// No checkpoint on the primary, yet the feed said our anchor is
+		// truncated — a prune race; retry the handshake.
+		return fmt.Errorf("service: bootstrap: primary has no checkpoint yet")
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("service: bootstrap: %s", wireError(status, body))
+	}
+	ck, err := wal.DecodeCheckpoint(bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("service: bootstrap: decoding checkpoint: %w", err)
+	}
+	if err := f.DB.ApplyCheckpoint(ck); err != nil {
+		return fmt.Errorf("service: bootstrap: %w", err)
+	}
+	return nil
+}
+
+// get performs one authenticated GET and slurps the body. A read error
+// mid-body returns what arrived: the frame decoder treats the missing
+// rest as a stream cut.
+func (f *Follower) get(ctx context.Context, url string) (body []byte, hdr http.Header, status int, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if f.Key != "" {
+		req.Header.Set("Authorization", "Bearer "+f.Key)
+	}
+	resp, err := f.client().Do(req)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(resp.Body)
+	if rerr != nil && len(body) == 0 {
+		return nil, nil, 0, rerr
+	}
+	return body, resp.Header, resp.StatusCode, nil
+}
+
+// wireError renders an error response for a log line: the envelope's
+// code and message when the body parses, the raw status otherwise.
+func wireError(status int, body []byte) string {
+	var eb errorBody
+	if json.Unmarshal(body, &eb) == nil && eb.Error.Code != "" {
+		return fmt.Sprintf("%d %s: %s", status, eb.Error.Code, eb.Error.Message)
+	}
+	return fmt.Sprintf("status %d", status)
+}
+
+func (f *Follower) waitMS() uint64 {
+	if f.WaitMS > 0 {
+		return f.WaitMS
+	}
+	return feedDefaultWaitMS
+}
+
+func (f *Follower) maxBytes() uint64 {
+	if f.MaxBytes > 0 {
+		return f.MaxBytes
+	}
+	return feedDefaultMaxB
+}

@@ -1,0 +1,323 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"sgmldb"
+	"sgmldb/internal/wal"
+)
+
+// readCorpus loads the article DTD and document sources.
+func readCorpus(t *testing.T) (dtd, doc string) {
+	t.Helper()
+	d, err := os.ReadFile("../../testdata/article.dtd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile("../../testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(d), string(a)
+}
+
+// openPrimary opens a durable database (the replication source) with
+// background checkpointing off, so tests control checkpoints explicitly.
+func openPrimary(t *testing.T, dtd string) *sgmldb.Database {
+	t.Helper()
+	db, err := sgmldb.OpenDTD(dtd, sgmldb.WithDataDir(t.TempDir()), sgmldb.WithCheckpointEvery(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// rawGet performs one GET and returns the raw body (feed and checkpoint
+// responses are binary, not JSON).
+func rawGet(t *testing.T, ts *httptest.Server, path string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// decodeFeed splits a feed body into records.
+func decodeFeed(t *testing.T, body []byte) []wal.Record {
+	t.Helper()
+	var recs []wal.Record
+	off := 0
+	for off < len(body) {
+		rec, n, err := wal.DecodeFrame(body[off:])
+		if err != nil {
+			t.Fatalf("feed frame at offset %d: %v", off, err)
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return recs
+}
+
+// waitFor polls cond to true within a generous deadline.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestServiceFeedHandshake(t *testing.T) {
+	dtd, doc := readCorpus(t)
+	db := openPrimary(t, dtd)
+	if _, err := db.LoadDocuments([]string{doc, doc}); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, db, Config{})
+
+	// From 0: the full history (schema record + one load batch).
+	status, hdr, body := rawGet(t, ts, "/v1/feed?after=0")
+	if status != http.StatusOK {
+		t.Fatalf("feed: status %d body %q", status, body)
+	}
+	recs := decodeFeed(t, body)
+	if len(recs) != 2 || recs[0].Kind != wal.KindSchema || recs[1].Kind != wal.KindLoad {
+		t.Fatalf("feed records = %+v", recs)
+	}
+	if hdr.Get("Sgmldb-Seq") != "2" || hdr.Get("Sgmldb-Primary-Seq") != "2" {
+		t.Fatalf("feed headers: seq %q primary %q", hdr.Get("Sgmldb-Seq"), hdr.Get("Sgmldb-Primary-Seq"))
+	}
+
+	// Caught up: an empty body whose seq echoes the anchor.
+	status, hdr, body = rawGet(t, ts, "/v1/feed?after=2&wait_ms=1")
+	if status != http.StatusOK || len(body) != 0 || hdr.Get("Sgmldb-Seq") != "2" {
+		t.Fatalf("caught up: status %d len %d seq %q", status, len(body), hdr.Get("Sgmldb-Seq"))
+	}
+
+	// Malformed anchor: 400.
+	status, _, body = rawGet(t, ts, "/v1/feed?after=banana")
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad anchor: status %d body %q", status, body)
+	}
+}
+
+// TestServiceFeedLongPollWakes parks a feed request on an up-to-date
+// anchor and proves a commit on the primary wakes it with the new record
+// well before the wait window expires.
+func TestServiceFeedLongPollWakes(t *testing.T) {
+	dtd, doc := readCorpus(t)
+	db := openPrimary(t, dtd)
+	if _, err := db.LoadDocuments([]string{doc}); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, db, Config{})
+
+	type res struct {
+		recs    []wal.Record
+		elapsed time.Duration
+	}
+	got := make(chan res, 1)
+	start := time.Now()
+	go func() {
+		_, _, body := rawGet(t, ts, "/v1/feed?after=2&wait_ms=30000")
+		got <- res{decodeFeed(t, body), time.Since(start)}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poll park
+	if _, err := db.LoadDocuments([]string{doc}); err != nil {
+		t.Fatal(err)
+	}
+	r := <-got
+	if len(r.recs) != 1 || r.recs[0].Seq != 3 {
+		t.Fatalf("woken poll got %+v", r.recs)
+	}
+	if r.elapsed > 10*time.Second {
+		t.Fatalf("poll took %v; the commit signal did not wake it", r.elapsed)
+	}
+}
+
+// TestServiceFeedDrainWakes proves Drain unparks waiting feeds at once.
+func TestServiceFeedDrainWakes(t *testing.T) {
+	dtd, doc := readCorpus(t)
+	db := openPrimary(t, dtd)
+	if _, err := db.LoadDocuments([]string{doc}); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, db, Config{})
+	got := make(chan int, 1)
+	go func() {
+		status, _, _ := rawGet(t, ts, "/v1/feed?after=2&wait_ms=30000")
+		got <- status
+	}()
+	time.Sleep(50 * time.Millisecond)
+	s.Drain()
+	select {
+	case status := <-got:
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("drained feed: status %d", status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not wake the parked feed")
+	}
+}
+
+func TestServiceFeedNotPrimary(t *testing.T) {
+	db := openTestDB(t, 1) // in-memory: no WAL to ship
+	_, ts := newTestServer(t, db, Config{})
+	status, body := call(t, ts, "GET", "/v1/feed?after=0", "", nil)
+	if status != http.StatusForbidden || errCode(t, body) != sgmldb.CodeNotPrimary {
+		t.Fatalf("feed on non-primary: status %d body %v", status, body)
+	}
+	status, body = call(t, ts, "GET", "/v1/checkpoint", "", nil)
+	if status != http.StatusForbidden || errCode(t, body) != sgmldb.CodeNotPrimary {
+		t.Fatalf("checkpoint on non-primary: status %d body %v", status, body)
+	}
+}
+
+func TestServiceCheckpointNoneYet(t *testing.T) {
+	dtd, _ := readCorpus(t)
+	db := openPrimary(t, dtd)
+	_, ts := newTestServer(t, db, Config{})
+	status, body := call(t, ts, "GET", "/v1/checkpoint", "", nil)
+	if status != http.StatusNotFound || errCode(t, body) != codeNoCheckpoint {
+		t.Fatalf("checkpoint before any: status %d body %v", status, body)
+	}
+}
+
+// runFollower starts a replication client over an OpenFollower database
+// and returns it with a stopper that waits the loop out.
+func runFollower(t *testing.T, dtd, primaryURL string) (*sgmldb.Database, func()) {
+	t.Helper()
+	fdb, err := sgmldb.OpenFollower(dtd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &Follower{DB: fdb, Primary: primaryURL, WaitMS: 200, MinBackoff: 5 * time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- fl.Run(ctx) }()
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cancel()
+		if err := <-done; err != context.Canceled {
+			t.Errorf("follower loop: %v", err)
+		}
+	}
+	t.Cleanup(stop)
+	return fdb, stop
+}
+
+// TestServiceFollowerTailsAndServes is the end-to-end happy path: a
+// follower bootstraps from scratch, tails live commits, converges to the
+// primary's exact epoch, serves read-only queries, and rejects loads.
+func TestServiceFollowerTailsAndServes(t *testing.T) {
+	dtd, doc := readCorpus(t)
+	primary := openPrimary(t, dtd)
+	if _, err := primary.LoadDocuments([]string{doc, doc, doc}); err != nil {
+		t.Fatal(err)
+	}
+	_, pts := newTestServer(t, primary, Config{})
+
+	fdb, _ := runFollower(t, dtd, pts.URL)
+	waitFor(t, "initial catch-up", func() bool { return fdb.AppliedSeq() == 2 })
+
+	// Live tail: new commits on the primary arrive without re-anchoring.
+	if _, err := primary.LoadDocuments([]string{doc, doc}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "live tail", func() bool { return fdb.AppliedSeq() == 3 })
+	if fdb.Epoch() != primary.Epoch() {
+		t.Fatalf("follower epoch %d, primary %d", fdb.Epoch(), primary.Epoch())
+	}
+
+	// The follower serves reads at the primary's state...
+	_, fts := newTestServer(t, fdb, Config{})
+	status, body := call(t, fts, "POST", "/v1/query", "", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusOK || body["count"].(float64) != 5 {
+		t.Fatalf("follower query: status %d body %v", status, body)
+	}
+	// ...reports its replication position in health...
+	status, body = call(t, fts, "GET", "/v1/health", "", nil)
+	if status != http.StatusOK || body["follower"] != true {
+		t.Fatalf("follower health: status %d body %v", status, body)
+	}
+	if lag := body["lag"].(float64); lag != 0 {
+		t.Fatalf("caught-up follower reports lag %v", lag)
+	}
+	if body["applied_seq"].(float64) != 3 || body["primary_seq"].(float64) != 3 {
+		t.Fatalf("follower health seqs: %v", body)
+	}
+	// ...and refuses writes with the read-only wire code.
+	status, body = call(t, fts, "POST", "/v1/load", "", map[string]any{"documents": []string{doc}})
+	if status != http.StatusForbidden || errCode(t, body) != sgmldb.CodeReadOnly {
+		t.Fatalf("follower load: status %d body %v", status, body)
+	}
+
+	// Follower stats carry the replication counters.
+	st := fdb.Stats()
+	if !st.Follower || st.AppliedSeq != 3 || st.PrimarySeq != 3 {
+		t.Fatalf("follower stats: %+v", st)
+	}
+}
+
+// TestServiceFeedTruncatedAnchorBootstraps is the checkpoint/replication
+// interplay case: the primary checkpoints and truncates its log prefix,
+// so a follower anchored before the floor must get 410 SEQ_TRUNCATED and
+// recover by installing the checkpoint — landing on the primary's exact
+// epoch with no record re-applied or skipped.
+func TestServiceFeedTruncatedAnchorBootstraps(t *testing.T) {
+	dtd, doc := readCorpus(t)
+	primary := openPrimary(t, dtd)
+	if _, err := primary.LoadDocuments([]string{doc, doc, doc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Checkpoint(); err != nil { // covers seq 2, truncates the prefix
+		t.Fatal(err)
+	}
+	if _, err := primary.LoadDocuments([]string{doc}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.LoadDocuments([]string{doc}); err != nil {
+		t.Fatal(err)
+	}
+	_, pts := newTestServer(t, primary, Config{})
+
+	// The wire handshake: an anchor under the floor is told to bootstrap.
+	status, _, body := rawGet(t, pts, "/v1/feed?after=0")
+	if status != http.StatusGone {
+		t.Fatalf("feed under the floor: status %d body %q", status, body)
+	}
+
+	// A follower from scratch rides exactly that handshake: 410 →
+	// checkpoint install → tail the two post-checkpoint loads.
+	fdb, _ := runFollower(t, dtd, pts.URL)
+	waitFor(t, "bootstrap + tail", func() bool { return fdb.AppliedSeq() == 4 })
+	if fdb.Epoch() != primary.Epoch() {
+		t.Fatalf("follower epoch %d, primary %d", fdb.Epoch(), primary.Epoch())
+	}
+	_, fts := newTestServer(t, fdb, Config{})
+	status, body2 := call(t, fts, "POST", "/v1/query", "", map[string]any{"query": "select a from a in Articles"})
+	if status != http.StatusOK || body2["count"].(float64) != 5 {
+		t.Fatalf("follower query: status %d body %v", status, body2)
+	}
+}

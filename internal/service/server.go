@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -41,7 +42,10 @@ type Server struct {
 
 	// draining rejects new work with 503 while in-flight calls finish —
 	// the graceful-shutdown handshake (Drain, then http.Server.Shutdown).
+	// drainCh is closed by Drain so parked feed long-polls wake at once
+	// instead of riding out their wait.
 	draining atomic.Bool
+	drainCh  chan struct{}
 
 	// handles is the wire-level prepared-statement table. Handles are
 	// tenant-owned: executing or closing another tenant's handle is
@@ -105,6 +109,7 @@ func New(db *sgmldb.Database, cfg Config) (*Server, error) {
 		db:      db,
 		byKey:   map[string]*tenant{},
 		handles: map[string]*handle{},
+		drainCh: make(chan struct{}),
 	}
 	for _, tc := range cfg.Tenants {
 		t := &tenant{cfg: tc}
@@ -127,6 +132,8 @@ func New(db *sgmldb.Database, cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/load", s.handleLoad)
 	mux.HandleFunc("GET /v1/health", s.handleHealth)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/feed", s.handleFeed)
+	mux.HandleFunc("GET /v1/checkpoint", s.handleCheckpoint)
 	s.mux = mux
 	return s, nil
 }
@@ -137,8 +144,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Drain flips the server into shutdown mode: every subsequent call (even
 // health-checked ones) reports draining, and API endpoints reject with
 // 503 so load balancers move on while http.Server.Shutdown waits for the
-// in-flight handlers. Draining is one-way.
-func (s *Server) Drain() { s.draining.Store(true) }
+// in-flight handlers. Parked feed long-polls are woken immediately.
+// Draining is one-way.
+func (s *Server) Drain() {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.drainCh)
+	}
+}
 
 // Draining reports whether Drain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -154,21 +166,32 @@ const (
 	codeHandleLimit   = "HANDLE_LIMIT"
 	codeDraining      = "DRAINING"
 	codeBadDocument   = "BAD_DOCUMENT"
+	codeNoCheckpoint  = "NO_CHECKPOINT"
 )
+
+// statusClientClosedRequest is the de-facto standard (nginx) status for a
+// caller that went away mid-call: not a client error the caller will ever
+// read, not a server fault — its own class, visible in access logs.
+const statusClientClosedRequest = 499
 
 // statusFor maps a wire code (service-level or sgmldb.Code) to its HTTP
 // status. Unknown codes are 500: an unclassified failure is the server's
 // fault until proven otherwise.
 func statusFor(code string) int {
 	switch code {
-	case sgmldb.CodeParse, sgmldb.CodeTypecheck, codeBadRequest, sgmldb.CodeCanceled:
+	case sgmldb.CodeParse, sgmldb.CodeTypecheck, codeBadRequest:
 		return http.StatusBadRequest
 	case codeUnauthorized:
 		return http.StatusUnauthorized
-	case codeForbidden, sgmldb.CodeReadOnly, sgmldb.CodeNoMapping:
+	case codeForbidden, sgmldb.CodeReadOnly, sgmldb.CodeNoMapping, sgmldb.CodeNotPrimary:
 		return http.StatusForbidden
-	case codeUnknownHandle, sgmldb.CodeUnknownObject:
+	case codeUnknownHandle, sgmldb.CodeUnknownObject, codeNoCheckpoint:
 		return http.StatusNotFound
+	case sgmldb.CodeSeqTruncated:
+		return http.StatusGone
+	case sgmldb.CodeCanceled:
+		// The caller hung up mid-call; nobody is reading this response.
+		return statusClientClosedRequest
 	case codeTenantLimit, codeHandleLimit:
 		return http.StatusTooManyRequests
 	case codeBadDocument:
@@ -203,6 +226,18 @@ func fail(w http.ResponseWriter, code, message string) {
 // failErr classifies a Database error through sgmldb.Code and writes it.
 func failErr(w http.ResponseWriter, err error) {
 	fail(w, sgmldb.Code(err), err.Error())
+}
+
+// failCall writes a failed call's error and counts it against the tenant
+// — except client cancellation: a caller hanging up mid-query is not a
+// serving failure, and counting it would let impatient clients inflate
+// the server's error rate.
+func (t *tenant) failCall(w http.ResponseWriter, err error) {
+	code := sgmldb.Code(err)
+	if code != sgmldb.CodeCanceled {
+		t.errors.Add(1)
+	}
+	fail(w, code, err.Error())
 }
 
 // writeJSON writes one JSON response.
@@ -343,8 +378,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	v, err := s.db.QueryContext(r.Context(), req.Query, options(t, req.callLimits)...)
 	if err != nil {
-		t.errors.Add(1)
-		failErr(w, err)
+		t.failCall(w, err)
 		return
 	}
 	rows := RowsJSON(v)
@@ -377,13 +411,18 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		fail(w, codeBadRequest, `body needs a "query" field`)
 		return
 	}
-	if t.numHandles.Load() >= t.maxHandles() {
+	// Reserve the slot before compiling: a load-then-add after the insert
+	// would let N concurrent prepares all pass the check at the old count
+	// and blow past the quota together. Add first, roll back on failure.
+	if t.numHandles.Add(1) > t.maxHandles() {
+		t.numHandles.Add(-1)
 		t.errors.Add(1)
 		fail(w, codeHandleLimit, fmt.Sprintf("tenant %q already holds %d prepared handles; close some", t.cfg.Name, t.maxHandles()))
 		return
 	}
 	pq, err := s.db.Prepare(req.Query)
 	if err != nil {
+		t.numHandles.Add(-1)
 		t.errors.Add(1)
 		failErr(w, err)
 		return
@@ -393,7 +432,6 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	h := &handle{id: "h" + strconv.FormatUint(s.nextHandle, 10), owner: t, pq: pq, source: req.Query}
 	s.handles[h.id] = h
 	s.handlesMu.Unlock()
-	t.numHandles.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{"handle": h.id, "query": req.Query})
 }
 
@@ -441,8 +479,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	v, err := h.pq.Run(r.Context(), options(t, req)...)
 	if err != nil {
-		t.errors.Add(1)
-		failErr(w, err)
+		t.failCall(w, err)
 		return
 	}
 	rows := RowsJSON(v)
@@ -530,7 +567,9 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealth is the unauthenticated liveness probe.
+// handleHealth is the unauthenticated liveness probe. A follower also
+// reports how far behind the primary it is, so probes can take a lagging
+// replica out of rotation.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	code := http.StatusOK
@@ -538,7 +577,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{"status": status, "epoch": s.db.Epoch()})
+	body := map[string]any{"status": status, "epoch": s.db.Epoch()}
+	if s.db.IsFollower() {
+		applied, primary := s.db.AppliedSeq(), s.db.PrimarySeq()
+		var lag uint64
+		if primary > applied {
+			lag = primary - applied
+		}
+		body["follower"] = true
+		body["applied_seq"] = applied
+		body["primary_seq"] = primary
+		body["lag"] = lag
+	}
+	writeJSON(w, code, body)
 }
 
 // tenantStats is one tenant's row in the stats response.
@@ -578,6 +629,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, tn := range s.byKey {
 		add(tn)
 	}
+	// byKey is a map: without a sort, consecutive scrapes reorder tenants
+	// and diff-based monitors see phantom churn.
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].Name < tenants[j].Name })
 	writeJSON(w, http.StatusOK, map[string]any{
 		"engine": s.db.Stats(),
 		"service": map[string]any{

@@ -188,7 +188,38 @@ func readCheckpoint(path string) (*Checkpoint, error) {
 		return nil, err
 	}
 	defer f.Close()
-	r := bufio.NewReader(f)
+	return DecodeCheckpoint(f)
+}
+
+// NewestCheckpointPath returns the path and sequence number of the newest
+// checkpoint file in dir, or ("", 0, nil) when none exists. Callers
+// stream the file as-is (a follower bootstrap); the open file survives a
+// concurrent prune's unlink, so racing the checkpointer is safe as long
+// as the caller opens promptly.
+func NewestCheckpointPath(dir string) (string, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	var best uint64
+	found := false
+	for _, e := range entries {
+		if seq, ok := parseCheckpointName(e.Name()); ok && (!found || seq > best) {
+			best = seq
+			found = true
+		}
+	}
+	if !found {
+		return "", 0, nil
+	}
+	return filepath.Join(dir, checkpointName(best)), best, nil
+}
+
+// DecodeCheckpoint decodes one serialized checkpoint from rd — the same
+// format WriteCheckpoint produces, whether read from a local file or
+// streamed over a follower's bootstrap fetch.
+func DecodeCheckpoint(rd io.Reader) (*Checkpoint, error) {
+	r := bufio.NewReader(rd)
 	line, err := readCkptLine(r)
 	if err != nil {
 		return nil, err
@@ -304,6 +335,7 @@ func Open(dir string) (*Log, *Checkpoint, []Record, error) {
 		// raced a crash; the checkpoint is still the durable state and the
 		// next append must not reuse covered sequence numbers.
 		l.seq = ck.Seq
+		l.floor = ck.Seq
 	}
 	return l, ck, tail, nil
 }

@@ -22,9 +22,10 @@ const logName = "wal.log"
 // these to kill the write path at every seam and prove recovery lands on
 // exactly the pre-batch or post-batch epoch.
 var (
-	fpAppend    = faultpoint.New("wal/append")      // before the frame is written
-	fpPostWrite = faultpoint.New("wal/post-append") // frame written, not yet fsynced
-	fpPostSync  = faultpoint.New("wal/post-fsync")  // durable, not yet published
+	fpAppend      = faultpoint.New("wal/append")          // before the frame is written
+	fpPostWrite   = faultpoint.New("wal/post-append")     // frame written, not yet fsynced
+	fpPostSync    = faultpoint.New("wal/post-fsync")      // durable, not yet published
+	fpTruncReopen = faultpoint.New("wal/truncate-reopen") // reopen after prefix-truncation rename
 )
 
 // Log is the append-only write-ahead log of one data directory. Appends
@@ -32,11 +33,14 @@ var (
 // additionally protects against the background checkpointer truncating a
 // covered prefix concurrently with an append.
 type Log struct {
-	mu   sync.Mutex
-	dir  string
-	f    *os.File
-	size int64  // current file size (append offset)
-	seq  uint64 // last appended sequence number
+	mu    sync.Mutex
+	dir   string
+	f     *os.File
+	size  int64         // current file size (append offset)
+	seq   uint64        // last appended sequence number
+	floor uint64        // highest sequence number dropped by prefix truncation
+	err   error         // sticky: set when the log handle is lost, fails all writes
+	tail  chan struct{} // closed on append to wake feed watchers; lazily made
 }
 
 // Seq returns the sequence number of the last record written (or replayed
@@ -55,6 +59,9 @@ func (l *Log) Seq() uint64 {
 func (l *Log) Append(r Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
 	r.Seq = l.seq + 1
 	if err := fpAppend.Hit(); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
@@ -81,7 +88,25 @@ func (l *Log) Append(r Record) error {
 	}
 	l.size += int64(len(frame))
 	l.seq = r.Seq
+	if l.tail != nil {
+		close(l.tail)
+		l.tail = nil
+	}
 	return nil
+}
+
+// Watch returns the last committed sequence number and a channel that is
+// closed when a later record commits. Feed handlers long-poll on it: if
+// the returned seq already exceeds what the caller has shipped it should
+// read immediately; otherwise a receive on ch (raced against a deadline)
+// parks until the next append.
+func (l *Log) Watch() (seq uint64, ch <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.tail == nil {
+		l.tail = make(chan struct{})
+	}
+	return l.seq, l.tail
 }
 
 // rewind discards anything written past the last committed offset.
@@ -103,6 +128,9 @@ func (l *Log) NextSeq() uint64 {
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil // handle already lost (poisoned after failed reopen)
+	}
 	return l.f.Close()
 }
 
@@ -160,6 +188,7 @@ func openLog(dir string, afterSeq uint64) (*Log, []Record, error) {
 		tail    []Record
 		off     = len(logMagic)
 		lastSeq uint64
+		floor   uint64
 		first   = true
 	)
 	for off < len(data) {
@@ -179,6 +208,7 @@ func openLog(dir string, afterSeq uint64) (*Log, []Record, error) {
 				f.Close()
 				return nil, nil, fmt.Errorf("%w: log starts at sequence %d, checkpoint covers %d", ErrCorruptLog, rec.Seq, afterSeq)
 			}
+			floor = rec.Seq - 1 // earlier records were truncated away
 			first = false
 		} else if rec.Seq != lastSeq+1 {
 			f.Close()
@@ -190,7 +220,7 @@ func openLog(dir string, afterSeq uint64) (*Log, []Record, error) {
 		}
 		off += n
 	}
-	l := &Log{dir: dir, f: f, size: int64(off), seq: lastSeq}
+	l := &Log{dir: dir, f: f, size: int64(off), seq: lastSeq, floor: floor}
 	if off < len(data) {
 		// Torn tail: cut it off so the next append starts on a clean edge.
 		if err := f.Truncate(int64(off)); err != nil {
@@ -238,6 +268,9 @@ func restampMagic(f *os.File) error {
 func (l *Log) truncatePrefix(seq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
 	data := make([]byte, l.size)
 	if _, err := l.f.ReadAt(data, 0); err != nil {
 		return err
@@ -282,12 +315,29 @@ func (l *Log) truncatePrefix(seq uint64) error {
 	}
 	// Swap the handle to the new file.
 	nf, err := os.OpenFile(filepath.Join(l.dir, logName), os.O_RDWR, 0o644)
+	if err == nil {
+		if ferr := fpTruncReopen.Hit(); ferr != nil {
+			nf.Close()
+			err = ferr
+		}
+	}
 	if err != nil {
-		return err
+		// The rename already happened: the old handle points at the
+		// unlinked file, so any further append would be durably written to
+		// a file no open() can ever see again. Fail the log closed — drop
+		// the dead handle and poison every later write — rather than keep
+		// accepting "durable" commits into oblivion.
+		l.f.Close()
+		l.f = nil
+		l.err = fmt.Errorf("wal: log handle lost after prefix truncation: %w", err)
+		return l.err
 	}
 	old := l.f
 	l.f = nf
 	l.size = int64(len(keep))
+	if seq > l.floor {
+		l.floor = seq
+	}
 	old.Close()
 	return nil
 }

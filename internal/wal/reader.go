@@ -1,0 +1,58 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSeqTruncated reports a feed request anchored before the retained
+// log: the prefix covering that sequence was dropped by a checkpoint, so
+// the caller must bootstrap from a checkpoint instead of tailing frames.
+var ErrSeqTruncated = errors.New("wal: requested sequence precedes the retained log")
+
+// FramesAfter returns raw committed frames with sequence numbers after
+// afterSeq, in order, stopping before maxBytes is exceeded (but always
+// returning at least one frame when any is due). lastSeq is the sequence
+// number of the final returned frame, or afterSeq when none are due.
+// Frames are returned exactly as they sit on disk — header, CRC and all —
+// so a follower validates them with the same DecodeFrame the local replay
+// path uses. Rolled-back appends are invisible by construction: a failed
+// Append rewinds the file before l.size ever advances, and FramesAfter
+// reads only [0, l.size).
+func (l *Log) FramesAfter(afterSeq uint64, maxBytes int) (frames []byte, lastSeq uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return nil, 0, l.err
+	}
+	if afterSeq < l.floor {
+		return nil, 0, fmt.Errorf("%w: have records after %d, asked for after %d", ErrSeqTruncated, l.floor, afterSeq)
+	}
+	if afterSeq >= l.seq {
+		return nil, afterSeq, nil
+	}
+	data := make([]byte, l.size)
+	if _, err := l.f.ReadAt(data, 0); err != nil {
+		return nil, 0, fmt.Errorf("wal: feed read: %w", err)
+	}
+	off := len(logMagic)
+	lastSeq = afterSeq
+	for off < len(data) {
+		rec, n, err := DecodeFrame(data[off:])
+		if err != nil {
+			// Committed bytes failing to decode is corruption, not a torn
+			// tail: everything under l.size was fsynced by an Append that
+			// returned success.
+			return nil, 0, fmt.Errorf("%w: feed scan at offset %d: %w", ErrCorruptLog, off, err)
+		}
+		if rec.Seq > afterSeq {
+			if len(frames) > 0 && len(frames)+n > maxBytes {
+				break
+			}
+			frames = append(frames, data[off:off+n]...)
+			lastSeq = rec.Seq
+		}
+		off += n
+	}
+	return frames, lastSeq, nil
+}

@@ -1,0 +1,228 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"sgmldb/internal/faultpoint"
+	"sgmldb/internal/text"
+)
+
+// decodeAll splits a feed body back into records, failing on any damage:
+// FramesAfter promises byte-exact committed frames.
+func decodeAll(t *testing.T, frames []byte) []Record {
+	t.Helper()
+	var recs []Record
+	off := 0
+	for off < len(frames) {
+		rec, n, err := DecodeFrame(frames[off:])
+		if err != nil {
+			t.Fatalf("decoding feed frame at offset %d: %v", off, err)
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return recs
+}
+
+func TestFramesAfterRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir)
+	defer l.Close()
+	want := sampleRecords()
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// From 0: everything, and lastSeq is the final record's.
+	frames, lastSeq, err := l.FramesAfter(0, 1<<30)
+	if err != nil {
+		t.Fatalf("FramesAfter(0): %v", err)
+	}
+	recs := decodeAll(t, frames)
+	if len(recs) != len(want) || lastSeq != uint64(len(want)) {
+		t.Fatalf("got %d records lastSeq=%d, want %d/%d", len(recs), lastSeq, len(want), len(want))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d: seq %d", i, r.Seq)
+		}
+	}
+
+	// From a mid anchor: only the records past it.
+	frames, lastSeq, err = l.FramesAfter(2, 1<<30)
+	if err != nil {
+		t.Fatalf("FramesAfter(2): %v", err)
+	}
+	recs = decodeAll(t, frames)
+	if len(recs) != len(want)-2 || recs[0].Seq != 3 || lastSeq != uint64(len(want)) {
+		t.Fatalf("after=2: %d records first=%d lastSeq=%d", len(recs), recs[0].Seq, lastSeq)
+	}
+
+	// Caught up: empty, lastSeq echoes the anchor.
+	frames, lastSeq, err = l.FramesAfter(uint64(len(want)), 1<<30)
+	if err != nil || len(frames) != 0 || lastSeq != uint64(len(want)) {
+		t.Fatalf("caught up: frames=%d lastSeq=%d err=%v", len(frames), lastSeq, err)
+	}
+}
+
+// TestFramesAfterMaxBytes: a tiny budget still ships one frame per call,
+// and chunked fetches cover the log exactly once.
+func TestFramesAfterMaxBytes(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir)
+	defer l.Close()
+	want := sampleRecords()
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Record
+	after := uint64(0)
+	for i := 0; i < 100; i++ {
+		frames, lastSeq, err := l.FramesAfter(after, 1) // always under one frame
+		if err != nil {
+			t.Fatalf("FramesAfter(%d): %v", after, err)
+		}
+		if lastSeq == after {
+			break
+		}
+		recs := decodeAll(t, frames)
+		if len(recs) != 1 {
+			t.Fatalf("budget 1 byte shipped %d frames", len(recs))
+		}
+		got = append(got, recs...)
+		after = lastSeq
+	}
+	if len(got) != len(want) {
+		t.Fatalf("chunked fetch got %d records, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d: seq %d", i, r.Seq)
+		}
+	}
+}
+
+// TestFramesAfterTruncated: once a prefix is dropped, anchors inside it
+// are refused with ErrSeqTruncated — across the live log AND a reopen
+// (the floor must survive recovery via the checkpoint).
+func TestFramesAfterTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir)
+	for _, r := range sampleRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A real truncation follows a durable checkpoint; write one so the
+	// reopen below passes the first-record rule.
+	ck := &Checkpoint{Seq: 2, Epoch: 2, DTD: "<!ELEMENT a (#PCDATA)>", Inst: checkpointInstance(t), Index: text.NewIndex()}
+	if err := WriteCheckpoint(dir, ck); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	if err := l.TruncatePrefix(2); err != nil {
+		t.Fatalf("TruncatePrefix: %v", err)
+	}
+	if _, _, err := l.FramesAfter(1, 1<<30); !errors.Is(err, ErrSeqTruncated) {
+		t.Fatalf("after=1 under floor 2: err = %v, want ErrSeqTruncated", err)
+	}
+	frames, lastSeq, err := l.FramesAfter(2, 1<<30)
+	if err != nil {
+		t.Fatalf("FramesAfter(2) at the floor: %v", err)
+	}
+	if recs := decodeAll(t, frames); len(recs) != 2 || recs[0].Seq != 3 || lastSeq != 4 {
+		t.Fatalf("after=2: %d records lastSeq=%d", len(recs), lastSeq)
+	}
+	l.Close()
+
+	// Reopen: the retained log starts at 3, so the floor must be 2.
+	l2, _, _ := mustOpen(t, dir)
+	defer l2.Close()
+	if _, _, err := l2.FramesAfter(1, 1<<30); !errors.Is(err, ErrSeqTruncated) {
+		t.Fatalf("reopened: after=1 err = %v, want ErrSeqTruncated", err)
+	}
+	if frames, _, err := l2.FramesAfter(2, 1<<30); err != nil || len(decodeAll(t, frames)) != 2 {
+		t.Fatalf("reopened: after=2 failed: %v", err)
+	}
+}
+
+func TestWatchWakesOnAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir)
+	defer l.Close()
+	seq, ch := l.Watch()
+	if seq != 0 {
+		t.Fatalf("fresh log Watch seq = %d", seq)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Error("watch channel never closed after append")
+		}
+	}()
+	if err := l.Append(Record{Kind: KindName, Name: "n", OID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if seq, _ := l.Watch(); seq != 1 {
+		t.Fatalf("post-append Watch seq = %d", seq)
+	}
+}
+
+// TestTruncateReopenFailurePoisonsLog is the regression test for the
+// truncation handle-loss bug: when the reopen after the prefix-rewrite
+// rename fails, the old handle points at an unlinked file — the pre-fix
+// code kept appending to it, "durably" committing records no recovery
+// could ever see. The log must instead fail closed: the truncation
+// errors, and every subsequent Append reports the same sticky error.
+func TestTruncateReopenFailurePoisonsLog(t *testing.T) {
+	defer faultpoint.DisarmAll()
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir)
+	recs := sampleRecords()
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faultpoint.Arm("wal/truncate-reopen", faultpoint.Error(errors.New("injected reopen failure")))
+	if err := l.TruncatePrefix(2); err == nil {
+		t.Fatal("TruncatePrefix with a failed reopen reported success")
+	}
+	faultpoint.DisarmAll()
+	// The pre-fix code returned the error but kept the stale handle: this
+	// append would succeed — durably, into the unlinked file.
+	if err := l.Append(Record{Kind: KindName, Name: "lost", OID: 9}); err == nil {
+		t.Fatal("Append after a lost log handle succeeded; the record went to an unlinked file")
+	}
+	if err := l.Append(Record{Kind: KindName, Name: "lost2", OID: 10}); err == nil {
+		t.Fatal("second Append after poisoning succeeded")
+	}
+	if _, _, err := l.FramesAfter(2, 1<<30); err == nil {
+		t.Fatal("FramesAfter on a poisoned log succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close on a poisoned log: %v", err)
+	}
+
+	// The durable state on disk is intact either way: the rename completed,
+	// so the renamed log holds exactly the post-truncation records (a real
+	// recovery would pair it with the checkpoint that covered seq 2).
+	data, err := os.ReadFile(logPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs2 := decodeAll(t, data[len(logMagic):])
+	if len(recs2) != 2 || recs2[0].Seq != 3 {
+		t.Fatalf("on-disk log after poisoned truncation: %d records, first seq %d", len(recs2), recs2[0].Seq)
+	}
+}

@@ -1,0 +1,185 @@
+package sgmldb
+
+import (
+	"fmt"
+
+	"sgmldb/internal/object"
+	"sgmldb/internal/oql"
+	"sgmldb/internal/sgml"
+	"sgmldb/internal/wal"
+)
+
+// Log-shipping replication (DESIGN.md §10). A primary with a data
+// directory exposes its durable history twice over: the newest checkpoint
+// file as a bootstrap image (NewestCheckpointFile) and the retained log
+// as raw frames (FeedFrames). A follower — opened with OpenFollower, no
+// data directory — applies that history through the same deterministic
+// commit path recovery replays through (commitLoad/commitName with
+// logIt=false), so a follower that has applied sequence S sits on exactly
+// the epoch the primary published at S. The follower is read-only for
+// clients: queries serve lock-free from its replayed COW snapshot, loads
+// and namings fail with ErrReadOnly.
+
+// OpenFollower compiles the DTD and opens an empty read-only database
+// that is advanced exclusively through ApplyCheckpoint/ApplyRecord with
+// records shipped from a primary's log. WithDataDir is rejected: a
+// follower keeps no log of its own — restarting one re-bootstraps from
+// the primary, which is always at least as fresh.
+func OpenFollower(dtdSource string, opts ...Option) (*Database, error) {
+	db, err := OpenDTD(dtdSource, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if db.dataDir != "" {
+		db.Close()
+		return nil, fmt.Errorf("sgmldb: a follower replays the primary's log; WithDataDir is for primaries")
+	}
+	db.follower = true
+	db.dtdSource = dtdSource
+	return db, nil
+}
+
+// IsFollower reports whether the database was opened with OpenFollower.
+func (db *Database) IsFollower() bool { return db.follower }
+
+// AppliedSeq is the sequence number of the last primary log record this
+// follower has applied (0 before any). On a non-follower it is 0.
+func (db *Database) AppliedSeq() uint64 { return db.appliedSeq.Load() }
+
+// PrimarySeq is the newest primary log sequence the follower has observed
+// (from feed responses), whether or not it has applied that far yet;
+// PrimarySeq-AppliedSeq is the replication lag in records.
+func (db *Database) PrimarySeq() uint64 { return db.primarySeq.Load() }
+
+// ObservePrimarySeq records the newest primary log sequence seen by the
+// replication client. It only moves forward.
+func (db *Database) ObservePrimarySeq(seq uint64) {
+	for {
+		cur := db.primarySeq.Load()
+		if seq <= cur || db.primarySeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// ApplyCheckpoint installs a primary checkpoint wholesale — the follower
+// bootstrap path, used when the feed reports the follower's anchor was
+// truncated away. It only moves forward: a checkpoint at or behind the
+// applied sequence is a no-op, so a bootstrap racing normal tailing can
+// never rewind the follower.
+func (db *Database) ApplyCheckpoint(ck *wal.Checkpoint) error {
+	if !db.follower {
+		return fmt.Errorf("sgmldb: ApplyCheckpoint on a non-follower database")
+	}
+	if ck.DTD != db.dtdSource {
+		return fmt.Errorf("sgmldb: checkpoint is for a different DTD")
+	}
+	db.loadMu.Lock()
+	defer db.loadMu.Unlock()
+	if ck.Seq <= db.appliedSeq.Load() {
+		return nil
+	}
+	inst := ck.Inst
+	inst.SetEpoch(ck.Epoch)
+	docs := make([]object.OID, len(ck.Docs))
+	for i, o := range ck.Docs {
+		docs[i] = object.OID(o)
+	}
+	db.Loader.Adopt(inst, docs)
+	db.Engine.Publish(oql.State{Snap: inst.Snapshot(), Index: ck.Index})
+	db.appliedSeq.Store(ck.Seq)
+	db.ObservePrimarySeq(ck.Seq)
+	return nil
+}
+
+// ApplyRecord applies one shipped log record through the deterministic
+// replay path. Records must arrive in exact sequence order — the apply
+// loop anchors its feed requests at AppliedSeq, so a gap or repeat means
+// the stream is broken and the record is refused rather than guessed
+// around (re-applying a load would mint duplicate documents).
+func (db *Database) ApplyRecord(rec wal.Record) error {
+	if !db.follower {
+		return fmt.Errorf("sgmldb: ApplyRecord on a non-follower database")
+	}
+	db.loadMu.Lock()
+	defer db.loadMu.Unlock()
+	applied := db.appliedSeq.Load()
+	if rec.Seq != applied+1 {
+		return fmt.Errorf("sgmldb: apply: record %d out of order (applied through %d)", rec.Seq, applied)
+	}
+	switch rec.Kind {
+	case wal.KindSchema:
+		if rec.Schema != db.dtdSource {
+			return fmt.Errorf("sgmldb: primary log is for a different DTD")
+		}
+	case wal.KindLoad:
+		docs := make([]*sgml.Document, len(rec.Docs))
+		for i, src := range rec.Docs {
+			d, err := sgml.ParseDocument(db.Mapping.DTD, src)
+			if err != nil {
+				return fmt.Errorf("sgmldb: apply record %d: %w", rec.Seq, err)
+			}
+			docs[i] = d
+		}
+		if _, err := db.commitLoad(docs, rec.Docs, false); err != nil {
+			return fmt.Errorf("sgmldb: apply record %d: %w", rec.Seq, err)
+		}
+	case wal.KindName:
+		if err := db.commitName(rec.Name, object.OID(rec.OID), false); err != nil {
+			return fmt.Errorf("sgmldb: apply record %d: %w", rec.Seq, err)
+		}
+	default:
+		return fmt.Errorf("sgmldb: apply record %d: unknown kind %d", rec.Seq, rec.Kind)
+	}
+	db.appliedSeq.Store(rec.Seq)
+	db.ObservePrimarySeq(rec.Seq)
+	return nil
+}
+
+// FeedFrames returns raw committed log frames after afterSeq (at most
+// roughly maxBytes, always at least one frame when any is due) together
+// with the sequence number of the last frame returned. It reports
+// ErrSeqTruncated when afterSeq precedes the retained log — the caller
+// must bootstrap from a checkpoint — and ErrNotPrimary on a database
+// without a write-ahead log.
+func (db *Database) FeedFrames(afterSeq uint64, maxBytes int) ([]byte, uint64, error) {
+	if db.walLog == nil {
+		return nil, 0, ErrNotPrimary
+	}
+	return db.walLog.FramesAfter(afterSeq, maxBytes)
+}
+
+// FeedWatch returns the last committed log sequence and a channel closed
+// when a later record commits, for long-polling feed handlers.
+func (db *Database) FeedWatch() (uint64, <-chan struct{}, error) {
+	if db.walLog == nil {
+		return 0, nil, ErrNotPrimary
+	}
+	seq, ch := db.walLog.Watch()
+	return seq, ch, nil
+}
+
+// FeedSeq is the last committed log sequence number on the primary.
+func (db *Database) FeedSeq() (uint64, error) {
+	if db.walLog == nil {
+		return 0, ErrNotPrimary
+	}
+	return db.walLog.Seq(), nil
+}
+
+// NewestCheckpointFile returns the path and covered sequence of the
+// newest checkpoint file in the data directory, for streaming to a
+// bootstrapping follower. ok is false when no checkpoint has been written
+// yet (the follower then tails the log from sequence 0 instead).
+func (db *Database) NewestCheckpointFile() (path string, seq uint64, ok bool, err error) {
+	if db.walLog == nil {
+		return "", 0, false, ErrNotPrimary
+	}
+	db.ckptMu.Lock() // a checkpoint rename/prune mid-scan would race the pick
+	defer db.ckptMu.Unlock()
+	path, seq, err = wal.NewestCheckpointPath(db.dataDir)
+	if err != nil {
+		return "", 0, false, err
+	}
+	return path, seq, path != "", nil
+}

@@ -1,0 +1,279 @@
+package sgmldb_test
+
+// Replication chaos suite (make chaos runs it under -race): kill the
+// primary's commit path at every WAL seam while a live follower tails,
+// cut the feed stream mid-frame, and fail the follower's apply loop —
+// in every case the follower must converge to exactly the primary's
+// state, never observing a rolled-back record and never re-applying or
+// skipping one. This file is an external test package (sgmldb_test)
+// because it imports internal/service, which itself imports sgmldb.
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"sgmldb"
+	"sgmldb/internal/faultpoint"
+	"sgmldb/internal/object"
+	"sgmldb/internal/service"
+)
+
+var errReplBoom = errors.New("boom (injected)")
+
+func replCorpus(t testing.TB) (dtd, doc string) {
+	t.Helper()
+	d, err := os.ReadFile("testdata/article.dtd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile("testdata/article.sgml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(d), string(a)
+}
+
+// replPrimary opens a durable primary (manual checkpoints only) and
+// serves it over an open-mode httptest server.
+func replPrimary(t *testing.T, dtd string) (*sgmldb.Database, *httptest.Server) {
+	t.Helper()
+	t.Cleanup(faultpoint.DisarmAll)
+	db, err := sgmldb.OpenDTD(dtd, sgmldb.WithDataDir(t.TempDir()), sgmldb.WithCheckpointEvery(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv, err := service.New(db, service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return db, ts
+}
+
+// replFollower opens a follower database and tails the primary until the
+// test ends (or stop is called).
+func replFollower(t *testing.T, dtd, primaryURL string) (*sgmldb.Database, func()) {
+	t.Helper()
+	fdb, err := sgmldb.OpenFollower(dtd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &service.Follower{DB: fdb, Primary: primaryURL, WaitMS: 200, MinBackoff: 2 * time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- fl.Run(ctx) }()
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cancel()
+		if err := <-done; !errors.Is(err, context.Canceled) {
+			t.Errorf("follower loop: %v", err)
+		}
+	}
+	t.Cleanup(stop)
+	return fdb, stop
+}
+
+func replWait(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// replArticleCount counts the Articles extent on a database.
+func replArticleCount(t *testing.T, db *sgmldb.Database) int {
+	t.Helper()
+	v, err := db.Query(`select a from a in Articles`)
+	if err != nil {
+		t.Fatalf("Articles query: %v", err)
+	}
+	s, ok := v.(*object.Set)
+	if !ok {
+		t.Fatalf("Articles query = %T, want set", v)
+	}
+	return s.Len()
+}
+
+// replFeedSeq is the primary's last committed log sequence.
+func replFeedSeq(t *testing.T, p *sgmldb.Database) uint64 {
+	t.Helper()
+	seq, err := p.FeedSeq()
+	if err != nil {
+		t.Fatalf("FeedSeq: %v", err)
+	}
+	return seq
+}
+
+// caughtUp is the convergence predicate: the follower applied everything
+// the primary committed.
+func caughtUp(p, f *sgmldb.Database) func() bool {
+	return func() bool {
+		seq, err := p.FeedSeq()
+		return err == nil && f.AppliedSeq() == seq
+	}
+}
+
+// TestChaosReplicationPrimaryCommitSeams kills the primary's commit path
+// at every WAL seam (before the frame write, after it, after the fsync)
+// while a live follower long-polls the feed. The failed batch rolls back
+// on the primary and must be invisible to the follower: no record ships,
+// the epochs stay equal, and the next successful commit converges both
+// sides. A rolled-back record reaching the follower would desync their
+// deterministic replay forever — this is the wire analog of the local
+// crash suite.
+func TestChaosReplicationPrimaryCommitSeams(t *testing.T) {
+	dtd, doc := replCorpus(t)
+	primary, ts := replPrimary(t, dtd)
+	if _, err := primary.LoadDocuments([]string{doc}); err != nil {
+		t.Fatal(err)
+	}
+	fdb, _ := replFollower(t, dtd, ts.URL)
+	replWait(t, "initial catch-up", caughtUp(primary, fdb))
+
+	for _, seam := range []string{"wal/append", "wal/post-append", "wal/post-fsync"} {
+		t.Run(seam, func(t *testing.T) {
+			count0 := replArticleCount(t, fdb)
+			epoch0 := primary.Epoch()
+			seq0 := replFeedSeq(t, primary)
+
+			disarm := faultpoint.Arm(seam, faultpoint.Once(faultpoint.Error(errReplBoom)))
+			_, err := primary.LoadDocuments([]string{doc})
+			disarm()
+			if !errors.Is(err, errReplBoom) {
+				t.Fatalf("load with %s armed: err = %v, want errReplBoom", seam, err)
+			}
+			if got := primary.Epoch(); got != epoch0 {
+				t.Fatalf("primary epoch after failed load = %d, want %d (rollback)", got, epoch0)
+			}
+			if got := replFeedSeq(t, primary); got != seq0 {
+				t.Fatalf("primary feed seq after failed load = %d, want %d (nothing committed)", got, seq0)
+			}
+
+			// The follower keeps serving the pre-failure state mid-stream.
+			if got := replArticleCount(t, fdb); got != count0 {
+				t.Fatalf("follower saw a rolled-back record: %d articles, want %d", got, count0)
+			}
+
+			// The next successful commit converges both sides.
+			if _, err := primary.LoadDocuments([]string{doc}); err != nil {
+				t.Fatalf("load after disarm: %v", err)
+			}
+			replWait(t, "post-seam convergence", caughtUp(primary, fdb))
+			if fdb.Epoch() != primary.Epoch() {
+				t.Fatalf("epochs diverged after %s: follower %d, primary %d", seam, fdb.Epoch(), primary.Epoch())
+			}
+			if got := replArticleCount(t, fdb); got != count0+1 {
+				t.Fatalf("follower articles after recovery = %d, want %d", got, count0+1)
+			}
+		})
+	}
+
+	// Root namings ship too: the follower resolves a name bound after it
+	// connected.
+	oids, err := primary.LoadDocuments([]string{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Name("chaos_doc", oids[0]); err != nil {
+		t.Fatal(err)
+	}
+	replWait(t, "name record", caughtUp(primary, fdb))
+	v, err := fdb.Query(`select t from chaos_doc PATH_p.title(t)`)
+	if err != nil {
+		t.Fatalf("follower query over shipped name: %v", err)
+	}
+	if s, ok := v.(*object.Set); !ok || s.Len() == 0 {
+		t.Fatalf("follower query over shipped name = %v, want non-empty set", v)
+	}
+}
+
+// TestChaosReplicationStreamCutResumes cuts the very first feed response
+// in half mid-frame (the wire signature of a primary killed mid-send)
+// and asserts the follower treats it like a torn tail: apply the intact
+// prefix, re-anchor at the last applied record, refetch the rest — and
+// end up with exactly the primary's state, nothing doubled or dropped.
+func TestChaosReplicationStreamCutResumes(t *testing.T) {
+	dtd, doc := replCorpus(t)
+	primary, ts := replPrimary(t, dtd)
+	for i := 0; i < 3; i++ {
+		if _, err := primary.LoadDocuments([]string{doc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Armed before the follower's first poll: that response carries the
+	// whole history and arrives truncated.
+	defer faultpoint.Arm("service/feed-stream", faultpoint.Once(faultpoint.Error(errReplBoom)))()
+	fdb, _ := replFollower(t, dtd, ts.URL)
+	replWait(t, "convergence across the cut stream", caughtUp(primary, fdb))
+	if fdb.Epoch() != primary.Epoch() {
+		t.Fatalf("epochs diverged: follower %d, primary %d", fdb.Epoch(), primary.Epoch())
+	}
+	if got := replArticleCount(t, fdb); got != 3 {
+		t.Fatalf("follower articles = %d, want 3 (no record doubled or dropped)", got)
+	}
+}
+
+// TestChaosReplicationApplyFaultResumes fails the follower's apply loop
+// partway through a shipped batch. The loop must keep what applied,
+// re-anchor at its last applied record, and resume — the strict
+// seq == applied+1 check in ApplyRecord turns any re-apply or skip into
+// a hard error, so convergence here proves exactly-once application.
+func TestChaosReplicationApplyFaultResumes(t *testing.T) {
+	dtd, doc := replCorpus(t)
+	primary, ts := replPrimary(t, dtd)
+	for i := 0; i < 3; i++ {
+		if _, err := primary.LoadDocuments([]string{doc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First record applies, the second apply dies once, the rest proceed.
+	defer faultpoint.Arm("service/follower-apply",
+		faultpoint.After(1, faultpoint.Once(faultpoint.Error(errReplBoom))))()
+	fdb, _ := replFollower(t, dtd, ts.URL)
+	replWait(t, "convergence across the apply fault", caughtUp(primary, fdb))
+	if fdb.Epoch() != primary.Epoch() {
+		t.Fatalf("epochs diverged: follower %d, primary %d", fdb.Epoch(), primary.Epoch())
+	}
+	if got := replArticleCount(t, fdb); got != 3 {
+		t.Fatalf("follower articles = %d, want 3", got)
+	}
+}
+
+// TestChaosReplicationFollowerReadOnly: the follower's write surface is
+// closed — the primary's log is the only mutation source, so local loads
+// and namings fail with ErrReadOnly even while the tail loop is live.
+func TestChaosReplicationFollowerReadOnly(t *testing.T) {
+	dtd, doc := replCorpus(t)
+	primary, ts := replPrimary(t, dtd)
+	if _, err := primary.LoadDocuments([]string{doc}); err != nil {
+		t.Fatal(err)
+	}
+	fdb, _ := replFollower(t, dtd, ts.URL)
+	replWait(t, "catch-up", caughtUp(primary, fdb))
+
+	if _, err := fdb.LoadDocuments([]string{doc}); !errors.Is(err, sgmldb.ErrReadOnly) {
+		t.Errorf("follower LoadDocuments: err = %v, want errors.Is ErrReadOnly", err)
+	}
+	if err := fdb.Name("nope", 1); !errors.Is(err, sgmldb.ErrReadOnly) {
+		t.Errorf("follower Name: err = %v, want errors.Is ErrReadOnly", err)
+	}
+	// Reads stay open while writes are refused.
+	if got := replArticleCount(t, fdb); got != 1 {
+		t.Errorf("follower articles = %d, want 1", got)
+	}
+}

@@ -3,19 +3,41 @@
 # sgmldbload, start the server on loopback in tenant mode over the
 # article corpus, fire a load-generator burst through the authenticated
 # key, require zero request errors, then SIGTERM the server and require
-# a clean drain (exit 0). Fails fast on any step.
+# a clean drain (exit 0). A second leg stands up a durable primary plus
+# a -follow replica: loads go to the primary, the follower must converge
+# to lag 0 at the same epoch, serve a read burst with zero errors, and
+# refuse loads with 403 READ_ONLY. Fails fast on any step.
 set -eu
 
 GO=${GO:-go}
 ADDR=${SGMLDBD_ADDR:-127.0.0.1:8344}
+PRI_ADDR=${SGMLDBD_PRI_ADDR:-127.0.0.1:8354}
+FOL_ADDR=${SGMLDBD_FOL_ADDR:-127.0.0.1:8364}
 TMP=$(mktemp -d)
 SRV_PID=
+PRI_PID=
+FOL_PID=
 
 cleanup() {
     [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    [ -n "$FOL_PID" ] && kill "$FOL_PID" 2>/dev/null || true
+    [ -n "$PRI_PID" ] && kill "$PRI_PID" 2>/dev/null || true
     rm -rf "$TMP"
 }
 trap cleanup EXIT INT TERM
+
+# wait_health ADDR: poll /v1/health until the server answers.
+wait_health() {
+    i=0
+    until curl -sf "http://$1/v1/health" > /dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "service_smoke: server on $1 never became healthy" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
 
 echo "service_smoke: building"
 $GO build -o "$TMP/sgmldbd" ./cmd/sgmldbd
@@ -33,15 +55,7 @@ echo "service_smoke: starting sgmldbd on $ADDR"
 SRV_PID=$!
 
 # Wait for the health endpoint (the server binds asynchronously).
-i=0
-until curl -sf "http://$ADDR/v1/health" > /dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -ge 50 ]; then
-        echo "service_smoke: server never became healthy" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+wait_health "$ADDR"
 
 echo "service_smoke: load burst"
 "$TMP/sgmldbload" -addr "http://$ADDR" -key smoke-key -n 500 -c 8 -o "$TMP/report.json"
@@ -59,4 +73,75 @@ wait "$SRV_PID" || {
     exit 1
 }
 SRV_PID=
+
+# --- Replication leg: durable primary + read-only follower -------------
+
+echo "service_smoke: starting primary on $PRI_ADDR (durable)"
+"$TMP/sgmldbd" -dtd testdata/article.dtd -addr "$PRI_ADDR" -data "$TMP/data" &
+PRI_PID=$!
+wait_health "$PRI_ADDR"
+
+echo "service_smoke: starting follower on $FOL_ADDR"
+"$TMP/sgmldbd" -dtd testdata/article.dtd -addr "$FOL_ADDR" \
+    -follow "http://$PRI_ADDR" -follow-wait-ms 200 &
+FOL_PID=$!
+wait_health "$FOL_ADDR"
+
+echo "service_smoke: loading documents on the primary"
+"$TMP/sgmldbload" -addr "http://$PRI_ADDR" -load testdata/article.sgml -load-count 3 \
+    -n 100 -c 4 -o "$TMP/primary_report.json"
+grep -q '"errors": 0' "$TMP/primary_report.json" || {
+    echo "service_smoke: primary load burst reported request errors" >&2
+    exit 1
+}
+
+echo "service_smoke: waiting for the follower to converge"
+pri_epoch=$(curl -sf "http://$PRI_ADDR/v1/health" | sed -n 's/.*"epoch":\([0-9]*\).*/\1/p')
+i=0
+while :; do
+    h=$(curl -sf "http://$FOL_ADDR/v1/health" || true)
+    fol_epoch=$(printf '%s' "$h" | sed -n 's/.*"epoch":\([0-9]*\).*/\1/p')
+    lag=$(printf '%s' "$h" | sed -n 's/.*"lag":\([0-9]*\).*/\1/p')
+    [ "$lag" = "0" ] && [ "$fol_epoch" = "$pri_epoch" ] && break
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "service_smoke: follower never converged (primary epoch $pri_epoch); last health: $h" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "service_smoke: read burst on the follower"
+"$TMP/sgmldbload" -addr "http://$FOL_ADDR" -n 200 -c 4 -o "$TMP/follower_report.json"
+cat "$TMP/follower_report.json"
+grep -q '"errors": 0' "$TMP/follower_report.json" || {
+    echo "service_smoke: follower read burst reported request errors" >&2
+    exit 1
+}
+
+echo "service_smoke: loads on the follower must be refused"
+code=$(curl -s -o "$TMP/load_reject.json" -w '%{http_code}' \
+    -X POST "http://$FOL_ADDR/v1/load" \
+    -d '{"documents": ["<article></article>"]}')
+if [ "$code" != "403" ] || ! grep -q 'READ_ONLY' "$TMP/load_reject.json"; then
+    echo "service_smoke: follower load: status $code, body:" >&2
+    cat "$TMP/load_reject.json" >&2
+    exit 1
+fi
+
+echo "service_smoke: draining the pair"
+kill -TERM "$FOL_PID"
+wait "$FOL_PID" || {
+    echo "service_smoke: follower exited non-zero" >&2
+    FOL_PID=
+    exit 1
+}
+FOL_PID=
+kill -TERM "$PRI_PID"
+wait "$PRI_PID" || {
+    echo "service_smoke: primary exited non-zero" >&2
+    PRI_PID=
+    exit 1
+}
+PRI_PID=
 echo "service_smoke: ok"

@@ -107,6 +107,14 @@ type Database struct {
 	// checkpoint, for Stats (atomic: the background checkpointer stores
 	// it, Stats loads it).
 	ckptSeq atomic.Uint64
+
+	// Replication (see replica.go). A follower applies the primary's log
+	// through the commit path without appending; appliedSeq is the last
+	// record applied, primarySeq the newest the primary has reported —
+	// their difference is the replication lag.
+	follower   bool
+	appliedSeq atomic.Uint64
+	primarySeq atomic.Uint64
 }
 
 // acquire admits one query, blocking while WithMaxConcurrentQueries
@@ -233,6 +241,9 @@ func (db *Database) LoadDocuments(srcs []string) (oids []object.OID, err error) 
 	if db.Loader == nil {
 		return nil, ErrReadOnly
 	}
+	if db.follower {
+		return nil, fmt.Errorf("%w: followers apply the primary's log only", ErrReadOnly)
+	}
 	// Parse and validate outside the writer lock: only instance building
 	// needs serialisation.
 	docs := make([]*sgml.Document, len(srcs))
@@ -302,6 +313,9 @@ func (db *Database) commitLoad(docs []*sgml.Document, srcs []string, logIt bool)
 // layer (with a cloned schema when the root is new, so pinned readers
 // keep a stable view of G) and published atomically.
 func (db *Database) Name(name string, oid object.OID) (err error) {
+	if db.follower {
+		return fmt.Errorf("%w: followers apply the primary's log only", ErrReadOnly)
+	}
 	defer rescue(&err)
 	db.loadMu.Lock()
 	defer db.loadMu.Unlock()

@@ -46,6 +46,14 @@ type Stats struct {
 	Durable       bool
 	WALSeq        uint64
 	CheckpointSeq uint64
+
+	// Follower reports whether the database was opened with OpenFollower.
+	// AppliedSeq is then the last primary log record applied, PrimarySeq
+	// the newest primary sequence observed; their difference is the
+	// replication lag in records.
+	Follower   bool
+	AppliedSeq uint64
+	PrimarySeq uint64
 }
 
 // metrics holds the facade's cumulative counters. All atomic: they are
@@ -91,6 +99,11 @@ func (db *Database) Stats() Stats {
 		st.Durable = true
 		st.WALSeq = db.walLog.Seq()
 		st.CheckpointSeq = db.ckptSeq.Load()
+	}
+	if db.follower {
+		st.Follower = true
+		st.AppliedSeq = db.appliedSeq.Load()
+		st.PrimarySeq = db.primarySeq.Load()
 	}
 	return st
 }
