@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet vet-fix-baseline test race bench fuzz chaos crash smoke ci
+.PHONY: all build vet vet-fix-baseline test race bench fuzz chaos crash fsck smoke ci
 
 all: build
 
@@ -60,6 +60,12 @@ chaos:
 crash:
 	$(GO) test -race -count=1 -run='TestCrash|TestDurable' .
 
+# The integrity-checker suite under the race detector: online scrub,
+# offline fsck verify/repair semantics (torn tails repaired, corruption
+# refused), and the sgmldbfsck exit-code contract.
+fsck:
+	$(GO) test -race -count=1 -run='TestFsck|TestScrub' ./internal/wal ./cmd/sgmldbfsck
+
 # End-to-end service smoke: a real sgmldbd process on loopback under a
 # tenant config, a load-generator burst with zero tolerated errors, and
 # a SIGTERM drain that must exit 0.
@@ -73,6 +79,7 @@ ci:
 	$(GO) test -race -shuffle=on ./...
 	$(MAKE) chaos
 	$(MAKE) crash
+	$(MAKE) fsck
 	$(MAKE) fuzz
 	$(MAKE) smoke
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .

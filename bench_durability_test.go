@@ -10,8 +10,12 @@ package sgmldb
 //	BenchmarkRecovery     OpenDTD against an existing data directory: once
 //	                      replaying a pure log tail, once restoring from a
 //	                      checkpoint with an empty tail.
+//	BenchmarkScrub        the online integrity scrub over a live primary's
+//	                      log, by tail length (BENCH_robustness.json): a
+//	                      full re-read and checksum walk, priced so the
+//	                      operator knows what a background scrub costs.
 //
-// Run with: go test -run '^$' -bench 'LoadDurable|Recovery' .
+// Run with: go test -run '^$' -bench 'LoadDurable|Recovery|Scrub' .
 
 import (
 	"fmt"
@@ -82,6 +86,40 @@ func BenchmarkLoadDurable(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkScrub measures Database.Scrub on a live primary whose log
+// tail holds 4, 16 or 64 committed batches. The scrub re-reads the log
+// from disk under the log mutex and re-verifies every frame checksum
+// and the sequence chain, so its cost is linear in tail bytes — the
+// number an operator needs before putting it on a timer.
+func BenchmarkScrub(b *testing.B) {
+	dtd := benchArticleDTD(b)
+	src := benchArticleSrc(b)
+	for _, batches := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("batches=%d", batches), func(b *testing.B) {
+			db, err := OpenDTD(dtd, WithDataDir(b.TempDir()), WithCheckpointEvery(-1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			for i := 0; i < batches; i++ {
+				if _, err := db.LoadDocuments([]string{src}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := db.Scrub()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Frames != batches+1 { // schema frame + one per batch
+					b.Fatalf("scrubbed %d frames, want %d", rep.Frames, batches+1)
+				}
 			}
 		})
 	}

@@ -87,10 +87,14 @@ func TestChaosSitesEnumerated(t *testing.T) {
 		"text/index-add",
 		"text/index-clone",
 		"wal/append",
+		"wal/append-sync-error",
 		"wal/checkpoint-rename",
 		"wal/checkpoint-write",
+		"wal/ckpt-write",
+		"wal/dir-sync",
 		"wal/post-append",
 		"wal/post-fsync",
+		"wal/rewind-truncate",
 		"wal/truncate-reopen",
 	}
 	if got := faultpoint.Names(); !reflect.DeepEqual(got, want) {

@@ -133,6 +133,25 @@ func run() error {
 		}()
 	}
 
+	// On a durable primary, watch the storage health and log once per
+	// state change: the transition into (or, after a reopen, out of)
+	// degraded mode, and every change of the checkpoint-failure streak.
+	// Polling is fine here — the states are sticky or slow-moving, and one
+	// line per change keeps the log greppable instead of scrolling.
+	stopMonitor := func() {}
+	if *dataDir != "" {
+		monCtx, cancel := context.WithCancel(context.Background())
+		monDone := make(chan struct{})
+		stopMonitor = func() {
+			cancel()
+			<-monDone
+		}
+		go func() {
+			defer close(monDone)
+			watchStorageHealth(monCtx, db)
+		}()
+	}
+
 	cfg := service.Config{}
 	if *tenantsPath != "" {
 		cfg, err = service.LoadConfig(*tenantsPath)
@@ -178,6 +197,7 @@ func run() error {
 	// calls), let http.Server.Shutdown wait out the in-flight handlers,
 	// then checkpoint and close the durability machinery.
 	srv.Drain()
+	stopMonitor()
 	if stopTail != nil {
 		stopTail()
 		<-tailDone
@@ -195,4 +215,38 @@ func run() error {
 	}
 	log.Printf("sgmldbd: drained, bye")
 	return nil
+}
+
+// watchStorageHealth polls the database's storage state and logs once per
+// transition: degraded on/off (with the sticky reason) and checkpoint
+// failure-streak changes (with the last error while failing, or an
+// all-clear when a checkpoint succeeds again).
+func watchStorageHealth(ctx context.Context, db *sgmldb.Database) {
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	var wasDegraded bool
+	var lastStreak uint64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		if degraded, reason := db.DegradedState(); degraded != wasDegraded {
+			wasDegraded = degraded
+			if degraded {
+				log.Printf("sgmldbd: DEGRADED (read-only): %s", reason)
+			} else {
+				log.Printf("sgmldbd: storage recovered, accepting writes again")
+			}
+		}
+		if _, streak, lastErr := db.CheckpointFailures(); streak != lastStreak {
+			lastStreak = streak
+			if streak > 0 {
+				log.Printf("sgmldbd: checkpoint failing (%d consecutive): %s", streak, lastErr)
+			} else {
+				log.Printf("sgmldbd: checkpoint succeeded, failure streak cleared")
+			}
+		}
+	}
 }

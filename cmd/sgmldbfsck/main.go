@@ -1,0 +1,99 @@
+// Command sgmldbfsck validates (and optionally repairs) an sgmldb data
+// directory offline — the operator's tool for the morning after a crash
+// or a storage fault (DESIGN.md §11). It never runs against a live
+// database.
+//
+// Usage:
+//
+//	sgmldbfsck -verify dir    # read-only: report, never write
+//	sgmldbfsck -repair dir    # fix recoverable crash damage in place
+//
+// Verify classifies the directory and exits:
+//
+//	0  clean — recovery would replay it without repairs
+//	1  recoverable crash damage (torn log tail, stray temp files,
+//	   undecodable newer checkpoint with a valid one behind it);
+//	   -repair would fix it, and so would normal recovery
+//	2  corrupt — damage inside the committed prefix (bad checksum,
+//	   sequence gap, log ahead of every valid checkpoint); restore
+//	   from a replica or backup
+//	3  usage error, or the directory cannot be read at all
+//
+// Repair fixes exactly the exit-1 bucket the way recovery would —
+// truncate the torn tail on the last good frame edge, delete stray temp
+// files and undecodable checkpoints — then exits 0. Corruption is never
+// repaired: repair exits 2 and leaves the directory untouched past the
+// point of the finding.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sgmldb/internal/wal"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgmldbfsck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	verify := fs.Bool("verify", false, "validate the directory read-only")
+	repair := fs.Bool("repair", false, "fix recoverable crash damage in place")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: sgmldbfsck -verify|-repair <data-dir>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+	if *verify == *repair || fs.NArg() != 1 {
+		fs.Usage()
+		return 3
+	}
+	dir := fs.Arg(0)
+
+	rep, err := wal.Fsck(dir, *repair)
+	if err != nil {
+		if errors.Is(err, wal.ErrCorruptLog) {
+			fmt.Fprintf(stderr, "sgmldbfsck: %s: CORRUPT: %v\n", dir, err)
+			report(stdout, rep)
+			return 2
+		}
+		fmt.Fprintf(stderr, "sgmldbfsck: %s: %v\n", dir, err)
+		return 3
+	}
+	report(stdout, rep)
+	switch {
+	case rep.Repaired:
+		fmt.Fprintf(stdout, "%s: repaired\n", dir)
+		return 0
+	case rep.Clean():
+		fmt.Fprintf(stdout, "%s: clean\n", dir)
+		return 0
+	default:
+		fmt.Fprintf(stdout, "%s: recoverable crash damage (run -repair)\n", dir)
+		return 1
+	}
+}
+
+// report prints what the pass found, one line per fact, greppable.
+func report(w io.Writer, rep *wal.FsckReport) {
+	if rep == nil {
+		return
+	}
+	fmt.Fprintf(w, "log: %d frames, last seq %d\n", rep.Frames, rep.LastSeq)
+	fmt.Fprintf(w, "checkpoints: %d valid (newest covers seq %d), %d undecodable\n",
+		rep.Checkpoints, rep.CheckpointSeq, rep.BadCheckpoints)
+	if rep.TornTail {
+		fmt.Fprintf(w, "torn tail at offset %d\n", rep.TornOffset)
+	}
+	if rep.StrayTemps > 0 {
+		fmt.Fprintf(w, "stray temp files: %d\n", rep.StrayTemps)
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sgmldb/internal/wal"
+)
+
+// seedDir builds a data directory holding a few committed records, then
+// returns it together with the full log bytes for damage injection.
+func seedDir(t *testing.T) (dir string, logData []byte) {
+	t.Helper()
+	dir = t.TempDir()
+	l, _, _, err := wal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []wal.Record{
+		{Kind: wal.KindSchema, Schema: "<!ELEMENT a (#PCDATA)>"},
+		{Kind: wal.KindLoad, Docs: []string{"<a>one</a>"}},
+		{Kind: wal.KindName, Name: "my_a", OID: 3},
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, data
+}
+
+func runFsck(t *testing.T, args ...string) (code int, out string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code = run(args, &stdout, &stderr)
+	return code, stdout.String() + stderr.String()
+}
+
+func TestFsckExitCodes(t *testing.T) {
+	dir, data := seedDir(t)
+
+	// Clean directory: verify exits 0.
+	if code, out := runFsck(t, "-verify", dir); code != 0 || !strings.Contains(out, "clean") {
+		t.Fatalf("verify clean: exit %d, out %q", code, out)
+	}
+
+	// Torn tail: verify exits 1 without touching the file, repair exits 0
+	// and a re-verify is clean.
+	logPath := filepath.Join(dir, "wal.log")
+	if err := os.WriteFile(logPath, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := runFsck(t, "-verify", dir); code != 1 || !strings.Contains(out, "torn tail") {
+		t.Fatalf("verify torn: exit %d, out %q", code, out)
+	}
+	if after, _ := os.ReadFile(logPath); len(after) != len(data)-2 {
+		t.Fatal("verify modified the log")
+	}
+	if code, out := runFsck(t, "-repair", dir); code != 0 || !strings.Contains(out, "repaired") {
+		t.Fatalf("repair torn: exit %d, out %q", code, out)
+	}
+	if code, _ := runFsck(t, "-verify", dir); code != 0 {
+		t.Fatalf("re-verify after repair: exit %d", code)
+	}
+
+	// Mid-log corruption: exit 2 under both modes.
+	repaired, _ := os.ReadFile(logPath)
+	repaired[20] ^= 0xff // inside the first frame, records behind it
+	if err := os.WriteFile(logPath, repaired, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := runFsck(t, "-verify", dir); code != 2 || !strings.Contains(out, "CORRUPT") {
+		t.Fatalf("verify corrupt: exit %d, out %q", code, out)
+	}
+	if code, _ := runFsck(t, "-repair", dir); code != 2 {
+		t.Fatalf("repair corrupt: exit %d, want 2 (never repaired)", code)
+	}
+}
+
+func TestFsckUsageErrors(t *testing.T) {
+	dir, _ := seedDir(t)
+	for _, args := range [][]string{
+		{},                          // no mode, no dir
+		{dir},                       // no mode
+		{"-verify"},                 // no dir
+		{"-verify", "-repair", dir}, // both modes
+		{"-verify", filepath.Join(dir, "nope")}, // unreadable dir
+	} {
+		if code, _ := runFsck(t, args...); code != 3 {
+			t.Errorf("run(%v) = %d, want 3", args, code)
+		}
+	}
+}

@@ -19,6 +19,7 @@ const (
 	CodeUnknownObject = "UNKNOWN_OBJECT"  // ErrUnknownObject
 	CodeNoMapping     = "NO_MAPPING"      // ErrNoMapping
 	CodeCorruptLog    = "CORRUPT_LOG"     // ErrCorruptLog
+	CodeDegraded      = "DEGRADED"        // ErrDegraded
 	CodeNotPrimary    = "NOT_PRIMARY"     // ErrNotPrimary
 	CodeSeqTruncated  = "SEQ_TRUNCATED"   // ErrSeqTruncated
 	CodeCanceled      = "CANCELED"        // context.Canceled
@@ -58,6 +59,8 @@ func Code(err error) string {
 		return CodeNoMapping
 	case errors.Is(err, ErrCorruptLog):
 		return CodeCorruptLog
+	case errors.Is(err, ErrDegraded):
+		return CodeDegraded
 	case errors.Is(err, ErrNotPrimary):
 		return CodeNotPrimary
 	case errors.Is(err, ErrSeqTruncated):

@@ -27,6 +27,7 @@ var sentinelByName = map[string]error{
 	"ErrParse":          ErrParse,
 	"ErrTypecheck":      ErrTypecheck,
 	"ErrCorruptLog":     ErrCorruptLog,
+	"ErrDegraded":       ErrDegraded,
 	"ErrNotPrimary":     ErrNotPrimary,
 	"ErrSeqTruncated":   ErrSeqTruncated,
 }

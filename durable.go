@@ -157,15 +157,28 @@ func (db *Database) checkpointer() {
 
 // writeCheckpoint serializes one checkpoint and truncates the covered log
 // prefix. ckptMu keeps on-demand and background checkpoints from
-// interleaving their temp-file/rename/truncate sequences.
+// interleaving their temp-file/rename/truncate sequences. Every failure —
+// background or on-demand — is counted and its message recorded, so a
+// silently sick disk shows up in Stats and /v1/health long before the log
+// poisons: a failed checkpoint only means the log keeps more history, but
+// a *streak* of them means recovery time is growing without bound.
 func (db *Database) writeCheckpoint(ck *wal.Checkpoint) error {
 	db.ckptMu.Lock()
 	defer db.ckptMu.Unlock()
-	if err := wal.WriteCheckpoint(db.dataDir, ck); err != nil {
+	err := wal.WriteCheckpoint(db.dataDir, ck)
+	if err == nil {
+		db.ckptSeq.Store(ck.Seq)
+		err = db.walLog.TruncatePrefix(ck.Seq)
+	}
+	if err != nil {
+		db.ckptFailures.Add(1)
+		db.ckptFailStreak.Add(1)
+		msg := err.Error()
+		db.lastCkptErr.Store(&msg)
 		return err
 	}
-	db.ckptSeq.Store(ck.Seq)
-	return db.walLog.TruncatePrefix(ck.Seq)
+	db.ckptFailStreak.Store(0)
+	return nil
 }
 
 // Checkpoint forces a checkpoint of the currently published version and
@@ -182,6 +195,98 @@ func (db *Database) Checkpoint() error {
 	db.recordsSinceCkpt = 0
 	db.loadMu.Unlock()
 	return db.writeCheckpoint(ck)
+}
+
+// degradedErr reports the degraded-mode error writers fail fast with:
+// non-nil exactly when the write-ahead log is poisoned. It wraps
+// ErrDegraded around the log's sticky reason so callers can branch with
+// errors.Is(err, ErrDegraded) and still read the root cause.
+func (db *Database) degradedErr() error {
+	if db.walLog == nil {
+		return nil
+	}
+	if perr := db.walLog.Err(); perr != nil {
+		return fmt.Errorf("%w: %w", ErrDegraded, perr)
+	}
+	return nil
+}
+
+// wrapDegraded dresses a commit-path append failure in ErrDegraded when
+// the failure poisoned the log (or found it already poisoned). Transient
+// injected faults that do not poison — the crash-seam faultpoints — pass
+// through unchanged: they model a kill, not a sick disk.
+func (db *Database) wrapDegraded(err error) error {
+	if err == nil || db.walLog == nil || db.walLog.Err() == nil {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrDegraded, err)
+}
+
+// DegradedState reports whether the database is in degraded read-only
+// mode and, when it is, the sticky reason (the first storage fault that
+// poisoned the log). A non-durable database is never degraded.
+func (db *Database) DegradedState() (degraded bool, reason string) {
+	if db.walLog == nil {
+		return false, ""
+	}
+	if perr := db.walLog.Err(); perr != nil {
+		return true, perr.Error()
+	}
+	return false, ""
+}
+
+// CheckpointFailures reports the checkpoint-failure telemetry: total
+// failed checkpoint attempts since open, the current consecutive-failure
+// streak (0 after a success), and the last failure's message ("" if
+// none).
+func (db *Database) CheckpointFailures() (total, streak uint64, lastErr string) {
+	total = db.ckptFailures.Load()
+	streak = db.ckptFailStreak.Load()
+	if msg := db.lastCkptErr.Load(); msg != nil {
+		lastErr = *msg
+	}
+	return total, streak, lastErr
+}
+
+// ScrubReport summarises one online integrity pass over the data
+// directory: every committed log frame re-read and re-validated, every
+// checkpoint file fully decoded.
+type ScrubReport struct {
+	Frames         int    // valid committed log frames
+	LastSeq        uint64 // last committed log sequence number
+	Checkpoints    int    // checkpoint files that fully decode
+	BadCheckpoints int    // checkpoint files that do not (recovery skips them)
+	CheckpointSeq  uint64 // newest valid checkpoint's covered sequence
+}
+
+// Scrub runs an online integrity check of the data directory without
+// stopping the database: it re-reads the committed log from disk and
+// re-verifies every frame's checksum and the sequence chain, then fully
+// decodes every checkpoint file. Readers are untouched (queries run
+// against published in-memory epochs); appends are held out only for one
+// sequential read of the log. A degraded database can still be scrubbed —
+// auditing the durable prefix is exactly what an operator wants before
+// failing over. On a database without a data directory it reports
+// ErrNotPrimary.
+func (db *Database) Scrub() (*ScrubReport, error) {
+	if db.walLog == nil {
+		return nil, fmt.Errorf("%w: scrub", ErrNotPrimary)
+	}
+	frames, lastSeq, err := db.walLog.Scrub()
+	if err != nil {
+		return nil, err
+	}
+	newest, valid, bad, err := wal.ScrubCheckpoints(db.dataDir)
+	if err != nil {
+		return nil, err
+	}
+	return &ScrubReport{
+		Frames:         frames,
+		LastSeq:        lastSeq,
+		Checkpoints:    valid,
+		BadCheckpoints: bad,
+		CheckpointSeq:  newest,
+	}, nil
 }
 
 // Close releases the durability machinery: it stops the background

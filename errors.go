@@ -62,6 +62,17 @@ var (
 	// the internal sentinel so errors.Is works across layers.
 	ErrCorruptLog = wal.ErrCorruptLog
 
+	// ErrDegraded is returned by writers (LoadDocument, LoadDocuments,
+	// Name) on a durable database whose write-ahead log was poisoned by a
+	// storage fault (a failed fsync, a full disk, a lost handle). The
+	// database is degraded, not down: readers keep serving the last
+	// published epoch and the replication feed keeps shipping the durable
+	// prefix, but nothing new can be made durable, so nothing new is
+	// accepted. The wrapped cause (wal.ErrPoisoned with its classified
+	// root) says why; recovery is operational — fix the storage, then
+	// reopen (fsck first if in doubt).
+	ErrDegraded = errors.New("sgmldb: degraded (read-only): a storage fault poisoned the write-ahead log")
+
 	// ErrNotPrimary is returned by the replication feed accessors
 	// (FeedFrames, FeedWatch, FeedSeq, NewestCheckpointFile) on a database
 	// without a write-ahead log: only a durable primary has history to

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+
+	"sgmldb/internal/faultpoint"
+)
+
+// TestServiceDegraded drives the wire contract of a degraded primary: a
+// storage fault poisons the WAL mid-load, after which writes return 503
+// DEGRADED, /v1/health reports the state with its reason, queries keep
+// answering from the last published epoch, and /v1/feed keeps shipping
+// the durable prefix.
+func TestServiceDegraded(t *testing.T) {
+	t.Cleanup(faultpoint.DisarmAll)
+	dtd, doc := readCorpus(t)
+	db := openPrimary(t, dtd)
+	if _, err := db.LoadDocuments([]string{doc}); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, db, Config{})
+	epochPre := db.Epoch()
+
+	// Healthy baseline.
+	if status, body := call(t, ts, "GET", "/v1/health", "", nil); status != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("baseline health = %d %v", status, body)
+	}
+
+	faultpoint.Arm("wal/append-sync-error", faultpoint.Once(faultpoint.Error(&os.PathError{Op: "sync", Path: "wal.log", Err: syscall.EIO})))
+	status, body := call(t, ts, "POST", "/v1/load", "", map[string]any{"documents": []string{doc}})
+	if status != http.StatusServiceUnavailable || errCode(t, body) != "DEGRADED" {
+		t.Fatalf("load under failed fsync = %d %v, want 503 DEGRADED", status, body)
+	}
+
+	// Health: degraded, with the sticky reason; still 200 — the node
+	// serves reads and only write probes should route around it.
+	status, body = call(t, ts, "GET", "/v1/health", "", nil)
+	if status != http.StatusOK || body["status"] != "degraded" {
+		t.Fatalf("health on degraded node = %d %v, want 200 degraded", status, body)
+	}
+	if r, _ := body["degraded_reason"].(string); r == "" {
+		t.Errorf("health carries no degraded_reason: %v", body)
+	}
+
+	// Reads keep serving the last published epoch.
+	status, body = call(t, ts, "POST", "/v1/query", "", map[string]any{"query": "select t from a in Articles, a PATH_p.title(t)"})
+	if status != http.StatusOK {
+		t.Fatalf("query on degraded node = %d %v", status, body)
+	}
+	if got, _ := body["epoch"].(float64); uint64(got) != epochPre {
+		t.Errorf("query epoch = %v, want %d", body["epoch"], epochPre)
+	}
+
+	// The feed keeps shipping the durable prefix to followers.
+	feedStatus, _, feedBody := rawGet(t, ts, "/v1/feed?after=0")
+	if feedStatus != http.StatusOK || len(decodeFeed(t, feedBody)) == 0 {
+		t.Fatalf("feed on degraded node = %d with %d bytes, want the durable prefix", feedStatus, len(feedBody))
+	}
+
+	// Writes keep failing fast — the injector fired exactly once.
+	if status, body = call(t, ts, "POST", "/v1/load", "", map[string]any{"documents": []string{doc}}); status != http.StatusServiceUnavailable || errCode(t, body) != "DEGRADED" {
+		t.Fatalf("second load = %d %v, want fast 503 DEGRADED", status, body)
+	}
+}
+
+// TestServiceHealthCheckpointFailures covers the satellite-2 surface: a
+// failing checkpointer shows up in /v1/health with the streak and the
+// last error while the node stays healthy for writes.
+func TestServiceHealthCheckpointFailures(t *testing.T) {
+	t.Cleanup(faultpoint.DisarmAll)
+	dtd, doc := readCorpus(t)
+	db := openPrimary(t, dtd)
+	if _, err := db.LoadDocuments([]string{doc}); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, db, Config{})
+
+	faultpoint.Arm("wal/ckpt-write", faultpoint.Once(faultpoint.Error(&os.PathError{Op: "sync", Path: "checkpoint", Err: syscall.ENOSPC})))
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("armed checkpoint succeeded")
+	}
+	status, body := call(t, ts, "GET", "/v1/health", "", nil)
+	if status != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("health = %d %v, want 200 ok (checkpoint failure is not degradation)", status, body)
+	}
+	if n, _ := body["checkpoint_failures"].(float64); n != 1 {
+		t.Errorf("checkpoint_failures = %v, want 1", body["checkpoint_failures"])
+	}
+	if n, _ := body["checkpoint_fail_streak"].(float64); n != 1 {
+		t.Errorf("checkpoint_fail_streak = %v, want 1", body["checkpoint_fail_streak"])
+	}
+	if msg, _ := body["last_checkpoint_error"].(string); msg == "" {
+		t.Errorf("last_checkpoint_error missing: %v", body)
+	}
+	// A later success clears the streak but keeps the total.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after disarm: %v", err)
+	}
+	_, body = call(t, ts, "GET", "/v1/health", "", nil)
+	if n, _ := body["checkpoint_fail_streak"].(float64); n != 0 {
+		t.Errorf("streak after success = %v, want 0", body["checkpoint_fail_streak"])
+	}
+	if n, _ := body["checkpoint_failures"].(float64); n != 1 {
+		t.Errorf("total after success = %v, want 1", body["checkpoint_failures"])
+	}
+}

@@ -198,7 +198,10 @@ func statusFor(code string) int {
 		return http.StatusUnprocessableEntity
 	case sgmldb.CodeBudget:
 		return http.StatusUnprocessableEntity
-	case sgmldb.CodeOverloaded, codeDraining:
+	case sgmldb.CodeOverloaded, sgmldb.CodeDegraded, codeDraining:
+		// DEGRADED is 503, not 403: the rejection is about the node's
+		// storage health, not the caller's rights — retrying against a
+		// healthy replica can succeed.
 		return http.StatusServiceUnavailable
 	case sgmldb.CodeDeadline:
 		return http.StatusGatewayTimeout
@@ -569,15 +572,32 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 
 // handleHealth is the unauthenticated liveness probe. A follower also
 // reports how far behind the primary it is, so probes can take a lagging
-// replica out of rotation.
+// replica out of rotation. A degraded primary (poisoned write-ahead log)
+// reports status "degraded" with the sticky reason — but stays 200: the
+// node still serves reads and ships its feed, and only write probes
+// should route around it. Checkpoint-failure telemetry rides along on
+// every durable node so monitors catch a sick disk before it poisons.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	code := http.StatusOK
+	degraded, reason := s.db.DegradedState()
+	if degraded {
+		status = "degraded"
+	}
 	if s.draining.Load() {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
 	body := map[string]any{"status": status, "epoch": s.db.Epoch()}
+	if degraded {
+		body["degraded"] = true
+		body["degraded_reason"] = reason
+	}
+	if total, streak, lastErr := s.db.CheckpointFailures(); total > 0 {
+		body["checkpoint_failures"] = total
+		body["checkpoint_fail_streak"] = streak
+		body["last_checkpoint_error"] = lastErr
+	}
 	if s.db.IsFollower() {
 		applied, primary := s.db.AppliedSeq(), s.db.PrimarySeq()
 		var lag uint64

@@ -26,6 +26,7 @@ const checkpointMagic = "sgmldb-checkpoint 1"
 var (
 	fpCkptWrite  = faultpoint.New("wal/checkpoint-write")  // mid-checkpoint, temp file partially written
 	fpCkptRename = faultpoint.New("wal/checkpoint-rename") // temp file durable, not yet renamed
+	fpCkptSync   = faultpoint.New("wal/ckpt-write")        // the temp file's write/fsync reports an I/O error
 )
 
 // Checkpoint carries one published version across the serialization
@@ -113,9 +114,13 @@ func WriteCheckpoint(dir string, ck *Checkpoint) error {
 		cleanup()
 		return err
 	}
-	if err := tmp.Sync(); err != nil {
+	err = tmp.Sync()
+	if ferr := fpCkptSync.Hit(); err == nil && ferr != nil {
+		err = ferr
+	}
+	if err != nil {
 		cleanup()
-		return err
+		return fmt.Errorf("wal: checkpoint temp sync: %w", classify(err))
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)

@@ -1,0 +1,44 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+)
+
+// I/O error taxonomy. Storage fails partially in practice: the disk
+// fills, an fsync reports lost dirty pages, a directory refuses to sync.
+// Every such failure on the durable path is classified into one of two
+// sentinels so callers can branch with errors.Is without parsing
+// platform-specific messages.
+var (
+	// ErrDiskFull classifies failures rooted in exhausted space: ENOSPC
+	// and EDQUOT. Retrying without freeing space cannot help.
+	ErrDiskFull = errors.New("wal: disk full")
+
+	// ErrIOFailure classifies every other storage-level failure (a failed
+	// fsync, an unwritable file, a lost handle). After a failed fsync the
+	// kernel may have silently dropped the dirty pages, so the write-path
+	// state is unknowable — the log fails closed rather than guess.
+	ErrIOFailure = errors.New("wal: i/o failure")
+
+	// ErrPoisoned is the sticky log-poison marker: every write on a
+	// poisoned log wraps it (together with the classified root cause), so
+	// the facade can tell "the log is down" from a one-off failure.
+	ErrPoisoned = errors.New("wal: log poisoned by a storage fault")
+)
+
+// classify wraps a raw storage error with its taxonomy sentinel. Already
+// classified errors pass through unchanged.
+func classify(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrDiskFull) || errors.Is(err, ErrIOFailure):
+		return err
+	case errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT):
+		return fmt.Errorf("%w: %w", ErrDiskFull, err)
+	default:
+		return fmt.Errorf("%w: %w", ErrIOFailure, err)
+	}
+}

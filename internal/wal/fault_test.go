@@ -1,0 +1,199 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+
+	"sgmldb/internal/faultpoint"
+	"sgmldb/internal/text"
+)
+
+func TestClassifyTaxonomy(t *testing.T) {
+	if classify(nil) != nil {
+		t.Error("classify(nil) != nil")
+	}
+	full := classify(&os.PathError{Op: "write", Path: "wal.log", Err: syscall.ENOSPC})
+	if !errors.Is(full, ErrDiskFull) {
+		t.Errorf("ENOSPC classified as %v, want ErrDiskFull", full)
+	}
+	quota := classify(syscall.EDQUOT)
+	if !errors.Is(quota, ErrDiskFull) {
+		t.Errorf("EDQUOT classified as %v, want ErrDiskFull", quota)
+	}
+	io := classify(errors.New("input/output error"))
+	if !errors.Is(io, ErrIOFailure) || errors.Is(io, ErrDiskFull) {
+		t.Errorf("generic error classified as %v, want ErrIOFailure only", io)
+	}
+	// Already classified errors pass through unchanged, no double wrap.
+	if again := classify(full); again != full {
+		t.Errorf("re-classify changed %v to %v", full, again)
+	}
+}
+
+// TestAppendSyncFailurePoisons drives the fsyncgate seam: a failed fsync
+// in Append must poison the log — sticky, reason-carrying, first reason
+// wins — while the committed prefix stays readable through FramesAfter.
+func TestAppendSyncFailurePoisons(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir)
+	if err := l.Append(Record{Kind: KindSchema, Schema: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("fsync lost dirty pages (injected)")
+	disarm := faultpoint.Arm("wal/append-sync-error", faultpoint.Once(faultpoint.Error(boom)))
+	defer disarm()
+	err := l.Append(Record{Kind: KindName, Name: "x", OID: 1})
+	if !errors.Is(err, ErrPoisoned) || !errors.Is(err, ErrIOFailure) || !errors.Is(err, boom) {
+		t.Fatalf("append under failed sync = %v; want ErrPoisoned wrapping ErrIOFailure wrapping the cause", err)
+	}
+	if perr := l.Err(); !errors.Is(perr, ErrPoisoned) {
+		t.Fatalf("Err() = %v, want the sticky poison", perr)
+	}
+	// Sticky: the next append fails identically even though the injector
+	// only fired once, and the first reason is preserved.
+	err2 := l.Append(Record{Kind: KindName, Name: "y", OID: 2})
+	if !errors.Is(err2, boom) {
+		t.Fatalf("second append = %v, want the original cause", err2)
+	}
+	if l.Seq() != 1 {
+		t.Errorf("seq advanced to %d across poisoned appends", l.Seq())
+	}
+	// The committed prefix keeps serving: the feed must ship record 1.
+	frames, lastSeq, err := l.FramesAfter(0, 1<<20)
+	if err != nil || lastSeq != 1 || len(frames) == 0 {
+		t.Fatalf("FramesAfter on poisoned log = (%d bytes, seq %d, %v), want the committed record", len(frames), lastSeq, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close on poisoned log: %v", err)
+	}
+	// Reopen recovers exactly the pre-fault state.
+	l2, _, tail := mustOpen(t, dir)
+	defer l2.Close()
+	if len(tail) != 1 || l2.Seq() != 1 {
+		t.Fatalf("reopen after poison: %d records, seq %d; want 1, 1", len(tail), l2.Seq())
+	}
+}
+
+// TestRewindFailurePoisons is the satellite-1 regression: a failed
+// truncate in rewind used to be swallowed, leaving l.size disagreeing
+// with the file so a later shorter append produced mid-file garbage that
+// recovery read as ErrCorruptLog. Now it must poison.
+func TestRewindFailurePoisons(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir)
+	if err := l.Append(Record{Kind: KindLoad, Docs: []string{"<a>a long record to leave garbage behind</a>"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the append after the frame bytes landed, then fail the rewind's
+	// truncate: the written frame cannot be removed, so the log must stop.
+	boom := errors.New("post-append (injected)")
+	disarmA := faultpoint.Arm("wal/post-append", faultpoint.Once(faultpoint.Error(boom)))
+	defer disarmA()
+	trunc := errors.New("truncate failed (injected)")
+	disarmT := faultpoint.Arm("wal/rewind-truncate", faultpoint.Once(faultpoint.Error(trunc)))
+	defer disarmT()
+	err := l.Append(Record{Kind: KindLoad, Docs: []string{"<a>doomed</a>"}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("armed append = %v, want the injected post-append error", err)
+	}
+	// The append failure surfaces the injected error; the *rewind* failure
+	// poisons, so the next append reports the truncate as the root cause.
+	err2 := l.Append(Record{Kind: KindName, Name: "z", OID: 3})
+	if !errors.Is(err2, ErrPoisoned) || !errors.Is(err2, trunc) {
+		t.Fatalf("append after failed rewind = %v, want poison carrying the truncate failure", err2)
+	}
+	l.Close()
+	// Reopen: the un-rewound frame is a torn tail (valid bytes past
+	// l.size were fsynced only incidentally), never ErrCorruptLog.
+	l2, _, tail, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after poisoned rewind: %v", err)
+	}
+	defer l2.Close()
+	if len(tail) < 1 {
+		t.Fatalf("reopen lost the committed record: tail=%v", tail)
+	}
+}
+
+// TestDirSyncFailurePoisonsTruncatePrefix drives wal/dir-sync at the
+// prefix-truncation seam: after the rename, a failed directory fsync
+// leaves the handle pointing at the unlinked old file, so the log must
+// fail closed with the handle dropped.
+func TestDirSyncFailurePoisonsTruncatePrefix(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir)
+	for _, r := range sampleRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A prefix truncation is only legal once a checkpoint covers the
+	// prefix; write it first so the reopen below has its floor.
+	if err := WriteCheckpoint(dir, &Checkpoint{Seq: 2, Epoch: 1, DTD: "d", Inst: checkpointInstance(t), Index: text.NewIndex()}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("dir fsync failed (injected)")
+	disarm := faultpoint.Arm("wal/dir-sync", faultpoint.Error(boom))
+	defer disarm()
+	err := l.TruncatePrefix(2)
+	if !errors.Is(err, ErrPoisoned) || !errors.Is(err, boom) {
+		t.Fatalf("TruncatePrefix under failed dir sync = %v, want poison carrying the cause", err)
+	}
+	if err := l.Append(Record{Kind: KindName, Name: "x", OID: 9}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after lost handle = %v, want the sticky poison", err)
+	}
+	// The handle is gone: the feed ends rather than serving a stale file.
+	if _, _, err := l.FramesAfter(2, 1<<20); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("FramesAfter after lost handle = %v, want the poison", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close after lost handle: %v", err)
+	}
+	disarm()
+	// The renamed file on disk is the truncated log; it reopens cleanly.
+	l2, _, tail, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after dir-sync poison: %v", err)
+	}
+	defer l2.Close()
+	if len(tail) != 2 || tail[0].Seq != 3 {
+		t.Fatalf("reopen tail = %+v, want records 3 and 4", tail)
+	}
+}
+
+// TestCheckpointTempSyncFailureClassified drives wal/ckpt-write: a failed
+// checkpoint temp-file sync must fail the checkpoint with a classified
+// error, remove the temp file, and leave the log healthy — a failed
+// checkpoint only means the log keeps more history.
+func TestCheckpointTempSyncFailureClassified(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir)
+	defer l.Close()
+	for _, r := range sampleRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disarm := faultpoint.Arm("wal/ckpt-write", faultpoint.Once(faultpoint.Error(&os.PathError{Op: "sync", Path: "checkpoint", Err: syscall.ENOSPC})))
+	defer disarm()
+	ck := &Checkpoint{Seq: 4, Epoch: 1, DTD: "d", Inst: checkpointInstance(t), Index: text.NewIndex()}
+	err := WriteCheckpoint(dir, ck)
+	if !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("WriteCheckpoint under ENOSPC = %v, want ErrDiskFull", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "checkpoint.tmp-") {
+			t.Errorf("failed checkpoint left temp file %s", e.Name())
+		}
+	}
+	if l.Err() != nil {
+		t.Errorf("log poisoned by a failed checkpoint: %v", l.Err())
+	}
+	if err := l.Append(Record{Kind: KindName, Name: "x", OID: 1}); err != nil {
+		t.Errorf("append after failed checkpoint: %v", err)
+	}
+}

@@ -28,6 +28,16 @@ var (
 	fpTruncReopen = faultpoint.New("wal/truncate-reopen") // reopen after prefix-truncation rename
 )
 
+// Storage-fault sites (DESIGN.md §11). Unlike the crash seams above,
+// these model the *disk* failing while the process lives — a failed
+// fsync, a failed truncate, an unsyncable directory — and drive the
+// poison state machine instead of photographing a kill.
+var (
+	fpAppendSync  = faultpoint.New("wal/append-sync-error") // Append's fsync reports an error
+	fpRewindTrunc = faultpoint.New("wal/rewind-truncate")   // rewind's truncate reports an error
+	fpDirSync     = faultpoint.New("wal/dir-sync")          // a directory fsync reports an error
+)
+
 // Log is the append-only write-ahead log of one data directory. Appends
 // are serialized by the facade's single-writer lock; the Log's own mutex
 // additionally protects against the background checkpointer truncating a
@@ -51,11 +61,47 @@ func (l *Log) Seq() uint64 {
 	return l.seq
 }
 
+// Err reports the log's sticky poison error, nil while healthy. Once
+// poisoned a log accepts no further writes; committed bytes stay
+// readable (FramesAfter, Scrub) as long as the handle survived.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// poison moves the log into its terminal failed-closed state: every
+// later write reports the same sticky, reason-carrying error. The first
+// reason wins — a cascade of follow-on failures must not mask the root
+// cause. Caller holds l.mu.
+func (l *Log) poison(err error) error {
+	if l.err == nil {
+		l.err = fmt.Errorf("%w: %w", ErrPoisoned, classify(err))
+	}
+	return l.err
+}
+
+// poisonHandleLost is poison for failures that leave l.f pointing at an
+// unlinked or untrustworthy file: the handle is dropped so nothing can
+// ever be written (or read) through it again. Caller holds l.mu.
+func (l *Log) poisonHandleLost(err error) error {
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	return l.poison(err)
+}
+
 // Append frames the record, writes it, and fsyncs — one sync per call, so
-// the facade batches a whole document load into a single record. On any
-// failure the file is truncated back to its pre-append offset so the live
-// log never holds a half-written frame the process itself would then have
-// to treat as torn.
+// the facade batches a whole document load into a single record. On a
+// failure before the fsync the file is truncated back to its pre-append
+// offset so the live log never holds a half-written frame the process
+// itself would then have to treat as torn. A failed fsync is different:
+// the kernel may have dropped the dirty pages and cleared the error (the
+// "fsyncgate" hazard), so nothing about the file can be trusted anymore —
+// the log poisons itself and every later Append fails with the same
+// sticky, reason-carrying error. A failed rewind poisons too (see
+// rewind), since memory and disk then disagree about the append offset.
 func (l *Log) Append(r Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -69,15 +115,19 @@ func (l *Log) Append(r Record) error {
 	frame := EncodeFrame(r)
 	if _, err := l.f.WriteAt(frame, l.size); err != nil {
 		l.rewind()
-		return fmt.Errorf("wal: append: %w", err)
+		return fmt.Errorf("wal: append: %w", classify(err))
 	}
 	if err := fpPostWrite.Hit(); err != nil {
 		l.rewind()
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
+	err := l.f.Sync()
+	if ferr := fpAppendSync.Hit(); err == nil && ferr != nil {
+		err = ferr
+	}
+	if err != nil {
 		l.rewind()
-		return fmt.Errorf("wal: append sync: %w", err)
+		return fmt.Errorf("wal: append sync: %w", l.poison(err))
 	}
 	if err := fpPostSync.Hit(); err != nil {
 		// The record is durable; the injected failure models a crash after
@@ -109,11 +159,21 @@ func (l *Log) Watch() (seq uint64, ch <-chan struct{}) {
 	return l.seq, l.tail
 }
 
-// rewind discards anything written past the last committed offset.
+// rewind discards anything written past the last committed offset. A
+// failed truncate poisons the log: l.size would then disagree with the
+// file, and a later, shorter append would leave mid-file garbage that
+// recovery reports as ErrCorruptLog instead of a torn tail. Caller holds
+// l.mu.
 func (l *Log) rewind() {
-	if err := l.f.Truncate(l.size); err == nil {
-		_ = l.f.Sync()
+	err := l.f.Truncate(l.size)
+	if ferr := fpRewindTrunc.Hit(); err == nil && ferr != nil {
+		err = ferr
 	}
+	if err != nil {
+		l.poison(fmt.Errorf("rewind truncate to %d: %w", l.size, err))
+		return
+	}
+	_ = l.f.Sync()
 }
 
 // NextSeq is the sequence number Append would assign next; the facade
@@ -310,8 +370,13 @@ func (l *Log) truncatePrefix(seq uint64) error {
 		os.Remove(tmpName)
 		return err
 	}
+	// Past the rename, every failure poisons: the old handle points at the
+	// unlinked file, so any further append through it would be durably
+	// written to a file no open() can ever see again. Fail the log closed —
+	// drop the dead handle and poison every later write — rather than keep
+	// accepting "durable" commits into oblivion.
 	if err := syncDir(l.dir); err != nil {
-		return err
+		return fmt.Errorf("wal: truncate dir sync: %w", l.poisonHandleLost(err))
 	}
 	// Swap the handle to the new file.
 	nf, err := os.OpenFile(filepath.Join(l.dir, logName), os.O_RDWR, 0o644)
@@ -322,15 +387,7 @@ func (l *Log) truncatePrefix(seq uint64) error {
 		}
 	}
 	if err != nil {
-		// The rename already happened: the old handle points at the
-		// unlinked file, so any further append would be durably written to
-		// a file no open() can ever see again. Fail the log closed — drop
-		// the dead handle and poison every later write — rather than keep
-		// accepting "durable" commits into oblivion.
-		l.f.Close()
-		l.f = nil
-		l.err = fmt.Errorf("wal: log handle lost after prefix truncation: %w", err)
-		return l.err
+		return fmt.Errorf("wal: log handle lost after prefix truncation: %w", l.poisonHandleLost(err))
 	}
 	old := l.f
 	l.f = nf
@@ -349,5 +406,9 @@ func syncDir(dir string) error {
 		return err
 	}
 	defer d.Close()
-	return d.Sync()
+	err = d.Sync()
+	if ferr := fpDirSync.Hit(); err == nil && ferr != nil {
+		err = ferr
+	}
+	return err
 }

@@ -22,7 +22,11 @@ var ErrSeqTruncated = errors.New("wal: requested sequence precedes the retained 
 func (l *Log) FramesAfter(afterSeq uint64, maxBytes int) (frames []byte, lastSeq uint64, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.err != nil {
+	// A poisoned log accepts no writes, but its committed prefix is still
+	// the durable truth: keep shipping it so followers stay current up to
+	// the last real commit of a degraded primary. Only a lost handle ends
+	// the feed.
+	if l.f == nil {
 		return nil, 0, l.err
 	}
 	if afterSeq < l.floor {

@@ -6,7 +6,11 @@
 # a clean drain (exit 0). A second leg stands up a durable primary plus
 # a -follow replica: loads go to the primary, the follower must converge
 # to lag 0 at the same epoch, serve a read burst with zero errors, and
-# refuse loads with 403 READ_ONLY. Fails fast on any step.
+# refuse loads with 403 READ_ONLY. A third leg kills the primary with
+# SIGKILL mid-flight, runs sgmldbfsck over the data directory (-verify,
+# then -repair when it finds recoverable crash damage), restarts the
+# primary on the same directory, and requires the still-running follower
+# to reconverge. Fails fast on any step.
 set -eu
 
 GO=${GO:-go}
@@ -42,6 +46,7 @@ wait_health() {
 echo "service_smoke: building"
 $GO build -o "$TMP/sgmldbd" ./cmd/sgmldbd
 $GO build -o "$TMP/sgmldbload" ./cmd/sgmldbload
+$GO build -o "$TMP/sgmldbfsck" ./cmd/sgmldbfsck
 
 cat > "$TMP/tenants.json" <<'EOF'
 {"tenants": [
@@ -95,21 +100,27 @@ grep -q '"errors": 0' "$TMP/primary_report.json" || {
     exit 1
 }
 
+# wait_converged: poll the follower until it reports lag 0 at the
+# primary's current epoch.
+wait_converged() {
+    pri_epoch=$(curl -sf "http://$PRI_ADDR/v1/health" | sed -n 's/.*"epoch":\([0-9]*\).*/\1/p')
+    i=0
+    while :; do
+        h=$(curl -sf "http://$FOL_ADDR/v1/health" || true)
+        fol_epoch=$(printf '%s' "$h" | sed -n 's/.*"epoch":\([0-9]*\).*/\1/p')
+        lag=$(printf '%s' "$h" | sed -n 's/.*"lag":\([0-9]*\).*/\1/p')
+        [ "$lag" = "0" ] && [ "$fol_epoch" = "$pri_epoch" ] && break
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "service_smoke: follower never converged (primary epoch $pri_epoch); last health: $h" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
 echo "service_smoke: waiting for the follower to converge"
-pri_epoch=$(curl -sf "http://$PRI_ADDR/v1/health" | sed -n 's/.*"epoch":\([0-9]*\).*/\1/p')
-i=0
-while :; do
-    h=$(curl -sf "http://$FOL_ADDR/v1/health" || true)
-    fol_epoch=$(printf '%s' "$h" | sed -n 's/.*"epoch":\([0-9]*\).*/\1/p')
-    lag=$(printf '%s' "$h" | sed -n 's/.*"lag":\([0-9]*\).*/\1/p')
-    [ "$lag" = "0" ] && [ "$fol_epoch" = "$pri_epoch" ] && break
-    i=$((i + 1))
-    if [ "$i" -ge 50 ]; then
-        echo "service_smoke: follower never converged (primary epoch $pri_epoch); last health: $h" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+wait_converged
 
 echo "service_smoke: read burst on the follower"
 "$TMP/sgmldbload" -addr "http://$FOL_ADDR" -n 200 -c 4 -o "$TMP/follower_report.json"
@@ -128,6 +139,51 @@ if [ "$code" != "403" ] || ! grep -q 'READ_ONLY' "$TMP/load_reject.json"; then
     cat "$TMP/load_reject.json" >&2
     exit 1
 fi
+
+# --- Crash leg: SIGKILL the primary, fsck, restart, reconverge ---------
+
+echo "service_smoke: killing the primary with SIGKILL"
+kill -9 "$PRI_PID"
+wait "$PRI_PID" 2>/dev/null || true
+PRI_PID=
+
+echo "service_smoke: sgmldbfsck -verify"
+fsck_code=0
+"$TMP/sgmldbfsck" -verify "$TMP/data" || fsck_code=$?
+case "$fsck_code" in
+0) ;;
+1)
+    echo "service_smoke: recoverable crash damage, repairing"
+    "$TMP/sgmldbfsck" -repair "$TMP/data" || {
+        echo "service_smoke: sgmldbfsck -repair failed (exit $?)" >&2
+        exit 1
+    }
+    "$TMP/sgmldbfsck" -verify "$TMP/data" || {
+        echo "service_smoke: data dir not clean after repair (exit $?)" >&2
+        exit 1
+    }
+    ;;
+*)
+    echo "service_smoke: sgmldbfsck -verify exit $fsck_code on a crashed dir" >&2
+    exit 1
+    ;;
+esac
+
+echo "service_smoke: restarting the primary on the same data directory"
+"$TMP/sgmldbd" -dtd testdata/article.dtd -addr "$PRI_ADDR" -data "$TMP/data" &
+PRI_PID=$!
+wait_health "$PRI_ADDR"
+
+echo "service_smoke: post-restart load burst on the primary"
+"$TMP/sgmldbload" -addr "http://$PRI_ADDR" -load testdata/article.sgml -load-count 2 \
+    -n 50 -c 4 -o "$TMP/restart_report.json"
+grep -q '"errors": 0' "$TMP/restart_report.json" || {
+    echo "service_smoke: post-restart load burst reported request errors" >&2
+    exit 1
+}
+
+echo "service_smoke: waiting for the follower to reconverge"
+wait_converged
 
 echo "service_smoke: draining the pair"
 kill -TERM "$FOL_PID"

@@ -107,6 +107,13 @@ type Database struct {
 	// checkpoint, for Stats (atomic: the background checkpointer stores
 	// it, Stats loads it).
 	ckptSeq atomic.Uint64
+	// Checkpoint-failure telemetry (DESIGN.md §11): total failures since
+	// open, the current consecutive-failure streak (reset by a success),
+	// and the last failure's message. All atomic — writeCheckpoint stores
+	// from the checkpointer goroutine, Stats and health checks load.
+	ckptFailures   atomic.Uint64
+	ckptFailStreak atomic.Uint64
+	lastCkptErr    atomic.Pointer[string]
 
 	// Replication (see replica.go). A follower applies the primary's log
 	// through the commit path without appending; appliedSeq is the last
@@ -244,6 +251,9 @@ func (db *Database) LoadDocuments(srcs []string) (oids []object.OID, err error) 
 	if db.follower {
 		return nil, fmt.Errorf("%w: followers apply the primary's log only", ErrReadOnly)
 	}
+	if err := db.degradedErr(); err != nil {
+		return nil, err
+	}
 	// Parse and validate outside the writer lock: only instance building
 	// needs serialisation.
 	docs := make([]*sgml.Document, len(srcs))
@@ -297,7 +307,7 @@ func (db *Database) commitLoad(docs []*sgml.Document, srcs []string, logIt bool)
 	}
 	if logIt && db.walLog != nil {
 		if err = db.walLog.Append(wal.Record{Kind: wal.KindLoad, Docs: srcs}); err != nil {
-			return nil, err
+			return nil, db.wrapDegraded(err)
 		}
 	}
 	db.Engine.Publish(oql.State{Snap: staged.Snapshot(), Index: ix})
@@ -315,6 +325,9 @@ func (db *Database) commitLoad(docs []*sgml.Document, srcs []string, logIt bool)
 func (db *Database) Name(name string, oid object.OID) (err error) {
 	if db.follower {
 		return fmt.Errorf("%w: followers apply the primary's log only", ErrReadOnly)
+	}
+	if err := db.degradedErr(); err != nil {
+		return err
 	}
 	defer rescue(&err)
 	db.loadMu.Lock()
@@ -349,7 +362,7 @@ func (db *Database) commitName(name string, oid object.OID, logIt bool) error {
 	if logIt && db.walLog != nil {
 		if err := db.walLog.Append(wal.Record{Kind: wal.KindName, Name: name, OID: uint64(oid)}); err != nil {
 			staged.Discard()
-			return err
+			return db.wrapDegraded(err)
 		}
 	}
 	db.Engine.Publish(oql.State{Snap: staged.Snapshot(), Index: cur.Index})

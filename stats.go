@@ -47,6 +47,22 @@ type Stats struct {
 	WALSeq        uint64
 	CheckpointSeq uint64
 
+	// Degraded reports that a storage fault poisoned the write-ahead log:
+	// the database serves reads from the last published epoch but rejects
+	// writes with ErrDegraded. DegradedReason is the first fault's message
+	// (sticky — later cascades never mask the root cause).
+	Degraded       bool
+	DegradedReason string
+
+	// CheckpointFailures counts failed checkpoint attempts since open;
+	// CheckpointFailStreak is the current run of consecutive failures (0
+	// after a success) and LastCheckpointError the most recent failure's
+	// message. A growing streak means the log prefix — and with it
+	// recovery time — is growing without bound on a sick disk.
+	CheckpointFailures   uint64
+	CheckpointFailStreak uint64
+	LastCheckpointError  string
+
 	// Follower reports whether the database was opened with OpenFollower.
 	// AppliedSeq is then the last primary log record applied, PrimarySeq
 	// the newest primary sequence observed; their difference is the
@@ -99,6 +115,8 @@ func (db *Database) Stats() Stats {
 		st.Durable = true
 		st.WALSeq = db.walLog.Seq()
 		st.CheckpointSeq = db.ckptSeq.Load()
+		st.Degraded, st.DegradedReason = db.DegradedState()
+		st.CheckpointFailures, st.CheckpointFailStreak, st.LastCheckpointError = db.CheckpointFailures()
 	}
 	if db.follower {
 		st.Follower = true
