@@ -50,6 +50,8 @@ fuzz:
 # The fault-injection suite under the race detector, alone and
 # repeated: injected failures mid-load, evaluator panics, budget trips
 # and admission shedding must leave the database serving, every run.
+# TestChaosFailover* rides along: kill -9 photographs of the primary
+# are promoted over and rejoined, and must converge on the new term.
 chaos:
 	$(GO) test -race -count=2 -run='TestChaos' .
 
@@ -68,7 +70,8 @@ fsck:
 
 # End-to-end service smoke: a real sgmldbd process on loopback under a
 # tenant config, a load-generator burst with zero tolerated errors, and
-# a SIGTERM drain that must exit 0.
+# a SIGTERM drain that must exit 0 — plus replication, crash-restart
+# and kill-9 → promote → rejoin failover legs (scripts/service_smoke.sh).
 smoke:
 	sh scripts/service_smoke.sh
 

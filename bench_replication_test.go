@@ -10,8 +10,12 @@ package sgmldb_test
 //	BenchmarkFollowerQuery  client-observed read latency against a
 //	                        converged follower over a real HTTP round
 //	                        trip (the scale-out payoff the feed buys)
+//	BenchmarkPromote        failover write-unavailability window — one
+//	                        Promote() on a durable caught-up follower:
+//	                        term record fsync plus the synchronous
+//	                        fencing checkpoint (DESIGN.md §12)
 //
-// Run with: go test -run '^$' -bench 'Follower' .
+// Run with: go test -run '^$' -bench 'Follower|Promote' .
 
 import (
 	"context"
@@ -113,5 +117,38 @@ func BenchmarkFollowerQuery(b *testing.B) {
 		if status != http.StatusOK {
 			b.Fatalf("status %d", status)
 		}
+	}
+}
+
+// BenchmarkPromote measures the promotion itself — the window during
+// which neither node accepts writes during a controlled switchover.
+// Each iteration builds a fresh durable follower off-clock (Promote is
+// one-shot per node), applies a schema and a 16-document history, then
+// times Promote(): the KindTerm append+fsync plus the synchronous
+// new-term checkpoint that fences rejoining stale primaries.
+func BenchmarkPromote(b *testing.B) {
+	dtd, doc := replCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fdb, err := sgmldb.OpenFollower(dtd, sgmldb.WithDataDir(b.TempDir()), sgmldb.WithCheckpointEvery(-1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fdb.ApplyRecord(wal.Record{Seq: 1, Kind: wal.KindSchema, Schema: dtd}); err != nil {
+			b.Fatal(err)
+		}
+		for seq := uint64(2); seq <= 17; seq++ {
+			if err := fdb.ApplyRecord(wal.Record{Seq: seq, Kind: wal.KindLoad, Docs: []string{doc}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if _, err := fdb.Promote(); err != nil {
+			b.Fatalf("Promote: %v", err)
+		}
+		b.StopTimer()
+		fdb.Close()
+		b.StartTimer()
 	}
 }

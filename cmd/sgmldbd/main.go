@@ -10,7 +10,7 @@
 //	sgmldbd -dtd article.dtd [-addr 127.0.0.1:8344] [-tenants tenants.json]
 //	        [-data dir] [-max-concurrent N] [-max-rows N] [-max-memory B]
 //	        [-query-timeout D] [-drain-timeout D] [doc.sgml …]
-//	sgmldbd -dtd article.dtd -follow http://primary:8344 [-follow-key K] [flags]
+//	sgmldbd -dtd article.dtd -follow http://primary:8344 [-follow-key K] [-data dir] [flags]
 //
 // Without -tenants the server runs in open mode: every caller is one
 // anonymous tenant with no per-tenant limits (the database-level budgets
@@ -20,7 +20,11 @@
 // With -follow the process is a read-only follower (DESIGN.md §10): it
 // bootstraps from the primary's newest checkpoint, tails its log feed,
 // and serves queries at the primary's epoch; loads are rejected with
-// READ_ONLY. -data and document preloading are primary-only.
+// READ_ONLY. Document preloading is primary-only. -follow combined with
+// -data runs a *durable* follower (DESIGN.md §12): the shipped log is
+// re-persisted locally, which survives restarts without a re-bootstrap
+// and makes the node eligible for promotion — POST /v1/promote flips it
+// into a writable primary at a fresh term and stops the tail loop.
 package main
 
 import (
@@ -64,13 +68,8 @@ func run() error {
 	if *dtdPath == "" {
 		return fmt.Errorf("usage: sgmldbd -dtd file.dtd [flags] [doc.sgml…]")
 	}
-	if *follow != "" {
-		if *dataDir != "" {
-			return fmt.Errorf("-follow and -data are mutually exclusive: a follower replays the primary's log, it keeps none of its own")
-		}
-		if flag.NArg() > 0 {
-			return fmt.Errorf("-follow rejects document preloading: followers are read-only")
-		}
+	if *follow != "" && flag.NArg() > 0 {
+		return fmt.Errorf("-follow rejects document preloading: followers are read-only")
 	}
 
 	var opts []sgmldb.Option
@@ -162,6 +161,16 @@ func run() error {
 	srv, err := service.New(db, cfg)
 	if err != nil {
 		return err
+	}
+	if *follow != "" {
+		// POST /v1/promote flipped the database writable: stop tailing the
+		// old primary — this process is the primary now.
+		srv.OnPromote = func(term uint64) {
+			log.Printf("sgmldbd: promoted to primary at term %d, stopping replication tail", term)
+			if stopTail != nil {
+				stopTail()
+			}
+		}
 	}
 
 	httpSrv := &http.Server{

@@ -24,6 +24,13 @@
 // files and undecodable checkpoints — then exits 0. Corruption is never
 // repaired: repair exits 2 and leaves the directory untouched past the
 // point of the finding.
+//
+// Verify also reports the log's term chain (DESIGN.md §12): the first
+// and last promotion terms, how many term bumps the log holds, and the
+// newest checkpoint's term. The chain must be non-decreasing; a term
+// regression mid-log is corruption (exit 2) — repair never truncates
+// across a term boundary, because the records behind a bump are another
+// primary's durable history, not crash damage.
 package main
 
 import (
@@ -88,6 +95,8 @@ func report(w io.Writer, rep *wal.FsckReport) {
 		return
 	}
 	fmt.Fprintf(w, "log: %d frames, last seq %d\n", rep.Frames, rep.LastSeq)
+	fmt.Fprintf(w, "terms: first %d, last %d, %d bumps (checkpoint term %d)\n",
+		rep.FirstTerm, rep.LastTerm, rep.TermBumps, rep.CheckpointTerm)
 	fmt.Fprintf(w, "checkpoints: %d valid (newest covers seq %d), %d undecodable\n",
 		rep.Checkpoints, rep.CheckpointSeq, rep.BadCheckpoints)
 	if rep.TornTail {

@@ -84,6 +84,107 @@ func TestFsckExitCodes(t *testing.T) {
 	}
 }
 
+// seedMixedTermDir builds a directory whose log spans a promotion: two
+// records at term 1, a term bump to 2, one record at term 2.
+func seedMixedTermDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	l, _, _, err := wal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []wal.Record{
+		{Kind: wal.KindSchema, Schema: "<!ELEMENT a (#PCDATA)>"},
+		{Kind: wal.KindLoad, Docs: []string{"<a>one</a>"}},
+		{Kind: wal.KindTerm, Term: 2},
+		{Kind: wal.KindLoad, Docs: []string{"<a>two</a>"}},
+	} {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	return dir
+}
+
+func TestFsckMixedTerms(t *testing.T) {
+	dir := seedMixedTermDir(t)
+
+	// Verify reports the term chain on a clean mixed-term directory.
+	code, out := runFsck(t, "-verify", dir)
+	if code != 0 {
+		t.Fatalf("verify mixed-term: exit %d, out %q", code, out)
+	}
+	if !strings.Contains(out, "terms: first 1, last 2, 1 bumps") {
+		t.Fatalf("verify mixed-term: term chain missing, out %q", out)
+	}
+
+	// A torn tail behind the boundary repairs without crossing it: the
+	// bump frame and everything before it survive.
+	logPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := runFsck(t, "-repair", dir); code != 0 || !strings.Contains(out, "repaired") {
+		t.Fatalf("repair torn mixed-term: exit %d, out %q", code, out)
+	}
+	if code, out := runFsck(t, "-verify", dir); code != 0 || !strings.Contains(out, "terms: first 1, last 2, 1 bumps") {
+		t.Fatalf("re-verify after repair: exit %d, out %q — repair crossed the term boundary", code, out)
+	}
+}
+
+func TestFsckTermRegressionIsCorrupt(t *testing.T) {
+	dir := seedMixedTermDir(t)
+	logPath := filepath.Join(dir, "wal.log")
+
+	// Forge a term regression: a scratch log Reset to (seq 4, term 1)
+	// yields a seq-5 frame stamped term 1; spliced after the term-2 tail
+	// the sequence chain stays intact but the term chain goes backwards.
+	scratch := t.TempDir()
+	sl, _, _, err := wal.Open(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Reset(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Append(wal.Record{Kind: wal.KindLoad, Docs: []string{"<a>stale</a>"}}); err != nil {
+		t.Fatal(err)
+	}
+	sl.Close()
+	forged, err := os.ReadFile(filepath.Join(scratch, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := forged[strings.IndexByte(string(forged), '\n')+1:] // strip the magic line
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frames); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	spliced, _ := os.ReadFile(logPath)
+
+	// Both modes exit 2; repair leaves the file byte-identical — it never
+	// truncates across a term boundary to "fix" another primary's history.
+	if code, out := runFsck(t, "-verify", dir); code != 2 || !strings.Contains(out, "term regression") {
+		t.Fatalf("verify regression: exit %d, out %q", code, out)
+	}
+	if code, _ := runFsck(t, "-repair", dir); code != 2 {
+		t.Fatalf("repair regression: exit %d, want 2 (never repaired)", code)
+	}
+	after, _ := os.ReadFile(logPath)
+	if len(after) != len(spliced) {
+		t.Fatalf("repair modified a term-regressed log: %d bytes, was %d", len(after), len(spliced))
+	}
+}
+
 func TestFsckUsageErrors(t *testing.T) {
 	dir, _ := seedDir(t)
 	for _, args := range [][]string{

@@ -22,6 +22,9 @@ const (
 	CodeDegraded      = "DEGRADED"        // ErrDegraded
 	CodeNotPrimary    = "NOT_PRIMARY"     // ErrNotPrimary
 	CodeSeqTruncated  = "SEQ_TRUNCATED"   // ErrSeqTruncated
+	CodeStaleTerm     = "STALE_TERM"      // ErrStaleTerm
+	CodeReplicaGap    = "REPLICA_GAP"     // ErrReplicaGap
+	CodeNotFollower   = "NOT_FOLLOWER"    // ErrNotFollower
 	CodeCanceled      = "CANCELED"        // context.Canceled
 	CodeDeadline      = "DEADLINE"        // context.DeadlineExceeded
 	CodeUnknown       = "UNKNOWN"         // anything else
@@ -65,6 +68,12 @@ func Code(err error) string {
 		return CodeNotPrimary
 	case errors.Is(err, ErrSeqTruncated):
 		return CodeSeqTruncated
+	case errors.Is(err, ErrStaleTerm):
+		return CodeStaleTerm
+	case errors.Is(err, ErrReplicaGap):
+		return CodeReplicaGap
+	case errors.Is(err, ErrNotFollower):
+		return CodeNotFollower
 	case errors.Is(err, context.Canceled):
 		return CodeCanceled
 	case errors.Is(err, context.DeadlineExceeded):

@@ -30,6 +30,9 @@ var sentinelByName = map[string]error{
 	"ErrDegraded":       ErrDegraded,
 	"ErrNotPrimary":     ErrNotPrimary,
 	"ErrSeqTruncated":   ErrSeqTruncated,
+	"ErrStaleTerm":      ErrStaleTerm,
+	"ErrReplicaGap":     ErrReplicaGap,
+	"ErrNotFollower":    ErrNotFollower,
 }
 
 // declaredSentinels parses errors.go for its package-level Err… names.

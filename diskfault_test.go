@@ -80,7 +80,7 @@ func TestChaosDiskFaultAppendSyncPoisons(t *testing.T) {
 
 	// The feed still ships the whole durable prefix: followers stay
 	// current up to the last real commit of the degraded primary.
-	frames, lastSeq, err := db.FeedFrames(0, 1<<20)
+	frames, lastSeq, err := db.FeedFrames(0, 0, 1<<20)
 	if err != nil || lastSeq != seqPre || len(frames) == 0 {
 		t.Fatalf("feed on degraded primary = (%d bytes, seq %d, %v), want the prefix through %d", len(frames), lastSeq, err, seqPre)
 	}

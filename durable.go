@@ -75,24 +75,35 @@ func (db *Database) openDurable(dtdSource string) error {
 				}
 				docs[i] = d
 			}
-			if _, err := db.commitLoad(docs, rec.Docs, false); err != nil {
+			if _, err := db.commitLoad(docs, rec.Docs, false, 0); err != nil {
 				l.Close()
 				return fmt.Errorf("sgmldb: replay record %d: %w", rec.Seq, err)
 			}
 		case wal.KindName:
-			if err := db.commitName(rec.Name, object.OID(rec.OID), false); err != nil {
+			if err := db.commitName(rec.Name, object.OID(rec.OID), false, 0); err != nil {
 				l.Close()
 				return fmt.Errorf("sgmldb: replay record %d: %w", rec.Seq, err)
 			}
+		case wal.KindTerm:
+			// a replayed promotion only moves the term, which the log scan
+			// already tracked; nothing to apply
 		}
 	}
-	if l.Seq() == 0 {
+	if l.Seq() == 0 && !db.follower.Load() {
 		// Fresh directory: pin the DTD as the first record so a reopen can
-		// verify it is given the same schema.
+		// verify it is given the same schema. A fresh *follower* directory
+		// stays empty — its record 1 is the primary's shipped schema record.
 		if err := l.Append(wal.Record{Kind: wal.KindSchema, Schema: dtdSource}); err != nil {
 			l.Close()
 			return err
 		}
+	}
+	db.term.Store(l.Term())
+	if db.follower.Load() {
+		// A durable follower's local log is the shipped history: resume
+		// applying exactly past what it already holds.
+		db.appliedSeq.Store(l.Seq())
+		db.ObservePrimarySeq(l.Seq())
 	}
 	if db.checkpointEvery == 0 {
 		db.checkpointEvery = defaultCheckpointEvery
@@ -118,6 +129,7 @@ func (db *Database) captureCheckpoint(inst *store.Instance, ix *text.Index) *wal
 	return &wal.Checkpoint{
 		Seq:   db.walLog.Seq(),
 		Epoch: inst.Epoch(),
+		Term:  db.walLog.Term(),
 		DTD:   db.dtdSource,
 		Docs:  docs,
 		Inst:  inst,

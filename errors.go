@@ -85,4 +85,26 @@ var (
 	// frames. It aliases the internal sentinel so errors.Is works across
 	// layers.
 	ErrSeqTruncated = wal.ErrSeqTruncated
+
+	// ErrStaleTerm is returned when a promotion elsewhere has superseded
+	// the caller's view of the log: a fenced old primary refusing writes
+	// after observing a higher term, a feed anchor whose term diverges
+	// from the serving log's history, a shipped record from a deposed
+	// source. The write side must stop; the follower side must bootstrap
+	// from the current primary. It aliases the internal sentinel so
+	// errors.Is works across layers.
+	ErrStaleTerm = wal.ErrStaleTerm
+
+	// ErrReplicaGap is returned by ApplyRecord when a shipped record skips
+	// past the follower's applied position — the stream lost records (a
+	// mid-poll reconnect against a primary whose retained log moved, an
+	// interrupted bootstrap). Applying around a gap would fork the replica
+	// from the primary's history, so the follower must re-bootstrap from a
+	// checkpoint instead.
+	ErrReplicaGap = errors.New("sgmldb: replica stream gap; checkpoint re-bootstrap required")
+
+	// ErrNotFollower is returned by the follower-only operations (Promote,
+	// ApplyCheckpoint, ApplyRecord) on a database that is not (or is no
+	// longer) a follower.
+	ErrNotFollower = errors.New("sgmldb: not a follower")
 )

@@ -9,15 +9,19 @@ import (
 )
 
 var (
-	ErrMapped   = errors.New("mapped")
-	ErrUnmapped = errors.New("unmapped") // want "no wire-code mapping in Code"
+	ErrMapped     = errors.New("mapped")
+	ErrUnmapped   = errors.New("unmapped") // want "no wire-code mapping in Code"
+	ErrStaleTerm  = errors.New("stale term")
+	ErrReplicaGap = errors.New("replica gap")
 )
 
 const (
-	CodeOK      = ""                    // empty: never hits the wire
-	CodeMapped  = "MAPPED"              // documented below
-	codeLocal   = "LOCAL_OK"            // documented below
-	CodeMissing = "MISSING_FROM_DESIGN" // want "not documented in DESIGN.md"
+	CodeOK         = ""                    // empty: never hits the wire
+	CodeMapped     = "MAPPED"              // documented below
+	codeLocal      = "LOCAL_OK"            // documented below
+	CodeMissing    = "MISSING_FROM_DESIGN" // want "not documented in DESIGN.md"
+	CodeStaleTerm  = "STALE_TERM"          // failover codes must be documented
+	CodeReplicaGap = "REPLICA_GAP"         // like any other (table below)
 )
 
 func Code(err error) string {
@@ -26,6 +30,12 @@ func Code(err error) string {
 	}
 	if errors.Is(err, ErrMapped) {
 		return CodeMapped
+	}
+	if errors.Is(err, ErrStaleTerm) {
+		return CodeStaleTerm
+	}
+	if errors.Is(err, ErrReplicaGap) {
+		return CodeReplicaGap
 	}
 	return codeLocal
 }

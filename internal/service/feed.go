@@ -30,7 +30,13 @@ import (
 //
 //	Sgmldb-Seq            last sequence number included in the body
 //	Sgmldb-Primary-Seq    newest committed sequence on the primary
+//	Sgmldb-Term           the primary's current term (promotion epoch)
 //	Sgmldb-Checkpoint-Seq sequence the checkpoint covers
+//
+// The follower carries its own term in the `term` query parameter: the
+// primary verifies the anchor record's term matches (409 STALE_TERM on a
+// divergent history) and fences itself when the reported term exceeds
+// its own — the two directions of the split-brain guard.
 const (
 	feedDefaultWaitMS  = 2000
 	feedMaxWaitMS      = 30000
@@ -39,6 +45,7 @@ const (
 	contentTypeBinary  = "application/octet-stream"
 	headerSeq          = "Sgmldb-Seq"
 	headerPrimarySeq   = "Sgmldb-Primary-Seq"
+	headerTerm         = "Sgmldb-Term"
 	headerCheckpointSq = "Sgmldb-Checkpoint-Seq"
 )
 
@@ -91,6 +98,18 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	if maxBytes == 0 || maxBytes > feedMaxMaxB {
 		maxBytes = feedDefaultMaxB
 	}
+	term, err := uintParam(r, "term", 0)
+	if err != nil {
+		t.errors.Add(1)
+		fail(w, codeBadRequest, err.Error())
+		return
+	}
+	if term > 0 {
+		// The follower's term is the fencing channel: once any follower
+		// reports a term above ours, a promotion happened elsewhere and
+		// this node must stop accepting writes.
+		s.db.ObserveRemoteTerm(term)
+	}
 
 	// Long-poll: when the primary has nothing past the anchor, park on the
 	// log's commit signal until a record lands, the wait expires, the
@@ -109,7 +128,7 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-commit:
 		case <-deadline:
-			writeFrames(w, nil, after, seq)
+			writeFrames(w, nil, after, seq, s.db.Term())
 			return
 		case <-r.Context().Done():
 			return // nobody is listening anymore
@@ -118,9 +137,9 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	frames, lastSeq, err := s.db.FeedFrames(after, int(maxBytes))
+	frames, lastSeq, err := s.db.FeedFrames(after, term, int(maxBytes))
 	if err != nil {
-		if code := sgmldb.Code(err); code != sgmldb.CodeSeqTruncated {
+		if code := sgmldb.Code(err); code != sgmldb.CodeSeqTruncated && code != sgmldb.CodeStaleTerm {
 			t.errors.Add(1)
 		}
 		failErr(w, err)
@@ -133,14 +152,15 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 		frames = frames[:len(frames)/2]
 	}
 	primarySeq, _ := s.db.FeedSeq()
-	writeFrames(w, frames, lastSeq, primarySeq)
+	writeFrames(w, frames, lastSeq, primarySeq, s.db.Term())
 }
 
 // writeFrames ships one binary feed response.
-func writeFrames(w http.ResponseWriter, frames []byte, lastSeq, primarySeq uint64) {
+func writeFrames(w http.ResponseWriter, frames []byte, lastSeq, primarySeq, term uint64) {
 	w.Header().Set("Content-Type", contentTypeBinary)
 	w.Header().Set(headerSeq, strconv.FormatUint(lastSeq, 10))
 	w.Header().Set(headerPrimarySeq, strconv.FormatUint(primarySeq, 10))
+	w.Header().Set(headerTerm, strconv.FormatUint(term, 10))
 	w.Header().Set("Content-Length", strconv.Itoa(len(frames)))
 	//lint:allow wirecode binary feed body; errors on this endpoint still use writeJSON
 	w.WriteHeader(http.StatusOK)

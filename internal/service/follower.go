@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"time"
@@ -18,24 +19,54 @@ import (
 
 // Follower is the replication client: it tails a primary's /v1/feed and
 // applies the shipped records to a local OpenFollower database. On a 410
-// SEQ_TRUNCATED — the primary checkpointed past our anchor — it
+// SEQ_TRUNCATED — the primary checkpointed past our anchor — or a 409
+// STALE_TERM — a promotion elsewhere forked past our anchor — it
 // bootstraps from /v1/checkpoint and resumes tailing. Transient failures
-// (network, primary restarting, primary draining) back off exponentially
-// and retry; the loop runs until ctx is cancelled. Every request anchors
-// at DB.AppliedSeq(), so a restarted or reconnected follower resumes
-// exactly where it stopped — no record is re-applied or skipped.
+// (network, primary restarting, primary draining) retry under
+// full-jitter exponential backoff; the loop runs until ctx is cancelled.
+// Every request anchors at (DB.AppliedSeq(), DB.Term()), so a restarted
+// or reconnected follower resumes exactly where it stopped — no record
+// is re-applied or skipped — and a primary whose history diverged from
+// that anchor is detected on the first poll, not after records applied.
+//
+// Two self-protection mechanisms harden the loop (DESIGN.md §12):
+//
+//   - Every request carries a deadline: the feed poll gets its long-poll
+//     window plus a grace period, a bootstrap gets BootstrapTimeout. A
+//     half-dead primary that accepts connections and then hangs costs
+//     one deadline, not a stuck follower.
+//   - Checkpoint bootstraps run behind a circuit breaker: after
+//     BreakerThreshold consecutive bootstrap failures the breaker opens
+//     and the loop probes half-open once per BreakerCooldown instead of
+//     hammering a primary that is itself struggling to checkpoint. One
+//     success closes it. The state is pushed into the database
+//     (Stats.BreakerOpen, /v1/health breaker_open) so operators see it.
 type Follower struct {
 	DB      *sgmldb.Database // an OpenFollower database
 	Primary string           // primary base URL, e.g. http://10.0.0.1:8080
 	Key     string           // API key for the primary (empty in open mode)
 
 	// Optional knobs; zero values get serviceable defaults.
-	Client     *http.Client
-	WaitMS     uint64        // feed long-poll window
-	MaxBytes   uint64        // per-response frame budget
-	MinBackoff time.Duration // first retry delay
-	MaxBackoff time.Duration // retry delay ceiling
+	Client           *http.Client
+	WaitMS           uint64        // feed long-poll window
+	MaxBytes         uint64        // per-response frame budget
+	MinBackoff       time.Duration // backoff ceiling for the first retry
+	MaxBackoff       time.Duration // backoff ceiling growth cap
+	BootstrapTimeout time.Duration // per-bootstrap request deadline
+	BreakerThreshold int           // consecutive bootstrap failures that open the breaker
+	BreakerCooldown  time.Duration // delay between half-open probes while the breaker is open
 }
+
+// feedGrace pads the feed request deadline past the long-poll window:
+// the window is server time, the grace covers the network round-trip and
+// body transfer.
+const feedGrace = 5 * time.Second
+
+const (
+	defaultBootstrapTimeout = 30 * time.Second
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 5 * time.Second
+)
 
 // fpFollowerApply fails the apply of one shipped record: the chaos suite
 // arms it to prove a follower that dies mid-batch resumes from its last
@@ -63,12 +94,49 @@ func (f *Follower) backoffBounds() (lo, hi time.Duration) {
 	return lo, hi
 }
 
+// backoffDelay picks the sleep before retry attempt (0-based) under full
+// jitter: uniform in (0, min(MaxBackoff, MinBackoff<<attempt)]. Full
+// jitter beats deterministic doubling when many followers lose the same
+// primary at once — their retries spread over the window instead of
+// arriving in synchronized waves.
+func (f *Follower) backoffDelay(attempt int) time.Duration {
+	lo, hi := f.backoffBounds()
+	ceil := hi
+	if attempt < 30 {
+		if c := lo << attempt; c < hi {
+			ceil = c
+		}
+	}
+	return rand.N(ceil) + 1
+}
+
+func (f *Follower) breakerThreshold() int {
+	if f.BreakerThreshold > 0 {
+		return f.BreakerThreshold
+	}
+	return defaultBreakerThreshold
+}
+
+func (f *Follower) breakerCooldown() time.Duration {
+	if f.BreakerCooldown > 0 {
+		return f.BreakerCooldown
+	}
+	return defaultBreakerCooldown
+}
+
+func (f *Follower) bootstrapTimeout() time.Duration {
+	if f.BootstrapTimeout > 0 {
+		return f.BootstrapTimeout
+	}
+	return defaultBootstrapTimeout
+}
+
 // Run tails the primary until ctx is cancelled. It returns ctx.Err() on
 // cancellation; any other return is a permanent failure (a DTD mismatch,
 // a poisoned stream) that retrying cannot fix.
 func (f *Follower) Run(ctx context.Context) error {
-	lo, hi := f.backoffBounds()
-	backoff := lo
+	attempt := 0
+	bootFails := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -76,39 +144,50 @@ func (f *Follower) Run(ctx context.Context) error {
 		progressed, err := f.poll(ctx)
 		switch {
 		case err == nil:
-			backoff = lo
+			attempt, bootFails = 0, 0
 			continue
 		case errors.Is(err, errBootstrap):
 			if berr := f.bootstrap(ctx); berr == nil {
-				backoff = lo
+				f.DB.ObserveRebootstrap()
+				f.DB.SetBreakerOpen(false)
+				attempt, bootFails = 0, 0
 				continue
 			} else if ctx.Err() != nil {
 				return ctx.Err()
 			}
 			// Bootstrap failed (primary mid-checkpoint, transient error):
-			// fall through to back off and retry the whole handshake.
+			// count it toward the breaker, then back off and retry the
+			// whole handshake.
+			if bootFails++; bootFails >= f.breakerThreshold() {
+				f.DB.SetBreakerOpen(true)
+			}
 		case ctx.Err() != nil:
 			return ctx.Err()
 		case isPermanent(err):
 			return err
 		}
 		if progressed {
-			backoff = lo
+			attempt = 0
+		}
+		delay := f.backoffDelay(attempt)
+		if f.DB.BreakerOpen() {
+			// Open breaker: one half-open probe per cooldown, nothing in
+			// between. The cooldown dominates the jittered backoff.
+			delay = f.breakerCooldown()
 		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(delay):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
-		if backoff *= 2; backoff > hi {
-			backoff = hi
-		}
+		attempt++
 	}
 }
 
-// errBootstrap signals poll saw 410 SEQ_TRUNCATED: the anchor precedes
-// the primary's retained log and the follower must install a checkpoint.
-var errBootstrap = errors.New("service: feed anchor truncated; checkpoint bootstrap required")
+// errBootstrap signals poll saw 410 SEQ_TRUNCATED or 409 STALE_TERM: the
+// anchor is not in the primary's history (checkpointed away, or forked
+// past by a promotion) and the follower must install a checkpoint.
+var errBootstrap = errors.New("service: feed anchor unusable; checkpoint bootstrap required")
 
 // isPermanent classifies apply-side failures retrying cannot fix.
 func isPermanent(err error) bool {
@@ -125,8 +204,10 @@ var errApply = errors.New("service: applying shipped record")
 // its backoff even when the stream then broke.
 func (f *Follower) poll(ctx context.Context) (progressed bool, err error) {
 	after := f.DB.AppliedSeq()
-	url := fmt.Sprintf("%s/v1/feed?after=%d&wait_ms=%d&max_bytes=%d", f.Primary, after, f.waitMS(), f.maxBytes())
-	body, hdr, status, err := f.get(ctx, url)
+	url := fmt.Sprintf("%s/v1/feed?after=%d&term=%d&wait_ms=%d&max_bytes=%d",
+		f.Primary, after, f.DB.Term(), f.waitMS(), f.maxBytes())
+	deadline := time.Duration(f.waitMS())*time.Millisecond + feedGrace
+	body, hdr, status, err := f.get(ctx, url, deadline)
 	if err != nil {
 		return false, err
 	}
@@ -134,11 +215,24 @@ func (f *Follower) poll(ctx context.Context) (progressed bool, err error) {
 	case http.StatusOK:
 	case http.StatusGone:
 		return false, errBootstrap
+	case http.StatusConflict:
+		// 409 STALE_TERM: a promotion forked history past our anchor. Our
+		// unshipped suffix is garbage; re-bootstrap truncates it.
+		return false, fmt.Errorf("%w (%s)", errBootstrap, wireError(status, body))
 	default:
 		return false, fmt.Errorf("service: feed: %s", wireError(status, body))
 	}
 	if seq, perr := strconv.ParseUint(hdr.Get(headerPrimarySeq), 10, 64); perr == nil {
 		f.DB.ObservePrimarySeq(seq)
+	}
+	// Fencing, follower side: a source whose term is behind ours is a
+	// deposed primary still serving its old history. Nothing it ships may
+	// apply — drop the whole response before decoding a single frame.
+	if srcTerm, perr := strconv.ParseUint(hdr.Get(headerTerm), 10, 64); perr == nil && srcTerm > 0 {
+		if myTerm := f.DB.Term(); myTerm > 0 && srcTerm < myTerm {
+			return false, fmt.Errorf("service: feed source at stale term %d, local history already at term %d: %w",
+				srcTerm, myTerm, sgmldb.ErrStaleTerm)
+		}
 	}
 	// Decode and apply frame by frame. A decode failure means the stream
 	// was cut mid-frame (a killed primary, a dropped connection): keep
@@ -158,7 +252,19 @@ func (f *Follower) poll(ctx context.Context) (progressed bool, err error) {
 			return progressed, fmt.Errorf("service: apply record %d: %w", rec.Seq, ferr)
 		}
 		if aerr := f.DB.ApplyRecord(rec); aerr != nil {
-			return progressed, fmt.Errorf("%w %d: %w", errApply, rec.Seq, aerr)
+			switch {
+			case errors.Is(aerr, sgmldb.ErrReplicaGap):
+				// The stream skipped records we never saw; only a
+				// checkpoint can carry us over the hole.
+				return progressed, fmt.Errorf("%w (record %d: %w)", errBootstrap, rec.Seq, aerr)
+			case errors.Is(aerr, sgmldb.ErrStaleTerm):
+				// A stale-term record slipped into an otherwise current
+				// response (promotion racing the poll): drop the batch and
+				// re-anchor; retrying sorts out who is current.
+				return progressed, fmt.Errorf("service: apply record %d: %w", rec.Seq, aerr)
+			default:
+				return progressed, fmt.Errorf("%w %d: %w", errApply, rec.Seq, aerr)
+			}
 		}
 		progressed = true
 	}
@@ -167,7 +273,7 @@ func (f *Follower) poll(ctx context.Context) (progressed bool, err error) {
 
 // bootstrap fetches and installs the primary's newest checkpoint.
 func (f *Follower) bootstrap(ctx context.Context) error {
-	body, _, status, err := f.get(ctx, f.Primary+"/v1/checkpoint")
+	body, _, status, err := f.get(ctx, f.Primary+"/v1/checkpoint", f.bootstrapTimeout())
 	if err != nil {
 		return err
 	}
@@ -189,11 +295,13 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 	return nil
 }
 
-// get performs one authenticated GET and slurps the body. A read error
-// mid-body returns what arrived: the frame decoder treats the missing
-// rest as a stream cut.
-func (f *Follower) get(ctx context.Context, url string) (body []byte, hdr http.Header, status int, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+// get performs one authenticated GET under a deadline and slurps the
+// body. A read error mid-body returns what arrived: the frame decoder
+// treats the missing rest as a stream cut.
+func (f *Follower) get(ctx context.Context, url string, timeout time.Duration) (body []byte, hdr http.Header, status int, err error) {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, nil, 0, err
 	}

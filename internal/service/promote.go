@@ -1,0 +1,48 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+
+	"sgmldb"
+)
+
+// POST /v1/promote — controlled failover (DESIGN.md §12). Promotes this
+// node's durable follower to a writable primary at a fresh term. The
+// operator (or an external coordinator) calls it on the chosen survivor
+// after the old primary dies, or on the target of a planned switchover
+// after lag reaches zero. Idempotence is the caller's problem by design:
+// a second promote on a node that already switched is 409 NOT_FOLLOWER,
+// which tells the caller the first one won.
+//
+// The endpoint is governed like every write: it authenticates, counts
+// against the tenant, and honors draining. A tenant that may not load
+// documents may not promote either — both change what every reader sees.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	t, release, ok := s.enter(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	if t.cfg.DenyLoad {
+		t.errors.Add(1)
+		fail(w, codeForbidden, fmt.Sprintf("tenant %q may not promote", t.cfg.Name))
+		return
+	}
+	newTerm, err := s.db.Promote()
+	if err != nil {
+		if code := sgmldb.Code(err); code != sgmldb.CodeNotFollower {
+			t.errors.Add(1)
+		}
+		failErr(w, err)
+		return
+	}
+	if s.OnPromote != nil {
+		s.OnPromote(newTerm)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"promoted": true,
+		"term":     newTerm,
+		"seq":      s.db.AppliedSeq(),
+	})
+}

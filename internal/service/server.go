@@ -55,6 +55,13 @@ type Server struct {
 	handlesMu  sync.Mutex
 	handles    map[string]*handle
 	nextHandle uint64
+
+	// OnPromote, when set, is called once per successful POST /v1/promote
+	// with the new term, after the database has switched to primary. The
+	// daemon uses it to stop its replication tail loop — the process is the
+	// primary now and has nothing to follow. Set before serving; called
+	// from the request handler's goroutine.
+	OnPromote func(newTerm uint64)
 }
 
 // tenant is one tenant's runtime state: its config grant, an admission
@@ -134,6 +141,7 @@ func New(db *sgmldb.Database, cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/feed", s.handleFeed)
 	mux.HandleFunc("GET /v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("POST /v1/promote", s.handlePromote)
 	s.mux = mux
 	return s, nil
 }
@@ -189,6 +197,10 @@ func statusFor(code string) int {
 		return http.StatusNotFound
 	case sgmldb.CodeSeqTruncated:
 		return http.StatusGone
+	case sgmldb.CodeStaleTerm, sgmldb.CodeReplicaGap, sgmldb.CodeNotFollower:
+		// Term conflicts are state conflicts, not client errors: the
+		// caller's view of who is primary disagrees with this node's.
+		return http.StatusConflict
 	case sgmldb.CodeCanceled:
 		// The caller hung up mid-call; nobody is reading this response.
 		return statusClientClosedRequest
@@ -609,6 +621,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		body["primary_seq"] = primary
 		body["lag"] = lag
 	}
+	// Failover telemetry (DESIGN.md §12): always present so monitors see a
+	// promotion as a term step, not a field appearing out of nowhere.
+	body["term"] = s.db.Term()
+	body["promotions"] = s.db.Promotions()
+	body["rebootstraps"] = s.db.Rebootstraps()
+	body["breaker_open"] = s.db.BreakerOpen()
 	writeJSON(w, code, body)
 }
 

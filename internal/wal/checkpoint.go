@@ -21,7 +21,8 @@ import (
 // renamed into place, so a crash mid-checkpoint leaves at worst a stray
 // temp file that recovery ignores.
 
-const checkpointMagic = "sgmldb-checkpoint 1"
+// Version 2 added the term line (promotion epoch at capture).
+const checkpointMagic = "sgmldb-checkpoint 2"
 
 var (
 	fpCkptWrite  = faultpoint.New("wal/checkpoint-write")  // mid-checkpoint, temp file partially written
@@ -36,6 +37,7 @@ var (
 type Checkpoint struct {
 	Seq   uint64 // last log sequence number the checkpoint covers
 	Epoch uint64 // published epoch at capture
+	Term  uint64 // promotion term at capture
 	DTD   string // the DTD the database was opened with
 	Docs  []uint64
 	Inst  *store.Instance
@@ -76,7 +78,7 @@ func WriteCheckpoint(dir string, ck *Checkpoint) error {
 		os.Remove(tmpName)
 	}
 	w := bufio.NewWriter(tmp)
-	if _, err := fmt.Fprintf(w, "%s\nseq %d\nepoch %d\ndtd %d\n%s\n", checkpointMagic, ck.Seq, ck.Epoch, len(ck.DTD), ck.DTD); err != nil {
+	if _, err := fmt.Fprintf(w, "%s\nseq %d\nepoch %d\nterm %d\ndtd %d\n%s\n", checkpointMagic, ck.Seq, ck.Epoch, ck.Term, len(ck.DTD), ck.DTD); err != nil {
 		cleanup()
 		return err
 	}
@@ -239,6 +241,9 @@ func DecodeCheckpoint(rd io.Reader) (*Checkpoint, error) {
 	if ck.Epoch, err = ckptUintLine(r, "epoch"); err != nil {
 		return nil, err
 	}
+	if ck.Term, err = ckptUintLine(r, "term"); err != nil {
+		return nil, err
+	}
 	dtdLen, err := ckptUintLine(r, "dtd")
 	if err != nil {
 		return nil, err
@@ -341,6 +346,17 @@ func Open(dir string) (*Log, *Checkpoint, []Record, error) {
 		// next append must not reuse covered sequence numbers.
 		l.seq = ck.Seq
 		l.floor = ck.Seq
+	}
+	if ck != nil {
+		// The checkpoint's term anchors whatever the log scan could not
+		// see: an empty (or fully truncated) log inherits the checkpoint's
+		// term, and the truncation floor gets its term for anchor checks.
+		if ck.Term > l.term {
+			l.term = ck.Term
+		}
+		if l.floor == ck.Seq && ck.Term > l.floorTerm {
+			l.floorTerm = ck.Term
+		}
 	}
 	return l, ck, tail, nil
 }

@@ -62,7 +62,7 @@ func TestAppendSyncFailurePoisons(t *testing.T) {
 		t.Errorf("seq advanced to %d across poisoned appends", l.Seq())
 	}
 	// The committed prefix keeps serving: the feed must ship record 1.
-	frames, lastSeq, err := l.FramesAfter(0, 1<<20)
+	frames, lastSeq, err := l.FramesAfter(0, 0, 1<<20)
 	if err != nil || lastSeq != 1 || len(frames) == 0 {
 		t.Fatalf("FramesAfter on poisoned log = (%d bytes, seq %d, %v), want the committed record", len(frames), lastSeq, err)
 	}
@@ -146,7 +146,7 @@ func TestDirSyncFailurePoisonsTruncatePrefix(t *testing.T) {
 		t.Fatalf("append after lost handle = %v, want the sticky poison", err)
 	}
 	// The handle is gone: the feed ends rather than serving a stale file.
-	if _, _, err := l.FramesAfter(2, 1<<20); !errors.Is(err, ErrPoisoned) {
+	if _, _, err := l.FramesAfter(2, 0, 1<<20); !errors.Is(err, ErrPoisoned) {
 		t.Fatalf("FramesAfter after lost handle = %v, want the poison", err)
 	}
 	if err := l.Close(); err != nil {

@@ -28,10 +28,14 @@ import (
 // FsckReport is what Fsck found (and, under repair, fixed).
 type FsckReport struct {
 	CheckpointSeq  uint64 // newest valid checkpoint's sequence, 0 if none
+	CheckpointTerm uint64 // newest valid checkpoint's term, 0 if none
 	Checkpoints    int    // valid checkpoint files
 	BadCheckpoints int    // undecodable checkpoint files (skipped by recovery)
 	Frames         int    // valid log frames
 	LastSeq        uint64 // last valid log sequence number
+	FirstTerm      uint64 // term of the first log frame (0 when no frames)
+	LastTerm       uint64 // term of the last valid log frame (0 when no frames)
+	TermBumps      int    // promotion boundaries inside the log (term changes between frames)
 	TornTail       bool   // log ends in crash damage confined to the final frame
 	TornOffset     int64  // offset of the torn frame (valid when TornTail)
 	StrayTemps     int    // leftover checkpoint/log temp files
@@ -79,7 +83,8 @@ func Fsck(dir string, repair bool) (*FsckReport, error) {
 	sort.Slice(ckptSeqs, func(i, j int) bool { return ckptSeqs[i] > ckptSeqs[j] })
 	for _, seq := range ckptSeqs {
 		path := filepath.Join(dir, checkpointName(seq))
-		if _, err := readCheckpoint(path); err != nil {
+		ck, err := readCheckpoint(path)
+		if err != nil {
 			rep.BadCheckpoints++
 			if repair {
 				if err := os.Remove(path); err != nil {
@@ -91,6 +96,7 @@ func Fsck(dir string, repair bool) (*FsckReport, error) {
 		}
 		if rep.Checkpoints == 0 {
 			rep.CheckpointSeq = seq
+			rep.CheckpointTerm = ck.Term
 		}
 		rep.Checkpoints++
 	}
@@ -140,7 +146,7 @@ func fsckLog(dir string, rep *FsckReport, repair bool) error {
 	}
 
 	off := len(logMagic)
-	var lastSeq uint64
+	var lastSeq, lastTerm uint64
 	first := true
 	for off < len(data) {
 		rec, n, err := DecodeFrame(data[off:])
@@ -162,11 +168,22 @@ func fsckLog(dir string, rep *FsckReport, repair bool) error {
 			if rec.Seq == 0 || rec.Seq > rep.CheckpointSeq+1 {
 				return fmt.Errorf("%w: log starts at sequence %d, checkpoint covers %d", ErrCorruptLog, rec.Seq, rep.CheckpointSeq)
 			}
+			rep.FirstTerm = rec.Term
 			first = false
 		} else if rec.Seq != lastSeq+1 {
 			return fmt.Errorf("%w: sequence jump %d -> %d at offset %d", ErrCorruptLog, lastSeq, rec.Seq, off)
+		} else if rec.Term != lastTerm {
+			if rec.Term < lastTerm {
+				// The term chain is monotone by construction; a regression
+				// means frames from divergent histories were spliced. Never
+				// repairable: the boundary cannot be crossed by truncation.
+				return fmt.Errorf("%w: term regression %d -> %d at offset %d", ErrCorruptLog, lastTerm, rec.Term, off)
+			}
+			rep.TermBumps++
 		}
 		lastSeq = rec.Seq
+		lastTerm = rec.Term
+		rep.LastTerm = rec.Term
 		rep.Frames++
 		off += n
 	}

@@ -13,6 +13,8 @@ func FuzzWALRecord(f *testing.F) {
 		{Seq: 1, Kind: KindSchema, Schema: "<!ELEMENT a (#PCDATA)>"},
 		{Seq: 2, Kind: KindLoad, Docs: []string{"<a>one</a>", "<a>two</a>"}},
 		{Seq: 3, Kind: KindName, Name: "my_a", OID: 42},
+		{Seq: 4, Kind: KindTerm, Term: 7},
+		{Seq: 5, Kind: KindLoad, Term: 3, Docs: []string{"<a>three</a>"}},
 	} {
 		f.Add(EncodeFrame(r))
 	}
@@ -35,7 +37,7 @@ func FuzzWALRecord(f *testing.F) {
 		if m != len(frame) {
 			t.Fatalf("canonical frame length %d, consumed %d", len(frame), m)
 		}
-		if back.Seq != rec.Seq || back.Kind != rec.Kind || back.Schema != rec.Schema ||
+		if back.Seq != rec.Seq || back.Term != rec.Term || back.Kind != rec.Kind || back.Schema != rec.Schema ||
 			back.Name != rec.Name || back.OID != rec.OID || len(back.Docs) != len(rec.Docs) {
 			t.Fatalf("round trip mismatch: %+v != %+v", back, rec)
 		}

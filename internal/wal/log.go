@@ -13,8 +13,15 @@ import (
 )
 
 // logMagic is the first line of every log file; a data directory whose log
-// lacks it is not ours (or is damaged before the first record).
-const logMagic = "sgmldb-wal 1\n"
+// lacks it is not ours (or is damaged before the first record). Version 2
+// added the per-record term (promotion epoch) to the payload codec.
+const logMagic = "sgmldb-wal 2\n"
+
+// ErrStaleTerm reports a write or feed anchor from a superseded term: the
+// source was demoted (or partitioned away) and a later promotion has
+// already moved the log past it. The fenced side must stop writing and —
+// for a follower — re-bootstrap from the current primary.
+var ErrStaleTerm = errors.New("wal: stale term")
 
 const logName = "wal.log"
 
@@ -51,6 +58,9 @@ type Log struct {
 	floor uint64        // highest sequence number dropped by prefix truncation
 	err   error         // sticky: set when the log handle is lost, fails all writes
 	tail  chan struct{} // closed on append to wake feed watchers; lazily made
+
+	term      uint64 // term of the last record (fresh log: 1)
+	floorTerm uint64 // term of the record at the truncation floor (0 = unknown)
 }
 
 // Seq returns the sequence number of the last record written (or replayed
@@ -59,6 +69,15 @@ func (l *Log) Seq() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.seq
+}
+
+// Term returns the log's current term: the term of the last record, or
+// the term recovered from the newest checkpoint when the log is empty.
+// A fresh log starts at term 1.
+func (l *Log) Term() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.term
 }
 
 // Err reports the log's sticky poison error, nil while healthy. Once
@@ -109,6 +128,15 @@ func (l *Log) Append(r Record) error {
 		return l.err
 	}
 	r.Seq = l.seq + 1
+	// Term rule: a primary leaves r.Term 0 and the log stamps its current
+	// term; a follower replays shipped records (and a promotion appends a
+	// term bump) with an explicit term, which must never go backwards.
+	switch {
+	case r.Term == 0:
+		r.Term = l.term
+	case r.Term < l.term:
+		return fmt.Errorf("wal: append at term %d, log already at term %d: %w", r.Term, l.term, ErrStaleTerm)
+	}
 	if err := fpAppend.Hit(); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
@@ -138,6 +166,7 @@ func (l *Log) Append(r Record) error {
 	}
 	l.size += int64(len(frame))
 	l.seq = r.Seq
+	l.term = r.Term
 	if l.tail != nil {
 		close(l.tail)
 		l.tail = nil
@@ -228,7 +257,7 @@ func openLog(dir string, afterSeq uint64) (*Log, []Record, error) {
 			f.Close()
 			return nil, nil, err
 		}
-		return &Log{dir: dir, f: f, size: int64(len(logMagic))}, nil, nil
+		return &Log{dir: dir, f: f, size: int64(len(logMagic)), term: 1}, nil, nil
 	}
 	if !bytes.HasPrefix(data, []byte(logMagic)) {
 		// A short prefix of the magic can only mean a crash while stamping
@@ -238,18 +267,19 @@ func openLog(dir string, afterSeq uint64) (*Log, []Record, error) {
 				f.Close()
 				return nil, nil, err
 			}
-			return &Log{dir: dir, f: f, size: int64(len(logMagic))}, nil, nil
+			return &Log{dir: dir, f: f, size: int64(len(logMagic)), term: 1}, nil, nil
 		}
 		f.Close()
 		return nil, nil, fmt.Errorf("%w: bad log header", ErrCorruptLog)
 	}
 
 	var (
-		tail    []Record
-		off     = len(logMagic)
-		lastSeq uint64
-		floor   uint64
-		first   = true
+		tail     []Record
+		off      = len(logMagic)
+		lastSeq  uint64
+		lastTerm uint64
+		floor    uint64
+		first    = true
 	)
 	for off < len(data) {
 		rec, n, err := DecodeFrame(data[off:])
@@ -274,13 +304,23 @@ func openLog(dir string, afterSeq uint64) (*Log, []Record, error) {
 			f.Close()
 			return nil, nil, fmt.Errorf("%w: sequence jump %d -> %d at offset %d", ErrCorruptLog, lastSeq, rec.Seq, off)
 		}
+		if rec.Term < lastTerm {
+			// Terms are a monotone promotion chain; a regression means the
+			// file was spliced from divergent histories.
+			f.Close()
+			return nil, nil, fmt.Errorf("%w: term regression %d -> %d at offset %d", ErrCorruptLog, lastTerm, rec.Term, off)
+		}
 		lastSeq = rec.Seq
+		lastTerm = rec.Term
 		if rec.Seq > afterSeq {
 			tail = append(tail, rec)
 		}
 		off += n
 	}
-	l := &Log{dir: dir, f: f, size: int64(off), seq: lastSeq, floor: floor}
+	if lastTerm == 0 {
+		lastTerm = 1 // no records survived the scan: fresh-log term
+	}
+	l := &Log{dir: dir, f: f, size: int64(off), seq: lastSeq, floor: floor, term: lastTerm}
 	if off < len(data) {
 		// Torn tail: cut it off so the next append starts on a clean edge.
 		if err := f.Truncate(int64(off)); err != nil {
@@ -337,6 +377,7 @@ func (l *Log) truncatePrefix(seq uint64) error {
 	}
 	keep := []byte(logMagic)
 	off := len(logMagic)
+	var dropTerm uint64
 	for off < len(data) {
 		rec, n, err := DecodeFrame(data[off:])
 		if err != nil {
@@ -344,6 +385,8 @@ func (l *Log) truncatePrefix(seq uint64) error {
 		}
 		if rec.Seq > seq {
 			keep = append(keep, data[off:off+n]...)
+		} else {
+			dropTerm = rec.Term // term at the new truncation floor
 		}
 		off += n
 	}
@@ -394,7 +437,62 @@ func (l *Log) truncatePrefix(seq uint64) error {
 	l.size = int64(len(keep))
 	if seq > l.floor {
 		l.floor = seq
+		if dropTerm > 0 {
+			l.floorTerm = dropTerm
+		}
 	}
+	old.Close()
+	return nil
+}
+
+// Reset discards every record and restarts the log at (seq, term) — the
+// position of a just-installed checkpoint. A durable follower calls it
+// when bootstrap replaces its state wholesale: whatever local suffix the
+// old history held (typically unshipped records from a deposed primary's
+// stale term) is truncated at the term boundary the checkpoint
+// establishes. Like truncatePrefix, the rewrite goes through a temp file
+// + rename so a crash leaves either the old or the new log.
+func (l *Log) Reset(seq, term uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	tmp, err := os.CreateTemp(l.dir, logName+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.WriteString(logMagic); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(l.dir, logName)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: reset dir sync: %w", l.poisonHandleLost(err))
+	}
+	nf, err := os.OpenFile(filepath.Join(l.dir, logName), os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: log handle lost after reset: %w", l.poisonHandleLost(err))
+	}
+	old := l.f
+	l.f = nf
+	l.size = int64(len(logMagic))
+	l.seq, l.floor = seq, seq
+	l.term, l.floorTerm = term, term
 	old.Close()
 	return nil
 }

@@ -19,7 +19,15 @@ var ErrSeqTruncated = errors.New("wal: requested sequence precedes the retained 
 // path uses. Rolled-back appends are invisible by construction: a failed
 // Append rewinds the file before l.size ever advances, and FramesAfter
 // reads only [0, l.size).
-func (l *Log) FramesAfter(afterSeq uint64, maxBytes int) (frames []byte, lastSeq uint64, err error) {
+//
+// afterTerm, when non-zero, is the term the caller holds at its anchor —
+// the Raft-style consistency check. The record at afterSeq in this log
+// must carry exactly that term, and the anchor must not sit past the end
+// of this log; either mismatch means the caller's history diverged from
+// ours at a promotion boundary and is reported as ErrStaleTerm, telling
+// the caller to re-bootstrap rather than splice divergent histories.
+// afterTerm 0 skips the check (a caller with no term knowledge yet).
+func (l *Log) FramesAfter(afterSeq, afterTerm uint64, maxBytes int) (frames []byte, lastSeq uint64, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	// A poisoned log accepts no writes, but its committed prefix is still
@@ -31,6 +39,24 @@ func (l *Log) FramesAfter(afterSeq uint64, maxBytes int) (frames []byte, lastSeq
 	}
 	if afterSeq < l.floor {
 		return nil, 0, fmt.Errorf("%w: have records after %d, asked for after %d", ErrSeqTruncated, l.floor, afterSeq)
+	}
+	if afterTerm > 0 && afterSeq > l.seq {
+		// The caller is ahead of this log: it holds records we never wrote,
+		// which after a promotion means an unshipped suffix from a stale
+		// term. (Without a term claim this is the benign "nothing new yet"
+		// case a long-polling follower hits constantly.)
+		return nil, 0, fmt.Errorf("%w: anchor %d is past this log's last record %d", ErrStaleTerm, afterSeq, l.seq)
+	}
+	if afterTerm > 0 && afterSeq == l.floor {
+		if l.floorTerm > 0 && l.floorTerm != afterTerm {
+			return nil, 0, fmt.Errorf("%w: anchor %d has term %d here, caller claims %d", ErrStaleTerm, afterSeq, l.floorTerm, afterTerm)
+		}
+		afterTerm = 0 // floor verified (or unknowable); skip the scan check
+	}
+	if afterTerm > 0 && afterSeq == l.seq && afterTerm != l.term {
+		// The caught-up long-poll case, checked against the cached last-term
+		// so an empty poll never has to scan the file.
+		return nil, 0, fmt.Errorf("%w: anchor %d has term %d here, caller claims %d", ErrStaleTerm, afterSeq, l.term, afterTerm)
 	}
 	if afterSeq >= l.seq {
 		return nil, afterSeq, nil
@@ -48,6 +74,9 @@ func (l *Log) FramesAfter(afterSeq uint64, maxBytes int) (frames []byte, lastSeq
 			// tail: everything under l.size was fsynced by an Append that
 			// returned success.
 			return nil, 0, fmt.Errorf("%w: feed scan at offset %d: %w", ErrCorruptLog, off, err)
+		}
+		if afterTerm > 0 && rec.Seq == afterSeq && rec.Term != afterTerm {
+			return nil, 0, fmt.Errorf("%w: anchor %d has term %d here, caller claims %d", ErrStaleTerm, afterSeq, rec.Term, afterTerm)
 		}
 		if rec.Seq > afterSeq {
 			if len(frames) > 0 && len(frames)+n > maxBytes {

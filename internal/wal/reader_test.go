@@ -39,7 +39,7 @@ func TestFramesAfterRoundTrip(t *testing.T) {
 	}
 
 	// From 0: everything, and lastSeq is the final record's.
-	frames, lastSeq, err := l.FramesAfter(0, 1<<30)
+	frames, lastSeq, err := l.FramesAfter(0, 0, 1<<30)
 	if err != nil {
 		t.Fatalf("FramesAfter(0): %v", err)
 	}
@@ -54,7 +54,7 @@ func TestFramesAfterRoundTrip(t *testing.T) {
 	}
 
 	// From a mid anchor: only the records past it.
-	frames, lastSeq, err = l.FramesAfter(2, 1<<30)
+	frames, lastSeq, err = l.FramesAfter(2, 0, 1<<30)
 	if err != nil {
 		t.Fatalf("FramesAfter(2): %v", err)
 	}
@@ -64,7 +64,7 @@ func TestFramesAfterRoundTrip(t *testing.T) {
 	}
 
 	// Caught up: empty, lastSeq echoes the anchor.
-	frames, lastSeq, err = l.FramesAfter(uint64(len(want)), 1<<30)
+	frames, lastSeq, err = l.FramesAfter(uint64(len(want)), 0, 1<<30)
 	if err != nil || len(frames) != 0 || lastSeq != uint64(len(want)) {
 		t.Fatalf("caught up: frames=%d lastSeq=%d err=%v", len(frames), lastSeq, err)
 	}
@@ -85,7 +85,7 @@ func TestFramesAfterMaxBytes(t *testing.T) {
 	var got []Record
 	after := uint64(0)
 	for i := 0; i < 100; i++ {
-		frames, lastSeq, err := l.FramesAfter(after, 1) // always under one frame
+		frames, lastSeq, err := l.FramesAfter(after, 0, 1) // always under one frame
 		if err != nil {
 			t.Fatalf("FramesAfter(%d): %v", after, err)
 		}
@@ -129,10 +129,10 @@ func TestFramesAfterTruncated(t *testing.T) {
 	if err := l.TruncatePrefix(2); err != nil {
 		t.Fatalf("TruncatePrefix: %v", err)
 	}
-	if _, _, err := l.FramesAfter(1, 1<<30); !errors.Is(err, ErrSeqTruncated) {
+	if _, _, err := l.FramesAfter(1, 0, 1<<30); !errors.Is(err, ErrSeqTruncated) {
 		t.Fatalf("after=1 under floor 2: err = %v, want ErrSeqTruncated", err)
 	}
-	frames, lastSeq, err := l.FramesAfter(2, 1<<30)
+	frames, lastSeq, err := l.FramesAfter(2, 0, 1<<30)
 	if err != nil {
 		t.Fatalf("FramesAfter(2) at the floor: %v", err)
 	}
@@ -144,10 +144,10 @@ func TestFramesAfterTruncated(t *testing.T) {
 	// Reopen: the retained log starts at 3, so the floor must be 2.
 	l2, _, _ := mustOpen(t, dir)
 	defer l2.Close()
-	if _, _, err := l2.FramesAfter(1, 1<<30); !errors.Is(err, ErrSeqTruncated) {
+	if _, _, err := l2.FramesAfter(1, 0, 1<<30); !errors.Is(err, ErrSeqTruncated) {
 		t.Fatalf("reopened: after=1 err = %v, want ErrSeqTruncated", err)
 	}
-	if frames, _, err := l2.FramesAfter(2, 1<<30); err != nil || len(decodeAll(t, frames)) != 2 {
+	if frames, _, err := l2.FramesAfter(2, 0, 1<<30); err != nil || len(decodeAll(t, frames)) != 2 {
 		t.Fatalf("reopened: after=2 failed: %v", err)
 	}
 }
@@ -207,7 +207,7 @@ func TestTruncateReopenFailurePoisonsLog(t *testing.T) {
 	if err := l.Append(Record{Kind: KindName, Name: "lost2", OID: 10}); err == nil {
 		t.Fatal("second Append after poisoning succeeded")
 	}
-	if _, _, err := l.FramesAfter(2, 1<<30); err == nil {
+	if _, _, err := l.FramesAfter(2, 0, 1<<30); err == nil {
 		t.Fatal("FramesAfter on a poisoned log succeeded")
 	}
 	if err := l.Close(); err != nil {

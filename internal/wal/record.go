@@ -37,12 +37,21 @@ const (
 	KindLoad Kind = 2
 	// KindName records a root naming (name → oid).
 	KindName Kind = 3
+	// KindTerm records a promotion: the first record a follower appends
+	// when it becomes the primary, bumping the log's term. It carries no
+	// data — replaying one only raises the term.
+	KindTerm Kind = 4
 )
 
 // Record is one logical log entry.
 type Record struct {
 	Seq  uint64
 	Kind Kind
+	// Term is the promotion epoch the record was written under. A primary
+	// stamps the log's current term on append (callers leave it 0); a
+	// follower replays shipped records with their original term, and the
+	// term chain must never decrease.
+	Term uint64
 
 	Schema string   // KindSchema: the DTD source
 	Docs   []string // KindLoad: document sources, in batch order
@@ -72,6 +81,7 @@ func appendString(b []byte, s string) []byte {
 func EncodePayload(r Record) []byte {
 	b := []byte{byte(r.Kind)}
 	b = binary.AppendUvarint(b, r.Seq)
+	b = binary.AppendUvarint(b, r.Term)
 	switch r.Kind {
 	case KindSchema:
 		b = appendString(b, r.Schema)
@@ -83,6 +93,8 @@ func EncodePayload(r Record) []byte {
 	case KindName:
 		b = appendString(b, r.Name)
 		b = binary.AppendUvarint(b, r.OID)
+	case KindTerm:
+		// the term itself is the whole payload
 	default:
 		//lint:allow panic encoding an unknown Kind is a programmer error (closed set, enforced by sgmldbvet exhaustive)
 		panic(fmt.Sprintf("wal: encode unknown record kind %d", r.Kind))
@@ -141,6 +153,9 @@ func DecodePayload(b []byte) (Record, error) {
 	if r.Seq, err = p.uvarint(); err != nil {
 		return Record{}, err
 	}
+	if r.Term, err = p.uvarint(); err != nil {
+		return Record{}, err
+	}
 	switch r.Kind {
 	case KindSchema:
 		if r.Schema, err = p.str(); err != nil {
@@ -169,6 +184,8 @@ func DecodePayload(b []byte) (Record, error) {
 		if r.OID, err = p.uvarint(); err != nil {
 			return Record{}, err
 		}
+	case KindTerm:
+		// no fields beyond seq and term
 	default:
 		return Record{}, fmt.Errorf("wal: unknown record kind %d", b[0])
 	}

@@ -30,6 +30,7 @@ func (l *Log) Scrub() (frames int, lastSeq uint64, err error) {
 	}
 	off := len(logMagic)
 	last := l.floor
+	var lastTerm uint64
 	for off < len(data) {
 		rec, n, err := DecodeFrame(data[off:])
 		if err != nil {
@@ -41,7 +42,11 @@ func (l *Log) Scrub() (frames int, lastSeq uint64, err error) {
 		if rec.Seq != last+1 {
 			return frames, last, fmt.Errorf("%w: scrub: sequence jump %d -> %d at offset %d", ErrCorruptLog, last, rec.Seq, off)
 		}
+		if rec.Term < lastTerm {
+			return frames, last, fmt.Errorf("%w: scrub: term regression %d -> %d at offset %d", ErrCorruptLog, lastTerm, rec.Term, off)
+		}
 		last = rec.Seq
+		lastTerm = rec.Term
 		frames++
 		off += n
 	}

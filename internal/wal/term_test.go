@@ -1,0 +1,289 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sgmldb/internal/text"
+)
+
+// Term chain tests (DESIGN.md §12): the log stamps every record with its
+// promotion term, persists the term across reopen and checkpoint, and
+// refuses anything that would make the chain run backwards.
+
+func TestLogTermStampingAndAdoption(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := l.Term(); got != 1 {
+		t.Fatalf("fresh log term = %d, want 1", got)
+	}
+	// Term 0 records are stamped with the log's current term.
+	if err := l.Append(Record{Kind: KindSchema, Schema: "<!ELEMENT a (#PCDATA)>"}); err != nil {
+		t.Fatal(err)
+	}
+	// A promotion record raises the term; later appends inherit it.
+	if err := l.Append(Record{Kind: KindTerm, Term: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Term(); got != 3 {
+		t.Fatalf("term after bump = %d, want 3", got)
+	}
+	if err := l.Append(Record{Kind: KindLoad, Docs: []string{"<a>x</a>"}}); err != nil {
+		t.Fatal(err)
+	}
+	// A stale-term append is refused before touching the file.
+	err = l.Append(Record{Kind: KindLoad, Term: 2, Docs: []string{"<a>y</a>"}})
+	if !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("stale append: err = %v, want ErrStaleTerm", err)
+	}
+	seq := l.Seq()
+	l.Close()
+
+	// Reopen recovers the term from the scan and the replay carries the
+	// stamped terms.
+	l2, _, tail, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.Term(); got != 3 {
+		t.Fatalf("reopened term = %d, want 3", got)
+	}
+	if got := l2.Seq(); got != seq {
+		t.Fatalf("reopened seq = %d, want %d", got, seq)
+	}
+	wantTerms := []uint64{1, 3, 3}
+	for i, rec := range tail {
+		if rec.Term != wantTerms[i] {
+			t.Errorf("replayed record %d term = %d, want %d", i, rec.Term, wantTerms[i])
+		}
+	}
+}
+
+func TestLogTermRegressionIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Kind: KindTerm, Term: 2}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Forge a term-1 frame behind the bump: Reset a scratch log to the
+	// right position, append, splice its frames on.
+	scratch := t.TempDir()
+	sl, _, _, err := Open(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Reset(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Append(Record{Kind: KindLoad, Docs: []string{"<a>stale</a>"}}); err != nil {
+		t.Fatal(err)
+	}
+	sl.Close()
+	forged, err := os.ReadFile(filepath.Join(scratch, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nl int
+	for nl = 0; forged[nl] != '\n'; nl++ {
+	}
+	logPath := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(forged[nl+1:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, _, _, err := Open(dir); !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("open with term regression: err = %v, want ErrCorruptLog", err)
+	}
+	if _, err := Fsck(dir, false); !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("fsck with term regression: err = %v, want ErrCorruptLog", err)
+	}
+}
+
+func TestCheckpointCarriesTerm(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Kind: KindSchema, Schema: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Kind: KindTerm, Term: 4}); err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{Seq: l.Seq(), Epoch: 1, Term: l.Term(), DTD: "d", Inst: checkpointInstance(t), Index: text.NewIndex()}
+	if err := WriteCheckpoint(dir, ck); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncatePrefix(ck.Seq); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Open adopts the checkpoint's term even though the log holds no
+	// frames anymore.
+	l2, ck2, tail, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if ck2 == nil || ck2.Term != 4 {
+		t.Fatalf("reopened checkpoint = %+v, want term 4", ck2)
+	}
+	if len(tail) != 0 {
+		t.Fatalf("tail after covering checkpoint: %d records", len(tail))
+	}
+	if got := l2.Term(); got != 4 {
+		t.Fatalf("reopened term = %d, want 4 (from checkpoint)", got)
+	}
+	// The next append continues at the checkpointed term.
+	if err := l2.Append(Record{Kind: KindLoad, Docs: []string{"<a>x</a>"}}); err != nil {
+		t.Fatal(err)
+	}
+	frames, _, err := l2.FramesAfter(ck2.Seq, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := DecodeFrame(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Term != 4 {
+		t.Fatalf("post-checkpoint append term = %d, want 4", rec.Term)
+	}
+}
+
+func TestFramesAfterTermAnchor(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(Record{Kind: KindSchema, Schema: "d"}); err != nil { // seq 1, term 1
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Kind: KindTerm, Term: 2}); err != nil { // seq 2, term 2
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Kind: KindLoad, Docs: []string{"<a>x</a>"}}); err != nil { // seq 3, term 2
+		t.Fatal(err)
+	}
+
+	// Matching anchors serve frames.
+	if _, last, err := l.FramesAfter(1, 1, 1<<20); err != nil || last != 3 {
+		t.Fatalf("FramesAfter(1, term 1) = (last %d, %v), want (3, nil)", last, err)
+	}
+	if _, last, err := l.FramesAfter(2, 2, 1<<20); err != nil || last != 3 {
+		t.Fatalf("FramesAfter(2, term 2) = (last %d, %v), want (3, nil)", last, err)
+	}
+	// Term 0 anchors skip the check (pre-term clients, fresh followers).
+	if _, last, err := l.FramesAfter(1, 0, 1<<20); err != nil || last != 3 {
+		t.Fatalf("FramesAfter(1, term 0) = (last %d, %v), want (3, nil)", last, err)
+	}
+	// A diverged anchor — right seq, wrong term — is refused.
+	if _, _, err := l.FramesAfter(1, 2, 1<<20); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("FramesAfter(1, term 2): err = %v, want ErrStaleTerm", err)
+	}
+	// The caught-up case uses the cached term: anchor == last seq.
+	if _, _, err := l.FramesAfter(3, 1, 1<<20); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("FramesAfter(3, term 1): err = %v, want ErrStaleTerm", err)
+	}
+	if _, last, err := l.FramesAfter(3, 2, 1<<20); err != nil || last != 3 {
+		t.Fatalf("FramesAfter(3, term 2) = (last %d, %v), want (3, nil)", last, err)
+	}
+	// An anchor past the log is another history entirely.
+	if _, _, err := l.FramesAfter(9, 2, 1<<20); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("FramesAfter(9, term 2): err = %v, want ErrStaleTerm", err)
+	}
+
+	// After truncation the floor's term backs the anchor check.
+	if err := WriteCheckpoint(dir, &Checkpoint{Seq: 2, Epoch: 1, Term: 2, DTD: "d", Inst: checkpointInstance(t), Index: text.NewIndex()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncatePrefix(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.FramesAfter(2, 1, 1<<20); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("FramesAfter(floor, wrong term): err = %v, want ErrStaleTerm", err)
+	}
+	if _, last, err := l.FramesAfter(2, 2, 1<<20); err != nil || last != 3 {
+		t.Fatalf("FramesAfter(floor, right term) = (last %d, %v), want (3, nil)", last, err)
+	}
+}
+
+func TestLogReset(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(Record{Kind: KindLoad, Docs: []string{"<a>x</a>"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if l.Seq() != 10 || l.Term() != 5 {
+		t.Fatalf("after Reset: seq %d term %d, want 10/5", l.Seq(), l.Term())
+	}
+	// The old frames are gone; the next append continues the new history.
+	if frames, last, err := l.FramesAfter(10, 5, 1<<20); err != nil || len(frames) != 0 || last != 10 {
+		t.Fatalf("FramesAfter after Reset = (%d bytes, last %d, %v), want empty", len(frames), last, err)
+	}
+	if err := l.Append(Record{Kind: KindLoad, Docs: []string{"<a>y</a>"}}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Seq() != 11 {
+		t.Fatalf("seq after post-Reset append = %d, want 11", l.Seq())
+	}
+	l.Close()
+
+	// A Reset floor is only legal behind a covering checkpoint — that is
+	// the bootstrap order (Reset, then the shipped checkpoint lands).
+	// With one in place the reopen resumes the new history.
+	if err := WriteCheckpoint(dir, &Checkpoint{Seq: 10, Epoch: 1, Term: 5, DTD: "d", Inst: checkpointInstance(t), Index: text.NewIndex()}); err != nil {
+		t.Fatal(err)
+	}
+	l2, _, tail, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(tail) != 1 || tail[0].Seq != 11 || tail[0].Term != 5 {
+		t.Fatalf("reopened tail = %+v, want one record seq 11 term 5", tail)
+	}
+}
+
+func TestScrubTermRegression(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(Record{Kind: KindTerm, Term: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Scrub(); err != nil {
+		t.Fatalf("clean scrub: %v", err)
+	}
+}

@@ -61,7 +61,10 @@ func TestLogAppendReplayRoundTrip(t *testing.T) {
 		if r.Seq != uint64(i+1) {
 			t.Errorf("record %d: seq %d", i, r.Seq)
 		}
-		r.Seq = 0
+		if r.Term != 1 {
+			t.Errorf("record %d: term %d, want the fresh log's term 1", i, r.Term)
+		}
+		r.Seq, r.Term = 0, 0
 		if !reflect.DeepEqual(r, want[i]) {
 			t.Errorf("record %d = %+v, want %+v", i, r, want[i])
 		}

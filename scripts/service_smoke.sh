@@ -10,7 +10,12 @@
 # SIGKILL mid-flight, runs sgmldbfsck over the data directory (-verify,
 # then -repair when it finds recoverable crash damage), restarts the
 # primary on the same directory, and requires the still-running follower
-# to reconverge. Fails fast on any step.
+# to reconverge. A fourth leg is the failover drill: SIGKILL the primary
+# again, POST /v1/promote the (durable) follower, load through the new
+# primary, restart the corpse with -follow pointing at it, and require
+# the rejoiner to converge on the new term's history; both data
+# directories must fsck clean after the final drain. Fails fast on any
+# step.
 set -eu
 
 GO=${GO:-go}
@@ -86,8 +91,8 @@ echo "service_smoke: starting primary on $PRI_ADDR (durable)"
 PRI_PID=$!
 wait_health "$PRI_ADDR"
 
-echo "service_smoke: starting follower on $FOL_ADDR"
-"$TMP/sgmldbd" -dtd testdata/article.dtd -addr "$FOL_ADDR" \
+echo "service_smoke: starting follower on $FOL_ADDR (durable: promotion-eligible)"
+"$TMP/sgmldbd" -dtd testdata/article.dtd -addr "$FOL_ADDR" -data "$TMP/fdata" \
     -follow "http://$PRI_ADDR" -follow-wait-ms 200 &
 FOL_PID=$!
 wait_health "$FOL_ADDR"
@@ -100,19 +105,19 @@ grep -q '"errors": 0' "$TMP/primary_report.json" || {
     exit 1
 }
 
-# wait_converged: poll the follower until it reports lag 0 at the
-# primary's current epoch.
+# wait_converged PRIMARY FOLLOWER: poll the follower until it reports
+# lag 0 at the primary's current epoch.
 wait_converged() {
-    pri_epoch=$(curl -sf "http://$PRI_ADDR/v1/health" | sed -n 's/.*"epoch":\([0-9]*\).*/\1/p')
+    pri_epoch=$(curl -sf "http://$1/v1/health" | sed -n 's/.*"epoch":\([0-9]*\).*/\1/p')
     i=0
     while :; do
-        h=$(curl -sf "http://$FOL_ADDR/v1/health" || true)
+        h=$(curl -sf "http://$2/v1/health" || true)
         fol_epoch=$(printf '%s' "$h" | sed -n 's/.*"epoch":\([0-9]*\).*/\1/p')
         lag=$(printf '%s' "$h" | sed -n 's/.*"lag":\([0-9]*\).*/\1/p')
         [ "$lag" = "0" ] && [ "$fol_epoch" = "$pri_epoch" ] && break
         i=$((i + 1))
-        if [ "$i" -ge 50 ]; then
-            echo "service_smoke: follower never converged (primary epoch $pri_epoch); last health: $h" >&2
+        if [ "$i" -ge 100 ]; then
+            echo "service_smoke: $2 never converged on $1 (primary epoch $pri_epoch); last health: $h" >&2
             exit 1
         fi
         sleep 0.1
@@ -120,7 +125,7 @@ wait_converged() {
 }
 
 echo "service_smoke: waiting for the follower to converge"
-wait_converged
+wait_converged "$PRI_ADDR" "$FOL_ADDR"
 
 echo "service_smoke: read burst on the follower"
 "$TMP/sgmldbload" -addr "http://$FOL_ADDR" -n 200 -c 4 -o "$TMP/follower_report.json"
@@ -183,21 +188,67 @@ grep -q '"errors": 0' "$TMP/restart_report.json" || {
 }
 
 echo "service_smoke: waiting for the follower to reconverge"
-wait_converged
+wait_converged "$PRI_ADDR" "$FOL_ADDR"
 
-echo "service_smoke: draining the pair"
-kill -TERM "$FOL_PID"
-wait "$FOL_PID" || {
-    echo "service_smoke: follower exited non-zero" >&2
-    FOL_PID=
+# --- Failover leg: SIGKILL primary, promote follower, rejoin corpse ----
+
+echo "service_smoke: killing the primary with SIGKILL (failover drill)"
+kill -9 "$PRI_PID"
+wait "$PRI_PID" 2>/dev/null || true
+PRI_PID=
+
+echo "service_smoke: promoting the follower"
+code=$(curl -s -o "$TMP/promote.json" -w '%{http_code}' -X POST "http://$FOL_ADDR/v1/promote")
+if [ "$code" != "200" ] || ! grep -q '"promoted": *true' "$TMP/promote.json"; then
+    echo "service_smoke: promote: status $code, body:" >&2
+    cat "$TMP/promote.json" >&2
+    exit 1
+fi
+cat "$TMP/promote.json"
+
+echo "service_smoke: load burst on the new primary"
+"$TMP/sgmldbload" -addr "http://$FOL_ADDR" -load testdata/article.sgml -load-count 2 \
+    -n 50 -c 4 -o "$TMP/failover_report.json"
+grep -q '"errors": 0' "$TMP/failover_report.json" || {
+    echo "service_smoke: post-promotion load burst reported request errors" >&2
     exit 1
 }
-FOL_PID=
+
+echo "service_smoke: rejoining the old primary as a follower of the new one"
+"$TMP/sgmldbd" -dtd testdata/article.dtd -addr "$PRI_ADDR" -data "$TMP/data" \
+    -follow "http://$FOL_ADDR" -follow-wait-ms 200 &
+PRI_PID=$!
+wait_health "$PRI_ADDR"
+
+echo "service_smoke: waiting for the rejoiner to converge on the new term"
+wait_converged "$FOL_ADDR" "$PRI_ADDR"
+term=$(curl -sf "http://$PRI_ADDR/v1/health" | sed -n 's/.*"term":\([0-9]*\).*/\1/p')
+if [ "$term" -lt 2 ]; then
+    echo "service_smoke: rejoiner still at term $term after failover" >&2
+    exit 1
+fi
+
+echo "service_smoke: draining the pair"
 kill -TERM "$PRI_PID"
 wait "$PRI_PID" || {
-    echo "service_smoke: primary exited non-zero" >&2
+    echo "service_smoke: rejoined follower exited non-zero" >&2
     PRI_PID=
     exit 1
 }
 PRI_PID=
+kill -TERM "$FOL_PID"
+wait "$FOL_PID" || {
+    echo "service_smoke: promoted primary exited non-zero" >&2
+    FOL_PID=
+    exit 1
+}
+FOL_PID=
+
+echo "service_smoke: fsck both data directories after the drill"
+for d in "$TMP/data" "$TMP/fdata"; do
+    "$TMP/sgmldbfsck" -verify "$d" || {
+        echo "service_smoke: $d not clean after drain (exit $?)" >&2
+        exit 1
+    }
+done
 echo "service_smoke: ok"

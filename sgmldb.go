@@ -116,12 +116,26 @@ type Database struct {
 	lastCkptErr    atomic.Pointer[string]
 
 	// Replication (see replica.go). A follower applies the primary's log
-	// through the commit path without appending; appliedSeq is the last
-	// record applied, primarySeq the newest the primary has reported —
-	// their difference is the replication lag.
-	follower   bool
+	// through the commit path; appliedSeq is the last record applied,
+	// primarySeq the newest the primary has reported — their difference is
+	// the replication lag. follower is atomic because Promote flips it
+	// while readers and the apply loop check it concurrently.
+	follower   atomic.Bool
 	appliedSeq atomic.Uint64
 	primarySeq atomic.Uint64
+
+	// Failover (see replica.go). term is the promotion epoch this node
+	// writes (or applies) under; fencedTerm is the highest term observed
+	// from any remote — a primary whose fencedTerm exceeds its own term
+	// has been superseded and refuses writes with ErrStaleTerm.
+	// promotions counts term raises observed (including our own Promote);
+	// rebootstraps and breakerOpen are follower-client telemetry pushed in
+	// by service.Follower so Stats and /v1/health can report them.
+	term        atomic.Uint64
+	fencedTerm  atomic.Uint64
+	promotions  atomic.Uint64
+	rebootstrap atomic.Uint64
+	breakerOpen atomic.Bool
 }
 
 // acquire admits one query, blocking while WithMaxConcurrentQueries
@@ -167,6 +181,13 @@ func rescue(err *error) {
 // OpenDTD compiles a DTD (Section 3) and opens an empty database for its
 // documents.
 func OpenDTD(dtdSource string, opts ...Option) (*Database, error) {
+	return open(dtdSource, false, opts)
+}
+
+// open is the shared body of OpenDTD and OpenFollower: the follower flag
+// must be set before a durable recovery runs, because a follower's data
+// directory replays the primary's shipped history, not its own writes.
+func open(dtdSource string, follower bool, opts []Option) (*Database, error) {
 	dtd, err := sgml.ParseDTD(dtdSource)
 	if err != nil {
 		return nil, err
@@ -177,6 +198,8 @@ func OpenDTD(dtdSource string, opts ...Option) (*Database, error) {
 	}
 	loader := dtdmap.NewLoader(m)
 	db := &Database{Mapping: m, Loader: loader}
+	db.follower.Store(follower)
+	db.dtdSource = dtdSource
 	db.wire(loader.Instance, opts)
 	if db.dataDir != "" {
 		// Durable open: recover the last durable state from the data
@@ -248,7 +271,7 @@ func (db *Database) LoadDocuments(srcs []string) (oids []object.OID, err error) 
 	if db.Loader == nil {
 		return nil, ErrReadOnly
 	}
-	if db.follower {
+	if db.follower.Load() {
 		return nil, fmt.Errorf("%w: followers apply the primary's log only", ErrReadOnly)
 	}
 	if err := db.degradedErr(); err != nil {
@@ -269,7 +292,7 @@ func (db *Database) LoadDocuments(srcs []string) (oids []object.OID, err error) 
 	}
 	db.loadMu.Lock()
 	defer db.loadMu.Unlock()
-	return db.commitLoad(docs, srcs, true)
+	return db.commitLoad(docs, srcs, true, 0)
 }
 
 // commitLoad stages a parsed batch, makes it durable (when the database
@@ -284,8 +307,17 @@ func (db *Database) LoadDocuments(srcs []string) (oids []object.OID, err error) 
 // sees the window. The append is fsynced before Publish: a published
 // epoch is always recoverable.
 //
+// recTerm is the term to log the record under: 0 on the primary write
+// path (the log stamps its current term), the shipped record's term on a
+// durable follower's apply path.
+//
 //sgmldbvet:commitpath
-func (db *Database) commitLoad(docs []*sgml.Document, srcs []string, logIt bool) (oids []object.OID, err error) {
+func (db *Database) commitLoad(docs []*sgml.Document, srcs []string, logIt bool, recTerm uint64) (oids []object.OID, err error) {
+	if logIt {
+		if err := db.fencedErr(); err != nil {
+			return nil, err
+		}
+	}
 	mark := db.Loader.Mark()
 	defer func() {
 		if r := recover(); r != nil {
@@ -306,7 +338,7 @@ func (db *Database) commitLoad(docs []*sgml.Document, srcs []string, logIt bool)
 		ix.Add(text.DocID(oid), dtdmap.TextOf(staged, oid))
 	}
 	if logIt && db.walLog != nil {
-		if err = db.walLog.Append(wal.Record{Kind: wal.KindLoad, Docs: srcs}); err != nil {
+		if err = db.walLog.Append(wal.Record{Kind: wal.KindLoad, Docs: srcs, Term: recTerm}); err != nil {
 			return nil, db.wrapDegraded(err)
 		}
 	}
@@ -323,7 +355,7 @@ func (db *Database) commitLoad(docs []*sgml.Document, srcs []string, logIt bool)
 // layer (with a cloned schema when the root is new, so pinned readers
 // keep a stable view of G) and published atomically.
 func (db *Database) Name(name string, oid object.OID) (err error) {
-	if db.follower {
+	if db.follower.Load() {
 		return fmt.Errorf("%w: followers apply the primary's log only", ErrReadOnly)
 	}
 	if err := db.degradedErr(); err != nil {
@@ -332,14 +364,19 @@ func (db *Database) Name(name string, oid object.OID) (err error) {
 	defer rescue(&err)
 	db.loadMu.Lock()
 	defer db.loadMu.Unlock()
-	return db.commitName(name, oid, true)
+	return db.commitName(name, oid, true, 0)
 }
 
 // commitName stages, logs (when logIt — recovery replays with it unset),
 // and publishes one root naming. Caller holds loadMu.
 //
 //sgmldbvet:commitpath
-func (db *Database) commitName(name string, oid object.OID, logIt bool) error {
+func (db *Database) commitName(name string, oid object.OID, logIt bool, recTerm uint64) error {
+	if logIt {
+		if err := db.fencedErr(); err != nil {
+			return err
+		}
+	}
 	cur := db.state()
 	published := cur.Snap.Inst
 	class, ok := published.ClassOf(oid)
@@ -360,7 +397,7 @@ func (db *Database) commitName(name string, oid object.OID, logIt bool) error {
 		return err
 	}
 	if logIt && db.walLog != nil {
-		if err := db.walLog.Append(wal.Record{Kind: wal.KindName, Name: name, OID: uint64(oid)}); err != nil {
+		if err := db.walLog.Append(wal.Record{Kind: wal.KindName, Name: name, OID: uint64(oid), Term: recTerm}); err != nil {
 			staged.Discard()
 			return db.wrapDegraded(err)
 		}

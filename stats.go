@@ -63,13 +63,25 @@ type Stats struct {
 	CheckpointFailStreak uint64
 	LastCheckpointError  string
 
-	// Follower reports whether the database was opened with OpenFollower.
-	// AppliedSeq is then the last primary log record applied, PrimarySeq
-	// the newest primary sequence observed; their difference is the
-	// replication lag in records.
+	// Follower reports whether the database currently applies a primary's
+	// log (opened with OpenFollower and not promoted). AppliedSeq is then
+	// the last primary log record applied, PrimarySeq the newest primary
+	// sequence observed; their difference is the replication lag in
+	// records.
 	Follower   bool
 	AppliedSeq uint64
 	PrimarySeq uint64
+
+	// Failover telemetry (DESIGN.md §12). Term is the promotion epoch this
+	// node writes or applies under (0 on a non-replicating database);
+	// Promotions counts the term raises observed since open — our own
+	// Promote calls plus promotions applied from the feed. Rebootstraps
+	// counts the replication client's checkpoint bootstraps; BreakerOpen
+	// reports its bootstrap circuit breaker tripped open.
+	Term         uint64
+	Promotions   uint64
+	Rebootstraps uint64
+	BreakerOpen  bool
 }
 
 // metrics holds the facade's cumulative counters. All atomic: they are
@@ -118,10 +130,14 @@ func (db *Database) Stats() Stats {
 		st.Degraded, st.DegradedReason = db.DegradedState()
 		st.CheckpointFailures, st.CheckpointFailStreak, st.LastCheckpointError = db.CheckpointFailures()
 	}
-	if db.follower {
+	if db.follower.Load() {
 		st.Follower = true
 		st.AppliedSeq = db.appliedSeq.Load()
 		st.PrimarySeq = db.primarySeq.Load()
 	}
+	st.Term = db.term.Load()
+	st.Promotions = db.promotions.Load()
+	st.Rebootstraps = db.rebootstrap.Load()
+	st.BreakerOpen = db.breakerOpen.Load()
 	return st
 }
