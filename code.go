@@ -9,25 +9,26 @@ import (
 // are wire contract: cmd/sgmldbd returns them in every error body, and
 // clients branch on them, so a code once shipped never changes meaning.
 const (
-	CodeOK            = ""                // nil error
-	CodeParse         = "PARSE"           // ErrParse
-	CodeTypecheck     = "TYPECHECK"       // ErrTypecheck
-	CodeOverloaded    = "OVERLOADED"      // ErrOverloaded
-	CodeBudget        = "BUDGET_EXCEEDED" // ErrBudgetExceeded
-	CodeInternal      = "INTERNAL"        // ErrInternal
-	CodeReadOnly      = "READ_ONLY"       // ErrReadOnly
-	CodeUnknownObject = "UNKNOWN_OBJECT"  // ErrUnknownObject
-	CodeNoMapping     = "NO_MAPPING"      // ErrNoMapping
-	CodeCorruptLog    = "CORRUPT_LOG"     // ErrCorruptLog
-	CodeDegraded      = "DEGRADED"        // ErrDegraded
-	CodeNotPrimary    = "NOT_PRIMARY"     // ErrNotPrimary
-	CodeSeqTruncated  = "SEQ_TRUNCATED"   // ErrSeqTruncated
-	CodeStaleTerm     = "STALE_TERM"      // ErrStaleTerm
-	CodeReplicaGap    = "REPLICA_GAP"     // ErrReplicaGap
-	CodeNotFollower   = "NOT_FOLLOWER"    // ErrNotFollower
-	CodeCanceled      = "CANCELED"        // context.Canceled
-	CodeDeadline      = "DEADLINE"        // context.DeadlineExceeded
-	CodeUnknown       = "UNKNOWN"         // anything else
+	CodeOK            = ""                    // nil error
+	CodeParse         = "PARSE"               // ErrParse
+	CodeTypecheck     = "TYPECHECK"           // ErrTypecheck
+	CodeOverloaded    = "OVERLOADED"          // ErrOverloaded
+	CodeBudget        = "BUDGET_EXCEEDED"     // ErrBudgetExceeded
+	CodeInternal      = "INTERNAL"            // ErrInternal
+	CodeReadOnly      = "READ_ONLY"           // ErrReadOnly
+	CodeUnknownObject = "UNKNOWN_OBJECT"      // ErrUnknownObject
+	CodeNoMapping     = "NO_MAPPING"          // ErrNoMapping
+	CodeCorruptLog    = "CORRUPT_LOG"         // ErrCorruptLog
+	CodeUnsupported   = "UNSUPPORTED_VERSION" // ErrUnsupportedVersion
+	CodeDegraded      = "DEGRADED"            // ErrDegraded
+	CodeNotPrimary    = "NOT_PRIMARY"         // ErrNotPrimary
+	CodeSeqTruncated  = "SEQ_TRUNCATED"       // ErrSeqTruncated
+	CodeStaleTerm     = "STALE_TERM"          // ErrStaleTerm
+	CodeReplicaGap    = "REPLICA_GAP"         // ErrReplicaGap
+	CodeNotFollower   = "NOT_FOLLOWER"        // ErrNotFollower
+	CodeCanceled      = "CANCELED"            // context.Canceled
+	CodeDeadline      = "DEADLINE"            // context.DeadlineExceeded
+	CodeUnknown       = "UNKNOWN"             // anything else
 )
 
 // Code classifies an error from the Database API into its stable
@@ -62,6 +63,8 @@ func Code(err error) string {
 		return CodeNoMapping
 	case errors.Is(err, ErrCorruptLog):
 		return CodeCorruptLog
+	case errors.Is(err, ErrUnsupportedVersion):
+		return CodeUnsupported
 	case errors.Is(err, ErrDegraded):
 		return CodeDegraded
 	case errors.Is(err, ErrNotPrimary):

@@ -18,21 +18,22 @@ import (
 
 // sentinelByName mirrors errors.go by hand; the parse keeps it honest.
 var sentinelByName = map[string]error{
-	"ErrReadOnly":       ErrReadOnly,
-	"ErrUnknownObject":  ErrUnknownObject,
-	"ErrNoMapping":      ErrNoMapping,
-	"ErrOverloaded":     ErrOverloaded,
-	"ErrBudgetExceeded": ErrBudgetExceeded,
-	"ErrInternal":       ErrInternal,
-	"ErrParse":          ErrParse,
-	"ErrTypecheck":      ErrTypecheck,
-	"ErrCorruptLog":     ErrCorruptLog,
-	"ErrDegraded":       ErrDegraded,
-	"ErrNotPrimary":     ErrNotPrimary,
-	"ErrSeqTruncated":   ErrSeqTruncated,
-	"ErrStaleTerm":      ErrStaleTerm,
-	"ErrReplicaGap":     ErrReplicaGap,
-	"ErrNotFollower":    ErrNotFollower,
+	"ErrReadOnly":           ErrReadOnly,
+	"ErrUnknownObject":      ErrUnknownObject,
+	"ErrNoMapping":          ErrNoMapping,
+	"ErrOverloaded":         ErrOverloaded,
+	"ErrBudgetExceeded":     ErrBudgetExceeded,
+	"ErrInternal":           ErrInternal,
+	"ErrParse":              ErrParse,
+	"ErrTypecheck":          ErrTypecheck,
+	"ErrCorruptLog":         ErrCorruptLog,
+	"ErrUnsupportedVersion": ErrUnsupportedVersion,
+	"ErrDegraded":           ErrDegraded,
+	"ErrNotPrimary":         ErrNotPrimary,
+	"ErrSeqTruncated":       ErrSeqTruncated,
+	"ErrStaleTerm":          ErrStaleTerm,
+	"ErrReplicaGap":         ErrReplicaGap,
+	"ErrNotFollower":        ErrNotFollower,
 }
 
 // declaredSentinels parses errors.go for its package-level Err… names.

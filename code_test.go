@@ -23,6 +23,7 @@ func TestCodeRoundTrip(t *testing.T) {
 		{ErrUnknownObject, CodeUnknownObject},
 		{ErrNoMapping, CodeNoMapping},
 		{ErrCorruptLog, CodeCorruptLog},
+		{ErrUnsupportedVersion, CodeUnsupported},
 	}
 	seen := map[string]error{}
 	for _, s := range sentinels {

@@ -62,6 +62,15 @@ var (
 	// the internal sentinel so errors.Is works across layers.
 	ErrCorruptLog = wal.ErrCorruptLog
 
+	// ErrUnsupportedVersion is returned by OpenDTD(..., WithDataDir(dir))
+	// when dir was written by an older on-disk format version this build
+	// cannot read in place (a pre-term v1 log or checkpoint). Unlike
+	// ErrCorruptLog the data is healthy — rebuild the directory under the
+	// current format by re-loading the documents or re-bootstrapping from
+	// a current primary. It aliases the internal sentinel so errors.Is
+	// works across layers.
+	ErrUnsupportedVersion = wal.ErrUnsupportedVersion
+
 	// ErrDegraded is returned by writers (LoadDocument, LoadDocuments,
 	// Name) on a durable database whose write-ahead log was poisoned by a
 	// storage fault (a failed fsync, a full disk, a lost handle). The

@@ -377,6 +377,156 @@ func TestChaosFailoverStaleSourceRejected(t *testing.T) {
 	}
 }
 
+// TestChaosFailoverStaleCheckpointRejected: the bootstrap path must not
+// adopt a deposed primary's forked history. A follower at term 2 is
+// misdirected at a term-1 primary that has checkpointed *past* the
+// follower's applied position — so the feed bounces it to bootstrap, and
+// the stale checkpoint, if installed, would silently rewind the follower
+// onto the fork (and durably discard its term-2 history). Both guards
+// must hold: the bootstrap client refuses the stale source by its term
+// header, and ApplyCheckpoint refuses the stale-term checkpoint itself.
+func TestChaosFailoverStaleCheckpointRejected(t *testing.T) {
+	dtd, doc := replCorpus(t)
+	oldPrimary, oldTS := failoverPrimary(t, dtd, t.TempDir())
+	if _, err := oldPrimary.LoadDocuments([]string{doc}); err != nil {
+		t.Fatal(err)
+	}
+	newPrimary, stopTail := durableFollower(t, dtd, t.TempDir(), oldTS.URL)
+	replWait(t, "catch-up", caughtUp(oldPrimary, newPrimary))
+	stopTail()
+	if _, err := newPrimary.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	nsrv, err := service.New(newPrimary, service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nts := httptest.NewServer(nsrv)
+	defer nts.Close()
+
+	// G follows the new primary to term 2 …
+	g, stopG := durableFollower(t, dtd, t.TempDir(), nts.URL)
+	replWait(t, "G catching up to term 2", caughtUp(newPrimary, g))
+	if got := g.Term(); got != 2 {
+		t.Fatalf("G term = %d, want 2", got)
+	}
+	stopG()
+
+	// … while the deposed primary keeps extending its fork and writes a
+	// checkpoint well past G's applied position.
+	for i := 0; i < 3; i++ {
+		if _, err := oldPrimary.LoadDocuments([]string{doc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := oldPrimary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	applied0, articles0, boots0 := g.AppliedSeq(), replArticleCount(t, g), g.Rebootstraps()
+
+	// Misdirect G at the deposed primary: every handshake (feed bounce →
+	// checkpoint bootstrap) must be refused, nothing may install.
+	fl := &service.Follower{DB: g, Primary: oldTS.URL, WaitMS: 50,
+		MinBackoff: time.Millisecond, BreakerCooldown: 2 * time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- fl.Run(ctx) }()
+	time.Sleep(250 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("misdirected follower loop returned %v, want to keep retrying until cancelled", err)
+	}
+	if got := g.AppliedSeq(); got != applied0 {
+		t.Errorf("G applied seq moved %d -> %d against a stale checkpoint", applied0, got)
+	}
+	if got := g.Term(); got != 2 {
+		t.Errorf("G term = %d, want 2 (stale checkpoint must never install)", got)
+	}
+	if got := replArticleCount(t, g); got != articles0 {
+		t.Errorf("G articles = %d, want %d (forked history adopted)", got, articles0)
+	}
+	if got := g.Rebootstraps(); got != boots0 {
+		t.Errorf("G counted %d bootstraps from a stale source, want 0", got-boots0)
+	}
+	// The direct guard, on the exact checkpoint the wire would carry: a
+	// term-1 checkpoint past the applied position is ErrStaleTerm.
+	path, _, ok, err := oldPrimary.NewestCheckpointFile()
+	if err != nil || !ok {
+		t.Fatalf("old primary checkpoint: ok=%v err=%v", ok, err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := wal.DecodeCheckpoint(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Term != 1 || ck.Seq <= applied0 {
+		t.Fatalf("stale checkpoint (seq %d, term %d) does not cover the dangerous shape (applied %d)", ck.Seq, ck.Term, applied0)
+	}
+	if err := g.ApplyCheckpoint(ck); !errors.Is(err, sgmldb.ErrStaleTerm) {
+		t.Fatalf("ApplyCheckpoint(stale term) = %v, want ErrStaleTerm", err)
+	}
+}
+
+// TestChaosFailoverIdleRejoinConverges: a deposed primary whose stale
+// unshipped suffix reaches *past* the idle new primary's last record
+// must still detect the divergence on its first poll. Before the fix the
+// feed long-poll parked on `after >= seq` and served empty 200s forever —
+// the rejoiner looked healthy while serving its forked suffix to readers.
+func TestChaosFailoverIdleRejoinConverges(t *testing.T) {
+	dtd, doc := replCorpus(t)
+	pdir := t.TempDir()
+	primary, ts := failoverPrimary(t, dtd, pdir)
+	for i := 0; i < 2; i++ {
+		if _, err := primary.LoadDocuments([]string{doc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	follower, stopTail := durableFollower(t, dtd, t.TempDir(), ts.URL)
+	replWait(t, "catch-up", caughtUp(primary, follower))
+	stopTail()
+
+	// The doomed primary commits an unshipped suffix, then dies.
+	for i := 0; i < 2; i++ {
+		if _, err := primary.LoadDocuments([]string{doc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts.Close()
+	primary.Close()
+
+	// Promote the survivor — and leave the cluster idle: no new writes, so
+	// the rejoiner's stale anchor stays ahead of the new primary's log.
+	if _, err := follower.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	wantArticles := replArticleCount(t, follower)
+	nsrv, err := service.New(follower, service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nts := httptest.NewServer(nsrv)
+	defer nts.Close()
+
+	// The deposed primary rejoins from its own directory. Its first poll
+	// anchors past the idle new primary's last record; it must get the 409
+	// that triggers the truncating re-bootstrap, not park on empty 200s.
+	rejoiner, _ := durableFollower(t, dtd, pdir, nts.URL)
+	replWait(t, "idle rejoiner converging", caughtUp(follower, rejoiner))
+	if got := rejoiner.Term(); got != 2 {
+		t.Errorf("rejoiner term = %d, want 2", got)
+	}
+	if got := replArticleCount(t, rejoiner); got != wantArticles {
+		t.Errorf("rejoiner articles = %d, want %d (stale suffix must not survive)", got, wantArticles)
+	}
+	if got := rejoiner.Rebootstraps(); got < 1 {
+		t.Errorf("rejoiner Rebootstraps = %d, want >= 1 (divergence must force a bootstrap)", got)
+	}
+	mustFsckClean(t, pdir, "rejoined old primary")
+}
+
 // TestChaosFailoverReplicaGapUnit pins the typed contract ApplyRecord
 // reports when the stream skips past the applied position: ErrReplicaGap
 // (re-bootstrap), distinct from the plain out-of-order error and from

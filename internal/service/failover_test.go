@@ -407,3 +407,84 @@ func TestFollowerBreakerOpens(t *testing.T) {
 		return err == nil && fdb.AppliedSeq() == seq
 	})
 }
+
+// TestFollowerBreakerClosesOnPollSuccess: the loop can also recover
+// without ever completing a bootstrap — the primary's retained log still
+// covers the follower's anchor once the fault clears, so a plain poll
+// succeeds. The breaker must close on that path too; leaving it open
+// would report breaker_open in Stats and /v1/health forever and pace
+// every later transient retry at the breaker cooldown instead of the
+// jittered backoff.
+func TestFollowerBreakerClosesOnPollSuccess(t *testing.T) {
+	dtd, doc := readCorpus(t)
+	pdb := openPrimary(t, dtd)
+	for i := 0; i < 2; i++ {
+		if _, err := pdb.LoadDocuments([]string{doc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := New(pdb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := httptest.NewServer(srv)
+	defer real.Close()
+
+	// Until released, force the bootstrap path (410 on every feed) and
+	// fail every checkpoint fetch, so the breaker opens. The primary never
+	// checkpoints, so after release the follower's anchor is still in the
+	// retained log and recovery happens via a plain successful poll — no
+	// bootstrap ever completes.
+	var release atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !release.Load() {
+			if strings.HasPrefix(r.URL.Path, "/v1/feed") {
+				w.WriteHeader(http.StatusGone)
+				fmt.Fprint(w, `{"error":{"code":"SEQ_TRUNCATED","message":"forced"}}`)
+			} else {
+				w.WriteHeader(http.StatusInternalServerError)
+				fmt.Fprint(w, `{"error":{"code":"INTERNAL","message":"forced"}}`)
+			}
+			return
+		}
+		status, hdr, body := proxyGet(t, real.URL+r.URL.String())
+		for k, vs := range hdr {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(status)
+		w.Write(body)
+	}))
+	defer proxy.Close()
+
+	fdb, err := sgmldb.OpenFollower(dtd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Follower{
+		DB: fdb, Primary: proxy.URL, WaitMS: 50,
+		MinBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		BreakerThreshold: 3, BreakerCooldown: 5 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- f.Run(ctx) }()
+	defer func() {
+		cancel()
+		if err := <-done; !errors.Is(err, context.Canceled) {
+			t.Errorf("follower loop: %v", err)
+		}
+	}()
+
+	waitFor(t, "breaker to open", fdb.BreakerOpen)
+	release.Store(true)
+	waitFor(t, "convergence via plain polls", func() bool {
+		seq, err := pdb.FeedSeq()
+		return err == nil && fdb.AppliedSeq() == seq
+	})
+	waitFor(t, "breaker to close without a bootstrap", func() bool { return !fdb.BreakerOpen() })
+	if got := fdb.Rebootstraps(); got != 0 {
+		t.Fatalf("follower Rebootstraps = %d, want 0 (recovery was poll-only)", got)
+	}
+}

@@ -113,8 +113,14 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 
 	// Long-poll: when the primary has nothing past the anchor, park on the
 	// log's commit signal until a record lands, the wait expires, the
-	// client goes away, or the server drains — whichever is first.
+	// client goes away, or the server drains — whichever is first. A
+	// term-carrying anchor is verified against the log once before the
+	// first park: a rejoining deposed primary whose stale unshipped suffix
+	// sits at or past our last record would otherwise park and collect
+	// empty 200s forever — looking healthy while serving diverged data —
+	// instead of the 409 STALE_TERM that tells it to re-bootstrap.
 	deadline := time.After(time.Duration(waitMS) * time.Millisecond)
+	verified := term == 0
 	for {
 		seq, commit, err := s.db.FeedWatch()
 		if err != nil {
@@ -124,6 +130,18 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 		}
 		if seq > after {
 			break
+		}
+		if !verified {
+			// seq <= after here, so this never scans the file: FramesAfter
+			// answers from its cached (floor, seq, term) positions.
+			if _, _, verr := s.db.FeedFrames(after, term, 1); verr != nil {
+				if code := sgmldb.Code(verr); code != sgmldb.CodeSeqTruncated && code != sgmldb.CodeStaleTerm {
+					t.errors.Add(1)
+				}
+				failErr(w, verr)
+				return
+			}
+			verified = true
 		}
 		select {
 		case <-commit:
@@ -196,6 +214,9 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	defer f.Close()
 	w.Header().Set("Content-Type", contentTypeBinary)
 	w.Header().Set(headerCheckpointSq, strconv.FormatUint(seq, 10))
+	// The serving node's current term: a bootstrapping follower refuses a
+	// source behind its own term before decoding a byte of the checkpoint.
+	w.Header().Set(headerTerm, strconv.FormatUint(s.db.Term(), 10))
 	//lint:allow wirecode binary checkpoint body; errors on this endpoint still use writeJSON
 	w.WriteHeader(http.StatusOK)
 	//lint:allow wirecode binary checkpoint body; errors on this endpoint still use writeJSON

@@ -144,6 +144,10 @@ func (f *Follower) Run(ctx context.Context) error {
 		progressed, err := f.poll(ctx)
 		switch {
 		case err == nil:
+			// Any successful round-trip closes the breaker, not only a
+			// bootstrap: a loop that recovered via a plain poll must not
+			// report breaker_open forever (or keep the cooldown pacing).
+			f.DB.SetBreakerOpen(false)
 			attempt, bootFails = 0, 0
 			continue
 		case errors.Is(err, errBootstrap):
@@ -273,7 +277,7 @@ func (f *Follower) poll(ctx context.Context) (progressed bool, err error) {
 
 // bootstrap fetches and installs the primary's newest checkpoint.
 func (f *Follower) bootstrap(ctx context.Context) error {
-	body, _, status, err := f.get(ctx, f.Primary+"/v1/checkpoint", f.bootstrapTimeout())
+	body, hdr, status, err := f.get(ctx, f.Primary+"/v1/checkpoint", f.bootstrapTimeout())
 	if err != nil {
 		return err
 	}
@@ -284,6 +288,17 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 	}
 	if status != http.StatusOK {
 		return fmt.Errorf("service: bootstrap: %s", wireError(status, body))
+	}
+	// Fencing, bootstrap side: a source whose term is behind ours is a
+	// deposed primary. Installing its checkpoint would adopt its forked
+	// history wholesale (and durably discard our newer-term records), so
+	// refuse before decoding a byte. ApplyCheckpoint re-checks against the
+	// checkpoint's own term as the last line of defense.
+	if srcTerm, perr := strconv.ParseUint(hdr.Get(headerTerm), 10, 64); perr == nil && srcTerm > 0 {
+		if myTerm := f.DB.Term(); myTerm > 0 && srcTerm < myTerm {
+			return fmt.Errorf("service: bootstrap source at stale term %d, local history already at term %d: %w",
+				srcTerm, myTerm, sgmldb.ErrStaleTerm)
+		}
 	}
 	ck, err := wal.DecodeCheckpoint(bytes.NewReader(body))
 	if err != nil {

@@ -24,6 +24,9 @@ import (
 // Version 2 added the term line (promotion epoch at capture).
 const checkpointMagic = "sgmldb-checkpoint 2"
 
+// checkpointMagicV1 is the pre-term version 1 header; see logMagicV1.
+const checkpointMagicV1 = "sgmldb-checkpoint 1"
+
 var (
 	fpCkptWrite  = faultpoint.New("wal/checkpoint-write")  // mid-checkpoint, temp file partially written
 	fpCkptRename = faultpoint.New("wal/checkpoint-rename") // temp file durable, not yet renamed
@@ -232,6 +235,9 @@ func DecodeCheckpoint(rd io.Reader) (*Checkpoint, error) {
 		return nil, err
 	}
 	if line != checkpointMagic {
+		if line == checkpointMagicV1 {
+			return nil, fmt.Errorf("%w: checkpoint written by format v1 (pre-term); rebuild the directory under the current format", ErrUnsupportedVersion)
+		}
 		return nil, fmt.Errorf("wal: not a checkpoint file (got %q)", line)
 	}
 	ck := &Checkpoint{}

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -85,6 +86,11 @@ func Fsck(dir string, repair bool) (*FsckReport, error) {
 		path := filepath.Join(dir, checkpointName(seq))
 		ck, err := readCheckpoint(path)
 		if err != nil {
+			if errors.Is(err, ErrUnsupportedVersion) {
+				// An old-format checkpoint is healthy data, not a crash
+				// leftover: never delete it, report the migration problem.
+				return rep, err
+			}
 			rep.BadCheckpoints++
 			if repair {
 				if err := os.Remove(path); err != nil {
@@ -128,6 +134,11 @@ func fsckLog(dir string, rep *FsckReport, repair bool) error {
 		return err
 	}
 	if !bytes.HasPrefix(data, []byte(logMagic)) {
+		if bytes.HasPrefix(data, []byte(logMagicV1)) {
+			// Old-format data is a migration problem, not damage: neither
+			// bucket of repairable-vs-corrupt applies.
+			return fmt.Errorf("%w: log written by format v1 (pre-term); rebuild the directory under the current format", ErrUnsupportedVersion)
+		}
 		if len(data) < len(logMagic) && bytes.HasPrefix([]byte(logMagic), data) {
 			// Crash while stamping a fresh log: torn at offset 0, repair
 			// restamps exactly as recovery would.

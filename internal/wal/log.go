@@ -17,6 +17,18 @@ import (
 // added the per-record term (promotion epoch) to the payload codec.
 const logMagic = "sgmldb-wal 2\n"
 
+// logMagicV1 is the header the pre-term version 1 codec stamped. A log
+// carrying it is healthy data in a format this build no longer reads — a
+// migration problem, reported as ErrUnsupportedVersion, never as
+// corruption.
+const logMagicV1 = "sgmldb-wal 1\n"
+
+// ErrUnsupportedVersion reports a data directory written by an older
+// on-disk format version this build cannot read in place. The data is not
+// damaged: rebuild it by re-loading the documents (or re-bootstrapping
+// from a current primary) under the current format.
+var ErrUnsupportedVersion = errors.New("wal: unsupported on-disk format version")
+
 // ErrStaleTerm reports a write or feed anchor from a superseded term: the
 // source was demoted (or partitioned away) and a later promotion has
 // already moved the log past it. The fenced side must stop writing and —
@@ -260,6 +272,10 @@ func openLog(dir string, afterSeq uint64) (*Log, []Record, error) {
 		return &Log{dir: dir, f: f, size: int64(len(logMagic)), term: 1}, nil, nil
 	}
 	if !bytes.HasPrefix(data, []byte(logMagic)) {
+		if bytes.HasPrefix(data, []byte(logMagicV1)) {
+			f.Close()
+			return nil, nil, fmt.Errorf("%w: log written by format v1 (pre-term); rebuild the directory under the current format", ErrUnsupportedVersion)
+		}
 		// A short prefix of the magic can only mean a crash while stamping
 		// a fresh, record-free log: safe to restart it.
 		if len(data) < len(logMagic) && bytes.HasPrefix([]byte(logMagic), data) {

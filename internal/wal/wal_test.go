@@ -191,6 +191,45 @@ func TestLogBadMagic(t *testing.T) {
 	l.Close()
 }
 
+// TestUnsupportedVersionMagic: a pre-term (v1) data directory is a
+// migration problem, not corruption — Open, Fsck, and DecodeCheckpoint
+// all report the distinct ErrUnsupportedVersion, and repair never deletes
+// the old-format files (they are healthy data under another codec).
+func TestUnsupportedVersionMagic(t *testing.T) {
+	// A v1 log header.
+	dir := t.TempDir()
+	if err := os.WriteFile(logPath(dir), []byte(logMagicV1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err := Open(dir)
+	if !errors.Is(err, ErrUnsupportedVersion) {
+		t.Fatalf("Open on v1 log: %v, want ErrUnsupportedVersion", err)
+	}
+	if errors.Is(err, ErrCorruptLog) {
+		t.Fatal("v1 log misclassified as ErrCorruptLog")
+	}
+	if _, err := Fsck(dir, false); !errors.Is(err, ErrUnsupportedVersion) {
+		t.Fatalf("Fsck -verify on v1 log: %v, want ErrUnsupportedVersion", err)
+	}
+
+	// A v1 checkpoint. Repair must not delete it the way it deletes
+	// crash-damaged (undecodable) checkpoints.
+	dir2 := t.TempDir()
+	ckPath := filepath.Join(dir2, checkpointName(2))
+	if err := os.WriteFile(ckPath, []byte(checkpointMagicV1+"\nseq 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readCheckpoint(ckPath); !errors.Is(err, ErrUnsupportedVersion) {
+		t.Fatalf("readCheckpoint on v1 checkpoint: %v, want ErrUnsupportedVersion", err)
+	}
+	if _, err := Fsck(dir2, true); !errors.Is(err, ErrUnsupportedVersion) {
+		t.Fatalf("Fsck -repair on v1 checkpoint: %v, want ErrUnsupportedVersion", err)
+	}
+	if _, err := os.Stat(ckPath); err != nil {
+		t.Fatalf("repair deleted the v1 checkpoint: %v", err)
+	}
+}
+
 func checkpointInstance(t *testing.T) *store.Instance {
 	t.Helper()
 	s := store.NewSchema()

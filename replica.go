@@ -186,10 +186,13 @@ func (db *Database) BreakerOpen() bool { return db.breakerOpen.Load() }
 // no-op *within the same term*, so a bootstrap racing normal tailing can
 // never rewind the follower; a checkpoint at a higher term installs
 // unconditionally — that is the term-aware truncation of an unshipped
-// suffix a deposed primary carries when it rejoins as a follower. On a
-// durable follower the checkpoint is also written locally and the local
-// log reset to the checkpoint's (seq, term), so the stale suffix is gone
-// from disk, not just from memory.
+// suffix a deposed primary carries when it rejoins as a follower. A
+// checkpoint from a term *behind* the follower's is rejected with
+// ErrStaleTerm: installing it would adopt a deposed primary's forked
+// history (and on a durable follower durably discard newer-term records).
+// On a durable follower the checkpoint is also written locally and the
+// local log reset to the checkpoint's (seq, term), so the stale suffix is
+// gone from disk, not just from memory.
 func (db *Database) ApplyCheckpoint(ck *wal.Checkpoint) error {
 	if !db.follower.Load() {
 		return fmt.Errorf("%w: ApplyCheckpoint", ErrNotFollower)
@@ -201,6 +204,10 @@ func (db *Database) ApplyCheckpoint(ck *wal.Checkpoint) error {
 	defer db.loadMu.Unlock()
 	if ck.Seq <= db.appliedSeq.Load() && ck.Term <= db.term.Load() {
 		return nil
+	}
+	if ck.Term < db.term.Load() {
+		return fmt.Errorf("%w: checkpoint carries term %d, follower history is already at term %d",
+			ErrStaleTerm, ck.Term, db.term.Load())
 	}
 	if db.walLog != nil {
 		// Reset before writing the checkpoint: a crash between the two
